@@ -1,0 +1,62 @@
+//! Ablation: exact blossom matching (the paper's LEDA call) vs greedy
+//! heavy-edge matching during coarsening.
+//!
+//! Measures both the partitioning time and — printed once — the partition
+//! quality (estimated execution time, communications) each strategy
+//! produces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpsched::partition::{partition_ddg, PartitionOptions};
+use gpsched::prelude::*;
+use gpsched_partition::coarsen::MatchStrategy;
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let suite = spec_suite();
+    let loops: Vec<_> = suite
+        .iter()
+        .flat_map(|p| p.loops.iter().cloned())
+        .filter(|l| l.op_count() >= 40)
+        .take(6)
+        .collect();
+    let machine = MachineConfig::four_cluster(32, 1, 1);
+
+    // Quality comparison, printed once.
+    eprintln!("\n--- matching ablation (4-cluster, 32 regs) ---");
+    for (name, strategy) in [("exact", MatchStrategy::Exact), ("greedy", MatchStrategy::Greedy)] {
+        let opts = PartitionOptions {
+            strategy,
+            ..PartitionOptions::default()
+        };
+        let mut exec = 0i64;
+        let mut comm = 0usize;
+        for ddg in &loops {
+            let mii = gpsched::ddg::mii::mii(ddg, &machine);
+            let r = partition_ddg(ddg, &machine, mii, &opts);
+            exec += r.cost.exec_time;
+            comm += r.cost.comm_count;
+        }
+        eprintln!("{name:>6}: Σ estimated exec time {exec}, Σ comms {comm}");
+    }
+
+    let mut group = c.benchmark_group("ablation_matching");
+    group.sample_size(10);
+    for (name, strategy) in [("exact", MatchStrategy::Exact), ("greedy", MatchStrategy::Greedy)] {
+        let opts = PartitionOptions {
+            strategy,
+            ..PartitionOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| {
+                for ddg in &loops {
+                    let mii = gpsched::ddg::mii::mii(ddg, &machine);
+                    black_box(partition_ddg(black_box(ddg), &machine, mii, opts).cost.exec_time);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

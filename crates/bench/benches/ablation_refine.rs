@@ -1,0 +1,69 @@
+//! Ablation: the two refinement passes of §3.2.2 — workload balance and
+//! cut-impact minimization — switched off one at a time.
+//!
+//! Prints the resulting partition quality once, then benches the
+//! partitioning cost of each variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpsched::partition::{partition_ddg, PartitionOptions};
+use gpsched::prelude::*;
+use gpsched_partition::refine::RefineOptions;
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, PartitionOptions)> {
+    let mk = |balance, cut| PartitionOptions {
+        refine: RefineOptions {
+            balance,
+            cut,
+            ..RefineOptions::default()
+        },
+        ..PartitionOptions::default()
+    };
+    vec![
+        ("full", mk(true, true)),
+        ("no-balance", mk(false, true)),
+        ("no-cut", mk(true, false)),
+        ("none", mk(false, false)),
+    ]
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let suite = spec_suite();
+    let loops: Vec<_> = suite
+        .iter()
+        .flat_map(|p| p.loops.iter().cloned())
+        .filter(|l| l.op_count() >= 30)
+        .take(8)
+        .collect();
+    let machine = MachineConfig::two_cluster(32, 1, 1);
+
+    eprintln!("\n--- refinement ablation (2-cluster, 32 regs) ---");
+    for (name, opts) in variants() {
+        let mut exec = 0i64;
+        let mut ii = 0i64;
+        for ddg in &loops {
+            let mii = gpsched::ddg::mii::mii(ddg, &machine);
+            let r = partition_ddg(ddg, &machine, mii, &opts);
+            exec += r.cost.exec_time;
+            ii += r.cost.ii_effective;
+        }
+        eprintln!("{name:>10}: Σ estimated exec {exec}, Σ effective II {ii}");
+    }
+
+    let mut group = c.benchmark_group("ablation_refine");
+    group.sample_size(10);
+    for (name, opts) in variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| {
+                for ddg in &loops {
+                    let mii = gpsched::ddg::mii::mii(ddg, &machine);
+                    black_box(partition_ddg(black_box(ddg), &machine, mii, opts).cost.comm_count);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refine);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation: the selective re-partitioning rule (§3.1's conclusion calls
+//! it the most effective variant).
+//!
+//! Compares the full GP driver (re-partition iff `IIbus > II`) against the
+//! Fixed Partition driver (never re-partition, no escape hatch) on the
+//! loops where the difference shows, printing achieved IIs once and
+//! benching both control flows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpsched::prelude::*;
+use gpsched::sched::drivers::{fixed_partition, gp, DriverConfig};
+use std::hint::black_box;
+
+fn bench_repartition(c: &mut Criterion) {
+    let suite = spec_suite();
+    let machine = MachineConfig::four_cluster(32, 1, 2);
+    let cfg = DriverConfig::default();
+    let popts = PartitionOptions::default();
+
+    eprintln!("\n--- repartition ablation (4-cluster, 32 regs, 2-cycle bus) ---");
+    let mut gp_ii = 0i64;
+    let mut fx_ii = 0i64;
+    let mut reparts = 0usize;
+    // Keep only loops both drivers can modulo-schedule (the rare II-cap
+    // cases would take the list fallback in the public API and tell us
+    // nothing about the re-partitioning rule).
+    let loops: Vec<_> = suite
+        .iter()
+        .flat_map(|p| p.loops.iter().cloned())
+        .filter(|ddg| {
+            gp(ddg, &machine, &popts, &cfg).is_ok()
+                && fixed_partition(ddg, &machine, &popts, &cfg).is_ok()
+        })
+        .take(16)
+        .collect();
+    for ddg in &loops {
+        let g = gp(ddg, &machine, &popts, &cfg).expect("pre-filtered");
+        let f = fixed_partition(ddg, &machine, &popts, &cfg).expect("pre-filtered");
+        gp_ii += g.schedule.ii();
+        fx_ii += f.schedule.ii();
+        reparts += g.repartitions;
+    }
+    eprintln!(
+        "GP Σ II = {gp_ii} ({reparts} repartitions), Fixed Σ II = {fx_ii} over {} loops",
+        loops.len()
+    );
+
+    let mut group = c.benchmark_group("ablation_repartition");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("gp-selective"), |b| {
+        b.iter(|| {
+            for ddg in &loops {
+                black_box(
+                    gp(black_box(ddg), &machine, &popts, &cfg)
+                        .expect("pre-filtered")
+                        .schedule
+                        .ii(),
+                );
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("fixed-never"), |b| {
+        b.iter(|| {
+            for ddg in &loops {
+                black_box(
+                    fixed_partition(black_box(ddg), &machine, &popts, &cfg)
+                        .expect("pre-filtered")
+                        .schedule
+                        .ii(),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repartition);
+criterion_main!(benches);

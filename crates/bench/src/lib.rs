@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see the `benches/` directory. Each bench
+//! regenerates one table or figure of the paper (plus ablations); run with
+//! `cargo bench -p gpsched-bench`.

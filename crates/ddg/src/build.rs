@@ -1,0 +1,262 @@
+//! Builder and validation for [`Ddg`].
+
+use crate::ddg::Ddg;
+use crate::dep::{Dep, DepKind};
+use crate::op::Op;
+use crate::OpId;
+use gpsched_graph::{topo, DiGraph};
+use gpsched_machine::{LatencyModel, OpClass};
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected when validating a loop DDG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DdgError {
+    /// The subgraph of distance-0 dependences contains a cycle; such a loop
+    /// can never be scheduled at any II.
+    ZeroDistanceCycle,
+    /// A flow dependence originates at a store, which produces no register
+    /// value.
+    FlowFromStore {
+        /// The offending source operation's label.
+        source: String,
+    },
+    /// The trip count is zero.
+    ZeroTripCount,
+}
+
+impl fmt::Display for DdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdgError::ZeroDistanceCycle => {
+                write!(f, "distance-0 dependence cycle (unschedulable loop)")
+            }
+            DdgError::FlowFromStore { source } => {
+                write!(f, "flow dependence from store `{source}`")
+            }
+            DdgError::ZeroTripCount => write!(f, "trip count must be at least 1"),
+        }
+    }
+}
+
+impl Error for DdgError {}
+
+/// Incremental builder for a [`Ddg`].
+///
+/// Flow-dependence latencies are stamped from the producer's class using a
+/// [`LatencyModel`] (the default one unless overridden with
+/// [`DdgBuilder::latencies`]); memory-ordering dependences default to
+/// latency 1 (store visible to the next access one cycle later).
+///
+/// # Example
+///
+/// ```
+/// use gpsched_ddg::DdgBuilder;
+/// use gpsched_machine::OpClass;
+///
+/// let mut b = DdgBuilder::new("daxpy-ish");
+/// let x = b.op(OpClass::Load, "x[i]");
+/// let m = b.op(OpClass::FpMul, "a*x");
+/// let s = b.op(OpClass::Store, "y[i]");
+/// b.flow(x, m);
+/// b.flow(m, s);
+/// let ddg = b.trip_count(256).build()?;
+/// assert_eq!(ddg.op_count(), 3);
+/// # Ok::<(), gpsched_ddg::DdgError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DdgBuilder {
+    name: String,
+    trip_count: u64,
+    latencies: LatencyModel,
+    graph: DiGraph<Op, Dep>,
+}
+
+impl DdgBuilder {
+    /// Starts a builder for a loop called `name` (trip count defaults to 1).
+    pub fn new(name: impl Into<String>) -> Self {
+        DdgBuilder {
+            name: name.into(),
+            trip_count: 1,
+            latencies: LatencyModel::default(),
+            graph: DiGraph::new(),
+        }
+    }
+
+    /// Sets the latency model used to stamp flow-dependence latencies.
+    ///
+    /// Call before adding dependences; already-added edges keep their
+    /// latencies.
+    pub fn latencies(&mut self, latencies: LatencyModel) -> &mut Self {
+        self.latencies = latencies;
+        self
+    }
+
+    /// Sets the loop trip count.
+    pub fn trip_count(&mut self, n: u64) -> &mut Self {
+        self.trip_count = n;
+        self
+    }
+
+    /// Adds an operation and returns its id. The op's latency is stamped
+    /// from the builder's latency model.
+    pub fn op(&mut self, class: OpClass, name: impl Into<String>) -> OpId {
+        let latency = self.latencies.latency(class);
+        self.graph.add_node(Op::with_latency(class, name, latency))
+    }
+
+    /// Adds an intra-iteration flow dependence `src → dst` with the
+    /// producer's latency.
+    pub fn flow(&mut self, src: OpId, dst: OpId) -> gpsched_graph::EdgeId {
+        self.flow_carried(src, dst, 0)
+    }
+
+    /// Adds a loop-carried flow dependence with the given distance.
+    pub fn flow_carried(
+        &mut self,
+        src: OpId,
+        dst: OpId,
+        distance: u32,
+    ) -> gpsched_graph::EdgeId {
+        let lat = self.graph.node_weight(src).latency;
+        self.graph.add_edge(src, dst, Dep::flow(lat, distance))
+    }
+
+    /// Adds a memory-ordering dependence (latency 1).
+    pub fn mem(&mut self, src: OpId, dst: OpId, distance: u32) -> gpsched_graph::EdgeId {
+        self.graph.add_edge(src, dst, Dep::mem(1, distance))
+    }
+
+    /// Adds a dependence with an explicit record (escape hatch for custom
+    /// latencies).
+    pub fn dep(&mut self, src: OpId, dst: OpId, dep: Dep) -> gpsched_graph::EdgeId {
+        self.graph.add_edge(src, dst, dep)
+    }
+
+    /// Number of operations added so far.
+    pub fn op_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Validates and freezes the DDG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdgError`] if the distance-0 subgraph is cyclic, a flow
+    /// edge leaves a store, or the trip count is 0.
+    pub fn build(&self) -> Result<Ddg, DdgError> {
+        if self.trip_count == 0 {
+            return Err(DdgError::ZeroTripCount);
+        }
+        for e in self.graph.edge_ids() {
+            let dep = self.graph.edge_weight(e);
+            if dep.kind == DepKind::Flow {
+                let src = self.graph.edge_source(e);
+                let op = self.graph.node_weight(src);
+                if !op.class.defines_value() {
+                    return Err(DdgError::FlowFromStore {
+                        source: op.name.clone(),
+                    });
+                }
+            }
+        }
+        if !topo::is_acyclic(&self.graph, |_, d: &Dep| d.distance == 0) {
+            return Err(DdgError::ZeroDistanceCycle);
+        }
+        Ok(Ddg {
+            name: self.name.clone(),
+            trip_count: self.trip_count,
+            graph: self.graph.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_latency_comes_from_producer_class() {
+        let mut b = DdgBuilder::new("t");
+        let ld = b.op(OpClass::Load, "ld");
+        let add = b.op(OpClass::FpAdd, "add");
+        let e1 = b.flow(ld, add);
+        let e2 = b.flow_carried(add, add, 1);
+        let ddg = b.build().unwrap();
+        assert_eq!(ddg.dep(e1).latency, 2); // load latency
+        assert_eq!(ddg.dep(e2).latency, 3); // fp-add latency
+        assert_eq!(ddg.dep(e2).distance, 1);
+    }
+
+    #[test]
+    fn custom_latency_model() {
+        let mut b = DdgBuilder::new("t");
+        b.latencies(LatencyModel {
+            load: 9,
+            ..LatencyModel::default()
+        });
+        let ld = b.op(OpClass::Load, "ld");
+        let use_ = b.op(OpClass::IntAlu, "u");
+        let e = b.flow(ld, use_);
+        let ddg = b.build().unwrap();
+        assert_eq!(ddg.dep(e).latency, 9);
+    }
+
+    #[test]
+    fn rejects_zero_distance_cycle() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op(OpClass::IntAlu, "a");
+        let c = b.op(OpClass::IntAlu, "c");
+        b.flow(a, c);
+        b.flow(c, a);
+        assert_eq!(b.build().unwrap_err(), DdgError::ZeroDistanceCycle);
+    }
+
+    #[test]
+    fn accepts_carried_cycle() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op(OpClass::IntAlu, "a");
+        let c = b.op(OpClass::IntAlu, "c");
+        b.flow(a, c);
+        b.flow_carried(c, a, 1);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_flow_from_store() {
+        let mut b = DdgBuilder::new("t");
+        let st = b.op(OpClass::Store, "st");
+        let a = b.op(OpClass::IntAlu, "a");
+        b.flow(st, a);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            DdgError::FlowFromStore { .. }
+        ));
+    }
+
+    #[test]
+    fn mem_edges_from_store_are_fine() {
+        let mut b = DdgBuilder::new("t");
+        let st = b.op(OpClass::Store, "st");
+        let ld = b.op(OpClass::Load, "ld");
+        b.mem(st, ld, 1);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_trip_count() {
+        let mut b = DdgBuilder::new("t");
+        b.op(OpClass::IntAlu, "a");
+        b.trip_count(0);
+        assert_eq!(b.build().unwrap_err(), DdgError::ZeroTripCount);
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_useful() {
+        assert!(DdgError::ZeroDistanceCycle.to_string().contains("cycle"));
+        let e = DdgError::FlowFromStore {
+            source: "st0".into(),
+        };
+        assert!(e.to_string().contains("st0"));
+    }
+}

@@ -1,0 +1,209 @@
+//! The immutable loop DDG and its basic queries.
+
+use crate::dep::{Dep, DepKind};
+use crate::op::Op;
+use crate::{DepId, OpId};
+use gpsched_graph::DiGraph;
+use gpsched_machine::{OpClass, ResourceKind};
+
+/// An immutable, validated loop data-dependence graph.
+///
+/// Build one with [`crate::DdgBuilder`]. Invariants guaranteed by
+/// construction:
+///
+/// * the subgraph of distance-0 edges is acyclic;
+/// * flow edges originate only from value-producing operations (not stores);
+/// * `trip_count ≥ 1`.
+#[derive(Clone, Debug)]
+pub struct Ddg {
+    pub(crate) name: String,
+    pub(crate) trip_count: u64,
+    pub(crate) graph: DiGraph<Op, Dep>,
+}
+
+impl Ddg {
+    /// Loop name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Trip count of the loop ("obtained through profiling" in the paper).
+    pub fn trip_count(&self) -> u64 {
+        self.trip_count
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DiGraph<Op, Dep> {
+        &self.graph
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of dependences.
+    pub fn dep_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The operation record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn op(&self, id: OpId) -> &Op {
+        self.graph.node_weight(id)
+    }
+
+    /// The dependence record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn dep(&self, id: DepId) -> &Dep {
+        self.graph.edge_weight(id)
+    }
+
+    /// Endpoints `(src, dst)` of dependence `id`.
+    pub fn dep_endpoints(&self, id: DepId) -> (OpId, OpId) {
+        self.graph.edge_endpoints(id)
+    }
+
+    /// Iterates over all operation ids.
+    pub fn op_ids(&self) -> impl DoubleEndedIterator<Item = OpId> + ExactSizeIterator {
+        self.graph.node_ids()
+    }
+
+    /// Iterates over all dependence ids.
+    pub fn dep_ids(&self) -> impl DoubleEndedIterator<Item = DepId> + ExactSizeIterator {
+        self.graph.edge_ids()
+    }
+
+    /// Number of operations that occupy functional units of `kind`.
+    pub fn ops_using(&self, kind: ResourceKind) -> usize {
+        self.graph
+            .node_weights()
+            .filter(|op| op.class.resource() == kind)
+            .count()
+    }
+
+    /// Number of memory operations (loads + stores) in the original body.
+    ///
+    /// The scheduler uses this to size the pool of "remaining memory slots"
+    /// available to spill code and memory communications (§3.3.2).
+    pub fn memory_op_count(&self) -> usize {
+        self.ops_using(ResourceKind::MemPort)
+    }
+
+    /// Number of operations of a specific class.
+    pub fn ops_of_class(&self, class: OpClass) -> usize {
+        self.graph
+            .node_weights()
+            .filter(|op| op.class == class)
+            .count()
+    }
+
+    /// Constraint tuples `(src, dst, latency + extra(e), distance)` for the
+    /// modulo-scheduling constraint system, with a caller-supplied extra
+    /// delay per edge (used by the partitioner to charge bus latency on cut
+    /// edges). Pass `|_| 0` for the raw graph.
+    pub fn constraint_deps(&self, mut extra: impl FnMut(DepId) -> i64) -> Vec<(usize, usize, i64, i64)> {
+        self.graph
+            .edge_ids()
+            .map(|e| {
+                let (s, d) = self.graph.edge_endpoints(e);
+                let dep = self.graph.edge_weight(e);
+                (
+                    s.index(),
+                    d.index(),
+                    dep.latency as i64 + extra(e),
+                    dep.distance as i64,
+                )
+            })
+            .collect()
+    }
+
+    /// The paper's execution-time model for a software-pipelined loop:
+    /// `(trip_count − 1) · II + max_path` (§3.2.1), where `max_path` is the
+    /// schedule-length estimate of one iteration.
+    pub fn execution_time(&self, ii: i64, max_path: i64) -> i64 {
+        (self.trip_count as i64 - 1) * ii + max_path
+    }
+
+    /// Flow dependences entering `op` (its operands).
+    pub fn operand_deps(&self, op: OpId) -> Vec<(DepId, OpId)> {
+        self.graph
+            .in_edges(op)
+            .filter(|&(e, _)| self.graph.edge_weight(e).kind == DepKind::Flow)
+            .collect()
+    }
+
+    /// Flow dependences leaving `op` (uses of its value).
+    pub fn use_deps(&self, op: OpId) -> Vec<(DepId, OpId)> {
+        self.graph
+            .out_edges(op)
+            .filter(|&(e, _)| self.graph.edge_weight(e).kind == DepKind::Flow)
+            .collect()
+    }
+
+    /// Total latency over all edges — a safe upper bound for any II search.
+    pub fn total_latency(&self) -> i64 {
+        self.graph
+            .edge_ids()
+            .map(|e| self.graph.edge_weight(e).latency as i64)
+            .sum::<i64>()
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DdgBuilder;
+    use gpsched_machine::{OpClass, ResourceKind};
+
+    #[test]
+    fn basic_queries() {
+        let mut b = DdgBuilder::new("t");
+        let ld = b.op(OpClass::Load, "ld");
+        let mul = b.op(OpClass::FpMul, "mul");
+        let st = b.op(OpClass::Store, "st");
+        b.flow(ld, mul);
+        b.flow(mul, st);
+        b.mem(st, ld, 1);
+        let ddg = b.trip_count(10).build().unwrap();
+
+        assert_eq!(ddg.name(), "t");
+        assert_eq!(ddg.trip_count(), 10);
+        assert_eq!(ddg.op_count(), 3);
+        assert_eq!(ddg.dep_count(), 3);
+        assert_eq!(ddg.ops_using(ResourceKind::MemPort), 2);
+        assert_eq!(ddg.memory_op_count(), 2);
+        assert_eq!(ddg.ops_of_class(OpClass::FpMul), 1);
+        assert_eq!(ddg.operand_deps(mul).len(), 1);
+        assert_eq!(ddg.use_deps(mul).len(), 1);
+        // The mem edge is not a use of st's (nonexistent) value.
+        assert_eq!(ddg.use_deps(st).len(), 0);
+    }
+
+    #[test]
+    fn constraint_deps_apply_extra() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op(OpClass::IntAlu, "a");
+        let c = b.op(OpClass::IntAlu, "c");
+        let e = b.flow(a, c);
+        let ddg = b.build().unwrap();
+        let plain = ddg.constraint_deps(|_| 0);
+        assert_eq!(plain, vec![(0, 1, 1, 0)]);
+        let bussed = ddg.constraint_deps(|id| if id == e { 2 } else { 0 });
+        assert_eq!(bussed, vec![(0, 1, 3, 0)]);
+    }
+
+    #[test]
+    fn execution_time_model() {
+        let mut b = DdgBuilder::new("t");
+        b.op(OpClass::IntAlu, "a");
+        let ddg = b.trip_count(101).build().unwrap();
+        assert_eq!(ddg.execution_time(4, 7), 100 * 4 + 7);
+    }
+}

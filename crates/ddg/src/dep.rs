@@ -1,0 +1,85 @@
+//! Dependences (DDG edges).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a dependence edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Register data flow: the destination consumes the value produced by
+    /// the source. Crossing clusters requires an inter-cluster transfer
+    /// (bus or memory) and the value occupies a register while live.
+    Flow,
+    /// Memory ordering (store→load, load→store, store→store). Pure timing
+    /// constraint: no value moves between clusters and no register is used.
+    Mem,
+}
+
+/// A dependence between two operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dep {
+    /// Edge kind.
+    pub kind: DepKind,
+    /// Minimum cycles between the issue of the source and of the
+    /// destination (for [`DepKind::Flow`], the producer's latency).
+    pub latency: u32,
+    /// Iteration distance: 0 for intra-iteration dependences, `d ≥ 1` when
+    /// the consumer reads the value produced `d` iterations earlier.
+    pub distance: u32,
+}
+
+impl Dep {
+    /// Creates a flow dependence.
+    pub fn flow(latency: u32, distance: u32) -> Self {
+        Dep {
+            kind: DepKind::Flow,
+            latency,
+            distance,
+        }
+    }
+
+    /// Creates a memory-ordering dependence.
+    pub fn mem(latency: u32, distance: u32) -> Self {
+        Dep {
+            kind: DepKind::Mem,
+            latency,
+            distance,
+        }
+    }
+
+    /// Returns `true` for loop-carried dependences.
+    pub fn is_carried(&self) -> bool {
+        self.distance > 0
+    }
+}
+
+impl fmt::Display for Dep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            DepKind::Flow => "flow",
+            DepKind::Mem => "mem",
+        };
+        write!(f, "{k}(lat={}, dist={})", self.latency, self.distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let d = Dep::flow(3, 0);
+        assert_eq!(d.kind, DepKind::Flow);
+        assert!(!d.is_carried());
+        let m = Dep::mem(1, 2);
+        assert_eq!(m.kind, DepKind::Mem);
+        assert!(m.is_carried());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Dep::flow(2, 1).to_string(), "flow(lat=2, dist=1)");
+        assert_eq!(Dep::mem(1, 0).to_string(), "mem(lat=1, dist=0)");
+    }
+}

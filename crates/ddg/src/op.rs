@@ -1,0 +1,62 @@
+//! Operations (DDG nodes).
+
+use gpsched_machine::OpClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An operation in a loop body.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Op {
+    /// Operation class (determines functional unit and latency).
+    pub class: OpClass,
+    /// Human-readable label used in dumps and error messages.
+    pub name: String,
+    /// Result latency in cycles, stamped from the builder's
+    /// [`gpsched_machine::LatencyModel`].
+    pub latency: u32,
+}
+
+impl Op {
+    /// Creates an operation with the default latency model's latency for
+    /// its class.
+    pub fn new(class: OpClass, name: impl Into<String>) -> Self {
+        Op {
+            class,
+            name: name.into(),
+            latency: gpsched_machine::LatencyModel::default().latency(class),
+        }
+    }
+
+    /// Creates an operation with an explicit latency.
+    pub fn with_latency(class: OpClass, name: impl Into<String>, latency: u32) -> Self {
+        Op {
+            class,
+            name: name.into(),
+            latency,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_class() {
+        let op = Op::new(OpClass::FpMul, "t1");
+        assert_eq!(op.to_string(), "t1:fmul");
+    }
+
+    #[test]
+    fn constructor_stores_fields() {
+        let op = Op::new(OpClass::Load, String::from("x"));
+        assert_eq!(op.class, OpClass::Load);
+        assert_eq!(op.name, "x");
+    }
+}

@@ -1,0 +1,265 @@
+//! Timing analysis under a candidate initiation interval.
+//!
+//! Produces the quantities the partitioner's edge-weight metric needs
+//! (§3.2.1 of the paper): ASAP/ALAP times over the modulo constraint system,
+//! per-edge *slack* ("delay cycles that could be added to this edge without
+//! affecting execution time"), and the intra-iteration longest path
+//! `max_path` (the schedule-length estimate used in the execution-time
+//! model `T = (niter−1)·II + max_path`).
+
+use crate::ddg::Ddg;
+use crate::dep::Dep;
+use crate::DepId;
+use gpsched_graph::feasibility::longest_from_all_sources;
+use gpsched_graph::longest_path::potentials;
+
+/// Result of [`analyze`].
+#[derive(Clone, Debug)]
+pub struct Timing {
+    /// The initiation interval this analysis assumed.
+    pub ii: i64,
+    /// Earliest start time of each op (longest path in the constraint
+    /// system with weights `lat + extra − II·dist`).
+    pub asap: Vec<i64>,
+    /// Latest start time of each op such that the overall span does not
+    /// grow.
+    pub alap: Vec<i64>,
+    /// Slack of each dependence: `alap[dst] − asap[src] − w(e)` (≥ 0).
+    pub edge_slack: Vec<i64>,
+    /// Maximum slack over all edges (the paper's `maxsl`).
+    pub max_slack: i64,
+    /// Earliest start within one iteration: longest distance-0 path into
+    /// each op (edge length `lat + extra`).
+    pub start: Vec<i64>,
+    /// Completion-inclusive tail: `tail[v] = max(lat(v), max over dist-0
+    /// out-edges (len + tail[dst]))`. `start[v] + tail[v] ≤ max_path`.
+    pub tail: Vec<i64>,
+    /// Schedule-length estimate of one iteration:
+    /// `max over ops of (start + op latency)`.
+    pub max_path: i64,
+}
+
+/// Analyzes `ddg` at initiation interval `ii`, charging `extra(e)`
+/// additional delay cycles on each dependence (pass `|_| 0` for the raw
+/// graph; the partitioner passes the bus latency for cut edges).
+///
+/// Returns `None` when `ii` is below the recurrence bound of the delayed
+/// graph (the constraint system has a positive cycle).
+///
+/// # Example
+///
+/// ```
+/// use gpsched_ddg::{timing, DdgBuilder};
+/// use gpsched_machine::OpClass;
+///
+/// let mut b = DdgBuilder::new("t");
+/// let ld = b.op(OpClass::Load, "ld");
+/// let ml = b.op(OpClass::FpMul, "ml");
+/// b.flow(ld, ml);
+/// let ddg = b.build()?;
+/// let t = timing::analyze(&ddg, 1, |_| 0).unwrap();
+/// assert_eq!(t.asap, vec![0, 2]);       // mul waits for the load
+/// assert_eq!(t.max_path, 5);            // 2 (load) + 3 (mul completes)
+/// # Ok::<(), gpsched_ddg::DdgError>(())
+/// ```
+pub fn analyze(ddg: &Ddg, ii: i64, mut extra: impl FnMut(DepId) -> i64) -> Option<Timing> {
+    let n = ddg.op_count();
+    let graph = ddg.graph();
+
+    let mut extras = vec![0i64; ddg.dep_count()];
+    for e in ddg.dep_ids() {
+        extras[e.index()] = extra(e);
+    }
+
+    // Modulo constraint system: w(e) = lat + extra − II·dist.
+    let fwd: Vec<(usize, usize, i64)> = ddg
+        .dep_ids()
+        .map(|e| {
+            let (s, d) = ddg.dep_endpoints(e);
+            let dep = ddg.dep(e);
+            (
+                s.index(),
+                d.index(),
+                dep.latency as i64 + extras[e.index()] - ii * dep.distance as i64,
+            )
+        })
+        .collect();
+    let asap = longest_from_all_sources(n, &fwd)?;
+    let rev: Vec<(usize, usize, i64)> = fwd.iter().map(|&(s, d, w)| (d, s, w)).collect();
+    let out_len = longest_from_all_sources(n, &rev)?;
+    let span = asap.iter().copied().max().unwrap_or(0);
+    let alap: Vec<i64> = (0..n).map(|v| span - out_len[v]).collect();
+
+    let mut edge_slack = vec![0i64; ddg.dep_count()];
+    let mut max_slack = 0i64;
+    for (e, &(s, d, w)) in ddg.dep_ids().zip(fwd.iter()) {
+        let _ = e;
+        let slack = alap[d] - asap[s] - w;
+        edge_slack[e.index()] = slack;
+        max_slack = max_slack.max(slack);
+    }
+
+    // Intra-iteration longest paths (distance-0 sub-DAG), edge length
+    // lat + extra. Acyclic by Ddg validation even before extras.
+    let pots = potentials(
+        graph,
+        |_, dep: &Dep| dep.distance == 0,
+        |e, dep| dep.latency as i64 + extras[e.index()],
+    )
+    .expect("distance-0 subgraph is acyclic by construction");
+    let start = pots.from_source.clone();
+
+    let op_lat = |v: usize| {
+        ddg.graph()
+            .node_weight(gpsched_graph::NodeId::from_index(v))
+            .latency as i64
+    };
+    // tail[v] = max(lat(v), max over dist-0 out-edges (len + tail[dst])):
+    // the completion-inclusive longest path out of v.
+    let mut tail: Vec<i64> = (0..n).map(op_lat).collect();
+    // Process nodes in reverse topological order of the dist-0 DAG.
+    let order = gpsched_graph::topo::topo_order(graph, |_, dep: &Dep| dep.distance == 0)
+        .expect("distance-0 subgraph is acyclic by construction");
+    for &v in order.iter().rev() {
+        for (e, w) in graph.out_edges(v) {
+            if graph.edge_weight(e).distance == 0 {
+                let cand = graph.edge_weight(e).latency as i64 + extras[e.index()] + tail[w.index()];
+                if cand > tail[v.index()] {
+                    tail[v.index()] = cand;
+                }
+            }
+        }
+    }
+    let max_path = (0..n)
+        .map(|v| start[v] + tail[v])
+        .max()
+        .unwrap_or(0)
+        .max(0);
+
+    Some(Timing {
+        ii,
+        asap,
+        alap,
+        edge_slack,
+        max_slack,
+        start,
+        tail,
+        max_path,
+    })
+}
+
+impl Timing {
+    /// Schedule-length estimate when `delta` extra cycles are charged on the
+    /// distance-0 dependence `e = (src, dst)` with base length `len`
+    /// (latency + already-applied extra), without recomputing the analysis:
+    /// `max(max_path, start[src] + len + delta + tail[dst])`.
+    pub fn max_path_with_delay(&self, src: usize, dst: usize, len: i64, delta: i64) -> i64 {
+        self.max_path
+            .max(self.start[src] + len + delta + self.tail[dst])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DdgBuilder;
+    use gpsched_machine::OpClass;
+
+    #[test]
+    fn chain_asap_alap_and_slack() {
+        let mut b = DdgBuilder::new("t");
+        let ld = b.op(OpClass::Load, "ld"); // lat 2
+        let ml = b.op(OpClass::FpMul, "ml"); // lat 3
+        let st = b.op(OpClass::Store, "st");
+        let e1 = b.flow(ld, ml);
+        let e2 = b.flow(ml, st);
+        let ddg = b.build().unwrap();
+        let t = analyze(&ddg, 1, |_| 0).unwrap();
+        assert_eq!(t.asap, vec![0, 2, 5]);
+        assert_eq!(t.alap, vec![0, 2, 5]); // critical chain: no slack
+        assert_eq!(t.edge_slack[e1.index()], 0);
+        assert_eq!(t.edge_slack[e2.index()], 0);
+        assert_eq!(t.max_slack, 0);
+        assert_eq!(t.max_path, 6); // store completes at 5 + 1
+    }
+
+    #[test]
+    fn side_branch_has_slack() {
+        let mut b = DdgBuilder::new("t");
+        let ld = b.op(OpClass::Load, "ld"); // lat 2
+        let dv = b.op(OpClass::FpDiv, "dv"); // lat 8
+        let ad = b.op(OpClass::IntAlu, "ad"); // lat 1
+        let st = b.op(OpClass::Store, "st");
+        b.flow(ld, dv);
+        let cheap = b.flow(ld, ad);
+        b.flow(dv, st);
+        let join = b.flow(ad, st);
+        let ddg = b.build().unwrap();
+        let t = analyze(&ddg, 1, |_| 0).unwrap();
+        // Critical: ld(2) → dv(8) → st: asap[st] = 10.
+        assert_eq!(t.asap[st.index()], 10);
+        // The int branch can slide: each of its edges could absorb the
+        // whole 7-cycle gap alone (ld→dv→st is 10, ld→ad→st is 3).
+        assert_eq!(t.edge_slack[cheap.index()], 7);
+        assert_eq!(t.edge_slack[join.index()], 7);
+        assert_eq!(t.max_slack, 7);
+    }
+
+    #[test]
+    fn infeasible_ii_returns_none() {
+        let mut b = DdgBuilder::new("t");
+        let acc = b.op(OpClass::FpAdd, "acc"); // lat 3
+        b.flow_carried(acc, acc, 1);
+        let ddg = b.build().unwrap();
+        assert!(analyze(&ddg, 2, |_| 0).is_none());
+        assert!(analyze(&ddg, 3, |_| 0).is_some());
+    }
+
+    #[test]
+    fn carried_edges_do_not_stretch_max_path() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op(OpClass::IntAlu, "a");
+        let c = b.op(OpClass::IntAlu, "c");
+        b.flow(a, c);
+        b.flow_carried(c, a, 1);
+        let ddg = b.build().unwrap();
+        let t = analyze(&ddg, 2, |_| 0).unwrap();
+        assert_eq!(t.max_path, 2); // a starts 0, c starts 1, completes at 2
+    }
+
+    #[test]
+    fn extra_delay_shifts_downstream() {
+        let mut b = DdgBuilder::new("t");
+        let a = b.op(OpClass::IntAlu, "a");
+        let c = b.op(OpClass::IntAlu, "c");
+        let e = b.flow(a, c);
+        let ddg = b.build().unwrap();
+        let t0 = analyze(&ddg, 1, |_| 0).unwrap();
+        assert_eq!(t0.asap[c.index()], 1);
+        assert_eq!(t0.max_path, 2);
+        let t1 = analyze(&ddg, 1, |id| if id == e { 2 } else { 0 }).unwrap();
+        assert_eq!(t1.asap[c.index()], 3);
+        assert_eq!(t1.max_path, 4);
+        // The incremental estimator agrees with the recomputation.
+        assert_eq!(
+            t0.max_path_with_delay(a.index(), c.index(), 1, 2),
+            t1.max_path
+        );
+    }
+
+    #[test]
+    fn start_and_tail_compose_to_max_path() {
+        let mut b = DdgBuilder::new("t");
+        let ld = b.op(OpClass::Load, "ld");
+        let m1 = b.op(OpClass::FpMul, "m1");
+        let m2 = b.op(OpClass::FpMul, "m2");
+        b.flow(ld, m1);
+        b.flow(m1, m2);
+        let ddg = b.build().unwrap();
+        let t = analyze(&ddg, 1, |_| 0).unwrap();
+        for v in 0..ddg.op_count() {
+            assert!(t.start[v] + t.tail[v] <= t.max_path);
+        }
+        assert_eq!(t.max_path, 2 + 3 + 3);
+    }
+}

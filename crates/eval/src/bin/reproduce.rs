@@ -1,0 +1,47 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce table1   # machine configuration matrix
+//! reproduce fig2     # IPC, 1 bus, latency 1 (4 sub-graphs)
+//! reproduce fig3     # IPC, 1 bus, latency 2 (4 sub-graphs)
+//! reproduce table2   # scheduling CPU time per algorithm/config
+//! reproduce all      # everything + rewrite EXPERIMENTS.md
+//! ```
+//!
+//! Run with `--release`; the full sweep schedules ~76 loops × 9 machine
+//! configurations × 4 algorithm bars.
+
+use gpsched_eval::report;
+use gpsched_eval::{figure2, figure3, table2, tables};
+use std::time::Instant;
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let t0 = Instant::now();
+    match cmd.as_str() {
+        "table1" => print!("{}", report::render_table1(&tables::table1())),
+        "fig2" => print!("{}", report::render_figure("Figure 2 — IPC, 1 bus, latency 1", &figure2())),
+        "fig3" => print!("{}", report::render_figure("Figure 3 — IPC, 1 bus, latency 2", &figure3())),
+        "table2" => print!("{}", report::render_table2(&table2())),
+        "all" => {
+            print!("{}", report::render_table1(&tables::table1()));
+            let f2 = figure2();
+            print!("\n{}", report::render_figure("Figure 2 — IPC, 1 bus, latency 1", &f2));
+            let f3 = figure3();
+            print!("\n{}", report::render_figure("Figure 3 — IPC, 1 bus, latency 2", &f3));
+            let t2 = table2();
+            print!("\n{}", report::render_table2(&t2));
+            let md = report::experiments_markdown(&f2, &f3, &t2);
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
+            match std::fs::write(path, &md) {
+                Ok(()) => println!("\nwrote EXPERIMENTS.md"),
+                Err(e) => eprintln!("\ncould not write EXPERIMENTS.md: {e}"),
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`; use table1|fig2|fig3|table2|all");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[{:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,27 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! * [`run`] — schedule one program (a set of innermost loops) on one
+//!   machine with one algorithm, measuring aggregate IPC and the CPU time
+//!   spent computing the schedules;
+//! * [`figures`] — Figure 2 (1 bus, latency 1) and Figure 3 (1 bus,
+//!   latency 2): IPC per SPECfp95 program and average, bars = unified /
+//!   URACAM / Fixed / GP;
+//! * [`tables`] — Table 1 (the configuration matrix) and Table 2 (average
+//!   scheduling CPU time per algorithm and configuration);
+//! * [`report`] — plain-text and Markdown renderers, including the
+//!   shape checks recorded in `EXPERIMENTS.md`.
+//!
+//! Run `cargo run --release -p gpsched-eval --bin reproduce -- all` to
+//! regenerate everything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod run;
+pub mod tables;
+
+pub use figures::{figure2, figure3, FigureRow, FigureSeries};
+pub use run::{run_program, ProgramRun};
+pub use tables::{table2, Table2Row};

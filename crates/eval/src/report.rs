@@ -1,0 +1,266 @@
+//! Text and Markdown renderers for the reproduced tables and figures.
+
+use crate::figures::FigureSeries;
+use crate::tables::Table2Row;
+use std::fmt::Write as _;
+
+/// Renders Table 1 (the configuration matrix).
+pub fn render_table1(rows: &[(String, String)]) -> String {
+    let mut out = String::from("Table 1 — machine configurations\n");
+    out.push_str(&format!("{:<12} {}\n", "name", "shape"));
+    for (name, shape) in rows {
+        let _ = writeln!(out, "{name:<12} {shape}");
+    }
+    out
+}
+
+/// Renders one figure (a set of per-configuration series) as text bars.
+pub fn render_figure(title: &str, series: &[FigureSeries]) -> String {
+    let mut out = format!("{title}\n");
+    for s in series {
+        let _ = writeln!(out, "\n[{}] {}", s.machine, s.title);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>8} {:>8}",
+            "program", "unified", "URACAM", "Fixed", "GP"
+        );
+        for r in &s.rows {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                r.program, r.unified, r.uracam, r.fixed, r.gp
+            );
+        }
+        let _ = writeln!(
+            out,
+            "GP speedup over URACAM (average): {:+.1}%",
+            (s.gp_speedup_over_uracam() - 1.0) * 100.0
+        );
+    }
+    out
+}
+
+/// Renders Table 2 (average scheduling CPU time).
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "Table 2 — average CPU time to compute the schedule (ms per benchmark)\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>14}\n",
+        "machine", "URACAM", "Fixed", "GP", "URACAM slowdn"
+    ));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10.2} {:>10.2} {:>10.2} {:>13.1}x",
+            r.machine,
+            r.uracam_ms,
+            r.fixed_ms,
+            r.gp_ms,
+            r.uracam_slowdown()
+        );
+    }
+    out
+}
+
+/// Markdown summary written into `EXPERIMENTS.md` by `reproduce all`:
+/// paper-vs-measured for every figure and table, with the shape checks.
+pub fn experiments_markdown(
+    fig2: &[FigureSeries],
+    fig3: &[FigureSeries],
+    t2: &[Table2Row],
+) -> String {
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS — paper vs. measured\n\n");
+    out.push_str(
+        "Workload: synthetic SPECfp95 suite (see `DESIGN.md` §4 for the\n\
+         substitution); machines: Table 1 presets. Absolute IPC differs from\n\
+         the paper (different loop bodies, latencies); the *shape* — who\n\
+         wins, by roughly what factor, where the exceptions sit — is the\n\
+         reproduction target. Regenerate with\n\
+         `cargo run --release -p gpsched-eval --bin reproduce -- all`.\n\n\
+         Magnitude note: the paper's headline is GP +23% over URACAM on the\n\
+         2-cluster/32-register machine; we measure +2–9% depending on the\n\
+         configuration. The direction and the per-program exceptions\n\
+         (URACAM winning on mgrid/hydro2d-style loops) reproduce; the gap\n\
+         is smaller because our URACAM baseline shares the full engine —\n\
+         SMS windows with the ASAP-first retry, spill-on-overflow, list\n\
+         fallback — and is therefore stronger than the 2001 baseline.\n\n",
+    );
+
+    let fig = |out: &mut String, name: &str, paper: &str, series: &[FigureSeries]| {
+        let _ = writeln!(out, "## {name}\n");
+        let _ = writeln!(out, "Paper: {paper}\n");
+        let _ = writeln!(
+            out,
+            "| config | unified | URACAM | Fixed | GP | GP vs URACAM |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|");
+        for s in series {
+            let a = s.average();
+            let _ = writeln!(
+                out,
+                "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {:+.1}% |",
+                s.machine,
+                a.unified,
+                a.uracam,
+                a.fixed,
+                a.gp,
+                (s.gp_speedup_over_uracam() - 1.0) * 100.0
+            );
+        }
+        let _ = writeln!(out);
+        // Per-program detail.
+        for s in series {
+            let _ = writeln!(out, "<details><summary>{} per program</summary>\n", s.machine);
+            let _ = writeln!(out, "| program | unified | URACAM | Fixed | GP |");
+            let _ = writeln!(out, "|---|---|---|---|---|");
+            for r in &s.rows {
+                let _ = writeln!(
+                    out,
+                    "| {} | {:.3} | {:.3} | {:.3} | {:.3} |",
+                    r.program, r.unified, r.uracam, r.fixed, r.gp
+                );
+            }
+            let _ = writeln!(out, "\n</details>\n");
+        }
+    };
+    fig(
+        &mut out,
+        "Figure 2 — IPC, 1 bus, latency 1",
+        "GP > Fixed > URACAM on average; unified is the upper bound; \
+         GP ≈ +23% over URACAM on the 2-cluster/32-register machine.",
+        fig2,
+    );
+    fig(
+        &mut out,
+        "Figure 3 — IPC, 1 bus, latency 2",
+        "Same ordering with a slower bus; a few programs favour Fixed \
+         (re-partitioning under register pressure can backfire — §4.2).",
+        fig3,
+    );
+
+    out.push_str("## Table 2 — scheduling CPU time\n\n");
+    out.push_str(
+        "Paper: URACAM is 2–7× slower than Fixed/GP because it tries every\n\
+         cluster for every node. Our measurement reproduces that shape on\n\
+         the 4-cluster configurations, where the per-node cluster search\n\
+         dominates. On the 2-cluster configurations our partitioner +\n\
+         restart overhead outweighs URACAM's 2-way search — a deviation\n\
+         from the paper (their partitioning was evidently cheaper relative\n\
+         to their scheduler); see `DESIGN.md` §7.\n\n",
+    );
+    out.push_str("| config | URACAM (ms) | Fixed (ms) | GP (ms) | URACAM slowdown |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for r in t2 {
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.2} | {:.2} | {:.1}x |",
+            r.machine,
+            r.uracam_ms,
+            r.fixed_ms,
+            r.gp_ms,
+            r.uracam_slowdown()
+        );
+    }
+    out.push('\n');
+
+    // Shape checks.
+    out.push_str("## Shape checks\n\n");
+    let avg_over = |series: &[FigureSeries], f: &dyn Fn(&crate::figures::FigureRow) -> f64| {
+        series.iter().map(|s| f(s.average())).sum::<f64>() / series.len() as f64
+    };
+    let gp2 = avg_over(fig2, &|r| r.gp);
+    let ur2 = avg_over(fig2, &|r| r.uracam);
+    let fx2 = avg_over(fig2, &|r| r.fixed);
+    let un2 = avg_over(fig2, &|r| r.unified);
+    let checks = [
+        ("unified ≥ GP (upper bound)", un2 >= gp2),
+        ("GP ≥ Fixed on average", gp2 >= fx2),
+        ("GP > URACAM on average", gp2 > ur2),
+        (
+            "URACAM slower than GP/Fixed on 4-cluster configs (mean)",
+            {
+                let c4: Vec<f64> = t2
+                    .iter()
+                    .filter(|r| r.machine.starts_with("c4"))
+                    .map(Table2Row::uracam_slowdown)
+                    .collect();
+                !c4.is_empty() && c4.iter().sum::<f64>() / c4.len() as f64 >= 1.0
+            },
+        ),
+    ];
+    for (name, ok) in checks {
+        let _ = writeln!(out, "- [{}] {}", if ok { "x" } else { " " }, name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigureRow;
+
+    fn fake_series() -> Vec<FigureSeries> {
+        vec![FigureSeries {
+            machine: "c2r32b1l1".into(),
+            title: "2-cluster, 32 regs".into(),
+            rows: vec![
+                FigureRow {
+                    program: "swim".into(),
+                    unified: 5.0,
+                    uracam: 3.0,
+                    fixed: 3.5,
+                    gp: 4.0,
+                },
+                FigureRow {
+                    program: "average".into(),
+                    unified: 5.0,
+                    uracam: 3.0,
+                    fixed: 3.5,
+                    gp: 4.0,
+                },
+            ],
+        }]
+    }
+
+    fn fake_t2() -> Vec<Table2Row> {
+        vec![Table2Row {
+            machine: "c2r32b1l1".into(),
+            uracam_ms: 100.0,
+            fixed_ms: 30.0,
+            gp_ms: 40.0,
+            }]
+    }
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let t = crate::tables::table1();
+        let s = render_table1(&t);
+        assert!(s.contains("u-r32"));
+        assert!(s.contains("c2r32b1l1"));
+    }
+
+    #[test]
+    fn figure_render_contains_bars_and_speedup() {
+        let s = render_figure("Figure 2", &fake_series());
+        assert!(s.contains("swim"));
+        assert!(s.contains("average"));
+        assert!(s.contains("+33.3%"));
+    }
+
+    #[test]
+    fn table2_render_contains_slowdown() {
+        let s = render_table2(&fake_t2());
+        assert!(s.contains("3.3x"));
+    }
+
+    #[test]
+    fn markdown_has_checks() {
+        let md = experiments_markdown(&fake_series(), &fake_series(), &fake_t2());
+        assert!(md.contains("# EXPERIMENTS"));
+        assert!(md.contains("- [x] GP > URACAM on average"));
+        assert!(md.contains("Figure 3"));
+        assert!(md.contains("| c2r32b1l1 | 100.00 | 30.00 | 40.00 | 3.3x |"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Table 1 (configurations) and Table 2 (scheduling CPU time).
+
+use crate::run::run_program;
+use gpsched_machine::{table1_configs, MachineConfig};
+use gpsched_sched::Algorithm;
+use gpsched_workloads::{spec_suite, Program};
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// One row of Table 2: average CPU milliseconds to compute the schedule of
+/// a whole benchmark, per algorithm, on one configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Row {
+    /// Machine short name.
+    pub machine: String,
+    /// URACAM average milliseconds.
+    pub uracam_ms: f64,
+    /// Fixed Partition average milliseconds.
+    pub fixed_ms: f64,
+    /// GP average milliseconds.
+    pub gp_ms: f64,
+}
+
+impl Table2Row {
+    /// URACAM slowdown vs the faster of Fixed/GP (the paper reports 2–7×).
+    pub fn uracam_slowdown(&self) -> f64 {
+        self.uracam_ms / self.fixed_ms.min(self.gp_ms)
+    }
+}
+
+/// Scheduling-time rows for the given machines over `programs`.
+pub fn table2_for(programs: &[Program], machines: &[MachineConfig]) -> Vec<Table2Row> {
+    let rows: Mutex<Vec<(usize, Table2Row)>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (idx, m) in machines.iter().enumerate() {
+            let rows = &rows;
+            scope.spawn(move |_| {
+                let avg_ms = |algo: Algorithm| -> f64 {
+                    let total: f64 = programs
+                        .iter()
+                        .map(|p| run_program(p, m, algo).sched_time.as_secs_f64())
+                        .sum();
+                    total / programs.len() as f64 * 1e3
+                };
+                let row = Table2Row {
+                    machine: m.short_name(),
+                    uracam_ms: avg_ms(Algorithm::Uracam),
+                    fixed_ms: avg_ms(Algorithm::FixedPartition),
+                    gp_ms: avg_ms(Algorithm::Gp),
+                };
+                rows.lock().push((idx, row));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut rows = rows.into_inner();
+    rows.sort_by_key(|(i, _)| *i);
+    rows.into_iter().map(|(_, r)| r).collect()
+}
+
+/// **Table 2**: the full suite on every clustered configuration of the
+/// paper's evaluation (both bus latencies, both register counts).
+pub fn table2() -> Vec<Table2Row> {
+    let programs = spec_suite();
+    let machines: Vec<MachineConfig> = table1_configs()
+        .into_iter()
+        .map(|(_, m)| m)
+        .filter(|m| !m.is_unified())
+        .collect();
+    table2_for(&programs, &machines)
+}
+
+/// **Table 1** as data: every configuration with its resource shape.
+pub fn table1() -> Vec<(String, String)> {
+    table1_configs()
+        .into_iter()
+        .map(|(_, m)| (m.short_name(), m.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_workloads::kernels;
+
+    #[test]
+    fn table1_lists_ten_configs() {
+        let t = table1();
+        assert_eq!(t.len(), 10);
+        assert!(t.iter().any(|(n, _)| n == "u-r32"));
+        assert!(t.iter().any(|(n, _)| n == "c4r64b1l2"));
+    }
+
+    #[test]
+    fn table2_rows_positive_and_ordered() {
+        let programs = vec![Program {
+            name: "mini",
+            loops: vec![kernels::daxpy(100), kernels::fir(80, 6)],
+        }];
+        let machines = vec![
+            MachineConfig::two_cluster(32, 1, 1),
+            MachineConfig::four_cluster(32, 1, 1),
+        ];
+        let rows = table2_for(&programs, &machines);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].machine, "c2r32b1l1");
+        for r in &rows {
+            assert!(r.uracam_ms > 0.0 && r.fixed_ms > 0.0 && r.gp_ms > 0.0);
+            assert!(r.uracam_slowdown() > 0.0);
+        }
+    }
+}

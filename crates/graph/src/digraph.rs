@@ -1,0 +1,332 @@
+//! Directed multigraph with node and edge payloads.
+
+use crate::ids::{EdgeId, NodeId};
+
+#[derive(Clone, Debug)]
+struct EdgeRecord<E> {
+    src: NodeId,
+    dst: NodeId,
+    weight: E,
+}
+
+/// A directed multigraph with payloads on nodes and edges.
+///
+/// Nodes and edges are stored densely and are never removed; identifiers are
+/// therefore stable across the lifetime of the graph. Parallel edges and
+/// self-loops are allowed (loop-carried self-dependences are common in loop
+/// DDGs).
+///
+/// # Example
+///
+/// ```
+/// use gpsched_graph::DiGraph;
+///
+/// let mut g: DiGraph<&str, u32> = DiGraph::new();
+/// let load = g.add_node("load");
+/// let add = g.add_node("add");
+/// let e = g.add_edge(load, add, 2);
+/// assert_eq!(g.edge_endpoints(e), (load, add));
+/// assert_eq!(g.out_degree(load), 1);
+/// assert_eq!(*g.edge_weight(e), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<EdgeRecord<E>>,
+    out: Vec<Vec<EdgeId>>,
+    inc: Vec<Vec<EdgeId>>,
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out: Vec::new(),
+            inc: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            out: Vec::with_capacity(nodes),
+            inc: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Adds a node carrying `weight` and returns its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(weight);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge `src → dst` carrying `weight` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of this graph.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: E) -> EdgeId {
+        assert!(src.index() < self.nodes.len(), "src {src} out of bounds");
+        assert!(dst.index() < self.nodes.len(), "dst {dst} out of bounds");
+        let id = EdgeId::from_index(self.edges.len());
+        self.edges.push(EdgeRecord { src, dst, weight });
+        self.out[src.index()].push(id);
+        self.inc[dst.index()].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrows the payload of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn node_weight(&self, n: NodeId) -> &N {
+        &self.nodes[n.index()]
+    }
+
+    /// Mutably borrows the payload of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn node_weight_mut(&mut self, n: NodeId) -> &mut N {
+        &mut self.nodes[n.index()]
+    }
+
+    /// Borrows the payload of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn edge_weight(&self, e: EdgeId) -> &E {
+        &self.edges[e.index()].weight
+    }
+
+    /// Mutably borrows the payload of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn edge_weight_mut(&mut self, e: EdgeId) -> &mut E {
+        &mut self.edges[e.index()].weight
+    }
+
+    /// Returns `(src, dst)` of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let rec = &self.edges[e.index()];
+        (rec.src, rec.dst)
+    }
+
+    /// Source node of edge `e`.
+    pub fn edge_source(&self, e: EdgeId) -> NodeId {
+        self.edges[e.index()].src
+    }
+
+    /// Destination node of edge `e`.
+    pub fn edge_target(&self, e: EdgeId) -> NodeId {
+        self.edges[e.index()].dst
+    }
+
+    /// Iterates over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all edge ids in insertion order.
+    pub fn edge_ids(&self) -> impl DoubleEndedIterator<Item = EdgeId> + ExactSizeIterator {
+        (0..self.edges.len()).map(EdgeId::from_index)
+    }
+
+    /// Iterates over node payloads in insertion order.
+    pub fn node_weights(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Iterates over the outgoing edges of `n` as `(edge, target)` pairs.
+    pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.out[n.index()]
+            .iter()
+            .map(move |&e| (e, self.edges[e.index()].dst))
+    }
+
+    /// Iterates over the incoming edges of `n` as `(edge, source)` pairs.
+    pub fn in_edges(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.inc[n.index()]
+            .iter()
+            .map(move |&e| (e, self.edges[e.index()].src))
+    }
+
+    /// Out-degree of `n`.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out[n.index()].len()
+    }
+
+    /// In-degree of `n`.
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.inc[n.index()].len()
+    }
+
+    /// Iterates over the distinct successor nodes reported once per edge
+    /// (parallel edges yield the same node twice).
+    pub fn successors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges(n).map(|(_, t)| t)
+    }
+
+    /// Iterates over the predecessor nodes, once per incoming edge.
+    pub fn predecessors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges(n).map(|(_, s)| s)
+    }
+
+    /// Maps node and edge payloads into a new graph with identical topology.
+    pub fn map<N2, E2>(
+        &self,
+        mut node_map: impl FnMut(NodeId, &N) -> N2,
+        mut edge_map: impl FnMut(EdgeId, &E) -> E2,
+    ) -> DiGraph<N2, E2> {
+        DiGraph {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| node_map(NodeId::from_index(i), n))
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, rec)| EdgeRecord {
+                    src: rec.src,
+                    dst: rec.dst,
+                    weight: edge_map(EdgeId::from_index(i), &rec.weight),
+                })
+                .collect(),
+            out: self.out.clone(),
+            inc: self.inc.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph<u32, u32>, [NodeId; 4]) {
+        // a → b → d, a → c → d
+        let mut g = DiGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        let c = g.add_node(2);
+        let d = g.add_node(3);
+        g.add_edge(a, b, 10);
+        g.add_edge(a, c, 11);
+        g.add_edge(b, d, 12);
+        g.add_edge(c, d, 13);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let (g, [a, b, _c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(a), 0);
+        assert_eq!(g.out_degree(b), 1);
+        assert_eq!(g.in_degree(d), 2);
+        assert!(!g.is_empty());
+        assert!(DiGraph::<u32, u32>::new().is_empty());
+    }
+
+    #[test]
+    fn endpoints_and_weights() {
+        let (mut g, [a, b, ..]) = diamond();
+        let e = g.add_edge(b, a, 99);
+        assert_eq!(g.edge_endpoints(e), (b, a));
+        assert_eq!(g.edge_source(e), b);
+        assert_eq!(g.edge_target(e), a);
+        assert_eq!(*g.edge_weight(e), 99);
+        *g.edge_weight_mut(e) = 100;
+        assert_eq!(*g.edge_weight(e), 100);
+        *g.node_weight_mut(a) = 7;
+        assert_eq!(*g.node_weight(a), 7);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges() {
+        let mut g: DiGraph<(), u32> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, a, 1); // self loop
+        g.add_edge(a, b, 2);
+        g.add_edge(a, b, 3); // parallel
+        assert_eq!(g.out_degree(a), 3);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.in_degree(b), 2);
+        let succ: Vec<_> = g.successors(a).collect();
+        assert_eq!(succ, vec![a, b, b]);
+    }
+
+    #[test]
+    fn iteration_orders_are_stable() {
+        let (g, [a, b, c, d]) = diamond();
+        let ids: Vec<_> = g.node_ids().collect();
+        assert_eq!(ids, vec![a, b, c, d]);
+        let outs: Vec<_> = g.out_edges(a).map(|(e, t)| (e.index(), t)).collect();
+        assert_eq!(outs, vec![(0, b), (1, c)]);
+        let ins: Vec<_> = g.in_edges(d).map(|(_, s)| s).collect();
+        assert_eq!(ins, vec![b, c]);
+    }
+
+    #[test]
+    fn map_preserves_topology() {
+        let (g, [a, _, _, d]) = diamond();
+        let g2 = g.map(|id, w| (id.index() as u32) + w, |_, w| *w as u64 * 2);
+        assert_eq!(g2.node_count(), 4);
+        assert_eq!(g2.edge_count(), 4);
+        assert_eq!(*g2.node_weight(a), 0);
+        assert_eq!(*g2.node_weight(d), 6);
+        assert_eq!(*g2.edge_weight(EdgeId::from_index(0)), 20);
+        assert_eq!(g2.edge_endpoints(EdgeId::from_index(3)), g.edge_endpoints(EdgeId::from_index(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_edge_validates_endpoints() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId::from_index(5), ());
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let g: DiGraph<(), ()> = DiGraph::with_capacity(16, 32);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

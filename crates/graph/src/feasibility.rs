@@ -1,0 +1,174 @@
+//! Positive-cycle detection in modulo-scheduling constraint graphs.
+//!
+//! For a candidate initiation interval `II`, every dependence edge
+//! `u → v` with latency `lat` and iteration distance `dist` induces the
+//! constraint `t(v) ≥ t(u) + lat − II·dist`. An II is *recurrence-feasible*
+//! iff the constraint graph with edge weight `lat − II·dist` has no positive
+//! cycle. `RecMII` is the smallest feasible II; the DDG crate finds it by
+//! binary search over this predicate.
+
+/// A constraint edge `(src, dst, weight)` over dense node indices.
+pub type ConstraintEdge = (usize, usize, i64);
+
+/// Returns `true` if the directed graph given by `edges` over `n` nodes
+/// contains a cycle of strictly positive total weight.
+///
+/// Runs Bellman–Ford in longest-path mode from a virtual super-source: after
+/// `n` rounds any still-relaxable edge proves a positive cycle. `O(n·m)`.
+///
+/// # Example
+///
+/// ```
+/// use gpsched_graph::feasibility::has_positive_cycle;
+///
+/// // Cycle a→b→a with weights 2 and −1: total +1 → positive cycle.
+/// assert!(has_positive_cycle(2, &[(0, 1, 2), (1, 0, -1)]));
+/// // Total 0 → fine.
+/// assert!(!has_positive_cycle(2, &[(0, 1, 1), (1, 0, -1)]));
+/// ```
+pub fn has_positive_cycle(n: usize, edges: &[ConstraintEdge]) -> bool {
+    longest_from_all_sources(n, edges).is_none()
+}
+
+/// Longest distances from a virtual source connected to every node with a
+/// 0-weight edge, or `None` if a positive cycle exists.
+///
+/// The result is the least vector `d` with `d[v] ≥ 0` and
+/// `d[v] ≥ d[u] + w` for every edge — i.e., valid earliest start times for
+/// the modulo constraint system.
+pub fn longest_from_all_sources(n: usize, edges: &[ConstraintEdge]) -> Option<Vec<i64>> {
+    let mut dist = vec![0i64; n];
+    // Bellman-Ford: at most n-1 relaxation rounds, plus one to detect cycles.
+    for round in 0..=n {
+        let mut changed = false;
+        for &(u, v, w) in edges {
+            let cand = dist[u] + w;
+            if cand > dist[v] {
+                dist[v] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(dist);
+        }
+        if round == n {
+            return None;
+        }
+    }
+    Some(dist)
+}
+
+/// Finds the smallest `ii ≥ lower` such that
+/// `has_positive_cycle(n, edges(ii)) == false`, where `edges(ii)` assigns
+/// weight `lat − ii·dist` to each `(src, dst, lat, dist)` tuple.
+///
+/// `upper` bounds the search; returns `None` if even `upper` is infeasible
+/// (which cannot happen if `upper ≥ Σ lat` and every cycle has positive
+/// total distance — i.e., the distance-0 subgraph is acyclic).
+pub fn min_feasible_ii(
+    n: usize,
+    deps: &[(usize, usize, i64, i64)],
+    lower: i64,
+    upper: i64,
+) -> Option<i64> {
+    let feasible = |ii: i64| {
+        let edges: Vec<ConstraintEdge> = deps
+            .iter()
+            .map(|&(u, v, lat, dist)| (u, v, lat - ii * dist))
+            .collect();
+        !has_positive_cycle(n, &edges)
+    };
+    if lower > upper {
+        return None;
+    }
+    if feasible(lower) {
+        return Some(lower);
+    }
+    if !feasible(upper) {
+        return None;
+    }
+    // Invariant: lo infeasible, hi feasible.
+    let (mut lo, mut hi) = (lower, upper);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_cycle() {
+        assert!(!has_positive_cycle(0, &[]));
+        assert!(!has_positive_cycle(3, &[]));
+    }
+
+    #[test]
+    fn zero_weight_cycle_is_fine() {
+        assert!(!has_positive_cycle(3, &[(0, 1, 5), (1, 2, -2), (2, 0, -3)]));
+    }
+
+    #[test]
+    fn positive_self_loop() {
+        assert!(has_positive_cycle(1, &[(0, 0, 1)]));
+        assert!(!has_positive_cycle(1, &[(0, 0, 0)]));
+        assert!(!has_positive_cycle(1, &[(0, 0, -2)]));
+    }
+
+    #[test]
+    fn distances_satisfy_constraints() {
+        let edges = [(0, 1, 3), (1, 2, 2), (0, 2, 4)];
+        let d = longest_from_all_sources(3, &edges).unwrap();
+        for &(u, v, w) in &edges {
+            assert!(d[v] >= d[u] + w);
+        }
+        assert_eq!(d, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn min_feasible_ii_simple_recurrence() {
+        // a → b (lat 3, dist 0); b → a (lat 1, dist 1).
+        // Cycle latency 4, distance 1 → RecMII = 4.
+        let deps = [(0, 1, 3, 0), (1, 0, 1, 1)];
+        assert_eq!(min_feasible_ii(2, &deps, 1, 100), Some(4));
+    }
+
+    #[test]
+    fn min_feasible_ii_respects_lower_bound() {
+        let deps = [(0, 1, 3, 0), (1, 0, 1, 1)];
+        assert_eq!(min_feasible_ii(2, &deps, 7, 100), Some(7));
+    }
+
+    #[test]
+    fn min_feasible_ii_multiple_recurrences_takes_worst() {
+        // Cycle A: lat 6 over dist 2 → needs II ≥ 3.
+        // Cycle B: lat 5 over dist 1 → needs II ≥ 5.
+        let deps = [
+            (0, 1, 3, 0),
+            (1, 0, 3, 2),
+            (2, 3, 4, 0),
+            (3, 2, 1, 1),
+        ];
+        assert_eq!(min_feasible_ii(4, &deps, 1, 100), Some(5));
+    }
+
+    #[test]
+    fn min_feasible_ii_infeasible_when_distance_zero_cycle() {
+        // A distance-0 cycle can never be scheduled at any II.
+        let deps = [(0, 1, 1, 0), (1, 0, 1, 0)];
+        assert_eq!(min_feasible_ii(2, &deps, 1, 64), None);
+    }
+
+    #[test]
+    fn acyclic_graph_feasible_at_lower() {
+        let deps = [(0, 1, 9, 0), (1, 2, 9, 0)];
+        assert_eq!(min_feasible_ii(3, &deps, 1, 64), Some(1));
+    }
+}

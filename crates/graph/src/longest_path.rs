@@ -1,0 +1,190 @@
+//! Longest-path computations on edge-filtered DAGs.
+//!
+//! The paper's execution-time model for a software-pipelined loop is
+//! `T = (niter − 1)·II + max_path`, where `max_path` is the length of the
+//! longest dependence chain through one iteration. These helpers compute the
+//! forward potential (`earliest finish` from the sources), the backward
+//! potential (`longest tail` to the sinks) and the overall critical length,
+//! over the subgraph of edges accepted by a filter (normally distance-0
+//! edges, with bus latency added to cut edges by the partitioner).
+
+use crate::digraph::DiGraph;
+use crate::ids::{EdgeId, NodeId};
+use crate::topo::topo_order;
+
+/// Per-node longest-path potentials over a filtered sub-DAG.
+#[derive(Clone, Debug)]
+pub struct Potentials {
+    /// `from_source[v]` = length of the longest path ending at `v`
+    /// (0 for sources): the earliest start time of `v`.
+    pub from_source: Vec<i64>,
+    /// `to_sink[v]` = length of the longest path starting at `v`
+    /// (0 for sinks).
+    pub to_sink: Vec<i64>,
+    /// `max(from_source[v] + to_sink[v])`: the critical path length.
+    pub critical: i64,
+}
+
+impl Potentials {
+    /// Longest path length passing through node `v`.
+    pub fn through(&self, v: NodeId) -> i64 {
+        self.from_source[v.index()] + self.to_sink[v.index()]
+    }
+}
+
+/// Computes longest-path potentials of the subgraph of `g` restricted to the
+/// edges accepted by `keep`, with per-edge length `len`.
+///
+/// Returns `None` if the filtered subgraph is cyclic.
+///
+/// Lengths may be negative; `critical` is at least 0 (the empty path).
+///
+/// # Example
+///
+/// ```
+/// use gpsched_graph::{DiGraph, longest_path::potentials};
+///
+/// let mut g: DiGraph<(), i64> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, 3);
+/// g.add_edge(b, c, 2);
+/// g.add_edge(a, c, 1);
+/// let p = potentials(&g, |_, _| true, |_, &w| w).unwrap();
+/// assert_eq!(p.critical, 5);
+/// assert_eq!(p.from_source[c.index()], 5);
+/// assert_eq!(p.to_sink[a.index()], 5);
+/// ```
+pub fn potentials<N, E>(
+    g: &DiGraph<N, E>,
+    mut keep: impl FnMut(EdgeId, &E) -> bool,
+    mut len: impl FnMut(EdgeId, &E) -> i64,
+) -> Option<Potentials> {
+    let order = topo_order(g, |e, w| keep(e, w))?;
+    let n = g.node_count();
+    let mut kept = vec![false; g.edge_count()];
+    let mut lens = vec![0i64; g.edge_count()];
+    for e in g.edge_ids() {
+        let w = g.edge_weight(e);
+        if keep(e, w) {
+            kept[e.index()] = true;
+            lens[e.index()] = len(e, w);
+        }
+    }
+
+    let mut from_source = vec![0i64; n];
+    for &v in &order {
+        for (e, w) in g.out_edges(v) {
+            if kept[e.index()] {
+                let cand = from_source[v.index()] + lens[e.index()];
+                if cand > from_source[w.index()] {
+                    from_source[w.index()] = cand;
+                }
+            }
+        }
+    }
+    let mut to_sink = vec![0i64; n];
+    for &v in order.iter().rev() {
+        for (e, w) in g.out_edges(v) {
+            if kept[e.index()] {
+                let cand = to_sink[w.index()] + lens[e.index()];
+                if cand > to_sink[v.index()] {
+                    to_sink[v.index()] = cand;
+                }
+            }
+        }
+    }
+    let critical = (0..n)
+        .map(|v| from_source[v] + to_sink[v])
+        .max()
+        .unwrap_or(0)
+        .max(0);
+    Some(Potentials {
+        from_source,
+        to_sink,
+        critical,
+    })
+}
+
+/// Critical (longest) path length of the filtered subgraph, or `None` if it
+/// is cyclic.
+pub fn critical_path<N, E>(
+    g: &DiGraph<N, E>,
+    keep: impl FnMut(EdgeId, &E) -> bool,
+    len: impl FnMut(EdgeId, &E) -> i64,
+) -> Option<i64> {
+    potentials(g, keep, len).map(|p| p.critical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(lens: &[i64]) -> DiGraph<(), i64> {
+        let mut g = DiGraph::new();
+        let mut prev = g.add_node(());
+        for &l in lens {
+            let next = g.add_node(());
+            g.add_edge(prev, next, l);
+            prev = next;
+        }
+        g
+    }
+
+    #[test]
+    fn chain_critical_is_sum() {
+        let g = chain(&[1, 2, 3, 4]);
+        assert_eq!(critical_path(&g, |_, _| true, |_, &w| w), Some(10));
+    }
+
+    #[test]
+    fn through_matches_critical_on_critical_nodes() {
+        let mut g: DiGraph<(), i64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 5);
+        g.add_edge(b, d, 5);
+        g.add_edge(a, c, 1);
+        g.add_edge(c, d, 1);
+        let p = potentials(&g, |_, _| true, |_, &w| w).unwrap();
+        assert_eq!(p.critical, 10);
+        assert_eq!(p.through(b), 10);
+        assert_eq!(p.through(c), 2);
+    }
+
+    #[test]
+    fn cyclic_subgraph_is_rejected() {
+        let mut g: DiGraph<(), i64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(b, a, 1);
+        assert!(potentials(&g, |_, _| true, |_, &w| w).is_none());
+    }
+
+    #[test]
+    fn filter_excludes_back_edge() {
+        let mut g: DiGraph<(), (i64, u32)> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, (4, 0));
+        g.add_edge(b, a, (1, 1)); // loop-carried
+        let p = potentials(&g, |_, &(_, d)| d == 0, |_, &(l, _)| l).unwrap();
+        assert_eq!(p.critical, 4);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_critical() {
+        let g: DiGraph<(), i64> = DiGraph::new();
+        assert_eq!(critical_path(&g, |_, _| true, |_, &w| w), Some(0));
+    }
+
+    #[test]
+    fn negative_lengths_never_beat_empty_path() {
+        let g = chain(&[-5, -3]);
+        assert_eq!(critical_path(&g, |_, _| true, |_, &w| w), Some(0));
+    }
+}

@@ -1,0 +1,197 @@
+//! Tarjan's strongly connected components, iteratively implemented.
+//!
+//! In a loop DDG the non-trivial SCCs are exactly the *recurrences*
+//! (loop-carried dependence cycles). The Swing Modulo Scheduler orders
+//! recurrences by criticality, and the partitioner's `RecMII` is determined
+//! by the worst cycle inside these components.
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+
+/// Computes the strongly connected components of `g` with Tarjan's
+/// algorithm (iterative, so deep graphs cannot overflow the stack).
+///
+/// Components are returned in reverse topological order of the condensation
+/// (every edge of `g` goes from a later component to an earlier one or stays
+/// inside a component), and each component lists nodes in discovery order.
+///
+/// # Example
+///
+/// ```
+/// use gpsched_graph::{DiGraph, scc::tarjan_scc};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, ());
+/// g.add_edge(b, a, ());
+/// g.add_edge(b, c, ());
+/// let comps = tarjan_scc(&g);
+/// assert_eq!(comps.len(), 2);
+/// assert!(comps[0] == vec![c]); // sink component first
+/// ```
+pub fn tarjan_scc<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    const UNVISITED: usize = usize::MAX;
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Successor lists are materialized once so each DFS step is O(1).
+    let succ: Vec<Vec<usize>> = (0..n)
+        .map(|v| {
+            g.successors(NodeId::from_index(v))
+                .map(|w| w.index())
+                .collect()
+        })
+        .collect();
+
+    // Explicit DFS frame: (node, iterator position over its out-edges).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos < succ[v].len() {
+                let w = succ[v][*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(NodeId::from_index(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.reverse();
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Returns, for every node, the index of its component in the vector
+/// produced by [`tarjan_scc`].
+pub fn component_index<N, E>(g: &DiGraph<N, E>) -> (Vec<Vec<NodeId>>, Vec<usize>) {
+    let comps = tarjan_scc(g);
+    let mut idx = vec![0usize; g.node_count()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &n in comp {
+            idx[n.index()] = ci;
+        }
+    }
+    (comps, idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_no_loop_is_trivial_component() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        g.add_node(());
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 1);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // (a ↔ b) → (c ↔ d)
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, d, ());
+        g.add_edge(d, c, ());
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 2);
+        // Reverse topological: the {c,d} sink component comes first.
+        let first: Vec<_> = comps[0].clone();
+        assert!(first.contains(&c) && first.contains(&d));
+        assert!(comps[1].contains(&a) && comps[1].contains(&b));
+    }
+
+    #[test]
+    fn dag_gives_singletons_in_reverse_topo_order() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps, vec![vec![c], vec![b], vec![a]]);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_component() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps, vec![vec![a]]);
+    }
+
+    #[test]
+    fn component_index_is_consistent() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        let c = g.add_node(());
+        g.add_edge(b, c, ());
+        let (comps, idx) = component_index(&g);
+        assert_eq!(idx[a.index()], idx[b.index()]);
+        assert_ne!(idx[a.index()], idx[c.index()]);
+        assert!(comps[idx[c.index()]].contains(&c));
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow_stack() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let nodes: Vec<_> = (0..50_000).map(|_| g.add_node(())).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 50_000);
+    }
+}

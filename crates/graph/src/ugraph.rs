@@ -1,0 +1,211 @@
+//! Undirected weighted graph used by the multilevel partitioner.
+
+use std::collections::HashMap;
+
+use crate::ids::{EdgeId, NodeId};
+
+/// An undirected edge with an integer weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnEdge {
+    /// One endpoint (the smaller `NodeId` by convention after normalization).
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Edge weight. The partitioner stores the paper's
+    /// `delay·(maxsl+1) + maxsl − slack + 1` metric here.
+    pub weight: i64,
+}
+
+/// An undirected weighted graph with node weights.
+///
+/// Parallel edges between the same pair of nodes are merged on insertion by
+/// adding their weights, matching the coarsening rule of the paper (§2.1.2:
+/// "they are combined into a single edge whose weight is equal to the sum of
+/// the weights of the original edges"). Self-loops are dropped (edges inside
+/// a macro-node disappear).
+///
+/// # Example
+///
+/// ```
+/// use gpsched_graph::UnGraph;
+///
+/// let mut g = UnGraph::new();
+/// let a = g.add_node(1);
+/// let b = g.add_node(1);
+/// g.add_edge(a, b, 5);
+/// g.add_edge(b, a, 7); // merged with the first edge
+/// assert_eq!(g.edge_count(), 1);
+/// assert_eq!(g.edges().next().unwrap().weight, 12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct UnGraph {
+    node_weights: Vec<i64>,
+    edges: Vec<UnEdge>,
+    adjacency: Vec<Vec<EdgeId>>,
+    index: HashMap<(NodeId, NodeId), EdgeId>,
+}
+
+impl UnGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        UnGraph::default()
+    }
+
+    /// Adds a node with the given weight (the partitioner stores resource
+    /// occupancy there) and returns its id.
+    pub fn add_node(&mut self, weight: i64) -> NodeId {
+        let id = NodeId::from_index(self.node_weights.len());
+        self.node_weights.push(weight);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge, merging with an existing parallel edge and
+    /// dropping self-loops.
+    ///
+    /// Returns the id of the (possibly pre-existing) edge, or `None` for a
+    /// dropped self-loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: i64) -> Option<EdgeId> {
+        assert!(u.index() < self.node_weights.len(), "u {u} out of bounds");
+        assert!(v.index() < self.node_weights.len(), "v {v} out of bounds");
+        if u == v {
+            return None;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if let Some(&e) = self.index.get(&key) {
+            self.edges[e.index()].weight += weight;
+            return Some(e);
+        }
+        let e = EdgeId::from_index(self.edges.len());
+        self.edges.push(UnEdge {
+            u: key.0,
+            v: key.1,
+            weight,
+        });
+        self.adjacency[u.index()].push(e);
+        self.adjacency[v.index()].push(e);
+        self.index.insert(key, e);
+        Some(e)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// Number of (merged) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Weight of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn node_weight(&self, n: NodeId) -> i64 {
+        self.node_weights[n.index()]
+    }
+
+    /// Sum of all node weights (invariant under coarsening).
+    pub fn total_node_weight(&self) -> i64 {
+        self.node_weights.iter().sum()
+    }
+
+    /// The edge record for `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn edge(&self, e: EdgeId) -> UnEdge {
+        self.edges[e.index()]
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator {
+        (0..self.node_weights.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = UnEdge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Iterates over edges incident to `n` as `(edge id, other endpoint,
+    /// weight)` triples.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId, i64)> + '_ {
+        self.adjacency[n.index()].iter().map(move |&e| {
+            let rec = self.edges[e.index()];
+            let other = if rec.u == n { rec.v } else { rec.u };
+            (e, other, rec.weight)
+        })
+    }
+
+    /// Degree (number of distinct neighbors) of `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_parallel_edges() {
+        let mut g = UnGraph::new();
+        let a = g.add_node(2);
+        let b = g.add_node(3);
+        let e1 = g.add_edge(a, b, 4).unwrap();
+        let e2 = g.add_edge(b, a, 6).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge(e1).weight, 10);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let mut g = UnGraph::new();
+        let a = g.add_node(1);
+        assert!(g.add_edge(a, a, 4).is_none());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn neighbors_report_other_endpoint() {
+        let mut g = UnGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(1);
+        let c = g.add_node(1);
+        g.add_edge(a, b, 1);
+        g.add_edge(c, a, 2);
+        let mut seen: Vec<_> = g.neighbors(a).map(|(_, n, w)| (n, w)).collect();
+        seen.sort();
+        assert_eq!(seen, vec![(b, 1), (c, 2)]);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.degree(b), 1);
+    }
+
+    #[test]
+    fn total_node_weight_sums() {
+        let mut g = UnGraph::new();
+        g.add_node(2);
+        g.add_node(5);
+        g.add_node(-1);
+        assert_eq!(g.total_node_weight(), 6);
+    }
+
+    #[test]
+    fn normalizes_endpoint_order() {
+        let mut g = UnGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(0);
+        let e = g.add_edge(b, a, 1).unwrap();
+        let rec = g.edge(e);
+        assert_eq!((rec.u, rec.v), (a, b));
+    }
+}

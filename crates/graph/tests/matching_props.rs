@@ -1,0 +1,101 @@
+//! Property tests for the matching algorithms: the exact blossom matching is
+//! compared against a brute-force optimum on small random graphs, and both
+//! algorithms are checked for structural soundness on larger ones.
+
+use gpsched_graph::matching::{greedy_matching, maximum_weight_matching, WeightedEdge};
+use proptest::prelude::*;
+
+/// Brute-force maximum weight matching by recursive edge enumeration.
+fn brute_force_weight(n: usize, edges: &[WeightedEdge]) -> i64 {
+    fn go(edges: &[WeightedEdge], used: &mut Vec<bool>, k: usize) -> i64 {
+        if k == edges.len() {
+            return 0;
+        }
+        let skip = go(edges, used, k + 1);
+        let (u, v, w) = edges[k];
+        if u != v && w > 0 && !used[u] && !used[v] {
+            used[u] = true;
+            used[v] = true;
+            let take = w + go(edges, used, k + 1);
+            used[u] = false;
+            used[v] = false;
+            skip.max(take)
+        } else {
+            skip
+        }
+    }
+    go(edges, &mut vec![false; n], 0)
+}
+
+/// Deduplicates parallel edges keeping the max weight (matching semantics).
+fn dedup(n: usize, edges: Vec<(usize, usize, i64)>) -> Vec<WeightedEdge> {
+    let mut best = std::collections::HashMap::new();
+    for (u, v, w) in edges {
+        let u = u % n;
+        let v = v % n;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        let e = best.entry(key).or_insert(w);
+        *e = (*e).max(w);
+    }
+    best.into_iter().map(|((u, v), w)| (u, v, w)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blossom_matches_brute_force(
+        n in 2usize..9,
+        raw in prop::collection::vec((0usize..8, 0usize..8, 1i64..50), 0..14),
+    ) {
+        let edges = dedup(n, raw);
+        let exact = maximum_weight_matching(n, &edges, false);
+        prop_assert_eq!(exact.weight(&edges), brute_force_weight(n, &edges));
+    }
+
+    #[test]
+    fn blossom_at_least_greedy(
+        n in 2usize..40,
+        raw in prop::collection::vec((0usize..40, 0usize..40, 1i64..100), 0..120),
+    ) {
+        let edges = dedup(n, raw);
+        let exact = maximum_weight_matching(n, &edges, false);
+        let greedy = greedy_matching(n, &edges);
+        prop_assert!(exact.weight(&edges) >= greedy.weight(&edges));
+        // Greedy is a 1/2-approximation.
+        prop_assert!(2 * greedy.weight(&edges) >= exact.weight(&edges));
+    }
+
+    #[test]
+    fn matchings_are_valid(
+        n in 1usize..30,
+        raw in prop::collection::vec((0usize..30, 0usize..30, 1i64..60), 0..90),
+    ) {
+        let edges = dedup(n, raw);
+        let edge_set: std::collections::HashSet<(usize, usize)> =
+            edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
+        for m in [maximum_weight_matching(n, &edges, false), greedy_matching(n, &edges)] {
+            for v in 0..n {
+                if let Some(u) = m.mate(v) {
+                    // Symmetric and supported by a real edge.
+                    prop_assert_eq!(m.mate(u), Some(v));
+                    prop_assert!(edge_set.contains(&(u.min(v), u.max(v))));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_cardinality_never_smaller(
+        n in 2usize..12,
+        raw in prop::collection::vec((0usize..12, 0usize..12, 1i64..30), 0..20),
+    ) {
+        let edges = dedup(n, raw);
+        let plain = maximum_weight_matching(n, &edges, false);
+        let card = maximum_weight_matching(n, &edges, true);
+        prop_assert!(card.pair_count() >= plain.pair_count());
+    }
+}

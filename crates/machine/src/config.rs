@@ -1,0 +1,345 @@
+//! Machine and cluster configuration types.
+
+use crate::latency::LatencyModel;
+use crate::op::OpClass;
+use crate::resources::ResourceKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Resources owned by one cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of integer ALUs.
+    pub int_units: u32,
+    /// Number of floating-point ALUs.
+    pub fp_units: u32,
+    /// Number of memory ports.
+    pub mem_units: u32,
+    /// Number of registers in this cluster's register file.
+    pub registers: u32,
+}
+
+impl ClusterConfig {
+    /// Number of units of the given kind.
+    pub fn units(&self, kind: ResourceKind) -> u32 {
+        match kind {
+            ResourceKind::IntAlu => self.int_units,
+            ResourceKind::FpAlu => self.fp_units,
+            ResourceKind::MemPort => self.mem_units,
+        }
+    }
+
+    /// Total functional units (the cluster's issue width).
+    pub fn issue_width(&self) -> u32 {
+        self.int_units + self.fp_units + self.mem_units
+    }
+}
+
+/// A clustered VLIW machine: a set of clusters plus the inter-cluster
+/// interconnect and the latency model.
+///
+/// Construct with [`MachineConfig::unified`], [`MachineConfig::two_cluster`],
+/// [`MachineConfig::four_cluster`] (the paper's Table 1 presets) or
+/// [`MachineConfig::custom`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    clusters: Vec<ClusterConfig>,
+    /// Number of inter-cluster buses.
+    pub buses: u32,
+    /// Latency, in cycles, of one inter-cluster transfer. The bus is
+    /// non-pipelined: a transfer occupies a bus for this many cycles.
+    pub bus_latency: u32,
+    /// Operation latencies.
+    pub latencies: LatencyModel,
+}
+
+impl MachineConfig {
+    /// The unified (single-cluster) 12-issue baseline: 4 integer units,
+    /// 4 FP units, 4 memory ports and the whole register file.
+    ///
+    /// The bus fields are irrelevant (there are no inter-cluster
+    /// communications) and set to 1/1.
+    pub fn unified(total_registers: u32) -> Self {
+        MachineConfig {
+            clusters: vec![ClusterConfig {
+                int_units: 4,
+                fp_units: 4,
+                mem_units: 4,
+                registers: total_registers,
+            }],
+            buses: 1,
+            bus_latency: 1,
+            latencies: LatencyModel::default(),
+        }
+    }
+
+    /// The paper's 2-cluster machine: 2 units of each kind and half the
+    /// registers per cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_registers` is not divisible by 2 or `buses == 0`.
+    pub fn two_cluster(total_registers: u32, buses: u32, bus_latency: u32) -> Self {
+        Self::homogeneous(2, (2, 2, 2), total_registers, buses, bus_latency)
+    }
+
+    /// The paper's 4-cluster machine: 1 unit of each kind and a quarter of
+    /// the registers per cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_registers` is not divisible by 4 or `buses == 0`.
+    pub fn four_cluster(total_registers: u32, buses: u32, bus_latency: u32) -> Self {
+        Self::homogeneous(4, (1, 1, 1), total_registers, buses, bus_latency)
+    }
+
+    /// A homogeneous clustered machine with `n` identical clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `buses == 0`, `bus_latency == 0`, or
+    /// `total_registers` is not divisible by `n`.
+    pub fn homogeneous(
+        n: u32,
+        (int_units, fp_units, mem_units): (u32, u32, u32),
+        total_registers: u32,
+        buses: u32,
+        bus_latency: u32,
+    ) -> Self {
+        assert!(n > 0, "need at least one cluster");
+        assert!(buses > 0, "need at least one bus");
+        assert!(bus_latency > 0, "bus latency must be positive");
+        assert_eq!(
+            total_registers % n,
+            0,
+            "registers must divide evenly among clusters"
+        );
+        MachineConfig {
+            clusters: (0..n)
+                .map(|_| ClusterConfig {
+                    int_units,
+                    fp_units,
+                    mem_units,
+                    registers: total_registers / n,
+                })
+                .collect(),
+            buses,
+            bus_latency,
+            latencies: LatencyModel::default(),
+        }
+    }
+
+    /// A fully custom machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty, or if a multi-cluster machine has
+    /// `buses == 0` or `bus_latency == 0`.
+    pub fn custom(
+        clusters: Vec<ClusterConfig>,
+        buses: u32,
+        bus_latency: u32,
+        latencies: LatencyModel,
+    ) -> Self {
+        assert!(!clusters.is_empty(), "need at least one cluster");
+        if clusters.len() > 1 {
+            assert!(buses > 0, "multi-cluster machines need a bus");
+            assert!(bus_latency > 0, "bus latency must be positive");
+        }
+        MachineConfig {
+            clusters,
+            buses,
+            bus_latency,
+            latencies,
+        }
+    }
+
+    /// Replaces the latency model (builder-style).
+    pub fn with_latencies(mut self, latencies: LatencyModel) -> Self {
+        self.latencies = latencies;
+        self
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Returns `true` for the single-cluster baseline.
+    pub fn is_unified(&self) -> bool {
+        self.clusters.len() == 1
+    }
+
+    /// Configuration of cluster `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cluster(&self, i: usize) -> &ClusterConfig {
+        &self.clusters[i]
+    }
+
+    /// Iterates over the clusters.
+    pub fn clusters(&self) -> impl ExactSizeIterator<Item = &ClusterConfig> {
+        self.clusters.iter()
+    }
+
+    /// Total issue width across clusters.
+    pub fn issue_width(&self) -> u32 {
+        self.clusters.iter().map(ClusterConfig::issue_width).sum()
+    }
+
+    /// Total units of `kind` across clusters.
+    pub fn total_units(&self, kind: ResourceKind) -> u32 {
+        self.clusters.iter().map(|c| c.units(kind)).sum()
+    }
+
+    /// Total registers across clusters.
+    pub fn total_registers(&self) -> u32 {
+        self.clusters.iter().map(|c| c.registers).sum()
+    }
+
+    /// Latency of an operation class under this machine's latency model.
+    pub fn latency(&self, op: OpClass) -> u32 {
+        self.latencies.latency(op)
+    }
+
+    /// A short identifier like `c2r32b1l1` (2 clusters, 32 registers, 1 bus
+    /// of latency 1) or `u-r64` for the unified machine, used in reports.
+    pub fn short_name(&self) -> String {
+        if self.is_unified() {
+            format!("u-r{}", self.total_registers())
+        } else {
+            format!(
+                "c{}r{}b{}l{}",
+                self.cluster_count(),
+                self.total_registers(),
+                self.buses,
+                self.bus_latency
+            )
+        }
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unified() {
+            let c = &self.clusters[0];
+            write!(
+                f,
+                "unified 12-issue ({}i/{}f/{}m, {} regs)",
+                c.int_units, c.fp_units, c.mem_units, c.registers
+            )
+        } else {
+            let c = &self.clusters[0];
+            write!(
+                f,
+                "{} clusters × ({}i/{}f/{}m, {} regs), {} bus(es) lat {}",
+                self.clusters.len(),
+                c.int_units,
+                c.fp_units,
+                c.mem_units,
+                c.registers,
+                self.buses,
+                self.bus_latency
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_preset() {
+        let m = MachineConfig::unified(64);
+        assert!(m.is_unified());
+        assert_eq!(m.issue_width(), 12);
+        assert_eq!(m.total_registers(), 64);
+        assert_eq!(m.total_units(ResourceKind::FpAlu), 4);
+        assert_eq!(m.short_name(), "u-r64");
+    }
+
+    #[test]
+    fn two_cluster_preset() {
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        assert_eq!(m.cluster_count(), 2);
+        assert_eq!(m.issue_width(), 12);
+        assert_eq!(m.cluster(1).registers, 16);
+        assert_eq!(m.total_units(ResourceKind::IntAlu), 4);
+        assert_eq!(m.short_name(), "c2r32b1l1");
+    }
+
+    #[test]
+    fn four_cluster_preset() {
+        let m = MachineConfig::four_cluster(64, 1, 2);
+        assert_eq!(m.cluster_count(), 4);
+        assert_eq!(m.issue_width(), 12);
+        assert_eq!(m.cluster(3).registers, 16);
+        assert_eq!(m.cluster(0).units(ResourceKind::MemPort), 1);
+        assert_eq!(m.short_name(), "c4r64b1l2");
+    }
+
+    #[test]
+    fn all_presets_have_equal_total_resources() {
+        let u = MachineConfig::unified(32);
+        let c2 = MachineConfig::two_cluster(32, 1, 1);
+        let c4 = MachineConfig::four_cluster(32, 1, 1);
+        for kind in ResourceKind::ALL {
+            assert_eq!(u.total_units(kind), c2.total_units(kind));
+            assert_eq!(u.total_units(kind), c4.total_units(kind));
+        }
+        assert_eq!(u.total_registers(), c2.total_registers());
+        assert_eq!(u.total_registers(), c4.total_registers());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn registers_must_divide() {
+        MachineConfig::four_cluster(30, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bus")]
+    fn buses_required() {
+        MachineConfig::two_cluster(32, 0, 1);
+    }
+
+    #[test]
+    fn custom_machine_and_display() {
+        let m = MachineConfig::custom(
+            vec![
+                ClusterConfig {
+                    int_units: 3,
+                    fp_units: 1,
+                    mem_units: 2,
+                    registers: 24,
+                },
+                ClusterConfig {
+                    int_units: 1,
+                    fp_units: 3,
+                    mem_units: 2,
+                    registers: 40,
+                },
+            ],
+            2,
+            2,
+            LatencyModel::default(),
+        );
+        assert_eq!(m.issue_width(), 12);
+        assert_eq!(m.total_registers(), 64);
+        assert!(!m.is_unified());
+        assert!(m.to_string().contains("2 clusters"));
+        assert!(MachineConfig::unified(32).to_string().contains("unified"));
+    }
+
+    #[test]
+    fn with_latencies_overrides() {
+        let m = MachineConfig::unified(32).with_latencies(LatencyModel {
+            load: 4,
+            ..LatencyModel::default()
+        });
+        assert_eq!(m.latency(OpClass::Load), 4);
+    }
+}

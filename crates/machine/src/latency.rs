@@ -1,0 +1,94 @@
+//! Operation latencies.
+
+use crate::op::OpClass;
+use serde::{Deserialize, Serialize};
+
+/// Latency (in cycles) of each operation class.
+///
+/// All units are fully pipelined: an operation occupies its functional unit
+/// for one cycle and its result is available `latency` cycles after issue.
+///
+/// The default values follow the companion papers of the same group (see
+/// crate docs): integer 1, fp add/mul 3, fp divide 8, load 2, store 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Integer ALU latency.
+    pub int_alu: u32,
+    /// Floating-point add latency.
+    pub fp_add: u32,
+    /// Floating-point multiply latency.
+    pub fp_mul: u32,
+    /// Floating-point divide latency.
+    pub fp_div: u32,
+    /// Load-use latency (perfect cache).
+    pub load: u32,
+    /// Store latency (address/data consumed at issue).
+    pub store: u32,
+}
+
+impl LatencyModel {
+    /// Latency of an operation class.
+    pub fn latency(&self, op: OpClass) -> u32 {
+        match op {
+            OpClass::IntAlu => self.int_alu,
+            OpClass::FpAdd => self.fp_add,
+            OpClass::FpMul => self.fp_mul,
+            OpClass::FpDiv => self.fp_div,
+            OpClass::Load => self.load,
+            OpClass::Store => self.store,
+        }
+    }
+
+    /// The largest latency of any class (useful as a search bound).
+    pub fn max_latency(&self) -> u32 {
+        OpClass::ALL
+            .iter()
+            .map(|&c| self.latency(c))
+            .max()
+            .expect("OpClass::ALL is non-empty")
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            int_alu: 1,
+            fp_add: 3,
+            fp_mul: 3,
+            fp_div: 8,
+            load: 2,
+            store: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latencies() {
+        let l = LatencyModel::default();
+        assert_eq!(l.latency(OpClass::IntAlu), 1);
+        assert_eq!(l.latency(OpClass::FpAdd), 3);
+        assert_eq!(l.latency(OpClass::FpMul), 3);
+        assert_eq!(l.latency(OpClass::FpDiv), 8);
+        assert_eq!(l.latency(OpClass::Load), 2);
+        assert_eq!(l.latency(OpClass::Store), 1);
+    }
+
+    #[test]
+    fn max_latency_is_fp_div_by_default() {
+        assert_eq!(LatencyModel::default().max_latency(), 8);
+    }
+
+    #[test]
+    fn custom_model() {
+        let l = LatencyModel {
+            load: 5,
+            ..LatencyModel::default()
+        };
+        assert_eq!(l.latency(OpClass::Load), 5);
+        assert_eq!(l.latency(OpClass::Store), 1);
+    }
+}

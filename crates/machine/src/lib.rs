@@ -1,0 +1,42 @@
+//! Clustered VLIW machine model for the `gpsched` workspace.
+//!
+//! Models the processor configurations of Table 1 of *"Graph-Partitioning
+//! Based Instruction Scheduling for Clustered Processors"* (Aletà et al.,
+//! MICRO-34, 2001): 12-issue machines whose functional units, register file
+//! and memory ports are divided homogeneously among 1 (unified), 2 or 4
+//! clusters, connected by one or two non-pipelined buses of latency 1 or 2
+//! cycles. The memory hierarchy is shared and perfect (all hits), as in the
+//! paper.
+//!
+//! The latencies in the paper's Table 1 are unreadable in the available
+//! scan; this model uses the latencies of the same group's companion papers
+//! (Sánchez & González, MICRO-33; Codina et al., PACT'01): integer 1,
+//! floating-point 3 (fully pipelined), load 2, store 1. See `DESIGN.md` §4.
+//!
+//! # Example
+//!
+//! ```
+//! use gpsched_machine::{MachineConfig, OpClass, ResourceKind};
+//!
+//! let m = MachineConfig::two_cluster(32, 1, 1);
+//! assert_eq!(m.cluster_count(), 2);
+//! assert_eq!(m.issue_width(), 12);
+//! assert_eq!(m.cluster(0).units(ResourceKind::MemPort), 2);
+//! assert_eq!(m.cluster(0).registers, 16);
+//! assert_eq!(m.latency(OpClass::Load), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod latency;
+mod op;
+mod presets;
+mod resources;
+
+pub use config::{ClusterConfig, MachineConfig};
+pub use latency::LatencyModel;
+pub use op::OpClass;
+pub use presets::{table1_configs, PresetKind};
+pub use resources::ResourceKind;

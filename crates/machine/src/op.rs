@@ -1,0 +1,101 @@
+//! Operation classes.
+
+use crate::resources::ResourceKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of an operation in a loop body.
+///
+/// The class determines which functional-unit kind the operation occupies
+/// and its latency under a [`crate::LatencyModel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer ALU operation (add, shift, compare, address arithmetic…).
+    IntAlu,
+    /// Floating-point add/subtract.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root (long latency).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+}
+
+impl OpClass {
+    /// All operation classes.
+    pub const ALL: [OpClass; 6] = [
+        OpClass::IntAlu,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+    ];
+
+    /// The functional-unit kind this class occupies.
+    pub fn resource(self) -> ResourceKind {
+        match self {
+            OpClass::IntAlu => ResourceKind::IntAlu,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => ResourceKind::FpAlu,
+            OpClass::Load | OpClass::Store => ResourceKind::MemPort,
+        }
+    }
+
+    /// Returns `true` for loads and stores.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Returns `true` if the operation defines a register value consumed by
+    /// other operations (stores do not).
+    pub fn defines_value(self) -> bool {
+        !matches!(self, OpClass::Store)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_mapping() {
+        assert_eq!(OpClass::IntAlu.resource(), ResourceKind::IntAlu);
+        assert_eq!(OpClass::FpAdd.resource(), ResourceKind::FpAlu);
+        assert_eq!(OpClass::FpMul.resource(), ResourceKind::FpAlu);
+        assert_eq!(OpClass::FpDiv.resource(), ResourceKind::FpAlu);
+        assert_eq!(OpClass::Load.resource(), ResourceKind::MemPort);
+        assert_eq!(OpClass::Store.resource(), ResourceKind::MemPort);
+    }
+
+    #[test]
+    fn memory_and_value_predicates() {
+        assert!(OpClass::Load.is_memory());
+        assert!(OpClass::Store.is_memory());
+        assert!(!OpClass::FpAdd.is_memory());
+        assert!(OpClass::Load.defines_value());
+        assert!(!OpClass::Store.defines_value());
+        assert!(OpClass::IntAlu.defines_value());
+    }
+
+    #[test]
+    fn all_covers_every_class() {
+        assert_eq!(OpClass::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,104 @@
+//! The configuration matrix of the paper's evaluation (Table 1 + §4.1).
+
+use crate::config::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's machine shapes a configuration instantiates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PresetKind {
+    /// Single cluster with all 12 units (the IPC upper bound).
+    Unified,
+    /// Two clusters of 2i/2f/2m each.
+    TwoCluster,
+    /// Four clusters of 1i/1f/1m each.
+    FourCluster,
+}
+
+/// Returns every machine configuration evaluated in the paper:
+/// unified/2-cluster/4-cluster × {32, 64} registers × 1 bus × latency {1, 2}.
+///
+/// The unified machine has no bus, so it appears once per register count.
+/// The order is deterministic: unified first, then 2-cluster, then
+/// 4-cluster, each sorted by (registers, bus latency).
+///
+/// # Example
+///
+/// ```
+/// use gpsched_machine::table1_configs;
+///
+/// let configs = table1_configs();
+/// assert_eq!(configs.len(), 10);
+/// assert!(configs[0].1.is_unified());
+/// ```
+pub fn table1_configs() -> Vec<(PresetKind, MachineConfig)> {
+    let mut out = Vec::new();
+    for regs in [32, 64] {
+        out.push((PresetKind::Unified, MachineConfig::unified(regs)));
+    }
+    for regs in [32, 64] {
+        for lat in [1, 2] {
+            out.push((
+                PresetKind::TwoCluster,
+                MachineConfig::two_cluster(regs, 1, lat),
+            ));
+        }
+    }
+    for regs in [32, 64] {
+        for lat in [1, 2] {
+            out.push((
+                PresetKind::FourCluster,
+                MachineConfig::four_cluster(regs, 1, lat),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceKind;
+
+    #[test]
+    fn ten_configurations() {
+        assert_eq!(table1_configs().len(), 10);
+    }
+
+    #[test]
+    fn every_config_is_twelve_issue() {
+        for (_, m) in table1_configs() {
+            assert_eq!(m.issue_width(), 12);
+            for kind in ResourceKind::ALL {
+                assert_eq!(m.total_units(kind), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn register_totals_are_32_or_64() {
+        for (_, m) in table1_configs() {
+            assert!(m.total_registers() == 32 || m.total_registers() == 64);
+        }
+    }
+
+    #[test]
+    fn kinds_match_cluster_counts() {
+        for (kind, m) in table1_configs() {
+            let expect = match kind {
+                PresetKind::Unified => 1,
+                PresetKind::TwoCluster => 2,
+                PresetKind::FourCluster => 4,
+            };
+            assert_eq!(m.cluster_count(), expect);
+        }
+    }
+
+    #[test]
+    fn short_names_are_unique() {
+        let names: std::collections::HashSet<String> = table1_configs()
+            .iter()
+            .map(|(_, m)| m.short_name())
+            .collect();
+        assert_eq!(names.len(), 10);
+    }
+}

@@ -1,0 +1,77 @@
+//! Functional-unit resource kinds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three functional-unit kinds of the paper's machine: integer units,
+/// floating-point units and memory ports.
+///
+/// Each cluster owns a fixed number of units of each kind; an operation
+/// occupies one unit of its kind for one cycle (units are fully pipelined).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Integer ALU.
+    IntAlu,
+    /// Floating-point ALU.
+    FpAlu,
+    /// Memory port (load/store issue slot).
+    MemPort,
+}
+
+impl ResourceKind {
+    /// All resource kinds, in a fixed order usable for dense indexing.
+    pub const ALL: [ResourceKind; 3] = [
+        ResourceKind::IntAlu,
+        ResourceKind::FpAlu,
+        ResourceKind::MemPort,
+    ];
+
+    /// Dense index of this kind within [`ResourceKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            ResourceKind::IntAlu => 0,
+            ResourceKind::FpAlu => 1,
+            ResourceKind::MemPort => 2,
+        }
+    }
+
+    /// Inverse of [`ResourceKind::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 3`.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceKind::IntAlu => "int",
+            ResourceKind::FpAlu => "fp",
+            ResourceKind::MemPort => "mem",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, k) in ResourceKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(ResourceKind::from_index(i), *k);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ResourceKind::IntAlu.to_string(), "int");
+        assert_eq!(ResourceKind::FpAlu.to_string(), "fp");
+        assert_eq!(ResourceKind::MemPort.to_string(), "mem");
+    }
+}

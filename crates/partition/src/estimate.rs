@@ -1,0 +1,254 @@
+//! Execution-time estimation of a partition (§3.2.2's hypothetical machine).
+//!
+//! The estimator assumes unlimited registers, a perfect memory and no
+//! scheduling conflicts, but models the interconnection network and the
+//! memory ports realistically:
+//!
+//! * every cut flow dependence is charged the bus latency;
+//! * the bus can move at most `NBus` values per II window, each occupying a
+//!   bus for `LatBus` cycles → `IIbus = ⌈NComm · LatBus / NBus⌉`;
+//! * per-cluster functional-unit (incl. memory-port) utilisation bounds the
+//!   II from below (`res_mii_clustered`);
+//! * recurrences crossing the cut get longer → `RecMII` grows.
+
+use crate::partition::Partition;
+use gpsched_ddg::{mii, timing, Ddg, DepKind};
+use gpsched_machine::MachineConfig;
+
+/// Cost metrics of one partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionCost {
+    /// Values crossing the cut (`NComm`).
+    pub comm_count: usize,
+    /// Bus-imposed II bound: `⌈NComm · LatBus / NBus⌉` (≥ 1).
+    pub ii_bus: i64,
+    /// Effective II of the estimate: smallest recurrence-feasible II at or
+    /// above `max(ii_input, per-cluster ResMII, IIbus)` with bus delays on
+    /// cut edges.
+    pub ii_effective: i64,
+    /// Longest intra-iteration path with bus delays on cut edges.
+    pub max_path: i64,
+    /// `T = (niter − 1)·II + max_path`.
+    pub exec_time: i64,
+    /// Total slack of cut dependences (first tie-breaker, maximized).
+    pub cut_slack: i64,
+    /// Number of cut dependences (second tie-breaker, minimized).
+    pub cut_size: usize,
+}
+
+/// The bus-imposed initiation-interval bound of the paper's §3.1:
+/// `IIbus = ⌈NComm · LatBus / NBus⌉`, at least 1.
+pub fn ii_bus(comm_count: usize, machine: &MachineConfig) -> i64 {
+    let total = comm_count as i64 * machine.bus_latency as i64;
+    let buses = machine.buses as i64;
+    ((total + buses - 1) / buses).max(1)
+}
+
+/// Estimates the execution time of `ddg` under `partition`, with the
+/// partitioning-phase input interval `ii_input`.
+///
+/// Returns the full [`PartitionCost`]; lower `exec_time` is better, ties
+/// break on larger `cut_slack`, then smaller `cut_size` (§3.2.2).
+///
+/// # Panics
+///
+/// Panics if the partition does not cover all ops of `ddg`, or if a cluster
+/// lacks functional units for an op assigned to it.
+pub fn estimate(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii_input: i64,
+    partition: &Partition,
+) -> PartitionCost {
+    assert_eq!(partition.len(), ddg.op_count(), "partition/ddg mismatch");
+    let bus_lat = machine.bus_latency as i64;
+
+    // Which flow deps cross the cut (these pay the bus latency).
+    let mut extra = vec![0i64; ddg.dep_count()];
+    let mut cut_size = 0usize;
+    for e in partition.cut_deps(ddg) {
+        cut_size += 1;
+        if ddg.dep(e).kind == DepKind::Flow {
+            extra[e.index()] = bus_lat;
+        }
+    }
+
+    let comm_count = partition.comm_count(ddg);
+    let ii_bus = ii_bus(comm_count, machine);
+    let res = mii::res_mii_clustered(ddg, machine, partition.assignment());
+    let lower = ii_input.max(res).max(ii_bus);
+
+    // Smallest recurrence-feasible II at or above `lower`, probing with the
+    // timing analysis (cheap in the common case where `lower` is feasible).
+    let mut ii = lower;
+    let t = loop {
+        if let Some(t) = timing::analyze(ddg, ii, |e| extra[e.index()]) {
+            break t;
+        }
+        ii += 1;
+    };
+
+    let cut_slack: i64 = partition
+        .cut_deps(ddg)
+        .map(|e| t.edge_slack[e.index()])
+        .sum();
+
+    PartitionCost {
+        comm_count,
+        ii_bus,
+        ii_effective: ii,
+        max_path: t.max_path,
+        exec_time: ddg.execution_time(ii, t.max_path),
+        cut_slack,
+        cut_size,
+    }
+}
+
+impl PartitionCost {
+    /// Lexicographic comparison used by refinement: smaller `exec_time`
+    /// wins, then larger `cut_slack`, then smaller `cut_size`.
+    pub fn better_than(&self, other: &PartitionCost) -> bool {
+        (self.exec_time, -self.cut_slack, self.cut_size)
+            < (other.exec_time, -other.cut_slack, other.cut_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_ddg::DdgBuilder;
+    use gpsched_machine::OpClass;
+    use gpsched_workloads::kernels;
+
+    #[test]
+    fn ii_bus_formula() {
+        let m1 = MachineConfig::two_cluster(32, 1, 1);
+        assert_eq!(ii_bus(0, &m1), 1);
+        assert_eq!(ii_bus(5, &m1), 5);
+        let m2 = MachineConfig::two_cluster(32, 2, 2);
+        assert_eq!(ii_bus(5, &m2), 5); // 10 bus-cycles over 2 buses
+        let m3 = MachineConfig::two_cluster(32, 1, 2);
+        assert_eq!(ii_bus(5, &m3), 10);
+    }
+
+    #[test]
+    fn single_cluster_pays_no_bus() {
+        let ddg = kernels::daxpy(100);
+        let m = MachineConfig::unified(32);
+        let p = Partition::single_cluster(ddg.op_count());
+        let c = estimate(&ddg, &m, 2, &p);
+        assert_eq!(c.comm_count, 0);
+        assert_eq!(c.cut_size, 0);
+        assert_eq!(c.ii_bus, 1);
+        assert_eq!(c.ii_effective, 2);
+    }
+
+    #[test]
+    fn cutting_a_chain_costs_time() {
+        // ld → add, cut between them on a 2-cluster machine.
+        let mut b = DdgBuilder::new("t");
+        let ld = b.op(OpClass::Load, "ld");
+        let ad = b.op(OpClass::FpAdd, "ad");
+        b.flow(ld, ad);
+        b.trip_count(100);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+
+        let together = estimate(&ddg, &m, 1, &Partition::new(vec![0, 0], 2));
+        let split = estimate(&ddg, &m, 1, &Partition::new(vec![0, 1], 2));
+        assert!(together.better_than(&split));
+        assert_eq!(split.comm_count, 1);
+        // Bus latency stretches the path by 1 cycle.
+        assert_eq!(split.max_path, together.max_path + 1);
+    }
+
+    #[test]
+    fn cut_recurrence_raises_ii() {
+        // acc (fp add, lat 3) self-recurrence via a partner op in the cycle.
+        let mut b = DdgBuilder::new("t");
+        let a = b.op(OpClass::FpAdd, "a");
+        let c = b.op(OpClass::FpAdd, "c");
+        b.flow(a, c);
+        b.flow_carried(c, a, 1); // cycle latency 6, distance 1 → RecMII 6
+        b.trip_count(50);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+
+        let together = estimate(&ddg, &m, 1, &Partition::new(vec![0, 0], 2));
+        assert_eq!(together.ii_effective, 6);
+        let split = estimate(&ddg, &m, 1, &Partition::new(vec![0, 1], 2));
+        // Both cycle edges pay the 1-cycle bus → RecMII 8.
+        assert_eq!(split.ii_effective, 8);
+        assert!(together.better_than(&split));
+    }
+
+    #[test]
+    fn overloading_one_cluster_raises_ii() {
+        let mut b = DdgBuilder::new("t");
+        for i in 0..8 {
+            b.op(OpClass::Load, format!("ld{i}"));
+        }
+        b.trip_count(10);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::two_cluster(32, 1, 1); // 2 mem ports/cluster
+
+        let lopsided = estimate(&ddg, &m, 1, &Partition::new(vec![0; 8], 2));
+        assert_eq!(lopsided.ii_effective, 4); // 8 loads / 2 ports
+        let even = Partition::new((0..8).map(|i| i % 2).collect(), 2);
+        let balanced = estimate(&ddg, &m, 1, &even);
+        assert_eq!(balanced.ii_effective, 2);
+        assert!(balanced.better_than(&lopsided));
+    }
+
+    #[test]
+    fn comm_bound_kicks_in_with_many_transfers() {
+        // One producer fans out to 6 consumers in the other cluster… but a
+        // value is sent once per cluster, so build 6 producers instead.
+        let mut b = DdgBuilder::new("t");
+        let mut assign = Vec::new();
+        for i in 0..6 {
+            let p = b.op(OpClass::IntAlu, format!("p{i}"));
+            let q = b.op(OpClass::IntAlu, format!("q{i}"));
+            b.flow(p, q);
+            let _ = p;
+            assign.push(0);
+            assign.push(1);
+        }
+        b.trip_count(10);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let c = estimate(&ddg, &m, 1, &Partition::new(assign, 2));
+        assert_eq!(c.comm_count, 6);
+        assert_eq!(c.ii_bus, 6);
+        assert!(c.ii_effective >= 6);
+    }
+
+    #[test]
+    fn better_than_is_lexicographic() {
+        let base = PartitionCost {
+            comm_count: 1,
+            ii_bus: 1,
+            ii_effective: 2,
+            max_path: 10,
+            exec_time: 100,
+            cut_slack: 5,
+            cut_size: 3,
+        };
+        let faster = PartitionCost {
+            exec_time: 90,
+            ..base.clone()
+        };
+        assert!(faster.better_than(&base));
+        let slacker = PartitionCost {
+            cut_slack: 9,
+            ..base.clone()
+        };
+        assert!(slacker.better_than(&base));
+        let smaller_cut = PartitionCost {
+            cut_size: 2,
+            ..base.clone()
+        };
+        assert!(smaller_cut.better_than(&base));
+        assert!(!base.better_than(&base));
+    }
+}

@@ -1,0 +1,430 @@
+//! Partition refinement (§3.2.2): workload balance + cut-impact reduction.
+//!
+//! Runs at every level of the coarsening hierarchy, from the coarsest to
+//! the finest (Kernighan–Lin/Fiduccia–Mattheyses style, but with the
+//! paper's objective: *estimated execution time*, not cut size).
+
+use crate::coarsen::Level;
+use crate::estimate::{estimate, PartitionCost};
+use crate::partition::Partition;
+use gpsched_ddg::Ddg;
+use gpsched_machine::{MachineConfig, ResourceKind};
+
+/// Knobs for the refinement passes (ablation switches).
+#[derive(Clone, Copy, Debug)]
+pub struct RefineOptions {
+    /// Run the workload-balance pass.
+    pub balance: bool,
+    /// Run the cut-impact pass.
+    pub cut: bool,
+    /// Upper bound on applied moves per level (safety valve).
+    pub max_moves: usize,
+    /// How many swap partners to evaluate per blocked move.
+    pub swap_candidates: usize,
+    /// How many screened candidates receive a full execution-time estimate
+    /// per move round.
+    pub eval_candidates: usize,
+}
+
+impl Default for RefineOptions {
+    fn default() -> Self {
+        RefineOptions {
+            balance: true,
+            cut: true,
+            max_moves: 64,
+            swap_candidates: 4,
+            eval_candidates: 12,
+        }
+    }
+}
+
+/// Expands a per-node assignment at `level` into a per-op assignment.
+pub fn expand(level: &Level, assign: &[usize]) -> Vec<usize> {
+    let nops: usize = level.members.iter().map(Vec::len).sum();
+    let mut out = vec![0usize; nops];
+    for (node, ops) in level.members.iter().enumerate() {
+        for &op in ops {
+            out[op] = assign[node];
+        }
+    }
+    out
+}
+
+/// Per-node functional-unit usage: `usage[node][kind]` = ops of that kind.
+fn node_usage(ddg: &Ddg, level: &Level) -> Vec<[i64; 3]> {
+    level
+        .members
+        .iter()
+        .map(|ops| {
+            let mut u = [0i64; 3];
+            for &op in ops {
+                let id = gpsched_graph::NodeId::from_index(op);
+                u[ddg.op(id).class.resource().index()] += 1;
+            }
+            u
+        })
+        .collect()
+}
+
+/// Per-cluster usage totals under `assign`.
+fn cluster_usage(usage: &[[i64; 3]], assign: &[usize], nclusters: usize) -> Vec<[i64; 3]> {
+    let mut totals = vec![[0i64; 3]; nclusters];
+    for (node, u) in usage.iter().enumerate() {
+        for k in 0..3 {
+            totals[assign[node]][k] += u[k];
+        }
+    }
+    totals
+}
+
+/// Per-cluster capacity at interval `ii`: `units × ii` slots per kind.
+fn capacities(machine: &MachineConfig, ii: i64) -> Vec<[i64; 3]> {
+    machine
+        .clusters()
+        .map(|c| {
+            let mut cap = [0i64; 3];
+            for kind in ResourceKind::ALL {
+                cap[kind.index()] = c.units(kind) as i64 * ii;
+            }
+            cap
+        })
+        .collect()
+}
+
+/// Workload balance (§3.2.2 "Improving Workload Balance"): while some
+/// (cluster, resource) is loaded beyond 100% of its `ii` slots, move a node
+/// that uses the resource to a cluster where it fits without overloading
+/// that resource or any more-saturated one. Returns the number of moves.
+pub fn balance_pass(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii: i64,
+    level: &Level,
+    assign: &mut [usize],
+    max_moves: usize,
+) -> usize {
+    let usage = node_usage(ddg, level);
+    let caps = capacities(machine, ii);
+    let nclusters = machine.cluster_count();
+    let mut moves = 0usize;
+
+    while moves < max_moves {
+        let totals = cluster_usage(&usage, assign, nclusters);
+        // Overloaded (cluster, kind), most saturated first.
+        let mut overloaded: Vec<(usize, usize, f64)> = Vec::new();
+        for c in 0..nclusters {
+            for k in 0..3 {
+                if totals[c][k] > caps[c][k] {
+                    let sat = totals[c][k] as f64 / caps[c][k].max(1) as f64;
+                    overloaded.push((c, k, sat));
+                }
+            }
+        }
+        if overloaded.is_empty() {
+            return moves;
+        }
+        overloaded.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("saturation is finite"));
+        // Kinds ranked by how saturated they are anywhere (for the "more
+        // critical resources previously considered" rule).
+        let rank_of = |k: usize| overloaded.iter().position(|&(_, k2, _)| k2 == k);
+
+        let mut applied = false;
+        'search: for &(cl, kind, _) in &overloaded {
+            // Candidate nodes in `cl` that use `kind`, heaviest users first.
+            let mut nodes: Vec<usize> = (0..level.node_count())
+                .filter(|&v| assign[v] == cl && usage[v][kind] > 0)
+                .collect();
+            nodes.sort_by_key(|&v| std::cmp::Reverse(usage[v][kind]));
+            for v in nodes {
+                for c2 in 0..nclusters {
+                    if c2 == cl {
+                        continue;
+                    }
+                    // Destination must absorb the node without overloading
+                    // `kind` or any kind at least as critical.
+                    let fits = (0..3).all(|k| {
+                        let after = totals[c2][k] + usage[v][k];
+                        let critical = k == kind
+                            || matches!((rank_of(k), rank_of(kind)),
+                                        (Some(rk), Some(rkind)) if rk <= rkind);
+                        !critical || after <= caps[c2][k]
+                    });
+                    if fits {
+                        assign[v] = c2;
+                        moves += 1;
+                        applied = true;
+                        break 'search;
+                    }
+                }
+            }
+        }
+        if !applied {
+            // No beneficial movement: wait for a finer level (paper).
+            return moves;
+        }
+    }
+    moves
+}
+
+/// Cut-impact refinement (§3.2.2 "Minimizing the Impact of Inter-Cluster
+/// Edges"): repeatedly apply the single move or pair swap with the largest
+/// execution-time benefit (ties: larger cut slack, then smaller cut).
+/// Returns the cost of the final assignment.
+pub fn cut_pass(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii_input: i64,
+    level: &Level,
+    assign: &mut [usize],
+    opts: &RefineOptions,
+) -> PartitionCost {
+    let usage = node_usage(ddg, level);
+    let nclusters = machine.cluster_count();
+    let eval = |a: &[usize]| -> PartitionCost {
+        let ops = expand(level, a);
+        estimate(ddg, machine, ii_input, &Partition::new(ops, nclusters))
+    };
+    let mut current = eval(assign);
+    let mut moves = 0usize;
+
+    while moves < opts.max_moves {
+        // "Enough resources" is judged at the II the current partition
+        // actually achieves, not the (possibly smaller) input II.
+        let caps = capacities(machine, current.ii_effective.max(1));
+        let totals = cluster_usage(&usage, assign, nclusters);
+        let fits_move = |totals: &[[i64; 3]], v: usize, c2: usize| -> bool {
+            (0..3).all(|k| totals[c2][k] + usage[v][k] <= caps[c2][k])
+        };
+
+        let mut best: Option<(Vec<(usize, usize)>, PartitionCost)> = None;
+        let consider = |changes: Vec<(usize, usize)>,
+                            assign: &mut [usize],
+                            best: &mut Option<(Vec<(usize, usize)>, PartitionCost)>| {
+            let saved: Vec<usize> = changes.iter().map(|&(v, _)| assign[v]).collect();
+            for &(v, c) in &changes {
+                assign[v] = c;
+            }
+            let cost = eval(assign);
+            for (&(v, _), &old) in changes.iter().zip(&saved) {
+                assign[v] = old;
+            }
+            if cost.better_than(&current)
+                && best.as_ref().map_or(true, |(_, b)| cost.better_than(b))
+            {
+                *best = Some((changes, cost));
+            }
+        };
+
+        // Boundary nodes and their foreign neighbor clusters, screened by
+        // the classic KL weight gain (external − internal edge weight).
+        // Only the most promising candidates pay for a full execution-time
+        // estimate; the §3.2.1 edge weights already encode the time impact,
+        // so the screen rarely discards the true best move.
+        let mut candidates: Vec<(i64, usize, usize)> = Vec::new();
+        for v in 0..level.node_count() {
+            let cl = assign[v];
+            let mut gain_to: std::collections::HashMap<usize, i64> =
+                std::collections::HashMap::new();
+            let mut internal = 0i64;
+            for (_, w, wt) in level.graph.neighbors(gpsched_graph::NodeId::from_index(v)) {
+                let cw = assign[w.index()];
+                if cw == cl {
+                    internal += wt;
+                } else {
+                    *gain_to.entry(cw).or_insert(0) += wt;
+                }
+            }
+            for (c2, external) in gain_to {
+                candidates.push((external - internal, v, c2));
+            }
+        }
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        candidates.truncate(opts.eval_candidates);
+        for (_, v, c2) in candidates {
+            let cl = assign[v];
+            {
+                if fits_move(&totals, v, c2) {
+                    consider(vec![(v, c2)], assign, &mut best);
+                } else {
+                    // Try interchanges that make room (§3.2.2).
+                    let mut partners: Vec<usize> = (0..level.node_count())
+                        .filter(|&u| assign[u] == c2)
+                        .collect();
+                    // Prefer partners whose departure frees the most slots.
+                    partners.sort_by_key(|&u| {
+                        std::cmp::Reverse(usage[u].iter().sum::<i64>())
+                    });
+                    partners.truncate(opts.swap_candidates);
+                    for u in partners {
+                        // Capacity check with both displacements applied.
+                        let ok = (0..3).all(|k| {
+                            totals[c2][k] + usage[v][k] - usage[u][k] <= caps[c2][k]
+                                && totals[cl][k] - usage[v][k] + usage[u][k] <= caps[cl][k]
+                        });
+                        if ok {
+                            consider(vec![(v, c2), (u, cl)], assign, &mut best);
+                        }
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((changes, cost)) => {
+                for (v, c) in changes {
+                    assign[v] = c;
+                }
+                current = cost;
+                moves += 1;
+            }
+            None => break,
+        }
+    }
+    current
+}
+
+/// Full refinement of one level: balance, then cut impact.
+pub fn refine_level(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii_input: i64,
+    level: &Level,
+    assign: &mut [usize],
+    opts: &RefineOptions,
+) -> PartitionCost {
+    if opts.balance {
+        balance_pass(ddg, machine, ii_input, level, assign, opts.max_moves);
+    }
+    if opts.cut {
+        cut_pass(ddg, machine, ii_input, level, assign, opts)
+    } else {
+        let ops = expand(level, assign);
+        estimate(
+            ddg,
+            machine,
+            ii_input,
+            &Partition::new(ops, machine.cluster_count()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::initial_level;
+    use crate::weights::edge_weights;
+    use gpsched_ddg::DdgBuilder;
+    use gpsched_machine::OpClass;
+
+    fn level_of(ddg: &Ddg, machine: &MachineConfig) -> Level {
+        let w = edge_weights(ddg, machine, 1);
+        initial_level(ddg, &w)
+    }
+
+    #[test]
+    fn balance_moves_overload_out() {
+        // 8 loads all in cluster 0 of a 2-cluster machine at II=2:
+        // capacity 2 ports × 2 = 4 slots per cluster → must move ~4 loads.
+        let mut b = DdgBuilder::new("t");
+        for i in 0..8 {
+            b.op(OpClass::Load, format!("l{i}"));
+        }
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let level = level_of(&ddg, &m);
+        let mut assign = vec![0usize; 8];
+        let moves = balance_pass(&ddg, &m, 2, &level, &mut assign, 100);
+        assert!(moves >= 4);
+        let in_c1 = assign.iter().filter(|&&c| c == 1).count();
+        assert_eq!(in_c1, 4);
+    }
+
+    #[test]
+    fn balance_gives_up_when_nothing_fits() {
+        // 10 loads at II=1: capacity 2 per cluster, 4 total — impossible.
+        let mut b = DdgBuilder::new("t");
+        for i in 0..10 {
+            b.op(OpClass::Load, format!("l{i}"));
+        }
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let level = level_of(&ddg, &m);
+        let mut assign = vec![0usize; 10];
+        // Must terminate (no infinite loop) even though both clusters stay
+        // overloaded.
+        balance_pass(&ddg, &m, 1, &level, &mut assign, 100);
+    }
+
+    #[test]
+    fn cut_pass_heals_a_double_cut_chain() {
+        // Three chained ops with the middle one exiled: the start state
+        // pays two bus transfers and IIbus = 2. The best reachable state
+        // keeps II = 1 by pairing two chain ops and paying ONE transfer
+        // (merging all three would force II = 2 on the 2-wide int cluster,
+        // which the execution-time model correctly rejects).
+        let mut b = DdgBuilder::new("t");
+        let x = b.op(OpClass::IntAlu, "x");
+        let y = b.op(OpClass::IntAlu, "y");
+        let z = b.op(OpClass::IntAlu, "z");
+        b.flow(x, y);
+        b.flow(y, z);
+        b.trip_count(100);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let level = level_of(&ddg, &m);
+        let mut assign = vec![0, 1, 0];
+        let before = estimate(&ddg, &m, 1, &Partition::new(assign.clone(), 2));
+        assert_eq!(before.comm_count, 2);
+        let cost = cut_pass(&ddg, &m, 1, &level, &mut assign, &RefineOptions::default());
+        assert!(cost.better_than(&before));
+        assert_eq!(cost.comm_count, 1);
+        assert_eq!(cost.ii_effective, 1);
+        // x and y (or y and z) ended up together.
+        assert!(assign[0] == assign[1] || assign[1] == assign[2]);
+    }
+
+    #[test]
+    fn refine_never_worsens_estimate() {
+        for ddg in gpsched_workloads::kernels::all_kernels(100) {
+            let m = MachineConfig::two_cluster(32, 1, 1);
+            let level = level_of(&ddg, &m);
+            // Arbitrary striped starting assignment.
+            let mut assign: Vec<usize> = (0..level.node_count()).map(|i| i % 2).collect();
+            let before = estimate(
+                &ddg,
+                &m,
+                1,
+                &Partition::new(expand(&level, &assign), 2),
+            );
+            let after = refine_level(&ddg, &m, 1, &level, &mut assign, &RefineOptions::default());
+            assert!(
+                !before.better_than(&after),
+                "{}: refinement worsened cost",
+                ddg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn swaps_fire_when_capacity_blocks_moves() {
+        // Cluster 1 is mem-saturated; moving a load there requires a swap.
+        let mut b = DdgBuilder::new("t");
+        // Producer chain in cluster 0 ending in a load consumed in c1.
+        let p = b.op(OpClass::Load, "p");
+        let q = b.op(OpClass::IntAlu, "q");
+        b.flow(p, q);
+        // Cluster 1: stuffed with 4 independent loads (capacity 2×II).
+        for i in 0..4 {
+            b.op(OpClass::Load, format!("m{i}"));
+        }
+        b.trip_count(50);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let level = level_of(&ddg, &m);
+        let mut assign = vec![0, 1, 1, 1, 1, 1];
+        // II=2 → mem capacity per cluster is 4; c1 already holds 4 loads.
+        let before = estimate(&ddg, &m, 2, &Partition::new(expand(&level, &assign), 2));
+        let after = cut_pass(&ddg, &m, 2, &level, &mut assign, &RefineOptions::default());
+        assert!(!before.better_than(&after));
+    }
+}

@@ -1,0 +1,178 @@
+//! Edge weights for coarsening (§3.2.1).
+//!
+//! `weight(e) = delay(e)·(maxsl + 1) + maxsl − slack(e) + 1`, where
+//!
+//! * `delay(e)` is the execution-time growth if the bus latency were added
+//!   to `e`: `(niter−1)·(II_after − II_before) + (max_path_after −
+//!   max_path_before)`. The II term only moves when `e` lies on a
+//!   recurrence; the `max_path` term only when `e` is an intra-iteration
+//!   edge.
+//! * `slack(e)` is the delay `e` can absorb for free, `maxsl` the largest
+//!   slack in the graph.
+//!
+//! Any difference in `delay` therefore dominates any difference in slack,
+//! and the `+1` keeps every weight strictly positive so that edges are
+//! never invisible to the maximum-weight matching.
+
+use gpsched_ddg::{mii, timing, Ddg};
+use gpsched_graph::scc::component_index;
+use gpsched_machine::MachineConfig;
+
+/// Per-dependence coarsening weights, indexed by `DepId::index()`.
+///
+/// `ii_input` is the partitioning input interval (MII on the first round);
+/// `machine` supplies the bus latency being modelled.
+///
+/// # Panics
+///
+/// Panics if `ii_input` is smaller than 1.
+pub fn edge_weights(ddg: &Ddg, machine: &MachineConfig, ii_input: i64) -> Vec<i64> {
+    assert!(ii_input >= 1, "ii_input must be positive");
+    let bus_lat = machine.bus_latency as i64;
+    let niter = ddg.trip_count() as i64;
+
+    let rec_base = mii::rec_mii(ddg);
+    let ii_base = ii_input.max(rec_base);
+    let t = timing::analyze(ddg, ii_base, |_| 0)
+        .expect("ii at or above RecMII is feasible");
+    let maxsl = t.max_slack;
+
+    // Only edges inside a strongly connected component can change RecMII.
+    let (_, comp) = component_index(ddg.graph());
+
+    ddg.dep_ids()
+        .map(|e| {
+            let (s, d) = ddg.dep_endpoints(e);
+            let dep = ddg.dep(e);
+
+            // II after delaying e (only recompute when e is on a cycle;
+            // adding `bus_lat` to one edge raises RecMII by at most
+            // `bus_lat`, which tightly bounds the search).
+            let ii_after = if comp[s.index()] == comp[d.index()] {
+                let deps = ddg.constraint_deps(|x| if x == e { bus_lat } else { 0 });
+                let rec_after = gpsched_graph::feasibility::min_feasible_ii(
+                    ddg.op_count(),
+                    &deps,
+                    rec_base,
+                    rec_base + bus_lat,
+                )
+                .expect("RecMII grows by at most the added delay");
+                ii_input.max(rec_after)
+            } else {
+                ii_base
+            };
+
+            // max_path after delaying e (only distance-0 edges stretch it).
+            let mp_after = if dep.distance == 0 {
+                t.max_path_with_delay(s.index(), d.index(), dep.latency as i64, bus_lat)
+            } else {
+                t.max_path
+            };
+
+            let delay = (niter - 1) * (ii_after - ii_base) + (mp_after - t.max_path);
+            delay * (maxsl + 1) + maxsl - t.edge_slack[e.index()] + 1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_ddg::DdgBuilder;
+    use gpsched_machine::OpClass;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::two_cluster(32, 1, 1)
+    }
+
+    #[test]
+    fn all_weights_positive() {
+        let ddg = gpsched_workloads::kernels::all_kernels(100)
+            .into_iter()
+            .next()
+            .unwrap();
+        for w in edge_weights(&ddg, &machine(), 1) {
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn recurrence_edges_outweigh_slack_edges() {
+        // Recurrence a↔c (every delay costs (niter-1) cycles) vs a slack
+        // side edge.
+        let mut b = DdgBuilder::new("t");
+        let a = b.op(OpClass::FpAdd, "a");
+        let c = b.op(OpClass::FpAdd, "c");
+        let side = b.op(OpClass::IntAlu, "side");
+        let e_fwd = b.flow(a, c);
+        let e_back = b.flow_carried(c, a, 1);
+        let e_side = b.flow(a, side);
+        b.trip_count(100);
+        let ddg = b.build().unwrap();
+        let w = edge_weights(&ddg, &machine(), 1);
+        assert!(w[e_fwd.index()] > w[e_side.index()]);
+        assert!(w[e_back.index()] > w[e_side.index()]);
+    }
+
+    #[test]
+    fn critical_path_edges_outweigh_slack_edges() {
+        // Two parallel chains joining: the long chain's edges hurt more.
+        let mut b = DdgBuilder::new("t");
+        let ld = b.op(OpClass::Load, "ld");
+        let dv = b.op(OpClass::FpDiv, "dv"); // lat 8 chain
+        let ad = b.op(OpClass::IntAlu, "ad"); // lat 1 chain
+        let st = b.op(OpClass::Store, "st");
+        let e_crit = b.flow(ld, dv);
+        let e_slack = b.flow(ld, ad);
+        b.flow(dv, st);
+        b.flow(ad, st);
+        b.trip_count(100);
+        let ddg = b.build().unwrap();
+        let w = edge_weights(&ddg, &machine(), 1);
+        assert!(
+            w[e_crit.index()] > w[e_slack.index()],
+            "critical {} vs slack {}",
+            w[e_crit.index()],
+            w[e_slack.index()]
+        );
+    }
+
+    #[test]
+    fn higher_trip_count_amplifies_recurrence_edges() {
+        let build = |n: u64| {
+            let mut b = DdgBuilder::new("t");
+            let a = b.op(OpClass::FpAdd, "a");
+            let c = b.op(OpClass::FpAdd, "c");
+            let e = b.flow(a, c);
+            b.flow_carried(c, a, 1);
+            b.trip_count(n);
+            (b.build().unwrap(), e)
+        };
+        let (d_small, e1) = build(10);
+        let (d_big, e2) = build(1000);
+        let w_small = edge_weights(&d_small, &machine(), 1)[e1.index()];
+        let w_big = edge_weights(&d_big, &machine(), 1)[e2.index()];
+        assert!(w_big > w_small);
+    }
+
+    #[test]
+    fn delay_dominates_slack_difference() {
+        // An edge with delay ≥ 1 must outweigh ANY zero-delay edge, no
+        // matter the slacks (the paper's (maxsl+1) multiplier).
+        let mut b = DdgBuilder::new("t");
+        // Critical chain: ld → dv → st.
+        let ld = b.op(OpClass::Load, "ld");
+        let dv = b.op(OpClass::FpDiv, "dv");
+        let st = b.op(OpClass::Store, "st");
+        let e_delay = b.flow(ld, dv);
+        b.flow(dv, st);
+        // A totally slack pair.
+        let x = b.op(OpClass::IntAlu, "x");
+        let y = b.op(OpClass::IntAlu, "y");
+        let e_zero = b.flow(x, y);
+        b.trip_count(100);
+        let ddg = b.build().unwrap();
+        let w = edge_weights(&ddg, &machine(), 1);
+        assert!(w[e_delay.index()] > w[e_zero.index()]);
+    }
+}

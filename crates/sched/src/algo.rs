@@ -1,0 +1,268 @@
+//! High-level entry point: schedule one loop with a named algorithm.
+
+use crate::drivers::{self, DriverConfig};
+use crate::error::SchedError;
+use crate::listsched::list_schedule;
+use crate::schedule::Schedule;
+use gpsched_ddg::Ddg;
+use gpsched_machine::MachineConfig;
+use gpsched_partition::{Partition, PartitionOptions};
+
+/// The scheduling algorithms compared in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The best previously published integrated scheduler (baseline).
+    Uracam,
+    /// GP variant (a): follow the partition exactly.
+    FixedPartition,
+    /// The proposed GP scheme with selective re-partitioning.
+    Gp,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 3] = [
+        Algorithm::Uracam,
+        Algorithm::FixedPartition,
+        Algorithm::Gp,
+    ];
+
+    /// Short display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Uracam => "URACAM",
+            Algorithm::FixedPartition => "Fixed",
+            Algorithm::Gp => "GP",
+        }
+    }
+}
+
+/// How the final schedule was produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduledWith {
+    /// Modulo-scheduled at the reported II.
+    Modulo {
+        /// Times the GP driver recomputed the partition (0 otherwise).
+        repartitions: usize,
+    },
+    /// The II cap was exhausted; the list-scheduling fallback was used
+    /// (§4.1: "this happens for just a few loops").
+    ListFallback,
+}
+
+/// Result of scheduling one loop.
+#[derive(Clone, Debug)]
+pub struct LoopResult {
+    /// The final schedule.
+    pub schedule: Schedule,
+    /// Modulo or list-fallback, with driver metadata.
+    pub method: ScheduledWith,
+    /// The cluster assignment actually used (None for URACAM, which has no
+    /// precomputed partition).
+    pub partition: Option<Partition>,
+    /// Loop name (copied from the DDG).
+    pub name: String,
+    /// Operations per iteration (original ops only — overhead ops such as
+    /// spills and communications are not counted as useful work).
+    pub ops: usize,
+    /// Trip count used for the cycle accounting.
+    pub trips: u64,
+}
+
+impl LoopResult {
+    /// Total cycles for the loop's profiled trip count.
+    pub fn cycles(&self) -> u64 {
+        self.schedule.cycles(self.trips)
+    }
+
+    /// Useful instructions per cycle (the paper's metric, prolog/epilog
+    /// included).
+    pub fn ipc(&self) -> f64 {
+        (self.ops as u64 * self.trips) as f64 / self.cycles() as f64
+    }
+}
+
+/// Schedules `ddg` on `machine` with `algorithm`, falling back to list
+/// scheduling if the modulo scheduler exhausts its II budget.
+///
+/// # Errors
+///
+/// [`SchedError::Unschedulable`] if the machine lacks functional units for
+/// an op class used by the loop.
+///
+/// # Example
+///
+/// ```
+/// use gpsched_machine::MachineConfig;
+/// use gpsched_sched::{schedule_loop, Algorithm};
+/// use gpsched_workloads::kernels;
+///
+/// let ddg = kernels::fir(500, 8);
+/// let machine = MachineConfig::two_cluster(32, 1, 1);
+/// let gp = schedule_loop(&ddg, &machine, Algorithm::Gp)?;
+/// let ur = schedule_loop(&ddg, &machine, Algorithm::Uracam)?;
+/// assert!(gp.ipc() > 0.0 && ur.ipc() > 0.0);
+/// # Ok::<(), gpsched_sched::SchedError>(())
+/// ```
+pub fn schedule_loop(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    algorithm: Algorithm,
+) -> Result<LoopResult, SchedError> {
+    schedule_loop_with(
+        ddg,
+        machine,
+        algorithm,
+        &PartitionOptions::default(),
+        &DriverConfig::default(),
+    )
+}
+
+/// [`schedule_loop`] with explicit partitioner and driver configuration
+/// (used by the ablation benches).
+///
+/// # Errors
+///
+/// See [`schedule_loop`].
+pub fn schedule_loop_with(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    algorithm: Algorithm,
+    popts: &PartitionOptions,
+    cfg: &DriverConfig,
+) -> Result<LoopResult, SchedError> {
+    for kind in gpsched_machine::ResourceKind::ALL {
+        if ddg.ops_using(kind) > 0 && machine.total_units(kind) == 0 {
+            return Err(SchedError::Unschedulable(format!(
+                "machine has no {kind} units"
+            )));
+        }
+    }
+    let base = |schedule: Schedule, method: ScheduledWith, partition: Option<Partition>| {
+        LoopResult {
+            schedule,
+            method,
+            partition,
+            name: ddg.name().to_string(),
+            ops: ddg.op_count(),
+            trips: ddg.trip_count(),
+        }
+    };
+
+    let modulo = match algorithm {
+        Algorithm::Uracam => drivers::uracam(ddg, machine, cfg).map(|s| {
+            base(
+                s,
+                ScheduledWith::Modulo { repartitions: 0 },
+                None,
+            )
+        }),
+        Algorithm::FixedPartition => drivers::fixed_partition(ddg, machine, popts, cfg).map(|o| {
+            base(
+                o.schedule,
+                ScheduledWith::Modulo { repartitions: 0 },
+                Some(o.partition.partition),
+            )
+        }),
+        Algorithm::Gp => drivers::gp(ddg, machine, popts, cfg).map(|o| {
+            base(
+                o.schedule,
+                ScheduledWith::Modulo {
+                    repartitions: o.repartitions,
+                },
+                Some(o.partition.partition),
+            )
+        }),
+    };
+    match modulo {
+        Ok(r) => Ok(r),
+        Err(SchedError::IiLimitExceeded { .. }) => {
+            let s = list_schedule(ddg, machine);
+            Ok(base(s, ScheduledWith::ListFallback, None))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_workloads::kernels;
+
+    #[test]
+    fn ipc_is_bounded_by_issue_width() {
+        for ddg in kernels::all_kernels(1000) {
+            let m = MachineConfig::unified(64);
+            let r = schedule_loop(&ddg, &m, Algorithm::Gp).unwrap();
+            assert!(r.ipc() <= 12.0, "{}: ipc {}", ddg.name(), r.ipc());
+            assert!(r.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn unified_is_an_upper_bound_for_clustered() {
+        // The paper's premise: same resources minus communication penalty.
+        let mut better = 0usize;
+        let mut total = 0usize;
+        for ddg in kernels::all_kernels(1000) {
+            let u = schedule_loop(&ddg, &MachineConfig::unified(32), Algorithm::Gp).unwrap();
+            let c = schedule_loop(
+                &ddg,
+                &MachineConfig::four_cluster(32, 1, 2),
+                Algorithm::Gp,
+            )
+            .unwrap();
+            total += 1;
+            if u.ipc() >= c.ipc() - 1e-9 {
+                better += 1;
+            }
+        }
+        assert_eq!(better, total, "clustered beat unified somewhere");
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::Gp.name(), "GP");
+        assert_eq!(Algorithm::Uracam.name(), "URACAM");
+        assert_eq!(Algorithm::FixedPartition.name(), "Fixed");
+        assert_eq!(Algorithm::ALL.len(), 3);
+    }
+
+    #[test]
+    fn fallback_fires_with_tiny_cap() {
+        let ddg = kernels::dot_product(50);
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let cfg = DriverConfig {
+            ii_cap: Some(1),
+            ..DriverConfig::default()
+        };
+        let r = schedule_loop_with(
+            &ddg,
+            &m,
+            Algorithm::Uracam,
+            &PartitionOptions::default(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(r.method, ScheduledWith::ListFallback);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn result_carries_partition_for_gp_and_fixed() {
+        let ddg = kernels::daxpy(100);
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        assert!(schedule_loop(&ddg, &m, Algorithm::Gp)
+            .unwrap()
+            .partition
+            .is_some());
+        assert!(schedule_loop(&ddg, &m, Algorithm::FixedPartition)
+            .unwrap()
+            .partition
+            .is_some());
+        assert!(schedule_loop(&ddg, &m, Algorithm::Uracam)
+            .unwrap()
+            .partition
+            .is_none());
+    }
+}

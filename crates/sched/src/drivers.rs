@@ -1,0 +1,496 @@
+//! The scheduling drivers of the paper's evaluation (§3.1, Figure 1).
+//!
+//! * [`uracam`] — the baseline integrated scheduler: every node tries
+//!   *every* cluster and the figure of merit picks (which is also why it is
+//!   the slowest — Table 2).
+//! * [`fixed_partition`] — GP variant (a): the graph partition is followed
+//!   exactly; on failure the II grows and scheduling restarts with the
+//!   *same* partition.
+//! * [`gp`] — the full GP scheme (b): the assigned cluster is tried first,
+//!   then the merit-best other cluster; on II growth the partition is
+//!   recomputed iff `IIbus > II` (selective re-partitioning).
+//!
+//! All three share one engine: SMS ordering, window scan, transactional
+//! placement and the figure of merit.
+
+use crate::error::SchedError;
+use crate::merit::Merit;
+use crate::order::sms_order;
+use crate::schedule::Schedule;
+use crate::state::{PartialSchedule, Placement};
+use gpsched_ddg::{mii, timing, Ddg, OpId};
+use gpsched_machine::MachineConfig;
+use gpsched_partition::{partition_ddg, Partition, PartitionOptions, PartitionResult};
+
+/// Engine tuning knobs shared by the drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Figure-of-merit comparison threshold (§3.3.1).
+    pub merit_threshold: f64,
+    /// Hard II cap; `None` derives `4·MII + 64` per loop.
+    pub ii_cap: Option<i64>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            merit_threshold: crate::merit::DEFAULT_THRESHOLD,
+            ii_cap: None,
+        }
+    }
+}
+
+fn cap_for(mii: i64, cfg: &DriverConfig) -> i64 {
+    cfg.ii_cap.unwrap_or(4 * mii + 64)
+}
+
+/// II increment after `failures` consecutive failed attempts: +1 for the
+/// first few tries, then gently accelerating. Applied identically to every
+/// driver so the comparison stays fair; pathological loops reach their
+/// feasible II in O(√II) instead of O(II) attempts.
+fn ii_step(failures: usize) -> i64 {
+    1 + failures as i64 / 4
+}
+
+/// Cluster-selection policy of one scheduling attempt.
+enum Policy<'p> {
+    /// Try every cluster, merit decides (URACAM).
+    All,
+    /// Only the partition's cluster (Fixed Partition).
+    Fixed(&'p Partition),
+    /// Partition's cluster first, merit-best other cluster on failure (GP).
+    Prefer(&'p Partition),
+}
+
+/// Candidate issue cycles for `op` given its placed neighbours (the SMS
+/// window: at most II consecutive cycles, direction depending on which
+/// neighbours are placed).
+/// How ascending window scans order their candidate slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScanMode {
+    /// Earliest-first (tight schedules, short lifetimes) — the default.
+    Tight,
+    /// Slots at or above the op's ASAP first. Used as a second chance at
+    /// the same II: placing an op below its ASAP while free slots exist
+    /// above can strangle the windows of not-yet-placed memory/carried
+    /// neighbours, and that failure mode does not heal with a larger II.
+    AsapFirst,
+}
+
+fn window(
+    ps: &PartialSchedule<'_>,
+    ddg: &Ddg,
+    op: OpId,
+    asap: &[i64],
+    max_path: i64,
+    ii: i64,
+    mode: ScanMode,
+) -> Vec<i64> {
+    let mut estart: Option<i64> = None;
+    let mut lstart: Option<i64> = None;
+    for (e, p) in ddg.graph().in_edges(op) {
+        if p == op {
+            continue; // self-loop constrains nothing within one instance
+        }
+        if let Some(pp) = ps.placement(p) {
+            let dep = ddg.dep(e);
+            let cand = pp.time + dep.latency as i64 - ii * dep.distance as i64;
+            estart = Some(estart.map_or(cand, |e: i64| e.max(cand)));
+        }
+    }
+    for (e, s) in ddg.graph().out_edges(op) {
+        if s == op {
+            continue;
+        }
+        if let Some(sp) = ps.placement(s) {
+            let dep = ddg.dep(e);
+            let cand = sp.time - dep.latency as i64 + ii * dep.distance as i64;
+            lstart = Some(lstart.map_or(cand, |l: i64| l.min(cand)));
+        }
+    }
+    // Every window is clamped below by `asap − max_path`. Bottom-up
+    // placements may legitimately dip below ASAP (resource conflicts under
+    // a pinned consumer), but never by more than one iteration's critical
+    // path; without an II-independent floor, ops anchored only through
+    // loop-carried edges drift one iteration earlier per II step and
+    // squeeze later both-sided windows empty at *every* II, so raising the
+    // II would never converge.
+    let a = asap[op.index()];
+    let floor = a - max_path;
+    let asap_first = |lo: i64, hi: i64| -> Vec<i64> {
+        if lo > hi {
+            return Vec::new();
+        }
+        match mode {
+            ScanMode::Tight => (lo..=hi).collect(),
+            ScanMode::AsapFirst => {
+                let split = a.clamp(lo, hi + 1);
+                (split..=hi).chain(lo..split).collect()
+            }
+        }
+    };
+    match (estart, lstart) {
+        (Some(e), Some(l)) => {
+            let e = e.max(floor);
+            if e > l {
+                Vec::new()
+            } else {
+                asap_first(e, l.min(e + ii - 1))
+            }
+        }
+        (Some(e), None) => {
+            let e = e.max(floor);
+            asap_first(e, e + ii - 1)
+        }
+        (None, Some(l)) => ((l - ii + 1).max(floor)..=l).rev().collect(),
+        // Fresh regions anchor at ASAP.
+        (None, None) => (a..a + ii).collect(),
+    }
+}
+
+/// First feasible placement of `op` in `cluster` along `times`, returning
+/// the committed clone.
+fn try_cluster<'a>(
+    ps: &PartialSchedule<'a>,
+    op: OpId,
+    cluster: usize,
+    times: &[i64],
+) -> Option<(PartialSchedule<'a>, Placement)> {
+    for &t in times {
+        if ps.quick_reject(op, cluster, t) {
+            continue;
+        }
+        let mut clone = ps.clone();
+        if clone.place(op, cluster, t).is_ok() {
+            return Some((clone, Placement { cluster, time: t }));
+        }
+    }
+    None
+}
+
+/// Figure of merit of going from `before` to `after` (§3.3.1): consumed
+/// fraction of remaining bus slots, plus per-cluster memory slots and
+/// register lifetimes.
+fn merit_of(before: &PartialSchedule<'_>, after: &PartialSchedule<'_>, nclusters: usize) -> Merit {
+    let mut parts = Vec::with_capacity(2 * nclusters + 1);
+    parts.push(Merit::fraction(
+        after.bus_used() - before.bus_used(),
+        before.bus_free(),
+    ));
+    for c in 0..nclusters {
+        parts.push(Merit::fraction(
+            after.mem_used(c) - before.mem_used(c),
+            before.mem_free(c),
+        ));
+    }
+    for c in 0..nclusters {
+        parts.push(Merit::fraction(
+            after.max_live(c) - before.max_live(c),
+            before.reg_headroom(c),
+        ));
+    }
+    Merit::new(parts)
+}
+
+/// One full scheduling attempt at a fixed II. Returns the completed state,
+/// or `None` if some op could not be placed (the driver then raises the
+/// II).
+fn attempt<'a>(
+    ddg: &'a Ddg,
+    machine: &'a MachineConfig,
+    ii: i64,
+    policy: &Policy<'_>,
+    cfg: &DriverConfig,
+) -> Option<PartialSchedule<'a>> {
+    attempt_with(ddg, machine, ii, policy, cfg, ScanMode::Tight)
+        .or_else(|| attempt_with(ddg, machine, ii, policy, cfg, ScanMode::AsapFirst))
+}
+
+fn attempt_with<'a>(
+    ddg: &'a Ddg,
+    machine: &'a MachineConfig,
+    ii: i64,
+    policy: &Policy<'_>,
+    cfg: &DriverConfig,
+    mode: ScanMode,
+) -> Option<PartialSchedule<'a>> {
+    let t = timing::analyze(ddg, ii, |_| 0)?;
+    let order = sms_order(ddg, ii);
+    let mut ps = PartialSchedule::new(ddg, machine, ii);
+    let nclusters = machine.cluster_count();
+
+    for op in order {
+        let times = window(&ps, ddg, op, &t.asap, t.max_path, ii, mode);
+        if times.is_empty() {
+            return None;
+        }
+        let placed = match policy {
+            Policy::Fixed(p) => {
+                try_cluster(&ps, op, p.cluster_of(op.index()), &times).map(|(s, _)| s)
+            }
+            Policy::Prefer(p) => {
+                let home = p.cluster_of(op.index());
+                match try_cluster(&ps, op, home, &times) {
+                    Some((s, _)) => Some(s),
+                    None => pick_by_merit(
+                        &ps,
+                        op,
+                        &times,
+                        (0..nclusters).filter(|&c| c != home),
+                        nclusters,
+                        cfg.merit_threshold,
+                    ),
+                }
+            }
+            Policy::All => pick_by_merit(
+                &ps,
+                op,
+                &times,
+                0..nclusters,
+                nclusters,
+                cfg.merit_threshold,
+            ),
+        };
+        match placed {
+            Some(next) => ps = next,
+            None => return None,
+        }
+    }
+    Some(ps)
+}
+
+/// Evaluates the candidate clusters and keeps the merit-best feasible one.
+fn pick_by_merit<'a>(
+    ps: &PartialSchedule<'a>,
+    op: OpId,
+    times: &[i64],
+    clusters: impl Iterator<Item = usize>,
+    nclusters: usize,
+    threshold: f64,
+) -> Option<PartialSchedule<'a>> {
+    let mut best: Option<(Merit, PartialSchedule<'a>)> = None;
+    for c in clusters {
+        if let Some((cand, _)) = try_cluster(ps, op, c, times) {
+            let m = merit_of(ps, &cand, nclusters);
+            let better = match &best {
+                None => true,
+                Some((bm, _)) => m.better_than(bm, threshold),
+            };
+            if better {
+                best = Some((m, cand));
+            }
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+/// The URACAM baseline: integrated cluster assignment + scheduling +
+/// register allocation, no partition, every node tries all clusters.
+///
+/// # Errors
+///
+/// [`SchedError::IiLimitExceeded`] when the II cap is reached.
+pub fn uracam(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    cfg: &DriverConfig,
+) -> Result<Schedule, SchedError> {
+    let start = mii::mii(ddg, machine);
+    let cap = cap_for(start, cfg);
+    let mut ii = start;
+    let mut failures = 0usize;
+    while ii <= cap {
+        if let Some(ps) = attempt(ddg, machine, ii, &Policy::All, cfg) {
+            return Ok(Schedule::from_partial(ddg, machine, &ps));
+        }
+        ii += ii_step(failures);
+        failures += 1;
+    }
+    Err(SchedError::IiLimitExceeded { limit: cap })
+}
+
+/// Outcome of the partition-driven schedulers.
+#[derive(Clone, Debug)]
+pub struct PartitionedOutcome {
+    /// The final schedule.
+    pub schedule: Schedule,
+    /// The partition in force when scheduling succeeded.
+    pub partition: PartitionResult,
+    /// How many times the partition was recomputed (always 0 for Fixed).
+    pub repartitions: usize,
+}
+
+/// GP variant (a), *Fixed Partition*: schedule exactly the partition; on
+/// failure raise the II and retry with the same partition.
+///
+/// # Errors
+///
+/// [`SchedError::IiLimitExceeded`] when the II cap is reached.
+pub fn fixed_partition(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    popts: &PartitionOptions,
+    cfg: &DriverConfig,
+) -> Result<PartitionedOutcome, SchedError> {
+    let start = mii::mii(ddg, machine);
+    let cap = cap_for(start, cfg);
+    let part = partition_ddg(ddg, machine, start, popts);
+    let mut ii = start;
+    let mut failures = 0usize;
+    while ii <= cap {
+        if let Some(ps) = attempt(ddg, machine, ii, &Policy::Fixed(&part.partition), cfg) {
+            return Ok(PartitionedOutcome {
+                schedule: Schedule::from_partial(ddg, machine, &ps),
+                partition: part,
+                repartitions: 0,
+            });
+        }
+        ii += ii_step(failures);
+        failures += 1;
+    }
+    Err(SchedError::IiLimitExceeded { limit: cap })
+}
+
+/// The full GP scheme (variant (b)): assigned cluster first, merit-best
+/// other cluster as escape hatch; on failure the II grows and the
+/// partition is recomputed iff the bus bound of the current partition
+/// exceeds the new II (`IIbus > II`), since only then can re-partitioning
+/// pay off (§3.1).
+///
+/// # Errors
+///
+/// [`SchedError::IiLimitExceeded`] when the II cap is reached.
+pub fn gp(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    popts: &PartitionOptions,
+    cfg: &DriverConfig,
+) -> Result<PartitionedOutcome, SchedError> {
+    let start = mii::mii(ddg, machine);
+    let cap = cap_for(start, cfg);
+    let mut part = partition_ddg(ddg, machine, start, popts);
+    let mut repartitions = 0usize;
+    let mut ii = start;
+    let mut failures = 0usize;
+    while ii <= cap {
+        if let Some(ps) = attempt(ddg, machine, ii, &Policy::Prefer(&part.partition), cfg) {
+            return Ok(PartitionedOutcome {
+                schedule: Schedule::from_partial(ddg, machine, &ps),
+                partition: part,
+                repartitions,
+            });
+        }
+        ii += ii_step(failures);
+        failures += 1;
+        if part.cost.ii_bus > ii {
+            part = partition_ddg(ddg, machine, ii, popts);
+            repartitions += 1;
+        }
+    }
+    Err(SchedError::IiLimitExceeded { limit: cap })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_workloads::kernels;
+
+    fn machines() -> Vec<MachineConfig> {
+        vec![
+            MachineConfig::unified(32),
+            MachineConfig::two_cluster(32, 1, 1),
+            MachineConfig::four_cluster(64, 1, 2),
+        ]
+    }
+
+    #[test]
+    fn all_drivers_schedule_all_kernels() {
+        let cfg = DriverConfig::default();
+        let popts = PartitionOptions::default();
+        for ddg in kernels::all_kernels(100) {
+            for m in machines() {
+                let u = uracam(&ddg, &m, &cfg).expect("uracam");
+                let f = fixed_partition(&ddg, &m, &popts, &cfg).expect("fixed");
+                let g = gp(&ddg, &m, &popts, &cfg).expect("gp");
+                for s in [&u, &f.schedule, &g.schedule] {
+                    assert!(s.ii() >= mii::mii(&ddg, &m), "{}", ddg.name());
+                    assert_eq!(s.placements().len(), ddg.op_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unified_machine_needs_no_transfers() {
+        let cfg = DriverConfig::default();
+        let m = MachineConfig::unified(32);
+        for ddg in kernels::all_kernels(100) {
+            let s = uracam(&ddg, &m, &cfg).unwrap();
+            assert!(s.transfers().is_empty(), "{}", ddg.name());
+        }
+    }
+
+    #[test]
+    fn dot_product_achieves_recurrence_bound() {
+        // On the unified machine the reduction's RecMII (3) is achievable.
+        let ddg = kernels::dot_product(1000);
+        let m = MachineConfig::unified(32);
+        let s = uracam(&ddg, &m, &DriverConfig::default()).unwrap();
+        assert_eq!(s.ii(), 3);
+    }
+
+    #[test]
+    fn gp_matches_or_beats_fixed_on_kernels() {
+        // GP's escape hatch can only help (same partition otherwise).
+        let cfg = DriverConfig::default();
+        let popts = PartitionOptions::default();
+        let mut gp_wins = 0i32;
+        let mut fixed_wins = 0i32;
+        for ddg in kernels::all_kernels(500) {
+            let m = MachineConfig::four_cluster(32, 1, 1);
+            let f = fixed_partition(&ddg, &m, &popts, &cfg).unwrap();
+            let g = gp(&ddg, &m, &popts, &cfg).unwrap();
+            let fc = f.schedule.cycles(500);
+            let gc = g.schedule.cycles(500);
+            if gc < fc {
+                gp_wins += 1;
+            }
+            if fc < gc {
+                fixed_wins += 1;
+            }
+        }
+        assert!(gp_wins >= fixed_wins, "gp {gp_wins} vs fixed {fixed_wins}");
+    }
+
+    #[test]
+    fn schedules_respect_register_files() {
+        let cfg = DriverConfig::default();
+        let popts = PartitionOptions::default();
+        for ddg in kernels::all_kernels(200) {
+            let m = MachineConfig::four_cluster(32, 1, 1); // 8 regs/cluster
+            let g = gp(&ddg, &m, &popts, &cfg).unwrap();
+            for (c, &live) in g.schedule.max_live().iter().enumerate() {
+                assert!(
+                    live <= m.cluster(c).registers as i64,
+                    "{}: cluster {c} uses {live} regs",
+                    ddg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ii_cap_error_reported() {
+        // An impossible cap forces the error path.
+        let ddg = kernels::dot_product(10);
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let cfg = DriverConfig {
+            ii_cap: Some(1), // below RecMII=3
+            ..DriverConfig::default()
+        };
+        assert_eq!(
+            uracam(&ddg, &m, &cfg).unwrap_err(),
+            SchedError::IiLimitExceeded { limit: 1 }
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Scheduler errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the scheduling drivers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// No valid modulo schedule was found at or below the II cap. The
+    /// paper's framework falls back to list scheduling in this case
+    /// (§4.1); [`crate::schedule_loop`] does so automatically, so callers
+    /// only see this from the low-level driver entry points.
+    IiLimitExceeded {
+        /// The II cap that was reached.
+        limit: i64,
+    },
+    /// The machine cannot execute the loop at all (e.g. a cluster mix with
+    /// zero units of a required kind).
+    Unschedulable(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::IiLimitExceeded { limit } => {
+                write!(f, "no modulo schedule at or below ii limit {limit}")
+            }
+            SchedError::Unschedulable(why) => write!(f, "loop cannot be scheduled: {why}"),
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SchedError::IiLimitExceeded { limit: 64 };
+        assert!(e.to_string().contains("64"));
+        let u = SchedError::Unschedulable("no fp units".into());
+        assert!(u.to_string().contains("no fp units"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Modulo scheduling for clustered VLIW processors.
+//!
+//! Implements §3.1 and §3.3 of *"Graph-Partitioning Based Instruction
+//! Scheduling for Clustered Processors"* (Aletà et al., MICRO-34, 2001) and
+//! its URACAM comparator (Codina, Sánchez, González, PACT'01):
+//!
+//! * [`order`] — the Swing Modulo Scheduling node ordering;
+//! * [`mrt`] — per-cluster modulo reservation tables for functional units
+//!   and the non-pipelined inter-cluster bus(es);
+//! * [`lifetime`] — register lifetimes and per-cluster `MaxLive` pressure;
+//! * [`merit`] — the multi-dimensional figure of merit (§3.3.1) that
+//!   compares candidate partial schedules;
+//! * [`state`] — the partial schedule: op placement, inter-cluster
+//!   communication (bus transfer or through-memory), spill-on-overflow;
+//! * [`drivers`] — the four schedulers of the evaluation: **GP**,
+//!   **Fixed Partition**, **URACAM**, and the unified machine baseline,
+//!   plus the list-scheduling fallback for loops whose II explodes;
+//! * [`schedule`] — the final [`Schedule`] with the paper's cycle/IPC
+//!   accounting (`cycles = (trips − 1)·II + SL`, prolog/epilog included).
+//!
+//! # Example
+//!
+//! ```
+//! use gpsched_machine::MachineConfig;
+//! use gpsched_sched::{schedule_loop, Algorithm};
+//! use gpsched_workloads::kernels;
+//!
+//! let ddg = kernels::daxpy(1000);
+//! let machine = MachineConfig::two_cluster(32, 1, 1);
+//! let result = schedule_loop(&ddg, &machine, Algorithm::Gp).unwrap();
+//! assert!(result.schedule.ii() >= 1);
+//! assert!(result.ipc() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algo;
+pub mod drivers;
+mod error;
+pub mod lifetime;
+pub mod listsched;
+pub mod merit;
+pub mod mrt;
+pub mod order;
+pub mod schedule;
+pub mod state;
+
+pub use algo::{schedule_loop, schedule_loop_with, Algorithm, LoopResult, ScheduledWith};
+pub use error::SchedError;
+pub use schedule::Schedule;

@@ -1,0 +1,216 @@
+//! List-scheduling fallback (§4.1: "for these cases, list scheduling is
+//! applied").
+//!
+//! A plain acyclic list schedule of one iteration, executed back to back —
+//! no software pipelining. Used when the modulo schedulers exhaust their II
+//! budget (rare: loops with pathological recurrence/pressure interplay).
+
+use crate::schedule::Schedule;
+use crate::state::{CommKind, Placement, Transfer};
+use gpsched_ddg::{Ddg, DepKind};
+use gpsched_machine::{MachineConfig, ResourceKind};
+use gpsched_graph::topo::topo_order;
+
+/// List-schedules one iteration of `ddg` on `machine`.
+///
+/// Ops are walked in topological order of intra-iteration dependences and
+/// greedily placed on the cluster that can start them first (accounting for
+/// one bus transfer per cross-cluster operand). Loop-carried dependences
+/// are satisfied by construction because iterations do not overlap.
+pub fn list_schedule(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
+    let order = topo_order(ddg.graph(), |_, d| d.distance == 0)
+        .expect("distance-0 subgraph is acyclic by construction");
+    let nclusters = machine.cluster_count();
+    let bus_lat = machine.bus_latency as i64;
+
+    // Busy tables grow on demand: fu[cluster][kind][cycle] = units used.
+    let mut fu: Vec<[Vec<u32>; 3]> = (0..nclusters)
+        .map(|_| [Vec::new(), Vec::new(), Vec::new()])
+        .collect();
+    let mut bus: Vec<u32> = Vec::new();
+    let mut placements: Vec<Placement> = vec![
+        Placement {
+            cluster: 0,
+            time: 0
+        };
+        ddg.op_count()
+    ];
+    let mut transfers: Vec<Transfer> = Vec::new();
+
+    let units = |c: usize, k: ResourceKind| machine.cluster(c).units(k);
+    let fu_free = |fu: &Vec<[Vec<u32>; 3]>, c: usize, k: ResourceKind, t: i64| -> bool {
+        let row = &fu[c][k.index()];
+        let t = t as usize;
+        t >= row.len() || row[t] < units(c, k)
+    };
+
+    for &op in &order {
+        let kind = ddg.op(op).class.resource();
+        // Earliest start per cluster given operand locations.
+        let mut best: Option<(i64, usize)> = None;
+        for c in 0..nclusters {
+            if units(c, kind) == 0 {
+                continue;
+            }
+            let mut ready = 0i64;
+            for (e, p) in ddg.graph().in_edges(op) {
+                let dep = ddg.dep(e);
+                if dep.distance != 0 {
+                    continue;
+                }
+                let done = placements[p.index()].time + dep.latency as i64;
+                let avail = if dep.kind == DepKind::Flow && placements[p.index()].cluster != c
+                {
+                    done + bus_lat
+                } else {
+                    done
+                };
+                ready = ready.max(avail);
+            }
+            let mut t = ready;
+            while !fu_free(&fu, c, kind, t) {
+                t += 1;
+            }
+            if best.map_or(true, |(bt, _)| t < bt) {
+                best = Some((t, c));
+            }
+        }
+        let (t, c) = best.expect("machine has units for every op kind");
+        // Commit FU.
+        let row = &mut fu[c][kind.index()];
+        if row.len() <= t as usize {
+            row.resize(t as usize + 1, 0);
+        }
+        row[t as usize] += 1;
+        placements[op.index()] = Placement { cluster: c, time: t };
+        // Commit one bus transfer per cross-cluster operand value.
+        for (e, p) in ddg.graph().in_edges(op).collect::<Vec<_>>() {
+            let dep = *ddg.dep(e);
+            if dep.distance != 0 || dep.kind != DepKind::Flow {
+                continue;
+            }
+            let pp = placements[p.index()];
+            if pp.cluster == c {
+                continue;
+            }
+            if transfers
+                .iter()
+                .any(|tr| tr.producer == p.index() && tr.to == c)
+            {
+                continue;
+            }
+            let mut x = pp.time + dep.latency as i64;
+            let fits = |bus: &Vec<u32>, x: i64| {
+                (0..bus_lat).all(|j| {
+                    let s = (x + j) as usize;
+                    s >= bus.len() || bus[s] < machine.buses
+                })
+            };
+            while !fits(&bus, x) {
+                x += 1;
+            }
+            if bus.len() < (x + bus_lat) as usize {
+                bus.resize((x + bus_lat) as usize, 0);
+            }
+            for j in 0..bus_lat {
+                bus[(x + j) as usize] += 1;
+            }
+            transfers.push(Transfer {
+                producer: p.index(),
+                from: pp.cluster,
+                to: c,
+                kind: CommKind::Bus { start: x },
+                read_time: x,
+                arrival: x + bus_lat,
+            });
+        }
+    }
+
+    // Length: last completion (ops and transfers).
+    let mut length = 1i64;
+    for op in ddg.op_ids() {
+        let p = placements[op.index()];
+        length = length.max(p.time + ddg.op(op).latency as i64);
+    }
+    for t in &transfers {
+        length = length.max(t.arrival);
+    }
+
+    // Crude MaxLive accounting for reporting (registers are not a limiter
+    // in the non-overlapped fallback).
+    let mut max_live = vec![0i64; nclusters];
+    for op in ddg.op_ids() {
+        if ddg.op(op).class.defines_value() {
+            max_live[placements[op.index()].cluster] += 1;
+        }
+    }
+
+    Schedule::from_list(placements, transfers, length, max_live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_workloads::kernels;
+
+    #[test]
+    fn respects_dependences_and_resources() {
+        for ddg in kernels::all_kernels(10) {
+            for m in [
+                MachineConfig::unified(32),
+                MachineConfig::two_cluster(32, 1, 1),
+                MachineConfig::four_cluster(32, 1, 2),
+            ] {
+                let s = list_schedule(&ddg, &m);
+                // Dependences hold within one iteration.
+                for e in ddg.dep_ids() {
+                    let dep = ddg.dep(e);
+                    if dep.distance != 0 {
+                        continue;
+                    }
+                    let (p, c) = ddg.dep_endpoints(e);
+                    let pp = s.placements()[p.index()];
+                    let cp = s.placements()[c.index()];
+                    let mut avail = pp.time + dep.latency as i64;
+                    if dep.kind == gpsched_ddg::DepKind::Flow && pp.cluster != cp.cluster {
+                        avail += m.bus_latency as i64;
+                    }
+                    assert!(
+                        cp.time >= avail,
+                        "{}: dep violated on {}",
+                        ddg.name(),
+                        m.short_name()
+                    );
+                }
+                // FU capacity per cycle.
+                let mut counts = std::collections::HashMap::new();
+                for op in ddg.op_ids() {
+                    let p = s.placements()[op.index()];
+                    let k = ddg.op(op).class.resource();
+                    *counts.entry((p.cluster, k, p.time)).or_insert(0u32) += 1;
+                }
+                for ((c, k, _), n) in counts {
+                    assert!(n <= m.cluster(c).units(k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn list_cycles_scale_linearly() {
+        let ddg = kernels::daxpy(100);
+        let m = MachineConfig::unified(32);
+        let s = list_schedule(&ddg, &m);
+        // List schedules do not overlap iterations: II == SL.
+        assert_eq!(s.ii(), s.length().max(1));
+        assert_eq!(s.cycles(100), 100 * s.length() as u64);
+    }
+
+    #[test]
+    fn unified_machine_never_pays_bus() {
+        let ddg = kernels::complex_multiply(10);
+        let m = MachineConfig::unified(32);
+        let s = list_schedule(&ddg, &m);
+        assert!(s.transfers().is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! Modulo reservation tables for functional units and buses.
+//!
+//! All placement times are absolute cycles (possibly negative during
+//! scheduling); a resource used at time `t` occupies kernel slot
+//! `t mod II` (Euclidean, so negative times wrap correctly).
+
+use gpsched_machine::{ClusterConfig, ResourceKind};
+
+/// Euclidean modulo slot of an absolute time.
+pub fn slot(t: i64, ii: i64) -> usize {
+    t.rem_euclid(ii) as usize
+}
+
+/// Reservation table of one cluster's functional units at a fixed II.
+#[derive(Clone, Debug)]
+pub struct ClusterMrt {
+    ii: i64,
+    caps: [u32; 3],
+    used: [Vec<u32>; 3],
+}
+
+impl ClusterMrt {
+    /// Creates an empty table for `cluster` at interval `ii`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii < 1`.
+    pub fn new(cluster: &ClusterConfig, ii: i64) -> Self {
+        assert!(ii >= 1, "ii must be positive");
+        let caps = [
+            cluster.units(ResourceKind::IntAlu),
+            cluster.units(ResourceKind::FpAlu),
+            cluster.units(ResourceKind::MemPort),
+        ];
+        ClusterMrt {
+            ii,
+            caps,
+            used: [
+                vec![0; ii as usize],
+                vec![0; ii as usize],
+                vec![0; ii as usize],
+            ],
+        }
+    }
+
+    /// Can an op of `kind` issue at absolute time `t`?
+    pub fn can_place(&self, kind: ResourceKind, t: i64) -> bool {
+        self.free_at(kind, t) > 0
+    }
+
+    /// Units of `kind` still free at the slot of absolute time `t`.
+    pub fn free_at(&self, kind: ResourceKind, t: i64) -> u32 {
+        let k = kind.index();
+        self.caps[k] - self.used[k][slot(t, self.ii)]
+    }
+
+    /// Reserves one unit of `kind` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already full.
+    pub fn place(&mut self, kind: ResourceKind, t: i64) {
+        let k = kind.index();
+        let s = slot(t, self.ii);
+        assert!(self.used[k][s] < self.caps[k], "slot {s} of {kind} full");
+        self.used[k][s] += 1;
+    }
+
+    /// Releases one unit of `kind` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was reserved there.
+    pub fn remove(&mut self, kind: ResourceKind, t: i64) {
+        let k = kind.index();
+        let s = slot(t, self.ii);
+        assert!(self.used[k][s] > 0, "nothing reserved at slot {s} of {kind}");
+        self.used[k][s] -= 1;
+    }
+
+    /// Total slots of `kind` per kernel window (`units × II`).
+    pub fn capacity(&self, kind: ResourceKind) -> i64 {
+        self.caps[kind.index()] as i64 * self.ii
+    }
+
+    /// Slots of `kind` currently used.
+    pub fn used_slots(&self, kind: ResourceKind) -> i64 {
+        self.used[kind.index()].iter().map(|&u| u as i64).sum()
+    }
+
+    /// Free slots of `kind`.
+    pub fn free_slots(&self, kind: ResourceKind) -> i64 {
+        self.capacity(kind) - self.used_slots(kind)
+    }
+}
+
+/// Reservation table of the non-pipelined inter-cluster bus(es).
+///
+/// A transfer starting at `t` occupies one bus for `lat` consecutive
+/// cycles; with `n` buses a window is schedulable when every slot in it has
+/// fewer than `n` transfers in flight. (With one bus — the evaluated
+/// configuration — this is exact; with more it ignores fragmentation across
+/// buses, a documented simplification.)
+#[derive(Clone, Debug)]
+pub struct BusTable {
+    ii: i64,
+    buses: u32,
+    lat: u32,
+    used: Vec<u32>,
+}
+
+impl BusTable {
+    /// Creates an empty bus table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii < 1`, `buses == 0` or `lat == 0`.
+    pub fn new(buses: u32, lat: u32, ii: i64) -> Self {
+        assert!(ii >= 1 && buses > 0 && lat > 0, "invalid bus table shape");
+        BusTable {
+            ii,
+            buses,
+            lat,
+            used: vec![0; ii as usize],
+        }
+    }
+
+    /// Transfer duration in cycles.
+    pub fn latency(&self) -> i64 {
+        self.lat as i64
+    }
+
+    /// Can a transfer start at absolute time `t`?
+    ///
+    /// Always `false` when the transfer latency exceeds the II (the window
+    /// would overlap itself — the paper's non-pipelined bus cannot sustain
+    /// one transfer per iteration then).
+    pub fn can_reserve(&self, t: i64) -> bool {
+        if self.lat as i64 > self.ii {
+            return false;
+        }
+        (0..self.lat as i64).all(|j| self.used[slot(t + j, self.ii)] < self.buses)
+    }
+
+    /// Reserves a transfer starting at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not free.
+    pub fn reserve(&mut self, t: i64) {
+        assert!(self.can_reserve(t), "bus window at {t} not free");
+        for j in 0..self.lat as i64 {
+            self.used[slot(t + j, self.ii)] += 1;
+        }
+    }
+
+    /// Releases a transfer previously reserved at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window was not reserved.
+    pub fn release(&mut self, t: i64) {
+        for j in 0..self.lat as i64 {
+            let s = slot(t + j, self.ii);
+            assert!(self.used[s] > 0, "bus slot {s} not reserved");
+            self.used[s] -= 1;
+        }
+    }
+
+    /// Total bus slots per kernel window.
+    pub fn capacity(&self) -> i64 {
+        self.buses as i64 * self.ii
+    }
+
+    /// Bus slots currently occupied.
+    pub fn used_slots(&self) -> i64 {
+        self.used.iter().map(|&u| u as i64).sum()
+    }
+
+    /// Free bus slots.
+    pub fn free_slots(&self) -> i64 {
+        self.capacity() - self.used_slots()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_machine::MachineConfig;
+
+    fn cluster() -> ClusterConfig {
+        *MachineConfig::two_cluster(32, 1, 1).cluster(0)
+    }
+
+    #[test]
+    fn slot_wraps_negative_times() {
+        assert_eq!(slot(-1, 4), 3);
+        assert_eq!(slot(-5, 4), 3);
+        assert_eq!(slot(7, 4), 3);
+        assert_eq!(slot(0, 4), 0);
+    }
+
+    #[test]
+    fn fu_capacity_per_slot() {
+        let mut mrt = ClusterMrt::new(&cluster(), 2); // 2 int units
+        assert!(mrt.can_place(ResourceKind::IntAlu, 0));
+        mrt.place(ResourceKind::IntAlu, 0);
+        mrt.place(ResourceKind::IntAlu, 0);
+        assert!(!mrt.can_place(ResourceKind::IntAlu, 0));
+        // Same slot modulo II.
+        assert!(!mrt.can_place(ResourceKind::IntAlu, 2));
+        assert!(mrt.can_place(ResourceKind::IntAlu, 1));
+        mrt.remove(ResourceKind::IntAlu, 2); // releases slot 0
+        assert!(mrt.can_place(ResourceKind::IntAlu, 0));
+    }
+
+    #[test]
+    fn fu_slot_accounting() {
+        let mut mrt = ClusterMrt::new(&cluster(), 3);
+        assert_eq!(mrt.capacity(ResourceKind::MemPort), 6);
+        assert_eq!(mrt.free_slots(ResourceKind::MemPort), 6);
+        mrt.place(ResourceKind::MemPort, 4);
+        assert_eq!(mrt.used_slots(ResourceKind::MemPort), 1);
+        assert_eq!(mrt.free_slots(ResourceKind::MemPort), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn fu_overflow_panics() {
+        let mut mrt = ClusterMrt::new(&cluster(), 1);
+        mrt.place(ResourceKind::FpAlu, 0);
+        mrt.place(ResourceKind::FpAlu, 0);
+        mrt.place(ResourceKind::FpAlu, 0);
+    }
+
+    #[test]
+    fn bus_occupies_consecutive_slots() {
+        let mut bus = BusTable::new(1, 2, 4);
+        assert!(bus.can_reserve(1));
+        bus.reserve(1); // occupies slots 1 and 2
+        assert!(!bus.can_reserve(0)); // window 0,1 hits slot 1
+        assert!(!bus.can_reserve(2)); // window 2,3 hits slot 2
+        assert!(bus.can_reserve(3)); // window 3,0 free
+        assert_eq!(bus.used_slots(), 2);
+        bus.release(1);
+        assert_eq!(bus.used_slots(), 0);
+    }
+
+    #[test]
+    fn bus_latency_longer_than_ii_is_infeasible() {
+        let bus = BusTable::new(1, 2, 1);
+        assert!(!bus.can_reserve(0));
+    }
+
+    #[test]
+    fn two_buses_double_capacity() {
+        let mut bus = BusTable::new(2, 1, 2);
+        bus.reserve(0);
+        assert!(bus.can_reserve(0));
+        bus.reserve(0);
+        assert!(!bus.can_reserve(0));
+        assert!(bus.can_reserve(1));
+        assert_eq!(bus.capacity(), 4);
+        assert_eq!(bus.free_slots(), 2);
+    }
+}

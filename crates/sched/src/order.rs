@@ -1,0 +1,376 @@
+//! Swing Modulo Scheduling node ordering (Llosa et al., PACT'96; §3.3.3).
+//!
+//! Nodes are ordered so that each is placed close to its already-placed
+//! neighbours, never leaving both a predecessor and a successor unplaced on
+//! opposite sides for long. The algorithm:
+//!
+//! 1. group nodes into *sets*: non-trivial SCCs (recurrences) by decreasing
+//!    criticality (their RecMII), then all remaining nodes;
+//! 2. traverse each set alternating bottom-up/top-down sweeps, picking the
+//!    node with the greatest height (top-down) or depth (bottom-up), with
+//!    mobility and id as tie-breakers.
+
+use gpsched_ddg::{timing, Ddg, OpId};
+use gpsched_graph::scc::tarjan_scc;
+use gpsched_graph::NodeId;
+use std::collections::HashSet;
+
+/// Computes the SMS scheduling order of all ops in `ddg` for interval `ii`
+/// (used for the ASAP/ALAP-derived priorities; any `ii ≥ RecMII` gives a
+/// valid order).
+///
+/// # Panics
+///
+/// Panics if `ii` is below the DDG's recurrence MII.
+pub fn sms_order(ddg: &Ddg, ii: i64) -> Vec<OpId> {
+    let n = ddg.op_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let t = timing::analyze(ddg, ii, |_| 0).expect("ii must be >= RecMII");
+    // depth = earliest start (longest path in), height = longest path out.
+    let depth: Vec<i64> = t.asap.clone();
+    let span = t.asap.iter().copied().max().unwrap_or(0);
+    let height: Vec<i64> = t.alap.iter().map(|&a| span - a).collect();
+    let mobility: Vec<i64> = (0..n).map(|v| t.alap[v] - t.asap[v]).collect();
+
+    // Sets: recurrences by decreasing RecMII, then everything else.
+    let comps = tarjan_scc(ddg.graph());
+    let mut rec_sets: Vec<(i64, Vec<usize>)> = Vec::new();
+    let mut in_recurrence = vec![false; n];
+    for comp in &comps {
+        let non_trivial = comp.len() > 1
+            || ddg
+                .graph()
+                .out_edges(comp[0])
+                .any(|(_, w)| w == comp[0]);
+        if non_trivial {
+            let rec = recurrence_mii(ddg, comp);
+            let members: Vec<usize> = comp.iter().map(|c| c.index()).collect();
+            for &m in &members {
+                in_recurrence[m] = true;
+            }
+            rec_sets.push((rec, members));
+        }
+    }
+    // Decreasing criticality; deterministic tie-break on smallest member.
+    rec_sets.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then_with(|| a.1.iter().min().cmp(&b.1.iter().min()))
+    });
+
+    // Llosa's set formation: each recurrence set is augmented with the
+    // nodes lying on paths between it and the previously processed sets,
+    // so every sweep stays connected to what is already ordered. Nodes of
+    // later recurrences are excluded (they arrive with their own set).
+    let reach = |starts: &HashSet<usize>, forward: bool| -> HashSet<usize> {
+        let mut seen: HashSet<usize> = starts.clone();
+        let mut stack: Vec<usize> = starts.iter().copied().collect();
+        while let Some(v) = stack.pop() {
+            let id = NodeId::from_index(v);
+            let next: Vec<usize> = if forward {
+                ddg.graph().successors(id).map(|s| s.index()).collect()
+            } else {
+                ddg.graph().predecessors(id).map(|p| p.index()).collect()
+            };
+            for w in next {
+                if seen.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    };
+    let mut sets: Vec<Vec<usize>> = Vec::new();
+    let mut processed: HashSet<usize> = HashSet::new();
+    for (i, (_, core)) in rec_sets.iter().enumerate() {
+        let core_set: HashSet<usize> = core.iter().copied().collect();
+        let mut members = core_set.clone();
+        if !processed.is_empty() {
+            let later_cores: HashSet<usize> = rec_sets[i + 1..]
+                .iter()
+                .flat_map(|(_, s)| s.iter().copied())
+                .collect();
+            let desc_p = reach(&processed, true);
+            let anc_p = reach(&processed, false);
+            let desc_r = reach(&core_set, true);
+            let anc_r = reach(&core_set, false);
+            for v in 0..n {
+                let on_path = (desc_p.contains(&v) && anc_r.contains(&v))
+                    || (desc_r.contains(&v) && anc_p.contains(&v));
+                if on_path && !processed.contains(&v) && !later_cores.contains(&v) {
+                    members.insert(v);
+                }
+            }
+        }
+        let mut list: Vec<usize> = members.difference(&processed).copied().collect();
+        list.sort_unstable();
+        processed.extend(list.iter().copied());
+        sets.push(list);
+    }
+    let rest: Vec<usize> = (0..n)
+        .filter(|v| !processed.contains(v) && !in_recurrence[*v])
+        .collect();
+    if !rest.is_empty() {
+        sets.push(rest);
+    }
+
+    // Neighbour queries on the whole graph (all distances).
+    let preds = |v: usize| -> Vec<usize> {
+        ddg.graph()
+            .predecessors(NodeId::from_index(v))
+            .map(|p| p.index())
+            .collect()
+    };
+    let succs = |v: usize| -> Vec<usize> {
+        ddg.graph()
+            .successors(NodeId::from_index(v))
+            .map(|s| s.index())
+            .collect()
+    };
+
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+
+    for set in sets {
+        let sset: HashSet<usize> = set.iter().copied().collect();
+        // Work list seeding: prefer connecting to already-ordered nodes.
+        let pred_connected: Vec<usize> = set
+            .iter()
+            .copied()
+            .filter(|&v| !placed[v] && succs(v).iter().any(|&s| placed[s]))
+            .collect();
+        let succ_connected: Vec<usize> = set
+            .iter()
+            .copied()
+            .filter(|&v| !placed[v] && preds(v).iter().any(|&p| placed[p]))
+            .collect();
+        let (mut work, mut bottom_up) = if !pred_connected.is_empty() {
+            (pred_connected, true)
+        } else if !succ_connected.is_empty() {
+            (succ_connected, false)
+        } else {
+            // Fresh component: start from its sources, top-down.
+            let sources: Vec<usize> = set
+                .iter()
+                .copied()
+                .filter(|&v| !placed[v] && preds(v).iter().all(|&p| !sset.contains(&p)))
+                .collect();
+            if sources.is_empty() {
+                (set.iter().copied().filter(|&v| !placed[v]).collect(), false)
+            } else {
+                (sources, false)
+            }
+        };
+
+        // Readiness over intra-iteration edges: a node picked before all
+        // its distance-0 predecessors (top-down; successors bottom-up)
+        // forces those neighbours into both-sided windows later, whose
+        // squeeze does not heal with a larger II. Ready nodes come first.
+        let ready = |v: usize, bottom_up: bool, placed: &[bool]| -> bool {
+            let id = NodeId::from_index(v);
+            if bottom_up {
+                ddg.graph().out_edges(id).all(|(e, s)| {
+                    s.index() == v || ddg.dep(e).distance > 0 || placed[s.index()]
+                })
+            } else {
+                ddg.graph().in_edges(id).all(|(e, p)| {
+                    p.index() == v || ddg.dep(e).distance > 0 || placed[p.index()]
+                })
+            }
+        };
+
+        loop {
+            // Sweep the current work list in the current direction.
+            while !work.is_empty() {
+                let pick = *work
+                    .iter()
+                    .max_by_key(|&&v| {
+                        let primary = if bottom_up { depth[v] } else { height[v] };
+                        (
+                            ready(v, bottom_up, &placed),
+                            primary,
+                            -mobility[v],
+                            std::cmp::Reverse(v),
+                        )
+                    })
+                    .expect("work list non-empty");
+                work.retain(|&v| v != pick);
+                if placed[pick] {
+                    continue;
+                }
+                placed[pick] = true;
+                order.push(pick);
+                let next = if bottom_up { preds(pick) } else { succs(pick) };
+                for v in next {
+                    if !placed[v] && sset.contains(&v) && !work.contains(&v) {
+                        work.push(v);
+                    }
+                }
+            }
+            // Flip direction: pick up set nodes adjacent to what's ordered.
+            let remaining: Vec<usize> = set.iter().copied().filter(|&v| !placed[v]).collect();
+            if remaining.is_empty() {
+                break;
+            }
+            bottom_up = !bottom_up;
+            work = remaining
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    if bottom_up {
+                        succs(v).iter().any(|&s| placed[s])
+                    } else {
+                        preds(v).iter().any(|&p| placed[p])
+                    }
+                })
+                .collect();
+            if work.is_empty() {
+                // Disconnected leftover inside the set.
+                work = vec![remaining[0]];
+            }
+        }
+    }
+
+    debug_assert_eq!(order.len(), n);
+    order.into_iter().map(NodeId::from_index).collect()
+}
+
+/// RecMII of one strongly connected component (restricted subgraph).
+fn recurrence_mii(ddg: &Ddg, comp: &[OpId]) -> i64 {
+    let members: HashSet<usize> = comp.iter().map(|c| c.index()).collect();
+    let mut local: Vec<usize> = members.iter().copied().collect();
+    local.sort_unstable();
+    let index_of = |v: usize| local.binary_search(&v).expect("member");
+    let deps: Vec<(usize, usize, i64, i64)> = ddg
+        .dep_ids()
+        .filter_map(|e| {
+            let (s, d) = ddg.dep_endpoints(e);
+            if members.contains(&s.index()) && members.contains(&d.index()) {
+                let dep = ddg.dep(e);
+                Some((
+                    index_of(s.index()),
+                    index_of(d.index()),
+                    dep.latency as i64,
+                    dep.distance as i64,
+                ))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let upper: i64 = deps.iter().map(|d| d.2.max(0)).sum::<i64>().max(1);
+    gpsched_graph::feasibility::min_feasible_ii(local.len(), &deps, 1, upper).unwrap_or(upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_ddg::{mii, DdgBuilder};
+    use gpsched_machine::OpClass;
+    use gpsched_workloads::kernels;
+
+    fn position(order: &[OpId], op: OpId) -> usize {
+        order.iter().position(|&o| o == op).expect("op in order")
+    }
+
+    #[test]
+    fn covers_every_op_once() {
+        for ddg in kernels::all_kernels(100) {
+            let ii = mii::rec_mii(&ddg);
+            let order = sms_order(&ddg, ii);
+            assert_eq!(order.len(), ddg.op_count(), "{}", ddg.name());
+            let mut seen: Vec<usize> = order.iter().map(|o| o.index()).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), ddg.op_count(), "{}", ddg.name());
+        }
+    }
+
+    #[test]
+    fn recurrence_nodes_come_first() {
+        // dot product: the reduction (acc) is the critical recurrence.
+        let ddg = kernels::dot_product(100);
+        let ii = mii::rec_mii(&ddg);
+        let order = sms_order(&ddg, ii);
+        // acc is op index 3 in the builder; it must precede the loads.
+        let acc = gpsched_graph::NodeId::from_index(3);
+        assert_eq!(position(&order, acc), 0);
+    }
+
+    #[test]
+    fn neighbours_are_never_isolated() {
+        // SMS property: every node (except the first of each connected
+        // region) has a graph neighbour among previously ordered nodes.
+        for ddg in kernels::all_kernels(50) {
+            let ii = mii::rec_mii(&ddg);
+            let order = sms_order(&ddg, ii);
+            let mut placed = vec![false; ddg.op_count()];
+            for &op in &order {
+                let has_placed_neighbor = ddg
+                    .graph()
+                    .predecessors(op)
+                    .chain(ddg.graph().successors(op))
+                    .any(|n| placed[n.index()]);
+                let any_placed_connected = ddg
+                    .graph()
+                    .predecessors(op)
+                    .chain(ddg.graph().successors(op))
+                    .count()
+                    > 0
+                    && placed.iter().any(|&p| p);
+                // Either it connects to the placed set, or nothing placed
+                // yet is connected to it (start of a region).
+                if any_placed_connected && !has_placed_neighbor {
+                    // Allowed only when none of its neighbours are placed
+                    // anywhere — i.e. its region starts fresh.
+                    continue;
+                }
+                placed[op.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn critical_recurrence_precedes_lesser_one() {
+        let mut b = DdgBuilder::new("t");
+        // Critical: fp mul+add cycle (RecMII 6).
+        let m1 = b.op(OpClass::FpMul, "m1");
+        let a1 = b.op(OpClass::FpAdd, "a1");
+        b.flow(m1, a1);
+        b.flow_carried(a1, m1, 1);
+        // Lesser: int cycle (RecMII 2).
+        let i1 = b.op(OpClass::IntAlu, "i1");
+        let i2 = b.op(OpClass::IntAlu, "i2");
+        b.flow(i1, i2);
+        b.flow_carried(i2, i1, 1);
+        let ddg = b.build().unwrap();
+        let order = sms_order(&ddg, 6);
+        assert!(position(&order, m1) < position(&order, i1));
+        assert!(position(&order, a1) < position(&order, i2));
+    }
+
+    #[test]
+    fn empty_ddg_gives_empty_order() {
+        let b = DdgBuilder::new("empty");
+        let ddg = b.build().unwrap();
+        assert!(sms_order(&ddg, 1).is_empty());
+    }
+
+    #[test]
+    fn chain_is_ordered_monotonically() {
+        // For a pure chain the order must follow the chain (each node has
+        // its neighbour already placed).
+        let mut b = DdgBuilder::new("chain");
+        let ops: Vec<_> = (0..6).map(|i| b.op(OpClass::IntAlu, format!("o{i}"))).collect();
+        for w in ops.windows(2) {
+            b.flow(w[0], w[1]);
+        }
+        let ddg = b.build().unwrap();
+        let order = sms_order(&ddg, 1);
+        let positions: Vec<usize> = ops.iter().map(|&o| position(&order, o)).collect();
+        let sorted_up = positions.windows(2).all(|w| w[0] < w[1]);
+        let sorted_down = positions.windows(2).all(|w| w[0] > w[1]);
+        assert!(sorted_up || sorted_down, "chain order broken: {positions:?}");
+    }
+}

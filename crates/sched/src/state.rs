@@ -1,0 +1,870 @@
+//! The partial modulo schedule: placement, communication, spill.
+//!
+//! [`PartialSchedule`] owns the reservation tables, the register-pressure
+//! table, the inter-cluster transfers and the spills of one scheduling
+//! attempt at a fixed II. Placement is transactional by cloning: the driver
+//! clones the state, tries [`PartialSchedule::place`], and keeps the clone
+//! only on success — unscheduling machinery is unnecessary, matching the
+//! paper's "no backtracking" design (§3.3.2; only spill code and
+//! communications-through-memory are ever revisited, which the clone model
+//! subsumes).
+
+use crate::lifetime::PressureTable;
+use crate::mrt::{BusTable, ClusterMrt};
+use gpsched_ddg::{Ddg, DepKind, OpId};
+use gpsched_machine::{MachineConfig, OpClass, ResourceKind};
+
+/// Where and when an op was placed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Absolute issue cycle (normalized to ≥ 0 only in the final
+    /// [`crate::Schedule`]).
+    pub time: i64,
+}
+
+/// How a value crosses clusters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommKind {
+    /// Over a bus: occupies a bus for the bus latency starting here.
+    Bus {
+        /// Transfer start cycle (register of the producer is read then).
+        start: i64,
+    },
+    /// Through memory: a store in the source cluster, a load in the
+    /// destination cluster (§3.3.2's bus-relief transformation).
+    Memory {
+        /// Store issue cycle (source cluster memory port).
+        store: i64,
+        /// Load issue cycle (destination cluster memory port).
+        load: i64,
+        /// The store is shared with a spill (no separate memory slot).
+        reuses_spill: bool,
+    },
+}
+
+/// One inter-cluster value transfer.
+#[derive(Clone, Debug)]
+pub struct Transfer {
+    /// Producing op (index).
+    pub producer: usize,
+    /// Source cluster.
+    pub from: usize,
+    /// Destination cluster.
+    pub to: usize,
+    /// Transport used.
+    pub kind: CommKind,
+    /// Cycle the producer's register is read in the source cluster.
+    pub read_time: i64,
+    /// Cycle the value becomes available in the destination cluster.
+    pub arrival: i64,
+}
+
+/// A reload inserted for a spilled value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpillLoad {
+    /// Load issue cycle.
+    pub time: i64,
+    /// The consumer read this reload feeds.
+    pub use_time: i64,
+}
+
+/// A spilled value: store after definition, loads before late uses.
+#[derive(Clone, Debug)]
+pub struct Spill {
+    /// Producing op (index).
+    pub producer: usize,
+    /// Cluster holding the value.
+    pub cluster: usize,
+    /// Store issue cycle.
+    pub store: i64,
+    /// Reloads feeding uses later than the store.
+    pub loads: Vec<SpillLoad>,
+}
+
+/// Why a placement attempt failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlaceError {
+    /// No functional unit of the op's kind free at that slot.
+    FunctionalUnit,
+    /// An intra-cluster dependence deadline cannot be met at that cycle.
+    Timing,
+    /// No bus or memory path satisfies a cross-cluster dependence.
+    Communication,
+    /// Register pressure exceeds the register file even after spilling.
+    Registers,
+}
+
+/// A partial modulo schedule at a fixed II.
+#[derive(Clone, Debug)]
+pub struct PartialSchedule<'a> {
+    ddg: &'a Ddg,
+    machine: &'a MachineConfig,
+    ii: i64,
+    placements: Vec<Option<Placement>>,
+    mrts: Vec<ClusterMrt>,
+    bus: BusTable,
+    pressure: PressureTable,
+    transfers: Vec<Transfer>,
+    spills: Vec<Spill>,
+    /// Spill rounds allowed per placement (safety valve).
+    max_spill_rounds: usize,
+}
+
+impl<'a> PartialSchedule<'a> {
+    /// Creates an empty schedule for `ddg` on `machine` at interval `ii`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii < 1`.
+    pub fn new(ddg: &'a Ddg, machine: &'a MachineConfig, ii: i64) -> Self {
+        assert!(ii >= 1, "ii must be positive");
+        let mrts = machine
+            .clusters()
+            .map(|c| ClusterMrt::new(c, ii))
+            .collect();
+        let caps = machine.clusters().map(|c| c.registers as i64).collect();
+        PartialSchedule {
+            ddg,
+            machine,
+            ii,
+            placements: vec![None; ddg.op_count()],
+            mrts,
+            bus: BusTable::new(machine.buses, machine.bus_latency, ii),
+            pressure: PressureTable::new(caps, ii),
+            transfers: Vec::new(),
+            spills: Vec::new(),
+            max_spill_rounds: 8,
+        }
+    }
+
+    /// The initiation interval of this attempt.
+    pub fn ii(&self) -> i64 {
+        self.ii
+    }
+
+    /// Placement of `op`, if placed.
+    pub fn placement(&self, op: OpId) -> Option<Placement> {
+        self.placements[op.index()]
+    }
+
+    /// Number of ops placed so far.
+    pub fn placed_count(&self) -> usize {
+        self.placements.iter().flatten().count()
+    }
+
+    /// The transfers created so far.
+    pub fn transfers(&self) -> &[Transfer] {
+        &self.transfers
+    }
+
+    /// The spills created so far.
+    pub fn spills(&self) -> &[Spill] {
+        &self.spills
+    }
+
+    /// Free bus slots.
+    pub fn bus_free(&self) -> i64 {
+        self.bus.free_slots()
+    }
+
+    /// Occupied bus slots.
+    pub fn bus_used(&self) -> i64 {
+        self.bus.used_slots()
+    }
+
+    /// Free memory slots of `cluster`.
+    pub fn mem_free(&self, cluster: usize) -> i64 {
+        self.mrts[cluster].free_slots(ResourceKind::MemPort)
+    }
+
+    /// Occupied memory slots of `cluster`.
+    pub fn mem_used(&self, cluster: usize) -> i64 {
+        self.mrts[cluster].used_slots(ResourceKind::MemPort)
+    }
+
+    /// Register headroom of `cluster` (capacity − MaxLive).
+    pub fn reg_headroom(&self, cluster: usize) -> i64 {
+        self.pressure.headroom(cluster)
+    }
+
+    /// `MaxLive` of `cluster`.
+    pub fn max_live(&self, cluster: usize) -> i64 {
+        self.pressure.max_live(cluster)
+    }
+
+    fn op_latency(&self, op: usize) -> i64 {
+        self.ddg
+            .op(gpsched_graph::NodeId::from_index(op))
+            .latency as i64
+    }
+
+    fn op_class(&self, op: usize) -> OpClass {
+        self.ddg.op(gpsched_graph::NodeId::from_index(op)).class
+    }
+
+    fn store_latency(&self) -> i64 {
+        self.machine.latencies.store as i64
+    }
+
+    fn load_latency(&self) -> i64 {
+        self.machine.latencies.load as i64
+    }
+
+    /// Searches a free memory slot in `cluster` within `[lo, hi]`
+    /// (ascending or descending). The scan is clamped to one II window —
+    /// beyond that, slots repeat.
+    fn find_mem_slot(&self, cluster: usize, lo: i64, hi: i64, ascending: bool) -> Option<i64> {
+        if lo > hi {
+            return None;
+        }
+        let span = (hi - lo + 1).min(self.ii);
+        let range: Box<dyn Iterator<Item = i64>> = if ascending {
+            Box::new(lo..lo + span)
+        } else {
+            Box::new((hi - span + 1..=hi).rev())
+        };
+        let mut range = range;
+        range.find(|&t| self.mrts[cluster].can_place(ResourceKind::MemPort, t))
+    }
+
+    /// Ensures a transfer `producer → to_cluster` arriving by `deadline`.
+    /// Reuses an existing transfer when possible. Returns the arrival time.
+    fn ensure_transfer(
+        &mut self,
+        producer: usize,
+        to_cluster: usize,
+        deadline: i64,
+    ) -> Result<i64, PlaceError> {
+        let from = self.placements[producer]
+            .expect("transfer source must be placed")
+            .cluster;
+        debug_assert_ne!(from, to_cluster);
+
+        if let Some(t) = self
+            .transfers
+            .iter()
+            .find(|t| t.producer == producer && t.to == to_cluster && t.arrival <= deadline)
+        {
+            return Ok(t.arrival);
+        }
+
+        let def = self.placements[producer].expect("placed").time + self.op_latency(producer);
+        let bus_lat = self.bus.latency();
+        let spill = self.spills.iter().find(|s| s.producer == producer).cloned();
+
+        // 1. Bus: read the register at x ∈ [def, deadline − bus_lat]; if the
+        //    value is spilled the register dies at the spill store, so the
+        //    read must not come later.
+        let bus_hi = match &spill {
+            Some(s) => (deadline - bus_lat).min(s.store),
+            None => deadline - bus_lat,
+        };
+        let mut x = def;
+        let bus_scan_end = bus_hi.min(def + self.ii - 1);
+        while x <= bus_scan_end {
+            if self.bus.can_reserve(x) {
+                self.bus.reserve(x);
+                self.transfers.push(Transfer {
+                    producer,
+                    from,
+                    to: to_cluster,
+                    kind: CommKind::Bus { start: x },
+                    read_time: x,
+                    arrival: x + bus_lat,
+                });
+                return Ok(x + bus_lat);
+            }
+            x += 1;
+        }
+
+        // 2. Through memory (§3.3.2). A spilled value is already in memory:
+        //    only the destination load is needed.
+        let (store, store_is_spill) = match &spill {
+            Some(s) => (Some(s.store), true),
+            None => {
+                let hi = deadline - self.load_latency() - self.store_latency();
+                (self.find_mem_slot(from, def, hi, true), false)
+            }
+        };
+        if let Some(store) = store {
+            let lo = store + self.store_latency();
+            let hi = deadline - self.load_latency();
+            if let Some(load) = self.find_mem_slot(to_cluster, lo, hi, false) {
+                if !store_is_spill {
+                    self.mrts[from].place(ResourceKind::MemPort, store);
+                }
+                self.mrts[to_cluster].place(ResourceKind::MemPort, load);
+                let arrival = load + self.load_latency();
+                self.transfers.push(Transfer {
+                    producer,
+                    from,
+                    to: to_cluster,
+                    kind: CommKind::Memory {
+                        store,
+                        load,
+                        reuses_spill: store_is_spill,
+                    },
+                    read_time: store,
+                    arrival,
+                });
+                return Ok(arrival);
+            }
+            // No load slot; roll nothing back (store not yet reserved).
+        }
+        Err(PlaceError::Communication)
+    }
+
+    /// Cheap feasibility pre-check: `true` if placing `op` in `cluster` at
+    /// `time` is certainly impossible (functional unit busy, or an
+    /// intra-cluster timing deadline already violated). Used to skip the
+    /// clone-and-try cycle for hopeless slots.
+    pub fn quick_reject(&self, op: OpId, cluster: usize, time: i64) -> bool {
+        let idx = op.index();
+        let class = self.op_class(idx);
+        if !self.mrts[cluster].can_place(class.resource(), time) {
+            return true;
+        }
+        for (e, p) in self.ddg.graph().in_edges(op) {
+            if p == op {
+                continue;
+            }
+            if let Some(pp) = self.placements[p.index()] {
+                let dep = self.ddg.dep(e);
+                let read = time + self.ii * dep.distance as i64;
+                let min_extra = if dep.kind == DepKind::Flow && pp.cluster != cluster {
+                    // Any transport needs at least the faster of bus or
+                    // store+load latency.
+                    self.bus
+                        .latency()
+                        .min(self.store_latency() + self.load_latency())
+                } else {
+                    0
+                };
+                if read < pp.time + dep.latency as i64 + min_extra {
+                    return true;
+                }
+            }
+        }
+        for (e, s) in self.ddg.graph().out_edges(op) {
+            if s == op {
+                continue;
+            }
+            if let Some(sp) = self.placements[s.index()] {
+                let dep = self.ddg.dep(e);
+                let read = sp.time + self.ii * dep.distance as i64;
+                let min_extra = if dep.kind == DepKind::Flow && sp.cluster != cluster {
+                    self.bus
+                        .latency()
+                        .min(self.store_latency() + self.load_latency())
+                } else {
+                    0
+                };
+                if read < time + dep.latency as i64 + min_extra {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Places `op` in `cluster` at absolute cycle `time`.
+    ///
+    /// On success the op is committed (functional unit, communications for
+    /// every placed neighbour, spills if the register file overflowed).
+    /// On failure the state is inconsistent — callers must work on a clone
+    /// and discard it (see the type-level docs).
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError`] describing the blocking resource.
+    pub fn place(&mut self, op: OpId, cluster: usize, time: i64) -> Result<(), PlaceError> {
+        let idx = op.index();
+        debug_assert!(self.placements[idx].is_none(), "op placed twice");
+        let class = self.op_class(idx);
+        let kind = class.resource();
+        if !self.mrts[cluster].can_place(kind, time) {
+            return Err(PlaceError::FunctionalUnit);
+        }
+        self.mrts[cluster].place(kind, time);
+        self.placements[idx] = Some(Placement { cluster, time });
+
+        // Incoming dependences from placed producers.
+        for (e, p) in self.ddg.graph().in_edges(op).collect::<Vec<_>>() {
+            let Some(pp) = self.placements[p.index()] else {
+                continue;
+            };
+            let dep = *self.ddg.dep(e);
+            let read = time + self.ii * dep.distance as i64;
+            match dep.kind {
+                DepKind::Mem => {
+                    if read < pp.time + dep.latency as i64 {
+                        return Err(PlaceError::Timing);
+                    }
+                }
+                DepKind::Flow => {
+                    if pp.cluster == cluster {
+                        let def = pp.time + dep.latency as i64;
+                        if read < def {
+                            return Err(PlaceError::Timing);
+                        }
+                        // Reading a spilled value after its store needs a
+                        // reload.
+                        let needs_load = self
+                            .spills
+                            .iter()
+                            .position(|s| s.producer == p.index() && read > s.store);
+                        if let Some(si) = needs_load {
+                            let covered = self.spills[si]
+                                .loads
+                                .iter()
+                                .any(|l| l.time + self.load_latency() <= read
+                                    && l.use_time >= read);
+                            if !covered {
+                                let lo = self.spills[si].store + self.store_latency();
+                                let hi = read - self.load_latency();
+                                let Some(l) = self.find_mem_slot(cluster, lo, hi, false)
+                                else {
+                                    return Err(PlaceError::Communication);
+                                };
+                                self.mrts[cluster].place(ResourceKind::MemPort, l);
+                                self.spills[si].loads.push(SpillLoad {
+                                    time: l,
+                                    use_time: read,
+                                });
+                            }
+                        }
+                    } else {
+                        let arrival = self.ensure_transfer(p.index(), cluster, read)?;
+                        debug_assert!(arrival <= read);
+                    }
+                }
+            }
+        }
+
+        // Outgoing dependences to placed consumers.
+        for (e, s) in self.ddg.graph().out_edges(op).collect::<Vec<_>>() {
+            let Some(sp) = self.placements[s.index()] else {
+                continue;
+            };
+            // Self-loops were handled as in-edges above.
+            if s == op {
+                continue;
+            }
+            let dep = *self.ddg.dep(e);
+            let read = sp.time + self.ii * dep.distance as i64;
+            match dep.kind {
+                DepKind::Mem => {
+                    if read < time + dep.latency as i64 {
+                        return Err(PlaceError::Timing);
+                    }
+                }
+                DepKind::Flow => {
+                    if sp.cluster == cluster {
+                        if read < time + dep.latency as i64 {
+                            return Err(PlaceError::Timing);
+                        }
+                    } else {
+                        let arrival = self.ensure_transfer(idx, sp.cluster, read)?;
+                        debug_assert!(arrival <= read);
+                    }
+                }
+            }
+        }
+
+        // Register pressure, with spill-on-overflow (§3.3.2).
+        self.rebuild_pressure();
+        let mut rounds = 0;
+        loop {
+            let over: Option<usize> = (0..self.machine.cluster_count())
+                .filter(|&c| !self.pressure.fits(c))
+                .max_by_key(|&c| self.pressure.max_live(c) - self.pressure.capacity(c));
+            let Some(cl) = over else {
+                return Ok(());
+            };
+            // Spilling needs at least one free memory slot for the store.
+            if rounds >= self.max_spill_rounds
+                || self.mem_free(cl) == 0
+                || !self.try_spill(cl)
+            {
+                return Err(PlaceError::Registers);
+            }
+            rounds += 1;
+            self.rebuild_pressure();
+        }
+    }
+
+    /// Same-cluster register reads of `producer`'s value: consumer issue
+    /// times (+ II·distance) of placed same-cluster consumers, plus
+    /// transfer read times.
+    fn register_reads(&self, producer: usize, cluster: usize) -> Vec<i64> {
+        let pid = gpsched_graph::NodeId::from_index(producer);
+        let mut reads = Vec::new();
+        for (e, c) in self.ddg.graph().out_edges(pid) {
+            let dep = self.ddg.dep(e);
+            if dep.kind != DepKind::Flow {
+                continue;
+            }
+            if let Some(cp) = self.placements[c.index()] {
+                if cp.cluster == cluster {
+                    reads.push(cp.time + self.ii * dep.distance as i64);
+                }
+            }
+        }
+        for t in &self.transfers {
+            if t.producer == producer {
+                reads.push(t.read_time);
+            }
+        }
+        reads
+    }
+
+    /// Spills one value in `cluster`; returns `false` when no candidate
+    /// works.
+    fn try_spill(&mut self, cluster: usize) -> bool {
+        // Candidates: placed value producers in this cluster, not yet
+        // spilled, longest register interval first.
+        let mut cands: Vec<(i64, usize)> = Vec::new();
+        for (opi, pl) in self.placements.iter().enumerate() {
+            let Some(pl) = pl else { continue };
+            if pl.cluster != cluster
+                || !self.op_class(opi).defines_value()
+                || self.spills.iter().any(|s| s.producer == opi)
+            {
+                continue;
+            }
+            let def = pl.time + self.op_latency(opi);
+            let reads = self.register_reads(opi, cluster);
+            let last = reads.iter().copied().max().unwrap_or(def);
+            let len = last - def;
+            if len > self.ii {
+                cands.push((len, opi));
+            }
+        }
+        cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        'cand: for (_, opi) in cands {
+            let pl = self.placements[opi].expect("candidate is placed");
+            let def = pl.time + self.op_latency(opi);
+            let reads = self.register_reads(opi, cluster);
+            // Transfers read the register directly; the store must come at
+            // or after every transfer read.
+            let min_store: i64 = self
+                .transfers
+                .iter()
+                .filter(|t| t.producer == opi)
+                .map(|t| t.read_time)
+                .max()
+                .unwrap_or(def)
+                .max(def);
+            let last = reads.iter().copied().max().unwrap_or(def);
+            let Some(store) = self.find_mem_slot(cluster, min_store, last - 1, true) else {
+                continue;
+            };
+            // Reloads for same-cluster reads after the store. Slots taken
+            // tentatively within this candidate (incl. the store) must be
+            // counted on top of the committed table.
+            let mut loads: Vec<SpillLoad> = Vec::new();
+            let mut reserved: Vec<i64> = vec![store];
+            for &u in reads.iter().filter(|&&u| u > store) {
+                if loads
+                    .iter()
+                    .any(|l| l.time + self.load_latency() <= u && l.use_time >= u)
+                {
+                    continue;
+                }
+                let lo = store + self.store_latency();
+                let hi = u - self.load_latency();
+                let mut found = None;
+                let span = (hi - lo + 1).min(self.ii);
+                if span > 0 {
+                    for t in (hi - span + 1..=hi).rev() {
+                        let tentative = reserved
+                            .iter()
+                            .filter(|&&r| {
+                                crate::mrt::slot(r, self.ii) == crate::mrt::slot(t, self.ii)
+                            })
+                            .count() as u32;
+                        if self.mrts[cluster].free_at(ResourceKind::MemPort, t) > tentative {
+                            found = Some(t);
+                            break;
+                        }
+                    }
+                }
+                let Some(l) = found else {
+                    continue 'cand;
+                };
+                reserved.push(l);
+                loads.push(SpillLoad { time: l, use_time: u });
+            }
+            // Commit: store + loads take memory slots.
+            self.mrts[cluster].place(ResourceKind::MemPort, store);
+            for l in &loads {
+                self.mrts[cluster].place(ResourceKind::MemPort, l.time);
+            }
+            self.spills.push(Spill {
+                producer: opi,
+                cluster,
+                store,
+                loads,
+            });
+            return true;
+        }
+        false
+    }
+
+    /// Rebuilds the register-pressure table from the current placements,
+    /// transfers and spills (authoritative recomputation).
+    fn rebuild_pressure(&mut self) {
+        let caps = self
+            .machine
+            .clusters()
+            .map(|c| c.registers as i64)
+            .collect();
+        let mut p = PressureTable::new(caps, self.ii);
+
+        for (opi, pl) in self.placements.iter().enumerate() {
+            let Some(pl) = pl else { continue };
+            if !self.op_class(opi).defines_value() {
+                continue;
+            }
+            let def = pl.time + self.op_latency(opi);
+            let reads = self.register_reads(opi, pl.cluster);
+            match self.spills.iter().find(|s| s.producer == opi) {
+                Some(spill) => {
+                    // In-register until the store, then reload slivers.
+                    p.add(pl.cluster, def, spill.store.max(def));
+                    for l in &spill.loads {
+                        p.add(pl.cluster, l.time + self.load_latency(), l.use_time);
+                    }
+                    // Reads at or before the store are covered by [def, store].
+                }
+                None => {
+                    let last = reads.iter().copied().max().unwrap_or(def).max(def);
+                    p.add(pl.cluster, def, last);
+                }
+            }
+        }
+
+        // Destination-cluster lifetimes of transferred values.
+        for t in &self.transfers {
+            let pid = gpsched_graph::NodeId::from_index(t.producer);
+            let mut last = t.arrival;
+            for (e, c) in self.ddg.graph().out_edges(pid) {
+                let dep = self.ddg.dep(e);
+                if dep.kind != DepKind::Flow {
+                    continue;
+                }
+                if let Some(cp) = self.placements[c.index()] {
+                    if cp.cluster == t.to {
+                        last = last.max(cp.time + self.ii * dep.distance as i64);
+                    }
+                }
+            }
+            p.add(t.to, t.arrival, last);
+        }
+
+        self.pressure = p;
+    }
+
+    /// All placements (same order as the DDG ops); `None` entries are
+    /// unplaced.
+    pub fn placements(&self) -> &[Option<Placement>] {
+        &self.placements
+    }
+
+    /// MaxLive per cluster.
+    pub fn max_live_per_cluster(&self) -> Vec<i64> {
+        (0..self.machine.cluster_count())
+            .map(|c| self.pressure.max_live(c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_ddg::DdgBuilder;
+    use gpsched_graph::NodeId;
+
+    fn two_cluster() -> MachineConfig {
+        MachineConfig::two_cluster(32, 1, 1)
+    }
+
+    #[test]
+    fn place_respects_fu_capacity() {
+        let mut b = DdgBuilder::new("t");
+        for i in 0..3 {
+            b.op(OpClass::Load, format!("l{i}"));
+        }
+        let ddg = b.build().unwrap();
+        let m = two_cluster(); // 2 mem ports per cluster
+        let mut ps = PartialSchedule::new(&ddg, &m, 1);
+        assert!(ps.place(NodeId::from_index(0), 0, 0).is_ok());
+        assert!(ps.place(NodeId::from_index(1), 0, 0).is_ok());
+        let mut clone = ps.clone();
+        assert_eq!(
+            clone.place(NodeId::from_index(2), 0, 0),
+            Err(PlaceError::FunctionalUnit)
+        );
+        assert!(ps.place(NodeId::from_index(2), 1, 0).is_ok());
+    }
+
+    #[test]
+    fn same_cluster_timing_enforced() {
+        let mut b = DdgBuilder::new("t");
+        let p = b.op(OpClass::Load, "p"); // lat 2
+        let c = b.op(OpClass::IntAlu, "c");
+        b.flow(p, c);
+        let ddg = b.build().unwrap();
+        let m = two_cluster();
+        let mut ps = PartialSchedule::new(&ddg, &m, 4);
+        ps.place(p, 0, 0).unwrap();
+        let mut early = ps.clone();
+        assert_eq!(early.place(c, 0, 1), Err(PlaceError::Timing));
+        assert!(ps.place(c, 0, 2).is_ok());
+    }
+
+    #[test]
+    fn cross_cluster_uses_bus() {
+        let mut b = DdgBuilder::new("t");
+        let p = b.op(OpClass::IntAlu, "p"); // lat 1
+        let c = b.op(OpClass::IntAlu, "c");
+        b.flow(p, c);
+        let ddg = b.build().unwrap();
+        let m = two_cluster();
+        let mut ps = PartialSchedule::new(&ddg, &m, 4);
+        ps.place(p, 0, 0).unwrap();
+        // Needs value at cycle 2: ready at 1, bus 1 cycle → arrival 2. OK.
+        assert!(ps.place(c, 1, 2).is_ok());
+        assert_eq!(ps.transfers().len(), 1);
+        let t = &ps.transfers()[0];
+        assert_eq!((t.from, t.to), (0, 1));
+        assert!(matches!(t.kind, CommKind::Bus { start: 1 }));
+        assert_eq!(ps.bus_used(), 1);
+    }
+
+    #[test]
+    fn cross_cluster_too_early_fails() {
+        let mut b = DdgBuilder::new("t");
+        let p = b.op(OpClass::IntAlu, "p");
+        let c = b.op(OpClass::IntAlu, "c");
+        b.flow(p, c);
+        let ddg = b.build().unwrap();
+        let m = two_cluster();
+        let mut ps = PartialSchedule::new(&ddg, &m, 4);
+        ps.place(p, 0, 0).unwrap();
+        // Ready at 1, bus takes 1 → cannot read at cycle 1.
+        let mut early = ps.clone();
+        assert_eq!(early.place(c, 1, 1), Err(PlaceError::Communication));
+    }
+
+    #[test]
+    fn transfer_reused_for_second_consumer() {
+        let mut b = DdgBuilder::new("t");
+        let p = b.op(OpClass::IntAlu, "p");
+        let c1 = b.op(OpClass::IntAlu, "c1");
+        let c2 = b.op(OpClass::IntAlu, "c2");
+        b.flow(p, c1);
+        b.flow(p, c2);
+        let ddg = b.build().unwrap();
+        let m = two_cluster();
+        let mut ps = PartialSchedule::new(&ddg, &m, 4);
+        ps.place(p, 0, 0).unwrap();
+        ps.place(c1, 1, 2).unwrap();
+        ps.place(c2, 1, 3).unwrap();
+        assert_eq!(ps.transfers().len(), 1, "one value, one transfer");
+    }
+
+    #[test]
+    fn bus_saturation_falls_back_to_memory() {
+        // II=1 with a 1-cycle bus: one transfer saturates the bus; the
+        // second producer-consumer pair must go through memory.
+        let mut b = DdgBuilder::new("t");
+        let p1 = b.op(OpClass::IntAlu, "p1");
+        let c1 = b.op(OpClass::IntAlu, "c1");
+        let p2 = b.op(OpClass::IntAlu, "p2");
+        let c2 = b.op(OpClass::IntAlu, "c2");
+        b.flow(p1, c1);
+        b.flow(p2, c2);
+        let ddg = b.build().unwrap();
+        let m = two_cluster();
+        let mut ps = PartialSchedule::new(&ddg, &m, 1);
+        ps.place(p1, 0, 0).unwrap();
+        ps.place(c1, 1, 2).unwrap();
+        ps.place(p2, 0, 1).unwrap();
+        // Value ready at 2; memory path: store ≥ 2, load ≥ store+1,
+        // arrival = load+2 ≤ read → place consumer late enough.
+        ps.place(c2, 1, 6).unwrap();
+        let kinds: Vec<bool> = ps
+            .transfers()
+            .iter()
+            .map(|t| matches!(t.kind, CommKind::Bus { .. }))
+            .collect();
+        assert_eq!(kinds.iter().filter(|&&b| b).count(), 1);
+        assert_eq!(kinds.iter().filter(|&&b| !b).count(), 1);
+        // Memory path consumed one slot in each cluster.
+        assert_eq!(ps.mem_used(0), 1);
+        assert_eq!(ps.mem_used(1), 1);
+    }
+
+    #[test]
+    fn register_pressure_tracks_lifetimes() {
+        let mut b = DdgBuilder::new("t");
+        let p = b.op(OpClass::IntAlu, "p");
+        let c = b.op(OpClass::IntAlu, "c");
+        b.flow(p, c);
+        let ddg = b.build().unwrap();
+        let m = two_cluster();
+        let mut ps = PartialSchedule::new(&ddg, &m, 2);
+        ps.place(p, 0, 0).unwrap();
+        ps.place(c, 0, 9).unwrap();
+        // Value live [1, 9]: 9 cycles at II=2 → ceil = 5 registers.
+        assert_eq!(ps.max_live(0), 5);
+        assert_eq!(ps.max_live(1), 0);
+    }
+
+    #[test]
+    fn spill_rescues_overflow() {
+        // Tiny register file: 2 regs/cluster. A long-lived value plus a
+        // second one must trigger a spill rather than failing.
+        let mut b = DdgBuilder::new("t");
+        let p = b.op(OpClass::IntAlu, "p");
+        let c = b.op(OpClass::IntAlu, "c");
+        b.flow(p, c);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::homogeneous(2, (2, 2, 2), 4, 1, 1); // 2 regs each
+        let mut ps = PartialSchedule::new(&ddg, &m, 2);
+        ps.place(p, 0, 0).unwrap();
+        // Live [1, 13] → 7 regs needed without spilling; capacity is 2.
+        ps.place(c, 0, 13).unwrap();
+        assert_eq!(ps.spills().len(), 1);
+        assert!(ps.max_live(0) <= 2);
+        let s = &ps.spills()[0];
+        assert_eq!(s.producer, 0);
+        assert_eq!(s.loads.len(), 1);
+        // The reload feeds the read at cycle 13.
+        assert_eq!(s.loads[0].use_time, 13);
+    }
+
+    #[test]
+    fn register_failure_when_spill_cannot_help() {
+        // One register per cluster at II=1: two simultaneously live values
+        // overflow, and the spiller has no candidate worth spilling (both
+        // lifetimes are shorter than the II), so placement must fail with
+        // a register error rather than loop or panic.
+        let mut b = DdgBuilder::new("t");
+        let l1 = b.op(OpClass::Load, "l1");
+        let l2 = b.op(OpClass::Load, "l2");
+        let c = b.op(OpClass::IntAlu, "c");
+        b.flow(l1, c);
+        b.flow(l2, c);
+        let ddg = b.build().unwrap();
+        let m = MachineConfig::homogeneous(2, (2, 2, 2), 2, 1, 1); // 1 reg each!
+        let mut ps = PartialSchedule::new(&ddg, &m, 1);
+        ps.place(l1, 0, 0).unwrap();
+        let mut bad = ps.clone();
+        assert_eq!(bad.place(l2, 0, 1), Err(PlaceError::Registers));
+    }
+}

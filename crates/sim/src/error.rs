@@ -1,0 +1,132 @@
+//! Simulation audit failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// A violated invariant detected while executing a schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// More ops of one kind issued in a (cluster, cycle) than it has units.
+    ResourceOverflow {
+        /// Cluster index.
+        cluster: usize,
+        /// Resource description.
+        kind: String,
+        /// Absolute cycle.
+        cycle: u64,
+        /// Ops that tried to issue.
+        count: u32,
+        /// Units available.
+        units: u32,
+    },
+    /// More transfers in flight than buses at some cycle.
+    BusOverflow {
+        /// Absolute cycle.
+        cycle: u64,
+        /// Transfers in flight.
+        count: u32,
+        /// Buses available.
+        buses: u32,
+    },
+    /// A consumer issued before its operand token existed (not produced,
+    /// not completed, or not yet delivered to the consumer's cluster).
+    DependenceViolation {
+        /// Consumer op index.
+        consumer: usize,
+        /// Producer op index.
+        producer: usize,
+        /// Iteration of the consumer instance.
+        iteration: u64,
+        /// Read cycle.
+        read: i64,
+        /// Cycle the token actually became available.
+        available: i64,
+    },
+    /// Live values exceeded a cluster's register file at some cycle.
+    RegisterOverflow {
+        /// Cluster index.
+        cluster: usize,
+        /// Absolute cycle.
+        cycle: i64,
+        /// Live values observed.
+        live: i64,
+        /// Registers available.
+        registers: i64,
+    },
+    /// Execution finished at a different cycle than the closed form.
+    CycleMismatch {
+        /// `(trips − 1)·II + SL`.
+        expected: u64,
+        /// Observed last completion.
+        observed: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ResourceOverflow {
+                cluster,
+                kind,
+                cycle,
+                count,
+                units,
+            } => write!(
+                f,
+                "cluster {cluster} issued {count} {kind} ops at cycle {cycle} with {units} units"
+            ),
+            SimError::BusOverflow {
+                cycle,
+                count,
+                buses,
+            } => write!(f, "{count} transfers in flight at cycle {cycle} with {buses} bus(es)"),
+            SimError::DependenceViolation {
+                consumer,
+                producer,
+                iteration,
+                read,
+                available,
+            } => write!(
+                f,
+                "op {consumer} (iter {iteration}) read op {producer}'s value at {read}, available at {available}"
+            ),
+            SimError::RegisterOverflow {
+                cluster,
+                cycle,
+                live,
+                registers,
+            } => write!(
+                f,
+                "cluster {cluster} held {live} live values at cycle {cycle} with {registers} registers"
+            ),
+            SimError::CycleMismatch { expected, observed } => {
+                write!(f, "expected {expected} cycles, observed {observed}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = SimError::BusOverflow {
+            cycle: 7,
+            count: 2,
+            buses: 1,
+        };
+        assert!(e.to_string().contains("cycle 7"));
+        let d = SimError::DependenceViolation {
+            consumer: 3,
+            producer: 1,
+            iteration: 9,
+            read: 12,
+            available: 14,
+        };
+        assert!(d.to_string().contains("iter 9"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Hand-written DDGs of classic numeric kernels.
+//!
+//! Each function returns a validated [`Ddg`] for one innermost loop with the
+//! given trip count. These kernels exercise the structures the paper's
+//! algorithms care about: parallel streams (daxpy), reductions (dot),
+//! sliding windows (fir), stencils, long serial chains (horner) and
+//! division-bound loops (normalize).
+
+use gpsched_ddg::{Ddg, DdgBuilder};
+use gpsched_machine::OpClass;
+
+/// `y[i] = a*x[i] + y[i]` — two loads, multiply-add, one store.
+///
+/// # Panics
+///
+/// Panics if `trip_count == 0`.
+pub fn daxpy(trip_count: u64) -> Ddg {
+    let mut b = DdgBuilder::new("daxpy");
+    let ax = b.op(OpClass::IntAlu, "&x[i]");
+    let ay = b.op(OpClass::IntAlu, "&y[i]");
+    let lx = b.op(OpClass::Load, "x[i]");
+    let ly = b.op(OpClass::Load, "y[i]");
+    let mul = b.op(OpClass::FpMul, "a*x");
+    let add = b.op(OpClass::FpAdd, "+y");
+    let st = b.op(OpClass::Store, "y[i]=");
+    b.flow(ax, lx);
+    b.flow(ay, ly);
+    b.flow(lx, mul);
+    b.flow(mul, add);
+    b.flow(ly, add);
+    b.flow(add, st);
+    b.flow(ay, st);
+    b.flow_carried(ax, ax, 1); // induction updates
+    b.flow_carried(ay, ay, 1);
+    b.trip_count(trip_count);
+    b.build().expect("daxpy is a valid loop")
+}
+
+/// `s += x[i] * y[i]` — a dot product with its serial FP reduction.
+///
+/// # Panics
+///
+/// Panics if `trip_count == 0`.
+pub fn dot_product(trip_count: u64) -> Ddg {
+    let mut b = DdgBuilder::new("dot");
+    let lx = b.op(OpClass::Load, "x[i]");
+    let ly = b.op(OpClass::Load, "y[i]");
+    let mul = b.op(OpClass::FpMul, "x*y");
+    let acc = b.op(OpClass::FpAdd, "s+=");
+    b.flow(lx, mul);
+    b.flow(ly, mul);
+    b.flow(mul, acc);
+    b.flow_carried(acc, acc, 1); // the reduction recurrence
+    b.trip_count(trip_count);
+    b.build().expect("dot product is a valid loop")
+}
+
+/// An `ntaps`-tap FIR filter: `y[i] = Σ c[k]·x[i−k]`.
+///
+/// # Panics
+///
+/// Panics if `trip_count == 0` or `ntaps == 0`.
+pub fn fir(trip_count: u64, ntaps: usize) -> Ddg {
+    assert!(ntaps > 0, "fir needs at least one tap");
+    let mut b = DdgBuilder::new(format!("fir{ntaps}"));
+    let mut sum = None;
+    for k in 0..ntaps {
+        let lx = b.op(OpClass::Load, format!("x[i-{k}]"));
+        let mul = b.op(OpClass::FpMul, format!("c{k}*x"));
+        b.flow(lx, mul);
+        sum = Some(match sum {
+            None => mul,
+            Some(prev) => {
+                let add = b.op(OpClass::FpAdd, format!("acc{k}"));
+                b.flow(prev, add);
+                b.flow(mul, add);
+                add
+            }
+        });
+    }
+    let st = b.op(OpClass::Store, "y[i]=");
+    b.flow(sum.expect("ntaps > 0"), st);
+    b.trip_count(trip_count);
+    b.build().expect("fir is a valid loop")
+}
+
+/// The inner loop of a dense matrix multiply: `c += a[i][k] * b[k][j]`
+/// with explicit address arithmetic on the `b` column walk.
+///
+/// # Panics
+///
+/// Panics if `trip_count == 0`.
+pub fn matmul_inner(trip_count: u64) -> Ddg {
+    let mut b = DdgBuilder::new("matmul");
+    let pa = b.op(OpClass::IntAlu, "&a");
+    let pb = b.op(OpClass::IntAlu, "&b");
+    let la = b.op(OpClass::Load, "a[i][k]");
+    let lb = b.op(OpClass::Load, "b[k][j]");
+    let mul = b.op(OpClass::FpMul, "a*b");
+    let acc = b.op(OpClass::FpAdd, "c+=");
+    b.flow(pa, la);
+    b.flow(pb, lb);
+    b.flow(la, mul);
+    b.flow(lb, mul);
+    b.flow(mul, acc);
+    b.flow_carried(acc, acc, 1);
+    b.flow_carried(pa, pa, 1);
+    b.flow_carried(pb, pb, 1);
+    b.trip_count(trip_count);
+    b.build().expect("matmul inner loop is valid")
+}
+
+/// A 5-point 1-D stencil: `y[i] = w0·x[i−2] + w1·x[i−1] + w2·x[i] +
+/// w3·x[i+1] + w4·x[i+2]` — memory-port bound, no recurrence.
+///
+/// # Panics
+///
+/// Panics if `trip_count == 0`.
+pub fn stencil5(trip_count: u64) -> Ddg {
+    let mut b = DdgBuilder::new("stencil5");
+    let mut terms = Vec::new();
+    for k in 0..5 {
+        let lx = b.op(OpClass::Load, format!("x[i{:+}]", k as i64 - 2));
+        let mul = b.op(OpClass::FpMul, format!("w{k}*"));
+        b.flow(lx, mul);
+        terms.push(mul);
+    }
+    // Balanced reduction tree (no serial recurrence).
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for pair in terms.chunks(2) {
+            if pair.len() == 2 {
+                let add = b.op(OpClass::FpAdd, "t+");
+                b.flow(pair[0], add);
+                b.flow(pair[1], add);
+                next.push(add);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        terms = next;
+    }
+    let st = b.op(OpClass::Store, "y[i]=");
+    b.flow(terms[0], st);
+    b.trip_count(trip_count);
+    b.build().expect("stencil is a valid loop")
+}
+
+/// Horner polynomial evaluation: `p = p*x + c[i]` — one long serial chain,
+/// the worst case for clustering (every op on the critical recurrence).
+///
+/// # Panics
+///
+/// Panics if `trip_count == 0`.
+pub fn horner(trip_count: u64) -> Ddg {
+    let mut b = DdgBuilder::new("horner");
+    let lc = b.op(OpClass::Load, "c[i]");
+    let mul = b.op(OpClass::FpMul, "p*x");
+    let add = b.op(OpClass::FpAdd, "+c");
+    b.flow(lc, add);
+    b.flow(mul, add);
+    b.flow_carried(add, mul, 1); // p feeds next iteration's multiply
+    b.trip_count(trip_count);
+    b.build().expect("horner is a valid loop")
+}
+
+/// Vector normalization `y[i] = x[i] / norm` with a long-latency divide.
+///
+/// # Panics
+///
+/// Panics if `trip_count == 0`.
+pub fn normalize(trip_count: u64) -> Ddg {
+    let mut b = DdgBuilder::new("normalize");
+    let lx = b.op(OpClass::Load, "x[i]");
+    let dv = b.op(OpClass::FpDiv, "x/norm");
+    let st = b.op(OpClass::Store, "y[i]=");
+    b.flow(lx, dv);
+    b.flow(dv, st);
+    b.trip_count(trip_count);
+    b.build().expect("normalize is a valid loop")
+}
+
+/// Complex multiply over arrays:
+/// `(cr,ci) = (ar·br − ai·bi, ar·bi + ai·br)` — ILP-rich, fp heavy.
+///
+/// # Panics
+///
+/// Panics if `trip_count == 0`.
+pub fn complex_multiply(trip_count: u64) -> Ddg {
+    let mut b = DdgBuilder::new("cmul");
+    let ar = b.op(OpClass::Load, "ar");
+    let ai = b.op(OpClass::Load, "ai");
+    let br = b.op(OpClass::Load, "br");
+    let bi = b.op(OpClass::Load, "bi");
+    let t1 = b.op(OpClass::FpMul, "ar*br");
+    let t2 = b.op(OpClass::FpMul, "ai*bi");
+    let t3 = b.op(OpClass::FpMul, "ar*bi");
+    let t4 = b.op(OpClass::FpMul, "ai*br");
+    let re = b.op(OpClass::FpAdd, "re=t1-t2");
+    let im = b.op(OpClass::FpAdd, "im=t3+t4");
+    let sr = b.op(OpClass::Store, "cr=");
+    let si = b.op(OpClass::Store, "ci=");
+    b.flow(ar, t1);
+    b.flow(br, t1);
+    b.flow(ai, t2);
+    b.flow(bi, t2);
+    b.flow(ar, t3);
+    b.flow(bi, t3);
+    b.flow(ai, t4);
+    b.flow(br, t4);
+    b.flow(t1, re);
+    b.flow(t2, re);
+    b.flow(t3, im);
+    b.flow(t4, im);
+    b.flow(re, sr);
+    b.flow(im, si);
+    b.trip_count(trip_count);
+    b.build().expect("complex multiply is a valid loop")
+}
+
+/// Livermore loop 1 (hydro fragment):
+/// `x[k] = q + y[k]·(r·z[k+10] + t·z[k+11])`.
+///
+/// # Panics
+///
+/// Panics if `trip_count == 0`.
+pub fn livermore1(trip_count: u64) -> Ddg {
+    let mut b = DdgBuilder::new("ll1-hydro");
+    let z10 = b.op(OpClass::Load, "z[k+10]");
+    let z11 = b.op(OpClass::Load, "z[k+11]");
+    let yk = b.op(OpClass::Load, "y[k]");
+    let m1 = b.op(OpClass::FpMul, "r*z10");
+    let m2 = b.op(OpClass::FpMul, "t*z11");
+    let a1 = b.op(OpClass::FpAdd, "m1+m2");
+    let m3 = b.op(OpClass::FpMul, "y*a1");
+    let a2 = b.op(OpClass::FpAdd, "q+m3");
+    let st = b.op(OpClass::Store, "x[k]=");
+    b.flow(z10, m1);
+    b.flow(z11, m2);
+    b.flow(m1, a1);
+    b.flow(m2, a1);
+    b.flow(yk, m3);
+    b.flow(a1, m3);
+    b.flow(m3, a2);
+    b.flow(a2, st);
+    b.trip_count(trip_count);
+    b.build().expect("livermore1 is a valid loop")
+}
+
+/// First-order IIR filter `y[i] = a·x[i] + b·y[i−1]` — a recurrence through
+/// a multiply *and* an add (RecMII = fp_mul + fp_add).
+///
+/// # Panics
+///
+/// Panics if `trip_count == 0`.
+pub fn iir1(trip_count: u64) -> Ddg {
+    let mut b = DdgBuilder::new("iir1");
+    let lx = b.op(OpClass::Load, "x[i]");
+    let ax = b.op(OpClass::FpMul, "a*x");
+    let by = b.op(OpClass::FpMul, "b*y1");
+    let sum = b.op(OpClass::FpAdd, "y=");
+    let st = b.op(OpClass::Store, "y[i]=");
+    b.flow(lx, ax);
+    b.flow(ax, sum);
+    b.flow(by, sum);
+    b.flow(sum, st);
+    b.flow_carried(sum, by, 1);
+    b.trip_count(trip_count);
+    b.build().expect("iir1 is a valid loop")
+}
+
+/// Every kernel in this module at the given trip count, for sweep tests.
+pub fn all_kernels(trip_count: u64) -> Vec<Ddg> {
+    vec![
+        daxpy(trip_count),
+        dot_product(trip_count),
+        fir(trip_count, 8),
+        matmul_inner(trip_count),
+        stencil5(trip_count),
+        horner(trip_count),
+        normalize(trip_count),
+        complex_multiply(trip_count),
+        livermore1(trip_count),
+        iir1(trip_count),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_ddg::mii;
+    use gpsched_machine::MachineConfig;
+
+    #[test]
+    fn all_kernels_build_and_have_ops() {
+        let ks = all_kernels(100);
+        assert_eq!(ks.len(), 10);
+        for k in &ks {
+            assert!(k.op_count() >= 3, "{} too small", k.name());
+            assert_eq!(k.trip_count(), 100);
+        }
+    }
+
+    #[test]
+    fn dot_product_recurrence_bounds_ii() {
+        let d = dot_product(100);
+        assert_eq!(mii::rec_mii(&d), 3); // fp add latency
+    }
+
+    #[test]
+    fn iir_recurrence_spans_mul_and_add() {
+        let d = iir1(100);
+        assert_eq!(mii::rec_mii(&d), 6); // fp_mul(3) + fp_add(3)
+    }
+
+    #[test]
+    fn horner_is_serial() {
+        let d = horner(100);
+        assert_eq!(mii::rec_mii(&d), 6); // mul + add chain per iteration
+    }
+
+    #[test]
+    fn stencil_is_resource_bound() {
+        let d = stencil5(100);
+        let m = MachineConfig::unified(32);
+        assert_eq!(mii::rec_mii(&d), 1);
+        // 9 fp ops (5 muls + 4 adds) on 4 fp units → ResMII 3; the 6 memory
+        // ops on 4 ports would only require 2.
+        assert_eq!(mii::res_mii(&d, &m), 3);
+    }
+
+    #[test]
+    fn fir_grows_with_taps() {
+        assert!(fir(10, 16).op_count() > fir(10, 4).op_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn fir_rejects_zero_taps() {
+        fir(10, 0);
+    }
+}

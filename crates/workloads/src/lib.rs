@@ -1,0 +1,40 @@
+//! Loop workloads for the `gpsched` reproduction.
+//!
+//! Three layers:
+//!
+//! * [`kernels`] — hand-written DDGs of classic numeric kernels (daxpy, dot
+//!   product, FIR, stencils, Horner, …) used by examples and tests;
+//! * [`synth`] — a seeded, parameterized generator of loop DDGs (op mix,
+//!   dependence-chain shape, recurrences, trip counts);
+//! * [`spec`] — the synthetic **SPECfp95 suite**: ten programs named after
+//!   the paper's benchmarks, each a deterministic set of innermost-loop DDGs
+//!   whose characteristics (size, fp/mem mix, recurrence density, register
+//!   pressure) follow published characterizations of the real programs.
+//!
+//! The real SPECfp95 sources and the ICTINEO compiler are not available;
+//! this suite is the substitution documented in `DESIGN.md` §4. The
+//! scheduling algorithms consume only the DDG shape and trip counts, which
+//! is exactly what this crate synthesizes.
+//!
+//! # Example
+//!
+//! ```
+//! use gpsched_workloads::{kernels, spec};
+//!
+//! let daxpy = kernels::daxpy(1000);
+//! assert!(daxpy.op_count() >= 4);
+//!
+//! let suite = spec::spec_suite();
+//! assert_eq!(suite.len(), 10);
+//! assert!(suite.iter().any(|p| p.name == "hydro2d"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod spec;
+pub mod synth;
+
+pub use spec::{spec_suite, Program};
+pub use synth::{synthesize, SynthProfile};

@@ -1,0 +1,7 @@
+//! Umbrella package for the `gpsched` reproduction workspace.
+//!
+//! This package only hosts the workspace-level [examples](../examples) and
+//! integration tests; the library API lives in the [`gpsched`] facade crate
+//! and the per-subsystem crates it re-exports.
+
+pub use gpsched::*;

@@ -1,0 +1,113 @@
+//! Tests of the Figure 1 control flows: Fixed Partition vs GP, selective
+//! re-partitioning, and the list-scheduling fallback.
+
+use gpsched::prelude::*;
+use gpsched::sched::drivers::{fixed_partition, gp, uracam, DriverConfig};
+use gpsched::sched::ScheduledWith;
+
+#[test]
+fn fixed_never_deviates_from_its_partition() {
+    for ddg in kernels::all_kernels(100) {
+        let machine = MachineConfig::two_cluster(32, 1, 1);
+        let out = fixed_partition(&ddg, &machine, &PartitionOptions::default(), &DriverConfig::default())
+            .unwrap();
+        for (op, placement) in out.schedule.placements().iter().enumerate() {
+            assert_eq!(
+                placement.cluster,
+                out.partition.partition.cluster_of(op),
+                "{}: op {op} escaped its assigned cluster",
+                ddg.name()
+            );
+        }
+        assert_eq!(out.repartitions, 0);
+    }
+}
+
+#[test]
+fn gp_deviations_are_the_exception_not_the_rule() {
+    // GP tries the assigned cluster first; most ops should land there.
+    let mut total = 0usize;
+    let mut kept = 0usize;
+    for ddg in kernels::all_kernels(100) {
+        let machine = MachineConfig::four_cluster(64, 1, 1);
+        let out = gp(&ddg, &machine, &PartitionOptions::default(), &DriverConfig::default())
+            .unwrap();
+        for (op, placement) in out.schedule.placements().iter().enumerate() {
+            total += 1;
+            if placement.cluster == out.partition.partition.cluster_of(op) {
+                kept += 1;
+            }
+        }
+    }
+    assert!(
+        kept * 10 >= total * 7,
+        "only {kept}/{total} ops kept their assigned cluster"
+    );
+}
+
+#[test]
+fn gp_never_loses_badly_to_fixed() {
+    // The escape hatch can change the partition the scheduler ends up
+    // following, so GP is not pointwise better — but it must never lose by
+    // much, and should win on aggregate.
+    let mut gp_cycles = 0u64;
+    let mut fixed_cycles = 0u64;
+    for ddg in kernels::all_kernels(400) {
+        let machine = MachineConfig::four_cluster(32, 1, 2);
+        let cfg = DriverConfig::default();
+        let popts = PartitionOptions::default();
+        let f = fixed_partition(&ddg, &machine, &popts, &cfg).unwrap();
+        let g = gp(&ddg, &machine, &popts, &cfg).unwrap();
+        gp_cycles += g.schedule.cycles(400);
+        fixed_cycles += f.schedule.cycles(400);
+    }
+    assert!(
+        gp_cycles <= fixed_cycles,
+        "gp {gp_cycles} cycles vs fixed {fixed_cycles}"
+    );
+}
+
+#[test]
+fn repartitioning_only_when_bus_bound_exceeds_ii() {
+    // A loop with few communications (IIbus ≈ 1) must never re-partition.
+    let ddg = kernels::dot_product(500);
+    let machine = MachineConfig::two_cluster(32, 1, 1);
+    let out = gp(&ddg, &machine, &PartitionOptions::default(), &DriverConfig::default())
+        .unwrap();
+    assert_eq!(out.repartitions, 0, "IIbus ≤ II yet the partition moved");
+}
+
+#[test]
+fn list_fallback_engages_and_works() {
+    let ddg = kernels::fir(100, 8);
+    let machine = MachineConfig::two_cluster(32, 1, 1);
+    let cfg = DriverConfig {
+        ii_cap: Some(1),
+        ..DriverConfig::default()
+    };
+    // Low-level driver reports the failure…
+    assert!(uracam(&ddg, &machine, &cfg).is_err());
+    // …while the public API silently falls back to list scheduling.
+    let r = gpsched::sched::schedule_loop_with(
+        &ddg,
+        &machine,
+        Algorithm::Uracam,
+        &PartitionOptions::default(),
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(r.method, ScheduledWith::ListFallback);
+    simulate(&ddg, &machine, &r.schedule, 100).expect("fallback schedule is valid");
+}
+
+#[test]
+fn uracam_explores_every_cluster() {
+    // On a 4-cluster machine a wide independent loop should spread: URACAM
+    // with its all-clusters policy must use more than one cluster.
+    let ddg = kernels::stencil5(300);
+    let machine = MachineConfig::four_cluster(64, 1, 1);
+    let s = uracam(&ddg, &machine, &DriverConfig::default()).unwrap();
+    let used: std::collections::HashSet<usize> =
+        s.placements().iter().map(|p| p.cluster).collect();
+    assert!(used.len() >= 2, "URACAM crammed a wide loop into one cluster");
+}

@@ -1,0 +1,104 @@
+//! Shape tests of the paper's evaluation claims on a reduced suite
+//! (fast enough for CI; the full sweep lives in `reproduce` and the
+//! benches).
+
+use gpsched::prelude::*;
+use gpsched_eval::figures::series_for;
+use gpsched_eval::run::{run_program, run_unified};
+use gpsched_workloads::Program;
+
+/// Three representative programs, trimmed to their first loops.
+fn mini_suite() -> Vec<Program> {
+    spec_suite()
+        .into_iter()
+        .filter(|p| ["swim", "hydro2d", "applu"].contains(&p.name))
+        .map(|mut p| {
+            p.loops.truncate(4);
+            p
+        })
+        .collect()
+}
+
+#[test]
+fn unified_bounds_all_algorithms() {
+    for p in mini_suite() {
+        for regs in [32, 64] {
+            let u = run_unified(&p, regs);
+            for algo in Algorithm::ALL {
+                let c = run_program(&p, &MachineConfig::two_cluster(regs, 1, 1), algo);
+                // 1% tolerance for prolog/epilog noise (see end_to_end).
+                assert!(
+                    u.ipc >= c.ipc * 0.99,
+                    "{}@r{regs}: {} {} beat unified {}",
+                    p.name,
+                    c.algorithm,
+                    c.ipc,
+                    u.ipc
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gp_beats_uracam_on_average() {
+    // The paper's headline direction: averaged over programs and the 2-
+    // and 4-cluster latency-1 configs, GP > URACAM.
+    let programs = mini_suite();
+    let mut gp = 0.0;
+    let mut ur = 0.0;
+    for machine in [
+        MachineConfig::two_cluster(32, 1, 1),
+        MachineConfig::four_cluster(64, 1, 1),
+    ] {
+        let s = series_for(&programs, &machine, "test");
+        let avg = s.average();
+        gp += avg.gp;
+        ur += avg.uracam;
+    }
+    assert!(gp > ur, "GP {gp} did not beat URACAM {ur} on average");
+}
+
+#[test]
+fn figure_series_structure() {
+    let programs = mini_suite();
+    let s = series_for(&programs, &MachineConfig::two_cluster(32, 1, 1), "t");
+    assert_eq!(s.rows.len(), programs.len() + 1);
+    assert_eq!(s.rows.last().unwrap().program, "average");
+    for r in &s.rows {
+        for v in [r.unified, r.uracam, r.fixed, r.gp] {
+            assert!(v > 0.0 && v <= 12.0, "{}: IPC {v} out of range", r.program);
+        }
+    }
+}
+
+#[test]
+fn slower_bus_widens_the_gap_to_unified() {
+    // Figure 3 vs Figure 2: with a 2-cycle bus the clustered machines lose
+    // more of the unified IPC.
+    let programs = mini_suite();
+    let fast = series_for(&programs, &MachineConfig::four_cluster(64, 1, 1), "f");
+    let slow = series_for(&programs, &MachineConfig::four_cluster(64, 1, 2), "s");
+    let gap = |s: &gpsched_eval::FigureSeries| {
+        let a = s.average();
+        a.unified - a.gp
+    };
+    assert!(
+        gap(&slow) >= gap(&fast) - 0.05,
+        "slow-bus gap {} unexpectedly smaller than fast-bus gap {}",
+        gap(&slow),
+        gap(&fast)
+    );
+}
+
+#[test]
+fn scheduling_times_are_measured_per_algorithm() {
+    let programs = mini_suite();
+    let rows = gpsched_eval::tables::table2_for(
+        &programs,
+        &[MachineConfig::four_cluster(32, 1, 2)],
+    );
+    assert_eq!(rows.len(), 1);
+    let r = &rows[0];
+    assert!(r.uracam_ms > 0.0 && r.fixed_ms > 0.0 && r.gp_ms > 0.0);
+}

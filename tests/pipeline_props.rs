@@ -1,0 +1,85 @@
+//! Property tests over randomly synthesized loops: whatever the generator
+//! produces, the full pipeline must hold its invariants.
+
+use gpsched::prelude::*;
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = SynthProfile> {
+    (
+        4usize..40,          // ops
+        0.0f64..0.6,         // mem_frac
+        0.0f64..0.6,         // store_frac
+        0.0f64..1.0,         // fp_frac
+        0.0f64..0.9,         // chain bias
+        0usize..4,           // recurrences
+        1u32..3,             // max distance
+    )
+        .prop_map(|(ops, mem, st, fp, chain, recs, dist)| SynthProfile {
+            ops,
+            mem_frac: mem,
+            store_frac: st,
+            fp_frac: fp,
+            fpdiv_frac: 0.02,
+            chain_bias: chain,
+            recurrences: recs,
+            max_distance: dist,
+            trip_range: (20, 60),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_synth_loop_schedules_and_validates(
+        profile in arb_profile(),
+        seed in 0u64..1_000,
+    ) {
+        let ddg = synth::synthesize("prop", &profile, seed);
+        for machine in [
+            MachineConfig::two_cluster(32, 1, 1),
+            MachineConfig::four_cluster(64, 1, 2),
+        ] {
+            for algo in Algorithm::ALL {
+                let r = schedule_loop(&ddg, &machine, algo).unwrap();
+                let trips = ddg.trip_count().min(40);
+                let report = simulate(&ddg, &machine, &r.schedule, trips)
+                    .unwrap_or_else(|e| panic!("{algo:?} on {}: {e}", machine.short_name()));
+                prop_assert_eq!(report.cycles, r.schedule.cycles(trips));
+                // Register files respected.
+                for (c, &live) in r.schedule.max_live().iter().enumerate() {
+                    prop_assert!(live <= machine.cluster(c).registers as i64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_and_estimates_bound(
+        profile in arb_profile(),
+        seed in 0u64..1_000,
+    ) {
+        let ddg = synth::synthesize("prop", &profile, seed);
+        let machine = MachineConfig::two_cluster(32, 1, 1);
+        let mii = gpsched::ddg::mii::mii(&ddg, &machine);
+        let result = partition_ddg(&ddg, &machine, mii, &PartitionOptions::default());
+        prop_assert_eq!(result.partition.len(), ddg.op_count());
+        // The estimate's effective II is at least every lower bound.
+        prop_assert!(result.cost.ii_effective >= mii);
+        prop_assert!(result.cost.ii_effective >= result.cost.ii_bus);
+        // NComm consistency: the cut never moves fewer values than NComm.
+        prop_assert!(result.cost.cut_size >= result.cost.comm_count);
+    }
+
+    #[test]
+    fn mii_is_a_true_lower_bound(
+        profile in arb_profile(),
+        seed in 0u64..1_000,
+    ) {
+        let ddg = synth::synthesize("prop", &profile, seed);
+        let machine = MachineConfig::unified(64);
+        let mii = gpsched::ddg::mii::mii(&ddg, &machine);
+        let r = schedule_loop(&ddg, &machine, Algorithm::Uracam).unwrap();
+        prop_assert!(r.schedule.ii() >= mii);
+    }
+}
