@@ -5,13 +5,13 @@
 //! quality (estimated execution time, communications) each strategy
 //! produces.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpsched::partition::coarsen::MatchStrategy;
 use gpsched::partition::{partition_ddg, PartitionOptions};
 use gpsched::prelude::*;
-use gpsched_partition::coarsen::MatchStrategy;
+use gpsched_bench::Group;
 use std::hint::black_box;
 
-fn bench_matching(c: &mut Criterion) {
+fn main() {
     let suite = spec_suite();
     let loops: Vec<_> = suite
         .iter()
@@ -23,7 +23,10 @@ fn bench_matching(c: &mut Criterion) {
 
     // Quality comparison, printed once.
     eprintln!("\n--- matching ablation (4-cluster, 32 regs) ---");
-    for (name, strategy) in [("exact", MatchStrategy::Exact), ("greedy", MatchStrategy::Greedy)] {
+    for (name, strategy) in [
+        ("exact", MatchStrategy::Exact),
+        ("greedy", MatchStrategy::Greedy),
+    ] {
         let opts = PartitionOptions {
             strategy,
             ..PartitionOptions::default()
@@ -39,24 +42,24 @@ fn bench_matching(c: &mut Criterion) {
         eprintln!("{name:>6}: Σ estimated exec time {exec}, Σ comms {comm}");
     }
 
-    let mut group = c.benchmark_group("ablation_matching");
-    group.sample_size(10);
-    for (name, strategy) in [("exact", MatchStrategy::Exact), ("greedy", MatchStrategy::Greedy)] {
+    let group = Group::new("ablation_matching").sample_size(10);
+    for (name, strategy) in [
+        ("exact", MatchStrategy::Exact),
+        ("greedy", MatchStrategy::Greedy),
+    ] {
         let opts = PartitionOptions {
             strategy,
             ..PartitionOptions::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
-            b.iter(|| {
-                for ddg in &loops {
-                    let mii = gpsched::ddg::mii::mii(ddg, &machine);
-                    black_box(partition_ddg(black_box(ddg), &machine, mii, opts).cost.exec_time);
-                }
-            })
+        group.bench(name, || {
+            for ddg in &loops {
+                let mii = gpsched::ddg::mii::mii(ddg, &machine);
+                black_box(
+                    partition_ddg(black_box(ddg), &machine, mii, &opts)
+                        .cost
+                        .exec_time,
+                );
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_matching);
-criterion_main!(benches);

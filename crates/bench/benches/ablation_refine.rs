@@ -4,10 +4,10 @@
 //! Prints the resulting partition quality once, then benches the
 //! partitioning cost of each variant.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpsched::partition::refine::RefineOptions;
 use gpsched::partition::{partition_ddg, PartitionOptions};
 use gpsched::prelude::*;
-use gpsched_partition::refine::RefineOptions;
+use gpsched_bench::Group;
 use std::hint::black_box;
 
 fn variants() -> Vec<(&'static str, PartitionOptions)> {
@@ -27,7 +27,7 @@ fn variants() -> Vec<(&'static str, PartitionOptions)> {
     ]
 }
 
-fn bench_refine(c: &mut Criterion) {
+fn main() {
     let suite = spec_suite();
     let loops: Vec<_> = suite
         .iter()
@@ -50,20 +50,17 @@ fn bench_refine(c: &mut Criterion) {
         eprintln!("{name:>10}: Σ estimated exec {exec}, Σ effective II {ii}");
     }
 
-    let mut group = c.benchmark_group("ablation_refine");
-    group.sample_size(10);
+    let group = Group::new("ablation_refine").sample_size(10);
     for (name, opts) in variants() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
-            b.iter(|| {
-                for ddg in &loops {
-                    let mii = gpsched::ddg::mii::mii(ddg, &machine);
-                    black_box(partition_ddg(black_box(ddg), &machine, mii, opts).cost.comm_count);
-                }
-            })
+        group.bench(name, || {
+            for ddg in &loops {
+                let mii = gpsched::ddg::mii::mii(ddg, &machine);
+                black_box(
+                    partition_ddg(black_box(ddg), &machine, mii, &opts)
+                        .cost
+                        .comm_count,
+                );
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_refine);
-criterion_main!(benches);

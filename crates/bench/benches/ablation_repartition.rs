@@ -6,12 +6,12 @@
 //! loops where the difference shows, printing achieved IIs once and
 //! benching both control flows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpsched::prelude::*;
 use gpsched::sched::drivers::{fixed_partition, gp, DriverConfig};
+use gpsched_bench::Group;
 use std::hint::black_box;
 
-fn bench_repartition(c: &mut Criterion) {
+fn main() {
     let suite = spec_suite();
     let machine = MachineConfig::four_cluster(32, 1, 2);
     let cfg = DriverConfig::default();
@@ -45,34 +45,25 @@ fn bench_repartition(c: &mut Criterion) {
         loops.len()
     );
 
-    let mut group = c.benchmark_group("ablation_repartition");
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("gp-selective"), |b| {
-        b.iter(|| {
-            for ddg in &loops {
-                black_box(
-                    gp(black_box(ddg), &machine, &popts, &cfg)
-                        .expect("pre-filtered")
-                        .schedule
-                        .ii(),
-                );
-            }
-        })
+    let group = Group::new("ablation_repartition").sample_size(10);
+    group.bench("gp-selective", || {
+        for ddg in &loops {
+            black_box(
+                gp(black_box(ddg), &machine, &popts, &cfg)
+                    .expect("pre-filtered")
+                    .schedule
+                    .ii(),
+            );
+        }
     });
-    group.bench_function(BenchmarkId::from_parameter("fixed-never"), |b| {
-        b.iter(|| {
-            for ddg in &loops {
-                black_box(
-                    fixed_partition(black_box(ddg), &machine, &popts, &cfg)
-                        .expect("pre-filtered")
-                        .schedule
-                        .ii(),
-                );
-            }
-        })
+    group.bench("fixed-never", || {
+        for ddg in &loops {
+            black_box(
+                fixed_partition(black_box(ddg), &machine, &popts, &cfg)
+                    .expect("pre-filtered")
+                    .schedule
+                    .ii(),
+            );
+        }
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_repartition);
-criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Engine throughput: loops scheduled per second through the batch
+//! executor, the headline number future PRs track for perf trajectory.
+//!
+//! Three configurations are reported:
+//!
+//! * `serial/no-cache` — one worker, every unit pays its own MII and
+//!   partitioning (the honest per-loop cost);
+//! * `serial/cached` — one worker with the content-hash memo cache (what
+//!   repeated corpora and multi-algorithm sweeps actually pay);
+//! * `parallel/cached` — all host CPUs (on multi-core hosts this is the
+//!   deployment configuration; on a 1-CPU host it measures pool overhead).
+
+use gpsched::prelude::*;
+use gpsched_bench::Group;
+use gpsched_engine::{run_sweep, SweepOptions};
+
+fn job() -> JobSpec {
+    // A mid-size, fixed workload: 2 programs of the suite on two clustered
+    // machines under the three modulo algorithms.
+    let suite = spec_suite();
+    JobSpec::new()
+        .programs(&suite[..2])
+        .machines([
+            MachineConfig::two_cluster(32, 1, 1),
+            MachineConfig::four_cluster(64, 1, 2),
+        ])
+        .algorithms(Algorithm::MODULO)
+}
+
+fn main() {
+    let job = job();
+    let units = job.unit_count();
+    eprintln!("\n--- engine throughput ({units} units/run) ---");
+
+    let group = Group::new("engine_throughput").sample_size(10);
+    let configs = [
+        (
+            "serial/no-cache",
+            SweepOptions {
+                workers: 1,
+                use_cache: false,
+            },
+        ),
+        (
+            "serial/cached",
+            SweepOptions {
+                workers: 1,
+                use_cache: true,
+            },
+        ),
+        (
+            "parallel/cached",
+            SweepOptions {
+                workers: 0,
+                use_cache: true,
+            },
+        ),
+    ];
+    for (name, opts) in configs {
+        let t = group.bench(name, || {
+            std::hint::black_box(run_sweep(&job, &opts, None).stats.units)
+        });
+        println!(
+            "engine_throughput/{name}: {:.0} loops-scheduled/sec",
+            t.per_second(units)
+        );
+    }
+}

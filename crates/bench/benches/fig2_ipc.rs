@@ -1,15 +1,15 @@
 //! **Figure 2** — IPC with a 1-cycle bus.
 //!
-//! Criterion times the schedule generation per configuration; the actual
+//! The harness times the schedule generation per configuration; the actual
 //! IPC series (the figure's bars) is printed once before sampling so a
 //! bench run regenerates the figure's data.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpsched::prelude::*;
+use gpsched_bench::Group;
 use gpsched_eval::figures::series_for;
 use std::hint::black_box;
 
-fn bench_fig2(c: &mut Criterion) {
+fn main() {
     let suite = spec_suite();
 
     // Print the reproduced figure once (full suite).
@@ -34,31 +34,20 @@ fn bench_fig2(c: &mut Criterion) {
 
     // Bench the GP pipeline per configuration on one program.
     let program = suite.iter().find(|p| p.name == "swim").expect("exists");
-    let mut group = c.benchmark_group("fig2_gp_pipeline");
-    group.sample_size(10);
+    let group = Group::new("fig2_gp_pipeline").sample_size(10);
     for (clusters, regs) in [(2u32, 32u32), (2, 64), (4, 32), (4, 64)] {
         let machine = match clusters {
             2 => MachineConfig::two_cluster(regs, 1, 1),
             _ => MachineConfig::four_cluster(regs, 1, 1),
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(machine.short_name()),
-            &machine,
-            |b, machine| {
-                b.iter(|| {
-                    for ddg in &program.loops {
-                        black_box(
-                            schedule_loop(black_box(ddg), machine, Algorithm::Gp)
-                                .expect("schedulable")
-                                .ipc(),
-                        );
-                    }
-                })
-            },
-        );
+        group.bench(&machine.short_name(), || {
+            for ddg in &program.loops {
+                black_box(
+                    schedule_loop(black_box(ddg), &machine, Algorithm::Gp)
+                        .expect("schedulable")
+                        .ipc(),
+                );
+            }
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);

@@ -4,12 +4,12 @@
 //! machines fall further behind the unified bound and partition quality
 //! matters more.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpsched::prelude::*;
+use gpsched_bench::Group;
 use gpsched_eval::figures::series_for;
 use std::hint::black_box;
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
     let suite = spec_suite();
 
     eprintln!("\n--- Figure 3 data (1 bus, latency 2) ---");
@@ -32,31 +32,20 @@ fn bench_fig3(c: &mut Criterion) {
     }
 
     let program = suite.iter().find(|p| p.name == "applu").expect("exists");
-    let mut group = c.benchmark_group("fig3_gp_pipeline");
-    group.sample_size(10);
+    let group = Group::new("fig3_gp_pipeline").sample_size(10);
     for (clusters, regs) in [(2u32, 32u32), (4, 64)] {
         let machine = match clusters {
             2 => MachineConfig::two_cluster(regs, 1, 2),
             _ => MachineConfig::four_cluster(regs, 1, 2),
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(machine.short_name()),
-            &machine,
-            |b, machine| {
-                b.iter(|| {
-                    for ddg in &program.loops {
-                        black_box(
-                            schedule_loop(black_box(ddg), machine, Algorithm::Gp)
-                                .expect("schedulable")
-                                .ipc(),
-                        );
-                    }
-                })
-            },
-        );
+        group.bench(&machine.short_name(), || {
+            for ddg in &program.loops {
+                black_box(
+                    schedule_loop(black_box(ddg), &machine, Algorithm::Gp)
+                        .expect("schedulable")
+                        .ipc(),
+                );
+            }
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

@@ -1,67 +1,60 @@
 //! Micro-benchmarks of the substrate algorithms: exact vs greedy matching,
 //! RecMII search, SMS ordering and the cycle-level simulator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpsched::prelude::*;
+use gpsched_bench::Group;
 use gpsched_graph::matching::{greedy_matching, maximum_weight_matching};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpsched_workloads::rng::Prng;
 use std::hint::black_box;
 
 fn random_edges(n: usize, m: usize, seed: u64) -> Vec<(usize, usize, i64)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     (0..m)
         .map(|_| {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
-            (u, v, rng.gen_range(1..1000))
+            (u, v, rng.gen_range(1i64..1000))
         })
         .filter(|&(u, v, _)| u != v)
         .collect()
 }
 
-fn bench_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matching");
+fn bench_matching(group: &Group) {
     for n in [32usize, 96, 192] {
         let edges = random_edges(n, n * 3, 42);
-        group.bench_with_input(BenchmarkId::new("blossom", n), &edges, |b, edges| {
-            b.iter(|| black_box(maximum_weight_matching(n, edges, false).pair_count()))
+        group.bench(&format!("blossom/{n}"), || {
+            black_box(maximum_weight_matching(n, &edges, false).pair_count())
         });
-        group.bench_with_input(BenchmarkId::new("greedy", n), &edges, |b, edges| {
-            b.iter(|| black_box(greedy_matching(n, edges).pair_count()))
+        group.bench(&format!("greedy/{n}"), || {
+            black_box(greedy_matching(n, &edges).pair_count())
         });
     }
-    group.finish();
 }
 
-fn bench_recmii(c: &mut Criterion) {
+fn main() {
+    let group = Group::new("substrates").sample_size(10);
+    bench_matching(&group);
+
     let profile = SynthProfile {
         ops: 80,
         recurrences: 4,
         ..SynthProfile::default()
     };
     let ddg = synth::synthesize("bench", &profile, 7);
-    c.bench_function("rec_mii_80ops", |b| {
-        b.iter(|| black_box(gpsched::ddg::mii::rec_mii(black_box(&ddg))))
+    group.bench("rec_mii_80ops", || {
+        black_box(gpsched::ddg::mii::rec_mii(black_box(&ddg)))
     });
-}
 
-fn bench_sms_order(c: &mut Criterion) {
-    let ddg = kernels::fir(100, 24);
-    let ii = gpsched::ddg::mii::rec_mii(&ddg).max(8);
-    c.bench_function("sms_order_fir24", |b| {
-        b.iter(|| black_box(gpsched::sched::order::sms_order(black_box(&ddg), ii).len()))
+    let fir = kernels::fir(100, 24);
+    let ii = gpsched::ddg::mii::rec_mii(&fir).max(8);
+    group.bench("sms_order_fir24", || {
+        black_box(gpsched::sched::order::sms_order(black_box(&fir), ii).len())
     });
-}
 
-fn bench_simulator(c: &mut Criterion) {
-    let ddg = kernels::matmul_inner(500);
+    let mm = kernels::matmul_inner(500);
     let machine = MachineConfig::two_cluster(32, 1, 1);
-    let r = schedule_loop(&ddg, &machine, Algorithm::Gp).expect("schedulable");
-    c.bench_function("simulate_matmul_500trips", |b| {
-        b.iter(|| black_box(simulate(&ddg, &machine, &r.schedule, 500).unwrap().cycles))
+    let r = schedule_loop(&mm, &machine, Algorithm::Gp).expect("schedulable");
+    group.bench("simulate_matmul_500trips", || {
+        black_box(simulate(&mm, &machine, &r.schedule, 500).unwrap().cycles)
     });
 }
-
-criterion_group!(benches, bench_matching, bench_recmii, bench_sms_order, bench_simulator);
-criterion_main!(benches);

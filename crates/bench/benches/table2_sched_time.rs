@@ -2,15 +2,15 @@
 //! and machine configuration.
 //!
 //! The paper reports URACAM 2–7× slower than Fixed/GP (it tries every
-//! cluster for every node). Criterion measures the same quantity here:
+//! cluster for every node). The harness measures the same quantity here:
 //! one benchmark = scheduling every loop of one synthetic SPECfp95
 //! program.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpsched::prelude::*;
+use gpsched_bench::Group;
 use std::hint::black_box;
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
     let suite = spec_suite();
     // A representative mid-size program keeps bench time sane.
     let program = suite
@@ -24,27 +24,16 @@ fn bench_table2(c: &mut Criterion) {
         MachineConfig::four_cluster(64, 1, 2),
     ];
 
-    let mut group = c.benchmark_group("table2_sched_time");
-    group.sample_size(10);
+    let group = Group::new("table2_sched_time").sample_size(10);
     for machine in &machines {
         for algo in Algorithm::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(machine.short_name(), algo.name()),
-                &(machine, algo),
-                |b, (machine, algo)| {
-                    b.iter(|| {
-                        for ddg in &program.loops {
-                            let r = schedule_loop(black_box(ddg), machine, *algo)
-                                .expect("schedulable");
-                            black_box(r.schedule.ii());
-                        }
-                    })
-                },
-            );
+            let id = format!("{}/{}", machine.short_name(), algo.name());
+            group.bench(&id, || {
+                for ddg in &program.loops {
+                    let r = schedule_loop(black_box(ddg), machine, algo).expect("schedulable");
+                    black_box(r.schedule.ii());
+                }
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

@@ -49,14 +49,16 @@
 //! | [`machine`] | clustered VLIW machine model (Table 1) |
 //! | [`ddg`] | loop data-dependence graphs, MII, timing |
 //! | [`partition`] | the multilevel partitioner (§3.2) |
-//! | [`sched`] | modulo scheduling: GP / Fixed / URACAM + list fallback (§3.1, §3.3) |
+//! | [`sched`] | modulo scheduling: GP / Fixed / URACAM / List + list fallback (§3.1, §3.3) |
 //! | [`sim`] | cycle-accurate schedule validation |
-//! | [`workloads`] | kernels + the synthetic SPECfp95 suite |
+//! | [`workloads`] | kernels + the synthetic SPECfp95 suite + seeded synthesis |
+//! | [`engine`] | parallel batch sweeps, MII/partition memo cache, `.ddg` interchange |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use gpsched_ddg as ddg;
+pub use gpsched_engine as engine;
 pub use gpsched_graph as graph;
 pub use gpsched_machine as machine;
 pub use gpsched_partition as partition;
@@ -65,6 +67,7 @@ pub use gpsched_sim as sim;
 pub use gpsched_workloads as workloads;
 
 pub use gpsched_ddg::{Ddg, DdgBuilder, DdgError};
+pub use gpsched_engine::{run_sweep, JobSpec, RunRecord, SweepOptions, SweepResult};
 pub use gpsched_machine::{LatencyModel, MachineConfig, OpClass, ResourceKind};
 pub use gpsched_partition::{partition_ddg, Partition, PartitionOptions};
 pub use gpsched_sched::{schedule_loop, Algorithm, LoopResult, SchedError, Schedule};
@@ -73,6 +76,7 @@ pub use gpsched_sim::{simulate, SimError, SimReport};
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use gpsched_ddg::{mii, timing, Ddg, DdgBuilder};
+    pub use gpsched_engine::{run_sweep, JobSpec, SweepOptions};
     pub use gpsched_machine::{table1_configs, MachineConfig, OpClass};
     pub use gpsched_partition::{partition_ddg, Partition, PartitionOptions};
     pub use gpsched_sched::{schedule_loop, Algorithm, LoopResult, Schedule};

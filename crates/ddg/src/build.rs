@@ -105,6 +105,18 @@ impl DdgBuilder {
         self.graph.add_node(Op::with_latency(class, name, latency))
     }
 
+    /// Adds an operation with an explicit result latency, bypassing the
+    /// builder's latency model (used by the `.ddg` interchange parser,
+    /// which must reproduce stored latencies exactly).
+    pub fn op_with_latency(
+        &mut self,
+        class: OpClass,
+        name: impl Into<String>,
+        latency: u32,
+    ) -> OpId {
+        self.graph.add_node(Op::with_latency(class, name, latency))
+    }
+
     /// Adds an intra-iteration flow dependence `src → dst` with the
     /// producer's latency.
     pub fn flow(&mut self, src: OpId, dst: OpId) -> gpsched_graph::EdgeId {
@@ -112,12 +124,7 @@ impl DdgBuilder {
     }
 
     /// Adds a loop-carried flow dependence with the given distance.
-    pub fn flow_carried(
-        &mut self,
-        src: OpId,
-        dst: OpId,
-        distance: u32,
-    ) -> gpsched_graph::EdgeId {
+    pub fn flow_carried(&mut self, src: OpId, dst: OpId, distance: u32) -> gpsched_graph::EdgeId {
         let lat = self.graph.node_weight(src).latency;
         self.graph.add_edge(src, dst, Dep::flow(lat, distance))
     }

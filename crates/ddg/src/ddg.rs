@@ -108,7 +108,10 @@ impl Ddg {
     /// modulo-scheduling constraint system, with a caller-supplied extra
     /// delay per edge (used by the partitioner to charge bus latency on cut
     /// edges). Pass `|_| 0` for the raw graph.
-    pub fn constraint_deps(&self, mut extra: impl FnMut(DepId) -> i64) -> Vec<(usize, usize, i64, i64)> {
+    pub fn constraint_deps(
+        &self,
+        mut extra: impl FnMut(DepId) -> i64,
+    ) -> Vec<(usize, usize, i64, i64)> {
         self.graph
             .edge_ids()
             .map(|e| {

@@ -1,10 +1,9 @@
 //! Dependences (DDG edges).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of a dependence edge.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DepKind {
     /// Register data flow: the destination consumes the value produced by
     /// the source. Crossing clusters requires an inter-cluster transfer
@@ -16,7 +15,7 @@ pub enum DepKind {
 }
 
 /// A dependence between two operations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Dep {
     /// Edge kind.
     pub kind: DepKind,

@@ -29,7 +29,10 @@ pub fn res_mii(ddg: &Ddg, machine: &MachineConfig) -> i64 {
             continue;
         }
         let units = machine.total_units(kind) as i64;
-        assert!(units > 0, "machine has no {kind} units but the loop needs them");
+        assert!(
+            units > 0,
+            "machine has no {kind} units but the loop needs them"
+        );
         bound = bound.max((ops + units - 1) / units);
     }
     bound

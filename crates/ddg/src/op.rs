@@ -1,11 +1,10 @@
 //! Operations (DDG nodes).
 
 use gpsched_machine::OpClass;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An operation in a loop body.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Op {
     /// Operation class (determines functional unit and latency).
     pub class: OpClass,

@@ -123,18 +123,15 @@ pub fn analyze(ddg: &Ddg, ii: i64, mut extra: impl FnMut(DepId) -> i64) -> Optio
     for &v in order.iter().rev() {
         for (e, w) in graph.out_edges(v) {
             if graph.edge_weight(e).distance == 0 {
-                let cand = graph.edge_weight(e).latency as i64 + extras[e.index()] + tail[w.index()];
+                let cand =
+                    graph.edge_weight(e).latency as i64 + extras[e.index()] + tail[w.index()];
                 if cand > tail[v.index()] {
                     tail[v.index()] = cand;
                 }
             }
         }
     }
-    let max_path = (0..n)
-        .map(|v| start[v] + tail[v])
-        .max()
-        .unwrap_or(0)
-        .max(0);
+    let max_path = (0..n).map(|v| start[v] + tail[v]).max().unwrap_or(0).max(0);
 
     Some(Timing {
         ii,

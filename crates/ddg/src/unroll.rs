@@ -136,10 +136,7 @@ mod tests {
         // which wraps with distance 1.
         let d = daxpy_like();
         let u = unroll(&d, 3).unwrap();
-        let carried = u
-            .dep_ids()
-            .filter(|&e| u.dep(e).distance > 0)
-            .count();
+        let carried = u.dep_ids().filter(|&e| u.dep(e).distance > 0).count();
         assert_eq!(carried, 1, "only the wrap-around alias edge is carried");
     }
 

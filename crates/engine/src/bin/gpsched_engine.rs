@@ -1,0 +1,345 @@
+//! The `gpsched-engine` CLI: batch sweeps, corpus export and scaling
+//! measurements from the command line.
+//!
+//! ```text
+//! gpsched-engine sweep   [--spec] [--kernels] [--corpus FILE]
+//!                        [--machines table1|clustered|NAMES]
+//!                        [--algos all|modulo|NAMES]
+//!                        [--workers N] [--no-cache] [--out FILE] [--quiet]
+//! gpsched-engine export  [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
+//!                        [--out FILE]
+//! gpsched-engine speedup [--workers-list 1,2,4] [sweep selection flags]
+//! ```
+//!
+//! `sweep` with no source flag defaults to the full SPECfp95 suite on all
+//! Table 1 machines with all four algorithms — the paper's entire
+//! evaluation in one invocation.
+
+use gpsched_engine::{
+    aggregate_by_group, machine_from_short_name, parse_corpus, run_sweep, serialize_corpus,
+    JobSpec, SweepOptions,
+};
+use gpsched_machine::{table1_configs, MachineConfig};
+use gpsched_sched::Algorithm;
+use gpsched_workloads::{kernels, spec_suite, synth, SynthProfile};
+use std::io::Write;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("speedup") => cmd_speedup(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            eprint!("{USAGE}");
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "\
+gpsched-engine — parallel batch-scheduling engine
+
+USAGE:
+  gpsched-engine sweep   [--spec] [--kernels] [--corpus FILE]
+                         [--machines table1|clustered|NAME,NAME,…]
+                         [--algos all|modulo|NAME,NAME,…]
+                         [--workers N] [--no-cache] [--out FILE] [--quiet]
+  gpsched-engine export  [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
+                         [--out FILE]
+  gpsched-engine speedup [--workers-list 1,2,4] [sweep selection flags]
+
+With no source flags, `sweep` runs the full SPECfp95 suite across all
+Table 1 machines with all four algorithms (URACAM, Fixed, GP, List).
+Machine names use the short form from reports: u-r32, c2r32b1l1, ….
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    exit(2)
+}
+
+/// Pulls the value of a `--flag VALUE` option out of `args`.
+fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return Some(
+                it.next()
+                    .unwrap_or_else(|| fail(&format!("{flag} needs a value"))),
+            );
+        }
+    }
+    None
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Validates that every `--flag` in `args` is known.
+fn check_flags(args: &[String], known: &[&str]) {
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            if !known.contains(&a.as_str()) {
+                fail(&format!("unknown option `{a}`"));
+            }
+            // Every known flag except the booleans consumes a value.
+            skip = !matches!(
+                a.as_str(),
+                "--spec" | "--kernels" | "--no-cache" | "--quiet"
+            );
+        } else {
+            fail(&format!("unexpected argument `{a}`"));
+        }
+    }
+}
+
+fn parse_machines(spec: &str) -> Vec<MachineConfig> {
+    match spec {
+        "table1" => table1_configs().into_iter().map(|(_, m)| m).collect(),
+        "clustered" => table1_configs()
+            .into_iter()
+            .map(|(_, m)| m)
+            .filter(|m| !m.is_unified())
+            .collect(),
+        list => list
+            .split(',')
+            .map(|name| {
+                machine_from_short_name(name.trim())
+                    .unwrap_or_else(|| fail(&format!("unknown machine `{name}`")))
+            })
+            .collect(),
+    }
+}
+
+fn parse_algos(spec: &str) -> Vec<Algorithm> {
+    match spec {
+        "all" => Algorithm::ALL.to_vec(),
+        "modulo" => Algorithm::MODULO.to_vec(),
+        list => list
+            .split(',')
+            .map(|name| {
+                Algorithm::parse(name.trim())
+                    .unwrap_or_else(|| fail(&format!("unknown algorithm `{name}`")))
+            })
+            .collect(),
+    }
+}
+
+/// Builds the job selected by the common sweep flags.
+fn job_from_args(args: &[String]) -> JobSpec {
+    let mut job = JobSpec::new();
+    let mut any_source = false;
+    if has_flag(args, "--spec") {
+        job = job.programs(&spec_suite());
+        any_source = true;
+    }
+    if has_flag(args, "--kernels") {
+        for ddg in kernels::all_kernels(1000) {
+            job = job.loop_in("kernels", ddg);
+        }
+        any_source = true;
+    }
+    if let Some(path) = opt_value(args, "--corpus") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let loops = parse_corpus(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        if loops.is_empty() {
+            fail(&format!("{path}: corpus holds no loops"));
+        }
+        let group = path.rsplit('/').next().unwrap_or(path).to_string();
+        for ddg in loops {
+            job = job.loop_in(group.clone(), ddg);
+        }
+        any_source = true;
+    }
+    if !any_source {
+        job = job.programs(&spec_suite());
+    }
+    job = job.machines(parse_machines(
+        opt_value(args, "--machines").unwrap_or("table1"),
+    ));
+    job = job.algorithms(parse_algos(opt_value(args, "--algos").unwrap_or("all")));
+    job
+}
+
+const SWEEP_FLAGS: &[&str] = &[
+    "--spec",
+    "--kernels",
+    "--corpus",
+    "--machines",
+    "--algos",
+    "--workers",
+    "--no-cache",
+    "--out",
+    "--quiet",
+];
+
+fn cmd_sweep(args: &[String]) {
+    check_flags(args, SWEEP_FLAGS);
+    let job = job_from_args(args);
+    let opts = SweepOptions {
+        workers: opt_value(args, "--workers")
+            .map(|w| {
+                w.parse()
+                    .unwrap_or_else(|_| fail("--workers needs a number"))
+            })
+            .unwrap_or(0),
+        use_cache: !has_flag(args, "--no-cache"),
+    };
+    eprintln!(
+        "sweep: {} loops × {} machines × {} algorithms = {} units on {} workers",
+        job.loops.len(),
+        job.machines.len(),
+        job.algorithms.len(),
+        job.unit_count(),
+        opts.effective_workers()
+    );
+
+    let mut file = opt_value(args, "--out").map(|path| {
+        std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}"))),
+        )
+    });
+    let result = run_sweep(&job, &opts, file.as_mut().map(|f| f as &mut dyn Write));
+    if let Some(f) = file.as_mut() {
+        f.flush()
+            .unwrap_or_else(|e| fail(&format!("flushing --out file: {e}")));
+    }
+
+    if !has_flag(args, "--quiet") {
+        println!(
+            "{:<10} {:<12} {:>8} {:>8} {:>8} {:>8}",
+            "group", "machine", "URACAM", "Fixed", "GP", "List"
+        );
+        let agg = aggregate_by_group(&result.records);
+        let mut by_gm: std::collections::BTreeMap<(String, String), [Option<f64>; 4]> =
+            std::collections::BTreeMap::new();
+        for a in &agg {
+            let slot = match a.algorithm.as_str() {
+                "URACAM" => 0,
+                "Fixed" => 1,
+                "GP" => 2,
+                _ => 3,
+            };
+            by_gm
+                .entry((a.group.clone(), a.machine.clone()))
+                .or_default()[slot] = Some(a.ipc);
+        }
+        let cell = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));
+        for ((g, m), row) in by_gm {
+            println!(
+                "{g:<10} {m:<12} {:>8} {:>8} {:>8} {:>8}",
+                cell(row[0]),
+                cell(row[1]),
+                cell(row[2]),
+                cell(row[3])
+            );
+        }
+    }
+    eprintln!("{}", result.stats.summary());
+}
+
+const EXPORT_FLAGS: &[&str] = &["--spec", "--kernels", "--synth", "--seed", "--ops", "--out"];
+
+fn cmd_export(args: &[String]) {
+    check_flags(args, EXPORT_FLAGS);
+    let mut loops = Vec::new();
+    if has_flag(args, "--spec") {
+        for p in spec_suite() {
+            loops.extend(p.loops);
+        }
+    }
+    if has_flag(args, "--kernels") {
+        loops.extend(kernels::all_kernels(1000));
+    }
+    if let Some(n) = opt_value(args, "--synth") {
+        let n: usize = n.parse().unwrap_or_else(|_| fail("--synth needs a count"));
+        let seed: u64 = opt_value(args, "--seed")
+            .map(|s| s.parse().unwrap_or_else(|_| fail("--seed needs a number")))
+            .unwrap_or(0);
+        let profile = match opt_value(args, "--ops") {
+            Some(k) => SynthProfile {
+                ops: k.parse().unwrap_or_else(|_| fail("--ops needs a count")),
+                ..SynthProfile::default()
+            },
+            None => SynthProfile::default(),
+        };
+        for i in 0..n {
+            loops.push(synth::synthesize(
+                format!("synth-{seed}-{i}"),
+                &profile,
+                seed.wrapping_add(i as u64),
+            ));
+        }
+    }
+    if loops.is_empty() {
+        fail("export needs a source: --spec, --kernels and/or --synth N");
+    }
+    let text = serialize_corpus(loops.iter());
+    match opt_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {} loops to {path}", loops.len());
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn cmd_speedup(args: &[String]) {
+    let mut known = SWEEP_FLAGS.to_vec();
+    known.push("--workers-list");
+    check_flags(args, &known);
+    let job = job_from_args(args);
+    let list = opt_value(args, "--workers-list").unwrap_or("1,2,4");
+    let workers: Vec<usize> = list
+        .split(',')
+        .map(|w| {
+            w.trim()
+                .parse()
+                .unwrap_or_else(|_| fail("--workers-list needs numbers"))
+        })
+        .collect();
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "speedup: {} units ({} loops × {} machines × {} algorithms); host has {host} CPU(s)",
+        job.unit_count(),
+        job.loops.len(),
+        job.machines.len(),
+        job.algorithms.len()
+    );
+    if host == 1 {
+        eprintln!("note: single-CPU host — worker counts above 1 can only add overhead");
+    }
+    let mut base: Option<f64> = None;
+    println!(
+        "{:>8} {:>10} {:>12} {:>9}",
+        "workers", "wall (s)", "loops/s", "speedup"
+    );
+    for &w in &workers {
+        let opts = SweepOptions {
+            workers: w,
+            use_cache: !has_flag(args, "--no-cache"),
+        };
+        let r = run_sweep(&job, &opts, None);
+        let wall = r.stats.wall_time.as_secs_f64();
+        let b = *base.get_or_insert(wall);
+        println!(
+            "{w:>8} {wall:>10.2} {:>12.0} {:>8.2}x",
+            r.stats.throughput(),
+            b / wall
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Content-addressed memoization of per-(loop, machine) preprocessing.
+//!
+//! Scheduling one unit starts with two pure computations that are shared
+//! by every algorithm and by every re-occurrence of the same loop body:
+//! the MII and the initial partition. The cache keys them by a content
+//! hash of the DDG (FNV-1a over structure — the loop *name* is excluded,
+//! so corpora with duplicated bodies hit the cache) plus the machine's
+//! short name, and serves them to all workers through per-key
+//! [`OnceLock`]s so a miss never serializes unrelated work.
+
+use gpsched_ddg::Ddg;
+use gpsched_machine::MachineConfig;
+use gpsched_partition::{partition_ddg, PartitionOptions, PartitionResult};
+use gpsched_sched::SchedSeed;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// FNV-1a content hash of a DDG's structure.
+///
+/// Covers trip count, every op's `(class, latency)` and every dep's
+/// `(src, dst, kind, latency, distance)` in graph order; excludes the loop
+/// and op names so renamed copies of the same body share cache entries.
+pub fn ddg_content_hash(ddg: &Ddg) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(ddg.trip_count());
+    mix(ddg.op_count() as u64);
+    for id in ddg.op_ids() {
+        let op = ddg.op(id);
+        mix(op.class as u64);
+        mix(op.latency as u64);
+    }
+    mix(ddg.dep_count() as u64);
+    for e in ddg.dep_ids() {
+        let (s, d) = ddg.dep_endpoints(e);
+        let dep = ddg.dep(e);
+        mix(s.index() as u64);
+        mix(d.index() as u64);
+        mix(match dep.kind {
+            gpsched_ddg::DepKind::Flow => 0,
+            gpsched_ddg::DepKind::Mem => 1,
+        });
+        mix(dep.latency as u64);
+        mix(dep.distance as u64);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hash of everything that distinguishes one machine from another
+/// for scheduling purposes: per-cluster unit mix and registers, bus shape
+/// and the latency model. `short_name` is *not* sufficient as a cache key
+/// — custom machines with different unit mixes can share a short name.
+pub fn machine_key(machine: &MachineConfig) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(machine.cluster_count() as u64);
+    for c in machine.clusters() {
+        mix(c.int_units as u64);
+        mix(c.fp_units as u64);
+        mix(c.mem_units as u64);
+        mix(c.registers as u64);
+    }
+    mix(machine.buses as u64);
+    mix(machine.bus_latency as u64);
+    let l = &machine.latencies;
+    for lat in [l.int_alu, l.fp_add, l.fp_mul, l.fp_div, l.load, l.store] {
+        mix(lat as u64);
+    }
+    h
+}
+
+/// A lazily computed cache slot, shared across workers.
+type SeedCell = Arc<OnceLock<SchedSeed>>;
+
+/// Shared memo cache for one sweep, keyed by
+/// ([`ddg_content_hash`], [`machine_key`]).
+pub struct SweepCache {
+    entries: Mutex<HashMap<(u64, u64), SeedCell>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SweepCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The seed (MII + initial partition) for scheduling `ddg` on
+    /// `machine`, computing it on first request. `hash` must be
+    /// [`ddg_content_hash`]`(ddg)` (precomputed once per loop by the
+    /// executor). The boolean is `true` on a cache hit.
+    pub fn seed(
+        &self,
+        hash: u64,
+        ddg: &Ddg,
+        machine: &MachineConfig,
+        popts: &PartitionOptions,
+    ) -> (SchedSeed, bool) {
+        let cell = {
+            let mut map = self.entries.lock().expect("cache poisoned");
+            Arc::clone(
+                map.entry((hash, machine_key(machine)))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let mut computed = false;
+        let seed = cell.get_or_init(|| {
+            computed = true;
+            compute_seed(ddg, machine, popts)
+        });
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (seed.clone(), !computed)
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for SweepCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Computes a seed directly (the cache-off path uses this too).
+pub fn compute_seed(ddg: &Ddg, machine: &MachineConfig, popts: &PartitionOptions) -> SchedSeed {
+    let start_ii = gpsched_ddg::mii::mii(ddg, machine);
+    let partition: Option<PartitionResult> = if machine.cluster_count() > 1 {
+        Some(partition_ddg(ddg, machine, start_ii, popts))
+    } else {
+        None
+    };
+    SchedSeed {
+        start_ii,
+        partition,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_workloads::kernels;
+
+    #[test]
+    fn hash_ignores_names_but_not_structure() {
+        let a = kernels::daxpy(100);
+        let b = kernels::daxpy(100);
+        assert_eq!(ddg_content_hash(&a), ddg_content_hash(&b));
+        // Different trip count → different hash.
+        let c = kernels::daxpy(101);
+        assert_ne!(ddg_content_hash(&a), ddg_content_hash(&c));
+        // Different body → different hash.
+        let d = kernels::dot_product(100);
+        assert_ne!(ddg_content_hash(&a), ddg_content_hash(&d));
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_counts() {
+        let cache = SweepCache::new();
+        let ddg = kernels::fir(50, 4);
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let h = ddg_content_hash(&ddg);
+        let popts = PartitionOptions::default();
+        let (s1, hit1) = cache.seed(h, &ddg, &m, &popts);
+        let (s2, hit2) = cache.seed(h, &ddg, &m, &popts);
+        assert!(!hit1 && hit2);
+        assert_eq!(s1.start_ii, s2.start_ii);
+        assert_eq!(cache.stats(), (1, 1));
+        // A different machine is a different entry.
+        let m4 = MachineConfig::four_cluster(32, 1, 1);
+        let _ = cache.seed(h, &ddg, &m4, &popts);
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn seed_matches_direct_computation() {
+        let ddg = kernels::stencil5(200);
+        let m = MachineConfig::four_cluster(64, 1, 2);
+        let popts = PartitionOptions::default();
+        let direct = compute_seed(&ddg, &m, &popts);
+        let cache = SweepCache::new();
+        let (cached, _) = cache.seed(ddg_content_hash(&ddg), &ddg, &m, &popts);
+        assert_eq!(direct.start_ii, cached.start_ii);
+        assert_eq!(
+            direct
+                .partition
+                .as_ref()
+                .map(|p| p.partition.assignment().to_vec()),
+            cached
+                .partition
+                .as_ref()
+                .map(|p| p.partition.assignment().to_vec())
+        );
+    }
+
+    #[test]
+    fn machines_with_same_short_name_do_not_collide() {
+        use gpsched_machine::{ClusterConfig, LatencyModel};
+        // Two custom 2-cluster machines: same short name (c2r32b1l1),
+        // different unit mixes — must occupy distinct cache entries.
+        let mk = |units: [(u32, u32, u32); 2]| {
+            MachineConfig::custom(
+                units
+                    .iter()
+                    .map(|&(i, f, m)| ClusterConfig {
+                        int_units: i,
+                        fp_units: f,
+                        mem_units: m,
+                        registers: 16,
+                    })
+                    .collect(),
+                1,
+                1,
+                LatencyModel::default(),
+            )
+        };
+        let a = mk([(4, 1, 1), (4, 1, 1)]);
+        let b = mk([(1, 4, 1), (1, 4, 1)]);
+        assert_eq!(a.short_name(), b.short_name());
+        assert_ne!(machine_key(&a), machine_key(&b));
+
+        let ddg = kernels::daxpy(64);
+        let cache = SweepCache::new();
+        let h = ddg_content_hash(&ddg);
+        let popts = PartitionOptions::default();
+        let (_, hit_a) = cache.seed(h, &ddg, &a, &popts);
+        let (_, hit_b) = cache.seed(h, &ddg, &b, &popts);
+        assert!(!hit_a && !hit_b, "distinct machines must both miss");
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn unified_machines_need_no_partition() {
+        let ddg = kernels::daxpy(10);
+        let m = MachineConfig::unified(32);
+        let seed = compute_seed(&ddg, &m, &PartitionOptions::default());
+        assert!(seed.partition.is_none());
+        assert!(seed.start_ii >= 1);
+    }
+}

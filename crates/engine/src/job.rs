@@ -1,0 +1,216 @@
+//! Job specifications: what a batch sweep should schedule.
+
+use gpsched_ddg::Ddg;
+use gpsched_machine::{table1_configs, MachineConfig};
+use gpsched_partition::PartitionOptions;
+use gpsched_sched::{drivers::DriverConfig, Algorithm};
+use gpsched_workloads::Program;
+
+/// One loop in a job, tagged with the group (program / corpus) it belongs
+/// to so results can be aggregated the way the paper aggregates whole
+/// benchmarks.
+#[derive(Clone, Debug)]
+pub struct LoopSpec {
+    /// Aggregation group (benchmark/program name; `"corpus"` for loose
+    /// corpora).
+    pub group: String,
+    /// The loop itself.
+    pub ddg: Ddg,
+}
+
+/// A batch sweep: the cross product of loops × machines × algorithms.
+///
+/// Units are enumerated loop-major, then machine, then algorithm, and the
+/// unit index is the deterministic identity of each result — however many
+/// workers execute the sweep, record `k` is always the same (loop,
+/// machine, algorithm) triple.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Loops to schedule.
+    pub loops: Vec<LoopSpec>,
+    /// Machines to schedule on.
+    pub machines: Vec<MachineConfig>,
+    /// Algorithms to schedule with.
+    pub algorithms: Vec<Algorithm>,
+    /// Partitioner options shared by every unit.
+    pub popts: PartitionOptions,
+    /// Driver options shared by every unit.
+    pub cfg: DriverConfig,
+}
+
+impl JobSpec {
+    /// An empty job with default options.
+    pub fn new() -> Self {
+        JobSpec {
+            loops: Vec::new(),
+            machines: Vec::new(),
+            algorithms: Vec::new(),
+            popts: PartitionOptions::default(),
+            cfg: DriverConfig::default(),
+        }
+    }
+
+    /// Adds one loop under a group label (builder-style).
+    pub fn loop_in(mut self, group: impl Into<String>, ddg: Ddg) -> Self {
+        self.loops.push(LoopSpec {
+            group: group.into(),
+            ddg,
+        });
+        self
+    }
+
+    /// Adds every loop of a workload [`Program`] under the program's name.
+    pub fn program(mut self, program: &Program) -> Self {
+        for l in &program.loops {
+            self.loops.push(LoopSpec {
+                group: program.name.to_string(),
+                ddg: l.clone(),
+            });
+        }
+        self
+    }
+
+    /// Adds every program of a suite.
+    pub fn programs(mut self, suite: &[Program]) -> Self {
+        for p in suite {
+            self = self.program(p);
+        }
+        self
+    }
+
+    /// Adds a machine (builder-style).
+    pub fn machine(mut self, m: MachineConfig) -> Self {
+        self.machines.push(m);
+        self
+    }
+
+    /// Adds several machines.
+    pub fn machines(mut self, ms: impl IntoIterator<Item = MachineConfig>) -> Self {
+        self.machines.extend(ms);
+        self
+    }
+
+    /// Adds an algorithm (builder-style).
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithms.push(a);
+        self
+    }
+
+    /// Adds several algorithms.
+    pub fn algorithms(mut self, algos: impl IntoIterator<Item = Algorithm>) -> Self {
+        self.algorithms.extend(algos);
+        self
+    }
+
+    /// Number of units (loops × machines × algorithms).
+    pub fn unit_count(&self) -> usize {
+        self.loops.len() * self.machines.len() * self.algorithms.len()
+    }
+
+    /// The (loop, machine, algorithm) indices of unit `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= unit_count()`.
+    pub fn unit(&self, k: usize) -> (usize, usize, usize) {
+        assert!(k < self.unit_count(), "unit index out of range");
+        let per_loop = self.machines.len() * self.algorithms.len();
+        let li = k / per_loop;
+        let rest = k % per_loop;
+        (
+            li,
+            rest / self.algorithms.len(),
+            rest % self.algorithms.len(),
+        )
+    }
+
+    /// The full paper evaluation: SPECfp95 suite × Table 1 machines × all
+    /// four algorithms.
+    pub fn paper_sweep() -> Self {
+        JobSpec::new()
+            .programs(&gpsched_workloads::spec_suite())
+            .machines(table1_configs().into_iter().map(|(_, m)| m))
+            .algorithms(Algorithm::ALL)
+    }
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parses a machine short name (`u-r32`, `c2r32b1l1`, `c4r64b1l2`, …) back
+/// into a configuration — the inverse of [`MachineConfig::short_name`] for
+/// the homogeneous shapes the paper evaluates.
+pub fn machine_from_short_name(s: &str) -> Option<MachineConfig> {
+    if let Some(regs) = s.strip_prefix("u-r") {
+        return Some(MachineConfig::unified(regs.parse().ok()?));
+    }
+    let rest = s.strip_prefix('c')?;
+    let (clusters, rest) = rest.split_once('r')?;
+    let (regs, rest) = rest.split_once('b')?;
+    let (buses, lat) = rest.split_once('l')?;
+    let clusters: u32 = clusters.parse().ok()?;
+    let regs: u32 = regs.parse().ok()?;
+    let buses: u32 = buses.parse().ok()?;
+    let lat: u32 = lat.parse().ok()?;
+    if regs == 0 || regs % clusters != 0 {
+        return None;
+    }
+    let units = match clusters {
+        2 => (2, 2, 2),
+        4 => (1, 1, 1),
+        _ => return None,
+    };
+    Some(MachineConfig::homogeneous(
+        clusters, units, regs, buses, lat,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_workloads::kernels;
+
+    #[test]
+    fn unit_enumeration_is_loop_major() {
+        let job = JobSpec::new()
+            .loop_in("g", kernels::daxpy(10))
+            .loop_in("g", kernels::dot_product(10))
+            .machine(MachineConfig::unified(32))
+            .machine(MachineConfig::two_cluster(32, 1, 1))
+            .algorithms([Algorithm::Gp, Algorithm::Uracam]);
+        assert_eq!(job.unit_count(), 8);
+        assert_eq!(job.unit(0), (0, 0, 0));
+        assert_eq!(job.unit(1), (0, 0, 1));
+        assert_eq!(job.unit(2), (0, 1, 0));
+        assert_eq!(job.unit(5), (1, 0, 1));
+        assert_eq!(job.unit(7), (1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unit_bounds_checked() {
+        JobSpec::new().unit(0);
+    }
+
+    #[test]
+    fn paper_sweep_shape() {
+        let job = JobSpec::paper_sweep();
+        assert_eq!(job.machines.len(), 10);
+        assert_eq!(job.algorithms.len(), 4);
+        assert_eq!(job.loops.len(), 70); // 10 programs, 70 loops total
+        assert_eq!(job.unit_count(), 70 * 10 * 4);
+    }
+
+    #[test]
+    fn short_name_round_trips() {
+        for (_, m) in table1_configs() {
+            let back = machine_from_short_name(&m.short_name()).unwrap();
+            assert_eq!(back, m, "{}", m.short_name());
+        }
+        assert!(machine_from_short_name("c3r30b1l1").is_none());
+        assert!(machine_from_short_name("garbage").is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! The batch sweep executor: a worker pool over the units of a
+//! [`JobSpec`].
+//!
+//! Workers are plain `std::thread`s claiming units off a shared atomic
+//! counter; finished records stream back over an `mpsc` channel to the
+//! caller's thread, which forwards each JSONL line to the optional sink
+//! in completion order and finally sorts the collected records by unit
+//! index — so the returned vector is deterministic however many workers
+//! ran, while the sink observes results as soon as they exist.
+
+use crate::cache::{compute_seed, ddg_content_hash, SweepCache};
+use crate::job::JobSpec;
+use crate::record::{RunRecord, SweepStats};
+use gpsched_sched::{schedule_loop_seeded, ScheduledWith};
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Executor options.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means one per available CPU.
+    pub workers: usize,
+    /// Serve MII/partition preprocessing from the content-hash memo cache.
+    /// Disable for timing studies (Table 2) where every unit must pay its
+    /// full algorithmic cost.
+    pub use_cache: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workers: 0,
+            use_cache: true,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// A single-threaded run (the determinism baseline).
+    pub fn serial() -> Self {
+        SweepOptions {
+            workers: 1,
+            ..SweepOptions::default()
+        }
+    }
+
+    /// Resolves `workers == 0` to the host's parallelism.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Result of [`run_sweep`]: records in unit order plus aggregate stats.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// One record per unit, sorted by unit index (deterministic).
+    pub records: Vec<RunRecord>,
+    /// Aggregate statistics.
+    pub stats: SweepStats,
+}
+
+/// Runs every unit of `job`, streaming JSONL lines to `sink` (if any) as
+/// units complete.
+///
+/// # Panics
+///
+/// Panics if some loop cannot be scheduled at all (a machine with zero
+/// units of a required kind) — job specs are expected to pair workloads
+/// with machines that can run them — or if a worker thread panics.
+pub fn run_sweep(
+    job: &JobSpec,
+    opts: &SweepOptions,
+    mut sink: Option<&mut dyn Write>,
+) -> SweepResult {
+    let t0 = Instant::now();
+    let nunits = job.unit_count();
+    let workers = opts.effective_workers().max(1).min(nunits.max(1));
+    let cache = SweepCache::new();
+    // Hash every loop once, up front.
+    let hashes: Vec<u64> = job.loops.iter().map(|l| ddg_content_hash(&l.ddg)).collect();
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<RunRecord>();
+
+    let mut records: Vec<RunRecord> = Vec::with_capacity(nunits);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let cache = &cache;
+            let hashes = &hashes;
+            scope.spawn(move || loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= nunits {
+                    break;
+                }
+                let record = run_unit(job, k, hashes, cache, opts.use_cache);
+                if tx.send(record).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Drain in completion order, streaming to the sink.
+        for record in rx {
+            if let Some(w) = sink.as_deref_mut() {
+                let _ = writeln!(w, "{}", record.to_json());
+            }
+            records.push(record);
+        }
+    });
+
+    records.sort_by_key(|r| r.unit);
+    let (hits, misses) = cache.stats();
+    let stats = SweepStats::from_records(&records, t0.elapsed(), hits, misses, workers);
+    SweepResult { records, stats }
+}
+
+/// Schedules unit `k` of `job`.
+fn run_unit(
+    job: &JobSpec,
+    k: usize,
+    hashes: &[u64],
+    cache: &SweepCache,
+    use_cache: bool,
+) -> RunRecord {
+    let (li, mi, ai) = job.unit(k);
+    let spec = &job.loops[li];
+    let machine = &job.machines[mi];
+    let algorithm = job.algorithms[ai];
+
+    let t0 = Instant::now();
+    let (seed, cache_hit) = if use_cache {
+        cache.seed(hashes[li], &spec.ddg, machine, &job.popts)
+    } else {
+        (compute_seed(&spec.ddg, machine, &job.popts), false)
+    };
+    // A hit can still have *blocked* on a concurrent miss computing the
+    // same entry; that wait is the miss's cost, not this unit's.
+    let t0 = if cache_hit { Instant::now() } else { t0 };
+    let r = schedule_loop_seeded(&spec.ddg, machine, algorithm, &job.popts, &job.cfg, &seed)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.ddg.name(), machine.short_name()));
+    let sched_time_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+
+    let repartitions = match r.method {
+        ScheduledWith::Modulo { repartitions } => repartitions,
+        _ => 0,
+    };
+    RunRecord {
+        unit: k,
+        group: spec.group.clone(),
+        loop_name: r.name.clone(),
+        machine: machine.short_name(),
+        algorithm: algorithm.name().to_string(),
+        ii: r.schedule.ii(),
+        length: r.schedule.length(),
+        ops: r.ops,
+        trips: r.trips,
+        cycles: r.cycles(),
+        ipc: r.ipc(),
+        list_fallback: matches!(r.method, ScheduledWith::ListFallback),
+        repartitions,
+        cache_hit,
+        sched_time_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_machine::MachineConfig;
+    use gpsched_sched::Algorithm;
+    use gpsched_workloads::kernels;
+
+    fn small_job() -> JobSpec {
+        JobSpec::new()
+            .loop_in("k", kernels::daxpy(100))
+            .loop_in("k", kernels::dot_product(100))
+            .loop_in("k", kernels::fir(100, 4))
+            .machines([
+                MachineConfig::unified(32),
+                MachineConfig::two_cluster(32, 1, 1),
+            ])
+            .algorithms(Algorithm::ALL)
+    }
+
+    #[test]
+    fn records_cover_every_unit_in_order() {
+        let job = small_job();
+        let r = run_sweep(&job, &SweepOptions::serial(), None);
+        assert_eq!(r.records.len(), job.unit_count());
+        for (k, rec) in r.records.iter().enumerate() {
+            assert_eq!(rec.unit, k);
+            let (li, mi, ai) = job.unit(k);
+            assert_eq!(rec.loop_name, job.loops[li].ddg.name());
+            assert_eq!(rec.machine, job.machines[mi].short_name());
+            assert_eq!(rec.algorithm, job.algorithms[ai].name());
+            assert!(rec.ipc > 0.0);
+        }
+        assert_eq!(r.stats.units, job.unit_count());
+    }
+
+    #[test]
+    fn parallel_equals_serial_canonically() {
+        let job = small_job();
+        let serial = run_sweep(&job, &SweepOptions::serial(), None);
+        let parallel = run_sweep(
+            &job,
+            &SweepOptions {
+                workers: 4,
+                use_cache: true,
+            },
+            None,
+        );
+        let canon = |r: &SweepResult| -> Vec<String> {
+            r.records.iter().map(RunRecord::canonical_fields).collect()
+        };
+        assert_eq!(canon(&serial), canon(&parallel));
+    }
+
+    #[test]
+    fn cache_dedupes_shared_preprocessing() {
+        let job = small_job(); // 3 loops × 2 machines, 4 algos each
+        let r = run_sweep(&job, &SweepOptions::serial(), None);
+        // One miss per (loop, machine); the other algorithm units hit.
+        assert_eq!(r.stats.cache_misses, 6);
+        assert_eq!(r.stats.cache_hits, job.unit_count() - 6);
+    }
+
+    #[test]
+    fn no_cache_mode_counts_nothing() {
+        let job = small_job();
+        let r = run_sweep(
+            &job,
+            &SweepOptions {
+                workers: 2,
+                use_cache: false,
+            },
+            None,
+        );
+        assert_eq!(r.stats.cache_hits + r.stats.cache_misses, 0);
+        assert_eq!(r.records.len(), job.unit_count());
+    }
+
+    #[test]
+    fn sink_receives_one_json_line_per_unit() {
+        let job = small_job();
+        let mut buf: Vec<u8> = Vec::new();
+        let r = run_sweep(&job, &SweepOptions::serial(), Some(&mut buf));
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), r.records.len());
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+            assert!(l.contains("\"ipc\":"));
+        }
+    }
+
+    #[test]
+    fn empty_job_is_fine() {
+        let job = JobSpec::new();
+        let r = run_sweep(&job, &SweepOptions::default(), None);
+        assert!(r.records.is_empty());
+        assert_eq!(r.stats.units, 0);
+    }
+}

@@ -1,0 +1,481 @@
+//! The `.ddg` textual interchange format for loop data-dependence graphs.
+//!
+//! A line-oriented, human-editable format so external loop corpora can be
+//! fed to the engine and the bundled suites can be exported, diffed and
+//! version-controlled. One file holds any number of loops:
+//!
+//! ```text
+//! # full-line comments and blank lines are ignored
+//! ddg daxpy
+//! trips 1000
+//! # op lines: class, result latency, then the free-form name
+//! op int 1 &x[i]
+//! op load 2 x[i]
+//! op fmul 3 a*x
+//! # dep lines: src, dst, flow|mem, latency, distance
+//! dep 0 1 flow 1 0
+//! dep 1 2 flow 2 0
+//! end
+//! ```
+//!
+//! Operations are implicitly numbered in order of appearance, starting at
+//! 0; `dep` lines may only reference already-declared operations, which
+//! makes every file trivially checkable in one pass. Names extend to the
+//! end of the line and may contain spaces (they may not contain newlines,
+//! which is not a restriction in practice).
+//!
+//! Parsing validates through [`DdgBuilder`], so a file that parses yields
+//! the same invariants as a programmatically built DDG (acyclic distance-0
+//! subgraph, no flow edges out of stores, positive trip count).
+
+use gpsched_ddg::{Ddg, DdgBuilder, DdgError, OpId};
+use gpsched_machine::OpClass;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while parsing `.ddg` text. Every variant carries the
+/// 1-based line number it was detected on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TextError {
+    /// A malformed line: unknown directive, missing or unparsable field.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A `dep` line referenced an operation index not declared yet.
+    OpOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending index.
+        index: usize,
+        /// Operations declared so far.
+        declared: usize,
+    },
+    /// The loop failed DDG validation at its `end` line.
+    Invalid {
+        /// 1-based line number of the `end`.
+        line: usize,
+        /// The underlying validation error.
+        source: DdgError,
+    },
+    /// The text ended inside a `ddg … end` block.
+    UnterminatedBlock {
+        /// 1-based line number where the block started.
+        start_line: usize,
+        /// Name of the unterminated loop.
+        name: String,
+    },
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            TextError::OpOutOfRange {
+                line,
+                index,
+                declared,
+            } => write!(
+                f,
+                "line {line}: op index {index} out of range ({declared} ops declared so far)"
+            ),
+            TextError::Invalid { line, source } => {
+                write!(f, "line {line}: invalid ddg: {source}")
+            }
+            TextError::UnterminatedBlock { start_line, name } => {
+                write!(
+                    f,
+                    "line {start_line}: ddg `{name}` is never closed with `end`"
+                )
+            }
+        }
+    }
+}
+
+impl Error for TextError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TextError::Invalid { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes one DDG as a `.ddg` block (including the trailing `end`).
+pub fn serialize_ddg(ddg: &Ddg) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("ddg {}\n", ddg.name()));
+    out.push_str(&format!("trips {}\n", ddg.trip_count()));
+    for id in ddg.op_ids() {
+        let op = ddg.op(id);
+        if op.name.is_empty() {
+            out.push_str(&format!("op {} {}\n", op.class, op.latency));
+        } else {
+            out.push_str(&format!("op {} {} {}\n", op.class, op.latency, op.name));
+        }
+    }
+    for e in ddg.dep_ids() {
+        let (s, d) = ddg.dep_endpoints(e);
+        let dep = ddg.dep(e);
+        let kind = match dep.kind {
+            gpsched_ddg::DepKind::Flow => "flow",
+            gpsched_ddg::DepKind::Mem => "mem",
+        };
+        out.push_str(&format!(
+            "dep {} {} {} {} {}\n",
+            s.index(),
+            d.index(),
+            kind,
+            dep.latency,
+            dep.distance
+        ));
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Serializes a whole corpus: one block per DDG, blank-line separated,
+/// with a header comment.
+pub fn serialize_corpus<'a>(ddgs: impl IntoIterator<Item = &'a Ddg>) -> String {
+    let mut out = String::from("# gpsched .ddg corpus\n");
+    for ddg in ddgs {
+        out.push('\n');
+        out.push_str(&serialize_ddg(ddg));
+    }
+    out
+}
+
+/// Splits one leading whitespace-delimited token off `s`.
+fn token(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(field: &str, what: &str, line: usize) -> Result<T, TextError> {
+    field.parse().map_err(|_| TextError::Syntax {
+        line,
+        msg: format!("expected {what}, got `{field}`"),
+    })
+}
+
+struct Block {
+    start_line: usize,
+    name: String,
+    builder: DdgBuilder,
+    ops: Vec<OpId>,
+}
+
+/// Parses a `.ddg` corpus: every `ddg … end` block in `text`, in order.
+///
+/// An empty (or comment-only) file yields an empty vector.
+///
+/// # Errors
+///
+/// Returns the first [`TextError`] encountered; parsing is strict — any
+/// unknown directive or malformed field fails rather than being skipped.
+pub fn parse_corpus(text: &str) -> Result<Vec<Ddg>, TextError> {
+    let mut out = Vec::new();
+    let mut block: Option<Block> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        // Comments are full-line only: free-form op/ddg names may contain
+        // `#`, so a trailing comment would be ambiguous.
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (word, rest) = token(line);
+        match word {
+            "ddg" => {
+                if let Some(b) = &block {
+                    return Err(TextError::Syntax {
+                        line: line_no,
+                        msg: format!("`ddg` inside unterminated block `{}`", b.name),
+                    });
+                }
+                if rest.is_empty() {
+                    return Err(TextError::Syntax {
+                        line: line_no,
+                        msg: "`ddg` requires a name".to_string(),
+                    });
+                }
+                block = Some(Block {
+                    start_line: line_no,
+                    name: rest.to_string(),
+                    builder: DdgBuilder::new(rest),
+                    ops: Vec::new(),
+                });
+            }
+            "trips" => {
+                let b = block.as_mut().ok_or_else(|| outside(line_no, "trips"))?;
+                let n: u64 = parse_num(rest, "a trip count", line_no)?;
+                b.builder.trip_count(n);
+            }
+            "op" => {
+                let b = block.as_mut().ok_or_else(|| outside(line_no, "op"))?;
+                let (class_s, rest) = token(rest);
+                let (lat_s, name) = token(rest);
+                let class = OpClass::parse(class_s).ok_or_else(|| TextError::Syntax {
+                    line: line_no,
+                    msg: format!(
+                        "unknown op class `{class_s}` (expected int|fadd|fmul|fdiv|load|store)"
+                    ),
+                })?;
+                let latency: u32 = parse_num(lat_s, "a latency", line_no)?;
+                let id = b.builder.op_with_latency(class, name, latency);
+                b.ops.push(id);
+            }
+            "dep" => {
+                let b = block.as_mut().ok_or_else(|| outside(line_no, "dep"))?;
+                let (src_s, rest) = token(rest);
+                let (dst_s, rest) = token(rest);
+                let (kind_s, rest) = token(rest);
+                let (lat_s, dist_s) = token(rest);
+                let src: usize = parse_num(src_s, "a source op index", line_no)?;
+                let dst: usize = parse_num(dst_s, "a destination op index", line_no)?;
+                for idx in [src, dst] {
+                    if idx >= b.ops.len() {
+                        return Err(TextError::OpOutOfRange {
+                            line: line_no,
+                            index: idx,
+                            declared: b.ops.len(),
+                        });
+                    }
+                }
+                let latency: u32 = parse_num(lat_s, "a latency", line_no)?;
+                let distance: u32 = parse_num(dist_s.trim(), "a distance", line_no)?;
+                let dep = match kind_s {
+                    "flow" => gpsched_ddg::Dep::flow(latency, distance),
+                    "mem" => gpsched_ddg::Dep::mem(latency, distance),
+                    other => {
+                        return Err(TextError::Syntax {
+                            line: line_no,
+                            msg: format!("unknown dep kind `{other}` (expected flow|mem)"),
+                        })
+                    }
+                };
+                b.builder.dep(b.ops[src], b.ops[dst], dep);
+            }
+            "end" => {
+                let b = block.take().ok_or_else(|| outside(line_no, "end"))?;
+                let ddg = b.builder.build().map_err(|source| TextError::Invalid {
+                    line: line_no,
+                    source,
+                })?;
+                out.push(ddg);
+            }
+            other => {
+                return Err(TextError::Syntax {
+                    line: line_no,
+                    msg: format!("unknown directive `{other}`"),
+                });
+            }
+        }
+    }
+    if let Some(b) = block {
+        return Err(TextError::UnterminatedBlock {
+            start_line: b.start_line,
+            name: b.name,
+        });
+    }
+    Ok(out)
+}
+
+fn outside(line: usize, directive: &str) -> TextError {
+    TextError::Syntax {
+        line,
+        msg: format!("`{directive}` outside a `ddg … end` block"),
+    }
+}
+
+/// Parses text expected to contain exactly one DDG.
+///
+/// # Errors
+///
+/// [`TextError::Syntax`] (reported on the last line) when the file holds
+/// zero or more than one loop, or any error of [`parse_corpus`].
+pub fn parse_ddg(text: &str) -> Result<Ddg, TextError> {
+    let mut v = parse_corpus(text)?;
+    if v.len() != 1 {
+        return Err(TextError::Syntax {
+            line: text.lines().count(),
+            msg: format!("expected exactly one ddg, found {}", v.len()),
+        });
+    }
+    Ok(v.pop().expect("length checked"))
+}
+
+/// Structural equality of two DDGs: same name, trip count, operation list
+/// (class, latency, label) and dependence list (endpoints, kind, latency,
+/// distance), in identical order. This is the round-trip criterion of the
+/// interchange format.
+pub fn same_structure(a: &Ddg, b: &Ddg) -> bool {
+    if a.name() != b.name()
+        || a.trip_count() != b.trip_count()
+        || a.op_count() != b.op_count()
+        || a.dep_count() != b.dep_count()
+    {
+        return false;
+    }
+    if a.op_ids().zip(b.op_ids()).any(|(x, y)| a.op(x) != b.op(y)) {
+        return false;
+    }
+    a.dep_ids()
+        .zip(b.dep_ids())
+        .all(|(x, y)| a.dep(x) == b.dep(y) && a.dep_endpoints(x) == b.dep_endpoints(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_machine::OpClass;
+
+    fn sample() -> Ddg {
+        let mut b = DdgBuilder::new("sample loop");
+        let ld = b.op(OpClass::Load, "x[i]");
+        let ml = b.op(OpClass::FpMul, "a*x");
+        let st = b.op(OpClass::Store, "y[i]=");
+        b.flow(ld, ml);
+        b.flow(ml, st);
+        b.mem(st, ld, 1);
+        b.trip_count(128);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_sample() {
+        let d = sample();
+        let text = serialize_ddg(&d);
+        let back = parse_ddg(&text).unwrap();
+        assert!(same_structure(&d, &back), "round trip changed:\n{text}");
+    }
+
+    #[test]
+    fn serializer_output_is_stable() {
+        let text = serialize_ddg(&sample());
+        assert_eq!(
+            text,
+            "ddg sample loop\n\
+             trips 128\n\
+             op load 2 x[i]\n\
+             op fmul 3 a*x\n\
+             op store 1 y[i]=\n\
+             dep 0 1 flow 2 0\n\
+             dep 1 2 flow 3 0\n\
+             dep 2 0 mem 1 1\n\
+             end\n"
+        );
+    }
+
+    #[test]
+    fn corpus_round_trip_and_comments() {
+        let a = sample();
+        let mut b2 = DdgBuilder::new("two");
+        b2.op(OpClass::IntAlu, "only");
+        let b2 = b2.trip_count(5).build().unwrap();
+        let text = serialize_corpus([&a, &b2]);
+        assert!(text.starts_with("# gpsched .ddg corpus\n"));
+        let back = parse_corpus(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(same_structure(&a, &back[0]));
+        assert!(same_structure(&b2, &back[1]));
+    }
+
+    #[test]
+    fn empty_input_is_empty_corpus() {
+        assert!(parse_corpus("").unwrap().is_empty());
+        assert!(parse_corpus("# nothing\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_unknown_directive() {
+        let err = parse_corpus("ddg x\nfrobnicate 3\nend\n").unwrap_err();
+        assert!(matches!(err, TextError::Syntax { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn error_bad_class_and_bad_number() {
+        let err = parse_corpus("ddg x\nop blorp 1 a\nend\n").unwrap_err();
+        assert!(err.to_string().contains("blorp"));
+        let err = parse_corpus("ddg x\ntrips minus-one\nend\n").unwrap_err();
+        assert!(err.to_string().contains("trip count"));
+    }
+
+    #[test]
+    fn error_dep_out_of_range() {
+        let err = parse_corpus("ddg x\nop int 1 a\ndep 0 3 flow 1 0\nend\n").unwrap_err();
+        assert_eq!(
+            err,
+            TextError::OpOutOfRange {
+                line: 3,
+                index: 3,
+                declared: 1
+            }
+        );
+    }
+
+    #[test]
+    fn error_directives_outside_block() {
+        for bad in ["trips 3\n", "op int 1 a\n", "dep 0 0 flow 1 0\n", "end\n"] {
+            let err = parse_corpus(bad).unwrap_err();
+            assert!(err.to_string().contains("outside"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn error_unterminated_block() {
+        let err = parse_corpus("ddg open\nop int 1 a\n").unwrap_err();
+        assert_eq!(
+            err,
+            TextError::UnterminatedBlock {
+                start_line: 1,
+                name: "open".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn error_nested_ddg() {
+        let err = parse_corpus("ddg a\nddg b\nend\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn error_invalid_ddg_carries_build_error() {
+        // Distance-0 cycle: parses but cannot validate.
+        let text = "ddg bad\nop int 1 a\nop int 1 b\n\
+                    dep 0 1 flow 1 0\ndep 1 0 flow 1 0\nend\n";
+        let err = parse_corpus(text).unwrap_err();
+        match err {
+            TextError::Invalid { line, source } => {
+                assert_eq!(line, 6);
+                assert_eq!(source, gpsched_ddg::DdgError::ZeroDistanceCycle);
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_ddg_rejects_multiple() {
+        let text = "ddg a\nop int 1 x\nend\nddg b\nop int 1 y\nend\n";
+        assert!(parse_ddg(text)
+            .unwrap_err()
+            .to_string()
+            .contains("exactly one"));
+    }
+
+    #[test]
+    fn names_with_spaces_round_trip() {
+        let d = sample();
+        assert_eq!(d.name(), "sample loop");
+        let back = parse_ddg(&serialize_ddg(&d)).unwrap();
+        assert_eq!(back.name(), "sample loop");
+    }
+}

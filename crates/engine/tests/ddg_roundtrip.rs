@@ -1,0 +1,77 @@
+//! Property test of the `.ddg` interchange format: any loop the synthetic
+//! generator can produce must survive serialize → parse structurally
+//! intact, and the bundled suites must round-trip as corpora.
+
+use gpsched_engine::text::{
+    parse_corpus, parse_ddg, same_structure, serialize_corpus, serialize_ddg,
+};
+use gpsched_workloads::rng::Prng;
+use gpsched_workloads::synth::{synthesize, SynthProfile};
+use gpsched_workloads::{kernels, spec_suite};
+
+/// A random but valid synthesis profile.
+fn arb_profile(rng: &mut Prng) -> SynthProfile {
+    SynthProfile {
+        ops: rng.gen_range(1usize..60),
+        mem_frac: rng.gen_f64() * 0.7,
+        store_frac: rng.gen_f64() * 0.7,
+        fp_frac: rng.gen_f64(),
+        fpdiv_frac: rng.gen_f64() * 0.1,
+        chain_bias: rng.gen_f64(),
+        recurrences: rng.gen_range(0usize..5),
+        max_distance: rng.gen_range(1u32..4),
+        trip_range: (1, 5000),
+    }
+}
+
+#[test]
+fn synth_loops_round_trip() {
+    let mut rng = Prng::seed_from_u64(0x2DD6);
+    for case in 0..100 {
+        let profile = arb_profile(&mut rng);
+        let seed = rng.next_u64();
+        let ddg = synthesize(format!("case-{case}"), &profile, seed);
+        let text = serialize_ddg(&ddg);
+        let back =
+            parse_ddg(&text).unwrap_or_else(|e| panic!("case {case} (seed {seed}): {e}\n{text}"));
+        assert!(
+            same_structure(&ddg, &back),
+            "case {case} (seed {seed}) changed structurally:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn kernel_corpus_round_trips() {
+    let corpus = kernels::all_kernels(777);
+    let text = serialize_corpus(corpus.iter());
+    let back = parse_corpus(&text).expect("kernel corpus parses");
+    assert_eq!(back.len(), corpus.len());
+    for (a, b) in corpus.iter().zip(&back) {
+        assert!(same_structure(a, b), "{}", a.name());
+    }
+}
+
+#[test]
+fn spec_suite_round_trips() {
+    // The acceptance-criteria case: a synth-generated corpus exported to
+    // `.ddg` text reloads to structurally identical DDGs.
+    let loops: Vec<_> = spec_suite().into_iter().flat_map(|p| p.loops).collect();
+    assert_eq!(loops.len(), 70);
+    let text = serialize_corpus(loops.iter());
+    let back = parse_corpus(&text).expect("spec corpus parses");
+    assert_eq!(back.len(), loops.len());
+    for (a, b) in loops.iter().zip(&back) {
+        assert!(same_structure(a, b), "{}", a.name());
+    }
+}
+
+#[test]
+fn double_round_trip_is_fixpoint() {
+    // serialize(parse(serialize(x))) == serialize(x): the text form is
+    // canonical.
+    let ddg = synthesize("fixpoint", &SynthProfile::default(), 99);
+    let once = serialize_ddg(&ddg);
+    let twice = serialize_ddg(&parse_ddg(&once).unwrap());
+    assert_eq!(once, twice);
+}

@@ -1,0 +1,117 @@
+//! Engine determinism: the same job spec must yield identical results —
+//! and identical JSONL modulo line order — whether one worker or many run
+//! the sweep.
+
+use gpsched_engine::{run_sweep, JobSpec, SweepOptions};
+use gpsched_machine::MachineConfig;
+use gpsched_sched::Algorithm;
+use gpsched_workloads::{spec_suite, synth::synthesize, SynthProfile};
+use std::collections::BTreeSet;
+
+fn job() -> JobSpec {
+    let suite = spec_suite();
+    let program = suite.iter().find(|p| p.name == "su2cor").expect("exists");
+    let mut job = JobSpec::new()
+        .program(program)
+        .machines([
+            MachineConfig::unified(32),
+            MachineConfig::two_cluster(32, 1, 1),
+        ])
+        .algorithms(Algorithm::ALL);
+    for seed in 0..3 {
+        job = job.loop_in(
+            "synth",
+            synthesize(format!("s{seed}"), &SynthProfile::default(), seed),
+        );
+    }
+    job
+}
+
+/// The order-independent, volatile-field-free view of a JSONL stream:
+/// every line reduced to its canonical fields, as a set.
+fn canonical_lines(jsonl: &[u8]) -> BTreeSet<String> {
+    String::from_utf8_lossy(jsonl)
+        .lines()
+        .map(|line| {
+            // Strip the volatile measurements; keep everything else.
+            let cut = line
+                .find(",\"cache_hit\":")
+                .unwrap_or_else(|| panic!("no volatile fields in {line}"));
+            line[..cut].to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn one_worker_and_many_workers_agree() {
+    let job = job();
+    let mut jsonl1: Vec<u8> = Vec::new();
+    let mut jsonl8: Vec<u8> = Vec::new();
+    let serial = run_sweep(&job, &SweepOptions::serial(), Some(&mut jsonl1));
+    let parallel = run_sweep(
+        &job,
+        &SweepOptions {
+            workers: 8,
+            use_cache: true,
+        },
+        Some(&mut jsonl8),
+    );
+
+    // Returned records are already in unit order: compare directly.
+    assert_eq!(serial.records.len(), parallel.records.len());
+    for (a, b) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(a.unit, b.unit);
+        assert_eq!(
+            a.canonical_fields(),
+            b.canonical_fields(),
+            "unit {}",
+            a.unit
+        );
+    }
+
+    // The JSONL streams may interleave differently but must carry the
+    // same canonical lines.
+    assert_eq!(canonical_lines(&jsonl1), canonical_lines(&jsonl8));
+    assert_eq!(canonical_lines(&jsonl1).len(), job.unit_count());
+}
+
+#[test]
+fn cache_does_not_change_results() {
+    let job = job();
+    let cached = run_sweep(&job, &SweepOptions::serial(), None);
+    let uncached = run_sweep(
+        &job,
+        &SweepOptions {
+            workers: 1,
+            use_cache: false,
+        },
+        None,
+    );
+    for (a, b) in cached.records.iter().zip(&uncached.records) {
+        assert_eq!(
+            a.canonical_fields(),
+            b.canonical_fields(),
+            "unit {}",
+            a.unit
+        );
+    }
+    assert!(cached.stats.cache_hits > 0);
+    assert_eq!(uncached.stats.cache_hits, 0);
+}
+
+#[test]
+fn repeated_sweeps_are_identical() {
+    let job = job();
+    let a = run_sweep(&job, &SweepOptions::default(), None);
+    let b = run_sweep(&job, &SweepOptions::default(), None);
+    assert_eq!(
+        a.records
+            .iter()
+            .map(|r| r.canonical_fields())
+            .collect::<Vec<_>>(),
+        b.records
+            .iter()
+            .map(|r| r.canonical_fields())
+            .collect::<Vec<_>>()
+    );
+}

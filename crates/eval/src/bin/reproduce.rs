@@ -20,15 +20,27 @@ fn main() {
     let t0 = Instant::now();
     match cmd.as_str() {
         "table1" => print!("{}", report::render_table1(&tables::table1())),
-        "fig2" => print!("{}", report::render_figure("Figure 2 — IPC, 1 bus, latency 1", &figure2())),
-        "fig3" => print!("{}", report::render_figure("Figure 3 — IPC, 1 bus, latency 2", &figure3())),
+        "fig2" => print!(
+            "{}",
+            report::render_figure("Figure 2 — IPC, 1 bus, latency 1", &figure2())
+        ),
+        "fig3" => print!(
+            "{}",
+            report::render_figure("Figure 3 — IPC, 1 bus, latency 2", &figure3())
+        ),
         "table2" => print!("{}", report::render_table2(&table2())),
         "all" => {
             print!("{}", report::render_table1(&tables::table1()));
             let f2 = figure2();
-            print!("\n{}", report::render_figure("Figure 2 — IPC, 1 bus, latency 1", &f2));
+            print!(
+                "\n{}",
+                report::render_figure("Figure 2 — IPC, 1 bus, latency 1", &f2)
+            );
             let f3 = figure3();
-            print!("\n{}", report::render_figure("Figure 3 — IPC, 1 bus, latency 2", &f3));
+            print!(
+                "\n{}",
+                report::render_figure("Figure 3 — IPC, 1 bus, latency 2", &f3)
+            );
             let t2 = table2();
             print!("\n{}", report::render_table2(&t2));
             let md = report::experiments_markdown(&f2, &f3, &t2);

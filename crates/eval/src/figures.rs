@@ -1,14 +1,16 @@
 //! Figures 2 and 3: IPC per program, per configuration, per algorithm.
+//!
+//! Since the engine rewrite these sweeps run through
+//! [`gpsched_engine::run_sweep`], so they use every CPU the host offers
+//! and share MII/partition preprocessing across the per-algorithm bars.
 
-use crate::run::{run_program, run_unified, ProgramRun};
+use gpsched_engine::{aggregate_by_group, run_sweep, JobSpec, SweepOptions};
 use gpsched_machine::MachineConfig;
 use gpsched_sched::Algorithm;
 use gpsched_workloads::{spec_suite, Program};
-use parking_lot::Mutex;
-use serde::Serialize;
 
 /// One program's bars in a figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FigureRow {
     /// Program name (or `"average"`).
     pub program: String,
@@ -23,7 +25,7 @@ pub struct FigureRow {
 }
 
 /// One sub-graph of a figure: a clustered configuration with all its bars.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FigureSeries {
     /// Machine short name (e.g. `c2r32b1l1`).
     pub machine: String,
@@ -50,33 +52,40 @@ impl FigureSeries {
     }
 }
 
-/// Builds one figure series for a clustered machine configuration.
+/// Builds one figure series for a clustered machine configuration by
+/// running two engine sweeps: the unified upper bound (GP on one cluster —
+/// all algorithms coincide there) and the clustered machine under the
+/// three modulo algorithms.
 pub fn series_for(programs: &[Program], machine: &MachineConfig, title: &str) -> FigureSeries {
-    let rows: Mutex<Vec<(usize, FigureRow)>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
-        for (idx, p) in programs.iter().enumerate() {
-            let rows = &rows;
-            scope.spawn(move |_| {
-                let unified = run_unified(p, machine.total_registers());
-                let per_algo: Vec<ProgramRun> = Algorithm::ALL
-                    .iter()
-                    .map(|&a| run_program(p, machine, a))
-                    .collect();
-                let row = FigureRow {
-                    program: p.name.to_string(),
-                    unified: unified.ipc,
-                    uracam: per_algo[0].ipc,
-                    fixed: per_algo[1].ipc,
-                    gp: per_algo[2].ipc,
-                };
-                rows.lock().push((idx, row));
-            });
-        }
-    })
-    .expect("worker panicked");
-    let mut rows = rows.into_inner();
-    rows.sort_by_key(|(i, _)| *i);
-    let mut rows: Vec<FigureRow> = rows.into_iter().map(|(_, r)| r).collect();
+    let opts = SweepOptions::default();
+    let unified_job = JobSpec::new()
+        .programs(programs)
+        .machine(MachineConfig::unified(machine.total_registers()))
+        .algorithm(Algorithm::Gp);
+    let clustered_job = JobSpec::new()
+        .programs(programs)
+        .machine(machine.clone())
+        .algorithms(Algorithm::MODULO);
+    let unified = aggregate_by_group(&run_sweep(&unified_job, &opts, None).records);
+    let clustered = aggregate_by_group(&run_sweep(&clustered_job, &opts, None).records);
+
+    let ipc_of = |agg: &[gpsched_engine::GroupAggregate], group: &str, algo: Algorithm| -> f64 {
+        agg.iter()
+            .find(|a| a.group == group && a.algorithm == algo.name())
+            .map(|a| a.ipc)
+            .expect("sweep covers every (program, algorithm)")
+    };
+
+    let mut rows: Vec<FigureRow> = programs
+        .iter()
+        .map(|p| FigureRow {
+            program: p.name.to_string(),
+            unified: ipc_of(&unified, p.name, Algorithm::Gp),
+            uracam: ipc_of(&clustered, p.name, Algorithm::Uracam),
+            fixed: ipc_of(&clustered, p.name, Algorithm::FixedPartition),
+            gp: ipc_of(&clustered, p.name, Algorithm::Gp),
+        })
+        .collect();
 
     let n = rows.len() as f64;
     let avg = FigureRow {
@@ -159,6 +168,17 @@ mod tests {
             assert!(r.unified >= r.uracam - 1e-9, "{}", r.program);
             assert!(r.unified >= r.fixed - 1e-9, "{}", r.program);
         }
+    }
+
+    #[test]
+    fn engine_path_matches_direct_scheduling() {
+        // The figure numbers must be exactly what per-loop scheduling
+        // produces — the engine adds parallelism, not drift.
+        let suite = mini_suite();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let s = series_for(&suite, &m, "check");
+        let direct = crate::run::run_program(&suite[0], &m, Algorithm::Gp);
+        assert!((s.rows[0].gp - direct.ipc).abs() < 1e-12);
     }
 
     #[test]

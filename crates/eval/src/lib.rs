@@ -11,6 +11,11 @@
 //! * [`report`] — plain-text and Markdown renderers, including the
 //!   shape checks recorded in `EXPERIMENTS.md`.
 //!
+//! The Figure 2/3 and Table 2 sweeps execute through the
+//! [`gpsched_engine`] batch executor, so `reproduce` uses every CPU the
+//! host offers (Table 2 disables the engine's memo cache to keep its
+//! timing metric honest).
+//!
 //! Run `cargo run --release -p gpsched-eval --bin reproduce -- all` to
 //! regenerate everything.
 

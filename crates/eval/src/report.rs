@@ -42,9 +42,8 @@ pub fn render_figure(title: &str, series: &[FigureSeries]) -> String {
 
 /// Renders Table 2 (average scheduling CPU time).
 pub fn render_table2(rows: &[Table2Row]) -> String {
-    let mut out = String::from(
-        "Table 2 — average CPU time to compute the schedule (ms per benchmark)\n",
-    );
+    let mut out =
+        String::from("Table 2 — average CPU time to compute the schedule (ms per benchmark)\n");
     out.push_str(&format!(
         "{:<12} {:>10} {:>10} {:>10} {:>14}\n",
         "machine", "URACAM", "Fixed", "GP", "URACAM slowdn"
@@ -112,7 +111,11 @@ pub fn experiments_markdown(
         let _ = writeln!(out);
         // Per-program detail.
         for s in series {
-            let _ = writeln!(out, "<details><summary>{} per program</summary>\n", s.machine);
+            let _ = writeln!(
+                out,
+                "<details><summary>{} per program</summary>\n",
+                s.machine
+            );
             let _ = writeln!(out, "| program | unified | URACAM | Fixed | GP |");
             let _ = writeln!(out, "|---|---|---|---|---|");
             for r in &s.rows {
@@ -178,17 +181,14 @@ pub fn experiments_markdown(
         ("unified ≥ GP (upper bound)", un2 >= gp2),
         ("GP ≥ Fixed on average", gp2 >= fx2),
         ("GP > URACAM on average", gp2 > ur2),
-        (
-            "URACAM slower than GP/Fixed on 4-cluster configs (mean)",
-            {
-                let c4: Vec<f64> = t2
-                    .iter()
-                    .filter(|r| r.machine.starts_with("c4"))
-                    .map(Table2Row::uracam_slowdown)
-                    .collect();
-                !c4.is_empty() && c4.iter().sum::<f64>() / c4.len() as f64 >= 1.0
-            },
-        ),
+        ("URACAM slower than GP/Fixed on 4-cluster configs (mean)", {
+            let c4: Vec<f64> = t2
+                .iter()
+                .filter(|r| r.machine.starts_with("c4"))
+                .map(Table2Row::uracam_slowdown)
+                .collect();
+            !c4.is_empty() && c4.iter().sum::<f64>() / c4.len() as f64 >= 1.0
+        }),
     ];
     for (name, ok) in checks {
         let _ = writeln!(out, "- [{}] {}", if ok { "x" } else { " " }, name);
@@ -230,7 +230,7 @@ mod tests {
             uracam_ms: 100.0,
             fixed_ms: 30.0,
             gp_ms: 40.0,
-            }]
+        }]
     }
 
     #[test]

@@ -3,11 +3,10 @@
 use gpsched_machine::MachineConfig;
 use gpsched_sched::{schedule_loop, Algorithm, ScheduledWith};
 use gpsched_workloads::Program;
-use serde::Serialize;
 use std::time::{Duration, Instant};
 
 /// Per-loop outcome (used by reports and tests).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct LoopOutcome {
     /// Loop name.
     pub name: String,
@@ -24,7 +23,7 @@ pub struct LoopOutcome {
 }
 
 /// Result of scheduling every loop of a program.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ProgramRun {
     /// Program name.
     pub program: String,
@@ -55,8 +54,7 @@ pub fn run_program(program: &Program, machine: &MachineConfig, algorithm: Algori
         .loops
         .iter()
         .map(|ddg| {
-            schedule_loop(ddg, machine, algorithm)
-                .unwrap_or_else(|e| panic!("{}: {e}", ddg.name()))
+            schedule_loop(ddg, machine, algorithm).unwrap_or_else(|e| panic!("{}: {e}", ddg.name()))
         })
         .collect();
     let sched_time = start.elapsed();
@@ -118,7 +116,11 @@ mod tests {
         assert_eq!(r.algorithm, "GP");
         assert_eq!(r.machine, "c2r32b1l1");
         // Aggregate equals manual recomputation.
-        let ops: u128 = r.loops.iter().map(|l| l.ops as u128 * l.trips as u128).sum();
+        let ops: u128 = r
+            .loops
+            .iter()
+            .map(|l| l.ops as u128 * l.trips as u128)
+            .sum();
         let cyc: u128 = r.loops.iter().map(|l| l.cycles as u128).sum();
         assert!((r.ipc - ops as f64 / cyc as f64).abs() < 1e-12);
     }

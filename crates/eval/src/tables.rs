@@ -1,15 +1,18 @@
 //! Table 1 (configurations) and Table 2 (scheduling CPU time).
+//!
+//! Table 2 runs through the engine with the memo cache **disabled**: its
+//! metric is the CPU cost of each algorithm, so every unit must pay its
+//! own MII and partitioning work (a cache would siphon Fixed/GP's
+//! preprocessing into whichever unit ran first and skew the comparison).
 
-use crate::run::run_program;
+use gpsched_engine::{aggregate_by_group, run_sweep, JobSpec, SweepOptions};
 use gpsched_machine::{table1_configs, MachineConfig};
 use gpsched_sched::Algorithm;
 use gpsched_workloads::{spec_suite, Program};
-use parking_lot::Mutex;
-use serde::Serialize;
 
 /// One row of Table 2: average CPU milliseconds to compute the schedule of
 /// a whole benchmark, per algorithm, on one configuration.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table2Row {
     /// Machine short name.
     pub machine: String,
@@ -30,32 +33,38 @@ impl Table2Row {
 
 /// Scheduling-time rows for the given machines over `programs`.
 pub fn table2_for(programs: &[Program], machines: &[MachineConfig]) -> Vec<Table2Row> {
-    let rows: Mutex<Vec<(usize, Table2Row)>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
-        for (idx, m) in machines.iter().enumerate() {
-            let rows = &rows;
-            scope.spawn(move |_| {
-                let avg_ms = |algo: Algorithm| -> f64 {
-                    let total: f64 = programs
-                        .iter()
-                        .map(|p| run_program(p, m, algo).sched_time.as_secs_f64())
-                        .sum();
-                    total / programs.len() as f64 * 1e3
-                };
-                let row = Table2Row {
-                    machine: m.short_name(),
-                    uracam_ms: avg_ms(Algorithm::Uracam),
-                    fixed_ms: avg_ms(Algorithm::FixedPartition),
-                    gp_ms: avg_ms(Algorithm::Gp),
-                };
-                rows.lock().push((idx, row));
-            });
-        }
-    })
-    .expect("worker panicked");
-    let mut rows = rows.into_inner();
-    rows.sort_by_key(|(i, _)| *i);
-    rows.into_iter().map(|(_, r)| r).collect()
+    let job = JobSpec::new()
+        .programs(programs)
+        .machines(machines.iter().cloned())
+        .algorithms(Algorithm::MODULO);
+    let opts = SweepOptions {
+        use_cache: false,
+        ..SweepOptions::default()
+    };
+    let result = run_sweep(&job, &opts, None);
+    let agg = aggregate_by_group(&result.records);
+
+    let nprograms = programs.len() as f64;
+    let avg_ms = |machine: &str, algo: Algorithm| -> f64 {
+        let total_us: u64 = agg
+            .iter()
+            .filter(|a| a.machine == machine && a.algorithm == algo.name())
+            .map(|a| a.sched_time_us)
+            .sum();
+        total_us as f64 / nprograms / 1e3
+    };
+    machines
+        .iter()
+        .map(|m| {
+            let name = m.short_name();
+            Table2Row {
+                uracam_ms: avg_ms(&name, Algorithm::Uracam),
+                fixed_ms: avg_ms(&name, Algorithm::FixedPartition),
+                gp_ms: avg_ms(&name, Algorithm::Gp),
+                machine: name,
+            }
+        })
+        .collect()
 }
 
 /// **Table 2**: the full suite on every clustered configuration of the

@@ -312,7 +312,10 @@ mod tests {
         assert_eq!(*g2.node_weight(a), 0);
         assert_eq!(*g2.node_weight(d), 6);
         assert_eq!(*g2.edge_weight(EdgeId::from_index(0)), 20);
-        assert_eq!(g2.edge_endpoints(EdgeId::from_index(3)), g.edge_endpoints(EdgeId::from_index(3)));
+        assert_eq!(
+            g2.edge_endpoints(EdgeId::from_index(3)),
+            g.edge_endpoints(EdgeId::from_index(3))
+        );
     }
 
     #[test]

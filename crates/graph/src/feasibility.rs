@@ -150,12 +150,7 @@ mod tests {
     fn min_feasible_ii_multiple_recurrences_takes_worst() {
         // Cycle A: lat 6 over dist 2 → needs II ≥ 3.
         // Cycle B: lat 5 over dist 1 → needs II ≥ 5.
-        let deps = [
-            (0, 1, 3, 0),
-            (1, 0, 3, 2),
-            (2, 3, 4, 0),
-            (3, 2, 1, 1),
-        ];
+        let deps = [(0, 1, 3, 0), (1, 0, 3, 2), (2, 3, 4, 0), (3, 2, 1, 1)];
         assert_eq!(min_feasible_ii(4, &deps, 1, 100), Some(5));
     }
 

@@ -750,7 +750,14 @@ mod tests {
         let m = maximum_weight_matching(5, &edges, false);
         assert_eq!(m.mate(1), Some(2));
         assert_eq!(m.mate(3), Some(4));
-        let edges2 = [(1, 2, 8), (1, 3, 9), (2, 3, 10), (3, 4, 7), (1, 6, 5), (4, 5, 6)];
+        let edges2 = [
+            (1, 2, 8),
+            (1, 3, 9),
+            (2, 3, 10),
+            (3, 4, 7),
+            (1, 6, 5),
+            (4, 5, 6),
+        ];
         let m = maximum_weight_matching(7, &edges2, false);
         assert_eq!(m.mate(1), Some(6));
         assert_eq!(m.mate(2), Some(3));
@@ -760,17 +767,38 @@ mod tests {
     #[test]
     fn vr_test21_expand_blossom_t() {
         // Create S-blossom, relabel as T-blossom, use for augmentation.
-        let edges = [(1, 2, 9), (1, 3, 8), (2, 3, 10), (1, 4, 5), (4, 5, 4), (1, 6, 3)];
+        let edges = [
+            (1, 2, 9),
+            (1, 3, 8),
+            (2, 3, 10),
+            (1, 4, 5),
+            (4, 5, 4),
+            (1, 6, 3),
+        ];
         let m = maximum_weight_matching(7, &edges, false);
         assert_eq!(m.mate(1), Some(6));
         assert_eq!(m.mate(2), Some(3));
         assert_eq!(m.mate(4), Some(5));
-        let edges = [(1, 2, 9), (1, 3, 8), (2, 3, 10), (1, 4, 5), (4, 5, 3), (1, 6, 4)];
+        let edges = [
+            (1, 2, 9),
+            (1, 3, 8),
+            (2, 3, 10),
+            (1, 4, 5),
+            (4, 5, 3),
+            (1, 6, 4),
+        ];
         let m = maximum_weight_matching(7, &edges, false);
         assert_eq!(m.mate(1), Some(6));
         assert_eq!(m.mate(2), Some(3));
         assert_eq!(m.mate(4), Some(5));
-        let edges = [(1, 2, 9), (1, 3, 8), (2, 3, 10), (1, 4, 5), (4, 5, 3), (3, 6, 4)];
+        let edges = [
+            (1, 2, 9),
+            (1, 3, 8),
+            (2, 3, 10),
+            (1, 4, 5),
+            (4, 5, 3),
+            (3, 6, 4),
+        ];
         let m = maximum_weight_matching(7, &edges, false);
         assert_eq!(m.mate(1), Some(2));
         assert_eq!(m.mate(3), Some(6));
@@ -780,7 +808,15 @@ mod tests {
     #[test]
     fn vr_test22_s_to_t_expand() {
         // Create nested S-blossom, use for augmentation.
-        let edges = [(1, 2, 9), (1, 3, 9), (2, 3, 10), (2, 4, 8), (3, 5, 8), (4, 5, 10), (5, 6, 6)];
+        let edges = [
+            (1, 2, 9),
+            (1, 3, 9),
+            (2, 3, 10),
+            (2, 4, 8),
+            (3, 5, 8),
+            (4, 5, 10),
+            (5, 6, 6),
+        ];
         let m = maximum_weight_matching(7, &edges, false);
         assert_eq!(m.mate(1), Some(3));
         assert_eq!(m.mate(2), Some(4));

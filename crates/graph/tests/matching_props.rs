@@ -1,9 +1,35 @@
 //! Property tests for the matching algorithms: the exact blossom matching is
 //! compared against a brute-force optimum on small random graphs, and both
 //! algorithms are checked for structural soundness on larger ones.
+//!
+//! Randomness comes from a tiny inlined SplitMix64 stream (the workspace
+//! builds with no external crates), so every case is reproducible from its
+//! printed seed.
 
 use gpsched_graph::matching::{greedy_matching, maximum_weight_matching, WeightedEdge};
-use proptest::prelude::*;
+
+/// Minimal deterministic generator (SplitMix64); the full-featured version
+/// lives in `gpsched_workloads::rng`, which this crate sits below.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        ((self.next() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+}
 
 /// Brute-force maximum weight matching by recursive edge enumeration.
 fn brute_force_weight(n: usize, edges: &[WeightedEdge]) -> i64 {
@@ -43,59 +69,93 @@ fn dedup(n: usize, edges: Vec<(usize, usize, i64)>) -> Vec<WeightedEdge> {
     best.into_iter().map(|((u, v), w)| (u, v, w)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random edge list: `m` draws over `n` vertices with weights in
+/// `[1, wmax]`, deduplicated.
+fn random_graph(rng: &mut Rng, n: usize, m: usize, wmax: i64) -> Vec<WeightedEdge> {
+    let raw = (0..m)
+        .map(|_| {
+            (
+                rng.below(n),
+                rng.below(n),
+                1 + rng.below(wmax as usize) as i64,
+            )
+        })
+        .collect();
+    dedup(n, raw)
+}
 
-    #[test]
-    fn blossom_matches_brute_force(
-        n in 2usize..9,
-        raw in prop::collection::vec((0usize..8, 0usize..8, 1i64..50), 0..14),
-    ) {
-        let edges = dedup(n, raw);
+#[test]
+fn blossom_matches_brute_force() {
+    let mut rng = Rng(0x5eed_0001);
+    for case in 0..64 {
+        let n = rng.range(2, 9);
+        let m = rng.below(14);
+        let edges = random_graph(&mut rng, n, m, 49);
         let exact = maximum_weight_matching(n, &edges, false);
-        prop_assert_eq!(exact.weight(&edges), brute_force_weight(n, &edges));
+        assert_eq!(
+            exact.weight(&edges),
+            brute_force_weight(n, &edges),
+            "case {case}: n={n} edges={edges:?}"
+        );
     }
+}
 
-    #[test]
-    fn blossom_at_least_greedy(
-        n in 2usize..40,
-        raw in prop::collection::vec((0usize..40, 0usize..40, 1i64..100), 0..120),
-    ) {
-        let edges = dedup(n, raw);
+#[test]
+fn blossom_at_least_greedy() {
+    let mut rng = Rng(0x5eed_0002);
+    for case in 0..64 {
+        let n = rng.range(2, 40);
+        let m = rng.below(120);
+        let edges = random_graph(&mut rng, n, m, 99);
         let exact = maximum_weight_matching(n, &edges, false);
         let greedy = greedy_matching(n, &edges);
-        prop_assert!(exact.weight(&edges) >= greedy.weight(&edges));
+        assert!(
+            exact.weight(&edges) >= greedy.weight(&edges),
+            "case {case}: exact below greedy"
+        );
         // Greedy is a 1/2-approximation.
-        prop_assert!(2 * greedy.weight(&edges) >= exact.weight(&edges));
+        assert!(
+            2 * greedy.weight(&edges) >= exact.weight(&edges),
+            "case {case}: greedy below half of exact"
+        );
     }
+}
 
-    #[test]
-    fn matchings_are_valid(
-        n in 1usize..30,
-        raw in prop::collection::vec((0usize..30, 0usize..30, 1i64..60), 0..90),
-    ) {
-        let edges = dedup(n, raw);
-        let edge_set: std::collections::HashSet<(usize, usize)> =
-            edges.iter().map(|&(u, v, _)| (u.min(v), u.max(v))).collect();
-        for m in [maximum_weight_matching(n, &edges, false), greedy_matching(n, &edges)] {
+#[test]
+fn matchings_are_valid() {
+    let mut rng = Rng(0x5eed_0003);
+    for case in 0..64 {
+        let n = rng.range(1, 30);
+        let m = rng.below(90);
+        let edges = random_graph(&mut rng, n, m, 59);
+        let edge_set: std::collections::HashSet<(usize, usize)> = edges
+            .iter()
+            .map(|&(u, v, _)| (u.min(v), u.max(v)))
+            .collect();
+        for m in [
+            maximum_weight_matching(n, &edges, false),
+            greedy_matching(n, &edges),
+        ] {
             for v in 0..n {
                 if let Some(u) = m.mate(v) {
                     // Symmetric and supported by a real edge.
-                    prop_assert_eq!(m.mate(u), Some(v));
-                    prop_assert!(edge_set.contains(&(u.min(v), u.max(v))));
+                    assert_eq!(m.mate(u), Some(v), "case {case}");
+                    assert!(edge_set.contains(&(u.min(v), u.max(v))), "case {case}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn max_cardinality_never_smaller(
-        n in 2usize..12,
-        raw in prop::collection::vec((0usize..12, 0usize..12, 1i64..30), 0..20),
-    ) {
-        let edges = dedup(n, raw);
+#[test]
+fn max_cardinality_never_smaller() {
+    let mut rng = Rng(0x5eed_0004);
+    for case in 0..64 {
+        let n = rng.range(2, 12);
+        let m = rng.below(20);
+        let edges = random_graph(&mut rng, n, m, 29);
         let plain = maximum_weight_matching(n, &edges, false);
         let card = maximum_weight_matching(n, &edges, true);
-        prop_assert!(card.pair_count() >= plain.pair_count());
+        assert!(card.pair_count() >= plain.pair_count(), "case {case}");
     }
 }

@@ -3,11 +3,10 @@
 use crate::latency::LatencyModel;
 use crate::op::OpClass;
 use crate::resources::ResourceKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Resources owned by one cluster.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ClusterConfig {
     /// Number of integer ALUs.
     pub int_units: u32,
@@ -41,7 +40,7 @@ impl ClusterConfig {
 /// Construct with [`MachineConfig::unified`], [`MachineConfig::two_cluster`],
 /// [`MachineConfig::four_cluster`] (the paper's Table 1 presets) or
 /// [`MachineConfig::custom`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MachineConfig {
     clusters: Vec<ClusterConfig>,
     /// Number of inter-cluster buses.

@@ -1,7 +1,6 @@
 //! Operation latencies.
 
 use crate::op::OpClass;
-use serde::{Deserialize, Serialize};
 
 /// Latency (in cycles) of each operation class.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// The default values follow the companion papers of the same group (see
 /// crate docs): integer 1, fp add/mul 3, fp divide 8, load 2, store 1.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LatencyModel {
     /// Integer ALU latency.
     pub int_alu: u32,

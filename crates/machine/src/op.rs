@@ -1,14 +1,13 @@
 //! Operation classes.
 
 use crate::resources::ResourceKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The class of an operation in a loop body.
 ///
 /// The class determines which functional-unit kind the operation occupies
 /// and its latency under a [`crate::LatencyModel`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OpClass {
     /// Integer ALU operation (add, shift, compare, address arithmetic…).
     IntAlu,
@@ -53,6 +52,20 @@ impl OpClass {
     /// other operations (stores do not).
     pub fn defines_value(self) -> bool {
         !matches!(self, OpClass::Store)
+    }
+
+    /// Parses the display name back into a class (the inverse of
+    /// [`fmt::Display`]; used by the `.ddg` interchange parser).
+    pub fn parse(s: &str) -> Option<OpClass> {
+        match s {
+            "int" => Some(OpClass::IntAlu),
+            "fadd" => Some(OpClass::FpAdd),
+            "fmul" => Some(OpClass::FpMul),
+            "fdiv" => Some(OpClass::FpDiv),
+            "load" => Some(OpClass::Load),
+            "store" => Some(OpClass::Store),
+            _ => None,
+        }
     }
 }
 

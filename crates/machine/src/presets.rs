@@ -1,10 +1,9 @@
 //! The configuration matrix of the paper's evaluation (Table 1 + §4.1).
 
 use crate::config::MachineConfig;
-use serde::{Deserialize, Serialize};
 
 /// Which of the paper's machine shapes a configuration instantiates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PresetKind {
     /// Single cluster with all 12 units (the IPC upper bound).
     Unified,

@@ -1,6 +1,5 @@
 //! Functional-unit resource kinds.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three functional-unit kinds of the paper's machine: integer units,
@@ -8,7 +7,7 @@ use std::fmt;
 ///
 /// Each cluster owns a fixed number of units of each kind; an operation
 /// occupies one unit of its kind for one cycle (units are fully pipelined).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ResourceKind {
     /// Integer ALU.
     IntAlu,

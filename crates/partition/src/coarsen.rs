@@ -106,7 +106,10 @@ fn contract(level: &Level, pairs: &[(usize, usize)]) -> Level {
 
     for &(u, v) in pairs {
         debug_assert!(target[u] == usize::MAX && target[v] == usize::MAX);
-        let id = graph.add_node(level.graph.node_weight(NodeId::from_index(u)) + level.graph.node_weight(NodeId::from_index(v)));
+        let id = graph.add_node(
+            level.graph.node_weight(NodeId::from_index(u))
+                + level.graph.node_weight(NodeId::from_index(v)),
+        );
         debug_assert_eq!(id.index(), members.len());
         let mut m = level.members[u].clone();
         m.extend_from_slice(&level.members[v]);
@@ -115,10 +118,10 @@ fn contract(level: &Level, pairs: &[(usize, usize)]) -> Level {
         target[u] = id.index();
         target[v] = id.index();
     }
-    for u in 0..n {
-        if target[u] == usize::MAX {
+    for (u, t) in target.iter_mut().enumerate().take(n) {
+        if *t == usize::MAX {
             let id = graph.add_node(level.graph.node_weight(NodeId::from_index(u)));
-            target[u] = id.index();
+            *t = id.index();
             members.push(level.members[u].clone());
         }
     }

@@ -1,7 +1,7 @@
 //! The multilevel partitioning driver (§3.2).
 
-use crate::coarsen::{coarsen_to, initial_level, Level};
 pub use crate::coarsen::MatchStrategy;
+use crate::coarsen::{coarsen_to, initial_level, Level};
 use crate::estimate::{estimate, PartitionCost};
 use crate::partition::Partition;
 use crate::refine::{expand, refine_level, RefineOptions};
@@ -65,12 +65,17 @@ pub fn partition_ddg(
 
     // 2. Initial partition of the coarsest level: one node per cluster.
     let coarsest = levels.last().expect("hierarchy never empty");
-    let mut assign: Vec<usize> = (0..coarsest.node_count())
-        .map(|i| i % nclusters)
-        .collect();
+    let mut assign: Vec<usize> = (0..coarsest.node_count()).map(|i| i % nclusters).collect();
 
     // 3. Uncoarsen: project and refine level by level.
-    let mut cost = refine_level(ddg, machine, ii_input, coarsest, &mut assign, &options.refine);
+    let mut cost = refine_level(
+        ddg,
+        machine,
+        ii_input,
+        coarsest,
+        &mut assign,
+        &options.refine,
+    );
     for idx in (0..levels.len() - 1).rev() {
         let finer = &levels[idx];
         let coarser = &levels[idx + 1];
@@ -151,10 +156,7 @@ mod tests {
             let m = MachineConfig::two_cluster(32, 1, 1);
             let ii = mii::mii(&ddg, &m);
             let r = partition_ddg(&ddg, &m, ii, &PartitionOptions::default());
-            let naive = Partition::new(
-                (0..ddg.op_count()).map(|i| i % 2).collect(),
-                2,
-            );
+            let naive = Partition::new((0..ddg.op_count()).map(|i| i % 2).collect(), 2);
             let naive_cost = estimate(&ddg, &m, ii, &naive);
             assert!(
                 !naive_cost.better_than(&r.cost),

@@ -197,23 +197,24 @@ pub fn cut_pass(
         };
 
         let mut best: Option<(Vec<(usize, usize)>, PartitionCost)> = None;
-        let consider = |changes: Vec<(usize, usize)>,
-                            assign: &mut [usize],
-                            best: &mut Option<(Vec<(usize, usize)>, PartitionCost)>| {
-            let saved: Vec<usize> = changes.iter().map(|&(v, _)| assign[v]).collect();
-            for &(v, c) in &changes {
-                assign[v] = c;
-            }
-            let cost = eval(assign);
-            for (&(v, _), &old) in changes.iter().zip(&saved) {
-                assign[v] = old;
-            }
-            if cost.better_than(&current)
-                && best.as_ref().map_or(true, |(_, b)| cost.better_than(b))
-            {
-                *best = Some((changes, cost));
-            }
-        };
+        let consider =
+            |changes: Vec<(usize, usize)>,
+             assign: &mut [usize],
+             best: &mut Option<(Vec<(usize, usize)>, PartitionCost)>| {
+                let saved: Vec<usize> = changes.iter().map(|&(v, _)| assign[v]).collect();
+                for &(v, c) in &changes {
+                    assign[v] = c;
+                }
+                let cost = eval(assign);
+                for (&(v, _), &old) in changes.iter().zip(&saved) {
+                    assign[v] = old;
+                }
+                if cost.better_than(&current)
+                    && best.as_ref().map_or(true, |(_, b)| cost.better_than(b))
+                {
+                    *best = Some((changes, cost));
+                }
+            };
 
         // Boundary nodes and their foreign neighbor clusters, screened by
         // the classic KL weight gain (external − internal edge weight).
@@ -251,9 +252,7 @@ pub fn cut_pass(
                         .filter(|&u| assign[u] == c2)
                         .collect();
                     // Prefer partners whose departure frees the most slots.
-                    partners.sort_by_key(|&u| {
-                        std::cmp::Reverse(usage[u].iter().sum::<i64>())
-                    });
+                    partners.sort_by_key(|&u| std::cmp::Reverse(usage[u].iter().sum::<i64>()));
                     partners.truncate(opts.swap_candidates);
                     for u in partners {
                         // Capacity check with both displacements applied.
@@ -390,12 +389,7 @@ mod tests {
             let level = level_of(&ddg, &m);
             // Arbitrary striped starting assignment.
             let mut assign: Vec<usize> = (0..level.node_count()).map(|i| i % 2).collect();
-            let before = estimate(
-                &ddg,
-                &m,
-                1,
-                &Partition::new(expand(&level, &assign), 2),
-            );
+            let before = estimate(&ddg, &m, 1, &Partition::new(expand(&level, &assign), 2));
             let after = refine_level(&ddg, &m, 1, &level, &mut assign, &RefineOptions::default());
             assert!(
                 !before.better_than(&after),

@@ -33,8 +33,7 @@ pub fn edge_weights(ddg: &Ddg, machine: &MachineConfig, ii_input: i64) -> Vec<i6
 
     let rec_base = mii::rec_mii(ddg);
     let ii_base = ii_input.max(rec_base);
-    let t = timing::analyze(ddg, ii_base, |_| 0)
-        .expect("ii at or above RecMII is feasible");
+    let t = timing::analyze(ddg, ii_base, |_| 0).expect("ii at or above RecMII is feasible");
     let maxsl = t.max_slack;
 
     // Only edges inside a strongly connected component can change RecMII.

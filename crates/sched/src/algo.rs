@@ -8,7 +8,8 @@ use gpsched_ddg::Ddg;
 use gpsched_machine::MachineConfig;
 use gpsched_partition::{Partition, PartitionOptions};
 
-/// The scheduling algorithms compared in the paper's evaluation.
+/// The scheduling algorithms compared in the paper's evaluation, plus the
+/// non-pipelined list-scheduling baseline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// The best previously published integrated scheduler (baseline).
@@ -17,15 +18,25 @@ pub enum Algorithm {
     FixedPartition,
     /// The proposed GP scheme with selective re-partitioning.
     Gp,
+    /// Plain acyclic list scheduling, iterations back to back — the
+    /// paper's fallback promoted to a first-class comparator (a lower
+    /// bound no software-pipelined schedule should lose to).
+    List,
 }
 
 impl Algorithm {
-    /// All algorithms, in the paper's presentation order.
-    pub const ALL: [Algorithm; 3] = [
+    /// All algorithms: the paper's presentation order, then the
+    /// list-scheduling baseline.
+    pub const ALL: [Algorithm; 4] = [
         Algorithm::Uracam,
         Algorithm::FixedPartition,
         Algorithm::Gp,
+        Algorithm::List,
     ];
+
+    /// The three modulo-scheduling algorithms of the paper's figures.
+    pub const MODULO: [Algorithm; 3] =
+        [Algorithm::Uracam, Algorithm::FixedPartition, Algorithm::Gp];
 
     /// Short display name used in reports.
     pub fn name(self) -> &'static str {
@@ -33,6 +44,18 @@ impl Algorithm {
             Algorithm::Uracam => "URACAM",
             Algorithm::FixedPartition => "Fixed",
             Algorithm::Gp => "GP",
+            Algorithm::List => "List",
+        }
+    }
+
+    /// Parses a display or lowercase name (`"GP"`, `"gp"`, `"uracam"`, …).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "uracam" => Some(Algorithm::Uracam),
+            "fixed" | "fixedpartition" | "fixed-partition" => Some(Algorithm::FixedPartition),
+            "gp" => Some(Algorithm::Gp),
+            "list" => Some(Algorithm::List),
+            _ => None,
         }
     }
 }
@@ -48,6 +71,8 @@ pub enum ScheduledWith {
     /// The II cap was exhausted; the list-scheduling fallback was used
     /// (§4.1: "this happens for just a few loops").
     ListFallback,
+    /// List scheduling was requested outright ([`Algorithm::List`]).
+    List,
 }
 
 /// Result of scheduling one loop.
@@ -131,6 +156,47 @@ pub fn schedule_loop_with(
     popts: &PartitionOptions,
     cfg: &DriverConfig,
 ) -> Result<LoopResult, SchedError> {
+    schedule_impl(ddg, machine, algorithm, popts, cfg, None)
+}
+
+/// Precomputed scheduling inputs, typically served from a memo cache keyed
+/// by DDG content (the engine crate's batch executor builds these).
+#[derive(Clone, Debug)]
+pub struct SchedSeed {
+    /// The loop's MII on the target machine (`mii::mii`).
+    pub start_ii: i64,
+    /// Initial partition computed at `start_ii`. Consumed by
+    /// [`Algorithm::FixedPartition`] and [`Algorithm::Gp`]; ignored by the
+    /// partition-free algorithms.
+    pub partition: Option<gpsched_partition::PartitionResult>,
+}
+
+/// [`schedule_loop_with`] taking precomputed MII/partition inputs, so batch
+/// drivers that schedule the same loop on the same machine under several
+/// algorithms (or repeatedly across sweeps) skip the shared preprocessing.
+///
+/// # Errors
+///
+/// See [`schedule_loop`].
+pub fn schedule_loop_seeded(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    algorithm: Algorithm,
+    popts: &PartitionOptions,
+    cfg: &DriverConfig,
+    seed: &SchedSeed,
+) -> Result<LoopResult, SchedError> {
+    schedule_impl(ddg, machine, algorithm, popts, cfg, Some(seed))
+}
+
+fn schedule_impl(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    algorithm: Algorithm,
+    popts: &PartitionOptions,
+    cfg: &DriverConfig,
+    seed: Option<&SchedSeed>,
+) -> Result<LoopResult, SchedError> {
     for kind in gpsched_machine::ResourceKind::ALL {
         if ddg.ops_using(kind) > 0 && machine.total_units(kind) == 0 {
             return Err(SchedError::Unschedulable(format!(
@@ -138,41 +204,55 @@ pub fn schedule_loop_with(
             )));
         }
     }
-    let base = |schedule: Schedule, method: ScheduledWith, partition: Option<Partition>| {
-        LoopResult {
+    let base =
+        |schedule: Schedule, method: ScheduledWith, partition: Option<Partition>| LoopResult {
             schedule,
             method,
             partition,
             name: ddg.name().to_string(),
             ops: ddg.op_count(),
             trips: ddg.trip_count(),
-        }
+        };
+    // Resolve the precomputed inputs, filling the gaps for direct calls.
+    let start_ii = |seed: Option<&SchedSeed>| {
+        seed.map_or_else(|| gpsched_ddg::mii::mii(ddg, machine), |s| s.start_ii)
+    };
+    let initial_partition = |seed: Option<&SchedSeed>, ii: i64| {
+        seed.and_then(|s| s.partition.clone())
+            .unwrap_or_else(|| gpsched_partition::partition_ddg(ddg, machine, ii, popts))
     };
 
     let modulo = match algorithm {
-        Algorithm::Uracam => drivers::uracam(ddg, machine, cfg).map(|s| {
-            base(
-                s,
-                ScheduledWith::Modulo { repartitions: 0 },
-                None,
-            )
-        }),
-        Algorithm::FixedPartition => drivers::fixed_partition(ddg, machine, popts, cfg).map(|o| {
-            base(
-                o.schedule,
-                ScheduledWith::Modulo { repartitions: 0 },
-                Some(o.partition.partition),
-            )
-        }),
-        Algorithm::Gp => drivers::gp(ddg, machine, popts, cfg).map(|o| {
-            base(
-                o.schedule,
-                ScheduledWith::Modulo {
-                    repartitions: o.repartitions,
-                },
-                Some(o.partition.partition),
-            )
-        }),
+        Algorithm::List => {
+            let s = list_schedule(ddg, machine);
+            return Ok(base(s, ScheduledWith::List, None));
+        }
+        Algorithm::Uracam => drivers::uracam_from(ddg, machine, cfg, start_ii(seed))
+            .map(|s| base(s, ScheduledWith::Modulo { repartitions: 0 }, None)),
+        Algorithm::FixedPartition => {
+            let ii = start_ii(seed);
+            let part = initial_partition(seed, ii);
+            drivers::fixed_partition_from(ddg, machine, cfg, ii, part).map(|o| {
+                base(
+                    o.schedule,
+                    ScheduledWith::Modulo { repartitions: 0 },
+                    Some(o.partition.partition),
+                )
+            })
+        }
+        Algorithm::Gp => {
+            let ii = start_ii(seed);
+            let part = initial_partition(seed, ii);
+            drivers::gp_from(ddg, machine, popts, cfg, ii, part).map(|o| {
+                base(
+                    o.schedule,
+                    ScheduledWith::Modulo {
+                        repartitions: o.repartitions,
+                    },
+                    Some(o.partition.partition),
+                )
+            })
+        }
     };
     match modulo {
         Ok(r) => Ok(r),
@@ -206,12 +286,8 @@ mod tests {
         let mut total = 0usize;
         for ddg in kernels::all_kernels(1000) {
             let u = schedule_loop(&ddg, &MachineConfig::unified(32), Algorithm::Gp).unwrap();
-            let c = schedule_loop(
-                &ddg,
-                &MachineConfig::four_cluster(32, 1, 2),
-                Algorithm::Gp,
-            )
-            .unwrap();
+            let c =
+                schedule_loop(&ddg, &MachineConfig::four_cluster(32, 1, 2), Algorithm::Gp).unwrap();
             total += 1;
             if u.ipc() >= c.ipc() - 1e-9 {
                 better += 1;
@@ -225,7 +301,48 @@ mod tests {
         assert_eq!(Algorithm::Gp.name(), "GP");
         assert_eq!(Algorithm::Uracam.name(), "URACAM");
         assert_eq!(Algorithm::FixedPartition.name(), "Fixed");
-        assert_eq!(Algorithm::ALL.len(), 3);
+        assert_eq!(Algorithm::List.name(), "List");
+        assert_eq!(Algorithm::ALL.len(), 4);
+        assert_eq!(Algorithm::MODULO.len(), 3);
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(a.name()), Some(a), "{a:?} round-trips");
+        }
+        assert_eq!(Algorithm::parse("nope"), None);
+    }
+
+    #[test]
+    fn list_algorithm_runs_iterations_back_to_back() {
+        let ddg = kernels::daxpy(100);
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let r = schedule_loop(&ddg, &m, Algorithm::List).unwrap();
+        assert_eq!(r.method, ScheduledWith::List);
+        // No pipelining: the II equals the schedule length.
+        assert_eq!(r.schedule.ii(), r.schedule.length().max(1));
+        // And modulo scheduling should beat it on a parallel kernel.
+        let gp = schedule_loop(&ddg, &m, Algorithm::Gp).unwrap();
+        assert!(gp.ipc() >= r.ipc());
+    }
+
+    #[test]
+    fn seeded_schedule_matches_unseeded() {
+        use gpsched_partition::partition_ddg;
+        let ddg = kernels::stencil5(300);
+        let m = MachineConfig::four_cluster(32, 1, 2);
+        let popts = PartitionOptions::default();
+        let cfg = DriverConfig::default();
+        let mii = gpsched_ddg::mii::mii(&ddg, &m);
+        let part = partition_ddg(&ddg, &m, mii, &popts);
+        for algo in Algorithm::ALL {
+            let seed = SchedSeed {
+                start_ii: mii,
+                partition: Some(part.clone()),
+            };
+            let a = schedule_loop_with(&ddg, &m, algo, &popts, &cfg).unwrap();
+            let b = schedule_loop_seeded(&ddg, &m, algo, &popts, &cfg, &seed).unwrap();
+            assert_eq!(a.schedule.ii(), b.schedule.ii(), "{algo:?}");
+            assert_eq!(a.schedule.length(), b.schedule.length(), "{algo:?}");
+            assert_eq!(a.cycles(), b.cycles(), "{algo:?}");
+        }
     }
 
     #[test]

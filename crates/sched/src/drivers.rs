@@ -295,7 +295,21 @@ pub fn uracam(
     machine: &MachineConfig,
     cfg: &DriverConfig,
 ) -> Result<Schedule, SchedError> {
-    let start = mii::mii(ddg, machine);
+    uracam_from(ddg, machine, cfg, mii::mii(ddg, machine))
+}
+
+/// [`uracam`] with a precomputed starting II (`MII`), so callers with a
+/// memo cache — the engine's batch executor — skip the MII recomputation.
+///
+/// # Errors
+///
+/// [`SchedError::IiLimitExceeded`] when the II cap is reached.
+pub fn uracam_from(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    cfg: &DriverConfig,
+    start: i64,
+) -> Result<Schedule, SchedError> {
     let cap = cap_for(start, cfg);
     let mut ii = start;
     let mut failures = 0usize;
@@ -333,8 +347,24 @@ pub fn fixed_partition(
     cfg: &DriverConfig,
 ) -> Result<PartitionedOutcome, SchedError> {
     let start = mii::mii(ddg, machine);
-    let cap = cap_for(start, cfg);
     let part = partition_ddg(ddg, machine, start, popts);
+    fixed_partition_from(ddg, machine, cfg, start, part)
+}
+
+/// [`fixed_partition`] with a precomputed starting II and initial
+/// partition (the engine's memo cache supplies both).
+///
+/// # Errors
+///
+/// [`SchedError::IiLimitExceeded`] when the II cap is reached.
+pub fn fixed_partition_from(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    cfg: &DriverConfig,
+    start: i64,
+    part: PartitionResult,
+) -> Result<PartitionedOutcome, SchedError> {
+    let cap = cap_for(start, cfg);
     let mut ii = start;
     let mut failures = 0usize;
     while ii <= cap {
@@ -367,8 +397,27 @@ pub fn gp(
     cfg: &DriverConfig,
 ) -> Result<PartitionedOutcome, SchedError> {
     let start = mii::mii(ddg, machine);
+    let part = partition_ddg(ddg, machine, start, popts);
+    gp_from(ddg, machine, popts, cfg, start, part)
+}
+
+/// [`gp`] with a precomputed starting II and initial partition. The
+/// partition still gets recomputed on II growth whenever `IIbus > II`
+/// (those recomputes depend on the II reached, so they are not cacheable).
+///
+/// # Errors
+///
+/// [`SchedError::IiLimitExceeded`] when the II cap is reached.
+pub fn gp_from(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    popts: &PartitionOptions,
+    cfg: &DriverConfig,
+    start: i64,
+    initial: PartitionResult,
+) -> Result<PartitionedOutcome, SchedError> {
     let cap = cap_for(start, cfg);
-    let mut part = partition_ddg(ddg, machine, start, popts);
+    let mut part = initial;
     let mut repartitions = 0usize;
     let mut ii = start;
     let mut failures = 0usize;

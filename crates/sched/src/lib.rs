@@ -46,6 +46,9 @@ pub mod order;
 pub mod schedule;
 pub mod state;
 
-pub use algo::{schedule_loop, schedule_loop_with, Algorithm, LoopResult, ScheduledWith};
+pub use algo::{
+    schedule_loop, schedule_loop_seeded, schedule_loop_with, Algorithm, LoopResult, SchedSeed,
+    ScheduledWith,
+};
 pub use error::SchedError;
 pub use schedule::Schedule;

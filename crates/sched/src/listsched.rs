@@ -8,8 +8,48 @@
 use crate::schedule::Schedule;
 use crate::state::{CommKind, Placement, Transfer};
 use gpsched_ddg::{Ddg, DepKind};
-use gpsched_machine::{MachineConfig, ResourceKind};
 use gpsched_graph::topo::topo_order;
+use gpsched_machine::{MachineConfig, ResourceKind};
+
+/// Books `producer`'s value onto the earliest bus slot at or after
+/// `earliest` (respecting the non-pipelined bus occupancy in `bus`),
+/// records the transfer, and returns its arrival cycle.
+fn book_bus_transfer(
+    bus: &mut Vec<u32>,
+    transfers: &mut Vec<Transfer>,
+    machine: &MachineConfig,
+    producer: usize,
+    from: usize,
+    to: usize,
+    earliest: i64,
+) -> i64 {
+    let bus_lat = machine.bus_latency as i64;
+    let fits = |bus: &Vec<u32>, x: i64| {
+        (0..bus_lat).all(|j| {
+            let s = (x + j) as usize;
+            s >= bus.len() || bus[s] < machine.buses
+        })
+    };
+    let mut x = earliest;
+    while !fits(bus, x) {
+        x += 1;
+    }
+    if bus.len() < (x + bus_lat) as usize {
+        bus.resize((x + bus_lat) as usize, 0);
+    }
+    for j in 0..bus_lat {
+        bus[(x + j) as usize] += 1;
+    }
+    transfers.push(Transfer {
+        producer,
+        from,
+        to,
+        kind: CommKind::Bus { start: x },
+        read_time: x,
+        arrival: x + bus_lat,
+    });
+    x + bus_lat
+}
 
 /// List-schedules one iteration of `ddg` on `machine`.
 ///
@@ -59,8 +99,7 @@ pub fn list_schedule(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
                     continue;
                 }
                 let done = placements[p.index()].time + dep.latency as i64;
-                let avail = if dep.kind == DepKind::Flow && placements[p.index()].cluster != c
-                {
+                let avail = if dep.kind == DepKind::Flow && placements[p.index()].cluster != c {
                     done + bus_lat
                 } else {
                     done
@@ -75,55 +114,90 @@ pub fn list_schedule(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
                 best = Some((t, c));
             }
         }
-        let (t, c) = best.expect("machine has units for every op kind");
-        // Commit FU.
+        let (_, c) = best.expect("machine has units for every op kind");
+        // Commit one bus transfer per cross-cluster operand value *before*
+        // fixing the issue time: under bus contention a transfer can land
+        // later than the optimistic `done + bus_lat` estimate used for
+        // cluster selection, and the consumer must wait for the actual
+        // arrival.
+        let mut ready = 0i64;
+        for (e, p) in ddg.graph().in_edges(op).collect::<Vec<_>>() {
+            let dep = *ddg.dep(e);
+            if dep.distance != 0 {
+                continue;
+            }
+            let pp = placements[p.index()];
+            let done = pp.time + dep.latency as i64;
+            if dep.kind != DepKind::Flow || pp.cluster == c {
+                ready = ready.max(done);
+                continue;
+            }
+            // Reuse an already-scheduled transfer of this value to this
+            // cluster, else book the earliest free bus slot.
+            let arrival = match transfers
+                .iter()
+                .find(|tr| tr.producer == p.index() && tr.to == c)
+            {
+                Some(tr) => tr.arrival,
+                None => book_bus_transfer(
+                    &mut bus,
+                    &mut transfers,
+                    machine,
+                    p.index(),
+                    pp.cluster,
+                    c,
+                    done,
+                ),
+            };
+            ready = ready.max(arrival);
+        }
+        // Commit the FU slot at the earliest free cycle ≥ every operand's
+        // true availability.
+        let mut t = ready;
+        while !fu_free(&fu, c, kind, t) {
+            t += 1;
+        }
         let row = &mut fu[c][kind.index()];
         if row.len() <= t as usize {
             row.resize(t as usize + 1, 0);
         }
         row[t as usize] += 1;
-        placements[op.index()] = Placement { cluster: c, time: t };
-        // Commit one bus transfer per cross-cluster operand value.
-        for (e, p) in ddg.graph().in_edges(op).collect::<Vec<_>>() {
-            let dep = *ddg.dep(e);
-            if dep.distance != 0 || dep.kind != DepKind::Flow {
-                continue;
-            }
-            let pp = placements[p.index()];
-            if pp.cluster == c {
-                continue;
-            }
-            if transfers
+        placements[op.index()] = Placement {
+            cluster: c,
+            time: t,
+        };
+    }
+
+    // Loop-carried cross-cluster flow deps also move a value, but their
+    // producer may be placed after the consumer (they are back-edges of
+    // the topo order), so they get their transfers in a post-pass. The
+    // timing always works out: iterations are `SL` apart, so a transfer
+    // leaving in the producer's iteration arrives within the next
+    // iteration's read for any distance ≥ 1 (`arrival ≤ SL ≤ read + d·SL`).
+    for e in ddg.dep_ids() {
+        let dep = *ddg.dep(e);
+        if dep.kind != DepKind::Flow || dep.distance == 0 {
+            continue;
+        }
+        let (p, cons) = ddg.dep_endpoints(e);
+        let pp = placements[p.index()];
+        let c = placements[cons.index()].cluster;
+        if pp.cluster == c
+            || transfers
                 .iter()
                 .any(|tr| tr.producer == p.index() && tr.to == c)
-            {
-                continue;
-            }
-            let mut x = pp.time + dep.latency as i64;
-            let fits = |bus: &Vec<u32>, x: i64| {
-                (0..bus_lat).all(|j| {
-                    let s = (x + j) as usize;
-                    s >= bus.len() || bus[s] < machine.buses
-                })
-            };
-            while !fits(&bus, x) {
-                x += 1;
-            }
-            if bus.len() < (x + bus_lat) as usize {
-                bus.resize((x + bus_lat) as usize, 0);
-            }
-            for j in 0..bus_lat {
-                bus[(x + j) as usize] += 1;
-            }
-            transfers.push(Transfer {
-                producer: p.index(),
-                from: pp.cluster,
-                to: c,
-                kind: CommKind::Bus { start: x },
-                read_time: x,
-                arrival: x + bus_lat,
-            });
+        {
+            continue;
         }
+        book_bus_transfer(
+            &mut bus,
+            &mut transfers,
+            machine,
+            p.index(),
+            pp.cluster,
+            c,
+            pp.time + dep.latency as i64,
+        );
     }
 
     // Length: last completion (ops and transfers).
@@ -136,14 +210,53 @@ pub fn list_schedule(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
         length = length.max(t.arrival);
     }
 
-    // Crude MaxLive accounting for reporting (registers are not a limiter
-    // in the non-overlapped fallback).
-    let mut max_live = vec![0i64; nclusters];
+    // MaxLive per cluster, with the same lifetime conventions as the
+    // modulo scheduler (def at completion, reads at consumer issue plus
+    // II·distance, transferred values occupying the destination cluster
+    // from arrival to last read). Iterations repeat every `length` cycles,
+    // so the pressure table's II is the schedule length.
+    let ii = length.max(1);
+    let caps = machine.clusters().map(|c| c.registers as i64).collect();
+    let mut pressure = crate::lifetime::PressureTable::new(caps, ii);
     for op in ddg.op_ids() {
-        if ddg.op(op).class.defines_value() {
-            max_live[placements[op.index()].cluster] += 1;
+        let opd = ddg.op(op);
+        if !opd.class.defines_value() {
+            continue;
         }
+        let pl = placements[op.index()];
+        let def = pl.time + opd.latency as i64;
+        let mut last = def;
+        for (e, cons) in ddg.graph().out_edges(op) {
+            let dep = ddg.dep(e);
+            if dep.kind != DepKind::Flow {
+                continue;
+            }
+            let cp = placements[cons.index()];
+            if cp.cluster == pl.cluster {
+                last = last.max(cp.time + ii * dep.distance as i64);
+            }
+        }
+        for t in transfers.iter().filter(|t| t.producer == op.index()) {
+            last = last.max(t.read_time);
+        }
+        pressure.add(pl.cluster, def, last);
     }
+    for t in &transfers {
+        let pid = gpsched_graph::NodeId::from_index(t.producer);
+        let mut last = t.arrival;
+        for (e, cons) in ddg.graph().out_edges(pid) {
+            let dep = ddg.dep(e);
+            if dep.kind != DepKind::Flow {
+                continue;
+            }
+            let cp = placements[cons.index()];
+            if cp.cluster == t.to {
+                last = last.max(cp.time + ii * dep.distance as i64);
+            }
+        }
+        pressure.add(t.to, t.arrival, last);
+    }
+    let max_live = (0..nclusters).map(|c| pressure.max_live(c)).collect();
 
     Schedule::from_list(placements, transfers, length, max_live)
 }

@@ -71,7 +71,9 @@ impl Merit {
                 return x.partial_cmp(&y).unwrap_or(Ordering::Equal);
             }
         }
-        self.sum().partial_cmp(&other.sum()).unwrap_or(Ordering::Equal)
+        self.sum()
+            .partial_cmp(&other.sum())
+            .unwrap_or(Ordering::Equal)
     }
 
     /// Returns `true` if `self` is strictly preferable to `other`.

@@ -74,7 +74,10 @@ impl ClusterMrt {
     pub fn remove(&mut self, kind: ResourceKind, t: i64) {
         let k = kind.index();
         let s = slot(t, self.ii);
-        assert!(self.used[k][s] > 0, "nothing reserved at slot {s} of {kind}");
+        assert!(
+            self.used[k][s] > 0,
+            "nothing reserved at slot {s} of {kind}"
+        );
         self.used[k][s] -= 1;
     }
 

@@ -39,11 +39,8 @@ pub fn sms_order(ddg: &Ddg, ii: i64) -> Vec<OpId> {
     let mut rec_sets: Vec<(i64, Vec<usize>)> = Vec::new();
     let mut in_recurrence = vec![false; n];
     for comp in &comps {
-        let non_trivial = comp.len() > 1
-            || ddg
-                .graph()
-                .out_edges(comp[0])
-                .any(|(_, w)| w == comp[0]);
+        let non_trivial =
+            comp.len() > 1 || ddg.graph().out_edges(comp[0]).any(|(_, w)| w == comp[0]);
         if non_trivial {
             let rec = recurrence_mii(ddg, comp);
             let members: Vec<usize> = comp.iter().map(|c| c.index()).collect();
@@ -170,13 +167,13 @@ pub fn sms_order(ddg: &Ddg, ii: i64) -> Vec<OpId> {
         let ready = |v: usize, bottom_up: bool, placed: &[bool]| -> bool {
             let id = NodeId::from_index(v);
             if bottom_up {
-                ddg.graph().out_edges(id).all(|(e, s)| {
-                    s.index() == v || ddg.dep(e).distance > 0 || placed[s.index()]
-                })
+                ddg.graph()
+                    .out_edges(id)
+                    .all(|(e, s)| s.index() == v || ddg.dep(e).distance > 0 || placed[s.index()])
             } else {
-                ddg.graph().in_edges(id).all(|(e, p)| {
-                    p.index() == v || ddg.dep(e).distance > 0 || placed[p.index()]
-                })
+                ddg.graph()
+                    .in_edges(id)
+                    .all(|(e, p)| p.index() == v || ddg.dep(e).distance > 0 || placed[p.index()])
             }
         };
 
@@ -362,7 +359,9 @@ mod tests {
         // For a pure chain the order must follow the chain (each node has
         // its neighbour already placed).
         let mut b = DdgBuilder::new("chain");
-        let ops: Vec<_> = (0..6).map(|i| b.op(OpClass::IntAlu, format!("o{i}"))).collect();
+        let ops: Vec<_> = (0..6)
+            .map(|i| b.op(OpClass::IntAlu, format!("o{i}")))
+            .collect();
         for w in ops.windows(2) {
             b.flow(w[0], w[1]);
         }
@@ -371,6 +370,9 @@ mod tests {
         let positions: Vec<usize> = ops.iter().map(|&o| position(&order, o)).collect();
         let sorted_up = positions.windows(2).all(|w| w[0] < w[1]);
         let sorted_down = positions.windows(2).all(|w| w[0] > w[1]);
-        assert!(sorted_up || sorted_down, "chain order broken: {positions:?}");
+        assert!(
+            sorted_up || sorted_down,
+            "chain order broken: {positions:?}"
+        );
     }
 }

@@ -115,9 +115,11 @@ impl Schedule {
                 CommKind::Bus { start } => start,
                 CommKind::Memory { store, .. } => store,
             }))
-            .chain(spills.iter().flat_map(|s| {
-                std::iter::once(s.store).chain(s.loads.iter().map(|l| l.time))
-            }))
+            .chain(
+                spills
+                    .iter()
+                    .flat_map(|s| std::iter::once(s.store).chain(s.loads.iter().map(|l| l.time))),
+            )
             .min()
             .unwrap_or(0);
         let mut last_done = first_issue;
@@ -221,8 +223,8 @@ mod tests {
     use super::*;
     use crate::state::PartialSchedule;
     use gpsched_ddg::DdgBuilder;
-    use gpsched_machine::OpClass;
     use gpsched_graph::NodeId;
+    use gpsched_machine::OpClass;
 
     fn simple() -> (Ddg, MachineConfig) {
         let mut b = DdgBuilder::new("t");

@@ -120,10 +120,7 @@ impl<'a> PartialSchedule<'a> {
     /// Panics if `ii < 1`.
     pub fn new(ddg: &'a Ddg, machine: &'a MachineConfig, ii: i64) -> Self {
         assert!(ii >= 1, "ii must be positive");
-        let mrts = machine
-            .clusters()
-            .map(|c| ClusterMrt::new(c, ii))
-            .collect();
+        let mrts = machine.clusters().map(|c| ClusterMrt::new(c, ii)).collect();
         let caps = machine.clusters().map(|c| c.registers as i64).collect();
         PartialSchedule {
             ddg,
@@ -195,9 +192,7 @@ impl<'a> PartialSchedule<'a> {
     }
 
     fn op_latency(&self, op: usize) -> i64 {
-        self.ddg
-            .op(gpsched_graph::NodeId::from_index(op))
-            .latency as i64
+        self.ddg.op(gpsched_graph::NodeId::from_index(op)).latency as i64
     }
 
     fn op_class(&self, op: usize) -> OpClass {
@@ -416,16 +411,13 @@ impl<'a> PartialSchedule<'a> {
                             .iter()
                             .position(|s| s.producer == p.index() && read > s.store);
                         if let Some(si) = needs_load {
-                            let covered = self.spills[si]
-                                .loads
-                                .iter()
-                                .any(|l| l.time + self.load_latency() <= read
-                                    && l.use_time >= read);
+                            let covered = self.spills[si].loads.iter().any(|l| {
+                                l.time + self.load_latency() <= read && l.use_time >= read
+                            });
                             if !covered {
                                 let lo = self.spills[si].store + self.store_latency();
                                 let hi = read - self.load_latency();
-                                let Some(l) = self.find_mem_slot(cluster, lo, hi, false)
-                                else {
+                                let Some(l) = self.find_mem_slot(cluster, lo, hi, false) else {
                                     return Err(PlaceError::Communication);
                                 };
                                 self.mrts[cluster].place(ResourceKind::MemPort, l);
@@ -484,10 +476,7 @@ impl<'a> PartialSchedule<'a> {
                 return Ok(());
             };
             // Spilling needs at least one free memory slot for the store.
-            if rounds >= self.max_spill_rounds
-                || self.mem_free(cl) == 0
-                || !self.try_spill(cl)
-            {
+            if rounds >= self.max_spill_rounds || self.mem_free(cl) == 0 || !self.try_spill(cl) {
                 return Err(PlaceError::Registers);
             }
             rounds += 1;
@@ -596,7 +585,10 @@ impl<'a> PartialSchedule<'a> {
                     continue 'cand;
                 };
                 reserved.push(l);
-                loads.push(SpillLoad { time: l, use_time: u });
+                loads.push(SpillLoad {
+                    time: l,
+                    use_time: u,
+                });
             }
             // Commit: store + loads take memory slots.
             self.mrts[cluster].place(ResourceKind::MemPort, store);

@@ -82,7 +82,9 @@ pub fn simulate(
         }
     }
     for (&(cluster, kind, cycle), &count) in &usage {
-        let units = machine.cluster(cluster).units(ResourceKind::from_index(kind));
+        let units = machine
+            .cluster(cluster)
+            .units(ResourceKind::from_index(kind));
         if count > units {
             return Err(SimError::ResourceOverflow {
                 cluster,
@@ -300,9 +302,10 @@ pub fn simulate(
         last_done = last_done.max(t.arrival + (trips_i - 1) * ii);
     }
     for s in schedule.spills() {
-        first_issue = first_issue.min(s.store.min(
-            s.loads.iter().map(|l| l.time).min().unwrap_or(s.store),
-        ));
+        first_issue = first_issue.min(
+            s.store
+                .min(s.loads.iter().map(|l| l.time).min().unwrap_or(s.store)),
+        );
         last_done = last_done.max(s.store + (trips_i - 1) * ii + store_lat);
         for l in &s.loads {
             last_done = last_done.max(l.time + (trips_i - 1) * ii + load_lat);

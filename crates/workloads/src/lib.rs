@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod kernels;
+pub mod rng;
 pub mod spec;
 pub mod synth;
 

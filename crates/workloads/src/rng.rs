@@ -1,0 +1,175 @@
+//! A small, deterministic pseudo-random number generator.
+//!
+//! The workspace builds with no external crates, so this module supplies
+//! the randomness the synthetic workload generator needs: a SplitMix64
+//! stream with the handful of sampling helpers used across the workspace
+//! (uniform ranges, biased coin flips). The same seed always yields the
+//! same sequence, on every platform — the property the workload suites and
+//! the engine's determinism tests rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use gpsched_workloads::rng::Prng;
+//!
+//! let mut a = Prng::seed_from_u64(7);
+//! let mut b = Prng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.gen_range(10usize..20);
+//! assert!((10..20).contains(&x));
+//! ```
+
+/// A deterministic SplitMix64 generator.
+///
+/// SplitMix64 passes BigCrush, needs two lines of state transition and is
+/// trivially seedable from a single `u64` — more than enough statistical
+/// quality for workload synthesis (we are not doing cryptography).
+#[derive(Clone, Debug)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Prng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` (53 bits of precision).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform sample from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Ranges [`Prng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Prng) -> Self::Output;
+}
+
+/// Uniform draw from `[0, span)` by multiply-shift (unbiased enough for
+/// workload synthesis; `span` is far below 2^64).
+fn below(rng: &mut Prng, span: u64) -> u64 {
+    assert!(span > 0, "cannot sample from an empty range");
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Prng) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + below(rng, span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Prng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32);
+
+impl SampleRange for core::ops::Range<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut Prng) -> i64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(below(rng, span) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Prng::seed_from_u64(123);
+        let mut b = Prng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Prng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!((5..17).contains(&r.gen_range(5usize..17)));
+            assert!((3..=3).contains(&r.gen_range(3u32..=3)));
+            assert!((10..=20).contains(&r.gen_range(10u64..=20)));
+            assert!((-5..5).contains(&r.gen_range(-5i64..5)));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_extremes() {
+        let mut r = Prng::seed_from_u64(4);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        // Out-of-range p is clamped rather than panicking.
+        assert!((0..100).all(|_| r.gen_bool(2.5)));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Prng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Prng::seed_from_u64(0).gen_range(5usize..5);
+    }
+}

@@ -258,7 +258,10 @@ pub fn spec_suite() -> Vec<Program> {
                     )
                 })
                 .collect();
-            Program { name: s.name, loops }
+            Program {
+                name: s.name,
+                loops,
+            }
         })
         .collect()
 }
@@ -311,9 +314,8 @@ mod tests {
     #[test]
     fn hydro2d_has_recurrences_swim_does_not() {
         let suite = spec_suite();
-        let rec_mii_sum = |p: &Program| -> i64 {
-            p.loops.iter().map(gpsched_ddg::mii::rec_mii).sum()
-        };
+        let rec_mii_sum =
+            |p: &Program| -> i64 { p.loops.iter().map(gpsched_ddg::mii::rec_mii).sum() };
         let hydro = suite.iter().find(|p| p.name == "hydro2d").unwrap();
         let swim = suite.iter().find(|p| p.name == "swim").unwrap();
         assert!(rec_mii_sum(hydro) > hydro.loops.len() as i64); // some loop > 1

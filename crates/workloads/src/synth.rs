@@ -4,10 +4,9 @@
 //! shape, recurrence density and trip counts. Determinism: the same profile
 //! and seed always produce the same DDG (verified by test).
 
+use crate::rng::Prng;
 use gpsched_ddg::{Ddg, DdgBuilder, OpId};
 use gpsched_machine::OpClass;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the synthetic loop generator.
 ///
@@ -69,7 +68,7 @@ impl Default for SynthProfile {
 pub fn synthesize(name: impl Into<String>, profile: &SynthProfile, seed: u64) -> Ddg {
     assert!(profile.ops > 0, "need at least one op");
     assert!(profile.max_distance >= 1, "max_distance must be >= 1");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut b = DdgBuilder::new(name);
 
     let mut producers: Vec<OpId> = Vec::new(); // value-producing ops, index order
@@ -139,10 +138,11 @@ pub fn synthesize(name: impl Into<String>, profile: &SynthProfile, seed: u64) ->
 
     let trips = rng.gen_range(profile.trip_range.0..=profile.trip_range.1);
     b.trip_count(trips);
-    b.build().expect("synthesized loops are valid by construction")
+    b.build()
+        .expect("synthesized loops are valid by construction")
 }
 
-fn pick_class(profile: &SynthProfile, rng: &mut StdRng, i: usize, n: usize) -> OpClass {
+fn pick_class(profile: &SynthProfile, rng: &mut Prng, i: usize, n: usize) -> OpClass {
     if rng.gen_bool(profile.mem_frac) {
         // Bias stores toward the end of the body, loads toward the front,
         // like real compiled loops.
@@ -268,7 +268,9 @@ mod tests {
                 .map(|seed| {
                     let d = synthesize("x", p, seed);
                     let ii = gpsched_ddg::mii::rec_mii(&d);
-                    gpsched_ddg::timing::analyze(&d, ii, |_| 0).unwrap().max_path
+                    gpsched_ddg::timing::analyze(&d, ii, |_| 0)
+                        .unwrap()
+                        .max_path
                 })
                 .sum()
         };

@@ -6,8 +6,8 @@
 //! cargo run --release --example explore_config
 //! ```
 
-use gpsched::prelude::*;
 use gpsched::machine::{ClusterConfig, LatencyModel};
+use gpsched::prelude::*;
 
 /// A hand-built complex FFT butterfly-ish body: four loads, a complex
 /// multiply (4 fmul + 2 fadd), two adds/subs, four stores.
@@ -60,7 +60,10 @@ fn main() {
 
     // 1. Cluster count at fixed total resources.
     println!("clusters × bus latency (GP, 64 registers):");
-    println!("{:<10} {:>6} {:>6} {:>8} {:>8}", "machine", "MII", "II", "IPC", "xfers");
+    println!(
+        "{:<10} {:>6} {:>6} {:>8} {:>8}",
+        "machine", "MII", "II", "IPC", "xfers"
+    );
     for clusters in [1u32, 2, 4] {
         for lat in [1u32, 2] {
             let m = match clusters {
@@ -87,7 +90,10 @@ fn main() {
     // 2. Register starvation: shrink the per-cluster register file until
     //    spills appear.
     println!("\nregister budget (GP, 2 clusters, 1-cycle bus):");
-    println!("{:<10} {:>6} {:>8} {:>8} {:>8}", "regs", "II", "IPC", "spills", "maxlive");
+    println!(
+        "{:<10} {:>6} {:>8} {:>8} {:>8}",
+        "regs", "II", "IPC", "spills", "maxlive"
+    );
     for regs in [64u32, 32, 16, 8] {
         let m = MachineConfig::two_cluster(regs, 1, 1);
         let r = schedule_loop(&ddg, &m, Algorithm::Gp).expect("schedulable");

@@ -41,8 +41,8 @@ fn main() {
         );
 
         // Execute the schedule cycle by cycle and audit every invariant.
-        let report = simulate(&ddg, &machine, &r.schedule, ddg.trip_count())
-            .expect("schedule validates");
+        let report =
+            simulate(&ddg, &machine, &r.schedule, ddg.trip_count()).expect("schedule validates");
         assert_eq!(report.cycles, r.schedule.cycles(ddg.trip_count()));
     }
 
@@ -52,11 +52,7 @@ fn main() {
         for c in 0..partition.cluster_count() {
             let ops: Vec<String> = partition
                 .ops_in(c)
-                .map(|i| {
-                    ddg.op(gpsched::graph::NodeId::from_index(i))
-                        .name
-                        .clone()
-                })
+                .map(|i| ddg.op(gpsched::graph::NodeId::from_index(i)).name.clone())
                 .collect();
             println!("cluster {c}: {}", ops.join(", "));
         }

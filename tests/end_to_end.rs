@@ -16,9 +16,8 @@ fn every_kernel_schedules_and_validates_everywhere() {
     for ddg in kernels::all_kernels(60) {
         for machine in table1_configs().into_iter().map(|(_, m)| m) {
             for algo in Algorithm::ALL {
-                let r = schedule_loop(&ddg, &machine, algo).unwrap_or_else(|e| {
-                    panic!("{} on {}: {e}", ddg.name(), machine.short_name())
-                });
+                let r = schedule_loop(&ddg, &machine, algo)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", ddg.name(), machine.short_name()));
                 let report = simulate(&ddg, &machine, &r.schedule, 60).unwrap_or_else(|e| {
                     panic!(
                         "{} on {} via {:?}: {e}",

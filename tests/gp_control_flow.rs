@@ -9,8 +9,13 @@ use gpsched::sched::ScheduledWith;
 fn fixed_never_deviates_from_its_partition() {
     for ddg in kernels::all_kernels(100) {
         let machine = MachineConfig::two_cluster(32, 1, 1);
-        let out = fixed_partition(&ddg, &machine, &PartitionOptions::default(), &DriverConfig::default())
-            .unwrap();
+        let out = fixed_partition(
+            &ddg,
+            &machine,
+            &PartitionOptions::default(),
+            &DriverConfig::default(),
+        )
+        .unwrap();
         for (op, placement) in out.schedule.placements().iter().enumerate() {
             assert_eq!(
                 placement.cluster,
@@ -30,8 +35,13 @@ fn gp_deviations_are_the_exception_not_the_rule() {
     let mut kept = 0usize;
     for ddg in kernels::all_kernels(100) {
         let machine = MachineConfig::four_cluster(64, 1, 1);
-        let out = gp(&ddg, &machine, &PartitionOptions::default(), &DriverConfig::default())
-            .unwrap();
+        let out = gp(
+            &ddg,
+            &machine,
+            &PartitionOptions::default(),
+            &DriverConfig::default(),
+        )
+        .unwrap();
         for (op, placement) in out.schedule.placements().iter().enumerate() {
             total += 1;
             if placement.cluster == out.partition.partition.cluster_of(op) {
@@ -72,8 +82,13 @@ fn repartitioning_only_when_bus_bound_exceeds_ii() {
     // A loop with few communications (IIbus ≈ 1) must never re-partition.
     let ddg = kernels::dot_product(500);
     let machine = MachineConfig::two_cluster(32, 1, 1);
-    let out = gp(&ddg, &machine, &PartitionOptions::default(), &DriverConfig::default())
-        .unwrap();
+    let out = gp(
+        &ddg,
+        &machine,
+        &PartitionOptions::default(),
+        &DriverConfig::default(),
+    )
+    .unwrap();
     assert_eq!(out.repartitions, 0, "IIbus ≤ II yet the partition moved");
 }
 
@@ -107,7 +122,9 @@ fn uracam_explores_every_cluster() {
     let ddg = kernels::stencil5(300);
     let machine = MachineConfig::four_cluster(64, 1, 1);
     let s = uracam(&ddg, &machine, &DriverConfig::default()).unwrap();
-    let used: std::collections::HashSet<usize> =
-        s.placements().iter().map(|p| p.cluster).collect();
-    assert!(used.len() >= 2, "URACAM crammed a wide loop into one cluster");
+    let used: std::collections::HashSet<usize> = s.placements().iter().map(|p| p.cluster).collect();
+    assert!(
+        used.len() >= 2,
+        "URACAM crammed a wide loop into one cluster"
+    );
 }

@@ -94,10 +94,8 @@ fn slower_bus_widens_the_gap_to_unified() {
 #[test]
 fn scheduling_times_are_measured_per_algorithm() {
     let programs = mini_suite();
-    let rows = gpsched_eval::tables::table2_for(
-        &programs,
-        &[MachineConfig::four_cluster(32, 1, 2)],
-    );
+    let rows =
+        gpsched_eval::tables::table2_for(&programs, &[MachineConfig::four_cluster(32, 1, 2)]);
     assert_eq!(rows.len(), 1);
     let r = &rows[0];
     assert!(r.uracam_ms > 0.0 && r.fixed_ms > 0.0 && r.gp_ms > 0.0);

@@ -18,8 +18,9 @@ fn unrolled_loops_schedule_and_validate_everywhere() {
                 for algo in Algorithm::ALL {
                     let r = schedule_loop(&u, &machine, algo).expect("schedulable");
                     let trips = u.trip_count();
-                    let report = simulate(&u, &machine, &r.schedule, trips)
-                        .unwrap_or_else(|e| panic!("{} x{k} on {}: {e}", ddg.name(), machine.short_name()));
+                    let report = simulate(&u, &machine, &r.schedule, trips).unwrap_or_else(|e| {
+                        panic!("{} x{k} on {}: {e}", ddg.name(), machine.short_name())
+                    });
                     assert_eq!(report.cycles, r.schedule.cycles(trips));
                 }
             }
