@@ -9,10 +9,19 @@
 //!   repeated corpora and multi-algorithm sweeps actually pay);
 //! * `parallel/cached` — all host CPUs (on multi-core hosts this is the
 //!   deployment configuration; on a 1-CPU host it measures pool overhead).
+//!
+//! Besides the human-readable lines, the run appends a machine-readable
+//! entry to `BENCH_engine.json` (see [`gpsched_bench::trajectory`]):
+//!
+//! * `GPSCHED_BENCH_JSON`  — output path (default `BENCH_engine.json`);
+//! * `GPSCHED_BENCH_LABEL` — entry label (default `local`);
+//! * `GPSCHED_BENCH_QUICK` — when set, 3 samples instead of 10 (CI smoke).
 
 use gpsched::prelude::*;
+use gpsched_bench::trajectory::{append_entry, BenchEntry};
 use gpsched_bench::Group;
 use gpsched_engine::{run_sweep, SweepOptions};
+use std::path::PathBuf;
 
 fn job() -> JobSpec {
     // A mid-size, fixed workload: 2 programs of the suite on two clustered
@@ -32,7 +41,12 @@ fn main() {
     let units = job.unit_count();
     eprintln!("\n--- engine throughput ({units} units/run) ---");
 
-    let group = Group::new("engine_throughput").sample_size(10);
+    let samples = if std::env::var_os("GPSCHED_BENCH_QUICK").is_some() {
+        3
+    } else {
+        10
+    };
+    let group = Group::new("engine_throughput").sample_size(samples);
     let configs = [
         (
             "serial/no-cache",
@@ -56,6 +70,7 @@ fn main() {
             },
         ),
     ];
+    let mut loops_per_sec = Vec::new();
     for (name, opts) in configs {
         let t = group.bench(name, || {
             std::hint::black_box(run_sweep(&job, &opts, None).stats.units)
@@ -64,5 +79,27 @@ fn main() {
             "engine_throughput/{name}: {:.0} loops-scheduled/sec",
             t.per_second(units)
         );
+        loops_per_sec.push((name.to_string(), t.per_second(units)));
+    }
+
+    // Default to the workspace root (cargo runs benches from the package
+    // dir), falling back to the CWD when run outside cargo.
+    let path = std::env::var("GPSCHED_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            let mut p = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").unwrap_or_default());
+            p.pop();
+            p.pop();
+            p.join("BENCH_engine.json")
+        });
+    let label = std::env::var("GPSCHED_BENCH_LABEL").unwrap_or_else(|_| "local".into());
+    let entry = BenchEntry {
+        label,
+        units,
+        loops_per_sec,
+    };
+    match append_entry(&path, entry) {
+        Ok(()) => eprintln!("appended trajectory entry to {}", path.display()),
+        Err(e) => eprintln!("could not update {}: {e}", path.display()),
     }
 }

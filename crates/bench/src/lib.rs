@@ -7,6 +7,8 @@
 //! fixed sample counts, min/mean/max wall times, deterministic output
 //! lines that are easy to diff between commits.
 
+pub mod trajectory;
+
 use std::time::{Duration, Instant};
 
 /// Wall-time statistics of one benchmark.

@@ -1,0 +1,410 @@
+//! Machine-readable perf trajectory: `BENCH_engine.json`.
+//!
+//! The engine-throughput bench appends one entry per run (labelled via
+//! `GPSCHED_BENCH_LABEL`) to a JSON file, so the repository accumulates a
+//! baseline-vs-optimized history that CI can upload as an artifact and
+//! future PRs can extend. The workspace builds without external crates, so
+//! this module carries its own minimal JSON reader/writer for the schema:
+//!
+//! ```json
+//! {
+//!   "bench": "engine_throughput",
+//!   "entries": [
+//!     { "label": "pr2-baseline", "units": 78,
+//!       "loops_per_sec": { "serial/no-cache": 154.0 } }
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One bench run: a label plus loops-scheduled/sec per configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Human-chosen tag of the run (e.g. `pr2-baseline`, `ci`).
+    pub label: String,
+    /// Work items per timed run (loops × machines × algorithms).
+    pub units: usize,
+    /// `(configuration name, loops-scheduled per second)` pairs, in the
+    /// order the bench reports them.
+    pub loops_per_sec: Vec<(String, f64)>,
+}
+
+/// Reads the entries of an existing trajectory file. A missing file yields
+/// an empty history; a malformed one is an error (so a bad write never
+/// silently discards history).
+///
+/// # Errors
+///
+/// Returns an I/O error for unreadable files and `InvalidData` for
+/// unparseable ones.
+pub fn read_entries(path: &Path) -> std::io::Result<Vec<BenchEntry>> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = std::fs::read_to_string(path)?;
+    parse_entries(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{path:?}: {e}")))
+}
+
+/// Appends `entry` to the trajectory at `path`, creating the file if
+/// needed, and rewrites the whole document.
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors from [`read_entries`] and the write.
+pub fn append_entry(path: &Path, entry: BenchEntry) -> std::io::Result<()> {
+    let mut entries = read_entries(path)?;
+    entries.push(entry);
+    std::fs::write(path, render(&entries))
+}
+
+/// Serializes a full trajectory document.
+pub fn render(entries: &[BenchEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"engine_throughput\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"label\": {}, \"units\": {}, \"loops_per_sec\": {{ ",
+            quote(&e.label),
+            e.units
+        );
+        for (j, (name, v)) in e.loops_per_sec.iter().enumerate() {
+            let _ = write!(out, "{}: {:.1}", quote(name), v);
+            if j + 1 < e.loops_per_sec.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str(" } }");
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut q = String::with_capacity(s.len() + 2);
+    q.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => q.push_str("\\\""),
+            '\\' => q.push_str("\\\\"),
+            '\n' => q.push_str("\\n"),
+            // Remaining control characters must not appear raw in JSON.
+            c if (c as u32) < 0x20 => {
+                let _ = write!(q, "\\u{:04x}", c as u32);
+            }
+            c => q.push(c),
+        }
+    }
+    q.push('"');
+    q
+}
+
+// --- minimal JSON reader (only what the schema needs) -------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, String>;
+
+fn parse_entries(text: &str) -> PResult<Vec<BenchEntry>> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut entries = Vec::new();
+    p.expect(b'{')?;
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "bench" => {
+                p.string()?;
+            }
+            "entries" => {
+                p.expect(b'[')?;
+                if !p.peek_is(b']') {
+                    loop {
+                        entries.push(p.entry()?);
+                        if !p.comma_or_end(b']')? {
+                            break;
+                        }
+                    }
+                } else {
+                    p.expect(b']')?;
+                }
+            }
+            other => return Err(format!("unexpected key {other:?}")),
+        }
+        if !p.comma_or_end(b'}')? {
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing data".into());
+    }
+    Ok(entries)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&b)
+    }
+
+    fn expect(&mut self, b: u8) -> PResult<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    /// Consumes `,` and returns `true`, or consumes `close` and returns
+    /// `false`.
+    fn comma_or_end(&mut self, close: u8) -> PResult<bool> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(&b) if b == close => {
+                self.pos += 1;
+                Ok(false)
+            }
+            _ => Err(format!(
+                "expected ',' or {:?} at byte {}",
+                close as char, self.pos
+            )),
+        }
+    }
+
+    fn string(&mut self) -> PResult<String> {
+        self.expect(b'"')?;
+        // Collected as bytes and validated once at the end, so multi-byte
+        // UTF-8 passes through intact.
+        let mut raw: Vec<u8> = Vec::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(raw).map_err(|e| e.to_string());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => raw.push(b'"'),
+                        Some(b'\\') => raw.push(b'\\'),
+                        Some(b'n') => raw.push(b'\n'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or("bad \\u escape")?;
+                            let mut buf = [0u8; 4];
+                            raw.extend_from_slice(hex.encode_utf8(&mut buf).as_bytes());
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    raw.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> PResult<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn entry(&mut self) -> PResult<BenchEntry> {
+        let mut entry = BenchEntry {
+            label: String::new(),
+            units: 0,
+            loops_per_sec: Vec::new(),
+        };
+        self.expect(b'{')?;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "label" => entry.label = self.string()?,
+                "units" => entry.units = self.number()? as usize,
+                "loops_per_sec" => {
+                    self.expect(b'{')?;
+                    if self.peek_is(b'}') {
+                        self.expect(b'}')?;
+                    } else {
+                        loop {
+                            let name = self.string()?;
+                            self.expect(b':')?;
+                            let v = self.number()?;
+                            entry.loops_per_sec.push((name, v));
+                            if !self.comma_or_end(b'}')? {
+                                break;
+                            }
+                        }
+                    }
+                }
+                other => return Err(format!("unexpected entry key {other:?}")),
+            }
+            if !self.comma_or_end(b'}')? {
+                return Ok(entry);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BenchEntry> {
+        vec![
+            BenchEntry {
+                label: "pr2-baseline".into(),
+                units: 78,
+                loops_per_sec: vec![
+                    ("serial/no-cache".into(), 154.0),
+                    ("serial/cached".into(), 214.5),
+                ],
+            },
+            BenchEntry {
+                label: "pr2-optimized".into(),
+                units: 78,
+                loops_per_sec: vec![("serial/no-cache".into(), 352.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let entries = sample();
+        let text = render(&entries);
+        assert_eq!(parse_entries(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_history_roundtrips() {
+        let text = render(&[]);
+        assert_eq!(parse_entries(&text).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn labels_with_quotes_survive() {
+        let entries = vec![BenchEntry {
+            label: "a\"b\\c".into(),
+            units: 1,
+            loops_per_sec: vec![],
+        }];
+        assert_eq!(parse_entries(&render(&entries)).unwrap(), entries);
+    }
+
+    #[test]
+    fn control_characters_escape_to_valid_json() {
+        let entries = vec![BenchEntry {
+            label: "a\tb\rc\u{1}d".into(),
+            units: 1,
+            loops_per_sec: vec![],
+        }];
+        let text = render(&entries);
+        // No raw control characters inside the document.
+        assert!(!text
+            .chars()
+            .any(|c| (c as u32) < 0x20 && c != '\n' && c != ' '));
+        assert!(text.contains("\\u0009"));
+        assert_eq!(parse_entries(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn append_accumulates_on_disk() {
+        let dir = std::env::temp_dir().join(format!("gpsched-traj-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_engine.json");
+        let _ = std::fs::remove_file(&path);
+        for e in sample() {
+            append_entry(&path, e).unwrap();
+        }
+        let back = read_entries(&path).unwrap();
+        assert_eq!(back, sample());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_file_is_an_error_not_data_loss() {
+        let dir = std::env::temp_dir().join(format!("gpsched-traj-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_engine.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(read_entries(&path).is_err());
+        assert!(append_entry(
+            &path,
+            BenchEntry {
+                label: "x".into(),
+                units: 0,
+                loops_per_sec: vec![]
+            }
+        )
+        .is_err());
+        // The malformed file is untouched.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{ not json");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parses_hand_written_document() {
+        let text = r#"{
+            "bench": "engine_throughput",
+            "entries": [
+                { "label": "x", "units": 10,
+                  "loops_per_sec": { "a": 1.5, "b": 2e2 } }
+            ]
+        }"#;
+        let e = parse_entries(text).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].units, 10);
+        assert_eq!(e[0].loops_per_sec[1], ("b".into(), 200.0));
+    }
+}

@@ -69,7 +69,7 @@ pub use gpsched_workloads as workloads;
 pub use gpsched_ddg::{Ddg, DdgBuilder, DdgError};
 pub use gpsched_engine::{run_sweep, JobSpec, RunRecord, SweepOptions, SweepResult};
 pub use gpsched_machine::{LatencyModel, MachineConfig, OpClass, ResourceKind};
-pub use gpsched_partition::{partition_ddg, Partition, PartitionOptions};
+pub use gpsched_partition::{partition_ddg, CostEvaluator, Partition, PartitionOptions};
 pub use gpsched_sched::{schedule_loop, Algorithm, LoopResult, SchedError, Schedule};
 pub use gpsched_sim::{simulate, SimError, SimReport};
 
@@ -78,7 +78,7 @@ pub mod prelude {
     pub use gpsched_ddg::{mii, timing, Ddg, DdgBuilder};
     pub use gpsched_engine::{run_sweep, JobSpec, SweepOptions};
     pub use gpsched_machine::{table1_configs, MachineConfig, OpClass};
-    pub use gpsched_partition::{partition_ddg, Partition, PartitionOptions};
+    pub use gpsched_partition::{partition_ddg, CostEvaluator, Partition, PartitionOptions};
     pub use gpsched_sched::{schedule_loop, Algorithm, LoopResult, Schedule};
     pub use gpsched_sim::simulate;
     pub use gpsched_workloads::{kernels, spec_suite, synth, SynthProfile};

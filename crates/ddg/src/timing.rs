@@ -10,11 +10,11 @@
 use crate::ddg::Ddg;
 use crate::dep::Dep;
 use crate::DepId;
-use gpsched_graph::feasibility::longest_from_all_sources;
-use gpsched_graph::longest_path::potentials;
+use gpsched_graph::feasibility::longest_from_all_sources_into;
+use gpsched_graph::NodeId;
 
 /// Result of [`analyze`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Timing {
     /// The initiation interval this analysis assumed.
     pub ii: i64,
@@ -62,87 +62,204 @@ pub struct Timing {
 /// assert_eq!(t.max_path, 5);            // 2 (load) + 3 (mul completes)
 /// # Ok::<(), gpsched_ddg::DdgError>(())
 /// ```
-pub fn analyze(ddg: &Ddg, ii: i64, mut extra: impl FnMut(DepId) -> i64) -> Option<Timing> {
-    let n = ddg.op_count();
-    let graph = ddg.graph();
+pub fn analyze(ddg: &Ddg, ii: i64, extra: impl FnMut(DepId) -> i64) -> Option<Timing> {
+    let mut ws = TimingWorkspace::new();
+    ws.analyze(ddg, ii, extra).cloned()
+}
 
-    let mut extras = vec![0i64; ddg.dep_count()];
-    for e in ddg.dep_ids() {
-        extras[e.index()] = extra(e);
+/// Reusable scratch for [`analyze`]-equivalent computations.
+///
+/// The partitioner's refinement loop runs a timing analysis per candidate
+/// move; the from-scratch [`analyze`] allocates ~8 vectors and re-derives a
+/// topological order every call. A workspace hoists all of that: the DDG's
+/// shape (constraint tuples, distance-0 topological order, op latencies) is
+/// computed once by [`TimingWorkspace::prepare`], and every buffer of the
+/// analysis itself is reused, so the steady state allocates nothing.
+///
+/// A workspace is bound to the DDG most recently passed to `prepare` (or
+/// to the first `analyze` call), identified by address; analyzing a
+/// *different* DDG re-prepares automatically.
+///
+/// # Example
+///
+/// ```
+/// use gpsched_ddg::{timing, DdgBuilder};
+/// use gpsched_machine::OpClass;
+///
+/// let mut b = DdgBuilder::new("t");
+/// let ld = b.op(OpClass::Load, "ld");
+/// let ml = b.op(OpClass::FpMul, "ml");
+/// b.flow(ld, ml);
+/// let ddg = b.build()?;
+/// let mut ws = timing::TimingWorkspace::new();
+/// let t = ws.analyze(&ddg, 1, |_| 0).unwrap();
+/// assert_eq!(t.max_path, 5);
+/// // Second call reuses every buffer.
+/// assert!(ws.analyze(&ddg, 2, |_| 0).is_some());
+/// # Ok::<(), gpsched_ddg::DdgError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TimingWorkspace {
+    /// Address of the DDG the cached shape was prepared from (0 = none).
+    /// Address identity is what the incremental evaluator uses too; it
+    /// makes the re-prepare check exact for any live DDG.
+    bound: usize,
+    nops: usize,
+    ndeps: usize,
+    /// Per-dep `(src, dst, latency, distance)` in dep-id order.
+    shape: Vec<(u32, u32, i64, i64)>,
+    /// Topological order of the distance-0 sub-DAG.
+    topo0: Vec<NodeId>,
+    /// Per-op latency.
+    op_lat: Vec<i64>,
+    /// Per-dep extra delay of the current analysis.
+    extras: Vec<i64>,
+    fwd: Vec<(usize, usize, i64)>,
+    rev: Vec<(usize, usize, i64)>,
+    out_len: Vec<i64>,
+    prepared: bool,
+    /// The most recent `analyze` call completed successfully, so `timing`
+    /// is coherent and `last()` may serve it.
+    analyzed: bool,
+    timing: Timing,
+}
+
+impl TimingWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        TimingWorkspace::default()
     }
 
-    // Modulo constraint system: w(e) = lat + extra − II·dist.
-    let fwd: Vec<(usize, usize, i64)> = ddg
-        .dep_ids()
-        .map(|e| {
+    /// Rebuilds the cached DDG shape (constraint tuples, distance-0
+    /// topological order, op latencies). [`TimingWorkspace::analyze`]
+    /// calls this automatically whenever it is handed a DDG other than
+    /// the one currently bound.
+    pub fn prepare(&mut self, ddg: &Ddg) {
+        self.bound = ddg as *const Ddg as usize;
+        self.nops = ddg.op_count();
+        self.ndeps = ddg.dep_count();
+        self.shape.clear();
+        self.shape.extend(ddg.dep_ids().map(|e| {
             let (s, d) = ddg.dep_endpoints(e);
             let dep = ddg.dep(e);
             (
-                s.index(),
-                d.index(),
-                dep.latency as i64 + extras[e.index()] - ii * dep.distance as i64,
+                s.index() as u32,
+                d.index() as u32,
+                dep.latency as i64,
+                dep.distance as i64,
             )
-        })
-        .collect();
-    let asap = longest_from_all_sources(n, &fwd)?;
-    let rev: Vec<(usize, usize, i64)> = fwd.iter().map(|&(s, d, w)| (d, s, w)).collect();
-    let out_len = longest_from_all_sources(n, &rev)?;
-    let span = asap.iter().copied().max().unwrap_or(0);
-    let alap: Vec<i64> = (0..n).map(|v| span - out_len[v]).collect();
-
-    let mut edge_slack = vec![0i64; ddg.dep_count()];
-    let mut max_slack = 0i64;
-    for (e, &(s, d, w)) in ddg.dep_ids().zip(fwd.iter()) {
-        let _ = e;
-        let slack = alap[d] - asap[s] - w;
-        edge_slack[e.index()] = slack;
-        max_slack = max_slack.max(slack);
+        }));
+        self.topo0 = gpsched_graph::topo::topo_order(ddg.graph(), |_, dep: &Dep| dep.distance == 0)
+            .expect("distance-0 subgraph is acyclic by construction");
+        self.op_lat.clear();
+        self.op_lat
+            .extend(ddg.op_ids().map(|v| ddg.op(v).latency as i64));
+        self.prepared = true;
     }
 
-    // Intra-iteration longest paths (distance-0 sub-DAG), edge length
-    // lat + extra. Acyclic by Ddg validation even before extras.
-    let pots = potentials(
-        graph,
-        |_, dep: &Dep| dep.distance == 0,
-        |e, dep| dep.latency as i64 + extras[e.index()],
-    )
-    .expect("distance-0 subgraph is acyclic by construction");
-    let start = pots.from_source.clone();
+    /// Workspace-backed equivalent of [`analyze`]: identical results, no
+    /// steady-state allocation. Returns `None` when `ii` is infeasible; the
+    /// internal buffers then hold partial data and the next call overwrites
+    /// them.
+    pub fn analyze(
+        &mut self,
+        ddg: &Ddg,
+        ii: i64,
+        mut extra: impl FnMut(DepId) -> i64,
+    ) -> Option<&Timing> {
+        if !self.prepared || self.bound != ddg as *const Ddg as usize {
+            self.prepare(ddg);
+        }
+        // A failed probe leaves `timing` partially overwritten; it only
+        // becomes readable through `last()` again once a probe succeeds.
+        self.analyzed = false;
+        let n = self.nops;
 
-    let op_lat = |v: usize| {
-        ddg.graph()
-            .node_weight(gpsched_graph::NodeId::from_index(v))
-            .latency as i64
-    };
-    // tail[v] = max(lat(v), max over dist-0 out-edges (len + tail[dst])):
-    // the completion-inclusive longest path out of v.
-    let mut tail: Vec<i64> = (0..n).map(op_lat).collect();
-    // Process nodes in reverse topological order of the dist-0 DAG.
-    let order = gpsched_graph::topo::topo_order(graph, |_, dep: &Dep| dep.distance == 0)
-        .expect("distance-0 subgraph is acyclic by construction");
-    for &v in order.iter().rev() {
-        for (e, w) in graph.out_edges(v) {
-            if graph.edge_weight(e).distance == 0 {
-                let cand =
-                    graph.edge_weight(e).latency as i64 + extras[e.index()] + tail[w.index()];
-                if cand > tail[v.index()] {
-                    tail[v.index()] = cand;
+        self.extras.clear();
+        self.extras.extend(ddg.dep_ids().map(&mut extra));
+
+        // Modulo constraint system: w(e) = lat + extra − II·dist.
+        self.fwd.clear();
+        self.rev.clear();
+        for (i, &(s, d, lat, dist)) in self.shape.iter().enumerate() {
+            let w = lat + self.extras[i] - ii * dist;
+            self.fwd.push((s as usize, d as usize, w));
+            self.rev.push((d as usize, s as usize, w));
+        }
+        if !longest_from_all_sources_into(n, &self.fwd, &mut self.timing.asap) {
+            return None;
+        }
+        if !longest_from_all_sources_into(n, &self.rev, &mut self.out_len) {
+            return None;
+        }
+        let span = self.timing.asap.iter().copied().max().unwrap_or(0);
+        self.timing.alap.clear();
+        let out_len = &self.out_len;
+        self.timing.alap.extend((0..n).map(|v| span - out_len[v]));
+
+        self.timing.edge_slack.clear();
+        self.timing.max_slack = 0;
+        for &(s, d, w) in &self.fwd {
+            let slack = self.timing.alap[d] - self.timing.asap[s] - w;
+            self.timing.edge_slack.push(slack);
+            self.timing.max_slack = self.timing.max_slack.max(slack);
+        }
+
+        // Intra-iteration longest paths (distance-0 sub-DAG), edge length
+        // lat + extra. Acyclic by Ddg validation even before extras.
+        let graph = ddg.graph();
+        self.timing.start.clear();
+        self.timing.start.resize(n, 0);
+        for &v in &self.topo0 {
+            for (e, w) in graph.out_edges(v) {
+                let dep = graph.edge_weight(e);
+                if dep.distance == 0 {
+                    let cand =
+                        self.timing.start[v.index()] + dep.latency as i64 + self.extras[e.index()];
+                    if cand > self.timing.start[w.index()] {
+                        self.timing.start[w.index()] = cand;
+                    }
                 }
             }
         }
-    }
-    let max_path = (0..n).map(|v| start[v] + tail[v]).max().unwrap_or(0).max(0);
 
-    Some(Timing {
-        ii,
-        asap,
-        alap,
-        edge_slack,
-        max_slack,
-        start,
-        tail,
-        max_path,
-    })
+        // tail[v] = max(lat(v), max over dist-0 out-edges (len + tail[dst])):
+        // the completion-inclusive longest path out of v, in reverse
+        // topological order of the dist-0 DAG.
+        self.timing.tail.clear();
+        self.timing.tail.extend_from_slice(&self.op_lat);
+        for &v in self.topo0.iter().rev() {
+            for (e, w) in graph.out_edges(v) {
+                let dep = graph.edge_weight(e);
+                if dep.distance == 0 {
+                    let cand =
+                        dep.latency as i64 + self.extras[e.index()] + self.timing.tail[w.index()];
+                    if cand > self.timing.tail[v.index()] {
+                        self.timing.tail[v.index()] = cand;
+                    }
+                }
+            }
+        }
+        let start = &self.timing.start;
+        let tail = &self.timing.tail;
+        self.timing.max_path = (0..n).map(|v| start[v] + tail[v]).max().unwrap_or(0).max(0);
+        self.timing.ii = ii;
+        self.analyzed = true;
+        Some(&self.timing)
+    }
+
+    /// The result of the most recent *successful* [`TimingWorkspace::analyze`]
+    /// call. The II-probing loops use this to read the feasible analysis
+    /// after the probe succeeds without re-borrowing through `analyze`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no analysis has succeeded yet, or if the most recent one
+    /// failed (its buffers hold partial data).
+    pub fn last(&self) -> &Timing {
+        assert!(self.analyzed, "no successful analysis to read");
+        &self.timing
+    }
 }
 
 impl Timing {
@@ -242,6 +359,90 @@ mod tests {
             t0.max_path_with_delay(a.index(), c.index(), 1, 2),
             t1.max_path
         );
+    }
+
+    #[test]
+    fn workspace_matches_from_scratch() {
+        let mut b = DdgBuilder::new("t");
+        let ld = b.op(OpClass::Load, "ld");
+        let dv = b.op(OpClass::FpDiv, "dv");
+        let ad = b.op(OpClass::IntAlu, "ad");
+        let st = b.op(OpClass::Store, "st");
+        let e0 = b.flow(ld, dv);
+        b.flow(ld, ad);
+        b.flow(dv, st);
+        b.flow(ad, st);
+        b.flow_carried(ad, ld, 1);
+        b.mem(st, ld, 1);
+        let ddg = b.build().unwrap();
+        let mut ws = TimingWorkspace::new();
+        for ii in 1..=4 {
+            for bus in [0i64, 2] {
+                let extra = |e: DepId| if e == e0 { bus } else { 0 };
+                let a = analyze(&ddg, ii, extra);
+                let w = ws.analyze(&ddg, ii, extra).cloned();
+                match (a, w) {
+                    (None, None) => {}
+                    (Some(a), Some(w)) => {
+                        assert_eq!(a.ii, w.ii);
+                        assert_eq!(a.asap, w.asap);
+                        assert_eq!(a.alap, w.alap);
+                        assert_eq!(a.edge_slack, w.edge_slack);
+                        assert_eq!(a.max_slack, w.max_slack);
+                        assert_eq!(a.start, w.start);
+                        assert_eq!(a.tail, w.tail);
+                        assert_eq!(a.max_path, w.max_path);
+                    }
+                    (a, w) => panic!("feasibility disagrees: {a:?} vs {w:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no successful analysis")]
+    fn last_panics_after_failed_probe() {
+        let mut b = DdgBuilder::new("t");
+        let acc = b.op(OpClass::FpAdd, "acc"); // lat 3
+        b.flow_carried(acc, acc, 1); // RecMII 3
+        let ddg = b.build().unwrap();
+        let mut ws = TimingWorkspace::new();
+        assert!(ws.analyze(&ddg, 3, |_| 0).is_some());
+        // The failed probe invalidates the previous result.
+        assert!(ws.analyze(&ddg, 2, |_| 0).is_none());
+        ws.last();
+    }
+
+    #[test]
+    fn workspace_reprepares_for_new_ddg() {
+        let mut b = DdgBuilder::new("one");
+        let a = b.op(OpClass::IntAlu, "a");
+        let c = b.op(OpClass::IntAlu, "c");
+        b.flow(a, c);
+        let small = b.build().unwrap();
+        let mut b = DdgBuilder::new("two");
+        let ld = b.op(OpClass::Load, "ld");
+        let ml = b.op(OpClass::FpMul, "ml");
+        let st = b.op(OpClass::Store, "st");
+        b.flow(ld, ml);
+        b.flow(ml, st);
+        let big = b.build().unwrap();
+
+        // Same op/dep counts as `small`, different latencies.
+        let mut b = DdgBuilder::new("three");
+        let m1 = b.op(OpClass::FpMul, "m1");
+        let m2 = b.op(OpClass::FpMul, "m2");
+        b.flow(m1, m2);
+        let twin = b.build().unwrap();
+
+        let mut ws = TimingWorkspace::new();
+        assert_eq!(ws.analyze(&small, 1, |_| 0).unwrap().max_path, 2);
+        // Different shape: auto re-prepares.
+        assert_eq!(ws.analyze(&big, 1, |_| 0).unwrap().max_path, 2 + 3 + 1);
+        // Same-shaped but different DDG: the address binding re-prepares
+        // too — no explicit prepare needed.
+        assert_eq!(ws.analyze(&small, 1, |_| 0).unwrap().max_path, 2);
+        assert_eq!(ws.analyze(&twin, 1, |_| 0).unwrap().max_path, 3 + 3);
     }
 
     #[test]

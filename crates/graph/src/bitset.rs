@@ -1,0 +1,201 @@
+//! A flat bitset over dense node indices.
+//!
+//! The scheduler's SMS ordering and the partitioner's inner loops need many
+//! small membership sets (reachability, processed nodes, per-set members).
+//! `HashSet<usize>` pays hashing and heap traffic on every probe; a bitset
+//! over the dense `0..n` node-index space answers the same queries with one
+//! shift and one mask, and union/clear become word-wide operations.
+
+/// A fixed-capacity set of dense node indices backed by `u64` words.
+///
+/// # Example
+///
+/// ```
+/// use gpsched_graph::NodeBitSet;
+///
+/// let mut s = NodeBitSet::new(100);
+/// assert!(s.insert(3));
+/// assert!(!s.insert(3)); // already present
+/// s.insert(64);
+/// assert!(s.contains(3) && s.contains(64) && !s.contains(4));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeBitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl NodeBitSet {
+    /// Creates an empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        NodeBitSet {
+            words: vec![0u64; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The exclusive upper bound on storable indices.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Removes all elements, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Reinitialises the set to an empty set of the given capacity,
+    /// reusing the allocation when possible.
+    pub fn reset(&mut self, capacity: usize) {
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(64), 0);
+        self.capacity = capacity;
+    }
+
+    /// Returns `true` if `v` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= capacity`.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        assert!(v < self.capacity, "index {v} out of capacity");
+        self.words[v / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Inserts `v`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, v: usize) -> bool {
+        assert!(v < self.capacity, "index {v} out of capacity");
+        let (w, m) = (v / 64, 1u64 << (v % 64));
+        let fresh = self.words[w] & m == 0;
+        self.words[w] |= m;
+        fresh
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, v: usize) -> bool {
+        assert!(v < self.capacity, "index {v} out of capacity");
+        let (w, m) = (v / 64, 1u64 << (v % 64));
+        let present = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        present
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Adds every element of `other` (capacities must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &NodeBitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Copies the contents of `other` into `self` (capacities must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn copy_from(&mut self, other: &NodeBitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = NodeBitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(129) && !s.contains(128));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let mut s = NodeBitSet::new(10);
+        s.insert(7);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 10);
+        s.reset(200);
+        assert_eq!(s.capacity(), 200);
+        assert!(s.insert(199));
+    }
+
+    #[test]
+    fn union_and_copy() {
+        let mut a = NodeBitSet::new(70);
+        let mut b = NodeBitSet::new(70);
+        a.insert(1);
+        b.insert(65);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(65));
+        let mut c = NodeBitSet::new(70);
+        c.copy_from(&a);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![1, 65]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn out_of_range_panics() {
+        NodeBitSet::new(5).contains(5);
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let s = NodeBitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

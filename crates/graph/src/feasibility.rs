@@ -37,7 +37,21 @@ pub fn has_positive_cycle(n: usize, edges: &[ConstraintEdge]) -> bool {
 /// `d[v] ≥ d[u] + w` for every edge — i.e., valid earliest start times for
 /// the modulo constraint system.
 pub fn longest_from_all_sources(n: usize, edges: &[ConstraintEdge]) -> Option<Vec<i64>> {
-    let mut dist = vec![0i64; n];
+    let mut dist = Vec::new();
+    longest_from_all_sources_into(n, edges, &mut dist).then_some(dist)
+}
+
+/// Allocation-free variant of [`longest_from_all_sources`]: fills `dist`
+/// (cleared and resized to `n`) in place and returns `false` when a positive
+/// cycle exists. Hot paths reuse `dist` across calls so the steady state
+/// allocates nothing.
+pub fn longest_from_all_sources_into(
+    n: usize,
+    edges: &[ConstraintEdge],
+    dist: &mut Vec<i64>,
+) -> bool {
+    dist.clear();
+    dist.resize(n, 0);
     // Bellman-Ford: at most n-1 relaxation rounds, plus one to detect cycles.
     for round in 0..=n {
         let mut changed = false;
@@ -49,13 +63,13 @@ pub fn longest_from_all_sources(n: usize, edges: &[ConstraintEdge]) -> Option<Ve
             }
         }
         if !changed {
-            return Some(dist);
+            return true;
         }
         if round == n {
-            return None;
+            return false;
         }
     }
-    Some(dist)
+    true
 }
 
 /// Finds the smallest `ii ≥ lower` such that
@@ -71,12 +85,17 @@ pub fn min_feasible_ii(
     lower: i64,
     upper: i64,
 ) -> Option<i64> {
-    let feasible = |ii: i64| {
-        let edges: Vec<ConstraintEdge> = deps
-            .iter()
-            .map(|&(u, v, lat, dist)| (u, v, lat - ii * dist))
-            .collect();
-        !has_positive_cycle(n, &edges)
+    // One probe per II candidate; the edge and distance buffers are reused
+    // so the binary search allocates only once.
+    let mut edges: Vec<ConstraintEdge> = Vec::with_capacity(deps.len());
+    let mut scratch: Vec<i64> = Vec::new();
+    let mut feasible = |ii: i64| {
+        edges.clear();
+        edges.extend(
+            deps.iter()
+                .map(|&(u, v, lat, dist)| (u, v, lat - ii * dist)),
+        );
+        longest_from_all_sources_into(n, &edges, &mut scratch)
     };
     if lower > upper {
         return None;

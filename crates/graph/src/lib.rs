@@ -11,6 +11,9 @@
 //!   backing store for loop data-dependence graphs;
 //! * [`UnGraph`]: an undirected weighted graph used by the multilevel
 //!   partitioner during coarsening;
+//! * [`NodeBitSet`]: a flat bitset over dense node indices, the
+//!   allocation-free membership set used by the scheduler's ordering and
+//!   the partitioner's inner loops;
 //! * [`scc`]: Tarjan's strongly-connected-components algorithm (used to find
 //!   recurrences);
 //! * [`topo`]: topological ordering of the acyclic (distance-0) sub-DAG;
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 mod digraph;
 mod ids;
 mod ugraph;
@@ -51,6 +55,7 @@ pub mod matching;
 pub mod scc;
 pub mod topo;
 
+pub use bitset::NodeBitSet;
 pub use digraph::DiGraph;
 pub use ids::{EdgeId, NodeId};
 pub use ugraph::{UnEdge, UnGraph};

@@ -1,7 +1,5 @@
 //! Undirected weighted graph used by the multilevel partitioner.
 
-use std::collections::HashMap;
-
 use crate::ids::{EdgeId, NodeId};
 
 /// An undirected edge with an integer weight.
@@ -42,7 +40,6 @@ pub struct UnGraph {
     node_weights: Vec<i64>,
     edges: Vec<UnEdge>,
     adjacency: Vec<Vec<EdgeId>>,
-    index: HashMap<(NodeId, NodeId), EdgeId>,
 }
 
 impl UnGraph {
@@ -76,7 +73,7 @@ impl UnGraph {
             return None;
         }
         let key = if u < v { (u, v) } else { (v, u) };
-        if let Some(&e) = self.index.get(&key) {
+        if let Some(e) = self.find_edge(u, v) {
             self.edges[e.index()].weight += weight;
             return Some(e);
         }
@@ -88,8 +85,30 @@ impl UnGraph {
         });
         self.adjacency[u.index()].push(e);
         self.adjacency[v.index()].push(e);
-        self.index.insert(key, e);
         Some(e)
+    }
+
+    /// The edge joining `u` and `v`, if any, found by scanning the shorter
+    /// of the two adjacency lists (coarsened DDG nodes have tiny degrees,
+    /// so this beats the hash map it replaced: no hashing, no extra index
+    /// to maintain, and the scan stays inside one cache line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u == v {
+            return None;
+        }
+        let (probe, other) = if self.adjacency[u.index()].len() <= self.adjacency[v.index()].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adjacency[probe.index()].iter().copied().find(|&e| {
+            let rec = self.edges[e.index()];
+            rec.u == other || rec.v == other
+        })
     }
 
     /// Number of nodes.
@@ -197,6 +216,19 @@ mod tests {
         g.add_node(5);
         g.add_node(-1);
         assert_eq!(g.total_node_weight(), 6);
+    }
+
+    #[test]
+    fn find_edge_in_either_direction() {
+        let mut g = UnGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(1);
+        let c = g.add_node(1);
+        let e = g.add_edge(a, b, 3).unwrap();
+        assert_eq!(g.find_edge(a, b), Some(e));
+        assert_eq!(g.find_edge(b, a), Some(e));
+        assert_eq!(g.find_edge(a, c), None);
+        assert_eq!(g.find_edge(a, a), None);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! * recurrences crossing the cut get longer → `RecMII` grows.
 
 use crate::partition::Partition;
-use gpsched_ddg::{mii, timing, Ddg, DepKind};
+use gpsched_ddg::timing::TimingWorkspace;
+use gpsched_ddg::{mii, Ddg, DepKind};
 use gpsched_machine::MachineConfig;
 
 /// Cost metrics of one partition.
@@ -60,6 +61,27 @@ pub fn estimate(
     ii_input: i64,
     partition: &Partition,
 ) -> PartitionCost {
+    estimate_with(
+        ddg,
+        machine,
+        ii_input,
+        partition,
+        &mut TimingWorkspace::new(),
+    )
+}
+
+/// [`estimate`] with a caller-supplied [`TimingWorkspace`], so repeated
+/// estimates over the same DDG reuse the timing scratch buffers instead of
+/// reallocating them (refinement evaluates candidates through the even
+/// cheaper incremental [`crate::CostEvaluator`]; this entry point serves
+/// the from-scratch callers).
+pub fn estimate_with(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii_input: i64,
+    partition: &Partition,
+    ws: &mut TimingWorkspace,
+) -> PartitionCost {
     assert_eq!(partition.len(), ddg.op_count(), "partition/ddg mismatch");
     let bus_lat = machine.bus_latency as i64;
 
@@ -81,12 +103,13 @@ pub fn estimate(
     // Smallest recurrence-feasible II at or above `lower`, probing with the
     // timing analysis (cheap in the common case where `lower` is feasible).
     let mut ii = lower;
-    let t = loop {
-        if let Some(t) = timing::analyze(ddg, ii, |e| extra[e.index()]) {
-            break t;
+    loop {
+        if ws.analyze(ddg, ii, |e| extra[e.index()]).is_some() {
+            break;
         }
         ii += 1;
-    };
+    }
+    let t = ws.last();
 
     let cut_slack: i64 = partition
         .cut_deps(ddg)

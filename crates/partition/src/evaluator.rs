@@ -1,0 +1,456 @@
+//! Incremental partition-cost evaluation (the §3.2.2 refinement hot path).
+//!
+//! The from-scratch [`estimate`](crate::estimate::estimate) walks every
+//! dependence to find the cut, rebuilds the communication set, recounts
+//! per-cluster resource usage and re-derives the timing analysis — for
+//! *every* candidate move the refinement loop considers. Almost all of that
+//! is redundant between single-node moves: only the moved node's incident
+//! dependences can change cut status.
+//!
+//! [`CostEvaluator`] therefore keeps the current assignment's cut state
+//! resident — per-dep cut flags, the `extra[]` bus-delay vector, the
+//! paper's `NComm` communication count and per-cluster functional-unit
+//! totals — and updates it in O(degree) per [`CostEvaluator::apply`]. A
+//! full [`CostEvaluator::cost`] then only pays for the timing analysis,
+//! which runs through a reusable [`TimingWorkspace`] so the steady state
+//! allocates nothing. [`CostEvaluator::cost_if_better`] additionally
+//! screens with a cheap execution-time lower bound
+//! (`(niter−1)·max(ii_input, ResMII, IIbus) + max_path₀`) and skips the
+//! timing analysis entirely when the candidate provably cannot win.
+//!
+//! The evaluator is proven bit-identical to `estimate()` by a seeded
+//! property test over random move/swap/revert sequences
+//! (`tests/evaluator_equiv.rs`).
+
+use crate::estimate::{ii_bus, PartitionCost};
+use gpsched_ddg::timing::TimingWorkspace;
+use gpsched_ddg::{Ddg, DepKind};
+use gpsched_machine::{MachineConfig, ResourceKind};
+
+/// Delta-maintained cut state of one cluster assignment, able to produce
+/// the exact [`PartitionCost`] of the current assignment on demand.
+///
+/// # Example
+///
+/// ```
+/// use gpsched_machine::MachineConfig;
+/// use gpsched_partition::{estimate, CostEvaluator, Partition};
+/// use gpsched_workloads::kernels;
+///
+/// let ddg = kernels::daxpy(100);
+/// let machine = MachineConfig::two_cluster(32, 1, 1);
+/// let assign: Vec<usize> = (0..ddg.op_count()).map(|i| i % 2).collect();
+/// let mut ev = CostEvaluator::new(&ddg, &machine);
+/// ev.reset(2, &assign);
+/// let from_scratch = estimate(&ddg, &machine, 2, &Partition::new(assign, 2));
+/// assert_eq!(ev.cost(), from_scratch);
+///
+/// // Move op 0 to cluster 1 and back: O(degree) each, state stays exact.
+/// ev.apply(0, 1);
+/// ev.apply(0, 0);
+/// assert_eq!(ev.cost(), from_scratch);
+/// ```
+#[derive(Debug)]
+pub struct CostEvaluator<'a> {
+    ddg: &'a Ddg,
+    machine: &'a MachineConfig,
+    nclusters: usize,
+    bus_lat: i64,
+    ii_input: i64,
+    /// Per-op cluster assignment.
+    assign: Vec<usize>,
+    /// Per-dep: endpoints in different clusters.
+    cut: Vec<bool>,
+    /// Per-dep bus delay charged by the timing analysis (bus latency on cut
+    /// flow deps, 0 elsewhere).
+    extra: Vec<i64>,
+    cut_size: usize,
+    /// The paper's `NComm`: distinct (producer, consumer-cluster) pairs
+    /// over cut flow deps.
+    comm_count: usize,
+    /// `consumers_in[op · nclusters + c]` = flow out-edges of `op` whose
+    /// consumer sits in cluster `c`.
+    consumers_in: Vec<u32>,
+    /// `counts[cluster][kind]` = assigned ops occupying that resource.
+    counts: Vec<[i64; 3]>,
+    /// `max_path` of the bus-free DDG — a lower bound on any assignment's
+    /// `max_path`, used by the screen.
+    base_max_path: i64,
+    /// Scratch: producers whose communication contribution is in flux.
+    touched: Vec<usize>,
+    ws: TimingWorkspace,
+}
+
+impl<'a> CostEvaluator<'a> {
+    /// Creates an evaluator for `ddg` on `machine`, initially with every op
+    /// in cluster 0 and `ii_input = 1`; call [`CostEvaluator::reset`] to
+    /// load a real assignment.
+    pub fn new(ddg: &'a Ddg, machine: &'a MachineConfig) -> Self {
+        let mut ws = TimingWorkspace::new();
+        ws.prepare(ddg);
+        // `max_path` does not depend on the II (only distance-0 edges
+        // contribute), so probe at the always-feasible total latency.
+        let base_max_path = ws
+            .analyze(ddg, ddg.total_latency(), |_| 0)
+            .expect("total latency is always recurrence-feasible")
+            .max_path;
+        let mut ev = CostEvaluator {
+            ddg,
+            machine,
+            nclusters: machine.cluster_count(),
+            bus_lat: machine.bus_latency as i64,
+            ii_input: 1,
+            assign: Vec::new(),
+            cut: Vec::new(),
+            extra: Vec::new(),
+            cut_size: 0,
+            comm_count: 0,
+            consumers_in: Vec::new(),
+            counts: Vec::new(),
+            base_max_path,
+            touched: Vec::new(),
+            ws,
+        };
+        let zeros = vec![0usize; ddg.op_count()];
+        ev.reset(1, &zeros);
+        ev
+    }
+
+    /// Reloads the evaluator with a fresh assignment and partitioning input
+    /// interval, reusing every buffer. O(V·nclusters + E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign` does not cover the DDG's ops, an entry is out of
+    /// cluster range, or `ii_input < 1`.
+    pub fn reset(&mut self, ii_input: i64, assign: &[usize]) {
+        assert_eq!(assign.len(), self.ddg.op_count(), "partition/ddg mismatch");
+        assert!(ii_input >= 1, "ii_input must be positive");
+        assert!(
+            assign.iter().all(|&c| c < self.nclusters),
+            "assignment entry out of range"
+        );
+        self.ii_input = ii_input;
+        self.assign.clear();
+        self.assign.extend_from_slice(assign);
+
+        self.counts.clear();
+        self.counts.resize(self.nclusters, [0i64; 3]);
+        for op in self.ddg.op_ids() {
+            let k = self.ddg.op(op).class.resource().index();
+            self.counts[assign[op.index()]][k] += 1;
+        }
+
+        self.consumers_in.clear();
+        self.consumers_in
+            .resize(self.ddg.op_count() * self.nclusters, 0);
+        self.cut.clear();
+        self.extra.clear();
+        self.cut_size = 0;
+        for e in self.ddg.dep_ids() {
+            let (s, d) = self.ddg.dep_endpoints(e);
+            let dep = self.ddg.dep(e);
+            let cut = assign[s.index()] != assign[d.index()];
+            self.cut.push(cut);
+            self.extra.push(if cut && dep.kind == DepKind::Flow {
+                self.bus_lat
+            } else {
+                0
+            });
+            if cut {
+                self.cut_size += 1;
+            }
+            if dep.kind == DepKind::Flow {
+                self.consumers_in[s.index() * self.nclusters + assign[d.index()]] += 1;
+            }
+        }
+        self.comm_count = (0..self.ddg.op_count()).map(|p| self.comm_contrib(p)).sum();
+    }
+
+    /// The partitioning input interval of the current load.
+    pub fn ii_input(&self) -> i64 {
+        self.ii_input
+    }
+
+    /// Returns `true` if this evaluator was built for exactly this
+    /// DDG/machine pair (pointer identity — the evaluator's resident state
+    /// is meaningless against any other graph).
+    pub fn is_for(&self, ddg: &Ddg, machine: &MachineConfig) -> bool {
+        std::ptr::eq(self.ddg, ddg) && std::ptr::eq(self.machine, machine)
+    }
+
+    /// The current per-op assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assign
+    }
+
+    /// Clusters the producer `p` must send its value to (everything except
+    /// its own cluster counts — a value sent once to a cluster serves all
+    /// consumers there).
+    #[inline]
+    fn comm_contrib(&self, p: usize) -> usize {
+        let row = &self.consumers_in[p * self.nclusters..(p + 1) * self.nclusters];
+        let home = self.assign[p];
+        row.iter()
+            .enumerate()
+            .filter(|&(c, &n)| n > 0 && c != home)
+            .count()
+    }
+
+    /// Moves op `op` to `cluster`, updating all resident state in
+    /// O(degree · nclusters). Moving an op to its current cluster is a
+    /// no-op; applying the inverse move restores the previous state
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` or `cluster` is out of range.
+    pub fn apply(&mut self, op: usize, cluster: usize) {
+        assert!(cluster < self.nclusters, "cluster out of range");
+        let old = self.assign[op];
+        if old == cluster {
+            return;
+        }
+        let opid = gpsched_graph::NodeId::from_index(op);
+        let k = self.ddg.op(opid).class.resource().index();
+        self.counts[old][k] -= 1;
+        self.counts[cluster][k] += 1;
+
+        // Producers whose (producer, consumer-cluster) set shifts: the
+        // op itself (its home cluster changes) and its flow producers
+        // (their consumer moved).
+        self.touched.clear();
+        self.touched.push(op);
+        for (e, p) in self.ddg.graph().in_edges(opid) {
+            if self.ddg.dep(e).kind == DepKind::Flow {
+                self.touched.push(p.index());
+            }
+        }
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        for i in 0..self.touched.len() {
+            self.comm_count -= self.comm_contrib(self.touched[i]);
+        }
+        for (e, p) in self.ddg.graph().in_edges(opid) {
+            if self.ddg.dep(e).kind == DepKind::Flow {
+                self.consumers_in[p.index() * self.nclusters + old] -= 1;
+                self.consumers_in[p.index() * self.nclusters + cluster] += 1;
+            }
+        }
+        self.assign[op] = cluster;
+        for i in 0..self.touched.len() {
+            self.comm_count += self.comm_contrib(self.touched[i]);
+        }
+
+        // Cut status of incident deps (self-loops handled once, in the
+        // in-edge pass; they are never cut).
+        for (e, p) in self.ddg.graph().in_edges(opid) {
+            self.refresh_cut(e.index(), p.index(), op);
+        }
+        for (e, d) in self.ddg.graph().out_edges(opid) {
+            if d.index() != op {
+                self.refresh_cut(e.index(), op, d.index());
+            }
+        }
+    }
+
+    #[inline]
+    fn refresh_cut(&mut self, e: usize, s: usize, d: usize) {
+        let now = self.assign[s] != self.assign[d];
+        let was = self.cut[e];
+        if was != now {
+            self.cut[e] = now;
+            if now {
+                self.cut_size += 1;
+            } else {
+                self.cut_size -= 1;
+            }
+        }
+        let dep_id = gpsched_graph::EdgeId::from_index(e);
+        self.extra[e] = if now && self.ddg.dep(dep_id).kind == DepKind::Flow {
+            self.bus_lat
+        } else {
+            0
+        };
+    }
+
+    /// Per-cluster resource MII of the current assignment (mirrors
+    /// [`gpsched_ddg::mii::res_mii_clustered`], from the resident counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster with zero units of some kind holds ops of that
+    /// kind.
+    fn res_bound(&self) -> i64 {
+        let mut bound = 1i64;
+        for (c, per_kind) in self.counts.iter().enumerate() {
+            for kind in ResourceKind::ALL {
+                let ops = per_kind[kind.index()];
+                if ops == 0 {
+                    continue;
+                }
+                let units = self.machine.cluster(c).units(kind) as i64;
+                assert!(
+                    units > 0,
+                    "cluster {c} has no {kind} units but is assigned {ops} such ops"
+                );
+                bound = bound.max((ops + units - 1) / units);
+            }
+        }
+        bound
+    }
+
+    /// The exact [`PartitionCost`] of the current assignment — bit-identical
+    /// to `estimate(ddg, machine, ii_input, partition)`, but the cut metrics
+    /// come from the resident state and the timing probe runs through the
+    /// reusable workspace.
+    pub fn cost(&mut self) -> PartitionCost {
+        let ii_bus = ii_bus(self.comm_count, self.machine);
+        let lower = self.ii_input.max(self.res_bound()).max(ii_bus);
+        let mut ii = lower;
+        let (ws, extra, ddg) = (&mut self.ws, &self.extra, self.ddg);
+        loop {
+            if ws.analyze(ddg, ii, |e| extra[e.index()]).is_some() {
+                break;
+            }
+            ii += 1;
+        }
+        let t = ws.last();
+        let cut_slack: i64 = self
+            .cut
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(i, _)| t.edge_slack[i])
+            .sum();
+        PartitionCost {
+            comm_count: self.comm_count,
+            ii_bus,
+            ii_effective: ii,
+            max_path: t.max_path,
+            exec_time: ddg.execution_time(ii, t.max_path),
+            cut_slack,
+            cut_size: self.cut_size,
+        }
+    }
+
+    /// [`CostEvaluator::cost`], but screened: returns the cost only when the
+    /// current assignment is strictly [better than](PartitionCost::better_than)
+    /// `than`, and skips the timing analysis whenever the cheap lower bound
+    /// `(niter−1)·max(ii_input, ResMII, IIbus) + max_path₀` already exceeds
+    /// `than.exec_time` (the candidate then cannot win: its `exec_time` is
+    /// at least the bound).
+    pub fn cost_if_better(&mut self, than: &PartitionCost) -> Option<PartitionCost> {
+        let ii_bus = ii_bus(self.comm_count, self.machine);
+        let lower = self.ii_input.max(self.res_bound()).max(ii_bus);
+        if self.ddg.execution_time(lower, self.base_max_path) > than.exec_time {
+            return None;
+        }
+        let cost = self.cost();
+        cost.better_than(than).then_some(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::estimate;
+    use crate::partition::Partition;
+    use gpsched_ddg::DdgBuilder;
+    use gpsched_machine::OpClass;
+
+    fn chain_ddg() -> Ddg {
+        let mut b = DdgBuilder::new("t");
+        let x = b.op(OpClass::Load, "x");
+        let y = b.op(OpClass::FpMul, "y");
+        let z = b.op(OpClass::FpAdd, "z");
+        let w = b.op(OpClass::Store, "w");
+        b.flow(x, y);
+        b.flow(y, z);
+        b.flow(z, w);
+        b.flow_carried(z, y, 1);
+        b.mem(w, x, 1);
+        b.trip_count(100);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_estimate_on_fixed_assignments() {
+        let ddg = chain_ddg();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let mut ev = CostEvaluator::new(&ddg, &m);
+        for assign in [
+            vec![0, 0, 0, 0],
+            vec![0, 1, 1, 0],
+            vec![1, 0, 1, 0],
+            vec![0, 0, 1, 1],
+        ] {
+            ev.reset(1, &assign);
+            let p = Partition::new(assign.clone(), 2);
+            assert_eq!(ev.cost(), estimate(&ddg, &m, 1, &p), "{assign:?}");
+        }
+    }
+
+    #[test]
+    fn moves_track_estimate_exactly() {
+        let ddg = chain_ddg();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let mut ev = CostEvaluator::new(&ddg, &m);
+        let mut assign = vec![0usize, 0, 0, 0];
+        ev.reset(2, &assign);
+        for (op, c) in [(1, 1), (2, 1), (1, 0), (3, 1), (1, 1), (2, 0)] {
+            ev.apply(op, c);
+            assign[op] = c;
+            let p = Partition::new(assign.clone(), 2);
+            assert_eq!(ev.cost(), estimate(&ddg, &m, 2, &p), "after {op}->{c}");
+        }
+    }
+
+    #[test]
+    fn move_and_inverse_restore_state() {
+        let ddg = chain_ddg();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let mut ev = CostEvaluator::new(&ddg, &m);
+        ev.reset(1, &[0, 1, 0, 1]);
+        let before = ev.cost();
+        ev.apply(2, 1);
+        ev.apply(2, 0);
+        assert_eq!(ev.cost(), before);
+        assert_eq!(ev.assignment(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn screen_rejects_hopeless_candidates_cheaply() {
+        let ddg = chain_ddg();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let mut ev = CostEvaluator::new(&ddg, &m);
+        ev.reset(1, &[0, 0, 0, 0]);
+        let together = ev.cost();
+        // Cutting the recurrence is strictly worse: screened or fully
+        // evaluated, the answer must be "not better".
+        ev.apply(2, 1);
+        assert!(ev.cost_if_better(&together).is_none());
+        assert!(!ev.cost().better_than(&together));
+    }
+
+    #[test]
+    fn cost_if_better_returns_improvements() {
+        let ddg = chain_ddg();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let mut ev = CostEvaluator::new(&ddg, &m);
+        ev.reset(1, &[0, 1, 1, 1]);
+        let split = ev.cost();
+        ev.apply(0, 1);
+        let better = ev.cost_if_better(&split).expect("healing the cut wins");
+        assert!(better.better_than(&split));
+        assert_eq!(better, ev.cost());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition/ddg mismatch")]
+    fn reset_rejects_wrong_length() {
+        let ddg = chain_ddg();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        CostEvaluator::new(&ddg, &m).reset(1, &[0, 1]);
+    }
+}

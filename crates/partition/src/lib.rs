@@ -19,7 +19,10 @@
 //! 4. **cost estimation** ([`estimate`]): the paper's hypothetical machine —
 //!    unlimited registers, perfect memory, realistic memory ports and
 //!    interconnect — giving `IIbus`, the effective II and the execution-time
-//!    estimate `T = (niter−1)·II + max_path`.
+//!    estimate `T = (niter−1)·II + max_path`. The refinement hot path
+//!    evaluates candidates through the incremental [`CostEvaluator`]
+//!    ([`evaluator`]), which maintains the cut state by O(degree) deltas
+//!    and is proven bit-identical to the from-scratch estimate.
 //!
 //! # Example
 //!
@@ -42,11 +45,15 @@
 
 pub mod coarsen;
 pub mod estimate;
+pub mod evaluator;
 mod multilevel;
 mod partition;
 pub mod refine;
 pub mod weights;
 
-pub use estimate::PartitionCost;
-pub use multilevel::{partition_ddg, MatchStrategy, PartitionOptions, PartitionResult};
+pub use estimate::{estimate, estimate_with, PartitionCost};
+pub use evaluator::CostEvaluator;
+pub use multilevel::{
+    partition_ddg, partition_ddg_with, MatchStrategy, PartitionOptions, PartitionResult,
+};
 pub use partition::Partition;

@@ -2,7 +2,8 @@
 
 pub use crate::coarsen::MatchStrategy;
 use crate::coarsen::{coarsen_to, initial_level, Level};
-use crate::estimate::{estimate, PartitionCost};
+use crate::estimate::PartitionCost;
+use crate::evaluator::CostEvaluator;
 use crate::partition::Partition;
 use crate::refine::{expand, refine_level, RefineOptions};
 use crate::weights::edge_weights;
@@ -46,11 +47,35 @@ pub fn partition_ddg(
     ii_input: i64,
     options: &PartitionOptions,
 ) -> PartitionResult {
+    let mut ev = CostEvaluator::new(ddg, machine);
+    partition_ddg_with(ddg, machine, ii_input, options, &mut ev)
+}
+
+/// [`partition_ddg`] with a caller-supplied [`CostEvaluator`], so repeated
+/// partitioning calls over the same DDG — the GP driver's selective
+/// re-partitioning path — reuse the evaluator's cut state buffers and
+/// timing workspace instead of reallocating them per call.
+///
+/// # Panics
+///
+/// Panics if `ii_input < 1` or `ev` was built for a different DDG/machine.
+pub fn partition_ddg_with(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    ii_input: i64,
+    options: &PartitionOptions,
+    ev: &mut CostEvaluator<'_>,
+) -> PartitionResult {
     assert!(ii_input >= 1, "ii_input must be positive");
+    assert!(
+        ev.is_for(ddg, machine),
+        "evaluator was built for a different DDG/machine"
+    );
     let nclusters = machine.cluster_count();
     if nclusters == 1 || ddg.op_count() == 0 {
         let partition = Partition::single_cluster(ddg.op_count());
-        let cost = estimate(ddg, machine, ii_input, &partition);
+        ev.reset(ii_input, partition.assignment());
+        let cost = ev.cost();
         return PartitionResult {
             partition,
             cost,
@@ -75,6 +100,7 @@ pub fn partition_ddg(
         coarsest,
         &mut assign,
         &options.refine,
+        ev,
     );
     for idx in (0..levels.len() - 1).rev() {
         let finer = &levels[idx];
@@ -88,7 +114,15 @@ pub fn partition_ddg(
             finer_assign[node] = assign[op_to_coarse[op]];
         }
         assign = finer_assign;
-        cost = refine_level(ddg, machine, ii_input, finer, &mut assign, &options.refine);
+        cost = refine_level(
+            ddg,
+            machine,
+            ii_input,
+            finer,
+            &mut assign,
+            &options.refine,
+            ev,
+        );
     }
 
     let ops = expand(&levels[0], &assign);
@@ -102,6 +136,7 @@ pub fn partition_ddg(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimate::estimate;
     use gpsched_ddg::mii;
     use gpsched_workloads::kernels;
 

@@ -1,7 +1,6 @@
 //! The cluster-assignment type.
 
 use gpsched_ddg::{Ddg, DepId, DepKind};
-use std::collections::HashSet;
 
 /// A cluster assignment of every operation of a loop.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -95,13 +94,18 @@ impl Partition {
     /// A value sent once to a cluster serves all consumers there, and memory
     /// dependences move no data (the paper's `NComm`).
     pub fn comm_count(&self, ddg: &Ddg) -> usize {
-        let mut pairs: HashSet<(usize, usize)> = HashSet::new();
-        for e in self.cut_deps(ddg) {
-            if ddg.dep(e).kind == DepKind::Flow {
+        // Flat sort+dedup over the (few) cut flow deps — cheaper and less
+        // allocation-happy than the hash set it replaced.
+        let mut pairs: Vec<(usize, usize)> = self
+            .cut_deps(ddg)
+            .filter(|&e| ddg.dep(e).kind == DepKind::Flow)
+            .map(|e| {
                 let (s, d) = ddg.dep_endpoints(e);
-                pairs.insert((s.index(), self.assignment[d.index()]));
-            }
-        }
+                (s.index(), self.assignment[d.index()])
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
         pairs.len()
     }
 

@@ -3,10 +3,16 @@
 //! Runs at every level of the coarsening hierarchy, from the coarsest to
 //! the finest (Kernighan–Lin/Fiduccia–Mattheyses style, but with the
 //! paper's objective: *estimated execution time*, not cut size).
+//!
+//! The cut pass evaluates candidate moves through the incremental
+//! [`CostEvaluator`]: each candidate is applied as O(degree) deltas,
+//! screened against a cheap execution-time lower bound, and only the
+//! survivors pay for a timing re-analysis (through the evaluator's reusable
+//! workspace) — no per-candidate `expand`/`Partition` allocations remain.
 
 use crate::coarsen::Level;
-use crate::estimate::{estimate, PartitionCost};
-use crate::partition::Partition;
+use crate::estimate::PartitionCost;
+use crate::evaluator::CostEvaluator;
 use gpsched_ddg::Ddg;
 use gpsched_machine::{MachineConfig, ResourceKind};
 
@@ -108,10 +114,14 @@ pub fn balance_pass(
     let nclusters = machine.cluster_count();
     let mut moves = 0usize;
 
+    // Maintained incrementally across moves (it was recomputed per round).
+    let mut totals = cluster_usage(&usage, assign, nclusters);
+    let mut overloaded: Vec<(usize, usize, f64)> = Vec::new();
+    let mut nodes: Vec<usize> = Vec::new();
+
     while moves < max_moves {
-        let totals = cluster_usage(&usage, assign, nclusters);
         // Overloaded (cluster, kind), most saturated first.
-        let mut overloaded: Vec<(usize, usize, f64)> = Vec::new();
+        overloaded.clear();
         for c in 0..nclusters {
             for k in 0..3 {
                 if totals[c][k] > caps[c][k] {
@@ -131,11 +141,11 @@ pub fn balance_pass(
         let mut applied = false;
         'search: for &(cl, kind, _) in &overloaded {
             // Candidate nodes in `cl` that use `kind`, heaviest users first.
-            let mut nodes: Vec<usize> = (0..level.node_count())
-                .filter(|&v| assign[v] == cl && usage[v][kind] > 0)
-                .collect();
+            nodes.clear();
+            nodes
+                .extend((0..level.node_count()).filter(|&v| assign[v] == cl && usage[v][kind] > 0));
             nodes.sort_by_key(|&v| std::cmp::Reverse(usage[v][kind]));
-            for v in nodes {
+            for &v in &nodes {
                 for c2 in 0..nclusters {
                     if c2 == cl {
                         continue;
@@ -150,6 +160,10 @@ pub fn balance_pass(
                         !critical || after <= caps[c2][k]
                     });
                     if fits {
+                        for k in 0..3 {
+                            totals[cl][k] -= usage[v][k];
+                            totals[c2][k] += usage[v][k];
+                        }
                         assign[v] = c2;
                         moves += 1;
                         applied = true;
@@ -170,6 +184,9 @@ pub fn balance_pass(
 /// Edges"): repeatedly apply the single move or pair swap with the largest
 /// execution-time benefit (ties: larger cut slack, then smaller cut).
 /// Returns the cost of the final assignment.
+///
+/// `ev` must belong to the same DDG/machine pair; it is reloaded with
+/// `assign` on entry and left holding the final assignment.
 pub fn cut_pass(
     ddg: &Ddg,
     machine: &MachineConfig,
@@ -177,15 +194,25 @@ pub fn cut_pass(
     level: &Level,
     assign: &mut [usize],
     opts: &RefineOptions,
+    ev: &mut CostEvaluator<'_>,
 ) -> PartitionCost {
+    assert!(
+        ev.is_for(ddg, machine),
+        "evaluator was built for a different DDG/machine"
+    );
     let usage = node_usage(ddg, level);
     let nclusters = machine.cluster_count();
-    let eval = |a: &[usize]| -> PartitionCost {
-        let ops = expand(level, a);
-        estimate(ddg, machine, ii_input, &Partition::new(ops, nclusters))
-    };
-    let mut current = eval(assign);
+    ev.reset(ii_input, &expand(level, assign));
+    let mut current = ev.cost();
     let mut moves = 0usize;
+
+    // Buffers hoisted out of the move loop.
+    let mut candidates: Vec<(i64, usize, usize)> = Vec::new();
+    let mut gain_to: Vec<i64> = vec![0; nclusters];
+    let mut gain_clusters: Vec<usize> = Vec::new();
+    let mut partners: Vec<usize> = Vec::new();
+    let mut changes: Vec<(usize, usize)> = Vec::new();
+    let mut saved: Vec<usize> = Vec::new();
 
     while moves < opts.max_moves {
         // "Enough resources" is judged at the II the current partition
@@ -197,22 +224,31 @@ pub fn cut_pass(
         };
 
         let mut best: Option<(Vec<(usize, usize)>, PartitionCost)> = None;
+
+        // Evaluates `changes` through the incremental evaluator: apply the
+        // member-op deltas, screen + estimate against the best so far,
+        // revert. No allocation beyond the (reused) changes buffers.
         let consider =
-            |changes: Vec<(usize, usize)>,
-             assign: &mut [usize],
+            |changes: &[(usize, usize)],
+             saved: &mut Vec<usize>,
+             ev: &mut CostEvaluator<'_>,
              best: &mut Option<(Vec<(usize, usize)>, PartitionCost)>| {
-                let saved: Vec<usize> = changes.iter().map(|&(v, _)| assign[v]).collect();
-                for &(v, c) in &changes {
-                    assign[v] = c;
+                saved.clear();
+                saved.extend(changes.iter().map(|&(v, _)| assign[v]));
+                for &(v, c) in changes {
+                    for &op in &level.members[v] {
+                        ev.apply(op, c);
+                    }
                 }
-                let cost = eval(assign);
-                for (&(v, _), &old) in changes.iter().zip(&saved) {
-                    assign[v] = old;
+                let threshold = best.as_ref().map_or(&current, |(_, b)| b);
+                let cost = ev.cost_if_better(threshold);
+                for (&(v, _), &old) in changes.iter().zip(saved.iter()) {
+                    for &op in &level.members[v] {
+                        ev.apply(op, old);
+                    }
                 }
-                if cost.better_than(&current)
-                    && best.as_ref().map_or(true, |(_, b)| cost.better_than(b))
-                {
-                    *best = Some((changes, cost));
+                if let Some(cost) = cost {
+                    *best = Some((changes.to_vec(), cost));
                 }
             };
 
@@ -221,57 +257,66 @@ pub fn cut_pass(
         // Only the most promising candidates pay for a full execution-time
         // estimate; the §3.2.1 edge weights already encode the time impact,
         // so the screen rarely discards the true best move.
-        let mut candidates: Vec<(i64, usize, usize)> = Vec::new();
+        candidates.clear();
         for v in 0..level.node_count() {
             let cl = assign[v];
-            let mut gain_to: std::collections::HashMap<usize, i64> =
-                std::collections::HashMap::new();
+            gain_clusters.clear();
             let mut internal = 0i64;
             for (_, w, wt) in level.graph.neighbors(gpsched_graph::NodeId::from_index(v)) {
                 let cw = assign[w.index()];
                 if cw == cl {
                     internal += wt;
                 } else {
-                    *gain_to.entry(cw).or_insert(0) += wt;
+                    if gain_to[cw] == 0 && !gain_clusters.contains(&cw) {
+                        gain_clusters.push(cw);
+                    }
+                    gain_to[cw] += wt;
                 }
             }
-            for (c2, external) in gain_to {
-                candidates.push((external - internal, v, c2));
+            gain_clusters.sort_unstable();
+            for &c2 in &gain_clusters {
+                candidates.push((gain_to[c2] - internal, v, c2));
+                gain_to[c2] = 0;
             }
         }
         candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
         candidates.truncate(opts.eval_candidates);
-        for (_, v, c2) in candidates {
+        for &(_, v, c2) in &candidates {
             let cl = assign[v];
-            {
-                if fits_move(&totals, v, c2) {
-                    consider(vec![(v, c2)], assign, &mut best);
-                } else {
-                    // Try interchanges that make room (§3.2.2).
-                    let mut partners: Vec<usize> = (0..level.node_count())
-                        .filter(|&u| assign[u] == c2)
-                        .collect();
-                    // Prefer partners whose departure frees the most slots.
-                    partners.sort_by_key(|&u| std::cmp::Reverse(usage[u].iter().sum::<i64>()));
-                    partners.truncate(opts.swap_candidates);
-                    for u in partners {
-                        // Capacity check with both displacements applied.
-                        let ok = (0..3).all(|k| {
-                            totals[c2][k] + usage[v][k] - usage[u][k] <= caps[c2][k]
-                                && totals[cl][k] - usage[v][k] + usage[u][k] <= caps[cl][k]
-                        });
-                        if ok {
-                            consider(vec![(v, c2), (u, cl)], assign, &mut best);
-                        }
+            if fits_move(&totals, v, c2) {
+                changes.clear();
+                changes.push((v, c2));
+                consider(&changes, &mut saved, ev, &mut best);
+            } else {
+                // Try interchanges that make room (§3.2.2).
+                partners.clear();
+                partners.extend((0..level.node_count()).filter(|&u| assign[u] == c2));
+                // Prefer partners whose departure frees the most slots.
+                partners.sort_by_key(|&u| std::cmp::Reverse(usage[u].iter().sum::<i64>()));
+                partners.truncate(opts.swap_candidates);
+                for &u in &partners {
+                    // Capacity check with both displacements applied.
+                    let ok = (0..3).all(|k| {
+                        totals[c2][k] + usage[v][k] - usage[u][k] <= caps[c2][k]
+                            && totals[cl][k] - usage[v][k] + usage[u][k] <= caps[cl][k]
+                    });
+                    if ok {
+                        changes.clear();
+                        changes.push((v, c2));
+                        changes.push((u, cl));
+                        consider(&changes, &mut saved, ev, &mut best);
                     }
                 }
             }
         }
 
         match best {
-            Some((changes, cost)) => {
-                for (v, c) in changes {
+            Some((chosen, cost)) => {
+                for (v, c) in chosen {
                     assign[v] = c;
+                    for &op in &level.members[v] {
+                        ev.apply(op, c);
+                    }
                 }
                 current = cost;
                 moves += 1;
@@ -282,7 +327,8 @@ pub fn cut_pass(
     current
 }
 
-/// Full refinement of one level: balance, then cut impact.
+/// Full refinement of one level: balance, then cut impact. The evaluator
+/// carries the timing workspace and cut state across levels and calls.
 pub fn refine_level(
     ddg: &Ddg,
     machine: &MachineConfig,
@@ -290,20 +336,16 @@ pub fn refine_level(
     level: &Level,
     assign: &mut [usize],
     opts: &RefineOptions,
+    ev: &mut CostEvaluator<'_>,
 ) -> PartitionCost {
     if opts.balance {
         balance_pass(ddg, machine, ii_input, level, assign, opts.max_moves);
     }
     if opts.cut {
-        cut_pass(ddg, machine, ii_input, level, assign, opts)
+        cut_pass(ddg, machine, ii_input, level, assign, opts, ev)
     } else {
-        let ops = expand(level, assign);
-        estimate(
-            ddg,
-            machine,
-            ii_input,
-            &Partition::new(ops, machine.cluster_count()),
-        )
+        ev.reset(ii_input, &expand(level, assign));
+        ev.cost()
     }
 }
 
@@ -311,6 +353,8 @@ pub fn refine_level(
 mod tests {
     use super::*;
     use crate::coarsen::initial_level;
+    use crate::estimate::estimate;
+    use crate::partition::Partition;
     use crate::weights::edge_weights;
     use gpsched_ddg::DdgBuilder;
     use gpsched_machine::OpClass;
@@ -374,7 +418,16 @@ mod tests {
         let mut assign = vec![0, 1, 0];
         let before = estimate(&ddg, &m, 1, &Partition::new(assign.clone(), 2));
         assert_eq!(before.comm_count, 2);
-        let cost = cut_pass(&ddg, &m, 1, &level, &mut assign, &RefineOptions::default());
+        let mut ev = CostEvaluator::new(&ddg, &m);
+        let cost = cut_pass(
+            &ddg,
+            &m,
+            1,
+            &level,
+            &mut assign,
+            &RefineOptions::default(),
+            &mut ev,
+        );
         assert!(cost.better_than(&before));
         assert_eq!(cost.comm_count, 1);
         assert_eq!(cost.ii_effective, 1);
@@ -390,7 +443,16 @@ mod tests {
             // Arbitrary striped starting assignment.
             let mut assign: Vec<usize> = (0..level.node_count()).map(|i| i % 2).collect();
             let before = estimate(&ddg, &m, 1, &Partition::new(expand(&level, &assign), 2));
-            let after = refine_level(&ddg, &m, 1, &level, &mut assign, &RefineOptions::default());
+            let mut ev = CostEvaluator::new(&ddg, &m);
+            let after = refine_level(
+                &ddg,
+                &m,
+                1,
+                &level,
+                &mut assign,
+                &RefineOptions::default(),
+                &mut ev,
+            );
             assert!(
                 !before.better_than(&after),
                 "{}: refinement worsened cost",
@@ -418,7 +480,16 @@ mod tests {
         let mut assign = vec![0, 1, 1, 1, 1, 1];
         // II=2 → mem capacity per cluster is 4; c1 already holds 4 loads.
         let before = estimate(&ddg, &m, 2, &Partition::new(expand(&level, &assign), 2));
-        let after = cut_pass(&ddg, &m, 2, &level, &mut assign, &RefineOptions::default());
+        let mut ev = CostEvaluator::new(&ddg, &m);
+        let after = cut_pass(
+            &ddg,
+            &m,
+            2,
+            &level,
+            &mut assign,
+            &RefineOptions::default(),
+            &mut ev,
+        );
         assert!(!before.better_than(&after));
     }
 }

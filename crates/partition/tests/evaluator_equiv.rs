@@ -1,0 +1,136 @@
+//! Seeded property test: the incremental [`CostEvaluator`] is bit-identical
+//! to the from-scratch `estimate()` across random move/swap/revert
+//! sequences on synthetic DDGs.
+//!
+//! This is the behavioral contract the refinement hot path relies on: any
+//! divergence between the delta-maintained cut state and a full recount
+//! would silently change which moves refinement picks.
+
+use gpsched_ddg::mii;
+use gpsched_machine::MachineConfig;
+use gpsched_partition::{estimate, CostEvaluator, Partition};
+use gpsched_workloads::rng::Prng;
+use gpsched_workloads::synth::{synthesize, SynthProfile};
+
+fn check_sequence(seed: u64, machine: &MachineConfig) {
+    let profile = SynthProfile {
+        ops: 18 + (seed as usize % 4) * 7,
+        recurrences: 1 + (seed as usize % 3),
+        ..SynthProfile::default()
+    };
+    let ddg = synthesize(format!("equiv-{seed}"), &profile, seed);
+    let nclusters = machine.cluster_count();
+    let mut rng = Prng::seed_from_u64(
+        seed.wrapping_mul(0x9e37_79b9)
+            .wrapping_add(nclusters as u64),
+    );
+    let ii_input = mii::mii(&ddg, machine);
+
+    let mut assign: Vec<usize> = (0..ddg.op_count())
+        .map(|_| rng.gen_range(0..nclusters))
+        .collect();
+    let mut ev = CostEvaluator::new(&ddg, machine);
+    ev.reset(ii_input, &assign);
+    // Inverse moves of everything applied so far, newest last.
+    let mut undo: Vec<(usize, usize)> = Vec::new();
+
+    for step in 0..50 {
+        match rng.gen_range(0u32..4) {
+            // Single move.
+            0 | 1 => {
+                let op = rng.gen_range(0..ddg.op_count());
+                let c = rng.gen_range(0..nclusters);
+                undo.push((op, assign[op]));
+                ev.apply(op, c);
+                assign[op] = c;
+            }
+            // Pair swap.
+            2 => {
+                let a = rng.gen_range(0..ddg.op_count());
+                let b = rng.gen_range(0..ddg.op_count());
+                let (ca, cb) = (assign[a], assign[b]);
+                undo.push((a, ca));
+                undo.push((b, cb));
+                ev.apply(a, cb);
+                ev.apply(b, ca);
+                assign[a] = cb;
+                assign[b] = ca;
+            }
+            // Revert the most recent change.
+            _ => {
+                if let Some((op, old)) = undo.pop() {
+                    ev.apply(op, old);
+                    assign[op] = old;
+                }
+            }
+        }
+        let incremental = ev.cost();
+        let scratch = estimate(
+            &ddg,
+            machine,
+            ii_input,
+            &Partition::new(assign.clone(), nclusters),
+        );
+        assert_eq!(
+            incremental, scratch,
+            "seed {seed}, {} clusters, step {step}: evaluator diverged on {assign:?}",
+            nclusters
+        );
+        assert_eq!(ev.assignment(), assign.as_slice());
+    }
+}
+
+#[test]
+fn evaluator_matches_estimate_two_cluster() {
+    for seed in 0..10 {
+        check_sequence(seed, &MachineConfig::two_cluster(32, 1, 1));
+    }
+}
+
+#[test]
+fn evaluator_matches_estimate_four_cluster() {
+    for seed in 0..10 {
+        check_sequence(seed, &MachineConfig::four_cluster(64, 1, 2));
+    }
+}
+
+#[test]
+fn evaluator_matches_estimate_wide_bus() {
+    // Different bus latency/width exercises the `extra[]` maintenance.
+    for seed in 10..16 {
+        check_sequence(seed, &MachineConfig::two_cluster(32, 2, 3));
+    }
+}
+
+#[test]
+fn evaluator_screen_never_lies() {
+    // `cost_if_better` may skip the timing analysis; whenever it returns
+    // None the full cost must indeed not beat the reference, and whenever
+    // it returns a cost it must equal the full recomputation.
+    let machine = MachineConfig::two_cluster(32, 1, 1);
+    for seed in 0..6u64 {
+        let ddg = synthesize(format!("screen-{seed}"), &SynthProfile::default(), seed);
+        let mut rng = Prng::seed_from_u64(seed + 77);
+        let ii_input = mii::mii(&ddg, &machine);
+        let mut assign: Vec<usize> = (0..ddg.op_count())
+            .map(|_| rng.gen_range(0usize..2))
+            .collect();
+        let mut ev = CostEvaluator::new(&ddg, &machine);
+        ev.reset(ii_input, &assign);
+        let reference = ev.cost();
+        for _ in 0..30 {
+            let op = rng.gen_range(0..ddg.op_count());
+            let c = rng.gen_range(0usize..2);
+            ev.apply(op, c);
+            assign[op] = c;
+            let full = estimate(&ddg, &machine, ii_input, &Partition::new(assign.clone(), 2));
+            match ev.cost_if_better(&reference) {
+                Some(cost) => {
+                    assert_eq!(cost, full);
+                    assert!(cost.better_than(&reference));
+                }
+                None => assert!(!full.better_than(&reference)),
+            }
+        }
+    }
+}

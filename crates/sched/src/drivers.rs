@@ -15,12 +15,15 @@
 
 use crate::error::SchedError;
 use crate::merit::Merit;
-use crate::order::sms_order;
+use crate::order::sms_order_from;
 use crate::schedule::Schedule;
 use crate::state::{PartialSchedule, Placement};
-use gpsched_ddg::{mii, timing, Ddg, OpId};
+use gpsched_ddg::timing::TimingWorkspace;
+use gpsched_ddg::{mii, Ddg, OpId};
 use gpsched_machine::MachineConfig;
-use gpsched_partition::{partition_ddg, Partition, PartitionOptions, PartitionResult};
+use gpsched_partition::{
+    partition_ddg, partition_ddg_with, CostEvaluator, Partition, PartitionOptions, PartitionResult,
+};
 
 /// Engine tuning knobs shared by the drivers.
 #[derive(Clone, Copy, Debug)]
@@ -201,11 +204,13 @@ fn attempt<'a>(
     ii: i64,
     policy: &Policy<'_>,
     cfg: &DriverConfig,
+    ws: &mut TimingWorkspace,
 ) -> Option<PartialSchedule<'a>> {
-    attempt_with(ddg, machine, ii, policy, cfg, ScanMode::Tight)
-        .or_else(|| attempt_with(ddg, machine, ii, policy, cfg, ScanMode::AsapFirst))
+    attempt_with(ddg, machine, ii, policy, cfg, ScanMode::Tight, ws)
+        .or_else(|| attempt_with(ddg, machine, ii, policy, cfg, ScanMode::AsapFirst, ws))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn attempt_with<'a>(
     ddg: &'a Ddg,
     machine: &'a MachineConfig,
@@ -213,9 +218,13 @@ fn attempt_with<'a>(
     policy: &Policy<'_>,
     cfg: &DriverConfig,
     mode: ScanMode,
+    ws: &mut TimingWorkspace,
 ) -> Option<PartialSchedule<'a>> {
-    let t = timing::analyze(ddg, ii, |_| 0)?;
-    let order = sms_order(ddg, ii);
+    // One workspace-backed analysis per attempt: an infeasible II yields
+    // None here, and the same result feeds both the SMS ordering and the
+    // placement windows.
+    let t = ws.analyze(ddg, ii, |_| 0)?;
+    let order = sms_order_from(ddg, t);
     let mut ps = PartialSchedule::new(ddg, machine, ii);
     let nclusters = machine.cluster_count();
 
@@ -311,10 +320,11 @@ pub fn uracam_from(
     start: i64,
 ) -> Result<Schedule, SchedError> {
     let cap = cap_for(start, cfg);
+    let mut ws = TimingWorkspace::new();
     let mut ii = start;
     let mut failures = 0usize;
     while ii <= cap {
-        if let Some(ps) = attempt(ddg, machine, ii, &Policy::All, cfg) {
+        if let Some(ps) = attempt(ddg, machine, ii, &Policy::All, cfg, &mut ws) {
             return Ok(Schedule::from_partial(ddg, machine, &ps));
         }
         ii += ii_step(failures);
@@ -365,10 +375,18 @@ pub fn fixed_partition_from(
     part: PartitionResult,
 ) -> Result<PartitionedOutcome, SchedError> {
     let cap = cap_for(start, cfg);
+    let mut ws = TimingWorkspace::new();
     let mut ii = start;
     let mut failures = 0usize;
     while ii <= cap {
-        if let Some(ps) = attempt(ddg, machine, ii, &Policy::Fixed(&part.partition), cfg) {
+        if let Some(ps) = attempt(
+            ddg,
+            machine,
+            ii,
+            &Policy::Fixed(&part.partition),
+            cfg,
+            &mut ws,
+        ) {
             return Ok(PartitionedOutcome {
                 schedule: Schedule::from_partial(ddg, machine, &ps),
                 partition: part,
@@ -417,12 +435,24 @@ pub fn gp_from(
     initial: PartitionResult,
 ) -> Result<PartitionedOutcome, SchedError> {
     let cap = cap_for(start, cfg);
+    let mut ws = TimingWorkspace::new();
+    // One incremental evaluator serves every re-partitioning call of this
+    // loop: the cut-state buffers and timing workspace persist across the
+    // II-raising retries instead of being rebuilt per call.
+    let mut ev: Option<CostEvaluator<'_>> = None;
     let mut part = initial;
     let mut repartitions = 0usize;
     let mut ii = start;
     let mut failures = 0usize;
     while ii <= cap {
-        if let Some(ps) = attempt(ddg, machine, ii, &Policy::Prefer(&part.partition), cfg) {
+        if let Some(ps) = attempt(
+            ddg,
+            machine,
+            ii,
+            &Policy::Prefer(&part.partition),
+            cfg,
+            &mut ws,
+        ) {
             return Ok(PartitionedOutcome {
                 schedule: Schedule::from_partial(ddg, machine, &ps),
                 partition: part,
@@ -432,7 +462,8 @@ pub fn gp_from(
         ii += ii_step(failures);
         failures += 1;
         if part.cost.ii_bus > ii {
-            part = partition_ddg(ddg, machine, ii, popts);
+            let ev = ev.get_or_insert_with(|| CostEvaluator::new(ddg, machine));
+            part = partition_ddg_with(ddg, machine, ii, popts, ev);
             repartitions += 1;
         }
     }

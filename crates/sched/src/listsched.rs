@@ -295,15 +295,26 @@ mod tests {
                         m.short_name()
                     );
                 }
-                // FU capacity per cycle.
-                let mut counts = std::collections::HashMap::new();
+                // FU capacity per cycle: a fixed [u32; 3] per (cluster,
+                // cycle) slot indexed by ResourceKind.
+                let horizon = 1 + ddg
+                    .op_ids()
+                    .map(|op| s.placements()[op.index()].time)
+                    .max()
+                    .unwrap_or(0) as usize;
+                let mut counts: Vec<Vec<[u32; 3]>> =
+                    vec![vec![[0u32; 3]; horizon]; m.cluster_count()];
                 for op in ddg.op_ids() {
                     let p = s.placements()[op.index()];
                     let k = ddg.op(op).class.resource();
-                    *counts.entry((p.cluster, k, p.time)).or_insert(0u32) += 1;
+                    counts[p.cluster][p.time as usize][k.index()] += 1;
                 }
-                for ((c, k, _), n) in counts {
-                    assert!(n <= m.cluster(c).units(k));
+                for (c, per_cycle) in counts.iter().enumerate() {
+                    for slot in per_cycle {
+                        for k in ResourceKind::ALL {
+                            assert!(slot[k.index()] <= m.cluster(c).units(k));
+                        }
+                    }
                 }
             }
         }

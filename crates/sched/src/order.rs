@@ -10,10 +10,10 @@
 //!    node with the greatest height (top-down) or depth (bottom-up), with
 //!    mobility and id as tie-breakers.
 
-use gpsched_ddg::{timing, Ddg, OpId};
+use gpsched_ddg::timing::{Timing, TimingWorkspace};
+use gpsched_ddg::{Ddg, OpId};
 use gpsched_graph::scc::tarjan_scc;
-use gpsched_graph::NodeId;
-use std::collections::HashSet;
+use gpsched_graph::{NodeBitSet, NodeId};
 
 /// Computes the SMS scheduling order of all ops in `ddg` for interval `ii`
 /// (used for the ASAP/ALAP-derived priorities; any `ii ≥ RecMII` gives a
@@ -23,13 +23,33 @@ use std::collections::HashSet;
 ///
 /// Panics if `ii` is below the DDG's recurrence MII.
 pub fn sms_order(ddg: &Ddg, ii: i64) -> Vec<OpId> {
+    sms_order_with(ddg, ii, &mut TimingWorkspace::new())
+}
+
+/// [`sms_order`] with a caller-supplied timing workspace, so the scheduling
+/// drivers' II-raising retry loops reuse the analysis buffers.
+///
+/// # Panics
+///
+/// Panics if `ii` is below the DDG's recurrence MII.
+pub fn sms_order_with(ddg: &Ddg, ii: i64, ws: &mut TimingWorkspace) -> Vec<OpId> {
+    if ddg.op_count() == 0 {
+        return Vec::new();
+    }
+    let t = ws.analyze(ddg, ii, |_| 0).expect("ii must be >= RecMII");
+    sms_order_from(ddg, t)
+}
+
+/// The ordering itself, from an already-computed timing analysis of `ddg`
+/// (the drivers analyze once per attempt and share the result between the
+/// ordering and the placement windows).
+pub fn sms_order_from(ddg: &Ddg, t: &Timing) -> Vec<OpId> {
     let n = ddg.op_count();
     if n == 0 {
         return Vec::new();
     }
-    let t = timing::analyze(ddg, ii, |_| 0).expect("ii must be >= RecMII");
     // depth = earliest start (longest path in), height = longest path out.
-    let depth: Vec<i64> = t.asap.clone();
+    let depth: &[i64] = &t.asap;
     let span = t.asap.iter().copied().max().unwrap_or(0);
     let height: Vec<i64> = t.alap.iter().map(|&a| span - a).collect();
     let mobility: Vec<i64> = (0..n).map(|v| t.alap[v] - t.asap[v]).collect();
@@ -60,53 +80,71 @@ pub fn sms_order(ddg: &Ddg, ii: i64) -> Vec<OpId> {
     // nodes lying on paths between it and the previously processed sets,
     // so every sweep stays connected to what is already ordered. Nodes of
     // later recurrences are excluded (they arrive with their own set).
-    let reach = |starts: &HashSet<usize>, forward: bool| -> HashSet<usize> {
-        let mut seen: HashSet<usize> = starts.clone();
-        let mut stack: Vec<usize> = starts.iter().copied().collect();
+    // All membership sets are flat bitsets over the dense op indices —
+    // the `HashSet`s this replaced dominated the ordering cost.
+    let mut stack: Vec<usize> = Vec::new();
+    let mut reach = |starts: &NodeBitSet, forward: bool, seen: &mut NodeBitSet| {
+        seen.copy_from(starts);
+        stack.clear();
+        stack.extend(starts.iter());
         while let Some(v) = stack.pop() {
             let id = NodeId::from_index(v);
-            let next: Vec<usize> = if forward {
-                ddg.graph().successors(id).map(|s| s.index()).collect()
+            if forward {
+                for s in ddg.graph().successors(id) {
+                    if seen.insert(s.index()) {
+                        stack.push(s.index());
+                    }
+                }
             } else {
-                ddg.graph().predecessors(id).map(|p| p.index()).collect()
-            };
-            for w in next {
-                if seen.insert(w) {
-                    stack.push(w);
+                for p in ddg.graph().predecessors(id) {
+                    if seen.insert(p.index()) {
+                        stack.push(p.index());
+                    }
                 }
             }
         }
-        seen
     };
     let mut sets: Vec<Vec<usize>> = Vec::new();
-    let mut processed: HashSet<usize> = HashSet::new();
+    let mut processed = NodeBitSet::new(n);
+    let mut core_set = NodeBitSet::new(n);
+    let mut members = NodeBitSet::new(n);
+    let mut later_cores = NodeBitSet::new(n);
+    let mut desc_p = NodeBitSet::new(n);
+    let mut anc_p = NodeBitSet::new(n);
+    let mut desc_r = NodeBitSet::new(n);
+    let mut anc_r = NodeBitSet::new(n);
     for (i, (_, core)) in rec_sets.iter().enumerate() {
-        let core_set: HashSet<usize> = core.iter().copied().collect();
-        let mut members = core_set.clone();
+        core_set.clear();
+        for &v in core {
+            core_set.insert(v);
+        }
+        members.copy_from(&core_set);
         if !processed.is_empty() {
-            let later_cores: HashSet<usize> = rec_sets[i + 1..]
-                .iter()
-                .flat_map(|(_, s)| s.iter().copied())
-                .collect();
-            let desc_p = reach(&processed, true);
-            let anc_p = reach(&processed, false);
-            let desc_r = reach(&core_set, true);
-            let anc_r = reach(&core_set, false);
+            later_cores.clear();
+            for v in rec_sets[i + 1..].iter().flat_map(|(_, s)| s.iter()) {
+                later_cores.insert(*v);
+            }
+            reach(&processed, true, &mut desc_p);
+            reach(&processed, false, &mut anc_p);
+            reach(&core_set, true, &mut desc_r);
+            reach(&core_set, false, &mut anc_r);
             for v in 0..n {
-                let on_path = (desc_p.contains(&v) && anc_r.contains(&v))
-                    || (desc_r.contains(&v) && anc_p.contains(&v));
-                if on_path && !processed.contains(&v) && !later_cores.contains(&v) {
+                let on_path = (desc_p.contains(v) && anc_r.contains(v))
+                    || (desc_r.contains(v) && anc_p.contains(v));
+                if on_path && !processed.contains(v) && !later_cores.contains(v) {
                     members.insert(v);
                 }
             }
         }
-        let mut list: Vec<usize> = members.difference(&processed).copied().collect();
-        list.sort_unstable();
-        processed.extend(list.iter().copied());
+        // Ascending by construction (bitset iteration order).
+        let list: Vec<usize> = members.iter().filter(|&v| !processed.contains(v)).collect();
+        for &v in &list {
+            processed.insert(v);
+        }
         sets.push(list);
     }
     let rest: Vec<usize> = (0..n)
-        .filter(|v| !processed.contains(v) && !in_recurrence[*v])
+        .filter(|&v| !processed.contains(v) && !in_recurrence[v])
         .collect();
     if !rest.is_empty() {
         sets.push(rest);
@@ -129,8 +167,12 @@ pub fn sms_order(ddg: &Ddg, ii: i64) -> Vec<OpId> {
     let mut order: Vec<usize> = Vec::with_capacity(n);
     let mut placed = vec![false; n];
 
+    let mut sset = NodeBitSet::new(n);
     for set in sets {
-        let sset: HashSet<usize> = set.iter().copied().collect();
+        sset.clear();
+        for &v in &set {
+            sset.insert(v);
+        }
         // Work list seeding: prefer connecting to already-ordered nodes.
         let pred_connected: Vec<usize> = set
             .iter()
@@ -151,7 +193,7 @@ pub fn sms_order(ddg: &Ddg, ii: i64) -> Vec<OpId> {
             let sources: Vec<usize> = set
                 .iter()
                 .copied()
-                .filter(|&v| !placed[v] && preds(v).iter().all(|&p| !sset.contains(&p)))
+                .filter(|&v| !placed[v] && preds(v).iter().all(|&p| !sset.contains(p)))
                 .collect();
             if sources.is_empty() {
                 (set.iter().copied().filter(|&v| !placed[v]).collect(), false)
@@ -200,7 +242,7 @@ pub fn sms_order(ddg: &Ddg, ii: i64) -> Vec<OpId> {
                 order.push(pick);
                 let next = if bottom_up { preds(pick) } else { succs(pick) };
                 for v in next {
-                    if !placed[v] && sset.contains(&v) && !work.contains(&v) {
+                    if !placed[v] && sset.contains(v) && !work.contains(&v) {
                         work.push(v);
                     }
                 }
@@ -235,15 +277,15 @@ pub fn sms_order(ddg: &Ddg, ii: i64) -> Vec<OpId> {
 
 /// RecMII of one strongly connected component (restricted subgraph).
 fn recurrence_mii(ddg: &Ddg, comp: &[OpId]) -> i64 {
-    let members: HashSet<usize> = comp.iter().map(|c| c.index()).collect();
-    let mut local: Vec<usize> = members.iter().copied().collect();
+    let mut local: Vec<usize> = comp.iter().map(|c| c.index()).collect();
     local.sort_unstable();
+    let is_member = |v: usize| local.binary_search(&v).is_ok();
     let index_of = |v: usize| local.binary_search(&v).expect("member");
     let deps: Vec<(usize, usize, i64, i64)> = ddg
         .dep_ids()
         .filter_map(|e| {
             let (s, d) = ddg.dep_endpoints(e);
-            if members.contains(&s.index()) && members.contains(&d.index()) {
+            if is_member(s.index()) && is_member(d.index()) {
                 let dep = ddg.dep(e);
                 Some((
                     index_of(s.index()),
