@@ -70,7 +70,9 @@ pub use gpsched_ddg::{Ddg, DdgBuilder, DdgError};
 pub use gpsched_engine::{run_sweep, JobSpec, RunRecord, SweepOptions, SweepResult};
 pub use gpsched_machine::{LatencyModel, MachineConfig, OpClass, ResourceKind};
 pub use gpsched_partition::{partition_ddg, CostEvaluator, Partition, PartitionOptions};
-pub use gpsched_sched::{schedule_loop, Algorithm, LoopResult, SchedError, Schedule};
+pub use gpsched_sched::{
+    schedule_loop, schedule_loop_spec, Algorithm, AlgorithmSpec, LoopResult, SchedError, Schedule,
+};
 pub use gpsched_sim::{simulate, SimError, SimReport};
 
 /// Everything needed for typical use, in one import.
@@ -79,7 +81,9 @@ pub mod prelude {
     pub use gpsched_engine::{run_sweep, JobSpec, SweepOptions};
     pub use gpsched_machine::{table1_configs, MachineConfig, OpClass};
     pub use gpsched_partition::{partition_ddg, CostEvaluator, Partition, PartitionOptions};
-    pub use gpsched_sched::{schedule_loop, Algorithm, LoopResult, Schedule};
+    pub use gpsched_sched::{
+        schedule_loop, schedule_loop_spec, Algorithm, AlgorithmSpec, LoopResult, Schedule,
+    };
     pub use gpsched_sim::simulate;
     pub use gpsched_workloads::{kernels, spec_suite, synth, SynthProfile};
 }

@@ -2,25 +2,28 @@
 //! measurements from the command line.
 //!
 //! ```text
-//! gpsched-engine sweep   [--spec] [--kernels] [--corpus FILE]
-//!                        [--machines table1|clustered|NAMES]
-//!                        [--algos all|modulo|NAMES]
-//!                        [--workers N] [--no-cache] [--out FILE] [--quiet]
-//! gpsched-engine export  [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
-//!                        [--out FILE]
-//! gpsched-engine speedup [--workers-list 1,2,4] [sweep selection flags]
+//! gpsched-engine sweep    [--spec] [--kernels] [--corpus FILE]
+//!                         [--machines table1|clustered|NAMES|FILE.machine]
+//!                         [--algos all|modulo|extended|SPECS]
+//!                         [--workers N] [--no-cache] [--out FILE] [--quiet]
+//! gpsched-engine export   [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
+//!                         [--out FILE]
+//! gpsched-engine machines [--machines table1|clustered|NAMES] [--out FILE]
+//! gpsched-engine speedup  [--workers-list 1,2,4] [sweep selection flags]
 //! ```
 //!
 //! `sweep` with no source flag defaults to the full SPECfp95 suite on all
 //! Table 1 machines with all four algorithms — the paper's entire
-//! evaluation in one invocation.
+//! evaluation in one invocation. `--algos` accepts any algorithm spec
+//! (`gp:norepart`, `uracam:greedy-merit`, …), so variants sweep exactly
+//! like the paper's algorithms.
 
 use gpsched_engine::{
-    aggregate_by_group, machine_from_short_name, parse_corpus, run_sweep, serialize_corpus,
-    JobSpec, SweepOptions,
+    aggregate_by_group, machine_from_short_name, parse_corpus, parse_machine_corpus, run_sweep,
+    serialize_corpus, serialize_machine_corpus, JobSpec, SweepOptions,
 };
 use gpsched_machine::{table1_configs, MachineConfig};
-use gpsched_sched::Algorithm;
+use gpsched_sched::{Algorithm, AlgorithmSpec};
 use gpsched_workloads::{kernels, spec_suite, synth, SynthProfile};
 use std::io::Write;
 use std::process::exit;
@@ -30,6 +33,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
+        Some("machines") => cmd_machines(&args[1..]),
         Some("speedup") => cmd_speedup(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprint!("{USAGE}");
@@ -45,17 +49,22 @@ const USAGE: &str = "\
 gpsched-engine — parallel batch-scheduling engine
 
 USAGE:
-  gpsched-engine sweep   [--spec] [--kernels] [--corpus FILE]
-                         [--machines table1|clustered|NAME,NAME,…]
-                         [--algos all|modulo|NAME,NAME,…]
-                         [--workers N] [--no-cache] [--out FILE] [--quiet]
-  gpsched-engine export  [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
-                         [--out FILE]
-  gpsched-engine speedup [--workers-list 1,2,4] [sweep selection flags]
+  gpsched-engine sweep    [--spec] [--kernels] [--corpus FILE]
+                          [--machines table1|clustered|NAME,NAME,…|FILE.machine]
+                          [--algos all|modulo|extended|SPEC,SPEC,…]
+                          [--workers N] [--no-cache] [--out FILE] [--quiet]
+  gpsched-engine export   [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
+                          [--out FILE]
+  gpsched-engine machines [--machines table1|clustered|NAME,NAME,…] [--out FILE]
+  gpsched-engine speedup  [--workers-list 1,2,4] [sweep selection flags]
 
 With no source flags, `sweep` runs the full SPECfp95 suite across all
 Table 1 machines with all four algorithms (URACAM, Fixed, GP, List).
-Machine names use the short form from reports: u-r32, c2r32b1l1, ….
+Machine names use the short form from reports (u-r32, c2r32b1l1, …);
+`--machines` also accepts a `.machine` interchange file (see `machines`
+to export one). Algorithm specs compose policy modifiers onto a base:
+gp, gp:norepart, uracam:greedy-merit, gp:linear-ii, gp:nospill, …;
+`extended` selects the paper's four plus every bundled variant.
 ";
 
 fn fail(msg: &str) -> ! {
@@ -112,6 +121,36 @@ fn parse_machines(spec: &str) -> Vec<MachineConfig> {
             .map(|(_, m)| m)
             .filter(|m| !m.is_unified())
             .collect(),
+        // A `.machine` interchange file: every machine in the corpus.
+        path if path.ends_with(".machine") => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let machines =
+                parse_machine_corpus(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            if machines.is_empty() {
+                fail(&format!("{path}: corpus holds no machines"));
+            }
+            // Records label machines by their shape-derived short name,
+            // so two *different* machines sharing one short name (same
+            // totals, different unit mixes) would silently merge in every
+            // report. Refuse the ambiguity up front.
+            let mut seen: std::collections::BTreeMap<String, (String, &MachineConfig)> =
+                std::collections::BTreeMap::new();
+            for (name, m) in &machines {
+                let short = m.short_name();
+                if let Some((prev_name, prev_m)) = seen.get(&short) {
+                    if *prev_m != m {
+                        fail(&format!(
+                            "{path}: machines `{prev_name}` and `{name}` are different \
+                             configurations but share the short name `{short}`; sweep records \
+                             could not tell them apart"
+                        ));
+                    }
+                }
+                seen.insert(short, (name.clone(), m));
+            }
+            machines.into_iter().map(|(_, m)| m).collect()
+        }
         list => list
             .split(',')
             .map(|name| {
@@ -122,16 +161,14 @@ fn parse_machines(spec: &str) -> Vec<MachineConfig> {
     }
 }
 
-fn parse_algos(spec: &str) -> Vec<Algorithm> {
+fn parse_algos(spec: &str) -> Vec<AlgorithmSpec> {
     match spec {
-        "all" => Algorithm::ALL.to_vec(),
-        "modulo" => Algorithm::MODULO.to_vec(),
+        "all" => Algorithm::ALL.iter().map(|&a| a.into()).collect(),
+        "modulo" => Algorithm::MODULO.iter().map(|&a| a.into()).collect(),
+        "extended" => AlgorithmSpec::CATALOG.to_vec(),
         list => list
             .split(',')
-            .map(|name| {
-                Algorithm::parse(name.trim())
-                    .unwrap_or_else(|| fail(&format!("unknown algorithm `{name}`")))
-            })
+            .map(|name| AlgorithmSpec::parse(name.trim()).unwrap_or_else(|e| fail(&e.to_string())))
             .collect(),
     }
 }
@@ -219,36 +256,62 @@ fn cmd_sweep(args: &[String]) {
     }
 
     if !has_flag(args, "--quiet") {
-        println!(
-            "{:<10} {:<12} {:>8} {:>8} {:>8} {:>8}",
-            "group", "machine", "URACAM", "Fixed", "GP", "List"
-        );
+        // One column per algorithm spec of the job, in job order — so
+        // variant sweeps (gp vs gp:norepart, …) land in the table exactly
+        // like the paper's algorithms.
+        let mut columns: Vec<String> = Vec::new();
+        for a in &job.algorithms {
+            let name = a.name();
+            if !columns.contains(&name) {
+                columns.push(name);
+            }
+        }
+        let width = columns.iter().map(|c| c.len().max(8)).collect::<Vec<_>>();
+        print!("{:<10} {:<12}", "group", "machine");
+        for (c, w) in columns.iter().zip(&width) {
+            print!(" {c:>w$}");
+        }
+        println!();
         let agg = aggregate_by_group(&result.records);
-        let mut by_gm: std::collections::BTreeMap<(String, String), [Option<f64>; 4]> =
+        let mut by_gm: std::collections::BTreeMap<(String, String), Vec<Option<f64>>> =
             std::collections::BTreeMap::new();
         for a in &agg {
-            let slot = match a.algorithm.as_str() {
-                "URACAM" => 0,
-                "Fixed" => 1,
-                "GP" => 2,
-                _ => 3,
+            let Some(slot) = columns.iter().position(|c| *c == a.algorithm) else {
+                continue;
             };
             by_gm
                 .entry((a.group.clone(), a.machine.clone()))
-                .or_default()[slot] = Some(a.ipc);
+                .or_insert_with(|| vec![None; columns.len()])[slot] = Some(a.ipc);
         }
-        let cell = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));
         for ((g, m), row) in by_gm {
-            println!(
-                "{g:<10} {m:<12} {:>8} {:>8} {:>8} {:>8}",
-                cell(row[0]),
-                cell(row[1]),
-                cell(row[2]),
-                cell(row[3])
-            );
+            print!("{g:<10} {m:<12}");
+            for (v, w) in row.iter().zip(&width) {
+                match v {
+                    Some(x) => print!(" {x:>w$.3}"),
+                    None => print!(" {:>w$}", "-"),
+                }
+            }
+            println!();
         }
     }
     eprintln!("{}", result.stats.summary());
+}
+
+const MACHINES_FLAGS: &[&str] = &["--machines", "--out"];
+
+/// Exports machine configurations to the `.machine` interchange format.
+fn cmd_machines(args: &[String]) {
+    check_flags(args, MACHINES_FLAGS);
+    let machines = parse_machines(opt_value(args, "--machines").unwrap_or("table1"));
+    let text = serialize_machine_corpus(machines.iter());
+    match opt_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {} machines to {path}", machines.len());
+        }
+        None => print!("{text}"),
+    }
 }
 
 const EXPORT_FLAGS: &[&str] = &["--spec", "--kernels", "--synth", "--seed", "--ops", "--out"];

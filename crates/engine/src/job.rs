@@ -3,7 +3,7 @@
 use gpsched_ddg::Ddg;
 use gpsched_machine::{table1_configs, MachineConfig};
 use gpsched_partition::PartitionOptions;
-use gpsched_sched::{drivers::DriverConfig, Algorithm};
+use gpsched_sched::{drivers::DriverConfig, Algorithm, AlgorithmSpec};
 use gpsched_workloads::Program;
 
 /// One loop in a job, tagged with the group (program / corpus) it belongs
@@ -30,8 +30,9 @@ pub struct JobSpec {
     pub loops: Vec<LoopSpec>,
     /// Machines to schedule on.
     pub machines: Vec<MachineConfig>,
-    /// Algorithms to schedule with.
-    pub algorithms: Vec<Algorithm>,
+    /// Algorithm specs to schedule with. Any [`AlgorithmSpec`] variant is
+    /// sweepable; legacy [`Algorithm`] values convert via `Into`.
+    pub algorithms: Vec<AlgorithmSpec>,
     /// Partitioner options shared by every unit.
     pub popts: PartitionOptions,
     /// Driver options shared by every unit.
@@ -90,15 +91,19 @@ impl JobSpec {
         self
     }
 
-    /// Adds an algorithm (builder-style).
-    pub fn algorithm(mut self, a: Algorithm) -> Self {
-        self.algorithms.push(a);
+    /// Adds an algorithm spec (builder-style). Accepts both
+    /// [`AlgorithmSpec`] values and legacy [`Algorithm`] names.
+    pub fn algorithm(mut self, a: impl Into<AlgorithmSpec>) -> Self {
+        self.algorithms.push(a.into());
         self
     }
 
-    /// Adds several algorithms.
-    pub fn algorithms(mut self, algos: impl IntoIterator<Item = Algorithm>) -> Self {
-        self.algorithms.extend(algos);
+    /// Adds several algorithm specs.
+    pub fn algorithms<A: Into<AlgorithmSpec>>(
+        mut self,
+        algos: impl IntoIterator<Item = A>,
+    ) -> Self {
+        self.algorithms.extend(algos.into_iter().map(Into::into));
         self
     }
 

@@ -15,7 +15,15 @@
 //!   fallback rate, throughput);
 //! * [`text`] — the `.ddg` textual interchange format, so external loop
 //!   corpora can be ingested and the bundled suites exported
-//!   (round-trip tested).
+//!   (round-trip tested);
+//! * [`machine_text`] — the paired `.machine` interchange format for
+//!   machine configurations, so custom machines sweep from text files
+//!   too.
+//!
+//! The algorithm axis is open: [`JobSpec::algorithms`] holds
+//! [`AlgorithmSpec`](gpsched_sched::AlgorithmSpec) values, so variants
+//! like `gp:norepart` or `uracam:greedy-merit` sweep exactly like the
+//! paper's four algorithms (`--algos gp,gp:norepart,…` on the CLI).
 //!
 //! The `gpsched-engine` binary wraps all of it in a CLI:
 //!
@@ -48,12 +56,18 @@
 
 pub mod cache;
 pub mod job;
+pub mod machine_text;
 pub mod record;
 pub mod sweep;
 pub mod text;
+mod textutil;
 
 pub use cache::{ddg_content_hash, machine_key, SweepCache};
 pub use job::{machine_from_short_name, JobSpec, LoopSpec};
+pub use machine_text::{
+    parse_machine, parse_machine_corpus, serialize_machine, serialize_machine_corpus,
+    MachineTextError,
+};
 pub use record::{aggregate_by_group, GroupAggregate, RunRecord, SweepStats};
 pub use sweep::{run_sweep, SweepOptions, SweepResult};
 pub use text::{

@@ -1,0 +1,418 @@
+//! The `.machine` textual interchange format for machine configurations.
+//!
+//! Pairs with the `.ddg` loop format ([`crate::text`]) so a whole sweep —
+//! loops *and* machines — can live in version-controlled text files (the
+//! machine-config interchange format named in DESIGN.md §8). One file
+//! holds any number of machines:
+//!
+//! ```text
+//! # full-line comments and blank lines are ignored
+//! machine c2r32b1l1
+//! # cluster lines: int units, fp units, mem ports, registers
+//! cluster 2 2 2 16
+//! cluster 2 2 2 16
+//! # bus: count, per-transfer latency (optional; defaults to 1 1)
+//! bus 1 1
+//! # latency lines: op class, cycles (optional; defaults per DESIGN.md §4)
+//! latency load 2
+//! end
+//! ```
+//!
+//! The `machine` name is informational (reports derive short names from
+//! the shape); the serializer writes [`MachineConfig::short_name`].
+//! Parsing is strict and every error carries its 1-based line number,
+//! exactly like the `.ddg` parser. Validation mirrors the panics of
+//! [`MachineConfig::custom`] — multi-cluster machines need a bus with
+//! positive count and latency — but reports them as errors instead.
+
+use gpsched_machine::{ClusterConfig, LatencyModel, MachineConfig, OpClass};
+use std::error::Error;
+use std::fmt;
+
+/// An error reported while parsing `.machine` text, with the 1-based line
+/// number it was detected on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineTextError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for MachineTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for MachineTextError {}
+
+/// Serializes one machine as a `.machine` block (including the trailing
+/// `end`), named by its short name.
+pub fn serialize_machine(machine: &MachineConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("machine {}\n", machine.short_name()));
+    for c in machine.clusters() {
+        out.push_str(&format!(
+            "cluster {} {} {} {}\n",
+            c.int_units, c.fp_units, c.mem_units, c.registers
+        ));
+    }
+    out.push_str(&format!("bus {} {}\n", machine.buses, machine.bus_latency));
+    let l = &machine.latencies;
+    for (class, lat) in [
+        (OpClass::IntAlu, l.int_alu),
+        (OpClass::FpAdd, l.fp_add),
+        (OpClass::FpMul, l.fp_mul),
+        (OpClass::FpDiv, l.fp_div),
+        (OpClass::Load, l.load),
+        (OpClass::Store, l.store),
+    ] {
+        out.push_str(&format!("latency {class} {lat}\n"));
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Serializes a whole corpus: one block per machine, blank-line separated,
+/// with a header comment.
+pub fn serialize_machine_corpus<'a>(
+    machines: impl IntoIterator<Item = &'a MachineConfig>,
+) -> String {
+    let mut out = String::from("# gpsched .machine corpus\n");
+    for m in machines {
+        out.push('\n');
+        out.push_str(&serialize_machine(m));
+    }
+    out
+}
+
+use crate::textutil::token;
+
+fn parse_num<T: std::str::FromStr>(
+    field: &str,
+    what: &str,
+    line: usize,
+) -> Result<T, MachineTextError> {
+    crate::textutil::parse_num(field, what, line, |line, msg| MachineTextError {
+        line,
+        msg,
+    })
+}
+
+struct Block {
+    start_line: usize,
+    name: String,
+    clusters: Vec<ClusterConfig>,
+    bus: Option<(u32, u32)>,
+    latencies: LatencyModel,
+}
+
+/// Parses a `.machine` corpus: every `machine … end` block in `text`, in
+/// order, as `(name, config)` pairs.
+///
+/// An empty (or comment-only) file yields an empty vector.
+///
+/// # Errors
+///
+/// Returns the first [`MachineTextError`] encountered; parsing is strict —
+/// any unknown directive, malformed field or invalid shape (no clusters,
+/// multi-cluster machine without a usable bus) fails rather than being
+/// skipped.
+pub fn parse_machine_corpus(text: &str) -> Result<Vec<(String, MachineConfig)>, MachineTextError> {
+    let mut out = Vec::new();
+    let mut block: Option<Block> = None;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (word, rest) = token(line);
+        match word {
+            "machine" => {
+                if let Some(b) = &block {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: format!("`machine` inside unterminated block `{}`", b.name),
+                    });
+                }
+                if rest.is_empty() {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: "`machine` requires a name".to_string(),
+                    });
+                }
+                block = Some(Block {
+                    start_line: line_no,
+                    name: rest.to_string(),
+                    clusters: Vec::new(),
+                    bus: None,
+                    latencies: LatencyModel::default(),
+                });
+            }
+            "cluster" => {
+                let b = block.as_mut().ok_or_else(|| outside(line_no, "cluster"))?;
+                let (int_s, rest) = token(rest);
+                let (fp_s, rest) = token(rest);
+                let (mem_s, regs_s) = token(rest);
+                b.clusters.push(ClusterConfig {
+                    int_units: parse_num(int_s, "an integer-unit count", line_no)?,
+                    fp_units: parse_num(fp_s, "an fp-unit count", line_no)?,
+                    mem_units: parse_num(mem_s, "a memory-port count", line_no)?,
+                    registers: parse_num(regs_s.trim(), "a register count", line_no)?,
+                });
+            }
+            "bus" => {
+                let b = block.as_mut().ok_or_else(|| outside(line_no, "bus"))?;
+                if b.bus.is_some() {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: "duplicate `bus` line".to_string(),
+                    });
+                }
+                let (count_s, lat_s) = token(rest);
+                b.bus = Some((
+                    parse_num(count_s, "a bus count", line_no)?,
+                    parse_num(lat_s.trim(), "a bus latency", line_no)?,
+                ));
+            }
+            "latency" => {
+                let b = block.as_mut().ok_or_else(|| outside(line_no, "latency"))?;
+                let (class_s, lat_s) = token(rest);
+                let class = OpClass::parse(class_s).ok_or_else(|| MachineTextError {
+                    line: line_no,
+                    msg: format!(
+                        "unknown op class `{class_s}` (expected int|fadd|fmul|fdiv|load|store)"
+                    ),
+                })?;
+                let lat: u32 = parse_num(lat_s.trim(), "a latency", line_no)?;
+                let slot = match class {
+                    OpClass::IntAlu => &mut b.latencies.int_alu,
+                    OpClass::FpAdd => &mut b.latencies.fp_add,
+                    OpClass::FpMul => &mut b.latencies.fp_mul,
+                    OpClass::FpDiv => &mut b.latencies.fp_div,
+                    OpClass::Load => &mut b.latencies.load,
+                    OpClass::Store => &mut b.latencies.store,
+                };
+                *slot = lat;
+            }
+            "end" => {
+                let b = block.take().ok_or_else(|| outside(line_no, "end"))?;
+                out.push((b.name.clone(), finish(b, line_no)?));
+            }
+            other => {
+                return Err(MachineTextError {
+                    line: line_no,
+                    msg: format!("unknown directive `{other}`"),
+                });
+            }
+        }
+    }
+    if let Some(b) = block {
+        return Err(MachineTextError {
+            line: b.start_line,
+            msg: format!("machine `{}` is never closed with `end`", b.name),
+        });
+    }
+    Ok(out)
+}
+
+fn outside(line: usize, directive: &str) -> MachineTextError {
+    MachineTextError {
+        line,
+        msg: format!("`{directive}` outside a `machine … end` block"),
+    }
+}
+
+/// Validates a finished block and builds the configuration.
+fn finish(b: Block, end_line: usize) -> Result<MachineConfig, MachineTextError> {
+    let err = |msg: String| MachineTextError {
+        line: end_line,
+        msg,
+    };
+    if b.clusters.is_empty() {
+        return Err(err(format!("machine `{}` declares no clusters", b.name)));
+    }
+    let (buses, bus_latency) = b.bus.unwrap_or((1, 1));
+    if b.clusters.len() > 1 && buses == 0 {
+        return Err(err(format!(
+            "multi-cluster machine `{}` needs at least one bus",
+            b.name
+        )));
+    }
+    if b.clusters.len() > 1 && bus_latency == 0 {
+        return Err(err(format!(
+            "multi-cluster machine `{}` needs a positive bus latency",
+            b.name
+        )));
+    }
+    // Single-cluster machines tolerate a zero bus field like
+    // `MachineConfig::unified` does, but `custom` still wants non-zero
+    // placeholders there.
+    Ok(MachineConfig::custom(
+        b.clusters,
+        buses.max(1),
+        bus_latency.max(1),
+        b.latencies,
+    ))
+}
+
+/// Parses text expected to contain exactly one machine.
+///
+/// # Errors
+///
+/// [`MachineTextError`] (reported on the last line) when the file holds
+/// zero or more than one machine, or any error of
+/// [`parse_machine_corpus`].
+pub fn parse_machine(text: &str) -> Result<(String, MachineConfig), MachineTextError> {
+    let mut v = parse_machine_corpus(text)?;
+    if v.len() != 1 {
+        return Err(MachineTextError {
+            line: text.lines().count(),
+            msg: format!("expected exactly one machine, found {}", v.len()),
+        });
+    }
+    Ok(v.pop().expect("length checked"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_machine::table1_configs;
+
+    #[test]
+    fn table1_round_trips() {
+        for (_, m) in table1_configs() {
+            let text = serialize_machine(&m);
+            let (name, back) = parse_machine(&text).unwrap();
+            assert_eq!(name, m.short_name());
+            assert_eq!(back, m, "{text}");
+        }
+    }
+
+    #[test]
+    fn corpus_round_trips() {
+        let machines: Vec<MachineConfig> = table1_configs().into_iter().map(|(_, m)| m).collect();
+        let text = serialize_machine_corpus(machines.iter());
+        assert!(text.starts_with("# gpsched .machine corpus\n"));
+        let back = parse_machine_corpus(&text).unwrap();
+        assert_eq!(back.len(), machines.len());
+        for ((_, b), m) in back.iter().zip(&machines) {
+            assert_eq!(b, m);
+        }
+    }
+
+    #[test]
+    fn serializer_output_is_stable() {
+        let m = MachineConfig::two_cluster(32, 1, 2);
+        assert_eq!(
+            serialize_machine(&m),
+            "machine c2r32b1l2\n\
+             cluster 2 2 2 16\n\
+             cluster 2 2 2 16\n\
+             bus 1 2\n\
+             latency int 1\n\
+             latency fadd 3\n\
+             latency fmul 3\n\
+             latency fdiv 8\n\
+             latency load 2\n\
+             latency store 1\n\
+             end\n"
+        );
+    }
+
+    #[test]
+    fn defaults_apply_when_omitted() {
+        // No bus, no latency lines: defaults (1 bus latency 1, §4 model).
+        let text = "machine tiny\ncluster 1 1 1 8\nend\n";
+        let (_, m) = parse_machine(text).unwrap();
+        assert_eq!(m.buses, 1);
+        assert_eq!(m.bus_latency, 1);
+        assert_eq!(m.latencies, LatencyModel::default());
+        assert_eq!(m.cluster_count(), 1);
+    }
+
+    #[test]
+    fn latency_overrides_apply() {
+        let text = "machine x\ncluster 1 1 1 8\nlatency load 5\nlatency fdiv 20\nend\n";
+        let (_, m) = parse_machine(text).unwrap();
+        assert_eq!(m.latencies.load, 5);
+        assert_eq!(m.latencies.fp_div, 20);
+        assert_eq!(m.latencies.int_alu, 1);
+    }
+
+    #[test]
+    fn heterogeneous_clusters_round_trip() {
+        let m = MachineConfig::custom(
+            vec![
+                ClusterConfig {
+                    int_units: 3,
+                    fp_units: 1,
+                    mem_units: 2,
+                    registers: 24,
+                },
+                ClusterConfig {
+                    int_units: 1,
+                    fp_units: 3,
+                    mem_units: 2,
+                    registers: 40,
+                },
+            ],
+            2,
+            2,
+            LatencyModel::default(),
+        );
+        let (_, back) = parse_machine(&serialize_machine(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, line, needle) in [
+            ("cluster 1 1 1 8\n", 1, "outside"),
+            ("machine x\nfrobnicate\nend\n", 2, "frobnicate"),
+            ("machine x\ncluster 1 1 one 8\nend\n", 2, "memory-port"),
+            (
+                "machine x\ncluster 1 1 1 8\nbus 1 1\nbus 1 1\nend\n",
+                4,
+                "duplicate",
+            ),
+            ("machine x\nlatency blorp 3\nend\n", 2, "blorp"),
+            ("machine x\nend\n", 2, "no clusters"),
+            (
+                "machine x\ncluster 1 1 1 8\ncluster 1 1 1 8\nbus 0 1\nend\n",
+                5,
+                "at least one bus",
+            ),
+            (
+                "machine x\ncluster 1 1 1 8\ncluster 1 1 1 8\nbus 1 0\nend\n",
+                5,
+                "positive bus latency",
+            ),
+            ("machine\n", 1, "requires a name"),
+            ("machine x\nmachine y\nend\n", 2, "unterminated"),
+        ] {
+            let e = parse_machine_corpus(text).unwrap_err();
+            assert_eq!(e.line, line, "{text:?}: {e}");
+            assert!(e.to_string().contains(needle), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn unterminated_block_reports_start_line() {
+        let e = parse_machine_corpus("# header\nmachine open\ncluster 1 1 1 4\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("never closed"));
+    }
+
+    #[test]
+    fn parse_machine_rejects_multiple() {
+        let text = "machine a\ncluster 1 1 1 4\nend\nmachine b\ncluster 1 1 1 4\nend\n";
+        assert!(parse_machine(text)
+            .unwrap_err()
+            .to_string()
+            .contains("exactly one"));
+    }
+}

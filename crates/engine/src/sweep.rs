@@ -11,7 +11,7 @@
 use crate::cache::{compute_seed, ddg_content_hash, SweepCache};
 use crate::job::JobSpec;
 use crate::record::{RunRecord, SweepStats};
-use gpsched_sched::{schedule_loop_seeded, ScheduledWith};
+use gpsched_sched::{schedule_loop_spec_seeded, ScheduledWith};
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -146,7 +146,7 @@ fn run_unit(
     // A hit can still have *blocked* on a concurrent miss computing the
     // same entry; that wait is the miss's cost, not this unit's.
     let t0 = if cache_hit { Instant::now() } else { t0 };
-    let r = schedule_loop_seeded(&spec.ddg, machine, algorithm, &job.popts, &job.cfg, &seed)
+    let r = schedule_loop_spec_seeded(&spec.ddg, machine, algorithm, &job.popts, &job.cfg, &seed)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.ddg.name(), machine.short_name()));
     let sched_time_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
 
@@ -159,7 +159,7 @@ fn run_unit(
         group: spec.group.clone(),
         loop_name: r.name.clone(),
         machine: machine.short_name(),
-        algorithm: algorithm.name().to_string(),
+        algorithm: algorithm.name(),
         ii: r.schedule.ii(),
         length: r.schedule.length(),
         ops: r.ops,

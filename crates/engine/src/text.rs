@@ -147,19 +147,12 @@ pub fn serialize_corpus<'a>(ddgs: impl IntoIterator<Item = &'a Ddg>) -> String {
     out
 }
 
-/// Splits one leading whitespace-delimited token off `s`.
-fn token(s: &str) -> (&str, &str) {
-    let s = s.trim_start();
-    match s.find(char::is_whitespace) {
-        Some(i) => (&s[..i], s[i..].trim_start()),
-        None => (s, ""),
-    }
-}
+use crate::textutil::token;
 
 fn parse_num<T: std::str::FromStr>(field: &str, what: &str, line: usize) -> Result<T, TextError> {
-    field.parse().map_err(|_| TextError::Syntax {
+    crate::textutil::parse_num(field, what, line, |line, msg| TextError::Syntax {
         line,
-        msg: format!("expected {what}, got `{field}`"),
+        msg,
     })
 }
 

@@ -1,0 +1,45 @@
+//! Line-oriented parsing helpers shared by the `.ddg` ([`crate::text`])
+//! and `.machine` ([`crate::machine_text`]) interchange parsers.
+
+/// Splits one leading whitespace-delimited token off `s`.
+pub(crate) fn token(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+/// Parses a numeric field, mapping failure through `err` to the format's
+/// line-numbered error type.
+pub(crate) fn parse_num<T: std::str::FromStr, E>(
+    field: &str,
+    what: &str,
+    line: usize,
+    err: impl FnOnce(usize, String) -> E,
+) -> Result<T, E> {
+    field
+        .parse()
+        .map_err(|_| err(line, format!("expected {what}, got `{field}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_splits_and_trims() {
+        assert_eq!(token("op int 1"), ("op", "int 1"));
+        assert_eq!(token("  spaced   out  "), ("spaced", "out  "));
+        assert_eq!(token("single"), ("single", ""));
+        assert_eq!(token(""), ("", ""));
+    }
+
+    #[test]
+    fn parse_num_maps_errors() {
+        let ok: Result<u32, String> = parse_num("17", "a count", 3, |l, m| format!("{l}: {m}"));
+        assert_eq!(ok.unwrap(), 17);
+        let e: Result<u32, String> = parse_num("x", "a count", 3, |l, m| format!("{l}: {m}"));
+        assert_eq!(e.unwrap_err(), "3: expected a count, got `x`");
+    }
+}

@@ -1,12 +1,26 @@
 //! Engine determinism: the same job spec must yield identical results —
 //! and identical JSONL modulo line order — whether one worker or many run
 //! the sweep.
+//!
+//! The comparison worker count defaults to 8 and can be pinned with
+//! `GPSCHED_TEST_WORKERS` (CI runs the suite at 1 and 8 explicitly, so
+//! both the degenerate single-worker path and a contended pool are
+//! exercised on every push).
 
 use gpsched_engine::{run_sweep, JobSpec, SweepOptions};
 use gpsched_machine::MachineConfig;
 use gpsched_sched::Algorithm;
 use gpsched_workloads::{spec_suite, synth::synthesize, SynthProfile};
 use std::collections::BTreeSet;
+
+/// The "many workers" side of the comparisons (`GPSCHED_TEST_WORKERS`,
+/// default 8).
+fn test_workers() -> usize {
+    std::env::var("GPSCHED_TEST_WORKERS")
+        .ok()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(8)
+}
 
 fn job() -> JobSpec {
     let suite = spec_suite();
@@ -17,7 +31,11 @@ fn job() -> JobSpec {
             MachineConfig::unified(32),
             MachineConfig::two_cluster(32, 1, 1),
         ])
-        .algorithms(Algorithm::ALL);
+        .algorithms(Algorithm::ALL)
+        // The variant axis must be exactly as deterministic as the paper
+        // algorithms.
+        .algorithm(gpsched_sched::AlgorithmSpec::GP_NOREPART)
+        .algorithm(gpsched_sched::AlgorithmSpec::URACAM_GREEDY);
     for seed in 0..3 {
         job = job.loop_in(
             "synth",
@@ -51,7 +69,7 @@ fn one_worker_and_many_workers_agree() {
     let parallel = run_sweep(
         &job,
         &SweepOptions {
-            workers: 8,
+            workers: test_workers(),
             use_cache: true,
         },
         Some(&mut jsonl8),

@@ -5,6 +5,7 @@
 //! reproduce fig2     # IPC, 1 bus, latency 1 (4 sub-graphs)
 //! reproduce fig3     # IPC, 1 bus, latency 2 (4 sub-graphs)
 //! reproduce table2   # scheduling CPU time per algorithm/config
+//! reproduce variants # IPC of the policy-variant specs (beyond the paper)
 //! reproduce all      # everything + rewrite EXPERIMENTS.md
 //! ```
 //!
@@ -12,8 +13,27 @@
 //! configurations × 4 algorithm bars.
 
 use gpsched_eval::report;
-use gpsched_eval::{figure2, figure3, table2, tables};
+use gpsched_eval::{figure2, figure3, series_for_specs, table2, tables};
+use gpsched_machine::MachineConfig;
+use gpsched_sched::AlgorithmSpec;
 use std::time::Instant;
+
+/// The variant figure: the paper's modulo algorithms next to the bundled
+/// policy variants, on the clustered machines of Figures 2/3.
+fn variants_figure() -> Vec<gpsched_eval::VariantSeries> {
+    let programs = gpsched_workloads::spec_suite();
+    let specs: Vec<AlgorithmSpec> = ["uracam", "uracam:greedy-merit", "gp", "gp:norepart"]
+        .iter()
+        .map(|s| AlgorithmSpec::parse(s).expect("bundled specs parse"))
+        .collect();
+    [
+        MachineConfig::two_cluster(32, 1, 1),
+        MachineConfig::four_cluster(32, 1, 2),
+    ]
+    .iter()
+    .map(|m| series_for_specs(&programs, m, &specs))
+    .collect()
+}
 
 fn main() {
     let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -29,6 +49,10 @@ fn main() {
             report::render_figure("Figure 3 — IPC, 1 bus, latency 2", &figure3())
         ),
         "table2" => print!("{}", report::render_table2(&table2())),
+        "variants" => print!(
+            "{}",
+            report::render_variants("Variants — IPC per algorithm spec", &variants_figure())
+        ),
         "all" => {
             print!("{}", report::render_table1(&tables::table1()));
             let f2 = figure2();
@@ -51,7 +75,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown command `{other}`; use table1|fig2|fig3|table2|all");
+            eprintln!("unknown command `{other}`; use table1|fig2|fig3|table2|variants|all");
             std::process::exit(2);
         }
     }

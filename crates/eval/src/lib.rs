@@ -8,6 +8,9 @@
 //!   URACAM / Fixed / GP;
 //! * [`tables`] — Table 1 (the configuration matrix) and Table 2 (average
 //!   scheduling CPU time per algorithm and configuration);
+//! * [`variants`] — the same aggregation opened to arbitrary
+//!   [`gpsched_sched::AlgorithmSpec`] lists, so policy variants
+//!   (`gp:norepart`, `uracam:greedy-merit`, …) get figures too;
 //! * [`report`] — plain-text and Markdown renderers, including the
 //!   shape checks recorded in `EXPERIMENTS.md`.
 //!
@@ -26,7 +29,9 @@ pub mod figures;
 pub mod report;
 pub mod run;
 pub mod tables;
+pub mod variants;
 
 pub use figures::{figure2, figure3, FigureRow, FigureSeries};
 pub use run::{run_program, ProgramRun};
 pub use tables::{table2, Table2Row};
+pub use variants::{series_for_specs, VariantRow, VariantSeries};

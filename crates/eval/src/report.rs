@@ -40,6 +40,28 @@ pub fn render_figure(title: &str, series: &[FigureSeries]) -> String {
     out
 }
 
+/// Renders a variant figure: one column per algorithm spec.
+pub fn render_variants(title: &str, series: &[crate::variants::VariantSeries]) -> String {
+    let mut out = format!("{title}\n");
+    for s in series {
+        let _ = writeln!(out, "\n[{}]", s.machine);
+        let width: Vec<usize> = s.specs.iter().map(|c| c.len().max(8)).collect();
+        let _ = write!(out, "{:<10}", "program");
+        for (c, w) in s.specs.iter().zip(&width) {
+            let _ = write!(out, " {c:>w$}");
+        }
+        out.push('\n');
+        for r in &s.rows {
+            let _ = write!(out, "{:<10}", r.program);
+            for (v, w) in r.ipc.iter().zip(&width) {
+                let _ = write!(out, " {v:>w$.3}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// Renders Table 2 (average scheduling CPU time).
 pub fn render_table2(rows: &[Table2Row]) -> String {
     let mut out =

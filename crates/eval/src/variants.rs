@@ -1,0 +1,160 @@
+//! Variant figures: IPC per program for an *arbitrary* list of algorithm
+//! specs.
+//!
+//! Figures 2/3 ([`crate::figures`]) reproduce the paper's fixed bar sets;
+//! this module opens the same aggregation to any [`AlgorithmSpec`] list,
+//! so policy variants (`gp:norepart`, `uracam:greedy-merit`, …) land in
+//! figures and tables exactly like the paper's algorithms.
+
+use gpsched_engine::{aggregate_by_group, run_sweep, JobSpec, SweepOptions};
+use gpsched_machine::MachineConfig;
+use gpsched_sched::AlgorithmSpec;
+use gpsched_workloads::Program;
+
+/// One program's bars in a variant figure: one IPC per spec, in the
+/// series' spec order.
+#[derive(Clone, Debug)]
+pub struct VariantRow {
+    /// Program name (or `"average"`).
+    pub program: String,
+    /// IPC per algorithm spec, aligned with [`VariantSeries::specs`].
+    pub ipc: Vec<f64>,
+}
+
+/// One sub-graph of a variant figure: a machine with one IPC column per
+/// algorithm spec.
+#[derive(Clone, Debug)]
+pub struct VariantSeries {
+    /// Machine short name.
+    pub machine: String,
+    /// Display name of every spec, in column order.
+    pub specs: Vec<String>,
+    /// Per-program rows followed by the `"average"` row.
+    pub rows: Vec<VariantRow>,
+}
+
+impl VariantSeries {
+    /// The average row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    pub fn average(&self) -> &VariantRow {
+        self.rows.last().expect("series has an average row")
+    }
+
+    /// Average-IPC ratio of spec column `a` over spec column `b` (e.g.
+    /// `gp` over `gp:norepart` to price selective re-partitioning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name is not a column of this series.
+    pub fn speedup(&self, a: &str, b: &str) -> f64 {
+        let col = |name: &str| {
+            self.specs
+                .iter()
+                .position(|s| s == name)
+                .unwrap_or_else(|| panic!("spec `{name}` not in series"))
+        };
+        let avg = self.average();
+        avg.ipc[col(a)] / avg.ipc[col(b)]
+    }
+}
+
+/// Builds one variant series: `programs` on `machine` under every spec in
+/// `specs`, aggregated per program exactly like the paper's figures
+/// (`Σ ops·trips / Σ cycles`), through the engine executor.
+pub fn series_for_specs(
+    programs: &[Program],
+    machine: &MachineConfig,
+    specs: &[AlgorithmSpec],
+) -> VariantSeries {
+    let job = JobSpec::new()
+        .programs(programs)
+        .machine(machine.clone())
+        .algorithms(specs.iter().copied());
+    let agg = aggregate_by_group(&run_sweep(&job, &SweepOptions::default(), None).records);
+    let names: Vec<String> = specs.iter().map(AlgorithmSpec::name).collect();
+
+    let ipc_of = |group: &str, algo: &str| -> f64 {
+        agg.iter()
+            .find(|a| a.group == group && a.algorithm == algo)
+            .map(|a| a.ipc)
+            .expect("sweep covers every (program, spec)")
+    };
+    let mut rows: Vec<VariantRow> = programs
+        .iter()
+        .map(|p| VariantRow {
+            program: p.name.to_string(),
+            ipc: names.iter().map(|n| ipc_of(p.name, n)).collect(),
+        })
+        .collect();
+    let n = rows.len() as f64;
+    let avg = VariantRow {
+        program: "average".to_string(),
+        ipc: (0..names.len())
+            .map(|i| rows.iter().map(|r| r.ipc[i]).sum::<f64>() / n)
+            .collect(),
+    };
+    rows.push(avg);
+    VariantSeries {
+        machine: machine.short_name(),
+        specs: names,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_workloads::kernels;
+
+    fn mini_suite() -> Vec<Program> {
+        vec![
+            Program {
+                name: "alpha",
+                loops: vec![kernels::daxpy(200), kernels::stencil5(150)],
+            },
+            Program {
+                name: "beta",
+                loops: vec![kernels::dot_product(300), kernels::fir(100, 6)],
+            },
+        ]
+    }
+
+    #[test]
+    fn variant_series_covers_every_spec_column() {
+        let specs = [
+            AlgorithmSpec::parse("gp").unwrap(),
+            AlgorithmSpec::GP_NOREPART,
+            AlgorithmSpec::URACAM_GREEDY,
+        ];
+        let m = MachineConfig::four_cluster(32, 1, 2);
+        let s = series_for_specs(&mini_suite(), &m, &specs);
+        assert_eq!(s.specs, vec!["GP", "GP:norepart", "URACAM:greedy-merit"]);
+        assert_eq!(s.rows.len(), 3); // 2 programs + average
+        for r in &s.rows {
+            assert_eq!(r.ipc.len(), 3);
+            assert!(r.ipc.iter().all(|&x| x > 0.0), "{}", r.program);
+        }
+        // The re-partitioning ablation ratio is well-defined and near 1
+        // (the direction is corpus-dependent — see DESIGN.md §7).
+        let ratio = s.speedup("GP", "GP:norepart");
+        assert!(ratio.is_finite() && ratio > 0.5 && ratio < 2.0, "{ratio}");
+    }
+
+    #[test]
+    fn variant_column_matches_legacy_figure_path() {
+        // The bare-GP column of a variant series must equal the GP bar of
+        // the legacy figure series: same engine, same aggregation.
+        let suite = mini_suite();
+        let m = MachineConfig::two_cluster(32, 1, 1);
+        let specs = [AlgorithmSpec::parse("gp").unwrap()];
+        let v = series_for_specs(&suite, &m, &specs);
+        let legacy = crate::figures::series_for(&suite, &m, "check");
+        for (vr, lr) in v.rows.iter().zip(&legacy.rows) {
+            assert_eq!(vr.program, lr.program);
+            assert!((vr.ipc[0] - lr.gp).abs() < 1e-12, "{}", vr.program);
+        }
+    }
+}

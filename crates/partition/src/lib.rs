@@ -16,7 +16,7 @@
 //!    first rebalance overloaded resources, then greedily apply the single
 //!    node move or pair swap that most reduces the estimated execution time
 //!    (ties: maximize cut slack, then minimize cut size);
-//! 4. **cost estimation** ([`estimate`]): the paper's hypothetical machine —
+//! 4. **cost estimation** ([`mod@estimate`]): the paper's hypothetical machine —
 //!    unlimited registers, perfect memory, realistic memory ports and
 //!    interconnect — giving `IIbus`, the effective II and the execution-time
 //!    estimate `T = (niter−1)·II + max_path`. The refinement hot path

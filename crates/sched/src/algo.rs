@@ -1,9 +1,12 @@
-//! High-level entry point: schedule one loop with a named algorithm.
+//! High-level entry point: schedule one loop with a named algorithm or an
+//! [`AlgorithmSpec`] variant.
 
-use crate::drivers::{self, DriverConfig};
+use crate::drivers::DriverConfig;
 use crate::error::SchedError;
 use crate::listsched::list_schedule;
+use crate::pipeline;
 use crate::schedule::Schedule;
+use crate::spec::AlgorithmSpec;
 use gpsched_ddg::Ddg;
 use gpsched_machine::MachineConfig;
 use gpsched_partition::{Partition, PartitionOptions};
@@ -156,7 +159,7 @@ pub fn schedule_loop_with(
     popts: &PartitionOptions,
     cfg: &DriverConfig,
 ) -> Result<LoopResult, SchedError> {
-    schedule_impl(ddg, machine, algorithm, popts, cfg, None)
+    schedule_impl(ddg, machine, algorithm.into(), popts, cfg, None)
 }
 
 /// Precomputed scheduling inputs, typically served from a memo cache keyed
@@ -186,13 +189,67 @@ pub fn schedule_loop_seeded(
     cfg: &DriverConfig,
     seed: &SchedSeed,
 ) -> Result<LoopResult, SchedError> {
-    schedule_impl(ddg, machine, algorithm, popts, cfg, Some(seed))
+    schedule_impl(ddg, machine, algorithm.into(), popts, cfg, Some(seed))
+}
+
+/// [`schedule_loop`] for an arbitrary [`AlgorithmSpec`] variant.
+///
+/// # Errors
+///
+/// See [`schedule_loop`].
+///
+/// # Example
+///
+/// ```
+/// use gpsched_machine::MachineConfig;
+/// use gpsched_sched::{schedule_loop_spec, AlgorithmSpec};
+/// use gpsched_workloads::kernels;
+///
+/// let ddg = kernels::fir(500, 8);
+/// let machine = MachineConfig::two_cluster(32, 1, 1);
+/// let gp = schedule_loop_spec(&ddg, &machine, AlgorithmSpec::parse("gp")?)?;
+/// let ab = schedule_loop_spec(&ddg, &machine, AlgorithmSpec::parse("gp:norepart")?)?;
+/// // The ablation schedules the same loops; how the two variants compare
+/// // is an empirical question (see DESIGN.md §7).
+/// assert!(gp.ipc() > 0.0 && ab.ipc() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn schedule_loop_spec(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    spec: AlgorithmSpec,
+) -> Result<LoopResult, SchedError> {
+    schedule_impl(
+        ddg,
+        machine,
+        spec,
+        &PartitionOptions::default(),
+        &DriverConfig::default(),
+        None,
+    )
+}
+
+/// [`schedule_loop_spec`] with explicit options and precomputed seed
+/// inputs — the engine's batch executor entry point for every variant.
+///
+/// # Errors
+///
+/// See [`schedule_loop`].
+pub fn schedule_loop_spec_seeded(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    spec: AlgorithmSpec,
+    popts: &PartitionOptions,
+    cfg: &DriverConfig,
+    seed: &SchedSeed,
+) -> Result<LoopResult, SchedError> {
+    schedule_impl(ddg, machine, spec, popts, cfg, Some(seed))
 }
 
 fn schedule_impl(
     ddg: &Ddg,
     machine: &MachineConfig,
-    algorithm: Algorithm,
+    spec: AlgorithmSpec,
     popts: &PartitionOptions,
     cfg: &DriverConfig,
     seed: Option<&SchedSeed>,
@@ -213,49 +270,31 @@ fn schedule_impl(
             ops: ddg.op_count(),
             trips: ddg.trip_count(),
         };
+    if spec.is_list() {
+        let s = list_schedule(ddg, machine);
+        return Ok(base(s, ScheduledWith::List, None));
+    }
+
     // Resolve the precomputed inputs, filling the gaps for direct calls.
-    let start_ii = |seed: Option<&SchedSeed>| {
-        seed.map_or_else(|| gpsched_ddg::mii::mii(ddg, machine), |s| s.start_ii)
-    };
-    let initial_partition = |seed: Option<&SchedSeed>, ii: i64| {
-        seed.and_then(|s| s.partition.clone())
-            .unwrap_or_else(|| gpsched_partition::partition_ddg(ddg, machine, ii, popts))
+    let start_ii = seed.map_or_else(|| gpsched_ddg::mii::mii(ddg, machine), |s| s.start_ii);
+    let initial = if spec.needs_partition() {
+        Some(
+            seed.and_then(|s| s.partition.clone())
+                .unwrap_or_else(|| gpsched_partition::partition_ddg(ddg, machine, start_ii, popts)),
+        )
+    } else {
+        None
     };
 
-    let modulo = match algorithm {
-        Algorithm::List => {
-            let s = list_schedule(ddg, machine);
-            return Ok(base(s, ScheduledWith::List, None));
-        }
-        Algorithm::Uracam => drivers::uracam_from(ddg, machine, cfg, start_ii(seed))
-            .map(|s| base(s, ScheduledWith::Modulo { repartitions: 0 }, None)),
-        Algorithm::FixedPartition => {
-            let ii = start_ii(seed);
-            let part = initial_partition(seed, ii);
-            drivers::fixed_partition_from(ddg, machine, cfg, ii, part).map(|o| {
-                base(
-                    o.schedule,
-                    ScheduledWith::Modulo { repartitions: 0 },
-                    Some(o.partition.partition),
-                )
-            })
-        }
-        Algorithm::Gp => {
-            let ii = start_ii(seed);
-            let part = initial_partition(seed, ii);
-            drivers::gp_from(ddg, machine, popts, cfg, ii, part).map(|o| {
-                base(
-                    o.schedule,
-                    ScheduledWith::Modulo {
-                        repartitions: o.repartitions,
-                    },
-                    Some(o.partition.partition),
-                )
-            })
-        }
-    };
-    match modulo {
-        Ok(r) => Ok(r),
+    let policies = spec.policies();
+    match pipeline::run(ddg, machine, popts, cfg, start_ii, initial, &policies) {
+        Ok(out) => Ok(base(
+            out.schedule,
+            ScheduledWith::Modulo {
+                repartitions: out.repartitions,
+            },
+            out.partition.map(|p| p.partition),
+        )),
         Err(SchedError::IiLimitExceeded { .. }) => {
             let s = list_schedule(ddg, machine);
             Ok(base(s, ScheduledWith::ListFallback, None))

@@ -1,29 +1,32 @@
-//! The scheduling drivers of the paper's evaluation (§3.1, Figure 1).
+//! The scheduling drivers of the paper's evaluation (§3.1, Figure 1),
+//! rebuilt as thin compositions over the policy pipeline
+//! ([`crate::pipeline`]):
 //!
 //! * [`uracam`] — the baseline integrated scheduler: every node tries
 //!   *every* cluster and the figure of merit picks (which is also why it is
-//!   the slowest — Table 2).
+//!   the slowest — Table 2). Composition: `MeritAllClusters` over the
+//!   shared engine.
 //! * [`fixed_partition`] — GP variant (a): the graph partition is followed
 //!   exactly; on failure the II grows and scheduling restarts with the
-//!   *same* partition.
+//!   *same* partition. Composition: `PartitionOnly`.
 //! * [`gp`] — the full GP scheme (b): the assigned cluster is tried first,
 //!   then the merit-best other cluster; on II growth the partition is
-//!   recomputed iff `IIbus > II` (selective re-partitioning).
+//!   recomputed iff `IIbus > II` (selective re-partitioning). Composition:
+//!   `PartitionFirst` with the `Selective` rule.
 //!
-//! All three share one engine: SMS ordering, window scan, transactional
-//! placement and the figure of merit.
+//! All three share one engine — SMS ordering, window scan, transactional
+//! placement, the figure of merit — which now lives in the pipeline
+//! module; these functions fix the policies and keep the pre-pipeline
+//! signatures. Byte-identical behaviour versus the monolithic drivers is
+//! pinned by the engine crate's golden record test.
 
 use crate::error::SchedError;
-use crate::merit::Merit;
-use crate::order::sms_order_from;
+use crate::pipeline::{self, PolicySet};
 use crate::schedule::Schedule;
-use crate::state::{PartialSchedule, Placement};
-use gpsched_ddg::timing::TimingWorkspace;
-use gpsched_ddg::{mii, Ddg, OpId};
+use crate::spec::AlgorithmSpec;
+use gpsched_ddg::{mii, Ddg};
 use gpsched_machine::MachineConfig;
-use gpsched_partition::{
-    partition_ddg, partition_ddg_with, CostEvaluator, Partition, PartitionOptions, PartitionResult,
-};
+use gpsched_partition::{partition_ddg, PartitionOptions, PartitionResult};
 
 /// Engine tuning knobs shared by the drivers.
 #[derive(Clone, Copy, Debug)]
@@ -43,254 +46,13 @@ impl Default for DriverConfig {
     }
 }
 
-fn cap_for(mii: i64, cfg: &DriverConfig) -> i64 {
+pub(crate) fn cap_for(mii: i64, cfg: &DriverConfig) -> i64 {
     cfg.ii_cap.unwrap_or(4 * mii + 64)
 }
 
-/// II increment after `failures` consecutive failed attempts: +1 for the
-/// first few tries, then gently accelerating. Applied identically to every
-/// driver so the comparison stays fair; pathological loops reach their
-/// feasible II in O(√II) instead of O(II) attempts.
-fn ii_step(failures: usize) -> i64 {
-    1 + failures as i64 / 4
-}
-
-/// Cluster-selection policy of one scheduling attempt.
-enum Policy<'p> {
-    /// Try every cluster, merit decides (URACAM).
-    All,
-    /// Only the partition's cluster (Fixed Partition).
-    Fixed(&'p Partition),
-    /// Partition's cluster first, merit-best other cluster on failure (GP).
-    Prefer(&'p Partition),
-}
-
-/// Candidate issue cycles for `op` given its placed neighbours (the SMS
-/// window: at most II consecutive cycles, direction depending on which
-/// neighbours are placed).
-/// How ascending window scans order their candidate slots.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum ScanMode {
-    /// Earliest-first (tight schedules, short lifetimes) — the default.
-    Tight,
-    /// Slots at or above the op's ASAP first. Used as a second chance at
-    /// the same II: placing an op below its ASAP while free slots exist
-    /// above can strangle the windows of not-yet-placed memory/carried
-    /// neighbours, and that failure mode does not heal with a larger II.
-    AsapFirst,
-}
-
-fn window(
-    ps: &PartialSchedule<'_>,
-    ddg: &Ddg,
-    op: OpId,
-    asap: &[i64],
-    max_path: i64,
-    ii: i64,
-    mode: ScanMode,
-) -> Vec<i64> {
-    let mut estart: Option<i64> = None;
-    let mut lstart: Option<i64> = None;
-    for (e, p) in ddg.graph().in_edges(op) {
-        if p == op {
-            continue; // self-loop constrains nothing within one instance
-        }
-        if let Some(pp) = ps.placement(p) {
-            let dep = ddg.dep(e);
-            let cand = pp.time + dep.latency as i64 - ii * dep.distance as i64;
-            estart = Some(estart.map_or(cand, |e: i64| e.max(cand)));
-        }
-    }
-    for (e, s) in ddg.graph().out_edges(op) {
-        if s == op {
-            continue;
-        }
-        if let Some(sp) = ps.placement(s) {
-            let dep = ddg.dep(e);
-            let cand = sp.time - dep.latency as i64 + ii * dep.distance as i64;
-            lstart = Some(lstart.map_or(cand, |l: i64| l.min(cand)));
-        }
-    }
-    // Every window is clamped below by `asap − max_path`. Bottom-up
-    // placements may legitimately dip below ASAP (resource conflicts under
-    // a pinned consumer), but never by more than one iteration's critical
-    // path; without an II-independent floor, ops anchored only through
-    // loop-carried edges drift one iteration earlier per II step and
-    // squeeze later both-sided windows empty at *every* II, so raising the
-    // II would never converge.
-    let a = asap[op.index()];
-    let floor = a - max_path;
-    let asap_first = |lo: i64, hi: i64| -> Vec<i64> {
-        if lo > hi {
-            return Vec::new();
-        }
-        match mode {
-            ScanMode::Tight => (lo..=hi).collect(),
-            ScanMode::AsapFirst => {
-                let split = a.clamp(lo, hi + 1);
-                (split..=hi).chain(lo..split).collect()
-            }
-        }
-    };
-    match (estart, lstart) {
-        (Some(e), Some(l)) => {
-            let e = e.max(floor);
-            if e > l {
-                Vec::new()
-            } else {
-                asap_first(e, l.min(e + ii - 1))
-            }
-        }
-        (Some(e), None) => {
-            let e = e.max(floor);
-            asap_first(e, e + ii - 1)
-        }
-        (None, Some(l)) => ((l - ii + 1).max(floor)..=l).rev().collect(),
-        // Fresh regions anchor at ASAP.
-        (None, None) => (a..a + ii).collect(),
-    }
-}
-
-/// First feasible placement of `op` in `cluster` along `times`, returning
-/// the committed clone.
-fn try_cluster<'a>(
-    ps: &PartialSchedule<'a>,
-    op: OpId,
-    cluster: usize,
-    times: &[i64],
-) -> Option<(PartialSchedule<'a>, Placement)> {
-    for &t in times {
-        if ps.quick_reject(op, cluster, t) {
-            continue;
-        }
-        let mut clone = ps.clone();
-        if clone.place(op, cluster, t).is_ok() {
-            return Some((clone, Placement { cluster, time: t }));
-        }
-    }
-    None
-}
-
-/// Figure of merit of going from `before` to `after` (§3.3.1): consumed
-/// fraction of remaining bus slots, plus per-cluster memory slots and
-/// register lifetimes.
-fn merit_of(before: &PartialSchedule<'_>, after: &PartialSchedule<'_>, nclusters: usize) -> Merit {
-    let mut parts = Vec::with_capacity(2 * nclusters + 1);
-    parts.push(Merit::fraction(
-        after.bus_used() - before.bus_used(),
-        before.bus_free(),
-    ));
-    for c in 0..nclusters {
-        parts.push(Merit::fraction(
-            after.mem_used(c) - before.mem_used(c),
-            before.mem_free(c),
-        ));
-    }
-    for c in 0..nclusters {
-        parts.push(Merit::fraction(
-            after.max_live(c) - before.max_live(c),
-            before.reg_headroom(c),
-        ));
-    }
-    Merit::new(parts)
-}
-
-/// One full scheduling attempt at a fixed II. Returns the completed state,
-/// or `None` if some op could not be placed (the driver then raises the
-/// II).
-fn attempt<'a>(
-    ddg: &'a Ddg,
-    machine: &'a MachineConfig,
-    ii: i64,
-    policy: &Policy<'_>,
-    cfg: &DriverConfig,
-    ws: &mut TimingWorkspace,
-) -> Option<PartialSchedule<'a>> {
-    attempt_with(ddg, machine, ii, policy, cfg, ScanMode::Tight, ws)
-        .or_else(|| attempt_with(ddg, machine, ii, policy, cfg, ScanMode::AsapFirst, ws))
-}
-
-#[allow(clippy::too_many_arguments)]
-fn attempt_with<'a>(
-    ddg: &'a Ddg,
-    machine: &'a MachineConfig,
-    ii: i64,
-    policy: &Policy<'_>,
-    cfg: &DriverConfig,
-    mode: ScanMode,
-    ws: &mut TimingWorkspace,
-) -> Option<PartialSchedule<'a>> {
-    // One workspace-backed analysis per attempt: an infeasible II yields
-    // None here, and the same result feeds both the SMS ordering and the
-    // placement windows.
-    let t = ws.analyze(ddg, ii, |_| 0)?;
-    let order = sms_order_from(ddg, t);
-    let mut ps = PartialSchedule::new(ddg, machine, ii);
-    let nclusters = machine.cluster_count();
-
-    for op in order {
-        let times = window(&ps, ddg, op, &t.asap, t.max_path, ii, mode);
-        if times.is_empty() {
-            return None;
-        }
-        let placed = match policy {
-            Policy::Fixed(p) => {
-                try_cluster(&ps, op, p.cluster_of(op.index()), &times).map(|(s, _)| s)
-            }
-            Policy::Prefer(p) => {
-                let home = p.cluster_of(op.index());
-                match try_cluster(&ps, op, home, &times) {
-                    Some((s, _)) => Some(s),
-                    None => pick_by_merit(
-                        &ps,
-                        op,
-                        &times,
-                        (0..nclusters).filter(|&c| c != home),
-                        nclusters,
-                        cfg.merit_threshold,
-                    ),
-                }
-            }
-            Policy::All => pick_by_merit(
-                &ps,
-                op,
-                &times,
-                0..nclusters,
-                nclusters,
-                cfg.merit_threshold,
-            ),
-        };
-        match placed {
-            Some(next) => ps = next,
-            None => return None,
-        }
-    }
-    Some(ps)
-}
-
-/// Evaluates the candidate clusters and keeps the merit-best feasible one.
-fn pick_by_merit<'a>(
-    ps: &PartialSchedule<'a>,
-    op: OpId,
-    times: &[i64],
-    clusters: impl Iterator<Item = usize>,
-    nclusters: usize,
-    threshold: f64,
-) -> Option<PartialSchedule<'a>> {
-    let mut best: Option<(Merit, PartialSchedule<'a>)> = None;
-    for c in clusters {
-        if let Some((cand, _)) = try_cluster(ps, op, c, times) {
-            let m = merit_of(ps, &cand, nclusters);
-            let better = match &best {
-                None => true,
-                Some((bm, _)) => m.better_than(bm, threshold),
-            };
-            if better {
-                best = Some((m, cand));
-            }
-        }
-    }
-    best.map(|(_, s)| s)
+fn legacy_policies(spec: AlgorithmSpec) -> PolicySet {
+    debug_assert!(spec.is_legacy() && !spec.is_list());
+    spec.policies()
 }
 
 /// The URACAM baseline: integrated cluster assignment + scheduling +
@@ -319,18 +81,17 @@ pub fn uracam_from(
     cfg: &DriverConfig,
     start: i64,
 ) -> Result<Schedule, SchedError> {
-    let cap = cap_for(start, cfg);
-    let mut ws = TimingWorkspace::new();
-    let mut ii = start;
-    let mut failures = 0usize;
-    while ii <= cap {
-        if let Some(ps) = attempt(ddg, machine, ii, &Policy::All, cfg, &mut ws) {
-            return Ok(Schedule::from_partial(ddg, machine, &ps));
-        }
-        ii += ii_step(failures);
-        failures += 1;
-    }
-    Err(SchedError::IiLimitExceeded { limit: cap })
+    let policies = legacy_policies(crate::Algorithm::Uracam.into());
+    let out = pipeline::run(
+        ddg,
+        machine,
+        &PartitionOptions::default(),
+        cfg,
+        start,
+        None,
+        &policies,
+    )?;
+    Ok(out.schedule)
 }
 
 /// Outcome of the partition-driven schedulers.
@@ -342,6 +103,14 @@ pub struct PartitionedOutcome {
     pub partition: PartitionResult,
     /// How many times the partition was recomputed (always 0 for Fixed).
     pub repartitions: usize,
+}
+
+fn partitioned(out: pipeline::PipelineOutcome) -> PartitionedOutcome {
+    PartitionedOutcome {
+        schedule: out.schedule,
+        partition: out.partition.expect("partition-driven policy"),
+        repartitions: out.repartitions,
+    }
 }
 
 /// GP variant (a), *Fixed Partition*: schedule exactly the partition; on
@@ -374,29 +143,17 @@ pub fn fixed_partition_from(
     start: i64,
     part: PartitionResult,
 ) -> Result<PartitionedOutcome, SchedError> {
-    let cap = cap_for(start, cfg);
-    let mut ws = TimingWorkspace::new();
-    let mut ii = start;
-    let mut failures = 0usize;
-    while ii <= cap {
-        if let Some(ps) = attempt(
-            ddg,
-            machine,
-            ii,
-            &Policy::Fixed(&part.partition),
-            cfg,
-            &mut ws,
-        ) {
-            return Ok(PartitionedOutcome {
-                schedule: Schedule::from_partial(ddg, machine, &ps),
-                partition: part,
-                repartitions: 0,
-            });
-        }
-        ii += ii_step(failures);
-        failures += 1;
-    }
-    Err(SchedError::IiLimitExceeded { limit: cap })
+    let policies = legacy_policies(crate::Algorithm::FixedPartition.into());
+    pipeline::run(
+        ddg,
+        machine,
+        &PartitionOptions::default(),
+        cfg,
+        start,
+        Some(part),
+        &policies,
+    )
+    .map(partitioned)
 }
 
 /// The full GP scheme (variant (b)): assigned cluster first, merit-best
@@ -434,40 +191,8 @@ pub fn gp_from(
     start: i64,
     initial: PartitionResult,
 ) -> Result<PartitionedOutcome, SchedError> {
-    let cap = cap_for(start, cfg);
-    let mut ws = TimingWorkspace::new();
-    // One incremental evaluator serves every re-partitioning call of this
-    // loop: the cut-state buffers and timing workspace persist across the
-    // II-raising retries instead of being rebuilt per call.
-    let mut ev: Option<CostEvaluator<'_>> = None;
-    let mut part = initial;
-    let mut repartitions = 0usize;
-    let mut ii = start;
-    let mut failures = 0usize;
-    while ii <= cap {
-        if let Some(ps) = attempt(
-            ddg,
-            machine,
-            ii,
-            &Policy::Prefer(&part.partition),
-            cfg,
-            &mut ws,
-        ) {
-            return Ok(PartitionedOutcome {
-                schedule: Schedule::from_partial(ddg, machine, &ps),
-                partition: part,
-                repartitions,
-            });
-        }
-        ii += ii_step(failures);
-        failures += 1;
-        if part.cost.ii_bus > ii {
-            let ev = ev.get_or_insert_with(|| CostEvaluator::new(ddg, machine));
-            part = partition_ddg_with(ddg, machine, ii, popts, ev);
-            repartitions += 1;
-        }
-    }
-    Err(SchedError::IiLimitExceeded { limit: cap })
+    let policies = legacy_policies(crate::Algorithm::Gp.into());
+    pipeline::run(ddg, machine, popts, cfg, start, Some(initial), &policies).map(partitioned)
 }
 
 #[cfg(test)]

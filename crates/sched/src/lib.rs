@@ -12,9 +12,16 @@
 //!   compares candidate partial schedules;
 //! * [`state`] — the partial schedule: op placement, inter-cluster
 //!   communication (bus transfer or through-memory), spill-on-overflow;
-//! * [`drivers`] — the four schedulers of the evaluation: **GP**,
-//!   **Fixed Partition**, **URACAM**, and the unified machine baseline,
-//!   plus the list-scheduling fallback for loops whose II explodes;
+//! * [`pipeline`] — the policy-composable scheduling pipeline: the shared
+//!   engine loop plus the [`pipeline::cluster::ClusterPolicy`],
+//!   [`pipeline::order::OrderPolicy`], [`pipeline::growth::IiGrowthPolicy`]
+//!   and [`pipeline::spill::SpillPolicy`] axes the algorithms differ on;
+//! * [`drivers`] — the paper's schedulers (**GP**, **Fixed Partition**,
+//!   **URACAM**) as thin policy compositions, plus the list-scheduling
+//!   fallback for loops whose II explodes;
+//! * [`AlgorithmSpec`] — the open, string-parsable algorithm axis
+//!   (`gp`, `gp:norepart`, `uracam:greedy-merit`, …) that resolves any
+//!   variant to a pipeline [`pipeline::PolicySet`];
 //! * [`schedule`] — the final [`Schedule`] with the paper's cycle/IPC
 //!   accounting (`cycles = (trips − 1)·II + SL`, prolog/epilog included).
 //!
@@ -43,12 +50,15 @@ pub mod listsched;
 pub mod merit;
 pub mod mrt;
 pub mod order;
+pub mod pipeline;
 pub mod schedule;
+mod spec;
 pub mod state;
 
 pub use algo::{
-    schedule_loop, schedule_loop_seeded, schedule_loop_with, Algorithm, LoopResult, SchedSeed,
-    ScheduledWith,
+    schedule_loop, schedule_loop_seeded, schedule_loop_spec, schedule_loop_spec_seeded,
+    schedule_loop_with, Algorithm, LoopResult, SchedSeed, ScheduledWith,
 };
 pub use error::SchedError;
 pub use schedule::Schedule;
+pub use spec::{AlgorithmSpec, BaseAlgorithm, SpecError};

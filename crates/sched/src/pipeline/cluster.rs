@@ -1,0 +1,245 @@
+//! Cluster policy: which clusters an op may be placed in, in what order,
+//! who arbitrates between them — and when the partition is recomputed.
+//!
+//! This is the axis the paper's algorithms actually differ on:
+//!
+//! * URACAM tries *every* cluster and lets the figure of merit decide;
+//! * Fixed Partition follows the precomputed partition exactly;
+//! * GP tries the assigned cluster first, escapes to the merit-best other
+//!   cluster, and selectively re-partitions when the II outgrows the
+//!   partition's bus bound.
+//!
+//! Everything else (SMS order, window scan, transactional placement,
+//! spill-on-overflow) is shared engine.
+
+use crate::merit::Merit;
+use crate::state::{PartialSchedule, Placement};
+use gpsched_ddg::OpId;
+use gpsched_partition::{Partition, PartitionResult};
+
+/// Everything a cluster policy may consult when placing one op.
+pub struct PlaceCtx<'c, 'a> {
+    /// The partial schedule to extend (policies clone it per trial).
+    pub ps: &'c PartialSchedule<'a>,
+    /// The op to place.
+    pub op: OpId,
+    /// Candidate issue cycles, in scan order (the SMS window).
+    pub times: &'c [i64],
+    /// The partition in force, if the algorithm keeps one.
+    pub partition: Option<&'c Partition>,
+    /// Number of clusters of the machine.
+    pub nclusters: usize,
+    /// Figure-of-merit comparison threshold (§3.3.1).
+    pub merit_threshold: f64,
+}
+
+/// Chooses the cluster of every placement and governs the partition's
+/// lifecycle across II growth.
+pub trait ClusterPolicy: std::fmt::Debug + Send + Sync {
+    /// Whether this policy schedules against a precomputed partition.
+    /// When `true`, the pipeline guarantees `PlaceCtx::partition` is
+    /// `Some` on clustered machines.
+    fn needs_partition(&self) -> bool;
+
+    /// Places `ctx.op` at one of `ctx.times` in some cluster, returning
+    /// the committed clone of the schedule, or `None` if no cluster
+    /// admits the op (the driver then grows the II).
+    fn place<'a>(&self, ctx: &PlaceCtx<'_, 'a>) -> Option<PartialSchedule<'a>>;
+
+    /// Whether the partition should be recomputed after the II grew to
+    /// `ii`. Only consulted for partition-carrying policies. The default
+    /// (never) is the Fixed Partition rule.
+    fn wants_repartition(&self, _part: &PartitionResult, _ii: i64) -> bool {
+        false
+    }
+}
+
+/// First feasible placement of `op` in `cluster` along `times`, returning
+/// the committed clone.
+pub(crate) fn try_cluster<'a>(
+    ps: &PartialSchedule<'a>,
+    op: OpId,
+    cluster: usize,
+    times: &[i64],
+) -> Option<(PartialSchedule<'a>, Placement)> {
+    for &t in times {
+        if ps.quick_reject(op, cluster, t) {
+            continue;
+        }
+        let mut clone = ps.clone();
+        if clone.place(op, cluster, t).is_ok() {
+            return Some((clone, Placement { cluster, time: t }));
+        }
+    }
+    None
+}
+
+/// Figure of merit of going from `before` to `after` (§3.3.1): consumed
+/// fraction of remaining bus slots, plus per-cluster memory slots and
+/// register lifetimes.
+pub(crate) fn merit_of(
+    before: &PartialSchedule<'_>,
+    after: &PartialSchedule<'_>,
+    nclusters: usize,
+) -> Merit {
+    let mut parts = Vec::with_capacity(2 * nclusters + 1);
+    parts.push(Merit::fraction(
+        after.bus_used() - before.bus_used(),
+        before.bus_free(),
+    ));
+    for c in 0..nclusters {
+        parts.push(Merit::fraction(
+            after.mem_used(c) - before.mem_used(c),
+            before.mem_free(c),
+        ));
+    }
+    for c in 0..nclusters {
+        parts.push(Merit::fraction(
+            after.max_live(c) - before.max_live(c),
+            before.reg_headroom(c),
+        ));
+    }
+    Merit::new(parts)
+}
+
+/// Evaluates the candidate clusters and keeps the merit-best feasible one.
+pub(crate) fn pick_by_merit<'a>(
+    ps: &PartialSchedule<'a>,
+    op: OpId,
+    times: &[i64],
+    clusters: impl Iterator<Item = usize>,
+    nclusters: usize,
+    threshold: f64,
+) -> Option<PartialSchedule<'a>> {
+    let mut best: Option<(Merit, PartialSchedule<'a>)> = None;
+    for c in clusters {
+        if let Some((cand, _)) = try_cluster(ps, op, c, times) {
+            let m = merit_of(ps, &cand, nclusters);
+            let better = match &best {
+                None => true,
+                Some((bm, _)) => m.better_than(bm, threshold),
+            };
+            if better {
+                best = Some((m, cand));
+            }
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+/// URACAM's rule: try every cluster, the figure of merit decides.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeritAllClusters;
+
+impl ClusterPolicy for MeritAllClusters {
+    fn needs_partition(&self) -> bool {
+        false
+    }
+
+    fn place<'a>(&self, ctx: &PlaceCtx<'_, 'a>) -> Option<PartialSchedule<'a>> {
+        pick_by_merit(
+            ctx.ps,
+            ctx.op,
+            ctx.times,
+            0..ctx.nclusters,
+            ctx.nclusters,
+            ctx.merit_threshold,
+        )
+    }
+}
+
+/// The greedy URACAM variant: clusters are scanned in index order and the
+/// first feasible placement wins — no cross-cluster merit arbitration.
+/// Cheaper per node (no N-way trial placement), usually worse schedules;
+/// isolates what the figure of merit itself is worth.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyFirstFit;
+
+impl ClusterPolicy for GreedyFirstFit {
+    fn needs_partition(&self) -> bool {
+        false
+    }
+
+    fn place<'a>(&self, ctx: &PlaceCtx<'_, 'a>) -> Option<PartialSchedule<'a>> {
+        (0..ctx.nclusters).find_map(|c| try_cluster(ctx.ps, ctx.op, c, ctx.times).map(|(s, _)| s))
+    }
+}
+
+/// Fixed Partition's rule: only the cluster the partition assigned.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PartitionOnly;
+
+impl ClusterPolicy for PartitionOnly {
+    fn needs_partition(&self) -> bool {
+        true
+    }
+
+    fn place<'a>(&self, ctx: &PlaceCtx<'_, 'a>) -> Option<PartialSchedule<'a>> {
+        let part = ctx.partition.expect("partition-driven policy");
+        try_cluster(ctx.ps, ctx.op, part.cluster_of(ctx.op.index()), ctx.times).map(|(s, _)| s)
+    }
+}
+
+/// When a partition-first policy recomputes the partition on II growth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RepartitionRule {
+    /// The paper's selective rule (§3.1): recompute iff the partition's
+    /// bus bound exceeds the new II (`IIbus > II`) — only then can a new
+    /// partition pay off.
+    Selective,
+    /// Never recompute: keep the initial partition across all II growth.
+    /// Isolates the contribution of selective re-partitioning.
+    Never,
+}
+
+/// GP's rule: the assigned cluster first, then the merit-best *other*
+/// cluster as escape hatch; re-partitioning on II growth per `rule`.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionFirst {
+    /// Re-partitioning rule applied when the II grows.
+    pub rule: RepartitionRule,
+    /// Whether the escape hatch uses merit arbitration (`false`: first
+    /// feasible other cluster in index order).
+    pub merit_escape: bool,
+}
+
+impl Default for PartitionFirst {
+    fn default() -> Self {
+        PartitionFirst {
+            rule: RepartitionRule::Selective,
+            merit_escape: true,
+        }
+    }
+}
+
+impl ClusterPolicy for PartitionFirst {
+    fn needs_partition(&self) -> bool {
+        true
+    }
+
+    fn place<'a>(&self, ctx: &PlaceCtx<'_, 'a>) -> Option<PartialSchedule<'a>> {
+        let part = ctx.partition.expect("partition-driven policy");
+        let home = part.cluster_of(ctx.op.index());
+        match try_cluster(ctx.ps, ctx.op, home, ctx.times) {
+            Some((s, _)) => Some(s),
+            None if self.merit_escape => pick_by_merit(
+                ctx.ps,
+                ctx.op,
+                ctx.times,
+                (0..ctx.nclusters).filter(|&c| c != home),
+                ctx.nclusters,
+                ctx.merit_threshold,
+            ),
+            None => (0..ctx.nclusters)
+                .filter(|&c| c != home)
+                .find_map(|c| try_cluster(ctx.ps, ctx.op, c, ctx.times).map(|(s, _)| s)),
+        }
+    }
+
+    fn wants_repartition(&self, part: &PartitionResult, ii: i64) -> bool {
+        match self.rule {
+            RepartitionRule::Selective => part.cost.ii_bus > ii,
+            RepartitionRule::Never => false,
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! II-growth policy: how fast the initiation interval rises after failed
+//! scheduling attempts.
+
+/// Decides the next initiation interval to try after an attempt at `ii`
+/// failed.
+pub trait IiGrowthPolicy: std::fmt::Debug + Send + Sync {
+    /// The next II to try. `failures` counts the attempts that already
+    /// failed (0 on the first failure). Must return a value strictly
+    /// greater than `ii` — the driver loop relies on progress.
+    fn next_ii(&self, ii: i64, failures: usize) -> i64;
+}
+
+/// The legacy schedule shared by every paper driver: +1 for the first few
+/// tries, then gently accelerating (`+1 + failures/4`), so pathological
+/// loops reach their feasible II in O(√II) instead of O(II) attempts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AcceleratingGrowth;
+
+impl IiGrowthPolicy for AcceleratingGrowth {
+    fn next_ii(&self, ii: i64, failures: usize) -> i64 {
+        ii + 1 + failures as i64 / 4
+    }
+}
+
+/// Strict +1 growth: finds the minimal feasible II of the algorithm at
+/// the cost of more attempts on hard loops (the textbook iterative modulo
+/// scheduling rule).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinearGrowth;
+
+impl IiGrowthPolicy for LinearGrowth {
+    fn next_ii(&self, ii: i64, _failures: usize) -> i64 {
+        ii + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accelerating_matches_legacy_step() {
+        // Legacy: ii += 1 + failures/4.
+        let mut ii = 10;
+        for failures in 0..12 {
+            let next = AcceleratingGrowth.next_ii(ii, failures);
+            assert_eq!(next, ii + 1 + failures as i64 / 4);
+            assert!(next > ii);
+            ii = next;
+        }
+    }
+
+    #[test]
+    fn linear_is_plus_one() {
+        assert_eq!(LinearGrowth.next_ii(7, 0), 8);
+        assert_eq!(LinearGrowth.next_ii(7, 99), 8);
+    }
+}

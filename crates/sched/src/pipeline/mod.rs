@@ -1,0 +1,360 @@
+//! The policy-composable scheduling pipeline.
+//!
+//! The paper's algorithms (URACAM, Fixed Partition, GP) share one engine —
+//! SMS ordering, window scan, transactional placement, the figure of
+//! merit, spill-on-overflow, II growth — and differ only in *policies*.
+//! This module makes each policy axis a trait and the shared engine one
+//! generic driver loop, so an algorithm is a [`PolicySet`] value rather
+//! than a hand-written driver function:
+//!
+//! * [`cluster::ClusterPolicy`] — which clusters an op may go to, who
+//!   arbitrates, and when the partition is recomputed;
+//! * [`order::OrderPolicy`] — the node order within one attempt;
+//! * [`growth::IiGrowthPolicy`] — how fast the II rises after failures;
+//! * [`spill::SpillPolicy`] — whether/what to spill on register overflow.
+//!
+//! [`run`] is the driver loop every algorithm (and every
+//! [`crate::AlgorithmSpec`] variant) executes. The four legacy drivers in
+//! [`crate::drivers`] are thin compositions over this module, pinned
+//! byte-identical to the pre-pipeline monoliths by the engine's golden
+//! record test.
+//!
+//! Policies are dispatched through `dyn` references. The dispatch sits
+//! outside the hot placement loops (one virtual call per op placement and
+//! per II retry, not per candidate cycle), so its cost is unmeasurable
+//! against the clone-and-try placement work — see DESIGN.md §6.2.
+
+pub mod cluster;
+pub mod growth;
+pub mod order;
+pub mod spill;
+
+use crate::drivers::DriverConfig;
+use crate::error::SchedError;
+use crate::schedule::Schedule;
+use crate::state::PartialSchedule;
+use cluster::{ClusterPolicy, PlaceCtx};
+use gpsched_ddg::timing::TimingWorkspace;
+use gpsched_ddg::{Ddg, OpId};
+use gpsched_machine::MachineConfig;
+use gpsched_partition::{partition_ddg_with, CostEvaluator, PartitionOptions, PartitionResult};
+use growth::IiGrowthPolicy;
+use order::OrderPolicy;
+use spill::SpillPolicy;
+
+/// One algorithm, expressed as its policies. Built by
+/// [`crate::AlgorithmSpec::policies`] or assembled directly for
+/// experiments.
+#[derive(Debug)]
+pub struct PolicySet {
+    /// Cluster selection + partition lifecycle.
+    pub cluster: Box<dyn ClusterPolicy>,
+    /// Node ordering within one attempt.
+    pub order: Box<dyn OrderPolicy>,
+    /// II growth after failed attempts.
+    pub growth: Box<dyn IiGrowthPolicy>,
+    /// Register-overflow handling.
+    pub spill: Box<dyn SpillPolicy>,
+}
+
+/// Outcome of a pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineOutcome {
+    /// The final schedule.
+    pub schedule: Schedule,
+    /// The partition in force when scheduling succeeded. `None` exactly
+    /// when the cluster policy is partition-free; partition-driven
+    /// policies carry `Some` even on unified machines (the trivial
+    /// single-cluster assignment).
+    pub partition: Option<PartitionResult>,
+    /// How many times the partition was recomputed.
+    pub repartitions: usize,
+}
+
+/// How ascending window scans order their candidate slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScanMode {
+    /// Earliest-first (tight schedules, short lifetimes) — the default.
+    Tight,
+    /// Slots at or above the op's ASAP first. Used as a second chance at
+    /// the same II: placing an op below its ASAP while free slots exist
+    /// above can strangle the windows of not-yet-placed memory/carried
+    /// neighbours, and that failure mode does not heal with a larger II.
+    AsapFirst,
+}
+
+/// Candidate issue cycles for `op` given its placed neighbours (the SMS
+/// window: at most II consecutive cycles, direction depending on which
+/// neighbours are placed).
+fn window(
+    ps: &PartialSchedule<'_>,
+    ddg: &Ddg,
+    op: OpId,
+    asap: &[i64],
+    max_path: i64,
+    ii: i64,
+    mode: ScanMode,
+) -> Vec<i64> {
+    let mut estart: Option<i64> = None;
+    let mut lstart: Option<i64> = None;
+    for (e, p) in ddg.graph().in_edges(op) {
+        if p == op {
+            continue; // self-loop constrains nothing within one instance
+        }
+        if let Some(pp) = ps.placement(p) {
+            let dep = ddg.dep(e);
+            let cand = pp.time + dep.latency as i64 - ii * dep.distance as i64;
+            estart = Some(estart.map_or(cand, |e: i64| e.max(cand)));
+        }
+    }
+    for (e, s) in ddg.graph().out_edges(op) {
+        if s == op {
+            continue;
+        }
+        if let Some(sp) = ps.placement(s) {
+            let dep = ddg.dep(e);
+            let cand = sp.time - dep.latency as i64 + ii * dep.distance as i64;
+            lstart = Some(lstart.map_or(cand, |l: i64| l.min(cand)));
+        }
+    }
+    // Every window is clamped below by `asap − max_path`. Bottom-up
+    // placements may legitimately dip below ASAP (resource conflicts under
+    // a pinned consumer), but never by more than one iteration's critical
+    // path; without an II-independent floor, ops anchored only through
+    // loop-carried edges drift one iteration earlier per II step and
+    // squeeze later both-sided windows empty at *every* II, so raising the
+    // II would never converge.
+    let a = asap[op.index()];
+    let floor = a - max_path;
+    let asap_first = |lo: i64, hi: i64| -> Vec<i64> {
+        if lo > hi {
+            return Vec::new();
+        }
+        match mode {
+            ScanMode::Tight => (lo..=hi).collect(),
+            ScanMode::AsapFirst => {
+                let split = a.clamp(lo, hi + 1);
+                (split..=hi).chain(lo..split).collect()
+            }
+        }
+    };
+    match (estart, lstart) {
+        (Some(e), Some(l)) => {
+            let e = e.max(floor);
+            if e > l {
+                Vec::new()
+            } else {
+                asap_first(e, l.min(e + ii - 1))
+            }
+        }
+        (Some(e), None) => {
+            let e = e.max(floor);
+            asap_first(e, e + ii - 1)
+        }
+        (None, Some(l)) => ((l - ii + 1).max(floor)..=l).rev().collect(),
+        // Fresh regions anchor at ASAP.
+        (None, None) => (a..a + ii).collect(),
+    }
+}
+
+/// One full scheduling attempt at a fixed II. Returns the completed state,
+/// or `None` if some op could not be placed (the driver then raises the
+/// II). Tries the tight scan first, the ASAP-first scan as a second
+/// chance at the same II.
+fn attempt<'a>(
+    ddg: &'a Ddg,
+    machine: &'a MachineConfig,
+    ii: i64,
+    partition: Option<&PartitionResult>,
+    cfg: &DriverConfig,
+    policies: &'a PolicySet,
+    ws: &mut TimingWorkspace,
+) -> Option<PartialSchedule<'a>> {
+    attempt_with(
+        ddg,
+        machine,
+        ii,
+        partition,
+        cfg,
+        policies,
+        ScanMode::Tight,
+        ws,
+    )
+    .or_else(|| {
+        attempt_with(
+            ddg,
+            machine,
+            ii,
+            partition,
+            cfg,
+            policies,
+            ScanMode::AsapFirst,
+            ws,
+        )
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn attempt_with<'a>(
+    ddg: &'a Ddg,
+    machine: &'a MachineConfig,
+    ii: i64,
+    partition: Option<&PartitionResult>,
+    cfg: &DriverConfig,
+    policies: &'a PolicySet,
+    mode: ScanMode,
+    ws: &mut TimingWorkspace,
+) -> Option<PartialSchedule<'a>> {
+    // One workspace-backed analysis per attempt: an infeasible II yields
+    // None here, and the same result feeds both the node ordering and the
+    // placement windows.
+    let t = ws.analyze(ddg, ii, |_| 0)?;
+    let order = policies.order.order(ddg, t);
+    debug_assert_eq!(order.len(), ddg.op_count(), "order must cover the loop");
+    let mut ps = PartialSchedule::with_spill_policy(ddg, machine, ii, policies.spill.as_ref());
+    let nclusters = machine.cluster_count();
+
+    for op in order {
+        let times = window(&ps, ddg, op, &t.asap, t.max_path, ii, mode);
+        if times.is_empty() {
+            return None;
+        }
+        let ctx = PlaceCtx {
+            ps: &ps,
+            op,
+            times: &times,
+            partition: partition.map(|p| &p.partition),
+            nclusters,
+            merit_threshold: cfg.merit_threshold,
+        };
+        match policies.cluster.place(&ctx) {
+            Some(next) => ps = next,
+            None => return None,
+        }
+    }
+    Some(ps)
+}
+
+/// Runs one loop through the pipeline: repeated attempts with rising II,
+/// partition lifecycle per the cluster policy.
+///
+/// `start_ii` is the first II to try (the loop's MII, or a memo-cached
+/// value); `initial` seeds the partition for partition-driven policies
+/// (computed at `start_ii` when absent). Partition-free policies ignore
+/// both `popts` and `initial`.
+///
+/// # Errors
+///
+/// [`SchedError::IiLimitExceeded`] when the II cap is reached.
+pub fn run(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    popts: &PartitionOptions,
+    cfg: &DriverConfig,
+    start_ii: i64,
+    initial: Option<PartitionResult>,
+    policies: &PolicySet,
+) -> Result<PipelineOutcome, SchedError> {
+    let cap = crate::drivers::cap_for(start_ii, cfg);
+    let mut ws = TimingWorkspace::new();
+    // One incremental evaluator serves every re-partitioning call of this
+    // loop: the cut-state buffers and timing workspace persist across the
+    // II-raising retries instead of being rebuilt per call.
+    let mut ev: Option<CostEvaluator<'_>> = None;
+    let mut part: Option<PartitionResult> = if policies.cluster.needs_partition() {
+        Some(
+            initial
+                .unwrap_or_else(|| gpsched_partition::partition_ddg(ddg, machine, start_ii, popts)),
+        )
+    } else {
+        None
+    };
+    let mut repartitions = 0usize;
+    let mut ii = start_ii;
+    let mut failures = 0usize;
+    while ii <= cap {
+        if let Some(ps) = attempt(ddg, machine, ii, part.as_ref(), cfg, policies, &mut ws) {
+            return Ok(PipelineOutcome {
+                schedule: Schedule::from_partial(ddg, machine, &ps),
+                partition: part,
+                repartitions,
+            });
+        }
+        let next = policies.growth.next_ii(ii, failures);
+        debug_assert!(next > ii, "II growth must make progress");
+        ii = next;
+        failures += 1;
+        if let Some(p) = &part {
+            if policies.cluster.wants_repartition(p, ii) {
+                let ev = ev.get_or_insert_with(|| CostEvaluator::new(ddg, machine));
+                part = Some(partition_ddg_with(ddg, machine, ii, popts, ev));
+                repartitions += 1;
+            }
+        }
+    }
+    Err(SchedError::IiLimitExceeded { limit: cap })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{MeritAllClusters, PartitionFirst};
+    use gpsched_workloads::kernels;
+
+    fn policies(cluster: Box<dyn ClusterPolicy>) -> PolicySet {
+        PolicySet {
+            cluster,
+            order: Box::new(order::SmsOrder),
+            growth: Box::new(growth::AcceleratingGrowth),
+            spill: Box::new(spill::LongestLiveFirst),
+        }
+    }
+
+    #[test]
+    fn uracam_policies_match_driver() {
+        let cfg = DriverConfig::default();
+        let popts = PartitionOptions::default();
+        for ddg in kernels::all_kernels(200) {
+            let m = MachineConfig::two_cluster(32, 1, 1);
+            let direct = crate::drivers::uracam(&ddg, &m, &cfg).unwrap();
+            let start = gpsched_ddg::mii::mii(&ddg, &m);
+            let piped = run(
+                &ddg,
+                &m,
+                &popts,
+                &cfg,
+                start,
+                None,
+                &policies(Box::new(MeritAllClusters)),
+            )
+            .unwrap();
+            assert_eq!(direct.ii(), piped.schedule.ii(), "{}", ddg.name());
+            assert_eq!(direct.length(), piped.schedule.length(), "{}", ddg.name());
+            assert!(piped.partition.is_none());
+        }
+    }
+
+    #[test]
+    fn gp_policies_match_driver() {
+        let cfg = DriverConfig::default();
+        let popts = PartitionOptions::default();
+        for ddg in kernels::all_kernels(200) {
+            let m = MachineConfig::four_cluster(32, 1, 2);
+            let direct = crate::drivers::gp(&ddg, &m, &popts, &cfg).unwrap();
+            let start = gpsched_ddg::mii::mii(&ddg, &m);
+            let piped = run(
+                &ddg,
+                &m,
+                &popts,
+                &cfg,
+                start,
+                None,
+                &policies(Box::new(PartitionFirst::default())),
+            )
+            .unwrap();
+            assert_eq!(direct.schedule.ii(), piped.schedule.ii(), "{}", ddg.name());
+            assert_eq!(direct.repartitions, piped.repartitions, "{}", ddg.name());
+            assert!(piped.partition.is_some());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Node-order policy: the sequence in which ops are offered to the
+//! cluster policy within one scheduling attempt.
+
+use gpsched_ddg::timing::Timing;
+use gpsched_ddg::{Ddg, OpId};
+
+/// Produces the placement order of one scheduling attempt from the
+/// attempt's timing analysis (ASAP/ALAP at the attempt's II).
+pub trait OrderPolicy: std::fmt::Debug + Send + Sync {
+    /// The op order to schedule in. Must be a permutation of the DDG's
+    /// ops.
+    fn order(&self, ddg: &Ddg, t: &Timing) -> Vec<OpId>;
+}
+
+/// Swing Modulo Scheduling order (Llosa et al.; §3.3.3 of the paper):
+/// recurrences by decreasing criticality, then sweeps that keep every op
+/// adjacent to already-ordered neighbours. Used by all paper algorithms.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SmsOrder;
+
+impl OrderPolicy for SmsOrder {
+    fn order(&self, ddg: &Ddg, t: &Timing) -> Vec<OpId> {
+        crate::order::sms_order_from(ddg, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsched_ddg::timing::TimingWorkspace;
+    use gpsched_workloads::kernels;
+
+    #[test]
+    fn sms_policy_matches_free_function() {
+        let ddg = kernels::dot_product(100);
+        let mut ws = TimingWorkspace::new();
+        let ii = gpsched_ddg::mii::rec_mii(&ddg);
+        let t = ws.analyze(&ddg, ii, |_| 0).expect("feasible");
+        assert_eq!(
+            SmsOrder.order(&ddg, t),
+            crate::order::sms_order_from(&ddg, t)
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Spill policy: what to do when a cluster's register file overflows.
+//!
+//! [`PartialSchedule`](crate::state::PartialSchedule) detects overflow and
+//! performs the mechanical work (finding store/load slots, patching the
+//! pressure table); the policy decides *whether* to spill at all and
+//! *which* value goes first. The legacy behaviour — up to eight rounds,
+//! longest register interval first — is [`LongestLiveFirst`].
+
+/// Decides how register-file overflow is resolved during placement.
+///
+/// Implementations must be deterministic: the candidate ranking fully
+/// determines which value is spilled, and schedule reproducibility across
+/// worker counts depends on it.
+pub trait SpillPolicy: std::fmt::Debug + Send + Sync {
+    /// Spill rounds allowed per placement (safety valve). `0` disables
+    /// spilling entirely: an overflow fails the placement immediately.
+    fn max_rounds(&self) -> usize {
+        8
+    }
+
+    /// Ranks spill candidates, most preferred first. Each entry is
+    /// `(register-interval length, op index)`; the schedule tries them in
+    /// the returned order and commits the first one whose store and
+    /// reloads fit.
+    fn rank(&self, cands: &mut Vec<(i64, usize)>);
+}
+
+/// The paper's heuristic (§3.3.2): spill the value with the longest
+/// register interval first; ties broken by the smaller op index.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LongestLiveFirst;
+
+impl SpillPolicy for LongestLiveFirst {
+    fn rank(&self, cands: &mut Vec<(i64, usize)>) {
+        cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    }
+}
+
+/// Spilling disabled: overflow fails the placement, forcing the driver to
+/// a larger II (or ultimately the list fallback). Isolates how much of an
+/// algorithm's IPC the spill machinery is worth.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoSpill;
+
+impl SpillPolicy for NoSpill {
+    fn max_rounds(&self) -> usize {
+        0
+    }
+
+    fn rank(&self, _cands: &mut Vec<(i64, usize)>) {}
+}
+
+/// The default policy instance threaded into schedules built without an
+/// explicit policy ([`crate::state::PartialSchedule::new`]).
+pub static DEFAULT_SPILL: LongestLiveFirst = LongestLiveFirst;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_live_first_ranking() {
+        let mut c = vec![(3, 7), (9, 2), (9, 1), (1, 0)];
+        LongestLiveFirst.rank(&mut c);
+        assert_eq!(c, vec![(9, 1), (9, 2), (3, 7), (1, 0)]);
+        assert_eq!(LongestLiveFirst.max_rounds(), 8);
+    }
+
+    #[test]
+    fn nospill_disables_rounds() {
+        assert_eq!(NoSpill.max_rounds(), 0);
+    }
+}

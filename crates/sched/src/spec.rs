@@ -1,0 +1,433 @@
+//! Algorithm specifications: the open, string-parsable algorithm axis.
+//!
+//! The paper compares a closed set of four algorithms; an
+//! [`AlgorithmSpec`] opens that axis into a space of variants, each a
+//! composition of pipeline policies ([`crate::pipeline`]). Specs have a
+//! stable textual syntax so sweeps can select them from the command line
+//! and records can name them:
+//!
+//! ```text
+//! spec     := base (":" modifier)*
+//! base     := "uracam" | "fixed" | "gp" | "list"
+//! modifier := "norepart" | "greedy-merit" | "linear-ii" | "nospill"
+//! ```
+//!
+//! Bare bases are exactly the paper's algorithms and keep their legacy
+//! display names (`URACAM`, `Fixed`, `GP`, `List`), so existing records
+//! and figures are unchanged. Modifiers compose where they make sense:
+//!
+//! * `gp:norepart` — GP without selective re-partitioning; isolates the
+//!   paper's §3.1 re-partitioning contribution.
+//! * `uracam:greedy-merit` — URACAM with first-feasible cluster selection
+//!   instead of the full merit arbitration; isolates the figure of merit.
+//! * `gp:linear-ii` — strict +1 II growth instead of the accelerating
+//!   schedule.
+//! * `gp:nospill` — spilling disabled; overflow forces a larger II.
+//!
+//! A spec resolves to a [`PolicySet`] via [`AlgorithmSpec::policies`];
+//! `list` is the non-pipelined baseline and bypasses the pipeline.
+
+use crate::algo::Algorithm;
+use crate::pipeline::cluster::{
+    GreedyFirstFit, MeritAllClusters, PartitionFirst, PartitionOnly, RepartitionRule,
+};
+use crate::pipeline::growth::{AcceleratingGrowth, LinearGrowth};
+use crate::pipeline::order::SmsOrder;
+use crate::pipeline::spill::{LongestLiveFirst, NoSpill};
+use crate::pipeline::PolicySet;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// The base algorithm family of a spec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaseAlgorithm {
+    /// Integrated scheduling, every node tries every cluster.
+    Uracam,
+    /// Follow the partition exactly.
+    FixedPartition,
+    /// Partition first, merit escape, selective re-partitioning.
+    Gp,
+    /// Non-pipelined list scheduling (bypasses the pipeline).
+    List,
+}
+
+impl BaseAlgorithm {
+    fn display(self) -> &'static str {
+        match self {
+            BaseAlgorithm::Uracam => "URACAM",
+            BaseAlgorithm::FixedPartition => "Fixed",
+            BaseAlgorithm::Gp => "GP",
+            BaseAlgorithm::List => "List",
+        }
+    }
+
+    fn spec_token(self) -> &'static str {
+        match self {
+            BaseAlgorithm::Uracam => "uracam",
+            BaseAlgorithm::FixedPartition => "fixed",
+            BaseAlgorithm::Gp => "gp",
+            BaseAlgorithm::List => "list",
+        }
+    }
+}
+
+/// A malformed or inapplicable algorithm spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// The offending spec text.
+    pub spec: String,
+    /// What is wrong with it.
+    pub msg: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "algorithm spec `{}`: {}", self.spec, self.msg)
+    }
+}
+
+impl Error for SpecError {}
+
+/// One algorithm variant: a base family plus policy modifiers.
+///
+/// Construct by [parsing](Self::parse) the textual syntax or converting a
+/// legacy [`Algorithm`]. The value is `Copy` and hashable, so job specs
+/// and memo keys can carry it directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AlgorithmSpec {
+    base: BaseAlgorithm,
+    greedy_merit: bool,
+    norepart: bool,
+    linear_ii: bool,
+    nospill: bool,
+}
+
+impl AlgorithmSpec {
+    /// The bare spec of a base family (no modifiers).
+    pub const fn bare(base: BaseAlgorithm) -> Self {
+        AlgorithmSpec {
+            base,
+            greedy_merit: false,
+            norepart: false,
+            linear_ii: false,
+            nospill: false,
+        }
+    }
+
+    /// GP without selective re-partitioning (`gp:norepart`).
+    pub const GP_NOREPART: AlgorithmSpec = AlgorithmSpec {
+        norepart: true,
+        ..AlgorithmSpec::bare(BaseAlgorithm::Gp)
+    };
+
+    /// URACAM with greedy first-feasible cluster selection
+    /// (`uracam:greedy-merit`).
+    pub const URACAM_GREEDY: AlgorithmSpec = AlgorithmSpec {
+        greedy_merit: true,
+        ..AlgorithmSpec::bare(BaseAlgorithm::Uracam)
+    };
+
+    /// The shipped catalog: the four paper algorithms followed by every
+    /// bundled variant, in presentation order. Sweep shortcuts (`--algos
+    /// extended`) and the variant property tests iterate this.
+    pub const CATALOG: [AlgorithmSpec; 8] = [
+        AlgorithmSpec::bare(BaseAlgorithm::Uracam),
+        AlgorithmSpec::bare(BaseAlgorithm::FixedPartition),
+        AlgorithmSpec::bare(BaseAlgorithm::Gp),
+        AlgorithmSpec::bare(BaseAlgorithm::List),
+        AlgorithmSpec::GP_NOREPART,
+        AlgorithmSpec::URACAM_GREEDY,
+        AlgorithmSpec {
+            linear_ii: true,
+            ..AlgorithmSpec::bare(BaseAlgorithm::Gp)
+        },
+        AlgorithmSpec {
+            nospill: true,
+            ..AlgorithmSpec::bare(BaseAlgorithm::Gp)
+        },
+    ];
+
+    /// The base family.
+    pub fn base(&self) -> BaseAlgorithm {
+        self.base
+    }
+
+    /// Whether this is the non-pipelined list baseline.
+    pub fn is_list(&self) -> bool {
+        self.base == BaseAlgorithm::List
+    }
+
+    /// Whether this spec schedules against a precomputed partition.
+    pub fn needs_partition(&self) -> bool {
+        matches!(self.base, BaseAlgorithm::FixedPartition | BaseAlgorithm::Gp)
+    }
+
+    /// Whether this spec is exactly a paper algorithm (no modifiers).
+    pub fn is_legacy(&self) -> bool {
+        !(self.greedy_merit || self.norepart || self.linear_ii || self.nospill)
+    }
+
+    /// Parses the `base(:modifier)*` syntax.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] on unknown bases or modifiers, duplicates, and
+    /// modifiers that do not apply to the base (e.g. `fixed:norepart` —
+    /// Fixed never re-partitions to begin with).
+    pub fn parse(s: &str) -> Result<AlgorithmSpec, SpecError> {
+        let err = |msg: String| SpecError {
+            spec: s.to_string(),
+            msg,
+        };
+        let lower = s.trim().to_ascii_lowercase();
+        let mut parts = lower.split(':');
+        let base = match parts.next().unwrap_or("") {
+            "uracam" => BaseAlgorithm::Uracam,
+            "fixed" | "fixedpartition" | "fixed-partition" => BaseAlgorithm::FixedPartition,
+            "gp" => BaseAlgorithm::Gp,
+            "list" => BaseAlgorithm::List,
+            other => {
+                return Err(err(format!(
+                    "unknown base `{other}` (expected uracam|fixed|gp|list)"
+                )))
+            }
+        };
+        let mut spec = AlgorithmSpec::bare(base);
+        for m in parts {
+            let flag = match m {
+                "norepart" => {
+                    if base != BaseAlgorithm::Gp {
+                        return Err(err(format!(
+                            "`norepart` only applies to gp (`{}` never re-partitions)",
+                            base.spec_token()
+                        )));
+                    }
+                    &mut spec.norepart
+                }
+                "greedy-merit" => {
+                    if !matches!(base, BaseAlgorithm::Uracam | BaseAlgorithm::Gp) {
+                        return Err(err(
+                            "`greedy-merit` only applies to uracam or gp (the merit-arbitrated \
+                             bases)"
+                                .to_string(),
+                        ));
+                    }
+                    &mut spec.greedy_merit
+                }
+                "linear-ii" => {
+                    if base == BaseAlgorithm::List {
+                        return Err(err("`linear-ii` does not apply to list".to_string()));
+                    }
+                    &mut spec.linear_ii
+                }
+                "nospill" => {
+                    if base == BaseAlgorithm::List {
+                        return Err(err("`nospill` does not apply to list".to_string()));
+                    }
+                    &mut spec.nospill
+                }
+                "" => return Err(err("empty modifier".to_string())),
+                other => {
+                    return Err(err(format!(
+                        "unknown modifier `{other}` (expected \
+                         norepart|greedy-merit|linear-ii|nospill)"
+                    )))
+                }
+            };
+            if *flag {
+                return Err(err(format!("duplicate modifier `{m}`")));
+            }
+            *flag = true;
+        }
+        Ok(spec)
+    }
+
+    /// The canonical spec string (`gp:norepart`, …). Parsing it yields
+    /// `self` back.
+    pub fn spec_string(&self) -> String {
+        let mut out = String::from(self.base.spec_token());
+        for (on, tok) in [
+            (self.greedy_merit, "greedy-merit"),
+            (self.norepart, "norepart"),
+            (self.linear_ii, "linear-ii"),
+            (self.nospill, "nospill"),
+        ] {
+            if on {
+                out.push(':');
+                out.push_str(tok);
+            }
+        }
+        out
+    }
+
+    /// Display name used in records, tables and figures. Bare specs keep
+    /// the paper names (`GP`, `URACAM`, …); variants append their
+    /// modifiers (`GP:norepart`).
+    pub fn name(&self) -> String {
+        let mut out = String::from(self.base.display());
+        for (on, tok) in [
+            (self.greedy_merit, "greedy-merit"),
+            (self.norepart, "norepart"),
+            (self.linear_ii, "linear-ii"),
+            (self.nospill, "nospill"),
+        ] {
+            if on {
+                out.push(':');
+                out.push_str(tok);
+            }
+        }
+        out
+    }
+
+    /// Resolves the spec into the pipeline policies it composes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `list` specs — the list baseline is not a pipeline
+    /// algorithm; callers check [`Self::is_list`] first.
+    pub fn policies(&self) -> PolicySet {
+        assert!(
+            !self.is_list(),
+            "list scheduling does not run through the pipeline"
+        );
+        let cluster: Box<dyn crate::pipeline::cluster::ClusterPolicy> = match self.base {
+            BaseAlgorithm::Uracam if self.greedy_merit => Box::new(GreedyFirstFit),
+            BaseAlgorithm::Uracam => Box::new(MeritAllClusters),
+            BaseAlgorithm::FixedPartition => Box::new(PartitionOnly),
+            BaseAlgorithm::Gp => Box::new(PartitionFirst {
+                rule: if self.norepart {
+                    RepartitionRule::Never
+                } else {
+                    RepartitionRule::Selective
+                },
+                merit_escape: !self.greedy_merit,
+            }),
+            BaseAlgorithm::List => unreachable!("checked above"),
+        };
+        let growth: Box<dyn crate::pipeline::growth::IiGrowthPolicy> = if self.linear_ii {
+            Box::new(LinearGrowth)
+        } else {
+            Box::new(AcceleratingGrowth)
+        };
+        let spill: Box<dyn crate::pipeline::spill::SpillPolicy> = if self.nospill {
+            Box::new(NoSpill)
+        } else {
+            Box::new(LongestLiveFirst)
+        };
+        PolicySet {
+            cluster,
+            order: Box::new(SmsOrder),
+            growth,
+            spill,
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl From<Algorithm> for AlgorithmSpec {
+    fn from(a: Algorithm) -> Self {
+        AlgorithmSpec::bare(match a {
+            Algorithm::Uracam => BaseAlgorithm::Uracam,
+            Algorithm::FixedPartition => BaseAlgorithm::FixedPartition,
+            Algorithm::Gp => BaseAlgorithm::Gp,
+            Algorithm::List => BaseAlgorithm::List,
+        })
+    }
+}
+
+impl FromStr for AlgorithmSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AlgorithmSpec::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_specs_keep_paper_names() {
+        for (a, name) in [
+            (Algorithm::Uracam, "URACAM"),
+            (Algorithm::FixedPartition, "Fixed"),
+            (Algorithm::Gp, "GP"),
+            (Algorithm::List, "List"),
+        ] {
+            let spec = AlgorithmSpec::from(a);
+            assert_eq!(spec.name(), name);
+            assert!(spec.is_legacy());
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_catalog() {
+        for spec in AlgorithmSpec::CATALOG {
+            let text = spec.spec_string();
+            assert_eq!(AlgorithmSpec::parse(&text).unwrap(), spec, "{text}");
+            // Display names parse too (case-insensitive).
+            assert_eq!(AlgorithmSpec::parse(&spec.name()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(AlgorithmSpec::GP_NOREPART.name(), "GP:norepart");
+        assert_eq!(AlgorithmSpec::GP_NOREPART.spec_string(), "gp:norepart");
+        assert_eq!(AlgorithmSpec::URACAM_GREEDY.name(), "URACAM:greedy-merit");
+    }
+
+    #[test]
+    fn inapplicable_modifiers_rejected() {
+        for bad in [
+            "uracam:norepart",
+            "fixed:norepart",
+            "fixed:greedy-merit",
+            "list:nospill",
+            "list:linear-ii",
+            "gp:norepart:norepart",
+            "gp:",
+            "gp:frobnicate",
+            "nonsense",
+        ] {
+            let e = AlgorithmSpec::parse(bad).unwrap_err();
+            assert!(e.to_string().contains(bad), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn modifiers_compose_and_canonicalize() {
+        let a = AlgorithmSpec::parse("gp:nospill:norepart").unwrap();
+        let b = AlgorithmSpec::parse("gp:norepart:nospill").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.spec_string(), "gp:norepart:nospill");
+        assert_eq!(a.name(), "GP:norepart:nospill");
+    }
+
+    #[test]
+    fn list_has_no_policies() {
+        assert!(AlgorithmSpec::bare(BaseAlgorithm::List).is_list());
+        let r = std::panic::catch_unwind(|| {
+            AlgorithmSpec::bare(BaseAlgorithm::List).policies();
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn policies_resolve_for_every_pipeline_spec() {
+        for spec in AlgorithmSpec::CATALOG {
+            if spec.is_list() {
+                continue;
+            }
+            let p = spec.policies();
+            assert_eq!(p.cluster.needs_partition(), spec.needs_partition());
+        }
+    }
+}

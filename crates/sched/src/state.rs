@@ -11,6 +11,7 @@
 
 use crate::lifetime::PressureTable;
 use crate::mrt::{BusTable, ClusterMrt};
+use crate::pipeline::spill::{SpillPolicy, DEFAULT_SPILL};
 use gpsched_ddg::{Ddg, DepKind, OpId};
 use gpsched_machine::{MachineConfig, OpClass, ResourceKind};
 
@@ -108,17 +109,34 @@ pub struct PartialSchedule<'a> {
     pressure: PressureTable,
     transfers: Vec<Transfer>,
     spills: Vec<Spill>,
-    /// Spill rounds allowed per placement (safety valve).
-    max_spill_rounds: usize,
+    /// Overflow policy: whether/what to spill when a register file fills.
+    spill_policy: &'a dyn SpillPolicy,
 }
 
 impl<'a> PartialSchedule<'a> {
-    /// Creates an empty schedule for `ddg` on `machine` at interval `ii`.
+    /// Creates an empty schedule for `ddg` on `machine` at interval `ii`,
+    /// with the default spill policy (longest register interval first).
     ///
     /// # Panics
     ///
     /// Panics if `ii < 1`.
     pub fn new(ddg: &'a Ddg, machine: &'a MachineConfig, ii: i64) -> Self {
+        Self::with_spill_policy(ddg, machine, ii, &DEFAULT_SPILL)
+    }
+
+    /// [`PartialSchedule::new`] with an explicit [`SpillPolicy`] (the
+    /// pipeline threads the active [`crate::AlgorithmSpec`]'s policy in
+    /// here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii < 1`.
+    pub fn with_spill_policy(
+        ddg: &'a Ddg,
+        machine: &'a MachineConfig,
+        ii: i64,
+        spill_policy: &'a dyn SpillPolicy,
+    ) -> Self {
         assert!(ii >= 1, "ii must be positive");
         let mrts = machine.clusters().map(|c| ClusterMrt::new(c, ii)).collect();
         let caps = machine.clusters().map(|c| c.registers as i64).collect();
@@ -132,7 +150,7 @@ impl<'a> PartialSchedule<'a> {
             pressure: PressureTable::new(caps, ii),
             transfers: Vec::new(),
             spills: Vec::new(),
-            max_spill_rounds: 8,
+            spill_policy,
         }
     }
 
@@ -476,7 +494,10 @@ impl<'a> PartialSchedule<'a> {
                 return Ok(());
             };
             // Spilling needs at least one free memory slot for the store.
-            if rounds >= self.max_spill_rounds || self.mem_free(cl) == 0 || !self.try_spill(cl) {
+            if rounds >= self.spill_policy.max_rounds()
+                || self.mem_free(cl) == 0
+                || !self.try_spill(cl)
+            {
                 return Err(PlaceError::Registers);
             }
             rounds += 1;
@@ -513,7 +534,8 @@ impl<'a> PartialSchedule<'a> {
     /// works.
     fn try_spill(&mut self, cluster: usize) -> bool {
         // Candidates: placed value producers in this cluster, not yet
-        // spilled, longest register interval first.
+        // spilled, ranked by the active spill policy (default: longest
+        // register interval first).
         let mut cands: Vec<(i64, usize)> = Vec::new();
         for (opi, pl) in self.placements.iter().enumerate() {
             let Some(pl) = pl else { continue };
@@ -531,7 +553,7 @@ impl<'a> PartialSchedule<'a> {
                 cands.push((len, opi));
             }
         }
-        cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        self.spill_policy.rank(&mut cands);
 
         'cand: for (_, opi) in cands {
             let pl = self.placements[opi].expect("candidate is placed");
