@@ -2,10 +2,12 @@
 //! measurements from the command line.
 //!
 //! ```text
-//! gpsched-engine sweep    [--spec] [--kernels] [--corpus FILE]
+//! gpsched-engine sweep    [--spec] [--kernels] [--corpus FILE] [--gen SPECS]
 //!                         [--machines table1|clustered|NAMES|FILE.machine]
 //!                         [--algos all|modulo|extended|SPECS]
 //!                         [--workers N] [--no-cache] [--out FILE] [--quiet]
+//! gpsched-engine gen      --preset NAME [--seed S] [--count N] [--ops K]
+//!                         [--workers N] [--out FILE]
 //! gpsched-engine export   [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
 //!                         [--out FILE]
 //! gpsched-engine machines [--machines table1|clustered|NAMES] [--out FILE]
@@ -16,15 +18,19 @@
 //! Table 1 machines with all four algorithms — the paper's entire
 //! evaluation in one invocation. `--algos` accepts any algorithm spec
 //! (`gp:norepart`, `uracam:greedy-merit`, …), so variants sweep exactly
-//! like the paper's algorithms.
+//! like the paper's algorithms. `gen` emits a synthetic corpus from a
+//! named generator preset; the output is byte-identical for any seed
+//! regardless of `--workers`, and `sweep --gen preset:count:seed` ingests
+//! the same corpora without going through a file.
 
 use gpsched_engine::{
-    aggregate_by_group, machine_from_short_name, parse_corpus, parse_machine_corpus, run_sweep,
-    serialize_corpus, serialize_machine_corpus, JobSpec, SweepOptions,
+    aggregate_by_group, generate_corpus_text, machine_from_short_name, parse_corpus,
+    parse_machine_corpus, run_sweep, serialize_corpus, serialize_machine_corpus, JobSpec,
+    SweepOptions,
 };
 use gpsched_machine::{table1_configs, MachineConfig};
 use gpsched_sched::{Algorithm, AlgorithmSpec};
-use gpsched_workloads::{kernels, spec_suite, synth, SynthProfile};
+use gpsched_workloads::{kernels, spec_suite, synth, SynthProfile, PRESET_NAMES};
 use std::io::Write;
 use std::process::exit;
 
@@ -32,6 +38,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("machines") => cmd_machines(&args[1..]),
         Some("speedup") => cmd_speedup(&args[1..]),
@@ -50,9 +57,12 @@ gpsched-engine — parallel batch-scheduling engine
 
 USAGE:
   gpsched-engine sweep    [--spec] [--kernels] [--corpus FILE]
+                          [--gen PRESET[:COUNT[:SEED]],…]
                           [--machines table1|clustered|NAME,NAME,…|FILE.machine]
                           [--algos all|modulo|extended|SPEC,SPEC,…]
                           [--workers N] [--no-cache] [--out FILE] [--quiet]
+  gpsched-engine gen      --preset NAME [--seed S] [--count N] [--ops K]
+                          [--workers N] [--out FILE]
   gpsched-engine export   [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
                           [--out FILE]
   gpsched-engine machines [--machines table1|clustered|NAME,NAME,…] [--out FILE]
@@ -65,6 +75,10 @@ Machine names use the short form from reports (u-r32, c2r32b1l1, …);
 to export one). Algorithm specs compose policy modifiers onto a base:
 gp, gp:norepart, uracam:greedy-merit, gp:linear-ii, gp:nospill, …;
 `extended` selects the paper's four plus every bundled variant.
+Generator presets (for `gen --preset` and `sweep --gen`):
+recurrence-heavy, wide-ilp, mem-bound, chain-deep, fanout-hub,
+long-distance. `gen` output is byte-identical for a given preset, seed
+and count, whatever `--workers` says.
 ";
 
 fn fail(msg: &str) -> ! {
@@ -200,6 +214,14 @@ fn job_from_args(args: &[String]) -> JobSpec {
         }
         any_source = true;
     }
+    if let Some(list) = opt_value(args, "--gen") {
+        for spec in list.split(',') {
+            let (preset_name, count, seed) = parse_gen_spec(spec.trim());
+            let profile = resolve_preset(preset_name);
+            job = job.synth_corpus(preset_name, &profile, seed, count);
+        }
+        any_source = true;
+    }
     if !any_source {
         job = job.programs(&spec_suite());
     }
@@ -214,6 +236,7 @@ const SWEEP_FLAGS: &[&str] = &[
     "--spec",
     "--kernels",
     "--corpus",
+    "--gen",
     "--machines",
     "--algos",
     "--workers",
@@ -221,6 +244,34 @@ const SWEEP_FLAGS: &[&str] = &[
     "--out",
     "--quiet",
 ];
+
+/// Resolves a generator preset name, failing with the known names.
+fn resolve_preset(name: &str) -> SynthProfile {
+    gpsched_workloads::preset(name).unwrap_or_else(|| {
+        fail(&format!(
+            "unknown preset `{name}` (expected one of: {})",
+            PRESET_NAMES.join(", ")
+        ))
+    })
+}
+
+/// Parses a `preset[:count[:seed]]` selector of `sweep --gen`.
+fn parse_gen_spec(spec: &str) -> (&str, usize, u64) {
+    let mut parts = spec.split(':');
+    let preset_name = parts.next().unwrap_or("");
+    let count = parts.next().map_or(50, |c| {
+        c.parse()
+            .unwrap_or_else(|_| fail(&format!("`{spec}`: count must be a number")))
+    });
+    let seed = parts.next().map_or(0, |s| {
+        s.parse()
+            .unwrap_or_else(|_| fail(&format!("`{spec}`: seed must be a number")))
+    });
+    if parts.next().is_some() {
+        fail(&format!("`{spec}`: expected preset[:count[:seed]]"));
+    }
+    (preset_name, count, seed)
+}
 
 fn cmd_sweep(args: &[String]) {
     check_flags(args, SWEEP_FLAGS);
@@ -309,6 +360,47 @@ fn cmd_machines(args: &[String]) {
             std::fs::write(path, &text)
                 .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
             eprintln!("wrote {} machines to {path}", machines.len());
+        }
+        None => print!("{text}"),
+    }
+}
+
+const GEN_FLAGS: &[&str] = &[
+    "--preset",
+    "--seed",
+    "--count",
+    "--ops",
+    "--workers",
+    "--out",
+];
+
+/// Emits a synthetic corpus from a named preset as `.ddg` text.
+fn cmd_gen(args: &[String]) {
+    check_flags(args, GEN_FLAGS);
+    let preset_name =
+        opt_value(args, "--preset").unwrap_or_else(|| fail("gen requires --preset NAME"));
+    let mut profile = resolve_preset(preset_name);
+    if let Some(k) = opt_value(args, "--ops") {
+        profile.ops = k.parse().unwrap_or_else(|_| fail("--ops needs a count"));
+    }
+    let seed: u64 = opt_value(args, "--seed")
+        .map(|s| s.parse().unwrap_or_else(|_| fail("--seed needs a number")))
+        .unwrap_or(0);
+    let count: usize = opt_value(args, "--count")
+        .map(|c| c.parse().unwrap_or_else(|_| fail("--count needs a number")))
+        .unwrap_or(50);
+    let workers: usize = opt_value(args, "--workers")
+        .map(|w| {
+            w.parse()
+                .unwrap_or_else(|_| fail("--workers needs a number"))
+        })
+        .unwrap_or(0);
+    let text = generate_corpus_text(preset_name, &profile, seed, count, workers);
+    match opt_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {count} `{preset_name}` loops (seed {seed}) to {path}");
         }
         None => print!("{text}"),
     }

@@ -1,0 +1,125 @@
+//! Deterministic generation of synthetic loop corpora, wired for the
+//! engine: parallel workers, `.ddg` text output, and [`JobSpec`]
+//! ingestion via [`crate::JobSpec::synth_corpus`].
+//!
+//! Output is a pure function of `(prefix, profile, base_seed, count)` —
+//! loop `i` is always synthesized from seed `base_seed + i` and named
+//! `{prefix}-{base_seed}-{i}` — so however many workers generate the
+//! corpus, the assembled vector (and its serialized `.ddg` text) is
+//! byte-identical. The `gpsched-engine gen` subcommand and the
+//! conformance harness both build their corpora here.
+//!
+//! [`JobSpec`]: crate::JobSpec
+
+use crate::text::serialize_corpus;
+use gpsched_ddg::Ddg;
+use gpsched_workloads::synth::{synthesize, SynthProfile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Generates `count` loops from `profile`, optionally in parallel.
+///
+/// `workers == 0` uses one worker per available CPU. Any worker count
+/// produces the identical vector: each loop is an independent function of
+/// its index, and results are reassembled in index order.
+pub fn generate_corpus(
+    prefix: &str,
+    profile: &SynthProfile,
+    base_seed: u64,
+    count: usize,
+    workers: usize,
+) -> Vec<Ddg> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    }
+    .min(count.max(1));
+    if workers <= 1 {
+        return gpsched_workloads::synth::corpus(prefix, profile, base_seed, count);
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Ddg)>();
+    let mut slots: Vec<Option<Ddg>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let ddg = synthesize(
+                    format!("{prefix}-{base_seed}-{i}"),
+                    profile,
+                    base_seed.wrapping_add(i as u64),
+                );
+                if tx.send((i, ddg)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, ddg) in rx {
+            slots[i] = Some(ddg);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index generated"))
+        .collect()
+}
+
+/// [`generate_corpus`] serialized to `.ddg` corpus text — what
+/// `gpsched-engine gen` writes. Byte-identical for any worker count.
+pub fn generate_corpus_text(
+    prefix: &str,
+    profile: &SynthProfile,
+    base_seed: u64,
+    count: usize,
+    workers: usize,
+) -> String {
+    let loops = generate_corpus(prefix, profile, base_seed, count, workers);
+    serialize_corpus(loops.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::same_structure;
+    use gpsched_workloads::preset;
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let profile = preset("recurrence-heavy").expect("bundled preset");
+        let serial = generate_corpus("recurrence-heavy", &profile, 7, 20, 1);
+        let parallel = generate_corpus("recurrence-heavy", &profile, 7, 20, 8);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert!(same_structure(a, b), "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn corpus_text_is_byte_identical_across_worker_counts() {
+        let profile = preset("mem-bound").expect("bundled preset");
+        let one = generate_corpus_text("mem-bound", &profile, 3, 16, 1);
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                one,
+                generate_corpus_text("mem-bound", &profile, 3, 16, workers),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_workers_means_host_parallelism() {
+        let profile = SynthProfile::default();
+        let auto = generate_corpus_text("x", &profile, 0, 4, 0);
+        let serial = generate_corpus_text("x", &profile, 0, 4, 1);
+        assert_eq!(auto, serial);
+    }
+}

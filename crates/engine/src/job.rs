@@ -79,6 +79,28 @@ impl JobSpec {
         self
     }
 
+    /// Adds a generated synthetic corpus under `group`: `count` loops from
+    /// `profile`, named and seeded exactly like
+    /// [`gen::generate_corpus`](crate::gen::generate_corpus), so a sweep
+    /// over a generated corpus reproduces from `(group, base_seed, count)`
+    /// alone.
+    pub fn synth_corpus(
+        mut self,
+        group: impl Into<String>,
+        profile: &gpsched_workloads::SynthProfile,
+        base_seed: u64,
+        count: usize,
+    ) -> Self {
+        let group = group.into();
+        for ddg in crate::gen::generate_corpus(&group, profile, base_seed, count, 1) {
+            self.loops.push(LoopSpec {
+                group: group.clone(),
+                ddg,
+            });
+        }
+        self
+    }
+
     /// Adds a machine (builder-style).
     pub fn machine(mut self, m: MachineConfig) -> Self {
         self.machines.push(m);

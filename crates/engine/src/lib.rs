@@ -55,6 +55,8 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod conformance;
+pub mod gen;
 pub mod job;
 pub mod machine_text;
 pub mod record;
@@ -63,6 +65,7 @@ pub mod text;
 mod textutil;
 
 pub use cache::{ddg_content_hash, machine_key, SweepCache};
+pub use gen::{generate_corpus, generate_corpus_text};
 pub use job::{machine_from_short_name, JobSpec, LoopSpec};
 pub use machine_text::{
     parse_machine, parse_machine_corpus, serialize_machine, serialize_machine_corpus,

@@ -2,7 +2,7 @@
 //!
 //! Pairs with the `.ddg` loop format ([`crate::text`]) so a whole sweep —
 //! loops *and* machines — can live in version-controlled text files (the
-//! machine-config interchange format named in DESIGN.md §8). One file
+//! machine-config interchange format named in DESIGN.md §9). One file
 //! holds any number of machines:
 //!
 //! ```text

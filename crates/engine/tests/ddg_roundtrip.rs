@@ -21,6 +21,7 @@ fn arb_profile(rng: &mut Prng) -> SynthProfile {
         recurrences: rng.gen_range(0usize..5),
         max_distance: rng.gen_range(1u32..4),
         trip_range: (1, 5000),
+        ..SynthProfile::default()
     }
 }
 

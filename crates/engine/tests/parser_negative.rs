@@ -1,0 +1,399 @@
+//! Negative-path coverage of the `.ddg` and `.machine` interchange
+//! parsers: one test per distinct error message, each asserting the
+//! 1-based line number the error is reported on, plus a mutation sweep
+//! that corrupts every field of a valid file and demands a line-accurate
+//! diagnosis (or a clean parse, for the free-form name fields that can
+//! absorb any token).
+
+use gpsched_engine::machine_text::parse_machine_corpus;
+use gpsched_engine::text::{parse_corpus, parse_ddg, TextError};
+use gpsched_engine::{parse_machine, MachineTextError};
+
+/// A valid loop exercising every `.ddg` directive: comments, trips, ops
+/// of several classes, flow and mem deps, carried distances.
+const VALID_DDG: &str = "\
+ddg sample loop
+trips 128
+op load 2 x[i]
+op fmul 3 a*x
+op store 1 y[i]=
+dep 0 1 flow 2 0
+dep 1 2 flow 3 0
+dep 2 0 mem 1 1
+end
+";
+
+/// A valid machine exercising every `.machine` directive.
+const VALID_MACHINE: &str = "\
+machine m
+cluster 2 2 2 16
+cluster 2 2 2 16
+bus 1 2
+latency load 2
+end
+";
+
+/// The 1-based line an error was reported on.
+fn ddg_err_line(e: &TextError) -> usize {
+    match e {
+        TextError::Syntax { line, .. }
+        | TextError::OpOutOfRange { line, .. }
+        | TextError::Invalid { line, .. } => *line,
+        TextError::UnterminatedBlock { start_line, .. } => *start_line,
+    }
+}
+
+/// Replaces field `fi` of line `li` (0-based) with `junk`.
+fn mutate(text: &str, li: usize, fi: usize, junk: &str) -> String {
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let mut fields: Vec<&str> = lines[li].split_whitespace().collect();
+    fields[fi] = junk;
+    lines[li] = fields.join(" ");
+    lines.join("\n") + "\n"
+}
+
+// ---------------------------------------------------------------------
+// Mutation sweeps: corrupt each field of each line of a valid file.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_corrupted_ddg_field_is_diagnosed_on_its_line() {
+    let base = VALID_DDG;
+    assert!(parse_corpus(base).is_ok(), "fixture must be valid");
+    for (li, line) in base.lines().enumerate() {
+        let nfields = line.split_whitespace().count();
+        for fi in 0..nfields {
+            let mutated = mutate(base, li, fi, "zzz9");
+            let keyword = line.split_whitespace().next().unwrap();
+            // Name fields absorb any token: the `ddg` name (field ≥ 1)
+            // and the op name (field ≥ 3).
+            let free_form = (keyword == "ddg" && fi >= 1) || (keyword == "op" && fi >= 3);
+            match parse_corpus(&mutated) {
+                Ok(_) => assert!(
+                    free_form,
+                    "line {} field {fi}: corruption parsed: {mutated}",
+                    li + 1
+                ),
+                Err(e) => {
+                    assert!(!free_form, "line {}: name field rejected: {e}", li + 1);
+                    assert_eq!(ddg_err_line(&e), li + 1, "{mutated}: {e}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_corrupted_machine_field_is_diagnosed_on_its_line() {
+    let base = VALID_MACHINE;
+    assert!(parse_machine_corpus(base).is_ok(), "fixture must be valid");
+    for (li, line) in base.lines().enumerate() {
+        let nfields = line.split_whitespace().count();
+        for fi in 0..nfields {
+            let mutated = mutate(base, li, fi, "zzz9");
+            let keyword = line.split_whitespace().next().unwrap();
+            let free_form = keyword == "machine" && fi >= 1;
+            match parse_machine_corpus(&mutated) {
+                Ok(_) => assert!(
+                    free_form,
+                    "line {} field {fi}: corruption parsed: {mutated}",
+                    li + 1
+                ),
+                Err(e) => {
+                    assert!(!free_form, "line {}: name field rejected: {e}", li + 1);
+                    assert_eq!(e.line, li + 1, "{mutated}: {e}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// `.ddg` parser: one test per distinct error message.
+// ---------------------------------------------------------------------
+
+/// Asserts the error of parsing `text` lands on `line` and mentions
+/// `needle`.
+fn ddg_err(text: &str, line: usize, needle: &str) -> TextError {
+    let e = parse_corpus(text).unwrap_err();
+    assert_eq!(ddg_err_line(&e), line, "{text:?}: {e}");
+    assert!(e.to_string().contains(needle), "{text:?}: {e}");
+    e
+}
+
+#[test]
+fn ddg_unknown_directive() {
+    ddg_err(
+        "ddg x\nfrobnicate 3\nend\n",
+        2,
+        "unknown directive `frobnicate`",
+    );
+}
+
+#[test]
+fn ddg_requires_a_name() {
+    ddg_err("ddg\n", 1, "`ddg` requires a name");
+}
+
+#[test]
+fn ddg_nested_block() {
+    ddg_err(
+        "ddg a\nddg b\nend\n",
+        2,
+        "`ddg` inside unterminated block `a`",
+    );
+}
+
+#[test]
+fn ddg_directives_outside_block() {
+    for directive in ["trips 3", "op int 1 a", "dep 0 0 flow 1 0", "end"] {
+        let word = directive.split(' ').next().unwrap();
+        ddg_err(
+            &format!("{directive}\n"),
+            1,
+            &format!("`{word}` outside a `ddg … end` block"),
+        );
+    }
+}
+
+#[test]
+fn ddg_bad_trip_count() {
+    ddg_err(
+        "ddg x\ntrips many\nend\n",
+        2,
+        "expected a trip count, got `many`",
+    );
+}
+
+#[test]
+fn ddg_unknown_op_class() {
+    ddg_err(
+        "ddg x\nop blorp 1 a\nend\n",
+        2,
+        "unknown op class `blorp` (expected int|fadd|fmul|fdiv|load|store)",
+    );
+}
+
+#[test]
+fn ddg_bad_op_latency() {
+    ddg_err(
+        "ddg x\nop int fast a\nend\n",
+        2,
+        "expected a latency, got `fast`",
+    );
+}
+
+#[test]
+fn ddg_bad_dep_fields() {
+    let cases = [
+        ("dep x 0 flow 1 0", "expected a source op index, got `x`"),
+        (
+            "dep 0 x flow 1 0",
+            "expected a destination op index, got `x`",
+        ),
+        ("dep 0 0 flow x 0", "expected a latency, got `x`"),
+        ("dep 0 0 flow 1 x", "expected a distance, got `x`"),
+        (
+            "dep 0 0 sideways 1 0",
+            "unknown dep kind `sideways` (expected flow|mem)",
+        ),
+    ];
+    for (line, needle) in cases {
+        ddg_err(&format!("ddg x\nop int 1 a\n{line}\nend\n"), 3, needle);
+    }
+}
+
+#[test]
+fn ddg_dep_out_of_range_reports_src_and_dst() {
+    let e = ddg_err(
+        "ddg x\nop int 1 a\ndep 0 3 flow 1 0\nend\n",
+        3,
+        "op index 3 out of range (1 ops declared so far)",
+    );
+    assert_eq!(
+        e,
+        TextError::OpOutOfRange {
+            line: 3,
+            index: 3,
+            declared: 1
+        }
+    );
+    ddg_err(
+        "ddg x\nop int 1 a\ndep 9 0 flow 1 0\nend\n",
+        3,
+        "op index 9",
+    );
+}
+
+#[test]
+fn ddg_invalid_at_end_carries_build_error() {
+    let text = "ddg bad\nop int 1 a\nop int 1 b\ndep 0 1 flow 1 0\ndep 1 0 flow 1 0\nend\n";
+    let e = ddg_err(text, 6, "invalid ddg");
+    assert!(matches!(e, TextError::Invalid { .. }));
+}
+
+#[test]
+fn ddg_unterminated_block_reports_opening_line() {
+    let e = ddg_err(
+        "# hdr\nddg open\nop int 1 a\n",
+        2,
+        "`open` is never closed with `end`",
+    );
+    assert!(matches!(e, TextError::UnterminatedBlock { .. }));
+}
+
+#[test]
+fn ddg_exactly_one_expected() {
+    // Zero loops and two loops both fail parse_ddg, reported on the last
+    // line.
+    let e = parse_ddg("# empty\n").unwrap_err();
+    assert!(e.to_string().contains("expected exactly one ddg, found 0"));
+    let two = "ddg a\nop int 1 x\nend\nddg b\nop int 1 y\nend\n";
+    let e = parse_ddg(two).unwrap_err();
+    assert_eq!(ddg_err_line(&e), 6);
+    assert!(e.to_string().contains("expected exactly one ddg, found 2"));
+}
+
+// ---------------------------------------------------------------------
+// `.machine` parser: one test per distinct error message.
+// ---------------------------------------------------------------------
+
+fn machine_err(text: &str, line: usize, needle: &str) -> MachineTextError {
+    let e = parse_machine_corpus(text).unwrap_err();
+    assert_eq!(e.line, line, "{text:?}: {e}");
+    assert!(e.to_string().contains(needle), "{text:?}: {e}");
+    e
+}
+
+#[test]
+fn machine_unknown_directive() {
+    machine_err(
+        "machine x\nfrobnicate\nend\n",
+        2,
+        "unknown directive `frobnicate`",
+    );
+}
+
+#[test]
+fn machine_requires_a_name() {
+    machine_err("machine\n", 1, "`machine` requires a name");
+}
+
+#[test]
+fn machine_nested_block() {
+    machine_err(
+        "machine x\nmachine y\nend\n",
+        2,
+        "`machine` inside unterminated block `x`",
+    );
+}
+
+#[test]
+fn machine_directives_outside_block() {
+    for directive in ["cluster 1 1 1 8", "bus 1 1", "latency load 2", "end"] {
+        let word = directive.split(' ').next().unwrap();
+        machine_err(
+            &format!("{directive}\n"),
+            1,
+            &format!("`{word}` outside a `machine … end` block"),
+        );
+    }
+}
+
+#[test]
+fn machine_bad_cluster_fields() {
+    let cases = [
+        ("cluster x 1 1 8", "expected an integer-unit count, got `x`"),
+        ("cluster 1 x 1 8", "expected an fp-unit count, got `x`"),
+        ("cluster 1 1 x 8", "expected a memory-port count, got `x`"),
+        ("cluster 1 1 1 x", "expected a register count, got `x`"),
+    ];
+    for (line, needle) in cases {
+        machine_err(&format!("machine m\n{line}\nend\n"), 2, needle);
+    }
+}
+
+#[test]
+fn machine_duplicate_bus() {
+    machine_err(
+        "machine m\ncluster 1 1 1 8\nbus 1 1\nbus 1 1\nend\n",
+        4,
+        "duplicate `bus` line",
+    );
+}
+
+#[test]
+fn machine_bad_bus_fields() {
+    machine_err(
+        "machine m\nbus x 1\nend\n",
+        2,
+        "expected a bus count, got `x`",
+    );
+    machine_err(
+        "machine m\nbus 1 x\nend\n",
+        2,
+        "expected a bus latency, got `x`",
+    );
+}
+
+#[test]
+fn machine_unknown_latency_class() {
+    machine_err(
+        "machine m\nlatency blorp 3\nend\n",
+        2,
+        "unknown op class `blorp` (expected int|fadd|fmul|fdiv|load|store)",
+    );
+}
+
+#[test]
+fn machine_bad_latency_value() {
+    machine_err(
+        "machine m\nlatency load x\nend\n",
+        2,
+        "expected a latency, got `x`",
+    );
+}
+
+#[test]
+fn machine_no_clusters() {
+    machine_err("machine m\nend\n", 2, "machine `m` declares no clusters");
+}
+
+#[test]
+fn machine_multicluster_needs_a_bus() {
+    machine_err(
+        "machine m\ncluster 1 1 1 8\ncluster 1 1 1 8\nbus 0 1\nend\n",
+        5,
+        "multi-cluster machine `m` needs at least one bus",
+    );
+}
+
+#[test]
+fn machine_multicluster_needs_bus_latency() {
+    machine_err(
+        "machine m\ncluster 1 1 1 8\ncluster 1 1 1 8\nbus 1 0\nend\n",
+        5,
+        "multi-cluster machine `m` needs a positive bus latency",
+    );
+}
+
+#[test]
+fn machine_unterminated_block_reports_opening_line() {
+    machine_err(
+        "# hdr\nmachine open\ncluster 1 1 1 4\n",
+        2,
+        "never closed with `end`",
+    );
+}
+
+#[test]
+fn machine_exactly_one_expected() {
+    let e = parse_machine("# empty\n").unwrap_err();
+    assert!(e
+        .to_string()
+        .contains("expected exactly one machine, found 0"));
+    let two = "machine a\ncluster 1 1 1 4\nend\nmachine b\ncluster 1 1 1 4\nend\n";
+    let e = parse_machine(two).unwrap_err();
+    assert_eq!(e.line, 6);
+    assert!(e.to_string().contains("found 2"));
+}

@@ -6,8 +6,13 @@
 //! reproduce fig3     # IPC, 1 bus, latency 2 (4 sub-graphs)
 //! reproduce table2   # scheduling CPU time per algorithm/config
 //! reproduce variants # IPC of the policy-variant specs (beyond the paper)
+//! reproduce stress   # catalog × synthetic preset corpora, sim-audited
 //! reproduce all      # everything + rewrite EXPERIMENTS.md
 //! ```
+//!
+//! `stress` reads `GPSCHED_SYNTH_BUDGET` (total generated loops; default
+//! 90) and is not part of `all` — its corpora are open-ended where
+//! EXPERIMENTS.md pins the paper's frozen evaluation.
 //!
 //! Run with `--release`; the full sweep schedules ~76 loops × 9 machine
 //! configurations × 4 algorithm bars.
@@ -53,6 +58,20 @@ fn main() {
             "{}",
             report::render_variants("Variants — IPC per algorithm spec", &variants_figure())
         ),
+        "stress" => {
+            let budget = gpsched_engine::conformance::synth_budget(90);
+            let machines = [
+                MachineConfig::two_cluster(32, 1, 1),
+                MachineConfig::four_cluster(64, 1, 2),
+            ];
+            let report =
+                gpsched_eval::stress_report(budget, 0xC0DE, &machines, &AlgorithmSpec::CATALOG);
+            println!("Stress — catalog IPC over synthetic preset corpora (sim-audited)\n");
+            print!("{}", report.render());
+            if !report.failures.is_empty() {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             print!("{}", report::render_table1(&tables::table1()));
             let f2 = figure2();
@@ -75,7 +94,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown command `{other}`; use table1|fig2|fig3|table2|variants|all");
+            eprintln!("unknown command `{other}`; use table1|fig2|fig3|table2|variants|stress|all");
             std::process::exit(2);
         }
     }

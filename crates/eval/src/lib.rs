@@ -11,6 +11,9 @@
 //! * [`variants`] — the same aggregation opened to arbitrary
 //!   [`gpsched_sched::AlgorithmSpec`] lists, so policy variants
 //!   (`gp:norepart`, `uracam:greedy-merit`, …) get figures too;
+//! * [`stress`] — the workload axis opened the same way: the whole spec
+//!   catalog over generated synthetic corpora (one per `workloads::synth`
+//!   preset), every unit validated by the conformance audit;
 //! * [`report`] — plain-text and Markdown renderers, including the
 //!   shape checks recorded in `EXPERIMENTS.md`.
 //!
@@ -28,10 +31,12 @@
 pub mod figures;
 pub mod report;
 pub mod run;
+pub mod stress;
 pub mod tables;
 pub mod variants;
 
 pub use figures::{figure2, figure3, FigureRow, FigureSeries};
 pub use run::{run_program, ProgramRun};
+pub use stress::{stress_report, StressReport, StressRow};
 pub use tables::{table2, Table2Row};
 pub use variants::{series_for_specs, VariantRow, VariantSeries};

@@ -1,0 +1,178 @@
+//! Stress report: every algorithm spec over generated synthetic corpora,
+//! simulator-audited.
+//!
+//! The paper's evaluation is frozen at the SPECfp95 loop suite; this
+//! report opens the workload axis the way `variants` opened the
+//! algorithm axis. Each generator preset (`recurrence-heavy`,
+//! `wide-ilp`, `mem-bound`, …) contributes a seeded corpus; every
+//! (preset, machine, spec) cell aggregates IPC exactly like the paper
+//! aggregates whole benchmarks, and every underlying unit passes through
+//! the conformance audit ([`gpsched_engine::conformance`]) — so the
+//! numbers in the table are backed by cycle-accurate replay, not just
+//! the scheduler's own accounting.
+
+use gpsched_engine::conformance::{audit_unit, conformance_corpus};
+use gpsched_machine::MachineConfig;
+use gpsched_sched::AlgorithmSpec;
+
+/// One (preset, machine) row of the stress table.
+#[derive(Clone, Debug)]
+pub struct StressRow {
+    /// Generator preset name.
+    pub preset: String,
+    /// Machine short name.
+    pub machine: String,
+    /// Aggregate IPC per spec, aligned with [`StressReport::specs`].
+    pub ipc: Vec<f64>,
+    /// Largest `II / MII` ratio observed in the row (1.0 = every loop
+    /// scheduled at its lower bound).
+    pub worst_ii_over_mii: f64,
+}
+
+/// The full stress report.
+#[derive(Clone, Debug)]
+pub struct StressReport {
+    /// Display name of every spec, in column order.
+    pub specs: Vec<String>,
+    /// Per-(preset, machine) rows.
+    pub rows: Vec<StressRow>,
+    /// Total generated loops.
+    pub loops: usize,
+    /// Units audited (loops × machines × specs).
+    pub audited: usize,
+    /// Units that fell back to list scheduling.
+    pub fallbacks: usize,
+    /// Units whose schedule spilled at least one value.
+    pub spilled: usize,
+    /// Audit failures, as `loop / machine / spec: reason` lines (empty
+    /// when the catalog conforms — the expected state).
+    pub failures: Vec<String>,
+}
+
+/// Runs the stress sweep: `budget` loops (spread over every preset,
+/// seeded from `base_seed`) × `machines` × `specs`, each unit audited.
+pub fn stress_report(
+    budget: usize,
+    base_seed: u64,
+    machines: &[MachineConfig],
+    specs: &[AlgorithmSpec],
+) -> StressReport {
+    let corpus = conformance_corpus(budget, base_seed);
+    let spec_names: Vec<String> = specs.iter().map(|s| s.name()).collect();
+    let mut rows = Vec::new();
+    let mut audited = 0usize;
+    let mut fallbacks = 0usize;
+    let mut spilled = 0usize;
+    let mut failures = Vec::new();
+
+    let mut presets: Vec<&str> = Vec::new();
+    for case in &corpus {
+        if !presets.contains(&case.preset) {
+            presets.push(case.preset);
+        }
+    }
+    for preset in &presets {
+        let cases: Vec<_> = corpus.iter().filter(|c| c.preset == *preset).collect();
+        for machine in machines {
+            let mut ipc = Vec::with_capacity(specs.len());
+            let mut worst = 1.0f64;
+            for spec in specs {
+                let (mut work, mut cycles) = (0u128, 0u128);
+                for case in &cases {
+                    match audit_unit(&case.ddg, machine, *spec) {
+                        Ok(a) => {
+                            work += a.ops as u128 * a.trips as u128;
+                            cycles += a.cycles as u128;
+                            fallbacks += usize::from(a.fallback);
+                            spilled += usize::from(a.spills > 0);
+                            if !a.fallback {
+                                worst = worst.max(a.ii as f64 / a.mii as f64);
+                            }
+                        }
+                        Err(e) => failures.push(format!(
+                            "{} / {} / {spec}: {e}",
+                            case.ddg.name(),
+                            machine.short_name()
+                        )),
+                    }
+                    audited += 1;
+                }
+                ipc.push(if cycles == 0 {
+                    0.0
+                } else {
+                    work as f64 / cycles as f64
+                });
+            }
+            rows.push(StressRow {
+                preset: preset.to_string(),
+                machine: machine.short_name(),
+                ipc,
+                worst_ii_over_mii: worst,
+            });
+        }
+    }
+    StressReport {
+        specs: spec_names,
+        rows,
+        loops: corpus.len(),
+        audited,
+        fallbacks,
+        spilled,
+        failures,
+    }
+}
+
+impl StressReport {
+    /// Plain-text rendering of the table plus the audit summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let widths: Vec<usize> = self.specs.iter().map(|s| s.len().max(7)).collect();
+        out.push_str(&format!("{:<18} {:<12}", "preset", "machine"));
+        for (s, w) in self.specs.iter().zip(&widths) {
+            out.push_str(&format!(" {s:>w$}"));
+        }
+        out.push_str("  worst II/MII\n");
+        for row in &self.rows {
+            out.push_str(&format!("{:<18} {:<12}", row.preset, row.machine));
+            for (v, w) in row.ipc.iter().zip(&widths) {
+                out.push_str(&format!(" {v:>w$.3}"));
+            }
+            out.push_str(&format!("  {:>12.2}\n", row.worst_ii_over_mii));
+        }
+        out.push_str(&format!(
+            "\n{} loops, {} units audited — {} list fallbacks, {} spilled units, {} audit failures\n",
+            self.loops,
+            self.audited,
+            self.fallbacks,
+            self.spilled,
+            self.failures.len()
+        ));
+        for f in &self.failures {
+            out.push_str(&format!("  FAIL {f}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_stress_report_is_clean_and_renders() {
+        let machines = [MachineConfig::two_cluster(32, 1, 1)];
+        let specs: Vec<AlgorithmSpec> = ["gp", "list"]
+            .iter()
+            .map(|s| AlgorithmSpec::parse(s).expect("parses"))
+            .collect();
+        let r = stress_report(12, 3, &machines, &specs);
+        assert_eq!(r.loops, 12);
+        assert_eq!(r.audited, 12 * 2);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        assert_eq!(r.rows.len(), 6); // 6 presets × 1 machine
+        assert!(r.rows.iter().all(|row| row.ipc.iter().all(|&x| x > 0.0)));
+        let text = r.render();
+        assert!(text.contains("recurrence-heavy"));
+        assert!(text.contains("0 audit failures"));
+    }
+}

@@ -103,6 +103,57 @@ fn evaluator_matches_estimate_wide_bus() {
 }
 
 #[test]
+fn evaluator_matches_estimate_on_preset_corpora() {
+    // The named generator presets stress shapes the random profiles of
+    // `check_sequence` rarely hit: dense recurrences, near-zero chain
+    // bias, saturated memory ports. Across 3 presets × 3 machines, the
+    // incremental evaluator must stay bit-identical to `estimate()`
+    // through a move/swap sequence on every corpus loop.
+    let presets = ["recurrence-heavy", "wide-ilp", "mem-bound"];
+    let machines = [
+        MachineConfig::two_cluster(32, 1, 1),
+        MachineConfig::two_cluster(32, 2, 3),
+        MachineConfig::four_cluster(64, 1, 2),
+    ];
+    for preset_name in presets {
+        let profile = gpsched_workloads::preset(preset_name).expect("bundled preset");
+        for (mi, machine) in machines.iter().enumerate() {
+            let nclusters = machine.cluster_count();
+            for (ci, ddg) in gpsched_workloads::synth::corpus(preset_name, &profile, 0xE0, 4)
+                .iter()
+                .enumerate()
+            {
+                let mut rng = Prng::seed_from_u64((mi as u64) << 32 | ci as u64);
+                let ii_input = mii::mii(ddg, machine);
+                let mut assign: Vec<usize> = (0..ddg.op_count())
+                    .map(|_| rng.gen_range(0..nclusters))
+                    .collect();
+                let mut ev = CostEvaluator::new(ddg, machine);
+                ev.reset(ii_input, &assign);
+                for step in 0..20 {
+                    let op = rng.gen_range(0..ddg.op_count());
+                    let c = rng.gen_range(0..nclusters);
+                    ev.apply(op, c);
+                    assign[op] = c;
+                    let scratch = estimate(
+                        ddg,
+                        machine,
+                        ii_input,
+                        &Partition::new(assign.clone(), nclusters),
+                    );
+                    assert_eq!(
+                        ev.cost(),
+                        scratch,
+                        "{preset_name} loop {ci} on {}, step {step}",
+                        machine.short_name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn evaluator_screen_never_lies() {
     // `cost_if_better` may skip the timing analysis; whenever it returns
     // None the full cost must indeed not beat the reference, and whenever

@@ -57,7 +57,51 @@ fn book_bus_transfer(
 /// greedily placed on the cluster that can start them first (accounting for
 /// one bus transfer per cross-cluster operand). Loop-carried dependences
 /// are satisfied by construction because iterations do not overlap.
+///
+/// Register pressure is enforced wherever spilling can relieve it: a
+/// value read at iteration distance `d` is resident for `d` whole
+/// iterations, so carried-heavy loops can exceed a cluster's register
+/// file no matter how ops are ordered. Overflow is relieved in tiers —
+/// spill the longest carried lifetimes through memory; failing that,
+/// re-place the loop with carried dependence chains co-located (which
+/// turns every carried lifetime into a spillable same-cluster one) and
+/// spill again. The happy path books nothing and is bit-identical to the
+/// historical scheduler. Loops whose irreducible *same-iteration*
+/// pressure exceeds the register file (only rematerialization could
+/// relieve it, which this model does not do) still come back with their
+/// honest, overflowing `MaxLive` — such a loop cannot execute on that
+/// machine, and the simulator audit refuses the schedule accordingly.
 pub fn list_schedule(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
+    let (placements, transfers, core) = place(ddg, machine, false);
+    if let Some((ii, spills, max_live, length)) =
+        resolve_pressure(ddg, machine, &placements, &transfers, core, true)
+    {
+        return Schedule::from_list(placements, transfers, spills, ii, length, max_live);
+    }
+    let (placements, transfers, core) = place(ddg, machine, true);
+    let (ii, spills, max_live, length) =
+        resolve_pressure(ddg, machine, &placements, &transfers, core, true).unwrap_or_else(|| {
+            // Lenient last resort: spill whatever can be spilled and
+            // report the honest (possibly still overflowing) MaxLive.
+            resolve_pressure(ddg, machine, &placements, &transfers, core, false)
+                .expect("lenient pressure resolution always produces a schedule")
+        });
+    Schedule::from_list(placements, transfers, spills, ii, length, max_live)
+}
+
+/// Greedy placement of ops, bus transfers and the core schedule length.
+///
+/// With `colocate` set, ops connected by loop-carried flow dependences
+/// are forced onto one cluster (chosen by the first of them placed):
+/// cross-cluster carried values park `d` iterations of copies in the
+/// *consumer's* register file, where the spiller cannot reach them —
+/// co-location moves that residency to the producer's cluster, where it
+/// can be spilled.
+fn place(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    colocate: bool,
+) -> (Vec<Placement>, Vec<Transfer>, i64) {
     let order = topo_order(ddg.graph(), |_, d| d.distance == 0)
         .expect("distance-0 subgraph is acyclic by construction");
     let nclusters = machine.cluster_count();
@@ -84,12 +128,31 @@ pub fn list_schedule(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
         t >= row.len() || row[t] < units(c, k)
     };
 
+    // Carried-flow components: only built (and only consulted) when
+    // co-locating, so the default path stays allocation-free here.
+    let mut uf = colocate.then(|| {
+        let mut uf = gpsched_graph::UnionFind::new(ddg.op_count());
+        for e in ddg.dep_ids() {
+            let dep = ddg.dep(e);
+            if dep.kind == DepKind::Flow && dep.distance > 0 {
+                let (a, b) = ddg.dep_endpoints(e);
+                uf.union(a.index(), b.index());
+            }
+        }
+        (uf, vec![None::<usize>; ddg.op_count()])
+    });
+
     for &op in &order {
         let kind = ddg.op(op).class.resource();
+        // A forced cluster only binds if it can execute the op at all.
+        let forced = uf
+            .as_mut()
+            .and_then(|(uf, comp)| comp[uf.find(op.index())])
+            .filter(|&fc| units(fc, kind) > 0);
         // Earliest start per cluster given operand locations.
         let mut best: Option<(i64, usize)> = None;
         for c in 0..nclusters {
-            if units(c, kind) == 0 {
+            if units(c, kind) == 0 || forced.is_some_and(|fc| fc != c) {
                 continue;
             }
             let mut ready = 0i64;
@@ -166,6 +229,12 @@ pub fn list_schedule(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
             cluster: c,
             time: t,
         };
+        if let Some((uf, comp)) = uf.as_mut() {
+            // First placement wins: a member that escaped the forced
+            // cluster (no units there) must not re-point its component.
+            let root = uf.find(op.index());
+            comp[root].get_or_insert(c);
+        }
     }
 
     // Loop-carried cross-cluster flow deps also move a value, but their
@@ -210,14 +279,63 @@ pub fn list_schedule(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
         length = length.max(t.arrival);
     }
 
-    // MaxLive per cluster, with the same lifetime conventions as the
-    // modulo scheduler (def at completion, reads at consumer issue plus
-    // II·distance, transferred values occupying the destination cluster
-    // from arrival to last read). Iterations repeat every `length` cycles,
-    // so the pressure table's II is the schedule length.
-    let ii = length.max(1);
-    let caps = machine.clusters().map(|c| c.registers as i64).collect();
-    let mut pressure = crate::lifetime::PressureTable::new(caps, ii);
+    (placements, transfers, length.max(1))
+}
+
+/// Lifetime facts of one value, gathered once per schedule.
+struct Life {
+    /// Producing op index.
+    producer: usize,
+    /// Cluster holding the value.
+    cluster: usize,
+    /// Completion cycle (register residency start).
+    def: i64,
+    /// Latest same-iteration obligation — distance-0 same-cluster reads
+    /// and bus transfer reads — that a spill store must stay behind.
+    keep: i64,
+    /// Same-cluster reads at distance ≥ 1: (consumer issue, distance).
+    /// Their absolute read times (`issue + d·II`) depend on the period.
+    carried: Vec<(i64, u32)>,
+}
+
+/// Why a strict spill pass could not finish.
+enum PassFail {
+    /// A needed spill found no free memory-port slot; a longer period
+    /// (one more all-idle cycle per iteration) may provide one.
+    NoSlot,
+    /// An overflowing cluster has no spillable (carried, same-cluster)
+    /// lifetime left; growing the period cannot help.
+    NoCandidate,
+}
+
+/// Computes per-cluster `MaxLive`, spilling on overflow.
+///
+/// Returns `(ii, spills, max_live, length)`. The fast path — every
+/// cluster fits — books nothing and returns the core length unchanged.
+/// On overflow the pass spills carried same-cluster values (store after
+/// `keep`, one reload right before each carried read), which shrinks a
+/// `d`-iteration register residency to the store/reload windows the
+/// simulator's spill model accounts. Memory-port capacity is respected
+/// per period residue; if a spill cannot find slots the period grows by
+/// one idle cycle and the pass restarts with fresh slack.
+///
+/// In strict mode, `None` means some overflow is beyond the spiller
+/// (nothing spillable on the cluster) — the caller escalates placement.
+/// Lenient mode never fails: it spills what it can and reports the
+/// honest, possibly overflowing, `MaxLive`.
+fn resolve_pressure(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    placements: &[Placement],
+    transfers: &[Transfer],
+    core: i64,
+    strict: bool,
+) -> Option<(i64, Vec<crate::state::Spill>, Vec<i64>, i64)> {
+    let store_lat = machine.latencies.store as i64;
+    let load_lat = machine.latencies.load as i64;
+    let caps: Vec<i64> = machine.clusters().map(|c| c.registers as i64).collect();
+
+    let mut lives: Vec<Life> = Vec::new();
     for op in ddg.op_ids() {
         let opd = ddg.op(op);
         if !opd.class.defines_value() {
@@ -225,23 +343,96 @@ pub fn list_schedule(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
         }
         let pl = placements[op.index()];
         let def = pl.time + opd.latency as i64;
-        let mut last = def;
+        let mut keep = def;
+        let mut carried: Vec<(i64, u32)> = Vec::new();
         for (e, cons) in ddg.graph().out_edges(op) {
             let dep = ddg.dep(e);
             if dep.kind != DepKind::Flow {
                 continue;
             }
             let cp = placements[cons.index()];
-            if cp.cluster == pl.cluster {
-                last = last.max(cp.time + ii * dep.distance as i64);
+            if cp.cluster != pl.cluster {
+                continue;
+            }
+            if dep.distance == 0 {
+                keep = keep.max(cp.time);
+            } else {
+                carried.push((cp.time, dep.distance));
             }
         }
         for t in transfers.iter().filter(|t| t.producer == op.index()) {
-            last = last.max(t.read_time);
+            keep = keep.max(t.read_time);
         }
-        pressure.add(pl.cluster, def, last);
+        carried.sort_unstable();
+        carried.dedup();
+        lives.push(Life {
+            producer: op.index(),
+            cluster: pl.cluster,
+            def,
+            keep,
+            carried,
+        });
     }
-    for t in &transfers {
+
+    // Every period growth step frees `mem ports × 1` slots per cluster;
+    // the spiller needs at most one store plus one load per carried use,
+    // so the bound below is far beyond any real demand.
+    let growth_cap = core + 4 + 3 * ddg.op_count() as i64;
+    for ii in core..=growth_cap {
+        match spill_pass(
+            ddg, machine, placements, transfers, &lives, &caps, ii, core, store_lat, load_lat,
+            strict,
+        ) {
+            Ok(result) => return Some(result),
+            Err(PassFail::NoSlot) => continue,
+            Err(PassFail::NoCandidate) => return None,
+        }
+    }
+    None
+}
+
+/// One spill attempt at a fixed period `ii`. Lenient mode (`!strict`)
+/// leaves unspillable overflow in place instead of failing.
+#[allow(clippy::too_many_arguments)]
+fn spill_pass(
+    ddg: &Ddg,
+    machine: &MachineConfig,
+    placements: &[Placement],
+    transfers: &[Transfer],
+    lives: &[Life],
+    caps: &[i64],
+    ii: i64,
+    core: i64,
+    store_lat: i64,
+    load_lat: i64,
+    strict: bool,
+) -> Result<(i64, Vec<crate::state::Spill>, Vec<i64>, i64), PassFail> {
+    let nclusters = machine.cluster_count();
+    // Memory-port occupancy per period residue.
+    let mut mem: Vec<Vec<u32>> = vec![vec![0; ii as usize]; nclusters];
+    for op in ddg.op_ids() {
+        if ddg.op(op).class.resource() == ResourceKind::MemPort {
+            let p = placements[op.index()];
+            mem[p.cluster][(p.time % ii) as usize] += 1;
+        }
+    }
+    let mem_units: Vec<u32> = (0..nclusters)
+        .map(|c| machine.cluster(c).units(ResourceKind::MemPort))
+        .collect();
+
+    // Full (unspilled) register residency of a value at this period.
+    let full_last = |l: &Life| -> i64 {
+        l.carried
+            .iter()
+            .map(|&(t, d)| t + ii * d as i64)
+            .fold(l.keep, i64::max)
+    };
+
+    let mut pressure = crate::lifetime::PressureTable::new(caps.to_vec(), ii);
+    for l in lives {
+        pressure.add(l.cluster, l.def, full_last(l));
+    }
+    for t in transfers {
         let pid = gpsched_graph::NodeId::from_index(t.producer);
         let mut last = t.arrival;
         for (e, cons) in ddg.graph().out_edges(pid) {
@@ -256,9 +447,96 @@ pub fn list_schedule(ddg: &Ddg, machine: &MachineConfig) -> Schedule {
         }
         pressure.add(t.to, t.arrival, last);
     }
-    let max_live = (0..nclusters).map(|c| pressure.max_live(c)).collect();
 
-    Schedule::from_list(placements, transfers, length, max_live)
+    let mut spills: Vec<crate::state::Spill> = Vec::new();
+    // SL tracks actual last completions (ops/transfers via `core`, spill
+    // code below) — never the period: padding SL to a grown `ii` would
+    // overstate `cycles()` and break the simulator's closed-form check.
+    let mut length = core;
+    let mut spilled = vec![false; lives.len()];
+    let mut given_up = vec![false; nclusters];
+    while let Some(c) = (0..nclusters).find(|&c| !given_up[c] && !pressure.fits(c)) {
+        // Longest-lifetime carried value on the overflowing cluster.
+        let victim = (0..lives.len())
+            .filter(|&v| !spilled[v] && lives[v].cluster == c && !lives[v].carried.is_empty())
+            .max_by_key(|&v| full_last(&lives[v]) - lives[v].def);
+        // No spillable lifetime — or no memory port to spill through
+        // (growing the period cannot conjure one) — means this cluster
+        // is beyond the spiller.
+        let candidate = victim.filter(|_| mem_units[c] > 0);
+        let Some(victim) = candidate else {
+            if strict {
+                return Err(PassFail::NoCandidate);
+            }
+            given_up[c] = true;
+            continue;
+        };
+        // Book the store and the reloads incrementally (so two reloads of
+        // one value cannot claim the same port slot), reverting on
+        // failure.
+        let mut booked: Vec<i64> = Vec::new();
+        let book = |mem: &mut Vec<Vec<u32>>, booked: &mut Vec<i64>, t: i64| {
+            mem[c][(t % ii) as usize] += 1;
+            booked.push(t);
+        };
+        let l = &lives[victim];
+        // Store: earliest free memory-port residue at or after the last
+        // same-iteration obligation.
+        let store = (l.keep..l.keep + ii).find(|&t| mem[c][(t % ii) as usize] < mem_units[c]);
+        let mut loads: Vec<crate::state::SpillLoad> = Vec::new();
+        let mut feasible = store.is_some();
+        if let Some(store) = store {
+            book(&mut mem, &mut booked, store);
+            // Reloads: latest free residue ending right before each
+            // carried read, so the reloaded value is live only briefly.
+            for &(t, d) in &l.carried {
+                let use_time = t + ii * d as i64;
+                let latest = use_time - load_lat;
+                let lo = (store + store_lat).max(latest - ii + 1);
+                match (lo..=latest)
+                    .rev()
+                    .find(|&x| mem[c][(x % ii) as usize] < mem_units[c])
+                {
+                    Some(time) => {
+                        book(&mut mem, &mut booked, time);
+                        loads.push(crate::state::SpillLoad { time, use_time });
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !feasible {
+            for t in booked {
+                mem[c][(t % ii) as usize] -= 1;
+            }
+            if strict {
+                return Err(PassFail::NoSlot);
+            }
+            given_up[c] = true;
+            continue;
+        }
+        let store = store.expect("feasible spills have a store");
+        // Commit: swap the lifetime for its spilled form.
+        length = length.max(store + store_lat);
+        pressure.remove(c, l.def, full_last(l));
+        pressure.add(c, l.def, store);
+        for ld in &loads {
+            pressure.add(c, ld.time + load_lat, ld.use_time);
+            length = length.max(ld.time + load_lat);
+        }
+        spills.push(crate::state::Spill {
+            producer: l.producer,
+            cluster: c,
+            store,
+            loads,
+        });
+        spilled[victim] = true;
+    }
+    let max_live = (0..nclusters).map(|c| pressure.max_live(c)).collect();
+    Ok((ii, spills, max_live, length))
 }
 
 #[cfg(test)]

@@ -9,8 +9,11 @@ use gpsched_machine::MachineConfig;
 pub enum ScheduleKind {
     /// Software-pipelined: a new iteration starts every II cycles.
     Modulo,
-    /// List-scheduled fallback: iterations run back to back (II equals the
-    /// schedule length).
+    /// List-scheduled fallback: iterations run back to back. The II is
+    /// the iteration period; SL normally equals it but diverges when
+    /// register relief inserts spill code (a spill tail pushes SL past
+    /// II; a grown period leaves SL below II with idle cycles between
+    /// iterations).
     List,
 }
 
@@ -148,20 +151,26 @@ impl Schedule {
         }
     }
 
-    /// Builds a list schedule (used by the fallback scheduler).
+    /// Freezes a list schedule. `ii` is the iteration period; `length`
+    /// is the span to the last completion of one iteration's work —
+    /// above `ii` when spill code tails past the last op completion,
+    /// below it when pressure relief grew the period past the core span
+    /// (iterations separated by idle cycles).
     pub(crate) fn from_list(
         placements: Vec<Placement>,
         transfers: Vec<Transfer>,
+        spills: Vec<Spill>,
+        ii: i64,
         length: i64,
         max_live: Vec<i64>,
     ) -> Self {
         Schedule {
-            ii: length.max(1),
+            ii: ii.max(1),
             length,
             kind: ScheduleKind::List,
             placements,
             transfers,
-            spills: Vec::new(),
+            spills,
             max_live,
         }
     }

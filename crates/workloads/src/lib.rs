@@ -5,7 +5,9 @@
 //! * [`kernels`] — hand-written DDGs of classic numeric kernels (daxpy, dot
 //!   product, FIR, stencils, Horner, …) used by examples and tests;
 //! * [`synth`] — a seeded, parameterized generator of loop DDGs (op mix,
-//!   dependence-chain shape, recurrences, trip counts);
+//!   dependence-chain shape, recurrences, fan-out, latency mix, trip
+//!   counts) with named presets (`recurrence-heavy`, `wide-ilp`,
+//!   `mem-bound`, …) and a deterministic corpus helper;
 //! * [`spec`] — the synthetic **SPECfp95 suite**: ten programs named after
 //!   the paper's benchmarks, each a deterministic set of innermost-loop DDGs
 //!   whose characteristics (size, fp/mem mix, recurrence density, register
@@ -38,4 +40,4 @@ pub mod spec;
 pub mod synth;
 
 pub use spec::{spec_suite, Program};
-pub use synth::{synthesize, SynthProfile};
+pub use synth::{preset, synthesize, DistanceDist, SynthProfile, PRESET_NAMES};

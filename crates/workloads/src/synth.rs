@@ -6,7 +6,21 @@
 
 use crate::rng::Prng;
 use gpsched_ddg::{Ddg, DdgBuilder, OpId};
-use gpsched_machine::OpClass;
+use gpsched_machine::{LatencyModel, OpClass};
+
+/// How loop-carried recurrence distances are drawn from
+/// `1..=max_distance`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistanceDist {
+    /// Uniform (the legacy behaviour and the default).
+    Uniform,
+    /// Biased toward distance 1 (minimum of two uniform draws): tight
+    /// recurrences that bound RecMII hard.
+    Short,
+    /// Biased toward `max_distance` (maximum of two uniform draws): slack
+    /// recurrences that still pipeline well.
+    Long,
+}
 
 /// Parameters of the synthetic loop generator.
 ///
@@ -14,6 +28,12 @@ use gpsched_machine::OpClass;
 /// first classified memory vs compute by `mem_frac`, memory ops split into
 /// stores by `store_frac`, compute ops into fp by `fp_frac`, fp ops into
 /// divides by `fpdiv_frac`.
+///
+/// Every knob's default reproduces the generator's legacy random stream
+/// bit-for-bit (golden fixtures depend on it): the newer knobs
+/// (`recurrence_span`, `distance_dist`, `fanin`, `hub_bias`,
+/// `latency_jitter`) only consume extra random draws when set away from
+/// their defaults.
 #[derive(Clone, Debug)]
 pub struct SynthProfile {
     /// Number of operations in the loop body.
@@ -35,6 +55,23 @@ pub struct SynthProfile {
     pub max_distance: u32,
     /// Inclusive trip-count range, sampled per loop.
     pub trip_range: (u64, u64),
+    /// Inclusive range of a recurrence's forward span, in producer-index
+    /// positions: longer spans put more ops (and thus more latency) on the
+    /// dependence cycle.
+    pub recurrence_span: (usize, usize),
+    /// Distribution of recurrence back-edge distances.
+    pub distance_dist: DistanceDist,
+    /// Explicit inclusive operand-count range per op; `None` keeps the
+    /// legacy class-driven mix (loads 0–1, stores 1–2, computes 1–2).
+    pub fanin: Option<(usize, usize)>,
+    /// Probability that an operand is drawn from the earliest eighth of
+    /// the producers, concentrating fan-out on a few hub values (0.0
+    /// disables the bias).
+    pub hub_bias: f64,
+    /// Probability that an op's result latency is stretched by 1–3 cycles
+    /// beyond its class default, diversifying the latency mix (0.0 keeps
+    /// every op at its class latency).
+    pub latency_jitter: f64,
 }
 
 impl Default for SynthProfile {
@@ -49,8 +86,114 @@ impl Default for SynthProfile {
             recurrences: 1,
             max_distance: 2,
             trip_range: (50, 1000),
+            recurrence_span: (1, 6),
+            distance_dist: DistanceDist::Uniform,
+            fanin: None,
+            hub_bias: 0.0,
+            latency_jitter: 0.0,
         }
     }
+}
+
+/// Names of the bundled generator presets, in presentation order. Each
+/// resolves through [`preset`].
+pub const PRESET_NAMES: [&str; 6] = [
+    "recurrence-heavy",
+    "wide-ilp",
+    "mem-bound",
+    "chain-deep",
+    "fanout-hub",
+    "long-distance",
+];
+
+/// Resolves a named preset to its generator profile, or `None` for an
+/// unknown name. See [`PRESET_NAMES`] for the bundled set:
+///
+/// * `recurrence-heavy` — many short-distance recurrences; RecMII-bound.
+/// * `wide-ilp` — no recurrences, flat dependence structure; ResMII-bound
+///   and partition-friendly.
+/// * `mem-bound` — memory-port saturated loops with aliasing traffic.
+/// * `chain-deep` — near-single-chain bodies with stretched latencies;
+///   long critical paths.
+/// * `fanout-hub` — a few hub values feed most consumers; stresses
+///   cross-cluster communication of high-fan-out producers.
+/// * `long-distance` — recurrences at large iteration distances; high
+///   slack despite many cycles.
+pub fn preset(name: &str) -> Option<SynthProfile> {
+    let base = SynthProfile::default();
+    Some(match name {
+        "recurrence-heavy" => SynthProfile {
+            ops: 28,
+            chain_bias: 0.5,
+            recurrences: 6,
+            max_distance: 3,
+            recurrence_span: (2, 10),
+            distance_dist: DistanceDist::Short,
+            trip_range: (40, 400),
+            ..base
+        },
+        "wide-ilp" => SynthProfile {
+            ops: 40,
+            mem_frac: 0.25,
+            chain_bias: 0.05,
+            recurrences: 0,
+            fanin: Some((1, 2)),
+            trip_range: (100, 1000),
+            ..base
+        },
+        "mem-bound" => SynthProfile {
+            ops: 32,
+            mem_frac: 0.65,
+            store_frac: 0.45,
+            fp_frac: 0.5,
+            chain_bias: 0.35,
+            trip_range: (50, 500),
+            ..base
+        },
+        "chain-deep" => SynthProfile {
+            ops: 36,
+            chain_bias: 0.95,
+            recurrences: 2,
+            latency_jitter: 0.35,
+            trip_range: (30, 300),
+            ..base
+        },
+        "fanout-hub" => SynthProfile {
+            ops: 32,
+            chain_bias: 0.1,
+            hub_bias: 0.6,
+            fanin: Some((1, 3)),
+            trip_range: (50, 500),
+            ..base
+        },
+        "long-distance" => SynthProfile {
+            ops: 30,
+            recurrences: 4,
+            max_distance: 6,
+            recurrence_span: (1, 12),
+            distance_dist: DistanceDist::Long,
+            trip_range: (40, 400),
+            ..base
+        },
+        _ => return None,
+    })
+}
+
+/// Generates a deterministic corpus of `count` loops from one profile.
+///
+/// Loop `i` is named `{prefix}-{base_seed}-{i}` and synthesized with seed
+/// `base_seed + i`, so any single loop reproduces from its name alone —
+/// the contract the conformance harness's reproducer messages rely on.
+pub fn corpus(prefix: &str, profile: &SynthProfile, base_seed: u64, count: usize) -> Vec<Ddg> {
+    (0..count)
+        .map(|i| {
+            synthesize(
+                format!("{prefix}-{base_seed}-{i}"),
+                profile,
+                base_seed.wrapping_add(i as u64),
+            )
+        })
+        .collect()
 }
 
 /// Generates one loop DDG from `profile` with the given `seed`.
@@ -70,6 +213,7 @@ pub fn synthesize(name: impl Into<String>, profile: &SynthProfile, seed: u64) ->
     assert!(profile.max_distance >= 1, "max_distance must be >= 1");
     let mut rng = Prng::seed_from_u64(seed);
     let mut b = DdgBuilder::new(name);
+    let class_latencies = LatencyModel::default();
 
     let mut producers: Vec<OpId> = Vec::new(); // value-producing ops, index order
     let mut loads: Vec<OpId> = Vec::new();
@@ -77,21 +221,34 @@ pub fn synthesize(name: impl Into<String>, profile: &SynthProfile, seed: u64) ->
 
     for i in 0..profile.ops {
         let class = pick_class(profile, &mut rng, i, profile.ops);
-        let id = b.op(class, format!("o{i}"));
+        // Latency jitter only draws when enabled, preserving the legacy
+        // stream at the default of 0.0.
+        let id = if profile.latency_jitter > 0.0 && rng.gen_bool(profile.latency_jitter) {
+            let stretched = class_latencies.latency(class) + rng.gen_range(1u32..=3);
+            b.op_with_latency(class, format!("o{i}"), stretched)
+        } else {
+            b.op(class, format!("o{i}"))
+        };
 
         // Wire operands from earlier producers.
-        let want_operands = match class {
-            OpClass::Load => usize::from(rng.gen_bool(0.5)),
-            OpClass::Store => 1 + usize::from(rng.gen_bool(0.7)),
-            OpClass::FpDiv => 1 + usize::from(rng.gen_bool(0.5)),
-            _ => 1 + usize::from(rng.gen_bool(0.6)),
+        let want_operands = match profile.fanin {
+            Some((lo, hi)) => rng.gen_range(lo..=hi.max(lo)),
+            None => match class {
+                OpClass::Load => usize::from(rng.gen_bool(0.5)),
+                OpClass::Store => 1 + usize::from(rng.gen_bool(0.7)),
+                OpClass::FpDiv => 1 + usize::from(rng.gen_bool(0.5)),
+                _ => 1 + usize::from(rng.gen_bool(0.6)),
+            },
         };
         let mut chosen = Vec::new();
         for _ in 0..want_operands {
             if producers.is_empty() {
                 break;
             }
-            let src = if rng.gen_bool(profile.chain_bias) {
+            let src = if profile.hub_bias > 0.0 && rng.gen_bool(profile.hub_bias) {
+                // Hub bias: concentrate fan-out on the earliest producers.
+                producers[rng.gen_range(0..producers.len().div_ceil(8))]
+            } else if rng.gen_bool(profile.chain_bias) {
                 *producers.last().expect("non-empty")
             } else {
                 producers[rng.gen_range(0..producers.len())]
@@ -117,10 +274,21 @@ pub fn synthesize(name: impl Into<String>, profile: &SynthProfile, seed: u64) ->
         if producers.len() < 2 {
             break;
         }
+        let (span_lo, span_hi) = profile.recurrence_span;
         let a = rng.gen_range(0..producers.len() - 1);
-        let span = rng.gen_range(1..=(producers.len() - 1 - a).min(6));
+        let hi = (producers.len() - 1 - a).min(span_hi.max(1));
+        let lo = span_lo.clamp(1, hi);
+        let span = rng.gen_range(lo..=hi);
         let (src, dst) = (producers[a], producers[a + span]);
-        let dist = rng.gen_range(1..=profile.max_distance);
+        let dist = match profile.distance_dist {
+            DistanceDist::Uniform => rng.gen_range(1..=profile.max_distance),
+            DistanceDist::Short => rng
+                .gen_range(1..=profile.max_distance)
+                .min(rng.gen_range(1..=profile.max_distance)),
+            DistanceDist::Long => rng
+                .gen_range(1..=profile.max_distance)
+                .max(rng.gen_range(1..=profile.max_distance)),
+        };
         b.flow(src, dst);
         b.flow_carried(dst, src, dist);
     }
@@ -244,6 +412,130 @@ mod tests {
         let a = synthesize("a", &lomem, 3);
         let b = synthesize("b", &himem, 3);
         assert!(b.ops_using(ResourceKind::MemPort) > a.ops_using(ResourceKind::MemPort));
+    }
+
+    #[test]
+    fn presets_resolve_and_generate_valid_loops() {
+        for name in PRESET_NAMES {
+            let p = preset(name).unwrap_or_else(|| panic!("{name} resolves"));
+            for seed in 0..4 {
+                let d = synthesize(format!("{name}-{seed}"), &p, seed);
+                assert_eq!(d.op_count(), p.ops, "{name}");
+                assert!(d.trip_count() >= p.trip_range.0, "{name}");
+            }
+        }
+        assert!(preset("no-such-preset").is_none());
+    }
+
+    #[test]
+    fn recurrence_heavy_is_recmii_bound_and_wide_ilp_is_not() {
+        let heavy = preset("recurrence-heavy").unwrap();
+        let wide = preset("wide-ilp").unwrap();
+        for seed in 0..6 {
+            let h = synthesize("h", &heavy, seed);
+            let w = synthesize("w", &wide, seed);
+            assert!(gpsched_ddg::mii::rec_mii(&h) > 1, "seed {seed}");
+            assert_eq!(gpsched_ddg::mii::rec_mii(&w), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mem_bound_preset_saturates_memory_ports() {
+        let mem = preset("mem-bound").unwrap();
+        let wide = preset("wide-ilp").unwrap();
+        let m = synthesize("m", &mem, 11);
+        let w = synthesize("w", &wide, 11);
+        assert!(
+            m.ops_using(ResourceKind::MemPort) as f64 / m.op_count() as f64
+                > w.ops_using(ResourceKind::MemPort) as f64 / w.op_count() as f64
+        );
+    }
+
+    #[test]
+    fn latency_jitter_stretches_some_latencies() {
+        let jittered = SynthProfile {
+            latency_jitter: 0.8,
+            ..SynthProfile::default()
+        };
+        let d = synthesize("j", &jittered, 5);
+        let defaults = gpsched_machine::LatencyModel::default();
+        assert!(
+            d.op_ids()
+                .any(|id| d.op(id).latency > defaults.latency(d.op(id).class)),
+            "no op latency was stretched"
+        );
+        // And jitter 0.0 never stretches.
+        let plain = synthesize("p", &SynthProfile::default(), 5);
+        assert!(plain
+            .op_ids()
+            .all(|id| plain.op(id).latency == defaults.latency(plain.op(id).class)));
+    }
+
+    #[test]
+    fn hub_bias_concentrates_fanout() {
+        let max_fanout = |d: &gpsched_ddg::Ddg| -> usize {
+            let mut out = vec![0usize; d.op_count()];
+            for e in d.dep_ids() {
+                out[d.dep_endpoints(e).0.index()] += 1;
+            }
+            out.into_iter().max().unwrap_or(0)
+        };
+        // Averaged over seeds: hub-biased loops have hotter producers.
+        let hub = preset("fanout-hub").unwrap();
+        let flat = SynthProfile {
+            ops: hub.ops,
+            chain_bias: hub.chain_bias,
+            fanin: hub.fanin,
+            ..SynthProfile::default()
+        };
+        let (mut h, mut f) = (0usize, 0usize);
+        for seed in 0..8 {
+            h += max_fanout(&synthesize("h", &hub, seed));
+            f += max_fanout(&synthesize("f", &flat, seed));
+        }
+        assert!(h > f, "hub {h} should exceed flat {f}");
+    }
+
+    #[test]
+    fn distance_dist_biases_recurrence_distances() {
+        let base = SynthProfile {
+            recurrences: 8,
+            max_distance: 6,
+            ..SynthProfile::default()
+        };
+        let sum_dist = |dist: DistanceDist| -> u32 {
+            (0..6)
+                .map(|seed| {
+                    let d = synthesize(
+                        "d",
+                        &SynthProfile {
+                            distance_dist: dist,
+                            ..base.clone()
+                        },
+                        seed,
+                    );
+                    d.dep_ids().map(|e| d.dep(e).distance).sum::<u32>()
+                })
+                .sum()
+        };
+        let (short, long) = (sum_dist(DistanceDist::Short), sum_dist(DistanceDist::Long));
+        assert!(short < long, "short {short} should be below long {long}");
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_named_for_reproduction() {
+        let p = preset("recurrence-heavy").unwrap();
+        let a = corpus("recurrence-heavy", &p, 7, 5);
+        let b = corpus("recurrence-heavy", &p, 7, 5);
+        assert_eq!(a.len(), 5);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.name(), format!("recurrence-heavy-7-{i}"));
+            assert_eq!(x.op_count(), y.op_count());
+            assert_eq!(x.dep_count(), y.dep_count());
+            // Loop i reproduces standalone from seed 7 + i.
+            let lone = synthesize(x.name(), &p, 7 + i as u64);
+            assert_eq!(lone.dep_count(), x.dep_count());
+        }
     }
 
     #[test]

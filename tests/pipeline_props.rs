@@ -21,6 +21,7 @@ fn arb_profile(rng: &mut Prng) -> SynthProfile {
         recurrences: rng.gen_range(0usize..4),
         max_distance: rng.gen_range(1u32..3),
         trip_range: (20, 60),
+        ..SynthProfile::default()
     }
 }
 

@@ -1,0 +1,192 @@
+//! Catalog-wide differential conformance over generated corpora.
+//!
+//! Every [`AlgorithmSpec`] in the shipped catalog runs over the synthetic
+//! conformance corpus ([`gpsched_engine::conformance`]); every schedule
+//! is audited by the cycle-accurate simulator; cross-spec invariants
+//! (II ≥ MII, IPC bounds, spill accounting) are asserted; and batch
+//! replay through `schedule_loop_seeded` must be byte-identical whether
+//! one worker or many execute the sweep.
+//!
+//! Knobs (all deterministic by default):
+//!
+//! * `GPSCHED_SYNTH_BUDGET` — total generated loops (default 162, spread
+//!   over every generator preset); the CI conformance lane pins this to
+//!   fit its runner.
+//! * `GPSCHED_TEST_WORKERS` — the "many workers" side of the replay
+//!   comparison (default 8).
+//! * `GPSCHED_REPRO_DIR` — where minimized reproducer `.ddg`s are
+//!   written on failure (CI uploads the directory as an artifact).
+//!
+//! Test names all start with `conformance_`, so the fast-unit CI lane
+//! can exclude the whole suite with `--skip conformance_`.
+
+use gpsched::machine::{ClusterConfig, LatencyModel, MachineConfig};
+use gpsched::sched::AlgorithmSpec;
+use gpsched_engine::conformance::{
+    check_case, conformance_corpus, minimize_with, synth_budget, SynthCase,
+};
+use gpsched_engine::{run_sweep, JobSpec, SweepOptions};
+use gpsched_workloads::{preset, synthesize};
+
+/// The machine rotation of the catalog check: the paper's two clustered
+/// shapes plus the unified upper-bound machine.
+fn machines() -> [MachineConfig; 3] {
+    [
+        MachineConfig::two_cluster(32, 1, 1),
+        MachineConfig::four_cluster(64, 1, 2),
+        MachineConfig::unified(32),
+    ]
+}
+
+fn test_workers() -> usize {
+    std::env::var("GPSCHED_TEST_WORKERS")
+        .ok()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(8)
+}
+
+#[test]
+fn conformance_catalog_over_generated_corpus() {
+    let total = synth_budget(162);
+    let corpus = conformance_corpus(total, 0xC0DE);
+    assert_eq!(corpus.len(), total);
+    let machines = machines();
+    let mut audited = 0usize;
+    let mut fallbacks = 0usize;
+    for (k, case) in corpus.iter().enumerate() {
+        // Rotate the machine per case: the budget buys loop diversity;
+        // every spec still sees every machine shape many times over.
+        let machine = &machines[k % machines.len()];
+        for spec in AlgorithmSpec::CATALOG {
+            let audit = check_case(case, machine, spec);
+            fallbacks += usize::from(audit.fallback);
+            audited += 1;
+        }
+    }
+    assert_eq!(audited, total * AlgorithmSpec::CATALOG.len());
+    // The corpus must exercise the modulo path, not just the fallback:
+    // at most a third of all units may have fallen back to list
+    // scheduling (empirically it is far less).
+    assert!(
+        fallbacks * 3 <= audited,
+        "{fallbacks}/{audited} units fell back to list scheduling"
+    );
+}
+
+#[test]
+fn conformance_replay_is_byte_identical_across_worker_counts() {
+    // The acceptance invariant: scheduling a generated corpus through the
+    // engine's seeded batch path yields byte-identical canonical records
+    // whether 1 worker or many execute the sweep.
+    let mut job = JobSpec::new();
+    for case in conformance_corpus(24, 7) {
+        job = job.loop_in(case.preset, case.ddg);
+    }
+    let job = job
+        .machines([
+            MachineConfig::two_cluster(32, 1, 1),
+            MachineConfig::four_cluster(64, 1, 2),
+        ])
+        .algorithms(AlgorithmSpec::CATALOG);
+    let serial = run_sweep(&job, &SweepOptions::serial(), None);
+    let parallel = run_sweep(
+        &job,
+        &SweepOptions {
+            workers: test_workers(),
+            use_cache: true,
+        },
+        None,
+    );
+    assert_eq!(serial.records.len(), job.unit_count());
+    assert_eq!(parallel.records.len(), job.unit_count());
+    for (a, b) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(a.unit, b.unit);
+        assert_eq!(
+            a.canonical_fields(),
+            b.canonical_fields(),
+            "unit {}",
+            a.unit
+        );
+    }
+}
+
+#[test]
+fn conformance_gen_corpus_bytes_are_worker_independent() {
+    // `gpsched-engine gen --preset recurrence-heavy --seed 7 --count 50`
+    // must emit identical bytes however many workers generate it.
+    let profile = preset("recurrence-heavy").expect("bundled preset");
+    let reference = gpsched_engine::generate_corpus_text("recurrence-heavy", &profile, 7, 50, 1);
+    for workers in [2, 8] {
+        assert_eq!(
+            reference,
+            gpsched_engine::generate_corpus_text("recurrence-heavy", &profile, 7, 50, workers),
+            "{workers} workers"
+        );
+    }
+    assert_eq!(reference.matches("\nddg ").count(), 50);
+}
+
+#[test]
+fn conformance_failures_panic_with_a_minimized_reproducer() {
+    // Force a real audit failure — a machine with no FP units cannot
+    // schedule an FP-heavy loop — and verify the panic message carries
+    // the reproducer contract: preset, per-loop seed, and `.ddg` text.
+    let profile = preset("recurrence-heavy").expect("bundled preset");
+    let case = SynthCase {
+        preset: "recurrence-heavy",
+        base_seed: 7,
+        index: 2,
+        ddg: synthesize("recurrence-heavy-7-2", &profile, 9),
+    };
+    let int_only = MachineConfig::custom(
+        vec![ClusterConfig {
+            int_units: 2,
+            fp_units: 0,
+            mem_units: 1,
+            registers: 16,
+        }],
+        1,
+        1,
+        LatencyModel::default(),
+    );
+    let spec = AlgorithmSpec::parse("gp").expect("parses");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        check_case(&case, &int_only, spec)
+    }));
+    let payload = result.expect_err("audit must fail on an FP-less machine");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a string");
+    for needle in [
+        "conformance failure",
+        "recurrence-heavy",
+        "seed 9",
+        "minimized reproducer",
+        "ddg ",
+        "end",
+    ] {
+        assert!(
+            msg.contains(needle),
+            "panic message lacks `{needle}`:\n{msg}"
+        );
+    }
+}
+
+#[test]
+fn conformance_minimizer_reaches_a_small_core() {
+    // End-to-end shrink quality on a corpus loop: against a predicate
+    // whose minimal witness is tiny, the minimizer must get near it.
+    let profile = preset("mem-bound").expect("bundled preset");
+    let ddg = synthesize("mem-bound-0-0", &profile, 0);
+    let had_mem = ddg.memory_op_count();
+    assert!(had_mem > 5, "mem-bound corpus loop has memory traffic");
+    let small = minimize_with(&ddg, |d| d.memory_op_count() >= 2);
+    assert!(small.memory_op_count() >= 2);
+    assert!(
+        small.op_count() <= 3,
+        "kept {} ops for a 2-op property",
+        small.op_count()
+    );
+}

@@ -26,6 +26,7 @@ fn corpus(cases: usize) -> Vec<Ddg> {
             recurrences: rng.gen_range(0usize..4),
             max_distance: rng.gen_range(1u32..3),
             trip_range: (20, 60),
+            ..SynthProfile::default()
         };
         let seed = rng.gen_range(0u64..1_000);
         out.push(synth::synthesize("variant-prop", &profile, seed));
