@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! gpsched-engine sweep    [--spec] [--kernels] [--corpus FILE] [--gen SPECS]
-//!                         [--machines table1|clustered|NAMES|FILE.machine]
+//!                         [--machines table1|clustered|topologies|NAMES|FILE.machine]
 //!                         [--algos all|modulo|extended|SPECS]
 //!                         [--workers N] [--no-cache] [--out FILE] [--quiet]
 //! gpsched-engine gen      --preset NAME [--seed S] [--count N] [--ops K]
@@ -28,7 +28,7 @@ use gpsched_engine::{
     parse_machine_corpus, run_sweep, serialize_corpus, serialize_machine_corpus, JobSpec,
     SweepOptions,
 };
-use gpsched_machine::{table1_configs, MachineConfig};
+use gpsched_machine::{table1_configs, topology_presets, MachineConfig};
 use gpsched_sched::{Algorithm, AlgorithmSpec};
 use gpsched_workloads::{kernels, spec_suite, synth, SynthProfile, PRESET_NAMES};
 use std::io::Write;
@@ -58,21 +58,25 @@ gpsched-engine — parallel batch-scheduling engine
 USAGE:
   gpsched-engine sweep    [--spec] [--kernels] [--corpus FILE]
                           [--gen PRESET[:COUNT[:SEED]],…]
-                          [--machines table1|clustered|NAME,NAME,…|FILE.machine]
+                          [--machines table1|clustered|topologies|NAME,NAME,…|FILE.machine]
                           [--algos all|modulo|extended|SPEC,SPEC,…]
                           [--workers N] [--no-cache] [--out FILE] [--quiet]
   gpsched-engine gen      --preset NAME [--seed S] [--count N] [--ops K]
                           [--workers N] [--out FILE]
   gpsched-engine export   [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
                           [--out FILE]
-  gpsched-engine machines [--machines table1|clustered|NAME,NAME,…] [--out FILE]
+  gpsched-engine machines [--machines table1|clustered|topologies|NAME,NAME,…]
+                          [--out FILE]
   gpsched-engine speedup  [--workers-list 1,2,4] [sweep selection flags]
 
 With no source flags, `sweep` runs the full SPECfp95 suite across all
 Table 1 machines with all four algorithms (URACAM, Fixed, GP, List).
-Machine names use the short form from reports (u-r32, c2r32b1l1, …);
-`--machines` also accepts a `.machine` interchange file (see `machines`
-to export one). Algorithm specs compose policy modifiers onto a base:
+Machine names use the short form from reports (u-r32, c2r32b1l1, and the
+topology forms c2r32pb1l2, c4r64ring1x1, c4r64p2p1x1); `topologies`
+selects one reference machine per interconnect shape, and `--machines`
+also accepts a `.machine` interchange file (see `machines` to export
+one, including `topology` stanzas). Algorithm specs compose policy
+modifiers onto a base:
 gp, gp:norepart, uracam:greedy-merit, gp:linear-ii, gp:nospill, …;
 `extended` selects the paper's four plus every bundled variant.
 Generator presets (for `gen --preset` and `sweep --gen`):
@@ -135,6 +139,9 @@ fn parse_machines(spec: &str) -> Vec<MachineConfig> {
             .map(|(_, m)| m)
             .filter(|m| !m.is_unified())
             .collect(),
+        // One reference machine per interconnect topology (shared bus,
+        // pipelined bus, ring, point-to-point).
+        "topologies" => topology_presets(),
         // A `.machine` interchange file: every machine in the corpus.
         path if path.ends_with(".machine") => {
             let text = std::fs::read_to_string(path)

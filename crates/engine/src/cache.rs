@@ -56,10 +56,12 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// FNV-1a hash of everything that distinguishes one machine from another
-/// for scheduling purposes: per-cluster unit mix and registers, bus shape
-/// and the latency model. `short_name` is *not* sufficient as a cache key
-/// — custom machines with different unit mixes can share a short name.
+/// for scheduling purposes: per-cluster unit mix and registers, the
+/// interconnect topology and the latency model. `short_name` is *not*
+/// sufficient as a cache key — custom machines with different unit mixes
+/// (or different p2p latency matrices) can share a short name.
 pub fn machine_key(machine: &MachineConfig) -> u64 {
+    use gpsched_machine::Interconnect;
     let mut h = FNV_OFFSET;
     let mut mix = |v: u64| {
         for b in v.to_le_bytes() {
@@ -74,8 +76,34 @@ pub fn machine_key(machine: &MachineConfig) -> u64 {
         mix(c.mem_units as u64);
         mix(c.registers as u64);
     }
-    mix(machine.buses as u64);
-    mix(machine.bus_latency as u64);
+    match machine.interconnect() {
+        Interconnect::None => mix(0),
+        Interconnect::SharedBus {
+            count,
+            latency,
+            pipelined,
+        } => {
+            mix(1);
+            mix(*count as u64);
+            mix(*latency as u64);
+            mix(*pipelined as u64);
+        }
+        Interconnect::PointToPoint { channels, latency } => {
+            mix(2);
+            mix(*channels as u64);
+            for &l in latency {
+                mix(l as u64);
+            }
+        }
+        Interconnect::Ring {
+            hop_latency,
+            links_per_hop,
+        } => {
+            mix(3);
+            mix(*hop_latency as u64);
+            mix(*links_per_hop as u64);
+        }
+    }
     let l = &machine.latencies;
     for lat in [l.int_alu, l.fp_add, l.fp_mul, l.fp_div, l.load, l.store] {
         mix(lat as u64);
@@ -237,8 +265,7 @@ mod tests {
                         registers: 16,
                     })
                     .collect(),
-                1,
-                1,
+                gpsched_machine::Interconnect::legacy_bus(1, 1),
                 LatencyModel::default(),
             )
         };

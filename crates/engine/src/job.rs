@@ -167,22 +167,24 @@ impl Default for JobSpec {
     }
 }
 
-/// Parses a machine short name (`u-r32`, `c2r32b1l1`, `c4r64b1l2`, …) back
-/// into a configuration — the inverse of [`MachineConfig::short_name`] for
-/// the homogeneous shapes the paper evaluates.
+/// Parses a machine short name back into a configuration — the inverse of
+/// [`MachineConfig::short_name`] for the homogeneous shapes the reports
+/// use: `u-r32`, shared buses (`c2r32b1l1`), pipelined buses
+/// (`c2r32pb1l2`), rings (`c4r64ring2x1`) and uniform point-to-point
+/// meshes (`c4r64p2p1x1`).
 pub fn machine_from_short_name(s: &str) -> Option<MachineConfig> {
+    use gpsched_machine::Interconnect;
     if let Some(regs) = s.strip_prefix("u-r") {
         return Some(MachineConfig::unified(regs.parse().ok()?));
     }
     let rest = s.strip_prefix('c')?;
     let (clusters, rest) = rest.split_once('r')?;
-    let (regs, rest) = rest.split_once('b')?;
-    let (buses, lat) = rest.split_once('l')?;
     let clusters: u32 = clusters.parse().ok()?;
+    // Registers are the leading digits; the interconnect tag follows.
+    let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    let (regs, tag) = rest.split_at(digits);
     let regs: u32 = regs.parse().ok()?;
-    let buses: u32 = buses.parse().ok()?;
-    let lat: u32 = lat.parse().ok()?;
-    if regs == 0 || regs % clusters != 0 {
+    if regs == 0 || clusters == 0 || regs % clusters != 0 {
         return None;
     }
     let units = match clusters {
@@ -190,8 +192,51 @@ pub fn machine_from_short_name(s: &str) -> Option<MachineConfig> {
         4 => (1, 1, 1),
         _ => return None,
     };
-    Some(MachineConfig::homogeneous(
-        clusters, units, regs, buses, lat,
+    let two = |s: &str, sep: char| -> Option<(u32, u32)> {
+        let (a, b) = s.split_once(sep)?;
+        Some((a.parse().ok()?, b.parse().ok()?))
+    };
+    let interconnect = if let Some(rest) = tag.strip_prefix("pb") {
+        let (count, latency) = two(rest, 'l')?;
+        Interconnect::SharedBus {
+            count,
+            latency,
+            pipelined: true,
+        }
+    } else if let Some(rest) = tag.strip_prefix("b") {
+        let (count, latency) = two(rest, 'l')?;
+        Interconnect::legacy_bus(count, latency)
+    } else if let Some(rest) = tag.strip_prefix("ring") {
+        let (hop_latency, links_per_hop) = two(rest, 'x')?;
+        Interconnect::Ring {
+            hop_latency,
+            links_per_hop,
+        }
+    } else if let Some(rest) = tag.strip_prefix("p2p") {
+        let (latency, channels) = two(rest, 'x')?;
+        if latency == 0 {
+            return None;
+        }
+        Interconnect::uniform_point_to_point(clusters as usize, latency, channels)
+    } else {
+        return None;
+    };
+    match &interconnect {
+        Interconnect::SharedBus { count, latency, .. } if *count == 0 || *latency == 0 => {
+            return None
+        }
+        Interconnect::Ring {
+            hop_latency,
+            links_per_hop,
+        } if *hop_latency == 0 || *links_per_hop == 0 => return None,
+        Interconnect::PointToPoint { channels, .. } if *channels == 0 => return None,
+        _ => {}
+    }
+    Some(MachineConfig::homogeneous_with(
+        clusters,
+        units,
+        regs,
+        interconnect,
     ))
 }
 
@@ -237,7 +282,13 @@ mod tests {
             let back = machine_from_short_name(&m.short_name()).unwrap();
             assert_eq!(back, m, "{}", m.short_name());
         }
+        for m in gpsched_machine::topology_presets() {
+            let back = machine_from_short_name(&m.short_name()).unwrap();
+            assert_eq!(back, m, "{}", m.short_name());
+        }
         assert!(machine_from_short_name("c3r30b1l1").is_none());
+        assert!(machine_from_short_name("c2r32ring0x1").is_none());
+        assert!(machine_from_short_name("c2r32p2p1x0").is_none());
         assert!(machine_from_short_name("garbage").is_none());
     }
 }

@@ -11,21 +11,37 @@
 //! # cluster lines: int units, fp units, mem ports, registers
 //! cluster 2 2 2 16
 //! cluster 2 2 2 16
-//! # bus: count, per-transfer latency (optional; defaults to 1 1)
+//! # bus: count, per-transfer latency (optional; clustered machines
+//! # default to 1 non-pipelined bus of latency 1)
 //! bus 1 1
 //! # latency lines: op class, cycles (optional; defaults per DESIGN.md §4)
 //! latency load 2
 //! end
 //! ```
 //!
+//! The interconnect is an open axis: instead of (or as the general form
+//! of) the `bus` line, a `topology` stanza selects any
+//! [`gpsched_machine::Interconnect`]:
+//!
+//! ```text
+//! topology bus 1 2 pipelined      # count, latency[, pipelined]
+//! topology ring 2 1               # hop latency, links per hop
+//! topology p2p 1 3                # channels per link[, default latency]
+//! link 0 2 5                      # per-ordered-pair override (p2p only)
+//! ```
+//!
+//! Single-cluster machines have no interconnect
+//! ([`gpsched_machine::Interconnect::None`]) and reject `bus`,
+//! `topology` and `link` lines outright — the historical placeholder
+//! `bus 1 1` on unified machines is gone.
+//!
 //! The `machine` name is informational (reports derive short names from
 //! the shape); the serializer writes [`MachineConfig::short_name`].
 //! Parsing is strict and every error carries its 1-based line number,
 //! exactly like the `.ddg` parser. Validation mirrors the panics of
-//! [`MachineConfig::custom`] — multi-cluster machines need a bus with
-//! positive count and latency — but reports them as errors instead.
+//! [`MachineConfig::custom`] but reports them as errors instead.
 
-use gpsched_machine::{ClusterConfig, LatencyModel, MachineConfig, OpClass};
+use gpsched_machine::{ClusterConfig, Interconnect, LatencyModel, MachineConfig, OpClass};
 use std::error::Error;
 use std::fmt;
 
@@ -48,7 +64,9 @@ impl fmt::Display for MachineTextError {
 impl Error for MachineTextError {}
 
 /// Serializes one machine as a `.machine` block (including the trailing
-/// `end`), named by its short name.
+/// `end`), named by its short name. The paper's shared bus keeps the
+/// compact `bus N L` line; other topologies get a `topology` stanza; a
+/// single-cluster machine writes no interconnect line at all.
 pub fn serialize_machine(machine: &MachineConfig) -> String {
     let mut out = String::new();
     out.push_str(&format!("machine {}\n", machine.short_name()));
@@ -58,7 +76,34 @@ pub fn serialize_machine(machine: &MachineConfig) -> String {
             c.int_units, c.fp_units, c.mem_units, c.registers
         ));
     }
-    out.push_str(&format!("bus {} {}\n", machine.buses, machine.bus_latency));
+    match machine.interconnect() {
+        Interconnect::None => {}
+        Interconnect::SharedBus {
+            count,
+            latency,
+            pipelined: false,
+        } => out.push_str(&format!("bus {count} {latency}\n")),
+        Interconnect::SharedBus {
+            count,
+            latency,
+            pipelined: true,
+        } => out.push_str(&format!("topology bus {count} {latency} pipelined\n")),
+        Interconnect::Ring {
+            hop_latency,
+            links_per_hop,
+        } => out.push_str(&format!("topology ring {hop_latency} {links_per_hop}\n")),
+        Interconnect::PointToPoint { channels, latency } => {
+            let n = machine.cluster_count();
+            out.push_str(&format!("topology p2p {channels}\n"));
+            for from in 0..n {
+                for to in 0..n {
+                    if from != to {
+                        out.push_str(&format!("link {from} {to} {}\n", latency[from * n + to]));
+                    }
+                }
+            }
+        }
+    }
     let l = &machine.latencies;
     for (class, lat) in [
         (OpClass::IntAlu, l.int_alu),
@@ -100,11 +145,31 @@ fn parse_num<T: std::str::FromStr>(
     })
 }
 
+/// An interconnect selection as parsed, before end-of-block validation.
+enum TopoSpec {
+    Bus {
+        count: u32,
+        latency: u32,
+        pipelined: bool,
+    },
+    Ring {
+        hop_latency: u32,
+        links_per_hop: u32,
+    },
+    P2p {
+        channels: u32,
+        default_latency: Option<u32>,
+    },
+}
+
 struct Block {
     start_line: usize,
     name: String,
     clusters: Vec<ClusterConfig>,
-    bus: Option<(u32, u32)>,
+    /// The `bus`/`topology` line: (line number, legacy `bus` syntax?, spec).
+    topology: Option<(usize, bool, TopoSpec)>,
+    /// `link` lines: (line number, from, to, latency).
+    links: Vec<(usize, u32, u32, u32)>,
     latencies: LatencyModel,
 }
 
@@ -148,7 +213,8 @@ pub fn parse_machine_corpus(text: &str) -> Result<Vec<(String, MachineConfig)>, 
                     start_line: line_no,
                     name: rest.to_string(),
                     clusters: Vec::new(),
-                    bus: None,
+                    topology: None,
+                    links: Vec::new(),
                     latencies: LatencyModel::default(),
                 });
             }
@@ -166,17 +232,133 @@ pub fn parse_machine_corpus(text: &str) -> Result<Vec<(String, MachineConfig)>, 
             }
             "bus" => {
                 let b = block.as_mut().ok_or_else(|| outside(line_no, "bus"))?;
-                if b.bus.is_some() {
-                    return Err(MachineTextError {
-                        line: line_no,
-                        msg: "duplicate `bus` line".to_string(),
-                    });
+                match &b.topology {
+                    Some((_, true, _)) => {
+                        return Err(MachineTextError {
+                            line: line_no,
+                            msg: "duplicate `bus` line".to_string(),
+                        });
+                    }
+                    Some((_, false, _)) => {
+                        return Err(MachineTextError {
+                            line: line_no,
+                            msg: "`bus` conflicts with an earlier `topology` line".to_string(),
+                        });
+                    }
+                    None => {}
                 }
                 let (count_s, lat_s) = token(rest);
-                b.bus = Some((
-                    parse_num(count_s, "a bus count", line_no)?,
-                    parse_num(lat_s.trim(), "a bus latency", line_no)?,
+                b.topology = Some((
+                    line_no,
+                    true,
+                    TopoSpec::Bus {
+                        count: parse_num(count_s, "a bus count", line_no)?,
+                        latency: parse_num(lat_s.trim(), "a bus latency", line_no)?,
+                        pipelined: false,
+                    },
                 ));
+            }
+            "topology" => {
+                let b = block.as_mut().ok_or_else(|| outside(line_no, "topology"))?;
+                if let Some((_, legacy, _)) = &b.topology {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: if *legacy {
+                            "`topology` conflicts with an earlier `bus` line".to_string()
+                        } else {
+                            "duplicate `topology` line".to_string()
+                        },
+                    });
+                }
+                let (kind_s, rest) = token(rest);
+                let spec = match kind_s {
+                    "bus" => {
+                        let (count_s, rest) = token(rest);
+                        let (lat_s, flag_s) = token(rest);
+                        let pipelined = match flag_s.trim() {
+                            "" => false,
+                            "pipelined" => true,
+                            other => {
+                                return Err(MachineTextError {
+                                    line: line_no,
+                                    msg: format!(
+                                        "unexpected bus flag `{other}` (expected `pipelined`)"
+                                    ),
+                                });
+                            }
+                        };
+                        TopoSpec::Bus {
+                            count: parse_num(count_s, "a bus count", line_no)?,
+                            latency: parse_num(lat_s, "a bus latency", line_no)?,
+                            pipelined,
+                        }
+                    }
+                    "ring" => {
+                        let (hop_s, links_s) = token(rest);
+                        TopoSpec::Ring {
+                            hop_latency: parse_num(hop_s, "a ring hop latency", line_no)?,
+                            links_per_hop: parse_num(
+                                links_s.trim(),
+                                "a links-per-hop count",
+                                line_no,
+                            )?,
+                        }
+                    }
+                    "p2p" => {
+                        let (ch_s, lat_s) = token(rest);
+                        let default_latency = match lat_s.trim() {
+                            "" => None,
+                            s => {
+                                let lat: u32 = parse_num(s, "a default link latency", line_no)?;
+                                if lat == 0 {
+                                    return Err(MachineTextError {
+                                        line: line_no,
+                                        msg: "default link latency must be positive".to_string(),
+                                    });
+                                }
+                                Some(lat)
+                            }
+                        };
+                        TopoSpec::P2p {
+                            channels: parse_num(ch_s, "a channel count", line_no)?,
+                            default_latency,
+                        }
+                    }
+                    other => {
+                        return Err(MachineTextError {
+                            line: line_no,
+                            msg: format!("unknown topology `{other}` (expected bus|ring|p2p)"),
+                        });
+                    }
+                };
+                b.topology = Some((line_no, false, spec));
+            }
+            "link" => {
+                let b = block.as_mut().ok_or_else(|| outside(line_no, "link"))?;
+                if !matches!(&b.topology, Some((_, _, TopoSpec::P2p { .. }))) {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: "`link` requires a preceding `topology p2p` line".to_string(),
+                    });
+                }
+                let (from_s, rest) = token(rest);
+                let (to_s, lat_s) = token(rest);
+                let from: u32 = parse_num(from_s, "a source cluster index", line_no)?;
+                let to: u32 = parse_num(to_s, "a destination cluster index", line_no)?;
+                let lat: u32 = parse_num(lat_s.trim(), "a link latency", line_no)?;
+                if from == to {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: format!("`link {from} {to}` endpoints must differ"),
+                    });
+                }
+                if b.links.iter().any(|&(_, f, t, _)| f == from && t == to) {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: format!("duplicate `link {from} {to}`"),
+                    });
+                }
+                b.links.push((line_no, from, to, lat));
             }
             "latency" => {
                 let b = block.as_mut().ok_or_else(|| outside(line_no, "latency"))?;
@@ -235,28 +417,136 @@ fn finish(b: Block, end_line: usize) -> Result<MachineConfig, MachineTextError> 
     if b.clusters.is_empty() {
         return Err(err(format!("machine `{}` declares no clusters", b.name)));
     }
-    let (buses, bus_latency) = b.bus.unwrap_or((1, 1));
-    if b.clusters.len() > 1 && buses == 0 {
-        return Err(err(format!(
-            "multi-cluster machine `{}` needs at least one bus",
-            b.name
-        )));
+    let n = b.clusters.len();
+    if n == 1 {
+        // The unified wart is gone: single-cluster machines carry no
+        // interconnect and must not pretend to configure one.
+        if let Some((line, _, _)) = b.topology {
+            return Err(MachineTextError {
+                line,
+                msg: format!("single-cluster machine `{}` takes no interconnect", b.name),
+            });
+        }
+        return Ok(MachineConfig::custom(
+            b.clusters,
+            Interconnect::None,
+            b.latencies,
+        ));
     }
-    if b.clusters.len() > 1 && bus_latency == 0 {
-        return Err(err(format!(
-            "multi-cluster machine `{}` needs a positive bus latency",
-            b.name
-        )));
-    }
-    // Single-cluster machines tolerate a zero bus field like
-    // `MachineConfig::unified` does, but `custom` still wants non-zero
-    // placeholders there.
-    Ok(MachineConfig::custom(
-        b.clusters,
-        buses.max(1),
-        bus_latency.max(1),
-        b.latencies,
-    ))
+    let interconnect = match b.topology {
+        None => Interconnect::legacy_bus(1, 1),
+        Some((
+            _,
+            _,
+            TopoSpec::Bus {
+                count,
+                latency,
+                pipelined,
+            },
+        )) => {
+            if count == 0 {
+                return Err(err(format!(
+                    "multi-cluster machine `{}` needs at least one bus",
+                    b.name
+                )));
+            }
+            if latency == 0 {
+                return Err(err(format!(
+                    "multi-cluster machine `{}` needs a positive bus latency",
+                    b.name
+                )));
+            }
+            Interconnect::SharedBus {
+                count,
+                latency,
+                pipelined,
+            }
+        }
+        Some((
+            _,
+            _,
+            TopoSpec::Ring {
+                hop_latency,
+                links_per_hop,
+            },
+        )) => {
+            if hop_latency == 0 {
+                return Err(err(format!(
+                    "ring hop latency of machine `{}` must be positive",
+                    b.name
+                )));
+            }
+            if links_per_hop == 0 {
+                return Err(err(format!(
+                    "ring of machine `{}` needs at least one link per hop",
+                    b.name
+                )));
+            }
+            Interconnect::Ring {
+                hop_latency,
+                links_per_hop,
+            }
+        }
+        Some((
+            _,
+            _,
+            TopoSpec::P2p {
+                channels,
+                default_latency,
+            },
+        )) => {
+            if channels == 0 {
+                return Err(err(format!(
+                    "p2p topology of machine `{}` needs at least one channel",
+                    b.name
+                )));
+            }
+            // 0 marks "unset" below; an explicit default fills everything.
+            let mut matrix = vec![default_latency.unwrap_or(0); n * n];
+            for i in 0..n {
+                matrix[i * n + i] = 0;
+            }
+            for (line, from, to, lat) in &b.links {
+                let (from, to) = (*from as usize, *to as usize);
+                if from >= n || to >= n {
+                    return Err(MachineTextError {
+                        line: *line,
+                        msg: format!(
+                            "link {from} {to} of machine `{}` names a cluster out of range \
+                             ({n} clusters)",
+                            b.name
+                        ),
+                    });
+                }
+                if *lat == 0 {
+                    return Err(MachineTextError {
+                        line: *line,
+                        msg: format!(
+                            "link {from} {to} of machine `{}` needs a positive latency",
+                            b.name
+                        ),
+                    });
+                }
+                matrix[from * n + to] = *lat;
+            }
+            for from in 0..n {
+                for to in 0..n {
+                    if from != to && matrix[from * n + to] == 0 {
+                        return Err(err(format!(
+                            "p2p topology of machine `{}` is missing the latency of link \
+                             {from} {to}",
+                            b.name
+                        )));
+                    }
+                }
+            }
+            Interconnect::PointToPoint {
+                channels,
+                latency: matrix,
+            }
+        }
+    };
+    Ok(MachineConfig::custom(b.clusters, interconnect, b.latencies))
 }
 
 /// Parses text expected to contain exactly one machine.
@@ -325,13 +615,16 @@ mod tests {
 
     #[test]
     fn defaults_apply_when_omitted() {
-        // No bus, no latency lines: defaults (1 bus latency 1, §4 model).
+        // Single cluster, no latency lines: no interconnect, §4 model.
         let text = "machine tiny\ncluster 1 1 1 8\nend\n";
         let (_, m) = parse_machine(text).unwrap();
-        assert_eq!(m.buses, 1);
-        assert_eq!(m.bus_latency, 1);
+        assert_eq!(*m.interconnect(), Interconnect::None);
         assert_eq!(m.latencies, LatencyModel::default());
         assert_eq!(m.cluster_count(), 1);
+        // Clustered machines default to the paper's 1 bus of latency 1.
+        let text = "machine duo\ncluster 1 1 1 8\ncluster 1 1 1 8\nend\n";
+        let (_, m) = parse_machine(text).unwrap();
+        assert_eq!(*m.interconnect(), Interconnect::legacy_bus(1, 1));
     }
 
     #[test]
@@ -360,12 +653,62 @@ mod tests {
                     registers: 40,
                 },
             ],
-            2,
-            2,
+            Interconnect::legacy_bus(2, 2),
             LatencyModel::default(),
         );
         let (_, back) = parse_machine(&serialize_machine(&m)).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn topology_machines_round_trip() {
+        for m in gpsched_machine::topology_presets() {
+            let text = serialize_machine(&m);
+            let (name, back) = parse_machine(&text).unwrap();
+            assert_eq!(name, m.short_name());
+            assert_eq!(back, m, "{text}");
+        }
+        // Non-uniform p2p matrix survives the link lines.
+        let m = MachineConfig::homogeneous_with(
+            3,
+            (2, 1, 1),
+            48,
+            Interconnect::PointToPoint {
+                channels: 2,
+                latency: vec![0, 1, 4, 2, 0, 1, 1, 3, 0],
+            },
+        );
+        let (_, back) = parse_machine(&serialize_machine(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn topology_stanza_parses_each_kind() {
+        let ring = "machine r\ncluster 1 1 1 8\ncluster 1 1 1 8\ntopology ring 2 3\nend\n";
+        let (_, m) = parse_machine(ring).unwrap();
+        assert_eq!(
+            *m.interconnect(),
+            Interconnect::Ring {
+                hop_latency: 2,
+                links_per_hop: 3
+            }
+        );
+        let pb = "machine b\ncluster 1 1 1 8\ncluster 1 1 1 8\ntopology bus 2 3 pipelined\nend\n";
+        let (_, m) = parse_machine(pb).unwrap();
+        assert_eq!(
+            *m.interconnect(),
+            Interconnect::SharedBus {
+                count: 2,
+                latency: 3,
+                pipelined: true
+            }
+        );
+        // p2p with a default latency and one override.
+        let p2p = "machine p\ncluster 1 1 1 8\ncluster 1 1 1 8\n\
+                   topology p2p 1 2\nlink 1 0 5\nend\n";
+        let (_, m) = parse_machine(p2p).unwrap();
+        assert_eq!(m.transfer_latency(0, 1), 2);
+        assert_eq!(m.transfer_latency(1, 0), 5);
     }
 
     #[test]

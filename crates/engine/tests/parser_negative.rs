@@ -23,13 +23,40 @@ dep 2 0 mem 1 1
 end
 ";
 
-/// A valid machine exercising every `.machine` directive.
+/// A valid machine exercising every legacy `.machine` directive.
 const VALID_MACHINE: &str = "\
 machine m
 cluster 2 2 2 16
 cluster 2 2 2 16
 bus 1 2
 latency load 2
+end
+";
+
+/// A valid ring machine exercising the `topology ring` stanza.
+const VALID_RING: &str = "\
+machine r
+cluster 1 1 1 8
+cluster 1 1 1 8
+cluster 1 1 1 8
+topology ring 2 1
+latency load 2
+end
+";
+
+/// A valid point-to-point machine exercising `topology p2p` + `link`.
+const VALID_P2P: &str = "\
+machine p
+cluster 1 1 1 8
+cluster 1 1 1 8
+cluster 1 1 1 8
+topology p2p 2
+link 0 1 1
+link 0 2 2
+link 1 0 1
+link 1 2 1
+link 2 0 2
+link 2 1 1
 end
 ";
 
@@ -83,9 +110,10 @@ fn every_corrupted_ddg_field_is_diagnosed_on_its_line() {
     }
 }
 
-#[test]
-fn every_corrupted_machine_field_is_diagnosed_on_its_line() {
-    let base = VALID_MACHINE;
+/// Corrupts every field of every line of `base` and demands a
+/// line-accurate diagnosis (or a clean parse for the free-form machine
+/// name).
+fn sweep_machine_mutations(base: &str) {
     assert!(parse_machine_corpus(base).is_ok(), "fixture must be valid");
     for (li, line) in base.lines().enumerate() {
         let nfields = line.split_whitespace().count();
@@ -106,6 +134,21 @@ fn every_corrupted_machine_field_is_diagnosed_on_its_line() {
             }
         }
     }
+}
+
+#[test]
+fn every_corrupted_machine_field_is_diagnosed_on_its_line() {
+    sweep_machine_mutations(VALID_MACHINE);
+}
+
+#[test]
+fn every_corrupted_ring_machine_field_is_diagnosed_on_its_line() {
+    sweep_machine_mutations(VALID_RING);
+}
+
+#[test]
+fn every_corrupted_p2p_machine_field_is_diagnosed_on_its_line() {
+    sweep_machine_mutations(VALID_P2P);
 }
 
 // ---------------------------------------------------------------------
@@ -290,7 +333,14 @@ fn machine_nested_block() {
 
 #[test]
 fn machine_directives_outside_block() {
-    for directive in ["cluster 1 1 1 8", "bus 1 1", "latency load 2", "end"] {
+    for directive in [
+        "cluster 1 1 1 8",
+        "bus 1 1",
+        "topology ring 1 1",
+        "link 0 1 1",
+        "latency load 2",
+        "end",
+    ] {
         let word = directive.split(' ').next().unwrap();
         machine_err(
             &format!("{directive}\n"),
@@ -374,6 +424,198 @@ fn machine_multicluster_needs_bus_latency() {
         "machine m\ncluster 1 1 1 8\ncluster 1 1 1 8\nbus 1 0\nend\n",
         5,
         "multi-cluster machine `m` needs a positive bus latency",
+    );
+}
+
+// ---------------------------------------------------------------------
+// `topology` stanza: one test per distinct error message.
+// ---------------------------------------------------------------------
+
+const TWO_CLUSTERS: &str = "machine m\ncluster 1 1 1 8\ncluster 1 1 1 8\n";
+
+#[test]
+fn machine_unknown_topology_kind() {
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology mesh 1 1\nend\n"),
+        4,
+        "unknown topology `mesh` (expected bus|ring|p2p)",
+    );
+}
+
+#[test]
+fn machine_duplicate_topology() {
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology ring 1 1\ntopology ring 1 1\nend\n"),
+        5,
+        "duplicate `topology` line",
+    );
+}
+
+#[test]
+fn machine_bus_conflicts_with_topology() {
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology ring 1 1\nbus 1 1\nend\n"),
+        5,
+        "`bus` conflicts with an earlier `topology` line",
+    );
+    machine_err(
+        &format!("{TWO_CLUSTERS}bus 1 1\ntopology ring 1 1\nend\n"),
+        5,
+        "`topology` conflicts with an earlier `bus` line",
+    );
+}
+
+#[test]
+fn machine_bad_topology_fields() {
+    let cases = [
+        ("topology bus x 1", "expected a bus count, got `x`"),
+        ("topology bus 1 x", "expected a bus latency, got `x`"),
+        (
+            "topology bus 1 1 turbo",
+            "unexpected bus flag `turbo` (expected `pipelined`)",
+        ),
+        ("topology ring x 1", "expected a ring hop latency, got `x`"),
+        (
+            "topology ring 1 x",
+            "expected a links-per-hop count, got `x`",
+        ),
+        ("topology p2p x", "expected a channel count, got `x`"),
+        (
+            "topology p2p 1 x",
+            "expected a default link latency, got `x`",
+        ),
+        ("topology p2p 1 0", "default link latency must be positive"),
+    ];
+    for (line, needle) in cases {
+        machine_err(&format!("{TWO_CLUSTERS}{line}\nend\n"), 4, needle);
+    }
+}
+
+#[test]
+fn machine_bad_link_fields() {
+    let head = format!("{TWO_CLUSTERS}topology p2p 1 1\n");
+    let cases = [
+        ("link x 1 1", "expected a source cluster index, got `x`"),
+        (
+            "link 0 x 1",
+            "expected a destination cluster index, got `x`",
+        ),
+        ("link 0 1 x", "expected a link latency, got `x`"),
+    ];
+    for (line, needle) in cases {
+        machine_err(&format!("{head}{line}\nend\n"), 5, needle);
+    }
+}
+
+#[test]
+fn machine_link_needs_p2p_topology() {
+    machine_err(
+        &format!("{TWO_CLUSTERS}link 0 1 1\nend\n"),
+        4,
+        "`link` requires a preceding `topology p2p` line",
+    );
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology ring 1 1\nlink 0 1 1\nend\n"),
+        5,
+        "`link` requires a preceding `topology p2p` line",
+    );
+}
+
+#[test]
+fn machine_link_endpoints_must_differ() {
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology p2p 1 1\nlink 1 1 2\nend\n"),
+        5,
+        "`link 1 1` endpoints must differ",
+    );
+}
+
+#[test]
+fn machine_duplicate_link() {
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology p2p 1 1\nlink 0 1 2\nlink 0 1 3\nend\n"),
+        6,
+        "duplicate `link 0 1`",
+    );
+}
+
+#[test]
+fn machine_single_cluster_takes_no_interconnect() {
+    // The historical `bus 1 1` placeholder on unified machines is gone:
+    // any interconnect line on a single-cluster machine is an error,
+    // reported on the offending line.
+    machine_err(
+        "machine m\ncluster 4 4 4 32\nbus 1 1\nend\n",
+        3,
+        "single-cluster machine `m` takes no interconnect",
+    );
+    machine_err(
+        "machine m\ncluster 4 4 4 32\ntopology ring 1 1\nend\n",
+        3,
+        "single-cluster machine `m` takes no interconnect",
+    );
+}
+
+#[test]
+fn machine_ring_needs_positive_shape() {
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology ring 0 1\nend\n"),
+        5,
+        "ring hop latency of machine `m` must be positive",
+    );
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology ring 1 0\nend\n"),
+        5,
+        "ring of machine `m` needs at least one link per hop",
+    );
+}
+
+#[test]
+fn machine_p2p_needs_channels() {
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology p2p 0 1\nend\n"),
+        5,
+        "p2p topology of machine `m` needs at least one channel",
+    );
+}
+
+#[test]
+fn machine_p2p_link_out_of_range() {
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology p2p 1 1\nlink 0 2 1\nend\n"),
+        5,
+        "link 0 2 of machine `m` names a cluster out of range (2 clusters)",
+    );
+}
+
+#[test]
+fn machine_p2p_link_latency_must_be_positive() {
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology p2p 1 1\nlink 0 1 0\nend\n"),
+        5,
+        "link 0 1 of machine `m` needs a positive latency",
+    );
+}
+
+#[test]
+fn machine_p2p_missing_link_latency() {
+    // No default latency and an incomplete link set: the gap is named,
+    // reported at the `end` line where the matrix is assembled.
+    machine_err(
+        &format!("{TWO_CLUSTERS}topology p2p 1\nlink 0 1 2\nend\n"),
+        6,
+        "p2p topology of machine `m` is missing the latency of link 1 0",
+    );
+}
+
+#[test]
+fn machine_pipelined_bus_flag_requires_topology_form() {
+    // The legacy `bus` line takes exactly two fields; `pipelined` only
+    // exists in the `topology bus` stanza.
+    machine_err(
+        &format!("{TWO_CLUSTERS}bus 1 1 pipelined\nend\n"),
+        4,
+        "expected a bus latency",
     );
 }
 

@@ -5,14 +5,16 @@
 //! reproduce fig2     # IPC, 1 bus, latency 1 (4 sub-graphs)
 //! reproduce fig3     # IPC, 1 bus, latency 2 (4 sub-graphs)
 //! reproduce table2   # scheduling CPU time per algorithm/config
-//! reproduce variants # IPC of the policy-variant specs (beyond the paper)
-//! reproduce stress   # catalog × synthetic preset corpora, sim-audited
-//! reproduce all      # everything + rewrite EXPERIMENTS.md
+//! reproduce variants   # IPC of the policy-variant specs (beyond the paper)
+//! reproduce stress     # catalog × synthetic preset corpora, sim-audited
+//! reproduce topologies # SPECfp95 IPC across interconnect topologies
+//! reproduce all        # everything + rewrite EXPERIMENTS.md
 //! ```
 //!
 //! `stress` reads `GPSCHED_SYNTH_BUDGET` (total generated loops; default
-//! 90) and is not part of `all` — its corpora are open-ended where
-//! EXPERIMENTS.md pins the paper's frozen evaluation.
+//! 90). Neither `stress` nor `topologies` is part of `all` — their
+//! corpora/machines are open-ended where EXPERIMENTS.md pins the paper's
+//! frozen evaluation.
 //!
 //! Run with `--release`; the full sweep schedules ~76 loops × 9 machine
 //! configurations × 4 algorithm bars.
@@ -63,6 +65,23 @@ fn main() {
             let machines = [
                 MachineConfig::two_cluster(32, 1, 1),
                 MachineConfig::four_cluster(64, 1, 2),
+                // The open interconnect axis: ring and point-to-point
+                // machines pass the same sim-audited sweep.
+                MachineConfig::homogeneous_with(
+                    4,
+                    (1, 1, 1),
+                    64,
+                    gpsched_machine::Interconnect::Ring {
+                        hop_latency: 1,
+                        links_per_hop: 1,
+                    },
+                ),
+                MachineConfig::homogeneous_with(
+                    4,
+                    (1, 1, 1),
+                    64,
+                    gpsched_machine::Interconnect::uniform_point_to_point(4, 1, 1),
+                ),
             ];
             let report =
                 gpsched_eval::stress_report(budget, 0xC0DE, &machines, &AlgorithmSpec::CATALOG);
@@ -71,6 +90,14 @@ fn main() {
             if !report.failures.is_empty() {
                 std::process::exit(1);
             }
+        }
+        "topologies" => {
+            let report = gpsched_eval::default_topology_report();
+            println!(
+                "Topologies — SPECfp95 IPC per interconnect shape ({} on every machine)\n",
+                report.spec
+            );
+            print!("{}", report.render());
         }
         "all" => {
             print!("{}", report::render_table1(&tables::table1()));
@@ -94,7 +121,10 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown command `{other}`; use table1|fig2|fig3|table2|variants|stress|all");
+            eprintln!(
+                "unknown command `{other}`; use \
+                 table1|fig2|fig3|table2|variants|stress|topologies|all"
+            );
             std::process::exit(2);
         }
     }

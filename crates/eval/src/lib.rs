@@ -14,6 +14,9 @@
 //! * [`stress`] — the workload axis opened the same way: the whole spec
 //!   catalog over generated synthetic corpora (one per `workloads::synth`
 //!   preset), every unit validated by the conformance audit;
+//! * [`topologies`] — the machine axis opened too: the SPECfp95 set on
+//!   one reference machine per interconnect topology (shared bus,
+//!   pipelined bus, ring, point-to-point);
 //! * [`report`] — plain-text and Markdown renderers, including the
 //!   shape checks recorded in `EXPERIMENTS.md`.
 //!
@@ -33,10 +36,12 @@ pub mod report;
 pub mod run;
 pub mod stress;
 pub mod tables;
+pub mod topologies;
 pub mod variants;
 
 pub use figures::{figure2, figure3, FigureRow, FigureSeries};
 pub use run::{run_program, ProgramRun};
 pub use stress::{stress_report, StressReport, StressRow};
 pub use tables::{table2, Table2Row};
+pub use topologies::{default_topology_report, topology_report, TopologyReport, TopologyRow};
 pub use variants::{series_for_specs, VariantRow, VariantSeries};

@@ -1,5 +1,6 @@
 //! Machine and cluster configuration types.
 
+use crate::interconnect::{Interconnect, RouteIter};
 use crate::latency::LatencyModel;
 use crate::op::OpClass;
 use crate::resources::ResourceKind;
@@ -35,29 +36,24 @@ impl ClusterConfig {
 }
 
 /// A clustered VLIW machine: a set of clusters plus the inter-cluster
-/// interconnect and the latency model.
+/// [`Interconnect`] and the latency model.
 ///
 /// Construct with [`MachineConfig::unified`], [`MachineConfig::two_cluster`],
 /// [`MachineConfig::four_cluster`] (the paper's Table 1 presets) or
-/// [`MachineConfig::custom`].
+/// [`MachineConfig::custom`] with any [`Interconnect`] topology.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MachineConfig {
     clusters: Vec<ClusterConfig>,
-    /// Number of inter-cluster buses.
-    pub buses: u32,
-    /// Latency, in cycles, of one inter-cluster transfer. The bus is
-    /// non-pipelined: a transfer occupies a bus for this many cycles.
-    pub bus_latency: u32,
+    interconnect: Interconnect,
     /// Operation latencies.
     pub latencies: LatencyModel,
 }
 
 impl MachineConfig {
     /// The unified (single-cluster) 12-issue baseline: 4 integer units,
-    /// 4 FP units, 4 memory ports and the whole register file.
-    ///
-    /// The bus fields are irrelevant (there are no inter-cluster
-    /// communications) and set to 1/1.
+    /// 4 FP units, 4 memory ports and the whole register file. There is
+    /// no interconnect ([`Interconnect::None`]) — a unified machine can
+    /// never book a transfer, and asking for one panics.
     pub fn unified(total_registers: u32) -> Self {
         MachineConfig {
             clusters: vec![ClusterConfig {
@@ -66,14 +62,14 @@ impl MachineConfig {
                 mem_units: 4,
                 registers: total_registers,
             }],
-            buses: 1,
-            bus_latency: 1,
+            interconnect: Interconnect::None,
             latencies: LatencyModel::default(),
         }
     }
 
     /// The paper's 2-cluster machine: 2 units of each kind and half the
-    /// registers per cluster.
+    /// registers per cluster, on `buses` shared non-pipelined buses of
+    /// `bus_latency`.
     ///
     /// # Panics
     ///
@@ -83,7 +79,8 @@ impl MachineConfig {
     }
 
     /// The paper's 4-cluster machine: 1 unit of each kind and a quarter of
-    /// the registers per cluster.
+    /// the registers per cluster, on `buses` shared non-pipelined buses of
+    /// `bus_latency`.
     ///
     /// # Panics
     ///
@@ -92,27 +89,52 @@ impl MachineConfig {
         Self::homogeneous(4, (1, 1, 1), total_registers, buses, bus_latency)
     }
 
-    /// A homogeneous clustered machine with `n` identical clusters.
+    /// A homogeneous clustered machine with `n` identical clusters on the
+    /// paper's shared-bus interconnect.
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`, `buses == 0`, `bus_latency == 0`, or
+    /// Panics if `n < 2` (single-cluster machines use
+    /// [`MachineConfig::unified`]), `buses == 0`, `bus_latency == 0`, or
     /// `total_registers` is not divisible by `n`.
     pub fn homogeneous(
         n: u32,
-        (int_units, fp_units, mem_units): (u32, u32, u32),
+        units: (u32, u32, u32),
         total_registers: u32,
         buses: u32,
         bus_latency: u32,
     ) -> Self {
-        assert!(n > 0, "need at least one cluster");
-        assert!(buses > 0, "need at least one bus");
-        assert!(bus_latency > 0, "bus latency must be positive");
+        Self::homogeneous_with(
+            n,
+            units,
+            total_registers,
+            Interconnect::legacy_bus(buses, bus_latency),
+        )
+    }
+
+    /// A homogeneous clustered machine with an explicit [`Interconnect`]
+    /// topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `total_registers` is not divisible by `n`, or
+    /// the interconnect fails [`Interconnect::validate`].
+    pub fn homogeneous_with(
+        n: u32,
+        (int_units, fp_units, mem_units): (u32, u32, u32),
+        total_registers: u32,
+        interconnect: Interconnect,
+    ) -> Self {
+        assert!(
+            n >= 2,
+            "homogeneous machines are clustered; use `unified` for one cluster"
+        );
         assert_eq!(
             total_registers % n,
             0,
             "registers must divide evenly among clusters"
         );
+        interconnect.validate(n as usize);
         MachineConfig {
             clusters: (0..n)
                 .map(|_| ClusterConfig {
@@ -122,8 +144,7 @@ impl MachineConfig {
                     registers: total_registers / n,
                 })
                 .collect(),
-            buses,
-            bus_latency,
+            interconnect,
             latencies: LatencyModel::default(),
         }
     }
@@ -132,23 +153,20 @@ impl MachineConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `clusters` is empty, or if a multi-cluster machine has
-    /// `buses == 0` or `bus_latency == 0`.
+    /// Panics if `clusters` is empty or the interconnect is inconsistent
+    /// with the cluster count ([`Interconnect::validate`]: single-cluster
+    /// machines take [`Interconnect::None`], clustered machines anything
+    /// else).
     pub fn custom(
         clusters: Vec<ClusterConfig>,
-        buses: u32,
-        bus_latency: u32,
+        interconnect: Interconnect,
         latencies: LatencyModel,
     ) -> Self {
         assert!(!clusters.is_empty(), "need at least one cluster");
-        if clusters.len() > 1 {
-            assert!(buses > 0, "multi-cluster machines need a bus");
-            assert!(bus_latency > 0, "bus latency must be positive");
-        }
+        interconnect.validate(clusters.len());
         MachineConfig {
             clusters,
-            buses,
-            bus_latency,
+            interconnect,
             latencies,
         }
     }
@@ -156,6 +174,17 @@ impl MachineConfig {
     /// Replaces the latency model (builder-style).
     pub fn with_latencies(mut self, latencies: LatencyModel) -> Self {
         self.latencies = latencies;
+        self
+    }
+
+    /// Replaces the interconnect (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interconnect is inconsistent with the cluster count.
+    pub fn with_interconnect(mut self, interconnect: Interconnect) -> Self {
+        interconnect.validate(self.clusters.len());
+        self.interconnect = interconnect;
         self
     }
 
@@ -183,6 +212,71 @@ impl MachineConfig {
         self.clusters.iter()
     }
 
+    /// The inter-cluster interconnect.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
+    }
+
+    /// End-to-end transfer latency from cluster `from` to `to` (0 when
+    /// `from == to`).
+    #[inline]
+    pub fn transfer_latency(&self, from: usize, to: usize) -> i64 {
+        self.interconnect.latency(from, to, self.clusters.len())
+    }
+
+    /// Parallel transfers that may depart `from → to` per cycle.
+    #[inline]
+    pub fn channels_between(&self, from: usize, to: usize) -> u32 {
+        self.interconnect.channels(from, to, self.clusters.len())
+    }
+
+    /// Number of reservable interconnect channel groups.
+    #[inline]
+    pub fn channel_count(&self) -> usize {
+        self.interconnect.channel_count(self.clusters.len())
+    }
+
+    /// Per-cycle capacity of channel group `ch`.
+    #[inline]
+    pub fn channel_capacity(&self, ch: usize) -> u32 {
+        self.interconnect.channel_capacity(ch)
+    }
+
+    /// The deterministic route of a transfer `from → to` (see
+    /// [`Interconnect::route`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on single-cluster machines ([`Interconnect::None`]) — they
+    /// must never book a transfer — or when `from == to`.
+    #[inline]
+    pub fn route(&self, from: usize, to: usize) -> RouteIter {
+        self.interconnect.route(from, to, self.clusters.len())
+    }
+
+    /// The largest cross-cluster transfer latency of the topology.
+    pub fn max_transfer_latency(&self) -> i64 {
+        self.interconnect.max_latency(self.clusters.len())
+    }
+
+    /// The full pairwise transfer-latency table, row-major
+    /// (`table[from · n + to]`, diagonal 0). Hot paths that consult
+    /// latencies per candidate (the scheduler's quick-reject, the
+    /// evaluator's cut refresh) resolve the topology once through this
+    /// table instead of dispatching per query.
+    pub fn transfer_latency_table(&self) -> Vec<i64> {
+        let n = self.clusters.len();
+        let mut table = vec![0i64; n * n];
+        for from in 0..n {
+            for to in 0..n {
+                if from != to {
+                    table[from * n + to] = self.transfer_latency(from, to);
+                }
+            }
+        }
+        table
+    }
+
     /// Total issue width across clusters.
     pub fn issue_width(&self) -> u32 {
         self.clusters.iter().map(ClusterConfig::issue_width).sum()
@@ -203,19 +297,42 @@ impl MachineConfig {
         self.latencies.latency(op)
     }
 
-    /// A short identifier like `c2r32b1l1` (2 clusters, 32 registers, 1 bus
-    /// of latency 1) or `u-r64` for the unified machine, used in reports.
+    /// A short identifier used in reports, derived from the shape:
+    /// `u-r64` (unified), `c2r32b1l1` (2 clusters, 32 registers, 1 shared
+    /// bus of latency 1), `c2r32pb1l2` (pipelined bus),
+    /// `c4r64ring2x1` (ring, hop latency 2, 1 link per hop),
+    /// `c4r64p2p1x1` (uniform point-to-point, latency 1, 1 channel) or
+    /// `c4r64p2p1-3x1` for a non-uniform latency matrix.
     pub fn short_name(&self) -> String {
         if self.is_unified() {
-            format!("u-r{}", self.total_registers())
-        } else {
-            format!(
-                "c{}r{}b{}l{}",
-                self.cluster_count(),
-                self.total_registers(),
-                self.buses,
-                self.bus_latency
-            )
+            return format!("u-r{}", self.total_registers());
+        }
+        let head = format!("c{}r{}", self.cluster_count(), self.total_registers());
+        match &self.interconnect {
+            Interconnect::None => unreachable!("clustered machines have an interconnect"),
+            Interconnect::SharedBus {
+                count,
+                latency,
+                pipelined,
+            } => format!(
+                "{head}{}{count}l{latency}",
+                if *pipelined { "pb" } else { "b" }
+            ),
+            Interconnect::Ring {
+                hop_latency,
+                links_per_hop,
+            } => format!("{head}ring{hop_latency}x{links_per_hop}"),
+            Interconnect::PointToPoint { channels, latency } => {
+                let (lo, hi) = latency
+                    .iter()
+                    .filter(|&&l| l > 0)
+                    .fold((u32::MAX, 0u32), |(lo, hi), &l| (lo.min(l), hi.max(l)));
+                if lo == hi || lo == u32::MAX {
+                    format!("{head}p2p{hi}x{channels}")
+                } else {
+                    format!("{head}p2p{lo}-{hi}x{channels}")
+                }
+            }
         }
     }
 }
@@ -233,14 +350,13 @@ impl fmt::Display for MachineConfig {
             let c = &self.clusters[0];
             write!(
                 f,
-                "{} clusters × ({}i/{}f/{}m, {} regs), {} bus(es) lat {}",
+                "{} clusters × ({}i/{}f/{}m, {} regs), {}",
                 self.clusters.len(),
                 c.int_units,
                 c.fp_units,
                 c.mem_units,
                 c.registers,
-                self.buses,
-                self.bus_latency
+                self.interconnect
             )
         }
     }
@@ -258,6 +374,16 @@ mod tests {
         assert_eq!(m.total_registers(), 64);
         assert_eq!(m.total_units(ResourceKind::FpAlu), 4);
         assert_eq!(m.short_name(), "u-r64");
+        // The wart is gone: no placeholder bus, no channels at all.
+        assert_eq!(*m.interconnect(), Interconnect::None);
+        assert_eq!(m.channel_count(), 0);
+        assert_eq!(m.max_transfer_latency(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never book a transfer")]
+    fn unified_machine_refuses_transfers() {
+        MachineConfig::unified(32).route(0, 1);
     }
 
     #[test]
@@ -268,6 +394,8 @@ mod tests {
         assert_eq!(m.cluster(1).registers, 16);
         assert_eq!(m.total_units(ResourceKind::IntAlu), 4);
         assert_eq!(m.short_name(), "c2r32b1l1");
+        assert_eq!(m.transfer_latency(0, 1), 1);
+        assert_eq!(m.channel_count(), 1);
     }
 
     #[test]
@@ -278,6 +406,44 @@ mod tests {
         assert_eq!(m.cluster(3).registers, 16);
         assert_eq!(m.cluster(0).units(ResourceKind::MemPort), 1);
         assert_eq!(m.short_name(), "c4r64b1l2");
+    }
+
+    #[test]
+    fn topology_short_names() {
+        let ring = MachineConfig::homogeneous_with(
+            4,
+            (1, 1, 1),
+            64,
+            Interconnect::Ring {
+                hop_latency: 2,
+                links_per_hop: 1,
+            },
+        );
+        assert_eq!(ring.short_name(), "c4r64ring2x1");
+        assert_eq!(ring.transfer_latency(0, 3), 6);
+        assert_eq!(ring.transfer_latency(3, 0), 2);
+
+        let p2p = MachineConfig::homogeneous_with(
+            4,
+            (1, 1, 1),
+            64,
+            Interconnect::uniform_point_to_point(4, 1, 1),
+        );
+        assert_eq!(p2p.short_name(), "c4r64p2p1x1");
+        assert_eq!(p2p.channel_count(), 16);
+
+        let pb = MachineConfig::homogeneous_with(
+            2,
+            (2, 2, 2),
+            32,
+            Interconnect::SharedBus {
+                count: 1,
+                latency: 2,
+                pipelined: true,
+            },
+        );
+        assert_eq!(pb.short_name(), "c2r32pb1l2");
+        assert_eq!(pb.route(0, 1).next().unwrap().occupancy, 1);
     }
 
     #[test]
@@ -306,6 +472,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "need an interconnect")]
+    fn custom_multi_cluster_needs_interconnect() {
+        let c = ClusterConfig {
+            int_units: 1,
+            fp_units: 1,
+            mem_units: 1,
+            registers: 8,
+        };
+        MachineConfig::custom(vec![c, c], Interconnect::None, LatencyModel::default());
+    }
+
+    #[test]
     fn custom_machine_and_display() {
         let m = MachineConfig::custom(
             vec![
@@ -322,14 +500,14 @@ mod tests {
                     registers: 40,
                 },
             ],
-            2,
-            2,
+            Interconnect::legacy_bus(2, 2),
             LatencyModel::default(),
         );
         assert_eq!(m.issue_width(), 12);
         assert_eq!(m.total_registers(), 64);
         assert!(!m.is_unified());
         assert!(m.to_string().contains("2 clusters"));
+        assert!(m.to_string().contains("bus"));
         assert!(MachineConfig::unified(32).to_string().contains("unified"));
     }
 
@@ -340,5 +518,56 @@ mod tests {
             ..LatencyModel::default()
         });
         assert_eq!(m.latency(OpClass::Load), 4);
+    }
+
+    #[test]
+    fn with_interconnect_swaps_topology() {
+        let m = MachineConfig::two_cluster(32, 1, 1).with_interconnect(Interconnect::Ring {
+            hop_latency: 1,
+            links_per_hop: 1,
+        });
+        assert_eq!(m.short_name(), "c2r32ring1x1");
+    }
+
+    #[test]
+    fn channels_between_matches_first_hop_capacity() {
+        // `channels_between` is the departure bandwidth of a pair: for
+        // every topology it must equal the capacity of the route's first
+        // channel.
+        let machines = [
+            MachineConfig::two_cluster(32, 2, 1),
+            MachineConfig::homogeneous_with(
+                4,
+                (1, 1, 1),
+                64,
+                Interconnect::Ring {
+                    hop_latency: 2,
+                    links_per_hop: 3,
+                },
+            ),
+            MachineConfig::homogeneous_with(
+                4,
+                (1, 1, 1),
+                64,
+                Interconnect::uniform_point_to_point(4, 1, 2),
+            ),
+        ];
+        for m in &machines {
+            for from in 0..m.cluster_count() {
+                for to in 0..m.cluster_count() {
+                    if from == to {
+                        continue;
+                    }
+                    let first = m.route(from, to).next().expect("non-empty route");
+                    assert_eq!(
+                        m.channels_between(from, to),
+                        m.channel_capacity(first.channel),
+                        "{} {from}->{to}",
+                        m.short_name()
+                    );
+                }
+            }
+        }
+        assert_eq!(MachineConfig::unified(32).channels_between(0, 0), 0);
     }
 }

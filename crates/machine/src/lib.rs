@@ -8,6 +8,13 @@
 //! cycles. The memory hierarchy is shared and perfect (all hits), as in the
 //! paper.
 //!
+//! Beyond the paper, the interconnect is an open axis: [`Interconnect`]
+//! also models pipelined shared buses, per-pair point-to-point links and
+//! unidirectional rings, all behind one channel/route query API that the
+//! partitioner, schedulers and simulator consume uniformly (see that
+//! type's docs and `DESIGN.md`). [`topology_presets`] bundles a reference
+//! machine per topology.
+//!
 //! The latencies in the paper's Table 1 are unreadable in the available
 //! scan; this model uses the latencies of the same group's companion papers
 //! (Sánchez & González, MICRO-33; Codina et al., PACT'01): integer 1,
@@ -30,13 +37,15 @@
 #![warn(missing_docs)]
 
 mod config;
+mod interconnect;
 mod latency;
 mod op;
 mod presets;
 mod resources;
 
 pub use config::{ClusterConfig, MachineConfig};
+pub use interconnect::{Hop, Interconnect, RouteIter};
 pub use latency::LatencyModel;
 pub use op::OpClass;
-pub use presets::{table1_configs, PresetKind};
+pub use presets::{table1_configs, topology_presets, PresetKind};
 pub use resources::ResourceKind;

@@ -1,6 +1,8 @@
-//! The configuration matrix of the paper's evaluation (Table 1 + §4.1).
+//! The configuration matrix of the paper's evaluation (Table 1 + §4.1),
+//! plus the reference machines of the open topology axis.
 
 use crate::config::MachineConfig;
+use crate::interconnect::Interconnect;
 
 /// Which of the paper's machine shapes a configuration instantiates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -53,6 +55,55 @@ pub fn table1_configs() -> Vec<(PresetKind, MachineConfig)> {
     out
 }
 
+/// The reference machine of every non-bus topology, next to the paper's
+/// shared-bus 2-cluster baseline for comparison: a 12-issue 2-cluster
+/// pipelined bus, a 4-cluster unidirectional ring and a 4-cluster uniform
+/// point-to-point mesh. All four carry the same total resources as the
+/// Table 1 machines, so IPC differences isolate the interconnect.
+///
+/// The order is deterministic; short names are unique
+/// (`c2r32b1l1`, `c2r32pb1l2`, `c4r64ring1x1`, `c4r64p2p1x1`).
+///
+/// # Example
+///
+/// ```
+/// use gpsched_machine::topology_presets;
+///
+/// let presets = topology_presets();
+/// assert_eq!(presets.len(), 4);
+/// assert!(presets.iter().any(|m| m.short_name() == "c4r64ring1x1"));
+/// ```
+pub fn topology_presets() -> Vec<MachineConfig> {
+    vec![
+        MachineConfig::two_cluster(32, 1, 1),
+        MachineConfig::homogeneous_with(
+            2,
+            (2, 2, 2),
+            32,
+            Interconnect::SharedBus {
+                count: 1,
+                latency: 2,
+                pipelined: true,
+            },
+        ),
+        MachineConfig::homogeneous_with(
+            4,
+            (1, 1, 1),
+            64,
+            Interconnect::Ring {
+                hop_latency: 1,
+                links_per_hop: 1,
+            },
+        ),
+        MachineConfig::homogeneous_with(
+            4,
+            (1, 1, 1),
+            64,
+            Interconnect::uniform_point_to_point(4, 1, 1),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +150,25 @@ mod tests {
             .map(|(_, m)| m.short_name())
             .collect();
         assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn topology_presets_are_twelve_issue_and_distinct() {
+        let presets = topology_presets();
+        let names: std::collections::HashSet<String> =
+            presets.iter().map(MachineConfig::short_name).collect();
+        assert_eq!(names.len(), presets.len());
+        for m in &presets {
+            assert_eq!(m.issue_width(), 12);
+            assert!(!m.is_unified());
+        }
+        // One preset per non-bus topology kind, plus the bus baseline.
+        let kinds: std::collections::HashSet<&str> = presets
+            .iter()
+            .map(|m| m.interconnect().kind_name())
+            .collect();
+        for kind in ["bus", "pipelined-bus", "ring", "p2p"] {
+            assert!(kinds.contains(kind), "missing {kind}");
+        }
     }
 }

@@ -4,13 +4,17 @@
 //! scheduling conflicts, but models the interconnection network and the
 //! memory ports realistically:
 //!
-//! * every cut flow dependence is charged the bus latency;
-//! * the bus can move at most `NBus` values per II window, each occupying a
-//!   bus for `LatBus` cycles → `IIbus = ⌈NComm · LatBus / NBus⌉`;
+//! * every cut flow dependence is charged the topology's end-to-end
+//!   transfer latency between its two clusters ([`crate::comm_cost`]);
+//! * every communicated value books its route's occupancy on each channel
+//!   it crosses, and the busiest channel bounds the II from below
+//!   ([`crate::ChannelLoad`]; on the paper's shared bus exactly
+//!   `IIbus = ⌈NComm · LatBus / NBus⌉`);
 //! * per-cluster functional-unit (incl. memory-port) utilisation bounds the
 //!   II from below (`res_mii_clustered`);
 //! * recurrences crossing the cut get longer → `RecMII` grows.
 
+use crate::comm::{comm_cost, ChannelLoad};
 use crate::partition::Partition;
 use gpsched_ddg::timing::TimingWorkspace;
 use gpsched_ddg::{mii, Ddg, DepKind};
@@ -21,13 +25,15 @@ use gpsched_machine::MachineConfig;
 pub struct PartitionCost {
     /// Values crossing the cut (`NComm`).
     pub comm_count: usize,
-    /// Bus-imposed II bound: `⌈NComm · LatBus / NBus⌉` (≥ 1).
+    /// Interconnect-imposed II bound (≥ 1): the busiest channel's
+    /// `⌈load / capacity⌉` — the paper's `IIbus` on a shared bus,
+    /// generalized to any topology.
     pub ii_bus: i64,
     /// Effective II of the estimate: smallest recurrence-feasible II at or
-    /// above `max(ii_input, per-cluster ResMII, IIbus)` with bus delays on
-    /// cut edges.
+    /// above `max(ii_input, per-cluster ResMII, IIbus)` with transfer
+    /// delays on cut edges.
     pub ii_effective: i64,
-    /// Longest intra-iteration path with bus delays on cut edges.
+    /// Longest intra-iteration path with transfer delays on cut edges.
     pub max_path: i64,
     /// `T = (niter − 1)·II + max_path`.
     pub exec_time: i64,
@@ -35,14 +41,6 @@ pub struct PartitionCost {
     pub cut_slack: i64,
     /// Number of cut dependences (second tie-breaker, minimized).
     pub cut_size: usize,
-}
-
-/// The bus-imposed initiation-interval bound of the paper's §3.1:
-/// `IIbus = ⌈NComm · LatBus / NBus⌉`, at least 1.
-pub fn ii_bus(comm_count: usize, machine: &MachineConfig) -> i64 {
-    let total = comm_count as i64 * machine.bus_latency as i64;
-    let buses = machine.buses as i64;
-    ((total + buses - 1) / buses).max(1)
 }
 
 /// Estimates the execution time of `ddg` under `partition`, with the
@@ -83,20 +81,31 @@ pub fn estimate_with(
     ws: &mut TimingWorkspace,
 ) -> PartitionCost {
     assert_eq!(partition.len(), ddg.op_count(), "partition/ddg mismatch");
-    let bus_lat = machine.bus_latency as i64;
+    let assign = partition.assignment();
 
-    // Which flow deps cross the cut (these pay the bus latency).
+    // Which flow deps cross the cut (these pay their pair's transfer
+    // latency), and the distinct (producer, consumer-cluster) values that
+    // load the interconnect channels.
     let mut extra = vec![0i64; ddg.dep_count()];
     let mut cut_size = 0usize;
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     for e in partition.cut_deps(ddg) {
         cut_size += 1;
         if ddg.dep(e).kind == DepKind::Flow {
-            extra[e.index()] = bus_lat;
+            let (s, d) = ddg.dep_endpoints(e);
+            extra[e.index()] = comm_cost(machine, assign[s.index()], assign[d.index()]);
+            pairs.push((s.index(), assign[d.index()]));
         }
     }
-
-    let comm_count = partition.comm_count(ddg);
-    let ii_bus = ii_bus(comm_count, machine);
+    pairs.sort_unstable();
+    pairs.dedup();
+    let comm_count = pairs.len();
+    debug_assert_eq!(comm_count, partition.comm_count(ddg));
+    let mut load = ChannelLoad::new(machine);
+    for &(p, to) in &pairs {
+        load.add_pair(assign[p], to);
+    }
+    let ii_bus = load.bound();
     let res = mii::res_mii_clustered(ddg, machine, partition.assignment());
     let lower = ii_input.max(res).max(ii_bus);
 
@@ -144,14 +153,35 @@ mod tests {
     use gpsched_workloads::kernels;
 
     #[test]
-    fn ii_bus_formula() {
-        let m1 = MachineConfig::two_cluster(32, 1, 1);
-        assert_eq!(ii_bus(0, &m1), 1);
-        assert_eq!(ii_bus(5, &m1), 5);
-        let m2 = MachineConfig::two_cluster(32, 2, 2);
-        assert_eq!(ii_bus(5, &m2), 5); // 10 bus-cycles over 2 buses
-        let m3 = MachineConfig::two_cluster(32, 1, 2);
-        assert_eq!(ii_bus(5, &m3), 10);
+    fn ring_distance_sets_cut_delay() {
+        // ld → add split across a 4-cluster ring with hop latency 2: the
+        // delay (and thus max_path growth) is the directed ring distance.
+        let mut b = DdgBuilder::new("t");
+        let ld = b.op(OpClass::Load, "ld");
+        let ad = b.op(OpClass::FpAdd, "ad");
+        b.flow(ld, ad);
+        b.trip_count(100);
+        let ddg = b.build().unwrap();
+        let m = gpsched_machine::MachineConfig::homogeneous_with(
+            4,
+            (1, 1, 1),
+            64,
+            gpsched_machine::Interconnect::Ring {
+                hop_latency: 2,
+                links_per_hop: 1,
+            },
+        );
+        let base = estimate(
+            &ddg,
+            &m,
+            1,
+            &Partition::new(vec![0, 0, 0, 0][..2].to_vec(), 4),
+        );
+        let near = estimate(&ddg, &m, 1, &Partition::new(vec![0, 1], 4));
+        let far = estimate(&ddg, &m, 1, &Partition::new(vec![1, 0], 4));
+        assert_eq!(near.max_path, base.max_path + 2); // one hop
+        assert_eq!(far.max_path, base.max_path + 6); // three hops 1→2→3→0
+        assert_eq!(near.comm_count, 1);
     }
 
     #[test]

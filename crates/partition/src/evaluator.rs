@@ -8,8 +8,9 @@
 //! dependences can change cut status.
 //!
 //! [`CostEvaluator`] therefore keeps the current assignment's cut state
-//! resident — per-dep cut flags, the `extra[]` bus-delay vector, the
-//! paper's `NComm` communication count and per-cluster functional-unit
+//! resident — per-dep cut flags, the `extra[]` transfer-delay vector, the
+//! paper's `NComm` communication count with its per-channel interconnect
+//! load ([`crate::ChannelLoad`]) and per-cluster functional-unit
 //! totals — and updates it in O(degree) per [`CostEvaluator::apply`]. A
 //! full [`CostEvaluator::cost`] then only pays for the timing analysis,
 //! which runs through a reusable [`TimingWorkspace`] so the steady state
@@ -19,10 +20,11 @@
 //! timing analysis entirely when the candidate provably cannot win.
 //!
 //! The evaluator is proven bit-identical to `estimate()` by a seeded
-//! property test over random move/swap/revert sequences
-//! (`tests/evaluator_equiv.rs`).
+//! property test over random move/swap/revert sequences across bus, ring
+//! and point-to-point machines (`tests/evaluator_equiv.rs`).
 
-use crate::estimate::{ii_bus, PartitionCost};
+use crate::comm::ChannelLoad;
+use crate::estimate::PartitionCost;
 use gpsched_ddg::timing::TimingWorkspace;
 use gpsched_ddg::{Ddg, DepKind};
 use gpsched_machine::{MachineConfig, ResourceKind};
@@ -55,14 +57,19 @@ pub struct CostEvaluator<'a> {
     ddg: &'a Ddg,
     machine: &'a MachineConfig,
     nclusters: usize,
-    bus_lat: i64,
+    /// Uniform single-channel interconnect fast path (the shared bus,
+    /// pipelined or not): occupancy one communicated value books and the
+    /// channel capacity. `net_cap == 0` selects the general per-channel
+    /// accounting instead ([`ChannelLoad`], rebuilt on demand).
+    net_occ: i64,
+    net_cap: i64,
     ii_input: i64,
     /// Per-op cluster assignment.
     assign: Vec<usize>,
     /// Per-dep: endpoints in different clusters.
     cut: Vec<bool>,
-    /// Per-dep bus delay charged by the timing analysis (bus latency on cut
-    /// flow deps, 0 elsewhere).
+    /// Per-dep transfer delay charged by the timing analysis (the
+    /// topology's pairwise latency on cut flow deps, 0 elsewhere).
     extra: Vec<i64>,
     cut_size: usize,
     /// The paper's `NComm`: distinct (producer, consumer-cluster) pairs
@@ -79,6 +86,37 @@ pub struct CostEvaluator<'a> {
     /// Scratch: producers whose communication contribution is in flux.
     touched: Vec<usize>,
     ws: TimingWorkspace,
+    /// Per-channel interconnect load of those pairs (the generalized
+    /// `IIbus` is its [`ChannelLoad::bound`]).
+    chan: ChannelLoad,
+    /// Row-major pairwise transfer latencies (`pair_lat[from·n + to]`),
+    /// resolved once so cut refreshes index instead of dispatching.
+    pair_lat: Vec<i64>,
+    /// When every cross-cluster pair has the same latency (shared bus,
+    /// uniform p2p), that scalar; −1 for asymmetric topologies. Keeps the
+    /// per-edge cut refresh a register read on the paper's machines.
+    uniform_lat: i64,
+}
+
+/// The common cross-cluster latency of `machine`, or −1 when pairs
+/// differ (ring, non-uniform p2p).
+fn uniform_lat(machine: &MachineConfig) -> i64 {
+    let n = machine.cluster_count();
+    let mut common = None;
+    for from in 0..n {
+        for to in 0..n {
+            if from == to {
+                continue;
+            }
+            let l = machine.transfer_latency(from, to);
+            match common {
+                None => common = Some(l),
+                Some(c) if c == l => {}
+                Some(_) => return -1,
+            }
+        }
+    }
+    common.unwrap_or(0)
 }
 
 impl<'a> CostEvaluator<'a> {
@@ -94,17 +132,23 @@ impl<'a> CostEvaluator<'a> {
             .analyze(ddg, ddg.total_latency(), |_| 0)
             .expect("total latency is always recurrence-feasible")
             .max_path;
+        let chan = ChannelLoad::new(machine);
+        let (net_occ, net_cap) = chan.uniform_single_channel().unwrap_or((0, 0));
         let mut ev = CostEvaluator {
             ddg,
             machine,
             nclusters: machine.cluster_count(),
-            bus_lat: machine.bus_latency as i64,
+            net_occ,
+            net_cap,
             ii_input: 1,
             assign: Vec::new(),
             cut: Vec::new(),
             extra: Vec::new(),
             cut_size: 0,
             comm_count: 0,
+            chan,
+            pair_lat: machine.transfer_latency_table(),
+            uniform_lat: uniform_lat(machine),
             consumers_in: Vec::new(),
             counts: Vec::new(),
             base_max_path,
@@ -153,7 +197,11 @@ impl<'a> CostEvaluator<'a> {
             let cut = assign[s.index()] != assign[d.index()];
             self.cut.push(cut);
             self.extra.push(if cut && dep.kind == DepKind::Flow {
-                self.bus_lat
+                if self.uniform_lat >= 0 {
+                    self.uniform_lat
+                } else {
+                    self.pair_lat[assign[s.index()] * self.nclusters + assign[d.index()]]
+                }
             } else {
                 0
             });
@@ -195,6 +243,37 @@ impl<'a> CostEvaluator<'a> {
             .enumerate()
             .filter(|&(c, &n)| n > 0 && c != home)
             .count()
+    }
+
+    /// The interconnect-imposed II bound of the current communication —
+    /// the generalized `IIbus`. On uniform single-channel topologies (the
+    /// paper's bus) it is a closed form over the resident `NComm`, so the
+    /// refinement hot path pays nothing for the open machine axis; other
+    /// topologies rebuild the per-channel loads from the resident
+    /// consumer table.
+    #[inline]
+    fn interconnect_bound(&mut self) -> i64 {
+        if self.net_cap > 0 {
+            ((self.comm_count as i64 * self.net_occ + self.net_cap - 1) / self.net_cap).max(1)
+        } else {
+            self.channel_bound_general()
+        }
+    }
+
+    /// The general per-channel bound: every (producer, consumer-cluster)
+    /// value books its route on [`ChannelLoad`]. O(V · nclusters).
+    #[cold]
+    fn channel_bound_general(&mut self) -> i64 {
+        self.chan.clear();
+        for p in 0..self.ddg.op_count() {
+            let home = self.assign[p];
+            for c in 0..self.nclusters {
+                if c != home && self.consumers_in[p * self.nclusters + c] > 0 {
+                    self.chan.add_pair(home, c);
+                }
+            }
+        }
+        self.chan.bound()
     }
 
     /// Moves op `op` to `cluster`, updating all resident state in
@@ -268,7 +347,11 @@ impl<'a> CostEvaluator<'a> {
         }
         let dep_id = gpsched_graph::EdgeId::from_index(e);
         self.extra[e] = if now && self.ddg.dep(dep_id).kind == DepKind::Flow {
-            self.bus_lat
+            if self.uniform_lat >= 0 {
+                self.uniform_lat
+            } else {
+                self.pair_lat[self.assign[s] * self.nclusters + self.assign[d]]
+            }
         } else {
             0
         };
@@ -305,7 +388,7 @@ impl<'a> CostEvaluator<'a> {
     /// come from the resident state and the timing probe runs through the
     /// reusable workspace.
     pub fn cost(&mut self) -> PartitionCost {
-        let ii_bus = ii_bus(self.comm_count, self.machine);
+        let ii_bus = self.interconnect_bound();
         let lower = self.ii_input.max(self.res_bound()).max(ii_bus);
         let mut ii = lower;
         let (ws, extra, ddg) = (&mut self.ws, &self.extra, self.ddg);
@@ -341,7 +424,7 @@ impl<'a> CostEvaluator<'a> {
     /// `than.exec_time` (the candidate then cannot win: its `exec_time` is
     /// at least the bound).
     pub fn cost_if_better(&mut self, than: &PartitionCost) -> Option<PartitionCost> {
-        let ii_bus = ii_bus(self.comm_count, self.machine);
+        let ii_bus = self.interconnect_bound();
         let lower = self.ii_input.max(self.res_bound()).max(ii_bus);
         if self.ddg.execution_time(lower, self.base_max_path) > than.exec_time {
             return None;

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod coarsen;
+pub mod comm;
 pub mod estimate;
 pub mod evaluator;
 mod multilevel;
@@ -51,6 +52,7 @@ mod partition;
 pub mod refine;
 pub mod weights;
 
+pub use comm::{comm_cost, ChannelLoad};
 pub use estimate::{estimate, estimate_with, PartitionCost};
 pub use evaluator::CostEvaluator;
 pub use multilevel::{

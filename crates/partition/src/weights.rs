@@ -2,11 +2,14 @@
 //!
 //! `weight(e) = delay(e)·(maxsl + 1) + maxsl − slack(e) + 1`, where
 //!
-//! * `delay(e)` is the execution-time growth if the bus latency were added
-//!   to `e`: `(niter−1)·(II_after − II_before) + (max_path_after −
-//!   max_path_before)`. The II term only moves when `e` lies on a
-//!   recurrence; the `max_path` term only when `e` is an intra-iteration
-//!   edge.
+//! * `delay(e)` is the execution-time growth if the edge had to cross the
+//!   interconnect: `(niter−1)·(II_after − II_before) + (max_path_after −
+//!   max_path_before)`. No clusters are assigned yet at coarsening time,
+//!   so the charge is the topology's *worst-case* pairwise transfer
+//!   latency ([`MachineConfig::max_transfer_latency`] — exactly the bus
+//!   latency on the paper's shared bus, where every pair costs the same).
+//!   The II term only moves when `e` lies on a recurrence; the `max_path`
+//!   term only when `e` is an intra-iteration edge.
 //! * `slack(e)` is the delay `e` can absorb for free, `maxsl` the largest
 //!   slack in the graph.
 //!
@@ -21,14 +24,14 @@ use gpsched_machine::MachineConfig;
 /// Per-dependence coarsening weights, indexed by `DepId::index()`.
 ///
 /// `ii_input` is the partitioning input interval (MII on the first round);
-/// `machine` supplies the bus latency being modelled.
+/// `machine` supplies the interconnect topology being modelled.
 ///
 /// # Panics
 ///
 /// Panics if `ii_input` is smaller than 1.
 pub fn edge_weights(ddg: &Ddg, machine: &MachineConfig, ii_input: i64) -> Vec<i64> {
     assert!(ii_input >= 1, "ii_input must be positive");
-    let bus_lat = machine.bus_latency as i64;
+    let bus_lat = machine.max_transfer_latency();
     let niter = ddg.trip_count() as i64;
 
     let rec_base = mii::rec_mii(ddg);

@@ -103,6 +103,60 @@ fn evaluator_matches_estimate_wide_bus() {
 }
 
 #[test]
+fn evaluator_matches_estimate_on_ring() {
+    // Asymmetric pairwise latencies: the `extra[]` entries now depend on
+    // *which* clusters the endpoints land in, not just on cut-ness, and
+    // the channel loads spread over each hop's link.
+    let m = gpsched_machine::MachineConfig::homogeneous_with(
+        4,
+        (1, 1, 1),
+        64,
+        gpsched_machine::Interconnect::Ring {
+            hop_latency: 2,
+            links_per_hop: 1,
+        },
+    );
+    for seed in 20..28 {
+        check_sequence(seed, &m);
+    }
+}
+
+#[test]
+fn evaluator_matches_estimate_on_point_to_point() {
+    // Non-uniform p2p matrix: every ordered pair has its own latency and
+    // its own channel.
+    let m = gpsched_machine::MachineConfig::homogeneous_with(
+        3,
+        (2, 1, 1),
+        48,
+        gpsched_machine::Interconnect::PointToPoint {
+            channels: 1,
+            latency: vec![0, 1, 4, 2, 0, 1, 1, 3, 0],
+        },
+    );
+    for seed in 30..38 {
+        check_sequence(seed, &m);
+    }
+}
+
+#[test]
+fn evaluator_matches_estimate_on_pipelined_bus() {
+    let m = gpsched_machine::MachineConfig::homogeneous_with(
+        2,
+        (2, 2, 2),
+        32,
+        gpsched_machine::Interconnect::SharedBus {
+            count: 1,
+            latency: 2,
+            pipelined: true,
+        },
+    );
+    for seed in 40..46 {
+        check_sequence(seed, &m);
+    }
+}
+
+#[test]
 fn evaluator_matches_estimate_on_preset_corpora() {
     // The named generator presets stress shapes the random profiles of
     // `check_sequence` rarely hit: dense recurrences, near-zero chain

@@ -11,11 +11,12 @@ use gpsched_ddg::{Ddg, DepKind};
 use gpsched_graph::topo::topo_order;
 use gpsched_machine::{MachineConfig, ResourceKind};
 
-/// Books `producer`'s value onto the earliest bus slot at or after
-/// `earliest` (respecting the non-pipelined bus occupancy in `bus`),
-/// records the transfer, and returns its arrival cycle.
-fn book_bus_transfer(
-    bus: &mut Vec<u32>,
+/// Books `producer`'s value onto the earliest interconnect departure at
+/// or after `earliest` — every hop of the topology's `from → to` route
+/// must find its channel free (the growable per-channel occupancy rows in
+/// `net`) — records the transfer, and returns its arrival cycle.
+fn book_transfer(
+    net: &mut [Vec<u32>],
     transfers: &mut Vec<Transfer>,
     machine: &MachineConfig,
     producer: usize,
@@ -23,32 +24,38 @@ fn book_bus_transfer(
     to: usize,
     earliest: i64,
 ) -> i64 {
-    let bus_lat = machine.bus_latency as i64;
-    let fits = |bus: &Vec<u32>, x: i64| {
-        (0..bus_lat).all(|j| {
-            let s = (x + j) as usize;
-            s >= bus.len() || bus[s] < machine.buses
+    let net_lat = machine.transfer_latency(from, to);
+    let fits = |net: &[Vec<u32>], x: i64| {
+        machine.route(from, to).all(|h| {
+            (0..h.occupancy).all(|j| {
+                let s = (x + h.offset + j) as usize;
+                s >= net[h.channel].len() || net[h.channel][s] < machine.channel_capacity(h.channel)
+            })
         })
     };
     let mut x = earliest;
-    while !fits(bus, x) {
+    while !fits(net, x) {
         x += 1;
     }
-    if bus.len() < (x + bus_lat) as usize {
-        bus.resize((x + bus_lat) as usize, 0);
-    }
-    for j in 0..bus_lat {
-        bus[(x + j) as usize] += 1;
+    for h in machine.route(from, to) {
+        let row = &mut net[h.channel];
+        let end = (x + h.offset + h.occupancy) as usize;
+        if row.len() < end {
+            row.resize(end, 0);
+        }
+        for j in 0..h.occupancy {
+            row[(x + h.offset + j) as usize] += 1;
+        }
     }
     transfers.push(Transfer {
         producer,
         from,
         to,
-        kind: CommKind::Bus { start: x },
+        kind: CommKind::Direct { start: x },
         read_time: x,
-        arrival: x + bus_lat,
+        arrival: x + net_lat,
     });
-    x + bus_lat
+    x + net_lat
 }
 
 /// List-schedules one iteration of `ddg` on `machine`.
@@ -105,13 +112,13 @@ fn place(
     let order = topo_order(ddg.graph(), |_, d| d.distance == 0)
         .expect("distance-0 subgraph is acyclic by construction");
     let nclusters = machine.cluster_count();
-    let bus_lat = machine.bus_latency as i64;
 
-    // Busy tables grow on demand: fu[cluster][kind][cycle] = units used.
+    // Busy tables grow on demand: fu[cluster][kind][cycle] = units used,
+    // net[channel][cycle] = interconnect hops in flight.
     let mut fu: Vec<[Vec<u32>; 3]> = (0..nclusters)
         .map(|_| [Vec::new(), Vec::new(), Vec::new()])
         .collect();
-    let mut bus: Vec<u32> = Vec::new();
+    let mut net: Vec<Vec<u32>> = vec![Vec::new(); machine.channel_count()];
     let mut placements: Vec<Placement> = vec![
         Placement {
             cluster: 0,
@@ -163,7 +170,7 @@ fn place(
                 }
                 let done = placements[p.index()].time + dep.latency as i64;
                 let avail = if dep.kind == DepKind::Flow && placements[p.index()].cluster != c {
-                    done + bus_lat
+                    done + machine.transfer_latency(placements[p.index()].cluster, c)
                 } else {
                     done
                 };
@@ -202,8 +209,8 @@ fn place(
                 .find(|tr| tr.producer == p.index() && tr.to == c)
             {
                 Some(tr) => tr.arrival,
-                None => book_bus_transfer(
-                    &mut bus,
+                None => book_transfer(
+                    &mut net,
                     &mut transfers,
                     machine,
                     p.index(),
@@ -258,8 +265,8 @@ fn place(
         {
             continue;
         }
-        book_bus_transfer(
-            &mut bus,
+        book_transfer(
+            &mut net,
             &mut transfers,
             machine,
             p.index(),
@@ -564,7 +571,7 @@ mod tests {
                     let cp = s.placements()[c.index()];
                     let mut avail = pp.time + dep.latency as i64;
                     if dep.kind == gpsched_ddg::DepKind::Flow && pp.cluster != cp.cluster {
-                        avail += m.bus_latency as i64;
+                        avail += m.transfer_latency(pp.cluster, cp.cluster);
                     }
                     assert!(
                         cp.time >= avail,

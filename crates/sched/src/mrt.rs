@@ -1,10 +1,11 @@
-//! Modulo reservation tables for functional units and buses.
+//! Modulo reservation tables for functional units and interconnect
+//! channels.
 //!
 //! All placement times are absolute cycles (possibly negative during
 //! scheduling); a resource used at time `t` occupies kernel slot
 //! `t mod II` (Euclidean, so negative times wrap correctly).
 
-use gpsched_machine::{ClusterConfig, ResourceKind};
+use gpsched_machine::{ClusterConfig, MachineConfig, ResourceKind};
 
 /// Euclidean modulo slot of an absolute time.
 pub fn slot(t: i64, ii: i64) -> usize {
@@ -97,90 +98,117 @@ impl ClusterMrt {
     }
 }
 
-/// Reservation table of the non-pipelined inter-cluster bus(es).
+/// Reservation table of the inter-cluster interconnect: one modulo row
+/// per channel group of the machine's topology (one row for the shared
+/// bus(es), one per link for rings and point-to-point meshes; empty on
+/// unified machines, which book no transfers).
 ///
-/// A transfer starting at `t` occupies one bus for `lat` consecutive
-/// cycles; with `n` buses a window is schedulable when every slot in it has
-/// fewer than `n` transfers in flight. (With one bus — the evaluated
-/// configuration — this is exact; with more it ignores fragmentation across
-/// buses, a documented simplification.)
+/// A hop occupying a channel for `occ` consecutive cycles is schedulable
+/// when every slot of its window has fewer than the channel's capacity
+/// hops in flight. (With capacity 1 — every evaluated configuration —
+/// this is exact; with more it ignores fragmentation across parallel
+/// links, the same documented simplification the bus model made.)
+///
+/// The table clones on the scheduler's hottest path (transactional
+/// placement clones the whole partial schedule per candidate), so its
+/// occupancy rows are one flat `Vec` (`used[ch · II + slot]`) and the
+/// per-channel capacity — uniform across channels in every
+/// [`gpsched_machine::Interconnect`] variant (bus count, p2p channels,
+/// ring links per hop) — is a single scalar: cloning costs one
+/// allocation, exactly like the single-bus table it replaced.
 #[derive(Clone, Debug)]
-pub struct BusTable {
+pub struct ChannelTable {
     ii: i64,
-    buses: u32,
-    lat: u32,
+    nch: u32,
+    cap: u32,
     used: Vec<u32>,
 }
 
-impl BusTable {
-    /// Creates an empty bus table.
+impl ChannelTable {
+    /// Creates an empty table shaped for `machine`'s channels.
     ///
     /// # Panics
     ///
-    /// Panics if `ii < 1`, `buses == 0` or `lat == 0`.
-    pub fn new(buses: u32, lat: u32, ii: i64) -> Self {
-        assert!(ii >= 1 && buses > 0 && lat > 0, "invalid bus table shape");
-        BusTable {
+    /// Panics if `ii < 1`.
+    pub fn new(machine: &MachineConfig, ii: i64) -> Self {
+        assert!(ii >= 1, "ii must be positive");
+        let nch = machine.channel_count();
+        let cap = if nch == 0 {
+            0
+        } else {
+            machine.channel_capacity(0)
+        };
+        debug_assert!(
+            (0..nch).all(|ch| machine.channel_capacity(ch) == cap),
+            "channel capacities are uniform per topology"
+        );
+        ChannelTable {
             ii,
-            buses,
-            lat,
-            used: vec![0; ii as usize],
+            nch: nch as u32,
+            cap,
+            used: vec![0; nch * ii as usize],
         }
     }
 
-    /// Transfer duration in cycles.
-    pub fn latency(&self) -> i64 {
-        self.lat as i64
-    }
-
-    /// Can a transfer start at absolute time `t`?
+    /// Can a hop occupy channel `ch` for `occ` cycles starting at absolute
+    /// time `t`?
     ///
-    /// Always `false` when the transfer latency exceeds the II (the window
-    /// would overlap itself — the paper's non-pipelined bus cannot sustain
-    /// one transfer per iteration then).
-    pub fn can_reserve(&self, t: i64) -> bool {
-        if self.lat as i64 > self.ii {
+    /// Always `false` when `occ` exceeds the II (the window would overlap
+    /// itself — a non-pipelined link cannot sustain one transfer per
+    /// iteration then).
+    #[inline]
+    pub fn can_reserve(&self, ch: usize, t: i64, occ: i64) -> bool {
+        if occ > self.ii {
             return false;
         }
-        (0..self.lat as i64).all(|j| self.used[slot(t + j, self.ii)] < self.buses)
+        let base = ch * self.ii as usize;
+        (0..occ).all(|j| self.used[base + slot(t + j, self.ii)] < self.cap)
     }
 
-    /// Reserves a transfer starting at `t`.
+    /// Reserves channel `ch` for `occ` cycles starting at `t`.
     ///
     /// # Panics
     ///
     /// Panics if the window is not free.
-    pub fn reserve(&mut self, t: i64) {
-        assert!(self.can_reserve(t), "bus window at {t} not free");
-        for j in 0..self.lat as i64 {
-            self.used[slot(t + j, self.ii)] += 1;
+    pub fn reserve(&mut self, ch: usize, t: i64, occ: i64) {
+        assert!(
+            self.can_reserve(ch, t, occ),
+            "channel {ch} window at {t} not free"
+        );
+        let base = ch * self.ii as usize;
+        for j in 0..occ {
+            self.used[base + slot(t + j, self.ii)] += 1;
         }
     }
 
-    /// Releases a transfer previously reserved at `t`.
+    /// Releases a hop previously reserved on `ch` at `t` for `occ` cycles.
     ///
     /// # Panics
     ///
     /// Panics if the window was not reserved.
-    pub fn release(&mut self, t: i64) {
-        for j in 0..self.lat as i64 {
+    pub fn release(&mut self, ch: usize, t: i64, occ: i64) {
+        let base = ch * self.ii as usize;
+        for j in 0..occ {
             let s = slot(t + j, self.ii);
-            assert!(self.used[s] > 0, "bus slot {s} not reserved");
-            self.used[s] -= 1;
+            assert!(
+                self.used[base + s] > 0,
+                "channel {ch} slot {s} not reserved"
+            );
+            self.used[base + s] -= 1;
         }
     }
 
-    /// Total bus slots per kernel window.
+    /// Total interconnect slots per kernel window, over all channels.
     pub fn capacity(&self) -> i64 {
-        self.buses as i64 * self.ii
+        self.nch as i64 * self.cap as i64 * self.ii
     }
 
-    /// Bus slots currently occupied.
+    /// Interconnect slots currently occupied, over all channels.
     pub fn used_slots(&self) -> i64 {
         self.used.iter().map(|&u| u as i64).sum()
     }
 
-    /// Free bus slots.
+    /// Free interconnect slots.
     pub fn free_slots(&self) -> i64 {
         self.capacity() - self.used_slots()
     }
@@ -237,33 +265,62 @@ mod tests {
     }
 
     #[test]
-    fn bus_occupies_consecutive_slots() {
-        let mut bus = BusTable::new(1, 2, 4);
-        assert!(bus.can_reserve(1));
-        bus.reserve(1); // occupies slots 1 and 2
-        assert!(!bus.can_reserve(0)); // window 0,1 hits slot 1
-        assert!(!bus.can_reserve(2)); // window 2,3 hits slot 2
-        assert!(bus.can_reserve(3)); // window 3,0 free
-        assert_eq!(bus.used_slots(), 2);
-        bus.release(1);
-        assert_eq!(bus.used_slots(), 0);
+    fn bus_channel_occupies_consecutive_slots() {
+        let m = MachineConfig::two_cluster(32, 1, 2);
+        let mut net = ChannelTable::new(&m, 4);
+        assert!(net.can_reserve(0, 1, 2));
+        net.reserve(0, 1, 2); // occupies slots 1 and 2
+        assert!(!net.can_reserve(0, 0, 2)); // window 0,1 hits slot 1
+        assert!(!net.can_reserve(0, 2, 2)); // window 2,3 hits slot 2
+        assert!(net.can_reserve(0, 3, 2)); // window 3,0 free
+        assert_eq!(net.used_slots(), 2);
+        net.release(0, 1, 2);
+        assert_eq!(net.used_slots(), 0);
     }
 
     #[test]
-    fn bus_latency_longer_than_ii_is_infeasible() {
-        let bus = BusTable::new(1, 2, 1);
-        assert!(!bus.can_reserve(0));
+    fn occupancy_longer_than_ii_is_infeasible() {
+        let m = MachineConfig::two_cluster(32, 1, 2);
+        let net = ChannelTable::new(&m, 1);
+        assert!(!net.can_reserve(0, 0, 2));
     }
 
     #[test]
     fn two_buses_double_capacity() {
-        let mut bus = BusTable::new(2, 1, 2);
-        bus.reserve(0);
-        assert!(bus.can_reserve(0));
-        bus.reserve(0);
-        assert!(!bus.can_reserve(0));
-        assert!(bus.can_reserve(1));
-        assert_eq!(bus.capacity(), 4);
-        assert_eq!(bus.free_slots(), 2);
+        let m = MachineConfig::two_cluster(32, 2, 1);
+        let mut net = ChannelTable::new(&m, 2);
+        net.reserve(0, 0, 1);
+        assert!(net.can_reserve(0, 0, 1));
+        net.reserve(0, 0, 1);
+        assert!(!net.can_reserve(0, 0, 1));
+        assert!(net.can_reserve(0, 1, 1));
+        assert_eq!(net.capacity(), 4);
+        assert_eq!(net.free_slots(), 2);
+    }
+
+    #[test]
+    fn ring_channels_are_independent() {
+        let m = gpsched_machine::MachineConfig::homogeneous_with(
+            4,
+            (1, 1, 1),
+            64,
+            gpsched_machine::Interconnect::Ring {
+                hop_latency: 1,
+                links_per_hop: 1,
+            },
+        );
+        let mut net = ChannelTable::new(&m, 2);
+        net.reserve(0, 0, 1);
+        assert!(!net.can_reserve(0, 0, 1));
+        assert!(net.can_reserve(1, 0, 1)); // a different link
+        assert_eq!(net.capacity(), 4 * 2);
+    }
+
+    #[test]
+    fn unified_machine_has_an_empty_table() {
+        let m = MachineConfig::unified(32);
+        let net = ChannelTable::new(&m, 3);
+        assert_eq!(net.capacity(), 0);
+        assert_eq!(net.free_slots(), 0);
     }
 }

@@ -75,8 +75,8 @@ pub(crate) fn try_cluster<'a>(
 }
 
 /// Figure of merit of going from `before` to `after` (§3.3.1): consumed
-/// fraction of remaining bus slots, plus per-cluster memory slots and
-/// register lifetimes.
+/// fraction of remaining interconnect channel slots, plus per-cluster
+/// memory slots and register lifetimes.
 pub(crate) fn merit_of(
     before: &PartialSchedule<'_>,
     after: &PartialSchedule<'_>,
@@ -84,8 +84,8 @@ pub(crate) fn merit_of(
 ) -> Merit {
     let mut parts = Vec::with_capacity(2 * nclusters + 1);
     parts.push(Merit::fraction(
-        after.bus_used() - before.bus_used(),
-        before.bus_free(),
+        after.net_used() - before.net_used(),
+        before.net_free(),
     ));
     for c in 0..nclusters {
         parts.push(Merit::fraction(

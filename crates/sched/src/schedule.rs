@@ -62,7 +62,7 @@ impl Schedule {
         }
         for t in &transfers {
             min_issue = min_issue.min(match t.kind {
-                CommKind::Bus { start } => start,
+                CommKind::Direct { start } => start,
                 CommKind::Memory { store, .. } => store,
             });
         }
@@ -90,7 +90,7 @@ impl Schedule {
             t.read_time = adj(t.read_time);
             t.arrival = adj(t.arrival);
             t.kind = match t.kind {
-                CommKind::Bus { start } => CommKind::Bus { start: adj(start) },
+                CommKind::Direct { start } => CommKind::Direct { start: adj(start) },
                 CommKind::Memory {
                     store,
                     load,
@@ -115,7 +115,7 @@ impl Schedule {
             .iter()
             .map(|p| p.time)
             .chain(transfers.iter().map(|t| match t.kind {
-                CommKind::Bus { start } => start,
+                CommKind::Direct { start } => start,
                 CommKind::Memory { store, .. } => store,
             }))
             .chain(

@@ -10,7 +10,7 @@
 //! subsumes).
 
 use crate::lifetime::PressureTable;
-use crate::mrt::{BusTable, ClusterMrt};
+use crate::mrt::{ChannelTable, ClusterMrt};
 use crate::pipeline::spill::{SpillPolicy, DEFAULT_SPILL};
 use gpsched_ddg::{Ddg, DepKind, OpId};
 use gpsched_machine::{MachineConfig, OpClass, ResourceKind};
@@ -28,9 +28,12 @@ pub struct Placement {
 /// How a value crosses clusters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CommKind {
-    /// Over a bus: occupies a bus for the bus latency starting here.
-    Bus {
-        /// Transfer start cycle (register of the producer is read then).
+    /// Directly over the interconnect: departs at `start`, follows the
+    /// topology's route (booking every hop's channel) and arrives after
+    /// the pair's end-to-end transfer latency.
+    Direct {
+        /// Transfer departure cycle (register of the producer is read
+        /// then).
         start: i64,
     },
     /// Through memory: a store in the source cluster, a load in the
@@ -91,7 +94,8 @@ pub enum PlaceError {
     FunctionalUnit,
     /// An intra-cluster dependence deadline cannot be met at that cycle.
     Timing,
-    /// No bus or memory path satisfies a cross-cluster dependence.
+    /// No interconnect or memory path satisfies a cross-cluster
+    /// dependence.
     Communication,
     /// Register pressure exceeds the register file even after spilling.
     Registers,
@@ -105,7 +109,12 @@ pub struct PartialSchedule<'a> {
     ii: i64,
     placements: Vec<Option<Placement>>,
     mrts: Vec<ClusterMrt>,
-    bus: BusTable,
+    net: ChannelTable,
+    /// Row-major pairwise transfer latencies (`pair_lat[from·n + to]`),
+    /// shared immutably across the clone-per-trial placement path so the
+    /// per-candidate quick-reject indexes instead of dispatching on the
+    /// topology.
+    pair_lat: std::sync::Arc<[i64]>,
     pressure: PressureTable,
     transfers: Vec<Transfer>,
     spills: Vec<Spill>,
@@ -146,7 +155,8 @@ impl<'a> PartialSchedule<'a> {
             ii,
             placements: vec![None; ddg.op_count()],
             mrts,
-            bus: BusTable::new(machine.buses, machine.bus_latency, ii),
+            net: ChannelTable::new(machine, ii),
+            pair_lat: machine.transfer_latency_table().into(),
             pressure: PressureTable::new(caps, ii),
             transfers: Vec::new(),
             spills: Vec::new(),
@@ -179,14 +189,14 @@ impl<'a> PartialSchedule<'a> {
         &self.spills
     }
 
-    /// Free bus slots.
-    pub fn bus_free(&self) -> i64 {
-        self.bus.free_slots()
+    /// Free interconnect channel slots (over all channels).
+    pub fn net_free(&self) -> i64 {
+        self.net.free_slots()
     }
 
-    /// Occupied bus slots.
-    pub fn bus_used(&self) -> i64 {
-        self.bus.used_slots()
+    /// Occupied interconnect channel slots (over all channels).
+    pub fn net_used(&self) -> i64 {
+        self.net.used_slots()
     }
 
     /// Free memory slots of `cluster`.
@@ -264,30 +274,38 @@ impl<'a> PartialSchedule<'a> {
         }
 
         let def = self.placements[producer].expect("placed").time + self.op_latency(producer);
-        let bus_lat = self.bus.latency();
+        let net_lat = self.machine.transfer_latency(from, to_cluster);
         let spill = self.spills.iter().find(|s| s.producer == producer).cloned();
 
-        // 1. Bus: read the register at x ∈ [def, deadline − bus_lat]; if the
-        //    value is spilled the register dies at the spill store, so the
-        //    read must not come later.
-        let bus_hi = match &spill {
-            Some(s) => (deadline - bus_lat).min(s.store),
-            None => deadline - bus_lat,
+        // 1. Direct over the interconnect: depart at x ∈ [def, deadline −
+        //    latency], booking every hop of the topology's route (one
+        //    shared-bus window, one point-to-point link slot, each ring
+        //    link in turn); if the value is spilled the register dies at
+        //    the spill store, so the departure must not come later.
+        let net_hi = match &spill {
+            Some(s) => (deadline - net_lat).min(s.store),
+            None => deadline - net_lat,
         };
         let mut x = def;
-        let bus_scan_end = bus_hi.min(def + self.ii - 1);
-        while x <= bus_scan_end {
-            if self.bus.can_reserve(x) {
-                self.bus.reserve(x);
+        let net_scan_end = net_hi.min(def + self.ii - 1);
+        while x <= net_scan_end {
+            let free = self
+                .machine
+                .route(from, to_cluster)
+                .all(|h| self.net.can_reserve(h.channel, x + h.offset, h.occupancy));
+            if free {
+                for h in self.machine.route(from, to_cluster) {
+                    self.net.reserve(h.channel, x + h.offset, h.occupancy);
+                }
                 self.transfers.push(Transfer {
                     producer,
                     from,
                     to: to_cluster,
-                    kind: CommKind::Bus { start: x },
+                    kind: CommKind::Direct { start: x },
                     read_time: x,
-                    arrival: x + bus_lat,
+                    arrival: x + net_lat,
                 });
-                return Ok(x + bus_lat);
+                return Ok(x + net_lat);
             }
             x += 1;
         }
@@ -347,10 +365,9 @@ impl<'a> PartialSchedule<'a> {
                 let dep = self.ddg.dep(e);
                 let read = time + self.ii * dep.distance as i64;
                 let min_extra = if dep.kind == DepKind::Flow && pp.cluster != cluster {
-                    // Any transport needs at least the faster of bus or
-                    // store+load latency.
-                    self.bus
-                        .latency()
+                    // Any transport needs at least the faster of the
+                    // interconnect path or store+load latency.
+                    self.pair_lat[pp.cluster * self.machine.cluster_count() + cluster]
                         .min(self.store_latency() + self.load_latency())
                 } else {
                     0
@@ -368,8 +385,7 @@ impl<'a> PartialSchedule<'a> {
                 let dep = self.ddg.dep(e);
                 let read = sp.time + self.ii * dep.distance as i64;
                 let min_extra = if dep.kind == DepKind::Flow && sp.cluster != cluster {
-                    self.bus
-                        .latency()
+                    self.pair_lat[cluster * self.machine.cluster_count() + sp.cluster]
                         .min(self.store_latency() + self.load_latency())
                 } else {
                     0
@@ -755,8 +771,8 @@ mod tests {
         assert_eq!(ps.transfers().len(), 1);
         let t = &ps.transfers()[0];
         assert_eq!((t.from, t.to), (0, 1));
-        assert!(matches!(t.kind, CommKind::Bus { start: 1 }));
-        assert_eq!(ps.bus_used(), 1);
+        assert!(matches!(t.kind, CommKind::Direct { start: 1 }));
+        assert_eq!(ps.net_used(), 1);
     }
 
     #[test]
@@ -814,7 +830,7 @@ mod tests {
         let kinds: Vec<bool> = ps
             .transfers()
             .iter()
-            .map(|t| matches!(t.kind, CommKind::Bus { .. }))
+            .map(|t| matches!(t.kind, CommKind::Direct { .. }))
             .collect();
         assert_eq!(kinds.iter().filter(|&&b| b).count(), 1);
         assert_eq!(kinds.iter().filter(|&&b| !b).count(), 1);

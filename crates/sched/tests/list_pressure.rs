@@ -3,7 +3,7 @@
 //! spilling can relieve the pressure, and the spilled schedules must
 //! stay consistent with the closed-form cycle accounting.
 
-use gpsched_machine::{ClusterConfig, LatencyModel, MachineConfig};
+use gpsched_machine::{ClusterConfig, Interconnect, LatencyModel, MachineConfig};
 use gpsched_sched::listsched::list_schedule;
 use gpsched_workloads::synth;
 
@@ -29,8 +29,7 @@ fn machines() -> Vec<MachineConfig> {
                     registers: 12,
                 },
             ],
-            1,
-            1,
+            Interconnect::legacy_bus(1, 1),
             LatencyModel::default(),
         ),
     ]

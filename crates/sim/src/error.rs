@@ -19,14 +19,32 @@ pub enum SimError {
         /// Units available.
         units: u32,
     },
-    /// More transfers in flight than buses at some cycle.
-    BusOverflow {
+    /// More hops in flight on an interconnect channel than it has links
+    /// at some cycle (the shared bus is channel 0 of a bus topology).
+    ChannelOverflow {
+        /// Interconnect channel group index.
+        channel: usize,
         /// Absolute cycle.
         cycle: u64,
-        /// Transfers in flight.
+        /// Hops in flight.
         count: u32,
-        /// Buses available.
-        buses: u32,
+        /// Parallel links of the channel.
+        capacity: u32,
+    },
+    /// A transfer's recorded arrival disagrees with its transport's
+    /// timing (route latency for direct transfers, the reload completion
+    /// for memory transfers).
+    TransferTimingMismatch {
+        /// Producing op index.
+        producer: usize,
+        /// Source cluster.
+        from: usize,
+        /// Destination cluster.
+        to: usize,
+        /// Arrival the transport actually delivers.
+        expected: i64,
+        /// Arrival the schedule recorded.
+        recorded: i64,
     },
     /// A consumer issued before its operand token existed (not produced,
     /// not completed, or not yet delivered to the consumer's cluster).
@@ -75,11 +93,25 @@ impl fmt::Display for SimError {
                 f,
                 "cluster {cluster} issued {count} {kind} ops at cycle {cycle} with {units} units"
             ),
-            SimError::BusOverflow {
+            SimError::ChannelOverflow {
+                channel,
                 cycle,
                 count,
-                buses,
-            } => write!(f, "{count} transfers in flight at cycle {cycle} with {buses} bus(es)"),
+                capacity,
+            } => write!(
+                f,
+                "{count} hops in flight on channel {channel} at cycle {cycle} with {capacity} link(s)"
+            ),
+            SimError::TransferTimingMismatch {
+                producer,
+                from,
+                to,
+                expected,
+                recorded,
+            } => write!(
+                f,
+                "transfer of op {producer} ({from}→{to}) records arrival {recorded}, transport delivers at {expected}"
+            ),
             SimError::DependenceViolation {
                 consumer,
                 producer,
@@ -114,12 +146,14 @@ mod tests {
 
     #[test]
     fn messages_carry_context() {
-        let e = SimError::BusOverflow {
+        let e = SimError::ChannelOverflow {
+            channel: 0,
             cycle: 7,
             count: 2,
-            buses: 1,
+            capacity: 1,
         };
         assert!(e.to_string().contains("cycle 7"));
+        assert!(e.to_string().contains("channel 0"));
         let d = SimError::DependenceViolation {
             consumer: 3,
             producer: 1,

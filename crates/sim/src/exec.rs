@@ -14,8 +14,9 @@ pub struct SimReport {
     pub cycles: u64,
     /// Empirical per-cluster register high-water marks.
     pub max_live: Vec<i64>,
-    /// Peak number of transfers in flight in any cycle.
-    pub bus_peak: u32,
+    /// Peak number of hops in flight on any single interconnect channel
+    /// in any cycle.
+    pub channel_peak: u32,
     /// Operation instances executed.
     pub instances: u64,
 }
@@ -96,26 +97,52 @@ pub fn simulate(
         }
     }
 
-    // ---- 2. Bus occupancy ---------------------------------------------
-    let bus_lat = machine.bus_latency as i64;
-    let mut bus: HashMap<i64, u32> = HashMap::new();
+    // ---- 2. Interconnect channel occupancy and hop timing -------------
+    // A transfer's recorded arrival must be what its transport actually
+    // delivers — the dataflow check below trusts `arrival`, so a
+    // scheduler bug that, say, priced a ring transfer with the
+    // reverse-direction latency would otherwise slip past the audit.
+    for t in schedule.transfers() {
+        let expected = match t.kind {
+            CommKind::Direct { start } => start + machine.transfer_latency(t.from, t.to),
+            CommKind::Memory { load, .. } => load + load_lat,
+        };
+        if t.arrival != expected {
+            return Err(SimError::TransferTimingMismatch {
+                producer: t.producer,
+                from: t.from,
+                to: t.to,
+                expected,
+                recorded: t.arrival,
+            });
+        }
+    }
+    // Every direct transfer replays its topology route: hop h books its
+    // channel for `occupancy` cycles starting `offset` after departure.
+    let mut chan: HashMap<(usize, i64), u32> = HashMap::new();
     for k in 0..audit_trips {
         for t in schedule.transfers() {
-            if let CommKind::Bus { start } = t.kind {
-                for j in 0..bus_lat {
-                    *bus.entry(start + k * ii + j).or_insert(0) += 1;
+            if let CommKind::Direct { start } = t.kind {
+                for h in machine.route(t.from, t.to) {
+                    for j in 0..h.occupancy {
+                        *chan
+                            .entry((h.channel, start + k * ii + h.offset + j))
+                            .or_insert(0) += 1;
+                    }
                 }
             }
         }
     }
-    let mut bus_peak = 0u32;
-    for (&cycle, &count) in &bus {
-        bus_peak = bus_peak.max(count);
-        if count > machine.buses {
-            return Err(SimError::BusOverflow {
+    let mut channel_peak = 0u32;
+    for (&(channel, cycle), &count) in &chan {
+        channel_peak = channel_peak.max(count);
+        let capacity = machine.channel_capacity(channel);
+        if count > capacity {
+            return Err(SimError::ChannelOverflow {
+                channel,
                 cycle: cycle.max(0) as u64,
                 count,
-                buses: machine.buses,
+                capacity,
             });
         }
     }
@@ -295,7 +322,7 @@ pub fn simulate(
     }
     for t in schedule.transfers() {
         let start = match t.kind {
-            CommKind::Bus { start } => start,
+            CommKind::Direct { start } => start,
             CommKind::Memory { store, .. } => store,
         };
         first_issue = first_issue.min(start);
@@ -320,7 +347,7 @@ pub fn simulate(
     Ok(SimReport {
         cycles: observed,
         max_live,
-        bus_peak,
+        channel_peak,
         instances: trips * ddg.op_count() as u64,
     })
 }
@@ -381,12 +408,54 @@ mod tests {
     }
 
     #[test]
-    fn bus_peak_respects_bus_count() {
+    fn channel_peak_respects_capacity() {
         for ddg in kernels::all_kernels(40) {
             let m = MachineConfig::four_cluster(64, 1, 2);
             let r = schedule_loop(&ddg, &m, Algorithm::Uracam).unwrap();
             let rep = simulate(&ddg, &m, &r.schedule, 40).unwrap();
-            assert!(rep.bus_peak <= m.buses);
+            assert!(rep.channel_peak <= m.channel_capacity(0));
+        }
+    }
+
+    #[test]
+    fn topology_machines_audit_clean() {
+        use gpsched_machine::Interconnect;
+        let machines = [
+            MachineConfig::homogeneous_with(
+                4,
+                (1, 1, 1),
+                64,
+                Interconnect::Ring {
+                    hop_latency: 1,
+                    links_per_hop: 1,
+                },
+            ),
+            MachineConfig::homogeneous_with(
+                4,
+                (1, 1, 1),
+                64,
+                Interconnect::uniform_point_to_point(4, 1, 1),
+            ),
+            MachineConfig::homogeneous_with(
+                2,
+                (2, 2, 2),
+                32,
+                Interconnect::SharedBus {
+                    count: 1,
+                    latency: 2,
+                    pipelined: true,
+                },
+            ),
+        ];
+        for ddg in kernels::all_kernels(40) {
+            for m in &machines {
+                for algo in Algorithm::ALL {
+                    let r = schedule_loop(&ddg, m, algo).unwrap();
+                    simulate(&ddg, m, &r.schedule, 40).unwrap_or_else(|e| {
+                        panic!("{} on {} via {:?}: {e}", ddg.name(), m.short_name(), algo)
+                    });
+                }
+            }
         }
     }
 

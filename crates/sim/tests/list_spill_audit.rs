@@ -4,7 +4,7 @@
 //! replay cleanly and match the closed-form cycle count.
 
 use gpsched_ddg::DdgBuilder;
-use gpsched_machine::{ClusterConfig, LatencyModel, MachineConfig, OpClass};
+use gpsched_machine::{ClusterConfig, Interconnect, LatencyModel, MachineConfig, OpClass};
 use gpsched_sched::{schedule_loop, Algorithm};
 use gpsched_sim::simulate;
 use gpsched_workloads::synth;
@@ -18,8 +18,7 @@ fn port_starved(registers: u32) -> MachineConfig {
             mem_units: 1,
             registers,
         }],
-        1,
-        1,
+        Interconnect::None,
         LatencyModel::default(),
     )
 }
@@ -41,8 +40,7 @@ fn spilled_list_schedules_replay_cleanly_on_corpus_loops() {
                 registers: 12,
             },
         ],
-        1,
-        1,
+        Interconnect::legacy_bus(1, 1),
         LatencyModel::default(),
     );
     let profile = synth::preset("long-distance").expect("bundled preset");

@@ -6,7 +6,7 @@
 //! cargo run --release --example explore_config
 //! ```
 
-use gpsched::machine::{ClusterConfig, LatencyModel};
+use gpsched::machine::{ClusterConfig, Interconnect, LatencyModel};
 use gpsched::prelude::*;
 
 /// A hand-built complex FFT butterfly-ish body: four loads, a complex
@@ -123,8 +123,7 @@ fn main() {
                 registers: 32,
             },
         ],
-        1,
-        1,
+        Interconnect::legacy_bus(1, 1),
         LatencyModel::default(),
     );
     let r = schedule_loop(&ddg, &custom, Algorithm::Gp).expect("schedulable");

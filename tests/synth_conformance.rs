@@ -5,7 +5,10 @@
 //! is audited by the cycle-accurate simulator; cross-spec invariants
 //! (II ≥ MII, IPC bounds, spill accounting) are asserted; and batch
 //! replay through `schedule_loop_seeded` must be byte-identical whether
-//! one worker or many execute the sweep.
+//! one worker or many execute the sweep. The machine rotation covers the
+//! open interconnect axis too: ring, point-to-point and pipelined-bus
+//! machines next to the paper's shared-bus and unified shapes, so channel
+//! occupancy and hop timing are sim-audited on every topology.
 //!
 //! Knobs (all deterministic by default):
 //!
@@ -20,7 +23,7 @@
 //! Test names all start with `conformance_`, so the fast-unit CI lane
 //! can exclude the whole suite with `--skip conformance_`.
 
-use gpsched::machine::{ClusterConfig, LatencyModel, MachineConfig};
+use gpsched::machine::{ClusterConfig, Interconnect, LatencyModel, MachineConfig};
 use gpsched::sched::AlgorithmSpec;
 use gpsched_engine::conformance::{
     check_case, conformance_corpus, minimize_with, synth_budget, SynthCase,
@@ -29,12 +32,39 @@ use gpsched_engine::{run_sweep, JobSpec, SweepOptions};
 use gpsched_workloads::{preset, synthesize};
 
 /// The machine rotation of the catalog check: the paper's two clustered
-/// shapes plus the unified upper-bound machine.
-fn machines() -> [MachineConfig; 3] {
+/// shapes, the unified upper-bound machine, and one machine per open
+/// topology (ring, point-to-point, pipelined bus) so the whole CATALOG is
+/// sim-audited on non-bus interconnects too.
+fn machines() -> [MachineConfig; 6] {
     [
         MachineConfig::two_cluster(32, 1, 1),
         MachineConfig::four_cluster(64, 1, 2),
         MachineConfig::unified(32),
+        MachineConfig::homogeneous_with(
+            4,
+            (1, 1, 1),
+            64,
+            Interconnect::Ring {
+                hop_latency: 1,
+                links_per_hop: 1,
+            },
+        ),
+        MachineConfig::homogeneous_with(
+            4,
+            (1, 1, 1),
+            64,
+            Interconnect::uniform_point_to_point(4, 1, 1),
+        ),
+        MachineConfig::homogeneous_with(
+            2,
+            (2, 2, 2),
+            32,
+            Interconnect::SharedBus {
+                count: 1,
+                latency: 2,
+                pipelined: true,
+            },
+        ),
     ]
 }
 
@@ -86,6 +116,22 @@ fn conformance_replay_is_byte_identical_across_worker_counts() {
         .machines([
             MachineConfig::two_cluster(32, 1, 1),
             MachineConfig::four_cluster(64, 1, 2),
+            // Byte-identity must hold on the open topologies too.
+            MachineConfig::homogeneous_with(
+                4,
+                (1, 1, 1),
+                64,
+                Interconnect::Ring {
+                    hop_latency: 1,
+                    links_per_hop: 1,
+                },
+            ),
+            MachineConfig::homogeneous_with(
+                4,
+                (1, 1, 1),
+                64,
+                Interconnect::uniform_point_to_point(4, 1, 1),
+            ),
         ])
         .algorithms(AlgorithmSpec::CATALOG);
     let serial = run_sweep(&job, &SweepOptions::serial(), None);
@@ -145,8 +191,7 @@ fn conformance_failures_panic_with_a_minimized_reproducer() {
             mem_units: 1,
             registers: 16,
         }],
-        1,
-        1,
+        Interconnect::None,
         LatencyModel::default(),
     );
     let spec = AlgorithmSpec::parse("gp").expect("parses");
