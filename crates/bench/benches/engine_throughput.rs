@@ -8,7 +8,11 @@
 //! * `serial/cached` — one worker with the content-hash memo cache (what
 //!   repeated corpora and multi-algorithm sweeps actually pay);
 //! * `parallel/cached` — all host CPUs (on multi-core hosts this is the
-//!   deployment configuration; on a 1-CPU host it measures pool overhead).
+//!   deployment configuration; on a 1-CPU host it measures pool overhead);
+//! * `serial/traced` — serial/no-cache again with a trace session
+//!   *active*, so the entry records the cost of enabled tracing
+//!   (`trace_overhead_pct`). Disabled-trace neutrality is what comparing
+//!   `serial/no-cache` across entries shows (see the `bench-gate` bin).
 //!
 //! Besides the human-readable lines, the run appends a machine-readable
 //! entry to `BENCH_engine.json` (see [`gpsched_bench::trajectory`]):
@@ -53,6 +57,7 @@ fn main() {
             SweepOptions {
                 workers: 1,
                 use_cache: false,
+                progress: false,
             },
         ),
         (
@@ -60,6 +65,7 @@ fn main() {
             SweepOptions {
                 workers: 1,
                 use_cache: true,
+                progress: false,
             },
         ),
         (
@@ -67,6 +73,7 @@ fn main() {
             SweepOptions {
                 workers: 0,
                 use_cache: true,
+                progress: false,
             },
         ),
     ];
@@ -81,6 +88,31 @@ fn main() {
         );
         loops_per_sec.push((name.to_string(), t.per_second(units)));
     }
+
+    // The serial/no-cache workload once more, inside an active trace
+    // session: the enabled-tracing cost, recorded per entry so the ≤1%
+    // disabled / low-single-digit enabled overhead budget stays auditable.
+    let traced_opts = SweepOptions {
+        workers: 1,
+        use_cache: false,
+        progress: false,
+    };
+    let session = gpsched_trace::TraceSession::start();
+    let traced = group.bench("serial/traced", || {
+        std::hint::black_box(run_sweep(&job, &traced_opts, None).stats.units)
+    });
+    let trace = session.finish();
+    let traced_rate = traced.per_second(units);
+    println!("engine_throughput/serial/traced: {traced_rate:.0} loops-scheduled/sec");
+    loops_per_sec.push(("serial/traced".to_string(), traced_rate));
+    let no_cache_rate = loops_per_sec[0].1;
+    let trace_overhead_pct = (no_cache_rate / traced_rate.max(1e-12) - 1.0) * 100.0;
+    println!(
+        "engine_throughput/trace-overhead: {trace_overhead_pct:.2}% \
+         ({} spans captured, {} dropped)",
+        trace.spans.len(),
+        trace.dropped
+    );
 
     // Default to the workspace root (cargo runs benches from the package
     // dir), falling back to the CWD when run outside cargo.
@@ -97,6 +129,7 @@ fn main() {
         label,
         units,
         loops_per_sec,
+        trace_overhead_pct: Some(trace_overhead_pct),
     };
     match append_entry(&path, entry) {
         Ok(()) => eprintln!("appended trajectory entry to {}", path.display()),

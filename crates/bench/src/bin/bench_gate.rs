@@ -1,0 +1,92 @@
+//! Perf-neutrality gate over `BENCH_engine.json`.
+//!
+//! ```text
+//! bench-gate --file BENCH_engine.json \
+//!            --baseline pr5-topology-neutrality \
+//!            --candidate pr6-trace-neutrality \
+//!            --config serial/no-cache \
+//!            --max-regress-pct 5
+//! ```
+//!
+//! Looks up the named configuration's loops/sec in the *latest* entry
+//! carrying each label and fails (exit 1) when the candidate regresses
+//! beyond the threshold. Both entries come from the committed trajectory
+//! file, so the comparison is same-machine by construction — CI re-records
+//! the candidate before gating rather than comparing against numbers
+//! measured on different hardware.
+
+use gpsched_bench::trajectory::{read_entries, BenchEntry};
+use std::path::Path;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench-gate: {msg}");
+    exit(2)
+}
+
+fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return Some(
+                it.next()
+                    .unwrap_or_else(|| fail(&format!("{flag} needs a value"))),
+            );
+        }
+    }
+    None
+}
+
+/// The latest entry with `label` (labels may repeat across runs).
+fn latest<'a>(entries: &'a [BenchEntry], label: &str) -> Option<&'a BenchEntry> {
+    entries.iter().rev().find(|e| e.label == label)
+}
+
+fn rate(entry: &BenchEntry, config: &str) -> Option<f64> {
+    entry
+        .loops_per_sec
+        .iter()
+        .find(|(n, _)| n == config)
+        .map(|&(_, v)| v)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let file = opt_value(&args, "--file").unwrap_or("BENCH_engine.json");
+    let baseline = opt_value(&args, "--baseline").unwrap_or_else(|| fail("--baseline required"));
+    let candidate = opt_value(&args, "--candidate").unwrap_or_else(|| fail("--candidate required"));
+    let config = opt_value(&args, "--config").unwrap_or("serial/no-cache");
+    let max_regress: f64 = opt_value(&args, "--max-regress-pct")
+        .unwrap_or("5")
+        .parse()
+        .unwrap_or_else(|_| fail("--max-regress-pct needs a number"));
+
+    let entries =
+        read_entries(Path::new(file)).unwrap_or_else(|e| fail(&format!("cannot read {file}: {e}")));
+    let base = latest(&entries, baseline)
+        .unwrap_or_else(|| fail(&format!("no entry labelled `{baseline}` in {file}")));
+    let cand = latest(&entries, candidate)
+        .unwrap_or_else(|| fail(&format!("no entry labelled `{candidate}` in {file}")));
+    let base_rate = rate(base, config)
+        .unwrap_or_else(|| fail(&format!("`{baseline}` has no `{config}` configuration")));
+    let cand_rate = rate(cand, config)
+        .unwrap_or_else(|| fail(&format!("`{candidate}` has no `{config}` configuration")));
+    if base_rate <= 0.0 {
+        fail(&format!("`{baseline}` {config} rate is not positive"));
+    }
+
+    let regress_pct = (1.0 - cand_rate / base_rate) * 100.0;
+    println!(
+        "bench-gate: {config}: {candidate} {cand_rate:.1} vs {baseline} {base_rate:.1} loops/s \
+         ({:+.1}% change, limit -{max_regress:.1}%)",
+        -regress_pct
+    );
+    if let Some(pct) = cand.trace_overhead_pct {
+        println!("bench-gate: {candidate} enabled-tracing overhead: {pct:.2}%");
+    }
+    if regress_pct > max_regress {
+        eprintln!("bench-gate: FAIL — {config} regressed {regress_pct:.1}% (> {max_regress:.1}%)");
+        exit(1);
+    }
+    println!("bench-gate: OK");
+}

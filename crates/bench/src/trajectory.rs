@@ -24,11 +24,17 @@ use std::path::Path;
 pub struct BenchEntry {
     /// Human-chosen tag of the run (e.g. `pr2-baseline`, `ci`).
     pub label: String,
-    /// Work items per timed run (loops × machines × algorithms).
+    /// Work items per timed run — the job's *actual* unit count
+    /// (loops × machines × algorithms), never hardcoded.
     pub units: usize,
     /// `(configuration name, loops-scheduled per second)` pairs, in the
     /// order the bench reports them.
     pub loops_per_sec: Vec<(String, f64)>,
+    /// Slowdown of the serial/no-cache configuration with a trace session
+    /// *active* versus tracing disabled, percent (`None` for entries
+    /// predating the tracing subsystem). Disabled-trace neutrality is
+    /// tracked separately, by comparing `serial/no-cache` across entries.
+    pub trace_overhead_pct: Option<f64>,
 }
 
 /// Reads the entries of an existing trajectory file. A missing file yields
@@ -77,7 +83,11 @@ pub fn render(entries: &[BenchEntry]) -> String {
                 out.push_str(", ");
             }
         }
-        out.push_str(" } }");
+        out.push_str(" }");
+        if let Some(pct) = e.trace_overhead_pct {
+            let _ = write!(out, ", \"trace_overhead_pct\": {pct:.2}");
+        }
+        out.push_str(" }");
         if i + 1 < entries.len() {
             out.push(',');
         }
@@ -264,6 +274,7 @@ impl Parser<'_> {
             label: String::new(),
             units: 0,
             loops_per_sec: Vec::new(),
+            trace_overhead_pct: None,
         };
         self.expect(b'{')?;
         loop {
@@ -272,6 +283,7 @@ impl Parser<'_> {
             match key.as_str() {
                 "label" => entry.label = self.string()?,
                 "units" => entry.units = self.number()? as usize,
+                "trace_overhead_pct" => entry.trace_overhead_pct = Some(self.number()?),
                 "loops_per_sec" => {
                     self.expect(b'{')?;
                     if self.peek_is(b'}') {
@@ -310,11 +322,13 @@ mod tests {
                     ("serial/no-cache".into(), 154.0),
                     ("serial/cached".into(), 214.5),
                 ],
+                trace_overhead_pct: None,
             },
             BenchEntry {
-                label: "pr2-optimized".into(),
+                label: "pr6-trace-neutrality".into(),
                 units: 78,
                 loops_per_sec: vec![("serial/no-cache".into(), 352.0)],
+                trace_overhead_pct: Some(1.25),
             },
         ]
     }
@@ -338,6 +352,7 @@ mod tests {
             label: "a\"b\\c".into(),
             units: 1,
             loops_per_sec: vec![],
+            trace_overhead_pct: None,
         }];
         assert_eq!(parse_entries(&render(&entries)).unwrap(), entries);
     }
@@ -348,6 +363,7 @@ mod tests {
             label: "a\tb\rc\u{1}d".into(),
             units: 1,
             loops_per_sec: vec![],
+            trace_overhead_pct: None,
         }];
         let text = render(&entries);
         // No raw control characters inside the document.
@@ -384,7 +400,8 @@ mod tests {
             BenchEntry {
                 label: "x".into(),
                 units: 0,
-                loops_per_sec: vec![]
+                loops_per_sec: vec![],
+                trace_overhead_pct: None
             }
         )
         .is_err());
@@ -399,12 +416,17 @@ mod tests {
             "bench": "engine_throughput",
             "entries": [
                 { "label": "x", "units": 10,
-                  "loops_per_sec": { "a": 1.5, "b": 2e2 } }
+                  "loops_per_sec": { "a": 1.5, "b": 2e2 } },
+                { "label": "y", "units": 10,
+                  "loops_per_sec": { "a": 1.5 },
+                  "trace_overhead_pct": 0.75 }
             ]
         }"#;
         let e = parse_entries(text).unwrap();
-        assert_eq!(e.len(), 1);
+        assert_eq!(e.len(), 2);
         assert_eq!(e[0].units, 10);
         assert_eq!(e[0].loops_per_sec[1], ("b".into(), 200.0));
+        assert_eq!(e[0].trace_overhead_pct, None);
+        assert_eq!(e[1].trace_overhead_pct, Some(0.75));
     }
 }

@@ -97,6 +97,7 @@ pub fn rec_mii_with(ddg: &Ddg, mut extra: impl FnMut(DepId) -> i64) -> i64 {
 
 /// `MII = max(ResMII, RecMII)` — the partitioner's input (§3.1).
 pub fn mii(ddg: &Ddg, machine: &MachineConfig) -> i64 {
+    let _span = gpsched_trace::span!("ddg.mii");
     res_mii(ddg, machine).max(rec_mii(ddg))
 }
 

@@ -6,6 +6,9 @@
 //!                         [--machines table1|clustered|topologies|NAMES|FILE.machine]
 //!                         [--algos all|modulo|extended|SPECS]
 //!                         [--workers N] [--no-cache] [--out FILE] [--quiet]
+//!                         [--trace] [--trace-out FILE] [--progress]
+//! gpsched-engine profile  [sweep selection flags] [--top N] [--trace-out FILE]
+//! gpsched-engine trace-check --file FILE [--expect NAME,NAME,…]
 //! gpsched-engine gen      --preset NAME [--seed S] [--count N] [--ops K]
 //!                         [--workers N] [--out FILE]
 //! gpsched-engine export   [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
@@ -38,6 +41,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("machines") => cmd_machines(&args[1..]),
@@ -61,6 +66,9 @@ USAGE:
                           [--machines table1|clustered|topologies|NAME,NAME,…|FILE.machine]
                           [--algos all|modulo|extended|SPEC,SPEC,…]
                           [--workers N] [--no-cache] [--out FILE] [--quiet]
+                          [--trace] [--trace-out FILE] [--progress]
+  gpsched-engine profile  [sweep selection flags] [--top N] [--trace-out FILE]
+  gpsched-engine trace-check --file FILE [--expect NAME,NAME,…]
   gpsched-engine gen      --preset NAME [--seed S] [--count N] [--ops K]
                           [--workers N] [--out FILE]
   gpsched-engine export   [--spec] [--kernels] [--synth N [--seed S] [--ops K]]
@@ -83,6 +91,11 @@ Generator presets (for `gen --preset` and `sweep --gen`):
 recurrence-heavy, wide-ilp, mem-bound, chain-deep, fanout-hub,
 long-distance. `gen` output is byte-identical for a given preset, seed
 and count, whatever `--workers` says.
+`sweep --trace` records per-phase spans and counters (profile report on
+stderr; `--trace-out` additionally writes Chrome Trace Event JSON for
+chrome://tracing / Perfetto). `profile` runs a traced sweep and prints
+the top phases by self-time to stdout. `trace-check` validates a trace
+JSON file and optionally asserts that named spans are present (CI).
 ";
 
 fn fail(msg: &str) -> ! {
@@ -123,7 +136,7 @@ fn check_flags(args: &[String], known: &[&str]) {
             // Every known flag except the booleans consumes a value.
             skip = !matches!(
                 a.as_str(),
-                "--spec" | "--kernels" | "--no-cache" | "--quiet"
+                "--spec" | "--kernels" | "--no-cache" | "--quiet" | "--trace" | "--progress"
             );
         } else {
             fail(&format!("unexpected argument `{a}`"));
@@ -250,6 +263,9 @@ const SWEEP_FLAGS: &[&str] = &[
     "--no-cache",
     "--out",
     "--quiet",
+    "--trace",
+    "--trace-out",
+    "--progress",
 ];
 
 /// Resolves a generator preset name, failing with the known names.
@@ -291,7 +307,11 @@ fn cmd_sweep(args: &[String]) {
             })
             .unwrap_or(0),
         use_cache: !has_flag(args, "--no-cache"),
+        progress: has_flag(args, "--progress"),
     };
+    let trace_out = opt_value(args, "--trace-out");
+    let tracing = has_flag(args, "--trace") || trace_out.is_some();
+    let session = tracing.then(gpsched_trace::TraceSession::start);
     eprintln!(
         "sweep: {} loops × {} machines × {} algorithms = {} units on {} workers",
         job.loops.len(),
@@ -351,8 +371,107 @@ fn cmd_sweep(args: &[String]) {
             }
             println!();
         }
+        println!("{}", result.stats.cache_summary());
+    }
+    // Trace reporting stays on stderr (and the --trace-out file), so
+    // stdout is byte-identical with and without --trace.
+    if let Some(session) = session {
+        let trace = session.finish();
+        eprintln!("{}", trace.summary().render(15));
+        if let Some(path) = trace_out {
+            gpsched_trace::chrome::write_chrome_json(std::path::Path::new(path), &trace)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!(
+                "trace: wrote {} spans ({} dropped) to {path}",
+                trace.spans.len(),
+                trace.dropped
+            );
+        }
     }
     eprintln!("{}", result.stats.summary());
+}
+
+/// Runs a traced sweep and prints the hottest phases by self-time.
+fn cmd_profile(args: &[String]) {
+    let mut known = SWEEP_FLAGS.to_vec();
+    known.push("--top");
+    check_flags(args, &known);
+    let job = job_from_args(args);
+    let top: usize = opt_value(args, "--top")
+        .map(|n| n.parse().unwrap_or_else(|_| fail("--top needs a number")))
+        .unwrap_or(20);
+    let opts = SweepOptions {
+        // Serial by default: with one worker, self-time fractions of the
+        // wall clock are directly meaningful.
+        workers: opt_value(args, "--workers")
+            .map(|w| {
+                w.parse()
+                    .unwrap_or_else(|_| fail("--workers needs a number"))
+            })
+            .unwrap_or(1),
+        use_cache: !has_flag(args, "--no-cache"),
+        progress: has_flag(args, "--progress"),
+    };
+    eprintln!(
+        "profile: {} units ({} loops × {} machines × {} algorithms) on {} workers",
+        job.unit_count(),
+        job.loops.len(),
+        job.machines.len(),
+        job.algorithms.len(),
+        opts.effective_workers()
+    );
+    let session = gpsched_trace::TraceSession::start();
+    let result = run_sweep(&job, &opts, None);
+    let trace = session.finish();
+    println!("{}", trace.summary().render(top));
+    println!("{}", result.stats.cache_summary());
+    if let Some(path) = opt_value(args, "--trace-out") {
+        gpsched_trace::chrome::write_chrome_json(std::path::Path::new(path), &trace)
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!(
+            "trace: wrote {} spans ({} dropped) to {path}",
+            trace.spans.len(),
+            trace.dropped
+        );
+    }
+    eprintln!("{}", result.stats.summary());
+}
+
+const TRACE_CHECK_FLAGS: &[&str] = &["--file", "--expect"];
+
+/// Validates a Chrome trace JSON file; with `--expect`, asserts that the
+/// named spans occur. Exit 0 on success, 1 on failure — the CI smoke lane
+/// gates on this.
+fn cmd_trace_check(args: &[String]) {
+    check_flags(args, TRACE_CHECK_FLAGS);
+    let path =
+        opt_value(args, "--file").unwrap_or_else(|| fail("trace-check requires --file FILE"));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let names = gpsched_trace::chrome::span_names_in_chrome_json(&text).unwrap_or_else(|e| {
+        eprintln!("trace-check: {path}: {e}");
+        exit(1)
+    });
+    eprintln!(
+        "trace-check: {path}: valid Chrome trace, {} distinct span names",
+        names.len()
+    );
+    if let Some(list) = opt_value(args, "--expect") {
+        let missing: Vec<&str> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|want| !want.is_empty() && !names.iter().any(|n| n == want))
+            .collect();
+        if !missing.is_empty() {
+            eprintln!(
+                "trace-check: {path}: missing expected span(s): {} (present: {})",
+                missing.join(", "),
+                names.join(", ")
+            );
+            exit(1);
+        }
+        eprintln!("trace-check: all expected spans present");
+    }
 }
 
 const MACHINES_FLAGS: &[&str] = &["--machines", "--out"];
@@ -494,6 +613,7 @@ fn cmd_speedup(args: &[String]) {
         let opts = SweepOptions {
             workers: w,
             use_cache: !has_flag(args, "--no-cache"),
+            progress: has_flag(args, "--progress"),
         };
         let r = run_sweep(&job, &opts, None);
         let wall = r.stats.wall_time.as_secs_f64();

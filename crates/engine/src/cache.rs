@@ -157,8 +157,11 @@ impl SweepCache {
         });
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            gpsched_trace::counter!("cache.miss");
+            gpsched_trace::counter!("cache.insert");
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            gpsched_trace::counter!("cache.hit");
         }
         (seed.clone(), !computed)
     }
@@ -169,6 +172,16 @@ impl SweepCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Distinct (loop, machine) entries resident in the cache.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// `true` if no entry has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

@@ -116,8 +116,13 @@ pub struct SweepStats {
     pub cache_hits: usize,
     /// Memo-cache misses.
     pub cache_misses: usize,
+    /// Distinct (loop, machine) entries resident in the cache at sweep end.
+    pub cache_entries: usize,
     /// Worker threads used.
     pub workers: usize,
+    /// Per-phase profile of this sweep, present when it ran under an
+    /// active trace session (`sweep --trace` / `profile`).
+    pub trace: Option<gpsched_trace::TraceSummary>,
 }
 
 impl SweepStats {
@@ -166,7 +171,9 @@ impl SweepStats {
             },
             cache_hits,
             cache_misses,
+            cache_entries: 0,
             workers,
+            trace: None,
         }
     }
 
@@ -184,6 +191,22 @@ impl SweepStats {
             self.fallback_rate * 100.0,
             self.cache_hits,
             self.cache_hits + self.cache_misses
+        )
+    }
+
+    /// One line on memo-cache effectiveness: hit rate and resident entries,
+    /// or an explicit "disabled" marker when the cache never ran.
+    pub fn cache_summary(&self) -> String {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            return "cache: disabled (0 lookups)".to_string();
+        }
+        format!(
+            "cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hits as f64 / lookups as f64,
+            self.cache_entries
         )
     }
 }

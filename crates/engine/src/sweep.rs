@@ -26,6 +26,9 @@ pub struct SweepOptions {
     /// Disable for timing studies (Table 2) where every unit must pay its
     /// full algorithmic cost.
     pub use_cache: bool,
+    /// Print a periodic progress line (units done/total, loops/s, ETA) to
+    /// stderr. Never mixed into the JSONL sink.
+    pub progress: bool,
 }
 
 impl Default for SweepOptions {
@@ -33,6 +36,7 @@ impl Default for SweepOptions {
         SweepOptions {
             workers: 0,
             use_cache: true,
+            progress: false,
         }
     }
 }
@@ -92,36 +96,69 @@ pub fn run_sweep(
 
     let mut records: Vec<RunRecord> = Vec::with_capacity(nunits);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let cache = &cache;
             let hashes = &hashes;
-            scope.spawn(move || loop {
-                let k = next.fetch_add(1, Ordering::Relaxed);
-                if k >= nunits {
-                    break;
-                }
-                let record = run_unit(job, k, hashes, cache, opts.use_cache);
-                if tx.send(record).is_err() {
-                    break;
+            scope.spawn(move || {
+                gpsched_trace::set_thread_label(format!("worker-{w}"));
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= nunits {
+                        break;
+                    }
+                    let record = run_unit(job, k, hashes, cache, opts.use_cache);
+                    if tx.send(record).is_err() {
+                        break;
+                    }
                 }
             });
         }
         drop(tx);
-        // Drain in completion order, streaming to the sink.
+        // Drain in completion order, streaming to the sink; progress goes
+        // to stderr only, so the JSONL stream stays clean.
+        let mut last_progress = Instant::now();
         for record in rx {
             if let Some(w) = sink.as_deref_mut() {
                 let _ = writeln!(w, "{}", record.to_json());
             }
             records.push(record);
+            if opts.progress && last_progress.elapsed().as_millis() >= 250 {
+                last_progress = Instant::now();
+                eprintln!("{}", progress_line(records.len(), nunits, t0));
+            }
         }
     });
+    if opts.progress && nunits > 0 {
+        eprintln!("{}", progress_line(records.len(), nunits, t0));
+    }
 
     records.sort_by_key(|r| r.unit);
     let (hits, misses) = cache.stats();
-    let stats = SweepStats::from_records(&records, t0.elapsed(), hits, misses, workers);
+    let mut stats = SweepStats::from_records(&records, t0.elapsed(), hits, misses, workers);
+    stats.cache_entries = cache.len();
+    // When this sweep runs inside a trace session, embed the per-phase
+    // profile collected so far (non-destructively — the session owner
+    // still finishes and exports the full trace).
+    stats.trace = gpsched_trace::summary_if_active();
     SweepResult { records, stats }
+}
+
+/// Formats one stderr progress line: units done/total, current rate, ETA.
+fn progress_line(done: usize, total: usize, t0: Instant) -> String {
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let rate = done as f64 / elapsed;
+    let eta = if done > 0 {
+        (total - done) as f64 / rate
+    } else {
+        f64::INFINITY
+    };
+    format!(
+        "sweep: {done}/{total} units ({:.0}%), {rate:.0} loops/s, ETA {:.1}s",
+        100.0 * done as f64 / total.max(1) as f64,
+        eta
+    )
 }
 
 /// Schedules unit `k` of `job`.
@@ -137,11 +174,21 @@ fn run_unit(
     let machine = &job.machines[mi];
     let algorithm = job.algorithms[ai];
 
+    let _span = gpsched_trace::span!(
+        "engine.unit",
+        "{}@{}/{}",
+        spec.ddg.name(),
+        machine.short_name(),
+        algorithm.name()
+    );
     let t0 = Instant::now();
-    let (seed, cache_hit) = if use_cache {
-        cache.seed(hashes[li], &spec.ddg, machine, &job.popts)
-    } else {
-        (compute_seed(&spec.ddg, machine, &job.popts), false)
+    let (seed, cache_hit) = {
+        let _seed_span = gpsched_trace::span!("engine.seed");
+        if use_cache {
+            cache.seed(hashes[li], &spec.ddg, machine, &job.popts)
+        } else {
+            (compute_seed(&spec.ddg, machine, &job.popts), false)
+        }
     };
     // A hit can still have *blocked* on a concurrent miss computing the
     // same entry; that wait is the miss's cost, not this unit's.
@@ -217,6 +264,7 @@ mod tests {
             &SweepOptions {
                 workers: 4,
                 use_cache: true,
+                progress: false,
             },
             None,
         );
@@ -243,6 +291,7 @@ mod tests {
             &SweepOptions {
                 workers: 2,
                 use_cache: false,
+                progress: false,
             },
             None,
         );

@@ -71,6 +71,7 @@ fn one_worker_and_many_workers_agree() {
         &SweepOptions {
             workers: test_workers(),
             use_cache: true,
+            progress: false,
         },
         Some(&mut jsonl8),
     );
@@ -102,6 +103,7 @@ fn cache_does_not_change_results() {
         &SweepOptions {
             workers: 1,
             use_cache: false,
+            progress: false,
         },
         None,
     );

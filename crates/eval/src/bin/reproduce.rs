@@ -8,6 +8,7 @@
 //! reproduce variants   # IPC of the policy-variant specs (beyond the paper)
 //! reproduce stress     # catalog × synthetic preset corpora, sim-audited
 //! reproduce topologies # SPECfp95 IPC across interconnect topologies
+//! reproduce profile    # per-phase scheduling profile (gpsched-trace)
 //! reproduce all        # everything + rewrite EXPERIMENTS.md
 //! ```
 //!
@@ -99,6 +100,11 @@ fn main() {
             );
             print!("{}", report.render());
         }
+        "profile" => {
+            let p = gpsched_eval::profile_report();
+            println!("Profile — per-phase scheduling time (traced serial sweep, cache off)\n");
+            print!("{}", p.render(20));
+        }
         "all" => {
             print!("{}", report::render_table1(&tables::table1()));
             let f2 = figure2();
@@ -113,7 +119,12 @@ fn main() {
             );
             let t2 = table2();
             print!("\n{}", report::render_table2(&t2));
-            let md = report::experiments_markdown(&f2, &f3, &t2);
+            let p = gpsched_eval::profile_report();
+            print!(
+                "\nProfile — per-phase scheduling time (traced serial sweep, cache off)\n{}",
+                p.render(20)
+            );
+            let md = report::experiments_markdown(&f2, &f3, &t2, &p);
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
             match std::fs::write(path, &md) {
                 Ok(()) => println!("\nwrote EXPERIMENTS.md"),
@@ -123,7 +134,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command `{other}`; use \
-                 table1|fig2|fig3|table2|variants|stress|topologies|all"
+                 table1|fig2|fig3|table2|variants|stress|topologies|profile|all"
             );
             std::process::exit(2);
         }

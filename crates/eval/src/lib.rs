@@ -17,6 +17,9 @@
 //! * [`topologies`] — the machine axis opened too: the SPECfp95 set on
 //!   one reference machine per interconnect topology (shared bus,
 //!   pipelined bus, ring, point-to-point);
+//! * [`profile`] — a traced serial sweep (cache off, like Table 2)
+//!   reduced to per-phase self-time: where the scheduling wall clock
+//!   actually goes, layer by layer;
 //! * [`report`] — plain-text and Markdown renderers, including the
 //!   shape checks recorded in `EXPERIMENTS.md`.
 //!
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod profile;
 pub mod report;
 pub mod run;
 pub mod stress;
@@ -40,6 +44,7 @@ pub mod topologies;
 pub mod variants;
 
 pub use figures::{figure2, figure3, FigureRow, FigureSeries};
+pub use profile::{profile_report, profile_report_on, ProfileReport};
 pub use run::{run_program, ProgramRun};
 pub use stress::{stress_report, StressReport, StressRow};
 pub use tables::{table2, Table2Row};

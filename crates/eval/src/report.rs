@@ -85,11 +85,13 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
 }
 
 /// Markdown summary written into `EXPERIMENTS.md` by `reproduce all`:
-/// paper-vs-measured for every figure and table, with the shape checks.
+/// paper-vs-measured for every figure and table, with the shape checks,
+/// plus the per-phase scheduling profile.
 pub fn experiments_markdown(
     fig2: &[FigureSeries],
     fig3: &[FigureSeries],
     t2: &[Table2Row],
+    profile: &crate::profile::ProfileReport,
 ) -> String {
     let mut out = String::new();
     out.push_str("# EXPERIMENTS — paper vs. measured\n\n");
@@ -190,6 +192,47 @@ pub fn experiments_markdown(
     }
     out.push('\n');
 
+    // Where the scheduling time goes (gpsched-trace).
+    out.push_str("## Profile — where scheduling time goes\n\n");
+    let _ = writeln!(
+        out,
+        "Traced serial sweep of the suite on `{}` with the memo cache off\n\
+         ({} units); absolute times vary with the host, the *ranking* is\n\
+         the reproducible part. Regenerate interactively with\n\
+         `cargo run --release -p gpsched-engine -- profile`.\n",
+        profile.machine, profile.units
+    );
+    out.push_str("| phase | count | total ms | self ms | self % |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    let wall = profile.summary.wall_ns.max(1) as f64;
+    for p in profile.summary.phases.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.2} | {:.2} | {:.1}% |",
+            p.name,
+            p.count,
+            p.total_ns as f64 / 1e6,
+            p.self_ns as f64 / 1e6,
+            100.0 * p.self_ns as f64 / wall
+        );
+    }
+    out.push('\n');
+    let counters_of_note = [
+        "partition.moves_evaluated",
+        "partition.screen_rejected",
+        "partition.evaluator_rebuilds",
+        "graph.bf.runs",
+        "graph.bf.edges_scanned",
+        "sched.ii_growth",
+        "sched.transfers_booked",
+        "sched.spills_inserted",
+    ];
+    out.push_str("Counters of note:\n\n");
+    for name in counters_of_note {
+        let _ = writeln!(out, "- `{name}`: {}", profile.summary.counter(name));
+    }
+    out.push('\n');
+
     // Shape checks.
     out.push_str("## Shape checks\n\n");
     let avg_over = |series: &[FigureSeries], f: &dyn Fn(&crate::figures::FigureRow) -> f64| {
@@ -277,12 +320,33 @@ mod tests {
         assert!(s.contains("3.3x"));
     }
 
+    fn fake_profile() -> crate::profile::ProfileReport {
+        crate::profile::ProfileReport {
+            machine: "c2r32b1l1".into(),
+            units: 42,
+            summary: gpsched_trace::TraceSummary {
+                phases: vec![gpsched_trace::PhaseStat {
+                    name: "engine.unit".into(),
+                    count: 42,
+                    total_ns: 80_000_000,
+                    self_ns: 20_000_000,
+                }],
+                counters: vec![("graph.bf.runs".into(), 9)],
+                wall_ns: 100_000_000,
+                dropped: 0,
+            },
+        }
+    }
+
     #[test]
     fn markdown_has_checks() {
-        let md = experiments_markdown(&fake_series(), &fake_series(), &fake_t2());
+        let md = experiments_markdown(&fake_series(), &fake_series(), &fake_t2(), &fake_profile());
         assert!(md.contains("# EXPERIMENTS"));
         assert!(md.contains("- [x] GP > URACAM on average"));
         assert!(md.contains("Figure 3"));
         assert!(md.contains("| c2r32b1l1 | 100.00 | 30.00 | 40.00 | 3.3x |"));
+        assert!(md.contains("## Profile — where scheduling time goes"));
+        assert!(md.contains("| engine.unit | 42 | 80.00 | 20.00 | 20.0% |"));
+        assert!(md.contains("- `graph.bf.runs`: 9"));
     }
 }

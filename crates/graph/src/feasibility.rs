@@ -53,23 +53,35 @@ pub fn longest_from_all_sources_into(
     dist.clear();
     dist.resize(n, 0);
     // Bellman-Ford: at most n-1 relaxation rounds, plus one to detect cycles.
+    // Work is tallied in locals and flushed through one gated trace call at
+    // the end — the relaxation loop itself stays free of atomics.
+    let mut rounds = 0u64;
+    let mut relaxations = 0u64;
+    let mut feasible = true;
     for round in 0..=n {
+        rounds += 1;
         let mut changed = false;
         for &(u, v, w) in edges {
             let cand = dist[u] + w;
             if cand > dist[v] {
                 dist[v] = cand;
+                relaxations += 1;
                 changed = true;
             }
         }
         if !changed {
-            return true;
+            break;
         }
         if round == n {
-            return false;
+            feasible = false;
+            break;
         }
     }
-    true
+    gpsched_trace::counter!("graph.bf.runs");
+    gpsched_trace::counter!("graph.bf.rounds", rounds);
+    gpsched_trace::counter!("graph.bf.edges_scanned", rounds * edges.len() as u64);
+    gpsched_trace::counter!("graph.bf.relaxations", relaxations);
+    feasible
 }
 
 /// Finds the smallest `ii ≥ lower` such that

@@ -264,6 +264,7 @@ impl<'a> CostEvaluator<'a> {
     /// value books its route on [`ChannelLoad`]. O(V · nclusters).
     #[cold]
     fn channel_bound_general(&mut self) -> i64 {
+        gpsched_trace::counter!("partition.evaluator_rebuilds");
         self.chan.clear();
         for p in 0..self.ddg.op_count() {
             let home = self.assign[p];
@@ -427,6 +428,7 @@ impl<'a> CostEvaluator<'a> {
         let ii_bus = self.interconnect_bound();
         let lower = self.ii_input.max(self.res_bound()).max(ii_bus);
         if self.ddg.execution_time(lower, self.base_max_path) > than.exec_time {
+            gpsched_trace::counter!("partition.screen_rejected");
             return None;
         }
         let cost = self.cost();

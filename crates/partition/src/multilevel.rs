@@ -71,6 +71,7 @@ pub fn partition_ddg_with(
         ev.is_for(ddg, machine),
         "evaluator was built for a different DDG/machine"
     );
+    let _span = gpsched_trace::span!("partition.run", "ii={ii_input}");
     let nclusters = machine.cluster_count();
     if nclusters == 1 || ddg.op_count() == 0 {
         let partition = Partition::single_cluster(ddg.op_count());
@@ -84,9 +85,12 @@ pub fn partition_ddg_with(
     }
 
     // 1. Weighted graph + coarsening hierarchy.
-    let weights = edge_weights(ddg, machine, ii_input);
-    let finest = initial_level(ddg, &weights);
-    let levels: Vec<Level> = coarsen_to(finest, nclusters, options.strategy);
+    let levels: Vec<Level> = {
+        let _span = gpsched_trace::span!("partition.coarsen");
+        let weights = edge_weights(ddg, machine, ii_input);
+        let finest = initial_level(ddg, &weights);
+        coarsen_to(finest, nclusters, options.strategy)
+    };
 
     // 2. Initial partition of the coarsest level: one node per cluster.
     let coarsest = levels.last().expect("hierarchy never empty");

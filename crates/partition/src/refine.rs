@@ -131,7 +131,7 @@ pub fn balance_pass(
             }
         }
         if overloaded.is_empty() {
-            return moves;
+            break;
         }
         overloaded.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("saturation is finite"));
         // Kinds ranked by how saturated they are anywhere (for the "more
@@ -174,9 +174,10 @@ pub fn balance_pass(
         }
         if !applied {
             // No beneficial movement: wait for a finer level (paper).
-            return moves;
+            break;
         }
     }
+    gpsched_trace::counter!("partition.balance_moves", moves as u64);
     moves
 }
 
@@ -233,6 +234,7 @@ pub fn cut_pass(
              saved: &mut Vec<usize>,
              ev: &mut CostEvaluator<'_>,
              best: &mut Option<(Vec<(usize, usize)>, PartitionCost)>| {
+                gpsched_trace::counter!("partition.moves_evaluated");
                 saved.clear();
                 saved.extend(changes.iter().map(|&(v, _)| assign[v]));
                 for &(v, c) in changes {
@@ -320,6 +322,7 @@ pub fn cut_pass(
                 }
                 current = cost;
                 moves += 1;
+                gpsched_trace::counter!("partition.moves_applied");
             }
             None => break,
         }
@@ -338,6 +341,7 @@ pub fn refine_level(
     opts: &RefineOptions,
     ev: &mut CostEvaluator<'_>,
 ) -> PartitionCost {
+    let _span = gpsched_trace::span!("partition.refine", "nodes={}", level.node_count());
     if opts.balance {
         balance_pass(ddg, machine, ii_input, level, assign, opts.max_moves);
     }

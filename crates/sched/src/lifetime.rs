@@ -35,6 +35,23 @@ impl PressureTable {
         }
     }
 
+    /// An empty zero-cluster placeholder (allocates nothing); used to move
+    /// a real table out of a schedule while it is rebuilt in place.
+    pub(crate) fn empty() -> Self {
+        PressureTable {
+            ii: 1,
+            caps: Vec::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Zeroes every lifetime row, keeping capacities and allocations.
+    pub fn reset(&mut self) {
+        for row in &mut self.live {
+            row.fill(0);
+        }
+    }
+
     /// Registers the lifetime `[def, last_use]` in `cluster`.
     ///
     /// Lifetimes with `last_use < def` occupy nothing (a value that is

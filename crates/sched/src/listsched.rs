@@ -540,6 +540,7 @@ fn spill_pass(
             store,
             loads,
         });
+        gpsched_trace::counter!("sched.spills_inserted");
         spilled[victim] = true;
     }
     let max_live = (0..nclusters).map(|c| pressure.max_live(c)).collect();

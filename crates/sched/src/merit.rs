@@ -19,7 +19,9 @@ pub const DEFAULT_THRESHOLD: f64 = 0.05;
 /// A figure of merit: consumed-fractions of the remaining resources.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Merit {
+    /// Clamped components, sorted descending (the comparison order).
     components: Vec<f64>,
+    sum: f64,
 }
 
 impl Merit {
@@ -28,10 +30,17 @@ impl Merit {
     /// Components are clamped below at 0; a component of 1.0 means "this
     /// placement consumes all that remains of the resource". Consumption
     /// with nothing remaining is represented by `f64::INFINITY`.
-    pub fn new(components: Vec<f64>) -> Self {
-        Merit {
-            components: components.into_iter().map(|c| c.max(0.0)).collect(),
+    ///
+    /// The comparison always scans components in descending order, so they
+    /// are sorted once here instead of on every [`Merit::compare`] (the
+    /// placement loop compares each candidate against the running best).
+    pub fn new(mut components: Vec<f64>) -> Self {
+        for c in &mut components {
+            *c = c.max(0.0);
         }
+        components.sort_by(|x, y| y.partial_cmp(x).unwrap_or(Ordering::Equal));
+        let sum = components.iter().sum();
+        Merit { components, sum }
     }
 
     /// Consumed-fraction helper: `consumed / remaining_before`, with the
@@ -46,23 +55,21 @@ impl Merit {
         }
     }
 
-    /// The raw components.
+    /// The clamped components, sorted descending.
     pub fn components(&self) -> &[f64] {
         &self.components
     }
 
     /// Component sum (the final tie-breaker).
     pub fn sum(&self) -> f64 {
-        self.components.iter().sum()
+        self.sum
     }
 
-    /// Paper comparison: sort descending, scan pairwise, first significant
-    /// difference decides; otherwise the smaller sum.
+    /// Paper comparison: scan the descending components pairwise, first
+    /// significant difference decides; otherwise the smaller sum.
     pub fn compare(&self, other: &Merit, threshold: f64) -> Ordering {
-        let mut a = self.components.clone();
-        let mut b = other.components.clone();
-        a.sort_by(|x, y| y.partial_cmp(x).unwrap_or(Ordering::Equal));
-        b.sort_by(|x, y| y.partial_cmp(x).unwrap_or(Ordering::Equal));
+        let a = &self.components;
+        let b = &other.components;
         let n = a.len().max(b.len());
         for i in 0..n {
             let x = a.get(i).copied().unwrap_or(0.0);
@@ -71,9 +78,7 @@ impl Merit {
                 return x.partial_cmp(&y).unwrap_or(Ordering::Equal);
             }
         }
-        self.sum()
-            .partial_cmp(&other.sum())
-            .unwrap_or(Ordering::Equal)
+        self.sum.partial_cmp(&other.sum).unwrap_or(Ordering::Equal)
     }
 
     /// Returns `true` if `self` is strictly preferable to `other`.
@@ -133,7 +138,7 @@ mod tests {
     #[test]
     fn negative_components_clamped() {
         let m = Merit::new(vec![-0.5, 0.2]);
-        assert_eq!(m.components(), &[0.0, 0.2]);
+        assert_eq!(m.components(), &[0.2, 0.0]); // descending
     }
 
     #[test]

@@ -205,11 +205,15 @@ fn attempt_with<'a>(
     mode: ScanMode,
     ws: &mut TimingWorkspace,
 ) -> Option<PartialSchedule<'a>> {
+    let _span = gpsched_trace::span!("sched.ii_attempt", "ii={ii}");
     // One workspace-backed analysis per attempt: an infeasible II yields
     // None here, and the same result feeds both the node ordering and the
     // placement windows.
     let t = ws.analyze(ddg, ii, |_| 0)?;
-    let order = policies.order.order(ddg, t);
+    let order = {
+        let _span = gpsched_trace::span!("sched.order");
+        policies.order.order(ddg, t)
+    };
     debug_assert_eq!(order.len(), ddg.op_count(), "order must cover the loop");
     let mut ps = PartialSchedule::with_spill_policy(ddg, machine, ii, policies.spill.as_ref());
     let nclusters = machine.cluster_count();
@@ -282,10 +286,12 @@ pub fn run(
         }
         let next = policies.growth.next_ii(ii, failures);
         debug_assert!(next > ii, "II growth must make progress");
+        gpsched_trace::counter!("sched.ii_growth");
         ii = next;
         failures += 1;
         if let Some(p) = &part {
             if policies.cluster.wants_repartition(p, ii) {
+                let _span = gpsched_trace::span!("sched.cluster.repartition", "ii={ii}");
                 let ev = ev.get_or_insert_with(|| CostEvaluator::new(ddg, machine));
                 part = Some(partition_ddg_with(ddg, machine, ii, popts, ev));
                 repartitions += 1;

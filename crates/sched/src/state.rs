@@ -305,6 +305,7 @@ impl<'a> PartialSchedule<'a> {
                     read_time: x,
                     arrival: x + net_lat,
                 });
+                gpsched_trace::counter!("sched.transfers_booked");
                 return Ok(x + net_lat);
             }
             x += 1;
@@ -340,6 +341,7 @@ impl<'a> PartialSchedule<'a> {
                     read_time: store,
                     arrival,
                 });
+                gpsched_trace::counter!("sched.transfers_booked");
                 return Ok(arrival);
             }
             // No load slot; roll nothing back (store not yet reserved).
@@ -419,12 +421,15 @@ impl<'a> PartialSchedule<'a> {
         self.mrts[cluster].place(kind, time);
         self.placements[idx] = Some(Placement { cluster, time });
 
-        // Incoming dependences from placed producers.
-        for (e, p) in self.ddg.graph().in_edges(op).collect::<Vec<_>>() {
+        // Incoming dependences from placed producers. Copying the `&'a Ddg`
+        // out of `self` lets the adjacency iterators borrow the DDG directly
+        // instead of being collected to appease the `&mut self` calls below.
+        let ddg = self.ddg;
+        for (e, p) in ddg.graph().in_edges(op) {
             let Some(pp) = self.placements[p.index()] else {
                 continue;
             };
-            let dep = *self.ddg.dep(e);
+            let dep = *ddg.dep(e);
             let read = time + self.ii * dep.distance as i64;
             match dep.kind {
                 DepKind::Mem => {
@@ -470,7 +475,7 @@ impl<'a> PartialSchedule<'a> {
         }
 
         // Outgoing dependences to placed consumers.
-        for (e, s) in self.ddg.graph().out_edges(op).collect::<Vec<_>>() {
+        for (e, s) in ddg.graph().out_edges(op) {
             let Some(sp) = self.placements[s.index()] else {
                 continue;
             };
@@ -478,7 +483,7 @@ impl<'a> PartialSchedule<'a> {
             if s == op {
                 continue;
             }
-            let dep = *self.ddg.dep(e);
+            let dep = *ddg.dep(e);
             let read = sp.time + self.ii * dep.distance as i64;
             match dep.kind {
                 DepKind::Mem => {
@@ -521,6 +526,31 @@ impl<'a> PartialSchedule<'a> {
         }
     }
 
+    /// Latest same-cluster register read of `producer`'s value, or
+    /// `i64::MIN` when nothing reads it: the allocation-free reduction of
+    /// [`Self::register_reads`] the per-placement pressure rebuild uses.
+    fn last_register_read(&self, producer: usize, cluster: usize) -> i64 {
+        let pid = gpsched_graph::NodeId::from_index(producer);
+        let mut last = i64::MIN;
+        for (e, c) in self.ddg.graph().out_edges(pid) {
+            let dep = self.ddg.dep(e);
+            if dep.kind != DepKind::Flow {
+                continue;
+            }
+            if let Some(cp) = self.placements[c.index()] {
+                if cp.cluster == cluster {
+                    last = last.max(cp.time + self.ii * dep.distance as i64);
+                }
+            }
+        }
+        for t in &self.transfers {
+            if t.producer == producer {
+                last = last.max(t.read_time);
+            }
+        }
+        last
+    }
+
     /// Same-cluster register reads of `producer`'s value: consumer issue
     /// times (+ II·distance) of placed same-cluster consumers, plus
     /// transfer read times.
@@ -549,6 +579,7 @@ impl<'a> PartialSchedule<'a> {
     /// Spills one value in `cluster`; returns `false` when no candidate
     /// works.
     fn try_spill(&mut self, cluster: usize) -> bool {
+        let _span = gpsched_trace::span!("sched.spill");
         // Candidates: placed value producers in this cluster, not yet
         // spilled, ranked by the active spill policy (default: longest
         // register interval first).
@@ -639,6 +670,7 @@ impl<'a> PartialSchedule<'a> {
                 store,
                 loads,
             });
+            gpsched_trace::counter!("sched.spills_inserted");
             return true;
         }
         false
@@ -647,12 +679,11 @@ impl<'a> PartialSchedule<'a> {
     /// Rebuilds the register-pressure table from the current placements,
     /// transfers and spills (authoritative recomputation).
     fn rebuild_pressure(&mut self) {
-        let caps = self
-            .machine
-            .clusters()
-            .map(|c| c.registers as i64)
-            .collect();
-        let mut p = PressureTable::new(caps, self.ii);
+        // Runs after every placement: move the table out and zero it in
+        // place (capacities and II are invariants of this schedule), so a
+        // rebuild allocates nothing.
+        let mut p = std::mem::replace(&mut self.pressure, PressureTable::empty());
+        p.reset();
 
         for (opi, pl) in self.placements.iter().enumerate() {
             let Some(pl) = pl else { continue };
@@ -660,7 +691,6 @@ impl<'a> PartialSchedule<'a> {
                 continue;
             }
             let def = pl.time + self.op_latency(opi);
-            let reads = self.register_reads(opi, pl.cluster);
             match self.spills.iter().find(|s| s.producer == opi) {
                 Some(spill) => {
                     // In-register until the store, then reload slivers.
@@ -671,7 +701,7 @@ impl<'a> PartialSchedule<'a> {
                     // Reads at or before the store are covered by [def, store].
                 }
                 None => {
-                    let last = reads.iter().copied().max().unwrap_or(def).max(def);
+                    let last = self.last_register_read(opi, pl.cluster).max(def);
                     p.add(pl.cluster, def, last);
                 }
             }

@@ -42,6 +42,8 @@ pub fn simulate(
         ddg.op_count(),
         "schedule must cover the loop"
     );
+    let _span = gpsched_trace::span!("sim.replay", "ii={}", schedule.ii());
+    gpsched_trace::counter!("sim.audits");
     let ii = schedule.ii();
     let trips_i = trips as i64;
     let store_lat = machine.latencies.store as i64;

@@ -1,0 +1,184 @@
+//! Trace sessions: the only way tracing turns on, and the collector that
+//! turns per-thread buffers into a [`Trace`].
+//!
+//! Sessions serialize through a process-wide lock — two concurrent
+//! sessions would interleave their counters — and bump the global epoch
+//! on both start and finish so stale [`crate::SpanGuard`]s from a
+//! previous session can never record into this one.
+
+use crate::report::TraceSummary;
+use crate::span::{drain_buffers, reset_buffers, SpanRecord};
+use crate::{bump_epoch, counter_snapshot, lock_ignore_poison, reset_counters, set_enabled};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+fn session_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Session start time, readable by [`snapshot`] from any thread.
+fn session_t0() -> &'static Mutex<Option<Instant>> {
+    static T0: OnceLock<Mutex<Option<Instant>>> = OnceLock::new();
+    T0.get_or_init(|| Mutex::new(None))
+}
+
+/// Holds the session lock without starting a session — lets tests assert
+/// disabled-path behaviour without another test flipping tracing on.
+#[cfg(test)]
+pub(crate) fn hold_session_lock() -> MutexGuard<'static, ()> {
+    lock_ignore_poison(session_lock())
+}
+
+/// An active tracing window. Created with [`TraceSession::start`];
+/// [`TraceSession::finish`] stops recording and returns the collected
+/// [`Trace`]. Dropping a session without finishing it discards its data
+/// but still turns tracing off.
+pub struct TraceSession {
+    _guard: MutexGuard<'static, ()>,
+    t0: Instant,
+}
+
+impl TraceSession {
+    /// Starts a session: blocks until any other session ends, resets all
+    /// counters and span buffers, then enables tracing process-wide.
+    pub fn start() -> TraceSession {
+        let guard = lock_ignore_poison(session_lock());
+        reset_counters();
+        reset_buffers();
+        bump_epoch();
+        let t0 = Instant::now();
+        *lock_ignore_poison(session_t0()) = Some(t0);
+        set_enabled(true);
+        TraceSession { _guard: guard, t0 }
+    }
+
+    /// Stops recording and drains every thread buffer into a [`Trace`].
+    pub fn finish(self) -> Trace {
+        // Disable *before* draining so no event lands mid-drain; the epoch
+        // bump invalidates guards still alive on worker threads.
+        set_enabled(false);
+        bump_epoch();
+        *lock_ignore_poison(session_t0()) = None;
+        let wall_ns = self.t0.elapsed().as_nanos() as u64;
+        let (spans, dropped) = drain_buffers(self.t0, true);
+        Trace {
+            spans,
+            counters: counter_snapshot(),
+            wall_ns,
+            dropped,
+        }
+        // `self` drops here, releasing the session lock.
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        // Idempotent with finish(): tracing must never outlive its session.
+        set_enabled(false);
+        bump_epoch();
+        *lock_ignore_poison(session_t0()) = None;
+    }
+}
+
+/// Everything one session recorded: raw spans, counter totals, and how
+/// much (if anything) was dropped to the per-thread buffer cap.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// All completed spans, sorted by start time (then thread, then name).
+    pub spans: Vec<SpanRecord>,
+    /// Non-zero counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Session wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Spans discarded because a thread buffer hit its cap (0 in healthy
+    /// runs; non-zero means the trace is incomplete).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Total for a named counter (0 if it never fired).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Aggregates spans into per-phase self/total statistics.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary::from_trace(self)
+    }
+}
+
+/// Non-destructive snapshot of the active session (spans recorded so far
+/// plus current counter totals), or `None` when tracing is off. This is
+/// the hook a long-lived server can poll for live metrics.
+pub fn snapshot() -> Option<Trace> {
+    if !crate::enabled() {
+        return None;
+    }
+    let t0 = (*lock_ignore_poison(session_t0()))?;
+    let (spans, dropped) = drain_buffers(t0, false);
+    Some(Trace {
+        spans,
+        counters: counter_snapshot(),
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        dropped,
+    })
+}
+
+/// [`snapshot`] reduced to a [`TraceSummary`], or `None` when tracing is
+/// off.
+pub fn summary_if_active() -> Option<TraceSummary> {
+    snapshot().map(|t| t.summary())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_reset_between_sessions() {
+        let s = TraceSession::start();
+        crate::counter!("session.test.a", 5);
+        let t = s.finish();
+        assert_eq!(t.counter("session.test.a"), 5);
+        assert!(t.wall_ns > 0);
+
+        let s = TraceSession::start();
+        let t = s.finish();
+        assert_eq!(t.counter("session.test.a"), 0, "new session starts clean");
+    }
+
+    #[test]
+    fn snapshot_is_none_when_disabled_and_live_when_active() {
+        {
+            let _lock = hold_session_lock();
+            assert!(snapshot().is_none());
+        }
+        let s = TraceSession::start();
+        crate::counter!("session.test.live", 3);
+        {
+            let _g = crate::span!("session.test.span");
+        }
+        let snap = snapshot().expect("session active");
+        assert_eq!(snap.counter("session.test.live"), 3);
+        assert_eq!(snap.spans.len(), 1);
+        // Snapshot is non-destructive: finish still sees the span.
+        let t = s.finish();
+        assert_eq!(t.spans.len(), 1);
+        assert!(summary_if_active().is_none());
+    }
+
+    #[test]
+    fn dropping_a_session_turns_tracing_off() {
+        let s = TraceSession::start();
+        assert!(crate::enabled());
+        drop(s);
+        // Holding the session lock proves no session is active, so the
+        // flag must be off (immune to other tests starting sessions).
+        let _lock = hold_session_lock();
+        assert!(!crate::enabled());
+    }
+}

@@ -1,0 +1,313 @@
+//! RAII span guards and the per-thread buffers they record into.
+//!
+//! Each thread owns a bounded buffer (a ring in the "stop when full, count
+//! the drops" sense — trace integrity beats silent wraparound) guarded by
+//! its own mutex: only the owning thread pushes, so the lock is
+//! uncontended until the collector drains every buffer at session end.
+
+use crate::{current_epoch, lock_ignore_poison};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on buffered span events per thread. A full SPECfp95 sweep
+/// records a few coarse spans per unit (tens of thousands of events);
+/// the cap only bites if someone instruments a per-candidate loop.
+pub(crate) const MAX_EVENTS_PER_THREAD: usize = 1 << 20;
+
+/// One completed span, still in thread-local form (absolute instants).
+#[derive(Clone, Debug)]
+pub(crate) struct RawSpan {
+    pub name: &'static str,
+    pub detail: Option<Box<str>>,
+    pub start: Instant,
+    pub end: Instant,
+}
+
+/// A drained span record: times are nanoseconds relative to the session
+/// start, ready for aggregation and export.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (`crate.phase.detail` convention).
+    pub name: String,
+    /// Optional per-instance detail (e.g. `loop@machine/algo`).
+    pub detail: Option<String>,
+    /// Dense id of the recording thread (assigned at first use).
+    pub tid: u32,
+    /// Thread label (`worker-3`, or `thread-<tid>` when unlabelled).
+    pub thread: String,
+    /// Start, nanoseconds since session start.
+    pub ts_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// The per-thread sink: events plus an optional human label.
+pub(crate) struct ThreadBuf {
+    pub tid: u32,
+    pub state: Mutex<ThreadState>,
+}
+
+#[derive(Default)]
+pub(crate) struct ThreadState {
+    pub label: Option<String>,
+    pub events: Vec<RawSpan>,
+    pub dropped: u64,
+}
+
+fn thread_registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+/// Spans recorded after a thread's buffer hit the cap (global, reported in
+/// [`crate::Trace::dropped`]).
+pub(crate) static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_BUF: RefCell<Option<Arc<ThreadBuf>>> = const { RefCell::new(None) };
+}
+
+/// This thread's buffer, registering it on first use.
+fn with_thread_buf<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
+    THREAD_BUF.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let buf = slot.get_or_insert_with(|| {
+            let buf = Arc::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                state: Mutex::new(ThreadState::default()),
+            });
+            lock_ignore_poison(thread_registry()).push(Arc::clone(&buf));
+            buf
+        });
+        f(buf)
+    })
+}
+
+/// Labels the current thread in trace output (`worker-0`, …). A no-op
+/// while tracing is disabled; call it after the session starts (the engine
+/// labels its pool workers as it spawns them).
+pub fn set_thread_label(label: impl Into<String>) {
+    if !crate::enabled() {
+        return;
+    }
+    with_thread_buf(|buf| {
+        lock_ignore_poison(&buf.state).label = Some(label.into());
+    });
+}
+
+/// Clears every thread buffer (session start) and prunes buffers whose
+/// threads have exited.
+pub(crate) fn reset_buffers() {
+    let mut reg = lock_ignore_poison(thread_registry());
+    // A live thread holds one Arc in its TLS; registry-only entries belong
+    // to finished threads and can go.
+    reg.retain(|buf| Arc::strong_count(buf) > 1);
+    for buf in reg.iter() {
+        let mut st = lock_ignore_poison(&buf.state);
+        st.events.clear();
+        st.dropped = 0;
+        st.label = None;
+    }
+    DROPPED.store(0, Ordering::SeqCst);
+}
+
+/// Drains every thread buffer into session-relative records. `t0` is the
+/// session start. When `clear` is false this is a non-destructive snapshot.
+pub(crate) fn drain_buffers(t0: Instant, clear: bool) -> (Vec<SpanRecord>, u64) {
+    let reg = lock_ignore_poison(thread_registry());
+    let mut out = Vec::new();
+    let mut dropped = 0u64;
+    for buf in reg.iter() {
+        let mut st = lock_ignore_poison(&buf.state);
+        let thread = st
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("thread-{}", buf.tid));
+        for ev in &st.events {
+            out.push(SpanRecord {
+                name: ev.name.to_string(),
+                detail: ev.detail.as_ref().map(|d| d.to_string()),
+                tid: buf.tid,
+                thread: thread.clone(),
+                ts_ns: ev.start.saturating_duration_since(t0).as_nanos() as u64,
+                dur_ns: ev.end.saturating_duration_since(ev.start).as_nanos() as u64,
+            });
+        }
+        dropped += st.dropped;
+        if clear {
+            st.events.clear();
+            st.dropped = 0;
+        }
+    }
+    // Deterministic presentation: by start time, then thread, then name.
+    out.sort_by(|a, b| {
+        a.ts_ns
+            .cmp(&b.ts_ns)
+            .then(a.tid.cmp(&b.tid))
+            .then(a.name.cmp(&b.name))
+    });
+    (out, dropped)
+}
+
+/// RAII guard created by [`crate::span!`]: measures from construction to
+/// drop and records the completed span into the thread buffer — but only
+/// if tracing is still enabled *in the same session* at drop time, so a
+/// span straddling a session boundary is discarded rather than recorded
+/// half-timed.
+#[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    detail: Option<Box<str>>,
+    start: Instant,
+    epoch: u64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` (no detail). Inactive when tracing is off.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if crate::enabled() {
+            SpanGuard {
+                name,
+                detail: None,
+                start: Instant::now(),
+                epoch: current_epoch(),
+                active: true,
+            }
+        } else {
+            Self::inactive()
+        }
+    }
+
+    /// Opens a span with a detail string (the [`crate::span!`] macro only
+    /// builds the string when tracing is on).
+    pub fn enter_with(name: &'static str, detail: String) -> SpanGuard {
+        if crate::enabled() {
+            SpanGuard {
+                name,
+                detail: Some(detail.into_boxed_str()),
+                start: Instant::now(),
+                epoch: current_epoch(),
+                active: true,
+            }
+        } else {
+            Self::inactive()
+        }
+    }
+
+    /// A guard that records nothing.
+    #[inline]
+    pub fn inactive() -> SpanGuard {
+        SpanGuard {
+            name: "",
+            detail: None,
+            start: UNUSED_INSTANT.with(|i| *i),
+            epoch: 0,
+            active: false,
+        }
+    }
+}
+
+thread_local! {
+    /// One `Instant` per thread for inactive guards, so the disabled path
+    /// never calls `Instant::now()`.
+    static UNUSED_INSTANT: Instant = Instant::now();
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        // Same session still live? Otherwise discard: recording an end
+        // into a different session would orphan it.
+        if !crate::enabled() || self.epoch != current_epoch() {
+            return;
+        }
+        let end = Instant::now();
+        let ev = RawSpan {
+            name: self.name,
+            detail: self.detail.take(),
+            start: self.start,
+            end,
+        };
+        with_thread_buf(|buf| {
+            let mut st = lock_ignore_poison(&buf.state);
+            if st.events.len() < MAX_EVENTS_PER_THREAD {
+                st.events.push(ev);
+            } else {
+                st.dropped += 1;
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSession;
+
+    #[test]
+    fn guards_record_nested_spans_in_order() {
+        let s = TraceSession::start();
+        {
+            let _outer = crate::span!("t.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = crate::span!("t.inner", "i={}", 7);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let t = s.finish();
+        assert_eq!(t.spans.len(), 2);
+        // Inner drops first but sorting is by start time: outer leads.
+        assert_eq!(t.spans[0].name, "t.outer");
+        assert_eq!(t.spans[1].name, "t.inner");
+        assert_eq!(t.spans[1].detail.as_deref(), Some("i=7"));
+        // Containment: inner lies within outer.
+        let (o, i) = (&t.spans[0], &t.spans[1]);
+        assert!(i.ts_ns >= o.ts_ns);
+        assert!(i.ts_ns + i.dur_ns <= o.ts_ns + o.dur_ns);
+    }
+
+    #[test]
+    fn span_straddling_session_end_is_discarded() {
+        let s = TraceSession::start();
+        let guard = crate::span!("t.straddle");
+        let t = s.finish();
+        drop(guard); // ends after the session: must not corrupt anything
+        assert!(t.spans.is_empty());
+        let s2 = TraceSession::start();
+        let t2 = s2.finish();
+        assert!(t2.spans.is_empty());
+    }
+
+    #[test]
+    fn worker_threads_get_their_own_tids_and_labels() {
+        let s = TraceSession::start();
+        std::thread::scope(|scope| {
+            for w in 0..3 {
+                scope.spawn(move || {
+                    set_thread_label(format!("w-{w}"));
+                    let _g = crate::span!("t.worker");
+                });
+            }
+        });
+        let t = s.finish();
+        assert_eq!(t.spans.len(), 3);
+        let mut tids: Vec<u32> = t.spans.iter().map(|e| e.tid).collect();
+        tids.sort();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each worker records under its own tid");
+        let mut labels: Vec<&str> = t.spans.iter().map(|e| e.thread.as_str()).collect();
+        labels.sort();
+        assert_eq!(labels, ["w-0", "w-1", "w-2"]);
+    }
+}

@@ -140,6 +140,7 @@ fn conformance_replay_is_byte_identical_across_worker_counts() {
         &SweepOptions {
             workers: test_workers(),
             use_cache: true,
+            progress: false,
         },
         None,
     );
