@@ -40,6 +40,26 @@ fn job() -> JobSpec {
         .algorithms(Algorithm::MODULO)
 }
 
+fn large_job() -> JobSpec {
+    // The size-stratified series: the top-decile op-count loops of the
+    // whole suite. Kernel-level wins concentrate in big bodies (more
+    // constraint edges, more relaxation rounds, more II retries) and are
+    // averaged away by the many small loops of the mixed workload above;
+    // this series tracks them separately.
+    let mut loops: Vec<_> = spec_suite().into_iter().flat_map(|p| p.loops).collect();
+    loops.sort_by_key(|d| std::cmp::Reverse(d.op_count()));
+    loops.truncate(loops.len().div_ceil(10));
+    let mut job = JobSpec::new();
+    for d in loops {
+        job = job.loop_in("large", d);
+    }
+    job.machines([
+        MachineConfig::two_cluster(32, 1, 1),
+        MachineConfig::four_cluster(64, 1, 2),
+    ])
+    .algorithms(Algorithm::MODULO)
+}
+
 fn main() {
     let job = job();
     let units = job.unit_count();
@@ -88,6 +108,28 @@ fn main() {
         );
         loops_per_sec.push((name.to_string(), t.per_second(units)));
     }
+
+    // The large-units series, serial/no-cache (the honest per-loop cost on
+    // the biggest bodies).
+    let large = large_job();
+    let large_units = large.unit_count();
+    eprintln!("--- large-units series ({large_units} units/run) ---");
+    let large_opts = SweepOptions {
+        workers: 1,
+        use_cache: false,
+        progress: false,
+    };
+    let t = group.bench("large-units/no-cache", || {
+        std::hint::black_box(run_sweep(&large, &large_opts, None).stats.units)
+    });
+    println!(
+        "engine_throughput/large-units/no-cache: {:.0} loops-scheduled/sec",
+        t.per_second(large_units)
+    );
+    loops_per_sec.push((
+        "large-units/no-cache".to_string(),
+        t.per_second(large_units),
+    ));
 
     // The serial/no-cache workload once more, inside an active trace
     // session: the enabled-tracing cost, recorded per entry so the ≤1%

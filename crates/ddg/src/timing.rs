@@ -10,7 +10,7 @@
 use crate::ddg::Ddg;
 use crate::dep::Dep;
 use crate::DepId;
-use gpsched_graph::feasibility::longest_from_all_sources_into;
+use gpsched_graph::feasibility::BfKernel;
 use gpsched_graph::NodeId;
 
 /// Result of [`analyze`].
@@ -77,8 +77,13 @@ pub fn analyze(ddg: &Ddg, ii: i64, extra: impl FnMut(DepId) -> i64) -> Option<Ti
 /// analysis itself is reused, so the steady state allocates nothing.
 ///
 /// A workspace is bound to the DDG most recently passed to `prepare` (or
-/// to the first `analyze` call), identified by address; analyzing a
-/// *different* DDG re-prepares automatically.
+/// to the first `analyze` call), identified by address plus shape
+/// (op/dep counts); analyzing a *different* DDG re-prepares
+/// automatically. The shape check backstops address reuse — a fresh DDG
+/// allocated where a dropped one lived would otherwise alias the
+/// binding — but it cannot tell apart two same-shaped graphs at the same
+/// address: callers cycling through short-lived DDGs of one shape must
+/// call `prepare` per graph (or keep the graphs alive).
 ///
 /// # Example
 ///
@@ -110,25 +115,33 @@ pub struct TimingWorkspace {
     shape: Vec<(u32, u32, i64, i64)>,
     /// Topological order of the distance-0 sub-DAG.
     topo0: Vec<NodeId>,
-    /// Dep indices ordered by topo rank of their source: feeding the
-    /// forward Bellman–Ford edges in this order lets one round sweep an
-    /// entire distance-0 chain, so only recurrence back-edges cost extra
-    /// rounds (profile: ~8 rounds/run unordered, ~3 ordered).
-    fwd_order: Vec<u32>,
-    /// Dep indices ordered by *reverse* topo rank of their destination —
-    /// the same trick for the reversed constraint graph.
-    rev_order: Vec<u32>,
+    /// Prepared forward constraint-graph kernel (asap solves). Bases are
+    /// `lat + extra`; the II term is applied inside the kernel, so probing
+    /// a new II rebuilds nothing.
+    fwd_kernel: BfKernel,
+    /// The same for the reversed constraint graph (alap via out-lengths).
+    rev_kernel: BfKernel,
+    /// The kernels' bases currently carry a nonzero extra (so the next
+    /// zero-extra analysis must reset them).
+    extras_applied: bool,
+    /// Per-dep extras currently applied to the kernels' bases. Successive
+    /// refinement probes differ on a handful of edges (the candidate
+    /// move's incident deps), so analyses patch the difference instead of
+    /// rewriting every base.
+    applied: Vec<i64>,
     /// Per-op latency.
     op_lat: Vec<i64>,
     /// Per-dep extra delay of the current analysis.
     extras: Vec<i64>,
-    fwd: Vec<(usize, usize, i64)>,
-    rev: Vec<(usize, usize, i64)>,
     out_len: Vec<i64>,
     prepared: bool,
     /// The most recent `analyze` call completed successfully, so `timing`
     /// is coherent and `last()` may serve it.
     analyzed: bool,
+    /// The ALAP/slack half of the most recent successful analysis has been
+    /// computed (false after [`TimingWorkspace::analyze_exec`] until
+    /// [`TimingWorkspace::complete_slack`] runs).
+    slack_done: bool,
     timing: Timing,
 }
 
@@ -161,18 +174,23 @@ impl TimingWorkspace {
         }));
         self.topo0 = gpsched_graph::topo::topo_order(ddg.graph(), |_, dep: &Dep| dep.distance == 0)
             .expect("distance-0 subgraph is acyclic by construction");
-        let mut rank = vec![0u32; self.nops];
-        for (i, &v) in self.topo0.iter().enumerate() {
-            rank[v.index()] = i as u32;
-        }
-        self.fwd_order.clear();
-        self.fwd_order.extend(0..self.ndeps as u32);
-        self.fwd_order
-            .sort_unstable_by_key(|&i| rank[self.shape[i as usize].0 as usize]);
-        self.rev_order.clear();
-        self.rev_order.extend(0..self.ndeps as u32);
-        self.rev_order
-            .sort_unstable_by_key(|&i| std::cmp::Reverse(rank[self.shape[i as usize].1 as usize]));
+        // Prepared CSR kernels for both directions; built once here,
+        // reused by every II probe until the workspace rebinds.
+        let fwd: Vec<(usize, usize, i64, i64)> = self
+            .shape
+            .iter()
+            .map(|&(s, d, lat, dist)| (s as usize, d as usize, lat, dist))
+            .collect();
+        self.fwd_kernel = BfKernel::build(self.nops, &fwd);
+        let rev: Vec<(usize, usize, i64, i64)> = self
+            .shape
+            .iter()
+            .map(|&(s, d, lat, dist)| (d as usize, s as usize, lat, dist))
+            .collect();
+        self.rev_kernel = BfKernel::build(self.nops, &rev);
+        self.extras_applied = false;
+        self.applied.clear();
+        self.applied.resize(self.ndeps, 0);
         self.op_lat.clear();
         self.op_lat
             .extend(ddg.op_ids().map(|v| ddg.op(v).latency as i64));
@@ -187,9 +205,40 @@ impl TimingWorkspace {
         &mut self,
         ddg: &Ddg,
         ii: i64,
+        extra: impl FnMut(DepId) -> i64,
+    ) -> Option<&Timing> {
+        self.analyze_exec(ddg, ii, extra)?;
+        self.complete_slack();
+        Some(&self.timing)
+    }
+
+    /// The forward half of [`TimingWorkspace::analyze`]: feasibility, ASAP
+    /// times and the `max_path` estimate — everything the execution-time
+    /// model `T = (niter−1)·II + max_path` consumes — without the reverse
+    /// constraint solve. On success, `asap`, `start`, `tail`, `max_path`
+    /// and `ii` of the returned [`Timing`] are valid; `alap`, `edge_slack`
+    /// and `max_slack` are **unspecified** until
+    /// [`TimingWorkspace::complete_slack`] runs.
+    ///
+    /// The partitioner's candidate screen lives on this split: most
+    /// candidates are rejected on execution time alone, and only the
+    /// survivors pay for the reverse solve that the slack tiebreak needs.
+    pub fn analyze_exec(
+        &mut self,
+        ddg: &Ddg,
+        ii: i64,
         mut extra: impl FnMut(DepId) -> i64,
     ) -> Option<&Timing> {
-        if !self.prepared || self.bound != ddg as *const Ddg as usize {
+        // Rebind on a different address *or* a different shape: a DDG
+        // allocated where a dropped one used to live aliases the address
+        // check, so the shape comparison (O(1)) backstops it. Callers
+        // cycling through many same-shaped short-lived DDGs must call
+        // `prepare` explicitly (or keep the DDGs alive).
+        if !self.prepared
+            || self.bound != ddg as *const Ddg as usize
+            || self.nops != ddg.op_count()
+            || self.ndeps != ddg.dep_count()
+        {
             self.prepare(ddg);
         }
         // Counted, not spanned: a refinement pass runs one analysis per
@@ -200,47 +249,34 @@ impl TimingWorkspace {
         self.analyzed = false;
         let n = self.nops;
 
+        let mut any_extra = false;
         self.extras.clear();
-        self.extras.extend(ddg.dep_ids().map(&mut extra));
+        self.extras.extend(ddg.dep_ids().map(|e| {
+            let x = extra(e);
+            any_extra |= x != 0;
+            x
+        }));
 
-        // Modulo constraint system: w(e) = lat + extra − II·dist. The edge
-        // lists are materialized in the topo-ranked orders from `prepare`
-        // so Bellman–Ford converges in a few rounds; the relaxation fixed
-        // point itself is order-independent, so results are unchanged.
-        self.fwd.clear();
-        for &i in &self.fwd_order {
-            let (s, d, lat, dist) = self.shape[i as usize];
-            let w = lat + self.extras[i as usize] - ii * dist;
-            self.fwd.push((s as usize, d as usize, w));
+        // Modulo constraint system: w(e) = lat + extra − II·dist. The
+        // prepared kernels hold `lat` and `dist` already; only a nonzero
+        // extra (or clearing a previous one) touches the bases, so the
+        // common zero-extra probe re-solves with no rebuild at all, and
+        // successive nonzero probes patch only the deps whose extra moved
+        // (a candidate move's incident edges, not the whole graph).
+        if any_extra || self.extras_applied {
+            for d in 0..self.ndeps {
+                let delta = self.extras[d] - self.applied[d];
+                if delta != 0 {
+                    self.fwd_kernel.add_extra(d, delta);
+                    self.rev_kernel.add_extra(d, delta);
+                    self.applied[d] = self.extras[d];
+                }
+            }
+            self.extras_applied = any_extra;
         }
-        self.rev.clear();
-        for &i in &self.rev_order {
-            let (s, d, lat, dist) = self.shape[i as usize];
-            let w = lat + self.extras[i as usize] - ii * dist;
-            self.rev.push((d as usize, s as usize, w));
-        }
-        if !longest_from_all_sources_into(n, &self.fwd, &mut self.timing.asap) {
+        if !self.fwd_kernel.solve(ii, &mut self.timing.asap) {
             gpsched_trace::counter!("ddg.timing.infeasible");
             return None;
-        }
-        if !longest_from_all_sources_into(n, &self.rev, &mut self.out_len) {
-            gpsched_trace::counter!("ddg.timing.infeasible");
-            return None;
-        }
-        let span = self.timing.asap.iter().copied().max().unwrap_or(0);
-        self.timing.alap.clear();
-        let out_len = &self.out_len;
-        self.timing.alap.extend((0..n).map(|v| span - out_len[v]));
-
-        // Slack stays in dep-id order (`fwd` is permuted), so recompute the
-        // weight from the shape here.
-        self.timing.edge_slack.clear();
-        self.timing.max_slack = 0;
-        for (i, &(s, d, lat, dist)) in self.shape.iter().enumerate() {
-            let w = lat + self.extras[i] - ii * dist;
-            let slack = self.timing.alap[d as usize] - self.timing.asap[s as usize] - w;
-            self.timing.edge_slack.push(slack);
-            self.timing.max_slack = self.timing.max_slack.max(slack);
         }
 
         // Intra-iteration longest paths (distance-0 sub-DAG), edge length
@@ -283,7 +319,48 @@ impl TimingWorkspace {
         self.timing.max_path = (0..n).map(|v| start[v] + tail[v]).max().unwrap_or(0).max(0);
         self.timing.ii = ii;
         self.analyzed = true;
+        self.slack_done = false;
         Some(&self.timing)
+    }
+
+    /// Completes the ALAP/slack half of the most recent successful
+    /// [`TimingWorkspace::analyze_exec`]: the reverse constraint solve,
+    /// `alap`, `edge_slack` and `max_slack`. Idempotent — a second call
+    /// (or one after a full [`TimingWorkspace::analyze`]) is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward analysis has succeeded yet. The reverse system
+    /// shares its cycles with the forward one, so its solve cannot fail
+    /// when the forward solve succeeded (asserted).
+    pub fn complete_slack(&mut self) {
+        assert!(self.analyzed, "no successful forward analysis to complete");
+        if self.slack_done {
+            return;
+        }
+        let ii = self.timing.ii;
+        let feasible = self.rev_kernel.solve(ii, &mut self.out_len);
+        assert!(
+            feasible,
+            "reverse constraint system disagrees with the forward one"
+        );
+        let n = self.nops;
+        let span = self.timing.asap.iter().copied().max().unwrap_or(0);
+        self.timing.alap.clear();
+        let out_len = &self.out_len;
+        self.timing.alap.extend((0..n).map(|v| span - out_len[v]));
+
+        // Slack stays in dep-id order (`fwd` is permuted), so recompute the
+        // weight from the shape here.
+        self.timing.edge_slack.clear();
+        self.timing.max_slack = 0;
+        for (i, &(s, d, lat, dist)) in self.shape.iter().enumerate() {
+            let w = lat + self.extras[i] - ii * dist;
+            let slack = self.timing.alap[d as usize] - self.timing.asap[s as usize] - w;
+            self.timing.edge_slack.push(slack);
+            self.timing.max_slack = self.timing.max_slack.max(slack);
+        }
+        self.slack_done = true;
     }
 
     /// The result of the most recent *successful* [`TimingWorkspace::analyze`]

@@ -108,7 +108,7 @@ pub fn run_sweep(
                     if k >= nunits {
                         break;
                     }
-                    let record = run_unit(job, k, hashes, cache, opts.use_cache);
+                    let record = run_unit(job, k, hashes, cache, opts.use_cache, workers);
                     if tx.send(record).is_err() {
                         break;
                     }
@@ -161,6 +161,29 @@ fn progress_line(done: usize, total: usize, t0: Instant) -> String {
     )
 }
 
+/// Ops at or above this count make a unit "large" enough for intra-unit
+/// II-attempt racing: the tail of a sweep is dominated by a few big loops
+/// whose II ladders are climbed one failed attempt at a time, so idle
+/// pool parallelism is spent inside those units.
+const RACE_OP_THRESHOLD: usize = 64;
+
+/// Cap on the raced ladder width. The winner is almost always within a
+/// few rungs of the first failure; wider batches only add speculative
+/// attempts beyond it.
+const RACE_MAX_WIDTH: usize = 4;
+
+/// The II-attempt race width for a unit of `ops` operations in a pool of
+/// `workers` workers. 1 (sequential) unless the pool is parallel and the
+/// unit is large; results are identical either way — racing reduces
+/// lowest-II-wins, which is exactly the sequential answer.
+fn race_width_for(workers: usize, ops: usize) -> usize {
+    if workers > 1 && ops >= RACE_OP_THRESHOLD {
+        workers.min(RACE_MAX_WIDTH)
+    } else {
+        1
+    }
+}
+
 /// Schedules unit `k` of `job`.
 fn run_unit(
     job: &JobSpec,
@@ -168,11 +191,16 @@ fn run_unit(
     hashes: &[u64],
     cache: &SweepCache,
     use_cache: bool,
+    workers: usize,
 ) -> RunRecord {
     let (li, mi, ai) = job.unit(k);
     let spec = &job.loops[li];
     let machine = &job.machines[mi];
     let algorithm = job.algorithms[ai];
+    let mut cfg = job.cfg;
+    cfg.race_width = cfg
+        .race_width
+        .max(race_width_for(workers, spec.ddg.op_count()));
 
     let _span = gpsched_trace::span!(
         "engine.unit",
@@ -193,7 +221,7 @@ fn run_unit(
     // A hit can still have *blocked* on a concurrent miss computing the
     // same entry; that wait is the miss's cost, not this unit's.
     let t0 = if cache_hit { Instant::now() } else { t0 };
-    let r = schedule_loop_spec_seeded(&spec.ddg, machine, algorithm, &job.popts, &job.cfg, &seed)
+    let r = schedule_loop_spec_seeded(&spec.ddg, machine, algorithm, &job.popts, &cfg, &seed)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.ddg.name(), machine.short_name()));
     let sched_time_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
 
@@ -237,6 +265,28 @@ mod tests {
                 MachineConfig::two_cluster(32, 1, 1),
             ])
             .algorithms(Algorithm::ALL)
+    }
+
+    #[test]
+    fn race_width_only_for_large_units_in_parallel_pools() {
+        assert_eq!(race_width_for(1, 1000), 1);
+        assert_eq!(race_width_for(8, RACE_OP_THRESHOLD - 1), 1);
+        assert_eq!(race_width_for(2, RACE_OP_THRESHOLD), 2);
+        assert_eq!(race_width_for(16, RACE_OP_THRESHOLD), RACE_MAX_WIDTH);
+    }
+
+    #[test]
+    fn forced_racing_matches_serial_results() {
+        // An explicit race width in the job config races every unit's II
+        // ladder even on a one-worker pool; results must not move.
+        let mut job = small_job();
+        job.cfg.race_width = 4;
+        let forced = run_sweep(&job, &SweepOptions::serial(), None);
+        let plain = run_sweep(&small_job(), &SweepOptions::serial(), None);
+        let canon = |r: &SweepResult| -> Vec<String> {
+            r.records.iter().map(RunRecord::canonical_fields).collect()
+        };
+        assert_eq!(canon(&forced), canon(&plain));
     }
 
     #[test]

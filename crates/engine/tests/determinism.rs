@@ -95,6 +95,49 @@ fn one_worker_and_many_workers_agree() {
 }
 
 #[test]
+fn racing_is_deterministic_across_worker_counts() {
+    // Intra-unit II-attempt racing engages on large units when the pool
+    // is parallel. Whatever the race width, the reduction is
+    // lowest-II-wins — exactly the sequential answer — so the canonical
+    // sweep JSONL must be byte-identical between one worker (sequential
+    // ladders) and a contended pool (raced ladders).
+    let suite = spec_suite();
+    let mut job = JobSpec::new()
+        .machines([
+            MachineConfig::two_cluster(32, 1, 1),
+            MachineConfig::four_cluster(64, 1, 2),
+        ])
+        .algorithms([Algorithm::Gp, Algorithm::Uracam]);
+    for p in &suite {
+        for l in &p.loops {
+            if l.op_count() >= 64 {
+                job = job.loop_in(p.name.to_string(), l.clone());
+            }
+        }
+    }
+    assert!(!job.loops.is_empty(), "suite must contain large loops");
+
+    let canonical_jsonl = |r: &gpsched_engine::SweepResult| -> Vec<u8> {
+        r.records
+            .iter()
+            .map(|rec| format!("{{\"unit\":{},{}}}\n", rec.unit, rec.canonical_fields()))
+            .collect::<String>()
+            .into_bytes()
+    };
+    let serial = run_sweep(&job, &SweepOptions::serial(), None);
+    let raced = run_sweep(
+        &job,
+        &SweepOptions {
+            workers: test_workers(),
+            use_cache: true,
+            progress: false,
+        },
+        None,
+    );
+    assert_eq!(canonical_jsonl(&serial), canonical_jsonl(&raced));
+}
+
+#[test]
 fn cache_does_not_change_results() {
     let job = job();
     let cached = run_sweep(&job, &SweepOptions::serial(), None);

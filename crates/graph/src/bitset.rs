@@ -125,6 +125,28 @@ impl NodeBitSet {
         self.words.copy_from_slice(&other.words);
     }
 
+    /// Inserts every index `0..capacity`.
+    pub fn set_all(&mut self) {
+        self.words.fill(!0u64);
+        let tail = self.capacity % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// The backing words, 64 indices per word (low bit = lowest index).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the backing words. Callers must not set bits at or
+    /// above `capacity`.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Iterates over the elements in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -190,6 +212,16 @@ mod tests {
     #[should_panic(expected = "out of capacity")]
     fn out_of_range_panics() {
         NodeBitSet::new(5).contains(5);
+    }
+
+    #[test]
+    fn set_all_respects_capacity() {
+        for cap in [0usize, 1, 63, 64, 65, 130] {
+            let mut s = NodeBitSet::new(cap);
+            s.set_all();
+            assert_eq!(s.count(), cap);
+            assert_eq!(s.iter().collect::<Vec<_>>(), (0..cap).collect::<Vec<_>>());
+        }
     }
 
     #[test]

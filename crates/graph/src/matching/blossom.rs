@@ -518,9 +518,12 @@ impl Matcher {
             loop {
                 while let Some(v) = self.queue.pop() {
                     debug_assert_eq!(self.label[self.inblossom[v]], 1);
-                    let nbs = self.neighbend[v].clone();
                     let mut did_augment = false;
-                    for p in nbs {
+                    // Index-based scan: `neighbend` is immutable after
+                    // construction, and indexing per step avoids cloning
+                    // the adjacency list on every queue pop.
+                    for i in 0..self.neighbend[v].len() {
+                        let p = self.neighbend[v][i];
                         let k = p / 2;
                         let w = self.endpoint[p];
                         if self.inblossom[v] == self.inblossom[w] {

@@ -161,15 +161,20 @@ pub fn coarsen_to(finest: Level, target: usize, strategy: MatchStrategy) -> Vec<
             .edges()
             .map(|e| (e.u.index(), e.v.index(), e.weight))
             .collect();
-        let matching = strategy.run(n, &edges);
+        let matching = {
+            let _sp = gpsched_trace::span!("partition.coarsen.match", "n={n}");
+            strategy.run(n, &edges)
+        };
+        // Edges are unique per unordered pair (`UnGraph` merges parallels),
+        // so a hashed lookup resolves each matched pair's weight in O(1).
+        let weight_of: std::collections::HashMap<(usize, usize), i64> = edges
+            .iter()
+            .map(|&(a, b, w)| ((a.min(b), a.max(b)), w))
+            .collect();
         let mut pairs: Vec<(usize, usize, i64)> = matching
             .pairs()
             .map(|(u, v)| {
-                let w = edges
-                    .iter()
-                    .find(|&&(a, b, _)| (a == u && b == v) || (a == v && b == u))
-                    .map(|&(_, _, w)| w)
-                    .unwrap_or(0);
+                let w = weight_of.get(&(u.min(v), u.max(v))).copied().unwrap_or(0);
                 (u, v, w)
             })
             .collect();
@@ -190,7 +195,10 @@ pub fn coarsen_to(finest: Level, target: usize, strategy: MatchStrategy) -> Vec<
                 }
             }
         }
-        let next = contract(current, &chosen);
+        let next = {
+            let _sp = gpsched_trace::span!("partition.coarsen.contract");
+            contract(current, &chosen)
+        };
         debug_assert!(next.node_count() < n, "coarsening must make progress");
         levels.push(next);
     }

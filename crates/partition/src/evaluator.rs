@@ -16,8 +16,10 @@
 //! which runs through a reusable [`TimingWorkspace`] so the steady state
 //! allocates nothing. [`CostEvaluator::cost_if_better`] additionally
 //! screens with a cheap execution-time lower bound
-//! (`(niter−1)·max(ii_input, ResMII, IIbus) + max_path₀`) and skips the
-//! timing analysis entirely when the candidate provably cannot win.
+//! (`(niter−1)·max(ii_input, ResMII, IIbus) + max_path_lb`, where
+//! `max_path_lb` sharpens the assignment-independent `max_path₀` with the
+//! cut's own transfer delays) and skips the timing analysis entirely when
+//! the candidate provably cannot win.
 //!
 //! The evaluator is proven bit-identical to `estimate()` by a seeded
 //! property test over random move/swap/revert sequences across bus, ring
@@ -83,8 +85,37 @@ pub struct CostEvaluator<'a> {
     /// `max_path` of the bus-free DDG — a lower bound on any assignment's
     /// `max_path`, used by the screen.
     base_max_path: i64,
+    /// Per-dep longest distance-0 path *through* that dep at zero extras
+    /// (`start₀[src] + latency + tail₀[dst]`), or `i64::MIN` for deps that
+    /// cannot stretch `max_path` (loop-carried ones). Charging `extra` on
+    /// dep `e` lengthens every path through it, so
+    /// `max_path ≥ p0[e] + extra[e]` — the screen's per-candidate
+    /// sharpening of `base_max_path`.
+    p0: Vec<i64>,
+    /// The deps worth scanning for that sharpening: near-critical ones,
+    /// where even the largest transfer delay the topology can charge
+    /// (`p0[e] + max pair latency`) clears `base_max_path`. Usually a
+    /// handful, so the per-candidate screen stays O(1)-ish.
+    screen_deps: Vec<u32>,
+    /// Per-op resource kind index, resolved once (the move path would
+    /// otherwise chase the op table per moved op).
+    kind_of: Vec<u8>,
+    /// Per-dep `kind == Flow`, resolved once for the same reason.
+    is_flow: Vec<bool>,
     /// Scratch: producers whose communication contribution is in flux.
     touched: Vec<usize>,
+    /// Epoch stamps deduplicating `touched` without sorting: op `p` is
+    /// already collected iff `touch_mark[p] == touch_epoch`.
+    touch_mark: Vec<u64>,
+    touch_epoch: u64,
+    /// Epoch-stamped hypothetical assignment overlay for
+    /// [`Self::screen_moves`]: op `p` is pending a move to `move_to[p]`
+    /// iff `move_mark[p] == move_epoch`.
+    move_mark: Vec<u64>,
+    move_to: Vec<u32>,
+    move_epoch: u64,
+    /// Scratch per-cluster counts for the pre-move resource bound.
+    counts_scratch: Vec<[i64; 3]>,
     ws: TimingWorkspace,
     /// Per-channel interconnect load of those pairs (the generalized
     /// `IIbus` is its [`ChannelLoad::bound`]).
@@ -96,6 +127,32 @@ pub struct CostEvaluator<'a> {
     /// uniform p2p), that scalar; −1 for asymmetric topologies. Keeps the
     /// per-edge cut refresh a register read on the paper's machines.
     uniform_lat: i64,
+}
+
+/// Per-cluster resource MII of `counts` on `machine` (mirrors
+/// [`gpsched_ddg::mii::res_mii_clustered`]).
+///
+/// # Panics
+///
+/// Panics if a cluster with zero units of some kind holds ops of that
+/// kind.
+fn res_bound_of(machine: &MachineConfig, counts: &[[i64; 3]]) -> i64 {
+    let mut bound = 1i64;
+    for (c, per_kind) in counts.iter().enumerate() {
+        for kind in ResourceKind::ALL {
+            let ops = per_kind[kind.index()];
+            if ops == 0 {
+                continue;
+            }
+            let units = machine.cluster(c).units(kind) as i64;
+            assert!(
+                units > 0,
+                "cluster {c} has no {kind} units but is assigned {ops} such ops"
+            );
+            bound = bound.max((ops + units - 1) / units);
+        }
+    }
+    bound
 }
 
 /// The common cross-cluster latency of `machine`, or −1 when pairs
@@ -128,10 +185,37 @@ impl<'a> CostEvaluator<'a> {
         ws.prepare(ddg);
         // `max_path` does not depend on the II (only distance-0 edges
         // contribute), so probe at the always-feasible total latency.
-        let base_max_path = ws
-            .analyze(ddg, ddg.total_latency(), |_| 0)
-            .expect("total latency is always recurrence-feasible")
-            .max_path;
+        let (base_max_path, p0) = {
+            let t = ws
+                .analyze(ddg, ddg.total_latency(), |_| 0)
+                .expect("total latency is always recurrence-feasible");
+            let p0: Vec<i64> = ddg
+                .dep_ids()
+                .map(|e| {
+                    let dep = ddg.dep(e);
+                    if dep.distance != 0 {
+                        return i64::MIN;
+                    }
+                    let (s, d) = ddg.dep_endpoints(e);
+                    t.start[s.index()] + dep.latency as i64 + t.tail[d.index()]
+                })
+                .collect();
+            (t.max_path, p0)
+        };
+        let is_flow: Vec<bool> = ddg
+            .dep_ids()
+            .map(|e| ddg.dep(e).kind == DepKind::Flow)
+            .collect();
+        let max_lat = machine
+            .transfer_latency_table()
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        // Only flow deps ever carry an extra, so only they can sharpen.
+        let screen_deps: Vec<u32> = (0..p0.len())
+            .filter(|&e| is_flow[e] && p0[e] != i64::MIN && p0[e] + max_lat > base_max_path)
+            .map(|e| e as u32)
+            .collect();
         let chan = ChannelLoad::new(machine);
         let (net_occ, net_cap) = chan.uniform_single_channel().unwrap_or((0, 0));
         let mut ev = CostEvaluator {
@@ -152,7 +236,20 @@ impl<'a> CostEvaluator<'a> {
             consumers_in: Vec::new(),
             counts: Vec::new(),
             base_max_path,
+            p0,
+            screen_deps,
+            kind_of: ddg
+                .op_ids()
+                .map(|op| ddg.op(op).class.resource().index() as u8)
+                .collect(),
+            is_flow,
             touched: Vec::new(),
+            touch_mark: vec![0; ddg.op_count()],
+            touch_epoch: 0,
+            move_mark: vec![0; ddg.op_count()],
+            move_to: vec![0; ddg.op_count()],
+            move_epoch: 0,
+            counts_scratch: Vec::new(),
             ws,
         };
         let zeros = vec![0usize; ddg.op_count()];
@@ -245,6 +342,34 @@ impl<'a> CostEvaluator<'a> {
             .count()
     }
 
+    /// [`Self::comm_contrib`] under the [`Self::screen_moves`] overlay at
+    /// epoch `ep`: `p`'s consumer clusters are recounted from its flow
+    /// out-edges with pending moves applied. O(out-degree), read-only.
+    fn comm_contrib_overlay(&self, p: usize, ep: u64) -> usize {
+        let at = |op: usize| -> usize {
+            if self.move_mark[op] == ep {
+                self.move_to[op] as usize
+            } else {
+                self.assign[op]
+            }
+        };
+        let home = at(p);
+        let mut mask: u64 = 0;
+        for (e, d) in self
+            .ddg
+            .graph()
+            .out_edges(gpsched_graph::NodeId::from_index(p))
+        {
+            if self.is_flow[e.index()] {
+                let c = at(d.index());
+                if c != home {
+                    mask |= 1 << c;
+                }
+            }
+        }
+        mask.count_ones() as usize
+    }
+
     /// The interconnect-imposed II bound of the current communication —
     /// the generalized `IIbus`. On uniform single-channel topologies (the
     /// paper's bus) it is a closed form over the resident `NComm`, so the
@@ -286,50 +411,88 @@ impl<'a> CostEvaluator<'a> {
     ///
     /// Panics if `op` or `cluster` is out of range.
     pub fn apply(&mut self, op: usize, cluster: usize) {
-        assert!(cluster < self.nclusters, "cluster out of range");
-        let old = self.assign[op];
-        if old == cluster {
-            return;
-        }
-        let opid = gpsched_graph::NodeId::from_index(op);
-        let k = self.ddg.op(opid).class.resource().index();
-        self.counts[old][k] -= 1;
-        self.counts[cluster][k] += 1;
+        self.apply_many(std::slice::from_ref(&op), cluster);
+    }
 
-        // Producers whose (producer, consumer-cluster) set shifts: the
-        // op itself (its home cluster changes) and its flow producers
-        // (their consumer moved).
+    /// Moves every op in `ops` to `cluster` — equivalent to applying them
+    /// one by one (the resident state is a pure function of the
+    /// assignment), but the communication recount and cut refreshes are
+    /// shared across the batch. This is what refinement moves of coarse
+    /// macro-nodes (whole member sets at once) go through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op or `cluster` is out of range.
+    pub fn apply_many(&mut self, ops: &[usize], cluster: usize) {
+        assert!(cluster < self.nclusters, "cluster out of range");
+        // Producers whose (producer, consumer-cluster) set may shift: the
+        // moving ops (their home cluster changes) and their flow producers
+        // (a consumer moves). Epoch stamps deduplicate without sorting.
+        self.touch_epoch += 1;
+        let ep = self.touch_epoch;
         self.touched.clear();
-        self.touched.push(op);
-        for (e, p) in self.ddg.graph().in_edges(opid) {
-            if self.ddg.dep(e).kind == DepKind::Flow {
-                self.touched.push(p.index());
+        for &op in ops {
+            if self.assign[op] == cluster {
+                continue;
+            }
+            if self.touch_mark[op] != ep {
+                self.touch_mark[op] = ep;
+                self.touched.push(op);
+            }
+            for (e, p) in self
+                .ddg
+                .graph()
+                .in_edges(gpsched_graph::NodeId::from_index(op))
+            {
+                if self.is_flow[e.index()] && self.touch_mark[p.index()] != ep {
+                    self.touch_mark[p.index()] = ep;
+                    self.touched.push(p.index());
+                }
             }
         }
-        self.touched.sort_unstable();
-        self.touched.dedup();
+        if self.touched.is_empty() {
+            return; // every move was a no-op
+        }
         for i in 0..self.touched.len() {
             self.comm_count -= self.comm_contrib(self.touched[i]);
         }
-        for (e, p) in self.ddg.graph().in_edges(opid) {
-            if self.ddg.dep(e).kind == DepKind::Flow {
-                self.consumers_in[p.index() * self.nclusters + old] -= 1;
-                self.consumers_in[p.index() * self.nclusters + cluster] += 1;
+        for &op in ops {
+            let old = self.assign[op];
+            if old == cluster {
+                continue;
             }
+            let k = self.kind_of[op] as usize;
+            self.counts[old][k] -= 1;
+            self.counts[cluster][k] += 1;
+            for (e, p) in self
+                .ddg
+                .graph()
+                .in_edges(gpsched_graph::NodeId::from_index(op))
+            {
+                if self.is_flow[e.index()] {
+                    self.consumers_in[p.index() * self.nclusters + old] -= 1;
+                    self.consumers_in[p.index() * self.nclusters + cluster] += 1;
+                }
+            }
+            self.assign[op] = cluster;
         }
-        self.assign[op] = cluster;
         for i in 0..self.touched.len() {
             self.comm_count += self.comm_contrib(self.touched[i]);
         }
 
-        // Cut status of incident deps (self-loops handled once, in the
-        // in-edge pass; they are never cut).
-        for (e, p) in self.ddg.graph().in_edges(opid) {
-            self.refresh_cut(e.index(), p.index(), op);
-        }
-        for (e, d) in self.ddg.graph().out_edges(opid) {
-            if d.index() != op {
-                self.refresh_cut(e.index(), op, d.index());
+        // Cut status of incident deps, refreshed once every assignment has
+        // settled (edges inside the batch come up twice; the refresh is
+        // idempotent). Self-loops are handled once, in the in-edge pass;
+        // they are never cut.
+        for &op in ops {
+            let opid = gpsched_graph::NodeId::from_index(op);
+            for (e, p) in self.ddg.graph().in_edges(opid) {
+                self.refresh_cut(e.index(), p.index(), op);
+            }
+            for (e, d) in self.ddg.graph().out_edges(opid) {
+                if d.index() != op {
+                    self.refresh_cut(e.index(), op, d.index());
+                }
             }
         }
     }
@@ -346,8 +509,7 @@ impl<'a> CostEvaluator<'a> {
                 self.cut_size -= 1;
             }
         }
-        let dep_id = gpsched_graph::EdgeId::from_index(e);
-        self.extra[e] = if now && self.ddg.dep(dep_id).kind == DepKind::Flow {
+        self.extra[e] = if now && self.is_flow[e] {
             if self.uniform_lat >= 0 {
                 self.uniform_lat
             } else {
@@ -366,22 +528,7 @@ impl<'a> CostEvaluator<'a> {
     /// Panics if a cluster with zero units of some kind holds ops of that
     /// kind.
     fn res_bound(&self) -> i64 {
-        let mut bound = 1i64;
-        for (c, per_kind) in self.counts.iter().enumerate() {
-            for kind in ResourceKind::ALL {
-                let ops = per_kind[kind.index()];
-                if ops == 0 {
-                    continue;
-                }
-                let units = self.machine.cluster(c).units(kind) as i64;
-                assert!(
-                    units > 0,
-                    "cluster {c} has no {kind} units but is assigned {ops} such ops"
-                );
-                bound = bound.max((ops + units - 1) / units);
-            }
-        }
-        bound
+        res_bound_of(self.machine, &self.counts)
     }
 
     /// The exact [`PartitionCost`] of the current assignment — bit-identical
@@ -391,15 +538,29 @@ impl<'a> CostEvaluator<'a> {
     pub fn cost(&mut self) -> PartitionCost {
         let ii_bus = self.interconnect_bound();
         let lower = self.ii_input.max(self.res_bound()).max(ii_bus);
+        let ii = self.probe_ii(lower);
+        self.assemble(ii_bus, ii)
+    }
+
+    /// First feasible II at or above `lower` for the resident cut, probing
+    /// with the forward-only analysis (the slack half stays pending until
+    /// [`Self::assemble`] needs it).
+    fn probe_ii(&mut self, lower: i64) -> i64 {
         let mut ii = lower;
         let (ws, extra, ddg) = (&mut self.ws, &self.extra, self.ddg);
         loop {
-            if ws.analyze(ddg, ii, |e| extra[e.index()]).is_some() {
-                break;
+            if ws.analyze_exec(ddg, ii, |e| extra[e.index()]).is_some() {
+                return ii;
             }
             ii += 1;
         }
-        let t = ws.last();
+    }
+
+    /// Builds the [`PartitionCost`] for the analysis [`Self::probe_ii`]
+    /// left resident, completing its slack half on demand.
+    fn assemble(&mut self, ii_bus: i64, ii: i64) -> PartitionCost {
+        self.ws.complete_slack();
+        let t = self.ws.last();
         let cut_slack: i64 = self
             .cut
             .iter()
@@ -412,7 +573,7 @@ impl<'a> CostEvaluator<'a> {
             ii_bus,
             ii_effective: ii,
             max_path: t.max_path,
-            exec_time: ddg.execution_time(ii, t.max_path),
+            exec_time: self.ddg.execution_time(ii, t.max_path),
             cut_slack,
             cut_size: self.cut_size,
         }
@@ -421,18 +582,129 @@ impl<'a> CostEvaluator<'a> {
     /// [`CostEvaluator::cost`], but screened: returns the cost only when the
     /// current assignment is strictly [better than](PartitionCost::better_than)
     /// `than`, and skips the timing analysis whenever the cheap lower bound
-    /// `(niter−1)·max(ii_input, ResMII, IIbus) + max_path₀` already exceeds
-    /// `than.exec_time` (the candidate then cannot win: its `exec_time` is
-    /// at least the bound).
+    /// `(niter−1)·max(ii_input, ResMII, IIbus) + max_path_lb` already
+    /// exceeds `than.exec_time` (the candidate then cannot win: its
+    /// `exec_time` is at least the bound). `max_path_lb` sharpens the
+    /// assignment-independent `max_path₀` with the resident cut's transfer
+    /// delays: every extra charged on a distance-0 dep lengthens the paths
+    /// through it, so `max_path ≥ p0[e] + extra[e]` for each such dep.
     pub fn cost_if_better(&mut self, than: &PartitionCost) -> Option<PartitionCost> {
         let ii_bus = self.interconnect_bound();
         let lower = self.ii_input.max(self.res_bound()).max(ii_bus);
-        if self.ddg.execution_time(lower, self.base_max_path) > than.exec_time {
+        let mut max_path_lb = self.base_max_path;
+        for &e in &self.screen_deps {
+            let x = self.extra[e as usize];
+            if x > 0 {
+                max_path_lb = max_path_lb.max(self.p0[e as usize] + x);
+            }
+        }
+        if self.ddg.execution_time(lower, max_path_lb) > than.exec_time {
             gpsched_trace::counter!("partition.screen_rejected");
             return None;
         }
-        let cost = self.cost();
+        // Forward-only probe: when the exact execution time already loses,
+        // the lexicographic comparison is decided and the reverse solve
+        // behind the slack tiebreak never runs.
+        let ii = self.probe_ii(lower);
+        if self.ddg.execution_time(ii, self.ws.last().max_path) > than.exec_time {
+            gpsched_trace::counter!("partition.exec_rejected");
+            return None;
+        }
+        let cost = self.assemble(ii_bus, ii);
         cost.better_than(than).then_some(cost)
+    }
+
+    /// Pre-move screen: `true` when applying the given move batches
+    /// (each `(member ops, destination cluster)`) provably cannot beat
+    /// `than` — decided from a hypothetical-assignment overlay, without
+    /// touching the resident state. The bound is the
+    /// [`Self::cost_if_better`] screen minus its `IIbus` term (the
+    /// post-move communication count is exactly what applying computes),
+    /// so every rejection here would also be rejected there; callers can
+    /// skip the whole apply/evaluate/revert cycle for them.
+    pub fn screen_moves<'m>(
+        &mut self,
+        moves: impl IntoIterator<Item = (&'m [usize], usize)>,
+        than: &PartitionCost,
+    ) -> bool {
+        self.move_epoch += 1;
+        let ep = self.move_epoch;
+        self.counts_scratch.clone_from(&self.counts);
+        self.touched.clear();
+        for (ops, cluster) in moves {
+            debug_assert!(cluster < self.nclusters, "cluster out of range");
+            for &op in ops {
+                self.move_mark[op] = ep;
+                self.move_to[op] = cluster as u32;
+                let old = self.assign[op];
+                if old != cluster {
+                    let k = self.kind_of[op] as usize;
+                    self.counts_scratch[old][k] -= 1;
+                    self.counts_scratch[cluster][k] += 1;
+                    self.touched.push(op);
+                }
+            }
+        }
+        // Interconnect term: only the moving ops and their flow producers
+        // can change communication, so the post-move `NComm` is the
+        // resident count with their contributions swapped for a recount
+        // under the overlay. Exact on uniform single-channel machines —
+        // there the pre-screen is exactly as strong as the post-apply one.
+        let ii_bus_lb = if self.net_cap > 0 && self.nclusters <= 64 {
+            let mut comm = self.comm_count;
+            self.touch_epoch += 1;
+            let tep = self.touch_epoch;
+            for i in 0..self.touched.len() {
+                let op = self.touched[i];
+                if self.touch_mark[op] != tep {
+                    self.touch_mark[op] = tep;
+                    comm = comm - self.comm_contrib(op) + self.comm_contrib_overlay(op, ep);
+                }
+                for (e, p) in self
+                    .ddg
+                    .graph()
+                    .in_edges(gpsched_graph::NodeId::from_index(op))
+                {
+                    if self.is_flow[e.index()] && self.touch_mark[p.index()] != tep {
+                        self.touch_mark[p.index()] = tep;
+                        comm = comm - self.comm_contrib(p.index())
+                            + self.comm_contrib_overlay(p.index(), ep);
+                    }
+                }
+            }
+            ((comm as i64 * self.net_occ + self.net_cap - 1) / self.net_cap).max(1)
+        } else {
+            1
+        };
+        let lower = self
+            .ii_input
+            .max(res_bound_of(self.machine, &self.counts_scratch))
+            .max(ii_bus_lb);
+        let cluster_of = |op: usize| -> usize {
+            if self.move_mark[op] == ep {
+                self.move_to[op] as usize
+            } else {
+                self.assign[op]
+            }
+        };
+        let mut max_path_lb = self.base_max_path;
+        for &e in &self.screen_deps {
+            let (s, d) = self
+                .ddg
+                .dep_endpoints(gpsched_graph::EdgeId::from_index(e as usize));
+            let (cs, cd) = (cluster_of(s.index()), cluster_of(d.index()));
+            if cs != cd {
+                let x = if self.uniform_lat >= 0 {
+                    self.uniform_lat
+                } else {
+                    self.pair_lat[cs * self.nclusters + cd]
+                };
+                if x > 0 {
+                    max_path_lb = max_path_lb.max(self.p0[e as usize] + x);
+                }
+            }
+        }
+        self.ddg.execution_time(lower, max_path_lb) > than.exec_time
     }
 }
 

@@ -105,6 +105,7 @@ pub fn partition_ddg_with(
         &mut assign,
         &options.refine,
         ev,
+        None,
     );
     for idx in (0..levels.len() - 1).rev() {
         let finer = &levels[idx];
@@ -118,6 +119,8 @@ pub fn partition_ddg_with(
             finer_assign[node] = assign[op_to_coarse[op]];
         }
         assign = finer_assign;
+        // The projection leaves the op-level assignment unchanged, so the
+        // previous level's final cost is this level's entry cost.
         cost = refine_level(
             ddg,
             machine,
@@ -126,6 +129,7 @@ pub fn partition_ddg_with(
             &mut assign,
             &options.refine,
             ev,
+            Some(cost),
         );
     }
 

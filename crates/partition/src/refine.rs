@@ -187,7 +187,12 @@ pub fn balance_pass(
 /// Returns the cost of the final assignment.
 ///
 /// `ev` must belong to the same DDG/machine pair; it is reloaded with
-/// `assign` on entry and left holding the final assignment.
+/// `assign` on entry and left holding the final assignment. `prev`, when
+/// given, must be the exact cost of the entry assignment at `ii_input` as
+/// this evaluator computed it — the multilevel driver's projection leaves
+/// the op-level assignment unchanged between levels, so the entry
+/// reload-and-recost is skipped whenever the evaluator still holds it.
+#[allow(clippy::too_many_arguments)]
 pub fn cut_pass(
     ddg: &Ddg,
     machine: &MachineConfig,
@@ -196,6 +201,7 @@ pub fn cut_pass(
     assign: &mut [usize],
     opts: &RefineOptions,
     ev: &mut CostEvaluator<'_>,
+    prev: Option<PartitionCost>,
 ) -> PartitionCost {
     assert!(
         ev.is_for(ddg, machine),
@@ -203,8 +209,17 @@ pub fn cut_pass(
     );
     let usage = node_usage(ddg, level);
     let nclusters = machine.cluster_count();
-    ev.reset(ii_input, &expand(level, assign));
-    let mut current = ev.cost();
+    let expanded = expand(level, assign);
+    let mut current = match prev {
+        Some(cost) if ev.ii_input() == ii_input && ev.assignment() == &expanded[..] => {
+            debug_assert_eq!(cost, ev.cost(), "stale entry cost passed to cut_pass");
+            cost
+        }
+        _ => {
+            ev.reset(ii_input, &expanded);
+            ev.cost()
+        }
+    };
     let mut moves = 0usize;
 
     // Buffers hoisted out of the move loop.
@@ -235,19 +250,27 @@ pub fn cut_pass(
              ev: &mut CostEvaluator<'_>,
              best: &mut Option<(Vec<(usize, usize)>, PartitionCost)>| {
                 gpsched_trace::counter!("partition.moves_evaluated");
+                let threshold = best.as_ref().map_or(&current, |(_, b)| b);
+                // Pre-move screen: candidates that provably cannot win are
+                // rejected before the member deltas are even applied.
+                if ev.screen_moves(
+                    changes
+                        .iter()
+                        .map(|&(v, c)| (level.members[v].as_slice(), c)),
+                    threshold,
+                ) {
+                    gpsched_trace::counter!("partition.screen_rejected");
+                    gpsched_trace::counter!("partition.prescreen_hit");
+                    return;
+                }
                 saved.clear();
                 saved.extend(changes.iter().map(|&(v, _)| assign[v]));
                 for &(v, c) in changes {
-                    for &op in &level.members[v] {
-                        ev.apply(op, c);
-                    }
+                    ev.apply_many(&level.members[v], c);
                 }
-                let threshold = best.as_ref().map_or(&current, |(_, b)| b);
                 let cost = ev.cost_if_better(threshold);
                 for (&(v, _), &old) in changes.iter().zip(saved.iter()) {
-                    for &op in &level.members[v] {
-                        ev.apply(op, old);
-                    }
+                    ev.apply_many(&level.members[v], old);
                 }
                 if let Some(cost) = cost {
                     *best = Some((changes.to_vec(), cost));
@@ -316,9 +339,7 @@ pub fn cut_pass(
             Some((chosen, cost)) => {
                 for (v, c) in chosen {
                     assign[v] = c;
-                    for &op in &level.members[v] {
-                        ev.apply(op, c);
-                    }
+                    ev.apply_many(&level.members[v], c);
                 }
                 current = cost;
                 moves += 1;
@@ -331,7 +352,10 @@ pub fn cut_pass(
 }
 
 /// Full refinement of one level: balance, then cut impact. The evaluator
-/// carries the timing workspace and cut state across levels and calls.
+/// carries the timing workspace and cut state across levels and calls;
+/// `prev` (the previous level's final cost, when the assignment projected
+/// through unchanged) lets the cut pass skip its entry re-evaluation.
+#[allow(clippy::too_many_arguments)]
 pub fn refine_level(
     ddg: &Ddg,
     machine: &MachineConfig,
@@ -340,13 +364,15 @@ pub fn refine_level(
     assign: &mut [usize],
     opts: &RefineOptions,
     ev: &mut CostEvaluator<'_>,
+    prev: Option<PartitionCost>,
 ) -> PartitionCost {
     let _span = gpsched_trace::span!("partition.refine", "nodes={}", level.node_count());
-    if opts.balance {
-        balance_pass(ddg, machine, ii_input, level, assign, opts.max_moves);
+    let mut prev = prev;
+    if opts.balance && balance_pass(ddg, machine, ii_input, level, assign, opts.max_moves) > 0 {
+        prev = None; // the assignment changed under the carried cost
     }
     if opts.cut {
-        cut_pass(ddg, machine, ii_input, level, assign, opts, ev)
+        cut_pass(ddg, machine, ii_input, level, assign, opts, ev, prev)
     } else {
         ev.reset(ii_input, &expand(level, assign));
         ev.cost()
@@ -431,6 +457,7 @@ mod tests {
             &mut assign,
             &RefineOptions::default(),
             &mut ev,
+            None,
         );
         assert!(cost.better_than(&before));
         assert_eq!(cost.comm_count, 1);
@@ -456,6 +483,7 @@ mod tests {
                 &mut assign,
                 &RefineOptions::default(),
                 &mut ev,
+                None,
             );
             assert!(
                 !before.better_than(&after),
@@ -493,6 +521,7 @@ mod tests {
             &mut assign,
             &RefineOptions::default(),
             &mut ev,
+            None,
         );
         assert!(!before.better_than(&after));
     }

@@ -42,6 +42,14 @@ pub fn edge_weights(ddg: &Ddg, machine: &MachineConfig, ii_input: i64) -> Vec<i6
     // Only edges inside a strongly connected component can change RecMII.
     let (_, comp) = component_index(ddg.graph());
 
+    // One prepared kernel serves every per-edge probe: bump the probed
+    // edge's weight base by the bus latency, search, restore. Successive
+    // recurrence edges tend to share an answer, so each search is seeded
+    // with the previous one's result.
+    let mut kernel =
+        gpsched_graph::feasibility::BfKernel::build(ddg.op_count(), &ddg.constraint_deps(|_| 0));
+    let mut last_rec_after = None;
+
     ddg.dep_ids()
         .map(|e| {
             let (s, d) = ddg.dep_endpoints(e);
@@ -51,14 +59,12 @@ pub fn edge_weights(ddg: &Ddg, machine: &MachineConfig, ii_input: i64) -> Vec<i6
             // adding `bus_lat` to one edge raises RecMII by at most
             // `bus_lat`, which tightly bounds the search).
             let ii_after = if comp[s.index()] == comp[d.index()] {
-                let deps = ddg.constraint_deps(|x| if x == e { bus_lat } else { 0 });
-                let rec_after = gpsched_graph::feasibility::min_feasible_ii(
-                    ddg.op_count(),
-                    &deps,
-                    rec_base,
-                    rec_base + bus_lat,
-                )
-                .expect("RecMII grows by at most the added delay");
+                kernel.add_extra(e.index(), bus_lat);
+                let rec_after = kernel
+                    .min_feasible_ii(rec_base, rec_base + bus_lat, last_rec_after)
+                    .expect("RecMII grows by at most the added delay");
+                kernel.add_extra(e.index(), -bus_lat);
+                last_rec_after = Some(rec_after);
                 ii_input.max(rec_after)
             } else {
                 ii_base

@@ -35,6 +35,14 @@ pub struct DriverConfig {
     pub merit_threshold: f64,
     /// Hard II cap; `None` derives `4·MII + 64` per loop.
     pub ii_cap: Option<i64>,
+    /// Number of II attempts probed concurrently once the first attempt
+    /// has failed (1 = fully sequential). An attempt is a pure function
+    /// of `(ddg, machine, ii, partition)` and the raced ladder stops at
+    /// re-partitioning boundaries, so the lowest feasible II of a raced
+    /// batch is exactly the II the sequential loop returns — any width
+    /// yields bit-identical schedules, wider just burns idle cores to
+    /// finish hard loops sooner.
+    pub race_width: usize,
 }
 
 impl Default for DriverConfig {
@@ -42,6 +50,7 @@ impl Default for DriverConfig {
         DriverConfig {
             merit_threshold: crate::merit::DEFAULT_THRESHOLD,
             ii_cap: None,
+            race_width: 1,
         }
     }
 }

@@ -11,11 +11,32 @@
 use crate::mrt::slot;
 
 /// Per-cluster live-value counts per kernel slot.
-#[derive(Clone, Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct PressureTable {
     ii: i64,
     caps: Vec<i64>,
-    live: Vec<Vec<i64>>,
+    /// Row-major live counts, `live[cluster · II + slot]`. One flat vector
+    /// instead of per-cluster rows: the table clones on the scheduler's
+    /// clone-per-trial placement path, and a flat row costs one allocation.
+    live: Vec<i64>,
+}
+
+impl Clone for PressureTable {
+    fn clone(&self) -> Self {
+        PressureTable {
+            ii: self.ii,
+            caps: self.caps.clone(),
+            live: self.live.clone(),
+        }
+    }
+
+    /// Reuses both buffers; the clone-per-trial placement path recycles
+    /// tables through a state pool, making this the hot path.
+    fn clone_from(&mut self, source: &Self) {
+        self.ii = source.ii;
+        self.caps.clone_from(&source.caps);
+        self.live.clone_from(&source.live);
+    }
 }
 
 impl PressureTable {
@@ -31,12 +52,14 @@ impl PressureTable {
         PressureTable {
             ii,
             caps,
-            live: vec![vec![0; ii as usize]; n],
+            live: vec![0; n * ii as usize],
         }
     }
 
     /// An empty zero-cluster placeholder (allocates nothing); used to move
-    /// a real table out of a schedule while it is rebuilt in place.
+    /// a real table out of a schedule while the debug-build reference
+    /// rebuild recomputes it in place.
+    #[cfg(debug_assertions)]
     pub(crate) fn empty() -> Self {
         PressureTable {
             ii: 1,
@@ -47,9 +70,7 @@ impl PressureTable {
 
     /// Zeroes every lifetime row, keeping capacities and allocations.
     pub fn reset(&mut self) {
-        for row in &mut self.live {
-            row.fill(0);
-        }
+        self.live.fill(0);
     }
 
     /// Registers the lifetime `[def, last_use]` in `cluster`.
@@ -72,7 +93,8 @@ impl PressureTable {
         let len = last_use - def + 1;
         let base = len / self.ii;
         let rem = (len % self.ii) as usize;
-        let row = &mut self.live[cluster];
+        let ii = self.ii as usize;
+        let row = &mut self.live[cluster * ii..(cluster + 1) * ii];
         if base > 0 {
             for v in row.iter_mut() {
                 *v += sign * base;
@@ -87,7 +109,12 @@ impl PressureTable {
 
     /// `MaxLive` of `cluster`: the registers the current lifetimes need.
     pub fn max_live(&self, cluster: usize) -> i64 {
-        self.live[cluster].iter().copied().max().unwrap_or(0)
+        let ii = self.ii as usize;
+        self.live[cluster * ii..(cluster + 1) * ii]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Register capacity of `cluster`.
@@ -147,7 +174,7 @@ mod tests {
     fn negative_times_wrap() {
         let mut p = PressureTable::new(vec![4], 4);
         p.add(0, -2, -1); // slots 2,3
-        assert_eq!(p.live[0], vec![0, 0, 1, 1]);
+        assert_eq!(p.live, vec![0, 0, 1, 1]);
     }
 
     #[test]
@@ -167,6 +194,6 @@ mod tests {
     fn exact_multiple_of_ii() {
         let mut p = PressureTable::new(vec![8], 4);
         p.add(0, 0, 7); // len 8 = 2·II → exactly 2 everywhere
-        assert_eq!(p.live[0], vec![2, 2, 2, 2]);
+        assert_eq!(p.live, vec![2, 2, 2, 2]);
     }
 }

@@ -13,11 +13,33 @@ pub fn slot(t: i64, ii: i64) -> usize {
 }
 
 /// Reservation table of one cluster's functional units at a fixed II.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ClusterMrt {
     ii: i64,
     caps: [u32; 3],
-    used: [Vec<u32>; 3],
+    /// Row-major usage counts, `used[kind · II + slot]`. Flat so that the
+    /// clone-per-trial placement path pays one allocation per cluster
+    /// rather than one per resource kind.
+    used: Vec<u32>,
+}
+
+impl Clone for ClusterMrt {
+    fn clone(&self) -> Self {
+        ClusterMrt {
+            ii: self.ii,
+            caps: self.caps,
+            used: self.used.clone(),
+        }
+    }
+
+    /// `clone_from` reuses the existing `used` buffer — the placement path
+    /// recycles schedule states through a pool, so this runs far more often
+    /// than `clone`.
+    fn clone_from(&mut self, source: &Self) {
+        self.ii = source.ii;
+        self.caps = source.caps;
+        self.used.clone_from(&source.used);
+    }
 }
 
 impl ClusterMrt {
@@ -36,11 +58,7 @@ impl ClusterMrt {
         ClusterMrt {
             ii,
             caps,
-            used: [
-                vec![0; ii as usize],
-                vec![0; ii as usize],
-                vec![0; ii as usize],
-            ],
+            used: vec![0; 3 * ii as usize],
         }
     }
 
@@ -52,7 +70,7 @@ impl ClusterMrt {
     /// Units of `kind` still free at the slot of absolute time `t`.
     pub fn free_at(&self, kind: ResourceKind, t: i64) -> u32 {
         let k = kind.index();
-        self.caps[k] - self.used[k][slot(t, self.ii)]
+        self.caps[k] - self.used[k * self.ii as usize + slot(t, self.ii)]
     }
 
     /// Reserves one unit of `kind` at time `t`.
@@ -63,8 +81,9 @@ impl ClusterMrt {
     pub fn place(&mut self, kind: ResourceKind, t: i64) {
         let k = kind.index();
         let s = slot(t, self.ii);
-        assert!(self.used[k][s] < self.caps[k], "slot {s} of {kind} full");
-        self.used[k][s] += 1;
+        let u = &mut self.used[k * self.ii as usize + s];
+        assert!(*u < self.caps[k], "slot {s} of {kind} full");
+        *u += 1;
     }
 
     /// Releases one unit of `kind` at time `t`.
@@ -75,11 +94,9 @@ impl ClusterMrt {
     pub fn remove(&mut self, kind: ResourceKind, t: i64) {
         let k = kind.index();
         let s = slot(t, self.ii);
-        assert!(
-            self.used[k][s] > 0,
-            "nothing reserved at slot {s} of {kind}"
-        );
-        self.used[k][s] -= 1;
+        let u = &mut self.used[k * self.ii as usize + s];
+        assert!(*u > 0, "nothing reserved at slot {s} of {kind}");
+        *u -= 1;
     }
 
     /// Total slots of `kind` per kernel window (`units × II`).
@@ -89,7 +106,12 @@ impl ClusterMrt {
 
     /// Slots of `kind` currently used.
     pub fn used_slots(&self, kind: ResourceKind) -> i64 {
-        self.used[kind.index()].iter().map(|&u| u as i64).sum()
+        let k = kind.index();
+        let ii = self.ii as usize;
+        self.used[k * ii..(k + 1) * ii]
+            .iter()
+            .map(|&u| u as i64)
+            .sum()
     }
 
     /// Free slots of `kind`.
@@ -116,12 +138,30 @@ impl ClusterMrt {
 /// [`gpsched_machine::Interconnect`] variant (bus count, p2p channels,
 /// ring links per hop) — is a single scalar: cloning costs one
 /// allocation, exactly like the single-bus table it replaced.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ChannelTable {
     ii: i64,
     nch: u32,
     cap: u32,
     used: Vec<u32>,
+}
+
+impl Clone for ChannelTable {
+    fn clone(&self) -> Self {
+        ChannelTable {
+            ii: self.ii,
+            nch: self.nch,
+            cap: self.cap,
+            used: self.used.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.ii = source.ii;
+        self.nch = source.nch;
+        self.cap = source.cap;
+        self.used.clone_from(&source.used);
+    }
 }
 
 impl ChannelTable {

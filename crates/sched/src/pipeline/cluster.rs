@@ -33,6 +33,25 @@ pub struct PlaceCtx<'c, 'a> {
     pub merit_threshold: f64,
 }
 
+/// Recycled trial states. Rejected candidate clones are parked here and
+/// refreshed with `clone_from` (which reuses their allocations) instead of
+/// being dropped and re-cloned from scratch — the placement path tries
+/// several (cluster, cycle) candidates per op, so after warm-up an attempt
+/// allocates nothing per trial.
+pub type StatePool<'a> = Vec<PartialSchedule<'a>>;
+
+/// A trial copy of `ps`: a recycled pool state refreshed in place, or a
+/// fresh clone while the pool warms up.
+fn acquire<'a>(pool: &mut StatePool<'a>, ps: &PartialSchedule<'a>) -> PartialSchedule<'a> {
+    match pool.pop() {
+        Some(mut s) => {
+            s.clone_from(ps);
+            s
+        }
+        None => ps.clone(),
+    }
+}
+
 /// Chooses the cluster of every placement and governs the partition's
 /// lifecycle across II growth.
 pub trait ClusterPolicy: std::fmt::Debug + Send + Sync {
@@ -43,8 +62,13 @@ pub trait ClusterPolicy: std::fmt::Debug + Send + Sync {
 
     /// Places `ctx.op` at one of `ctx.times` in some cluster, returning
     /// the committed clone of the schedule, or `None` if no cluster
-    /// admits the op (the driver then grows the II).
-    fn place<'a>(&self, ctx: &PlaceCtx<'_, 'a>) -> Option<PartialSchedule<'a>>;
+    /// admits the op (the driver then grows the II). Rejected trial
+    /// states go back into `pool` for reuse.
+    fn place<'a>(
+        &self,
+        ctx: &PlaceCtx<'_, 'a>,
+        pool: &mut StatePool<'a>,
+    ) -> Option<PartialSchedule<'a>>;
 
     /// Whether the partition should be recomputed after the II grew to
     /// `ii`. Only consulted for partition-carrying policies. The default
@@ -61,15 +85,18 @@ pub(crate) fn try_cluster<'a>(
     op: OpId,
     cluster: usize,
     times: &[i64],
+    pool: &mut StatePool<'a>,
 ) -> Option<(PartialSchedule<'a>, Placement)> {
     for &t in times {
         if ps.quick_reject(op, cluster, t) {
             continue;
         }
-        let mut clone = ps.clone();
+        gpsched_trace::counter!("sched.place_trials");
+        let mut clone = acquire(pool, ps);
         if clone.place(op, cluster, t).is_ok() {
             return Some((clone, Placement { cluster, time: t }));
         }
+        pool.push(clone);
     }
     None
 }
@@ -110,17 +137,22 @@ pub(crate) fn pick_by_merit<'a>(
     clusters: impl Iterator<Item = usize>,
     nclusters: usize,
     threshold: f64,
+    pool: &mut StatePool<'a>,
 ) -> Option<PartialSchedule<'a>> {
     let mut best: Option<(Merit, PartialSchedule<'a>)> = None;
     for c in clusters {
-        if let Some((cand, _)) = try_cluster(ps, op, c, times) {
+        if let Some((cand, _)) = try_cluster(ps, op, c, times, pool) {
             let m = merit_of(ps, &cand, nclusters);
             let better = match &best {
                 None => true,
                 Some((bm, _)) => m.better_than(bm, threshold),
             };
             if better {
-                best = Some((m, cand));
+                if let Some((_, old)) = best.replace((m, cand)) {
+                    pool.push(old);
+                }
+            } else {
+                pool.push(cand);
             }
         }
     }
@@ -136,7 +168,11 @@ impl ClusterPolicy for MeritAllClusters {
         false
     }
 
-    fn place<'a>(&self, ctx: &PlaceCtx<'_, 'a>) -> Option<PartialSchedule<'a>> {
+    fn place<'a>(
+        &self,
+        ctx: &PlaceCtx<'_, 'a>,
+        pool: &mut StatePool<'a>,
+    ) -> Option<PartialSchedule<'a>> {
         pick_by_merit(
             ctx.ps,
             ctx.op,
@@ -144,6 +180,7 @@ impl ClusterPolicy for MeritAllClusters {
             0..ctx.nclusters,
             ctx.nclusters,
             ctx.merit_threshold,
+            pool,
         )
     }
 }
@@ -160,8 +197,13 @@ impl ClusterPolicy for GreedyFirstFit {
         false
     }
 
-    fn place<'a>(&self, ctx: &PlaceCtx<'_, 'a>) -> Option<PartialSchedule<'a>> {
-        (0..ctx.nclusters).find_map(|c| try_cluster(ctx.ps, ctx.op, c, ctx.times).map(|(s, _)| s))
+    fn place<'a>(
+        &self,
+        ctx: &PlaceCtx<'_, 'a>,
+        pool: &mut StatePool<'a>,
+    ) -> Option<PartialSchedule<'a>> {
+        (0..ctx.nclusters)
+            .find_map(|c| try_cluster(ctx.ps, ctx.op, c, ctx.times, pool).map(|(s, _)| s))
     }
 }
 
@@ -174,9 +216,20 @@ impl ClusterPolicy for PartitionOnly {
         true
     }
 
-    fn place<'a>(&self, ctx: &PlaceCtx<'_, 'a>) -> Option<PartialSchedule<'a>> {
+    fn place<'a>(
+        &self,
+        ctx: &PlaceCtx<'_, 'a>,
+        pool: &mut StatePool<'a>,
+    ) -> Option<PartialSchedule<'a>> {
         let part = ctx.partition.expect("partition-driven policy");
-        try_cluster(ctx.ps, ctx.op, part.cluster_of(ctx.op.index()), ctx.times).map(|(s, _)| s)
+        try_cluster(
+            ctx.ps,
+            ctx.op,
+            part.cluster_of(ctx.op.index()),
+            ctx.times,
+            pool,
+        )
+        .map(|(s, _)| s)
     }
 }
 
@@ -217,10 +270,14 @@ impl ClusterPolicy for PartitionFirst {
         true
     }
 
-    fn place<'a>(&self, ctx: &PlaceCtx<'_, 'a>) -> Option<PartialSchedule<'a>> {
+    fn place<'a>(
+        &self,
+        ctx: &PlaceCtx<'_, 'a>,
+        pool: &mut StatePool<'a>,
+    ) -> Option<PartialSchedule<'a>> {
         let part = ctx.partition.expect("partition-driven policy");
         let home = part.cluster_of(ctx.op.index());
-        match try_cluster(ctx.ps, ctx.op, home, ctx.times) {
+        match try_cluster(ctx.ps, ctx.op, home, ctx.times, pool) {
             Some((s, _)) => Some(s),
             None if self.merit_escape => pick_by_merit(
                 ctx.ps,
@@ -229,10 +286,11 @@ impl ClusterPolicy for PartitionFirst {
                 (0..ctx.nclusters).filter(|&c| c != home),
                 ctx.nclusters,
                 ctx.merit_threshold,
+                pool,
             ),
             None => (0..ctx.nclusters)
                 .filter(|&c| c != home)
-                .find_map(|c| try_cluster(ctx.ps, ctx.op, c, ctx.times).map(|(s, _)| s)),
+                .find_map(|c| try_cluster(ctx.ps, ctx.op, c, ctx.times, pool).map(|(s, _)| s)),
         }
     }
 

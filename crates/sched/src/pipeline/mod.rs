@@ -33,8 +33,8 @@ use crate::drivers::DriverConfig;
 use crate::error::SchedError;
 use crate::schedule::Schedule;
 use crate::state::PartialSchedule;
-use cluster::{ClusterPolicy, PlaceCtx};
-use gpsched_ddg::timing::TimingWorkspace;
+use cluster::{ClusterPolicy, PlaceCtx, StatePool};
+use gpsched_ddg::timing::{Timing, TimingWorkspace};
 use gpsched_ddg::{Ddg, OpId};
 use gpsched_machine::MachineConfig;
 use gpsched_partition::{partition_ddg_with, CostEvaluator, PartitionOptions, PartitionResult};
@@ -85,8 +85,11 @@ enum ScanMode {
 
 /// Candidate issue cycles for `op` given its placed neighbours (the SMS
 /// window: at most II consecutive cycles, direction depending on which
-/// neighbours are placed).
-fn window(
+/// neighbours are placed), written into `times` (cleared first) so one
+/// buffer serves every op of an attempt.
+#[allow(clippy::too_many_arguments)]
+fn window_into(
+    times: &mut Vec<i64>,
     ps: &PartialSchedule<'_>,
     ddg: &Ddg,
     op: OpId,
@@ -94,7 +97,8 @@ fn window(
     max_path: i64,
     ii: i64,
     mode: ScanMode,
-) -> Vec<i64> {
+) {
+    times.clear();
     let mut estart: Option<i64> = None;
     let mut lstart: Option<i64> = None;
     for (e, p) in ddg.graph().in_edges(op) {
@@ -126,41 +130,41 @@ fn window(
     // II would never converge.
     let a = asap[op.index()];
     let floor = a - max_path;
-    let asap_first = |lo: i64, hi: i64| -> Vec<i64> {
+    let asap_first = |times: &mut Vec<i64>, lo: i64, hi: i64| {
         if lo > hi {
-            return Vec::new();
+            return;
         }
         match mode {
-            ScanMode::Tight => (lo..=hi).collect(),
+            ScanMode::Tight => times.extend(lo..=hi),
             ScanMode::AsapFirst => {
                 let split = a.clamp(lo, hi + 1);
-                (split..=hi).chain(lo..split).collect()
+                times.extend(split..=hi);
+                times.extend(lo..split);
             }
         }
     };
     match (estart, lstart) {
         (Some(e), Some(l)) => {
             let e = e.max(floor);
-            if e > l {
-                Vec::new()
-            } else {
-                asap_first(e, l.min(e + ii - 1))
+            if e <= l {
+                asap_first(times, e, l.min(e + ii - 1));
             }
         }
         (Some(e), None) => {
             let e = e.max(floor);
-            asap_first(e, e + ii - 1)
+            asap_first(times, e, e + ii - 1);
         }
-        (None, Some(l)) => ((l - ii + 1).max(floor)..=l).rev().collect(),
+        (None, Some(l)) => times.extend(((l - ii + 1).max(floor)..=l).rev()),
         // Fresh regions anchor at ASAP.
-        (None, None) => (a..a + ii).collect(),
+        (None, None) => times.extend(a..a + ii),
     }
 }
 
 /// One full scheduling attempt at a fixed II. Returns the completed state,
 /// or `None` if some op could not be placed (the driver then raises the
 /// II). Tries the tight scan first, the ASAP-first scan as a second
-/// chance at the same II.
+/// chance at the same II. Timing and node order depend only on the II
+/// (extras are zero here), so both scans share one analysis and one order.
 fn attempt<'a>(
     ddg: &'a Ddg,
     machine: &'a MachineConfig,
@@ -170,6 +174,18 @@ fn attempt<'a>(
     policies: &'a PolicySet,
     ws: &mut TimingWorkspace,
 ) -> Option<PartialSchedule<'a>> {
+    // One workspace-backed analysis per II: an infeasible II yields None
+    // here, and the same result feeds both the node ordering and the
+    // placement windows of both scan modes.
+    let t = ws.analyze(ddg, ii, |_| 0)?;
+    let order = {
+        let _span = gpsched_trace::span!("sched.order");
+        policies.order.order(ddg, t)
+    };
+    debug_assert_eq!(order.len(), ddg.op_count(), "order must cover the loop");
+    // Rejected trial states from the tight scan seed the ASAP-first
+    // scan's pool: both run at the same II, so the buffers fit as-is.
+    let mut pool = StatePool::new();
     attempt_with(
         ddg,
         machine,
@@ -178,7 +194,9 @@ fn attempt<'a>(
         cfg,
         policies,
         ScanMode::Tight,
-        ws,
+        t,
+        &order,
+        &mut pool,
     )
     .or_else(|| {
         attempt_with(
@@ -189,7 +207,9 @@ fn attempt<'a>(
             cfg,
             policies,
             ScanMode::AsapFirst,
-            ws,
+            t,
+            &order,
+            &mut pool,
         )
     })
 }
@@ -203,23 +223,17 @@ fn attempt_with<'a>(
     cfg: &DriverConfig,
     policies: &'a PolicySet,
     mode: ScanMode,
-    ws: &mut TimingWorkspace,
+    t: &Timing,
+    order: &[OpId],
+    pool: &mut StatePool<'a>,
 ) -> Option<PartialSchedule<'a>> {
     let _span = gpsched_trace::span!("sched.ii_attempt", "ii={ii}");
-    // One workspace-backed analysis per attempt: an infeasible II yields
-    // None here, and the same result feeds both the node ordering and the
-    // placement windows.
-    let t = ws.analyze(ddg, ii, |_| 0)?;
-    let order = {
-        let _span = gpsched_trace::span!("sched.order");
-        policies.order.order(ddg, t)
-    };
-    debug_assert_eq!(order.len(), ddg.op_count(), "order must cover the loop");
     let mut ps = PartialSchedule::with_spill_policy(ddg, machine, ii, policies.spill.as_ref());
     let nclusters = machine.cluster_count();
 
-    for op in order {
-        let times = window(&ps, ddg, op, &t.asap, t.max_path, ii, mode);
+    let mut times = Vec::new();
+    for &op in order {
+        window_into(&mut times, &ps, ddg, op, &t.asap, t.max_path, ii, mode);
         if times.is_empty() {
             return None;
         }
@@ -231,12 +245,88 @@ fn attempt_with<'a>(
             nclusters,
             merit_threshold: cfg.merit_threshold,
         };
-        match policies.cluster.place(&ctx) {
-            Some(next) => ps = next,
+        match policies.cluster.place(&ctx, pool) {
+            // The superseded schedule joins the pool: its buffers serve
+            // the next op's trials.
+            Some(next) => pool.push(std::mem::replace(&mut ps, next)),
             None => return None,
         }
     }
     Some(ps)
+}
+
+/// The ladder segment one driver round will probe: starts at `ii` after
+/// `failures` prior failures, grows by the II growth policy, and stops at
+/// `width` rungs, at the II cap, and at the re-partitioning boundary (the
+/// partition in force changes there, so rungs beyond it would not replay
+/// what the sequential loop does).
+fn segment(
+    ii: i64,
+    failures: usize,
+    width: usize,
+    cap: i64,
+    part: Option<&PartitionResult>,
+    policies: &PolicySet,
+) -> Vec<i64> {
+    let mut batch = vec![ii];
+    let (mut rung, mut fails) = (ii, failures);
+    while batch.len() < width {
+        let next = policies.growth.next_ii(rung, fails);
+        if next > cap || part.is_some_and(|p| policies.cluster.wants_repartition(p, next)) {
+            break;
+        }
+        batch.push(next);
+        rung = next;
+        fails += 1;
+    }
+    batch
+}
+
+/// One attempt per II of `batch`, raced on scoped threads when the batch
+/// has more than one rung, results in ladder order. Attempts are pure
+/// functions of their inputs, so the reduction — first feasible II in
+/// ladder order wins — returns exactly what sequential probing would.
+#[allow(clippy::too_many_arguments)]
+fn attempt_batch<'a>(
+    ddg: &'a Ddg,
+    machine: &'a MachineConfig,
+    batch: &[i64],
+    partition: Option<&PartitionResult>,
+    cfg: &DriverConfig,
+    policies: &'a PolicySet,
+    ws: &mut TimingWorkspace,
+) -> Vec<Option<PartialSchedule<'a>>> {
+    if batch.len() == 1 {
+        return vec![attempt(
+            ddg, machine, batch[0], partition, cfg, policies, ws,
+        )];
+    }
+    let width = batch.len();
+    let _span = gpsched_trace::span!("sched.ii_race", "width={width}");
+    gpsched_trace::counter!("sched.ii_race_batches");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = batch[1..]
+            .iter()
+            .map(|&ii| {
+                scope.spawn(move || {
+                    let mut ws = TimingWorkspace::new();
+                    attempt(ddg, machine, ii, partition, cfg, policies, &mut ws)
+                })
+            })
+            .collect();
+        // The lowest rung runs on this thread with the caller's warm
+        // workspace.
+        let mut out = Vec::with_capacity(width);
+        out.push(attempt(
+            ddg, machine, batch[0], partition, cfg, policies, ws,
+        ));
+        out.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("raced attempt panicked")),
+        );
+        out
+    })
 }
 
 /// Runs one loop through the pipeline: repeated attempts with rising II,
@@ -277,18 +367,34 @@ pub fn run(
     let mut ii = start_ii;
     let mut failures = 0usize;
     while ii <= cap {
-        if let Some(ps) = attempt(ddg, machine, ii, part.as_ref(), cfg, policies, &mut ws) {
-            return Ok(PipelineOutcome {
-                schedule: Schedule::from_partial(ddg, machine, &ps),
-                partition: part,
-                repartitions,
-            });
+        // The first probe runs alone — it usually succeeds at the MII and
+        // racing it would only burn speculative work. Once a failure
+        // proves the ladder will be climbed, later rounds race
+        // `race_width` rungs of the current segment at once.
+        let width = if failures == 0 {
+            1
+        } else {
+            cfg.race_width.max(1)
+        };
+        let batch = segment(ii, failures, width, cap, part.as_ref(), policies);
+        let results = attempt_batch(ddg, machine, &batch, part.as_ref(), cfg, policies, &mut ws);
+        for (k, r) in results.into_iter().enumerate() {
+            if let Some(ps) = r {
+                return Ok(PipelineOutcome {
+                    schedule: Schedule::from_partial(ddg, machine, &ps),
+                    partition: part,
+                    repartitions,
+                });
+            }
+            // Bookkeeping identical to the sequential loop: one growth
+            // step per failed rung. Speculative rungs above a winner are
+            // never reached — the loop returned first.
+            let next = policies.growth.next_ii(batch[k], failures);
+            debug_assert!(next > batch[k], "II growth must make progress");
+            gpsched_trace::counter!("sched.ii_growth");
+            ii = next;
+            failures += 1;
         }
-        let next = policies.growth.next_ii(ii, failures);
-        debug_assert!(next > ii, "II growth must make progress");
-        gpsched_trace::counter!("sched.ii_growth");
-        ii = next;
-        failures += 1;
         if let Some(p) = &part {
             if policies.cluster.wants_repartition(p, ii) {
                 let _span = gpsched_trace::span!("sched.cluster.repartition", "ii={ii}");
@@ -338,6 +444,59 @@ mod tests {
             assert_eq!(direct.length(), piped.schedule.length(), "{}", ddg.name());
             assert!(piped.partition.is_none());
         }
+    }
+
+    #[test]
+    fn raced_attempts_match_sequential() {
+        // Racing is pure speculation: for every kernel × machine the raced
+        // ladder must return the sequential loop's schedule exactly —
+        // same II, same placements, same repartition count.
+        let popts = PartitionOptions::default();
+        let mut grew = false;
+        for ddg in kernels::all_kernels(200) {
+            for m in [
+                MachineConfig::two_cluster(32, 1, 1),
+                MachineConfig::four_cluster(32, 1, 2),
+            ] {
+                let start = gpsched_ddg::mii::mii(&ddg, &m);
+                let outcome = |width: usize| {
+                    let cfg = DriverConfig {
+                        race_width: width,
+                        ..DriverConfig::default()
+                    };
+                    run(
+                        &ddg,
+                        &m,
+                        &popts,
+                        &cfg,
+                        start,
+                        None,
+                        &policies(Box::new(PartitionFirst::default())),
+                    )
+                    .unwrap()
+                };
+                let seq = outcome(1);
+                let raced = outcome(4);
+                grew |= seq.schedule.ii() > start;
+                assert_eq!(seq.schedule.ii(), raced.schedule.ii(), "{}", ddg.name());
+                assert_eq!(
+                    seq.schedule.length(),
+                    raced.schedule.length(),
+                    "{}",
+                    ddg.name()
+                );
+                assert_eq!(
+                    seq.schedule.placements(),
+                    raced.schedule.placements(),
+                    "{}",
+                    ddg.name()
+                );
+                assert_eq!(seq.repartitions, raced.repartitions, "{}", ddg.name());
+            }
+        }
+        // At least one pair must actually climb the ladder, or the racing
+        // path was never exercised.
+        assert!(grew, "no kernel grew its II — racing untested");
     }
 
     #[test]

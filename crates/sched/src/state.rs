@@ -75,7 +75,7 @@ pub struct SpillLoad {
 }
 
 /// A spilled value: store after definition, loads before late uses.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Spill {
     /// Producing op (index).
     pub producer: usize,
@@ -85,6 +85,26 @@ pub struct Spill {
     pub store: i64,
     /// Reloads feeding uses later than the store.
     pub loads: Vec<SpillLoad>,
+}
+
+impl Clone for Spill {
+    fn clone(&self) -> Self {
+        Spill {
+            producer: self.producer,
+            cluster: self.cluster,
+            store: self.store,
+            loads: self.loads.clone(),
+        }
+    }
+
+    /// Reuses the `loads` buffer — `Vec<Spill>::clone_from` calls this per
+    /// element, so pooled schedule states keep their nested allocations.
+    fn clone_from(&mut self, source: &Self) {
+        self.producer = source.producer;
+        self.cluster = source.cluster;
+        self.store = source.store;
+        self.loads.clone_from(&source.loads);
+    }
 }
 
 /// Why a placement attempt failed.
@@ -102,7 +122,7 @@ pub enum PlaceError {
 }
 
 /// A partial modulo schedule at a fixed II.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct PartialSchedule<'a> {
     ddg: &'a Ddg,
     machine: &'a MachineConfig,
@@ -116,10 +136,60 @@ pub struct PartialSchedule<'a> {
     /// topology.
     pair_lat: std::sync::Arc<[i64]>,
     pressure: PressureTable,
+    /// Last registered read of each op's source-cluster register interval
+    /// (`i64::MIN` when the op has no interval yet). The pressure table is
+    /// maintained *incrementally* — every mutation removes the old interval
+    /// and adds the extended one — so this mirror is what lets an extension
+    /// find the interval to remove without rescanning the graph.
+    reg_last: Vec<i64>,
+    /// Last cycle of each transfer's destination-cluster interval, parallel
+    /// to `transfers` (always ≥ the transfer's arrival).
+    transfer_last: Vec<i64>,
     transfers: Vec<Transfer>,
     spills: Vec<Spill>,
     /// Overflow policy: whether/what to spill when a register file fills.
     spill_policy: &'a dyn SpillPolicy,
+}
+
+impl<'a> Clone for PartialSchedule<'a> {
+    fn clone(&self) -> Self {
+        PartialSchedule {
+            ddg: self.ddg,
+            machine: self.machine,
+            ii: self.ii,
+            placements: self.placements.clone(),
+            mrts: self.mrts.clone(),
+            net: self.net.clone(),
+            pair_lat: self.pair_lat.clone(),
+            pressure: self.pressure.clone(),
+            reg_last: self.reg_last.clone(),
+            transfer_last: self.transfer_last.clone(),
+            transfers: self.transfers.clone(),
+            spills: self.spills.clone(),
+            spill_policy: self.spill_policy,
+        }
+    }
+
+    /// Field-wise `clone_from`: every vector (including the nested spill
+    /// reload lists) reuses its existing allocation. The transactional
+    /// placement path recycles rejected trial states through a pool and
+    /// refreshes them with this, so one attempt allocates only while the
+    /// pool warms up instead of once per candidate slot.
+    fn clone_from(&mut self, source: &Self) {
+        self.ddg = source.ddg;
+        self.machine = source.machine;
+        self.ii = source.ii;
+        self.placements.clone_from(&source.placements);
+        self.mrts.clone_from(&source.mrts);
+        self.net.clone_from(&source.net);
+        self.pair_lat.clone_from(&source.pair_lat);
+        self.pressure.clone_from(&source.pressure);
+        self.reg_last.clone_from(&source.reg_last);
+        self.transfer_last.clone_from(&source.transfer_last);
+        self.transfers.clone_from(&source.transfers);
+        self.spills.clone_from(&source.spills);
+        self.spill_policy = source.spill_policy;
+    }
 }
 
 impl<'a> PartialSchedule<'a> {
@@ -158,6 +228,8 @@ impl<'a> PartialSchedule<'a> {
             net: ChannelTable::new(machine, ii),
             pair_lat: machine.transfer_latency_table().into(),
             pressure: PressureTable::new(caps, ii),
+            reg_last: vec![i64::MIN; ddg.op_count()],
+            transfer_last: Vec::new(),
             transfers: Vec::new(),
             spills: Vec::new(),
             spill_policy,
@@ -297,16 +369,21 @@ impl<'a> PartialSchedule<'a> {
                 for h in self.machine.route(from, to_cluster) {
                     self.net.reserve(h.channel, x + h.offset, h.occupancy);
                 }
+                self.extend_reg_last(producer, x);
+                let arrival = x + net_lat;
+                let last = self.transfer_dest_last(producer, to_cluster, arrival);
+                self.pressure.add(to_cluster, arrival, last);
+                self.transfer_last.push(last);
                 self.transfers.push(Transfer {
                     producer,
                     from,
                     to: to_cluster,
                     kind: CommKind::Direct { start: x },
                     read_time: x,
-                    arrival: x + net_lat,
+                    arrival,
                 });
                 gpsched_trace::counter!("sched.transfers_booked");
-                return Ok(x + net_lat);
+                return Ok(arrival);
             }
             x += 1;
         }
@@ -329,6 +406,12 @@ impl<'a> PartialSchedule<'a> {
                 }
                 self.mrts[to_cluster].place(ResourceKind::MemPort, load);
                 let arrival = load + self.load_latency();
+                if !store_is_spill {
+                    self.extend_reg_last(producer, store);
+                }
+                let last = self.transfer_dest_last(producer, to_cluster, arrival);
+                self.pressure.add(to_cluster, arrival, last);
+                self.transfer_last.push(last);
                 self.transfers.push(Transfer {
                     producer,
                     from,
@@ -421,6 +504,28 @@ impl<'a> PartialSchedule<'a> {
         self.mrts[cluster].place(kind, time);
         self.placements[idx] = Some(Placement { cluster, time });
 
+        // The op's own register interval: [def, latest same-cluster read].
+        // Consumers placed earlier (including a self-loop, visible now that
+        // the placement above is recorded) already pin reads; transfers
+        // from this op cannot exist yet.
+        if class.defines_value() {
+            let def = time + self.op_latency(idx);
+            let mut last = def;
+            for (e, c) in self.ddg.graph().out_edges(op) {
+                let dep = self.ddg.dep(e);
+                if dep.kind != DepKind::Flow {
+                    continue;
+                }
+                if let Some(cp) = self.placements[c.index()] {
+                    if cp.cluster == cluster {
+                        last = last.max(cp.time + self.ii * dep.distance as i64);
+                    }
+                }
+            }
+            self.pressure.add(cluster, def, last);
+            self.reg_last[idx] = last;
+        }
+
         // Incoming dependences from placed producers. Copying the `&'a Ddg`
         // out of `self` lets the adjacency iterators borrow the DDG directly
         // instead of being collected to appease the `&mut self` calls below.
@@ -460,15 +565,19 @@ impl<'a> PartialSchedule<'a> {
                                     return Err(PlaceError::Communication);
                                 };
                                 self.mrts[cluster].place(ResourceKind::MemPort, l);
+                                self.pressure.add(cluster, l + self.load_latency(), read);
                                 self.spills[si].loads.push(SpillLoad {
                                     time: l,
                                     use_time: read,
                                 });
                             }
+                        } else {
+                            self.extend_reg_last(p.index(), read);
                         }
                     } else {
                         let arrival = self.ensure_transfer(p.index(), cluster, read)?;
                         debug_assert!(arrival <= read);
+                        self.extend_transfer_dest(p.index(), cluster, read);
                     }
                 }
             }
@@ -499,19 +608,22 @@ impl<'a> PartialSchedule<'a> {
                     } else {
                         let arrival = self.ensure_transfer(idx, sp.cluster, read)?;
                         debug_assert!(arrival <= read);
+                        self.extend_transfer_dest(idx, sp.cluster, read);
                     }
                 }
             }
         }
 
-        // Register pressure, with spill-on-overflow (§3.3.2).
-        self.rebuild_pressure();
+        // Register pressure, with spill-on-overflow (§3.3.2). The table was
+        // maintained incrementally through the commits above, so only the
+        // overflow check remains.
         let mut rounds = 0;
         loop {
             let over: Option<usize> = (0..self.machine.cluster_count())
                 .filter(|&c| !self.pressure.fits(c))
                 .max_by_key(|&c| self.pressure.max_live(c) - self.pressure.capacity(c));
             let Some(cl) = over else {
+                self.debug_check_pressure();
                 return Ok(());
             };
             // Spilling needs at least one free memory slot for the store.
@@ -522,13 +634,83 @@ impl<'a> PartialSchedule<'a> {
                 return Err(PlaceError::Registers);
             }
             rounds += 1;
-            self.rebuild_pressure();
         }
     }
 
+    /// Extends `producer`'s source-cluster register interval to cover a
+    /// read at `read`. No-op for spilled values (their in-register span is
+    /// pinned at [def, store]) and for ops without an interval.
+    fn extend_reg_last(&mut self, producer: usize, read: i64) {
+        let cur = self.reg_last[producer];
+        if read <= cur || cur == i64::MIN {
+            return;
+        }
+        if self.spills.iter().any(|s| s.producer == producer) {
+            return;
+        }
+        let pl = self.placements[producer].expect("producer with an interval is placed");
+        let def = pl.time + self.op_latency(producer);
+        self.pressure.remove(pl.cluster, def, cur);
+        self.pressure.add(pl.cluster, def, read);
+        self.reg_last[producer] = read;
+    }
+
+    /// Extends the destination-cluster intervals of every transfer of
+    /// `producer` into `cluster` to cover a consumer read at `read`
+    /// (every such transfer keeps the value live until its last reader,
+    /// mirroring the authoritative rebuild).
+    fn extend_transfer_dest(&mut self, producer: usize, cluster: usize, read: i64) {
+        for ti in 0..self.transfers.len() {
+            let t = &self.transfers[ti];
+            if t.producer != producer || t.to != cluster || self.transfer_last[ti] >= read {
+                continue;
+            }
+            let (to, arrival) = (t.to, t.arrival);
+            self.pressure.remove(to, arrival, self.transfer_last[ti]);
+            self.pressure.add(to, arrival, read);
+            self.transfer_last[ti] = read;
+        }
+    }
+
+    /// The initial destination-cluster lifetime of a new transfer: from its
+    /// arrival to the latest already-placed consumer read in that cluster.
+    fn transfer_dest_last(&self, producer: usize, to: usize, arrival: i64) -> i64 {
+        let pid = gpsched_graph::NodeId::from_index(producer);
+        let mut last = arrival;
+        for (e, c) in self.ddg.graph().out_edges(pid) {
+            let dep = self.ddg.dep(e);
+            if dep.kind != DepKind::Flow {
+                continue;
+            }
+            if let Some(cp) = self.placements[c.index()] {
+                if cp.cluster == to {
+                    last = last.max(cp.time + self.ii * dep.distance as i64);
+                }
+            }
+        }
+        last
+    }
+
+    /// Debug cross-check: the incrementally maintained table must equal the
+    /// authoritative from-scratch rebuild after every successful placement.
+    /// Compiled out of release builds.
+    #[cfg(debug_assertions)]
+    fn debug_check_pressure(&mut self) {
+        let incremental = self.pressure.clone();
+        self.rebuild_pressure();
+        debug_assert_eq!(
+            incremental, self.pressure,
+            "incremental pressure table diverged from authoritative rebuild"
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check_pressure(&mut self) {}
+
     /// Latest same-cluster register read of `producer`'s value, or
     /// `i64::MIN` when nothing reads it: the allocation-free reduction of
-    /// [`Self::register_reads`] the per-placement pressure rebuild uses.
+    /// [`Self::register_reads`] the reference pressure rebuild uses.
+    #[cfg(debug_assertions)]
     fn last_register_read(&self, producer: usize, cluster: usize) -> i64 {
         let pid = gpsched_graph::NodeId::from_index(producer);
         let mut last = i64::MIN;
@@ -659,10 +841,17 @@ impl<'a> PartialSchedule<'a> {
                     use_time: u,
                 });
             }
-            // Commit: store + loads take memory slots.
+            // Commit: store + loads take memory slots; the value's register
+            // interval shrinks to [def, store] plus one sliver per reload.
             self.mrts[cluster].place(ResourceKind::MemPort, store);
             for l in &loads {
                 self.mrts[cluster].place(ResourceKind::MemPort, l.time);
+            }
+            self.pressure.remove(cluster, def, self.reg_last[opi]);
+            self.pressure.add(cluster, def, store.max(def));
+            for l in &loads {
+                self.pressure
+                    .add(cluster, l.time + self.load_latency(), l.use_time);
             }
             self.spills.push(Spill {
                 producer: opi,
@@ -677,11 +866,12 @@ impl<'a> PartialSchedule<'a> {
     }
 
     /// Rebuilds the register-pressure table from the current placements,
-    /// transfers and spills (authoritative recomputation).
+    /// transfers and spills: the authoritative recomputation the
+    /// incremental maintenance is checked against in debug builds.
+    #[cfg(debug_assertions)]
     fn rebuild_pressure(&mut self) {
-        // Runs after every placement: move the table out and zero it in
-        // place (capacities and II are invariants of this schedule), so a
-        // rebuild allocates nothing.
+        // Move the table out and zero it in place (capacities and II are
+        // invariants of this schedule), so a rebuild allocates nothing.
         let mut p = std::mem::replace(&mut self.pressure, PressureTable::empty());
         p.reset();
 
