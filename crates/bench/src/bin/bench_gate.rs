@@ -8,6 +8,12 @@
 //!            --max-regress-pct 5
 //! ```
 //!
+//! A *negative* `--max-regress-pct` turns the gate into a speedup
+//! requirement (e.g. `-100` demands the candidate be at least 2× the
+//! baseline). `--max-trace-overhead-pct N` additionally requires the
+//! candidate entry to carry a `trace_overhead_pct` measurement of at
+//! most N percent.
+//!
 //! Looks up the named configuration's loops/sec in the *latest* entry
 //! carrying each label and fails (exit 1) when the candidate regresses
 //! beyond the threshold. Both entries come from the committed trajectory
@@ -60,6 +66,10 @@ fn main() {
         .unwrap_or("5")
         .parse()
         .unwrap_or_else(|_| fail("--max-regress-pct needs a number"));
+    let max_trace_overhead: Option<f64> = opt_value(&args, "--max-trace-overhead-pct").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail("--max-trace-overhead-pct needs a number"))
+    });
 
     let entries =
         read_entries(Path::new(file)).unwrap_or_else(|e| fail(&format!("cannot read {file}: {e}")));
@@ -78,11 +88,27 @@ fn main() {
     let regress_pct = (1.0 - cand_rate / base_rate) * 100.0;
     println!(
         "bench-gate: {config}: {candidate} {cand_rate:.1} vs {baseline} {base_rate:.1} loops/s \
-         ({:+.1}% change, limit -{max_regress:.1}%)",
-        -regress_pct
+         ({:+.1}% change, limit {:+.1}%)",
+        -regress_pct, -max_regress
     );
     if let Some(pct) = cand.trace_overhead_pct {
         println!("bench-gate: {candidate} enabled-tracing overhead: {pct:.2}%");
+    }
+    if let Some(limit) = max_trace_overhead {
+        // The enabled-tracing overhead ceiling: spans are meant to be
+        // always-on observability, so the candidate must carry the
+        // measurement and it must stay under the limit.
+        let pct = cand.trace_overhead_pct.unwrap_or_else(|| {
+            fail(&format!(
+                "`{candidate}` has no trace_overhead_pct but --max-trace-overhead-pct was given"
+            ))
+        });
+        if pct > limit {
+            eprintln!(
+                "bench-gate: FAIL — {candidate} enabled-tracing overhead {pct:.2}% (> {limit:.1}%)"
+            );
+            exit(1);
+        }
     }
     if regress_pct > max_regress {
         eprintln!("bench-gate: FAIL — {config} regressed {regress_pct:.1}% (> {max_regress:.1}%)");

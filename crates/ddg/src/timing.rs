@@ -143,6 +143,30 @@ pub struct TimingWorkspace {
     /// [`TimingWorkspace::complete_slack`] runs).
     slack_done: bool,
     timing: Timing,
+    /// Batched `ddg.timing.*` tallies, flushed when the workspace drops.
+    /// The refinement screen runs one analysis per candidate move, so a
+    /// per-call atomic increment here was a measurable share of
+    /// enabled-tracing overhead.
+    stats: TimingStats,
+}
+
+/// Batched `ddg.timing.*` tallies (see [`gpsched_trace::BatchCounter`]:
+/// clones start at zero, drop flushes).
+#[derive(Clone, Debug)]
+struct TimingStats {
+    prepares: gpsched_trace::BatchCounter,
+    analyses: gpsched_trace::BatchCounter,
+    infeasible: gpsched_trace::BatchCounter,
+}
+
+impl Default for TimingStats {
+    fn default() -> Self {
+        TimingStats {
+            prepares: gpsched_trace::BatchCounter::new("ddg.timing.prepares"),
+            analyses: gpsched_trace::BatchCounter::new("ddg.timing.analyses"),
+            infeasible: gpsched_trace::BatchCounter::new("ddg.timing.infeasible"),
+        }
+    }
 }
 
 impl TimingWorkspace {
@@ -157,7 +181,7 @@ impl TimingWorkspace {
     /// the one currently bound.
     pub fn prepare(&mut self, ddg: &Ddg) {
         let _span = gpsched_trace::span!("ddg.timing.prepare");
-        gpsched_trace::counter!("ddg.timing.prepares");
+        self.stats.prepares.add(1);
         self.bound = ddg as *const Ddg as usize;
         self.nops = ddg.op_count();
         self.ndeps = ddg.dep_count();
@@ -243,7 +267,7 @@ impl TimingWorkspace {
         }
         // Counted, not spanned: a refinement pass runs one analysis per
         // candidate move, so a span here would swamp the trace buffers.
-        gpsched_trace::counter!("ddg.timing.analyses");
+        self.stats.analyses.add(1);
         // A failed probe leaves `timing` partially overwritten; it only
         // becomes readable through `last()` again once a probe succeeds.
         self.analyzed = false;
@@ -275,7 +299,7 @@ impl TimingWorkspace {
             self.extras_applied = any_extra;
         }
         if !self.fwd_kernel.solve(ii, &mut self.timing.asap) {
-            gpsched_trace::counter!("ddg.timing.infeasible");
+            self.stats.infeasible.add(1);
             return None;
         }
 

@@ -163,6 +163,32 @@ pub struct BfKernel {
     next: NodeBitSet,
     /// Scratch distances for probe-style calls ([`Self::feasible`]).
     scratch: Vec<i64>,
+    /// Batched work tallies, flushed to the `graph.bf.*` counters when the
+    /// kernel drops. [`Self::solve`] runs tens of thousands of times per
+    /// scheduling pass; per-run atomic increments were a measurable share
+    /// of enabled-tracing overhead.
+    stats: BfStats,
+}
+
+/// Batched `graph.bf.*` tallies (see [`gpsched_trace::BatchCounter`]:
+/// clones start at zero, drop flushes).
+#[derive(Clone, Debug)]
+struct BfStats {
+    runs: gpsched_trace::BatchCounter,
+    rounds: gpsched_trace::BatchCounter,
+    edges_scanned: gpsched_trace::BatchCounter,
+    relaxations: gpsched_trace::BatchCounter,
+}
+
+impl Default for BfStats {
+    fn default() -> Self {
+        BfStats {
+            runs: gpsched_trace::BatchCounter::new("graph.bf.runs"),
+            rounds: gpsched_trace::BatchCounter::new("graph.bf.rounds"),
+            edges_scanned: gpsched_trace::BatchCounter::new("graph.bf.edges_scanned"),
+            relaxations: gpsched_trace::BatchCounter::new("graph.bf.relaxations"),
+        }
+    }
 }
 
 /// One CSR edge of a [`BfKernel`], kept as a record so the hot relaxation
@@ -272,6 +298,7 @@ impl BfKernel {
             active: NodeBitSet::new(n),
             next: NodeBitSet::new(n),
             scratch: Vec::new(),
+            stats: BfStats::default(),
         }
     }
 
@@ -410,10 +437,10 @@ impl BfKernel {
                 }
             }
         }
-        gpsched_trace::counter!("graph.bf.runs");
-        gpsched_trace::counter!("graph.bf.rounds", rounds);
-        gpsched_trace::counter!("graph.bf.edges_scanned", scanned);
-        gpsched_trace::counter!("graph.bf.relaxations", relaxations);
+        self.stats.runs.add(1);
+        self.stats.rounds.add(rounds);
+        self.stats.edges_scanned.add(scanned);
+        self.stats.relaxations.add(relaxations);
         feasible
     }
 

@@ -165,20 +165,20 @@ pub fn coarsen_to(finest: Level, target: usize, strategy: MatchStrategy) -> Vec<
             let _sp = gpsched_trace::span!("partition.coarsen.match", "n={n}");
             strategy.run(n, &edges)
         };
-        // Edges are unique per unordered pair (`UnGraph` merges parallels),
-        // so a hashed lookup resolves each matched pair's weight in O(1).
-        let weight_of: std::collections::HashMap<(usize, usize), i64> = edges
+        // Every matched pair is an edge (both matchers only match along
+        // edges) and edges are unique per unordered pair (`UnGraph` merges
+        // parallels), so one edge scan recovers the matched pairs with
+        // their weights — no hash map. Orientation is normalised to
+        // `(min, max)` exactly as [`Matching::pairs`] yields them.
+        let mut pairs: Vec<(usize, usize, i64)> = edges
             .iter()
-            .map(|&(a, b, w)| ((a.min(b), a.max(b)), w))
+            .filter(|&&(a, b, _)| a != b && matching.mate(a) == Some(b))
+            .map(|&(a, b, w)| (a.min(b), a.max(b), w))
             .collect();
-        let mut pairs: Vec<(usize, usize, i64)> = matching
-            .pairs()
-            .map(|(u, v)| {
-                let w = weight_of.get(&(u.min(v), u.max(v))).copied().unwrap_or(0);
-                (u, v, w)
-            })
-            .collect();
-        // Heaviest pairs first; fuse only as many as needed.
+        debug_assert_eq!(pairs.len(), matching.pair_count());
+        // Heaviest pairs first; fuse only as many as needed. The key
+        // `(weight, u)` is unique per pair (`u` is matched exactly once),
+        // so the order is independent of the edge scan order above.
         pairs.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
         pairs.truncate(n - target);
         let mut chosen: Vec<(usize, usize)> = pairs.iter().map(|&(u, v, _)| (u, v)).collect();

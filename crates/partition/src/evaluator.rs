@@ -21,9 +21,19 @@
 //! cut's own transfer delays) and skips the timing analysis entirely when
 //! the candidate provably cannot win.
 //!
+//! Candidate moves themselves never touch the resident state at all:
+//! [`CostEvaluator::trial_moves`] evaluates the would-be cost of a move
+//! batch under an epoch-stamped overlay (hypothetical assignment,
+//! per-cluster scratch counts, per-dep cut/extra stamps for the deps
+//! incident to a moved op) — bit-identical to apply → evaluate → revert,
+//! without the two delta applications per rejected candidate. Only the
+//! move the refinement loop finally adopts is applied.
+//!
 //! The evaluator is proven bit-identical to `estimate()` by a seeded
 //! property test over random move/swap/revert sequences across bus, ring
-//! and point-to-point machines (`tests/evaluator_equiv.rs`).
+//! and point-to-point machines, and `trial_moves` against its
+//! apply/evaluate/revert equivalent on the same machines
+//! (`tests/evaluator_equiv.rs`).
 
 use crate::comm::ChannelLoad;
 use crate::estimate::PartitionCost;
@@ -70,10 +80,16 @@ pub struct CostEvaluator<'a> {
     assign: Vec<usize>,
     /// Per-dep: endpoints in different clusters.
     cut: Vec<bool>,
+    /// The cut deps themselves, unordered (swap-removal), so the
+    /// cut-slack sum in [`Self::assemble`] is O(cut) instead of O(E).
+    /// The sum is order-independent (exact integer addition), so the
+    /// unordered walk is bit-identical to the per-dep scan.
+    cut_list: Vec<u32>,
+    /// `cut_list` position of each cut dep; `u32::MAX` for uncut ones.
+    cut_pos: Vec<u32>,
     /// Per-dep transfer delay charged by the timing analysis (the
     /// topology's pairwise latency on cut flow deps, 0 elsewhere).
     extra: Vec<i64>,
-    cut_size: usize,
     /// The paper's `NComm`: distinct (producer, consumer-cluster) pairs
     /// over cut flow deps.
     comm_count: usize,
@@ -94,9 +110,13 @@ pub struct CostEvaluator<'a> {
     p0: Vec<i64>,
     /// The deps worth scanning for that sharpening: near-critical ones,
     /// where even the largest transfer delay the topology can charge
-    /// (`p0[e] + max pair latency`) clears `base_max_path`. Usually a
-    /// handful, so the per-candidate screen stays O(1)-ish.
+    /// (`p0[e] + max pair latency`) clears `base_max_path`. Sorted by
+    /// `p0` descending so uniform-latency machines can stop at the first
+    /// cut dep.
     screen_deps: Vec<u32>,
+    /// Endpoints of each `screen_deps` entry, resolved once (the overlay
+    /// screen would otherwise chase the dep table per candidate).
+    screen_ends: Vec<(u32, u32)>,
     /// Per-op resource kind index, resolved once (the move path would
     /// otherwise chase the op table per moved op).
     kind_of: Vec<u8>,
@@ -109,13 +129,26 @@ pub struct CostEvaluator<'a> {
     touch_mark: Vec<u64>,
     touch_epoch: u64,
     /// Epoch-stamped hypothetical assignment overlay for
-    /// [`Self::screen_moves`]: op `p` is pending a move to `move_to[p]`
+    /// [`Self::trial_moves`]: op `p` is pending a move to `move_to[p]`
     /// iff `move_mark[p] == move_epoch`.
     move_mark: Vec<u64>,
     move_to: Vec<u32>,
     move_epoch: u64,
-    /// Scratch per-cluster counts for the pre-move resource bound.
+    /// Scratch per-cluster counts for the trial resource bound.
     counts_scratch: Vec<[i64; 3]>,
+    /// Epoch-stamped per-dep overlay for [`Self::trial_moves`]: dep `e`
+    /// has overlay cut/extra values iff `dep_mark[e] == dep_epoch`; every
+    /// other dep keeps its resident `cut[e]`/`extra[e]`. Only deps
+    /// incident to a moved op can differ, so the stamping pass is
+    /// O(moved degree).
+    dep_mark: Vec<u64>,
+    dep_extra: Vec<i64>,
+    dep_cut: Vec<bool>,
+    dep_epoch: u64,
+    /// The deps stamped in the current trial (deduplicated via
+    /// `dep_mark`), for the cut-slack/cut-size fixup in
+    /// [`Self::assemble_overlay`].
+    deps_touched: Vec<u32>,
     ws: TimingWorkspace,
     /// Per-channel interconnect load of those pairs (the generalized
     /// `IIbus` is its [`ChannelLoad::bound`]).
@@ -127,6 +160,28 @@ pub struct CostEvaluator<'a> {
     /// uniform p2p), that scalar; −1 for asymmetric topologies. Keeps the
     /// per-edge cut refresh a register read on the paper's machines.
     uniform_lat: i64,
+    /// Batched `partition.*` screen tallies, flushed when the evaluator
+    /// drops. The refinement screen rejects tens of thousands of
+    /// candidates per run; per-rejection atomic counters were a
+    /// measurable share of enabled-tracing overhead.
+    stats: EvalStats,
+}
+
+/// Batched `partition.*` tallies (see [`gpsched_trace::BatchCounter`]:
+/// clones start at zero, drop flushes).
+#[derive(Clone, Debug)]
+struct EvalStats {
+    screen_rejected: gpsched_trace::BatchCounter,
+    exec_rejected: gpsched_trace::BatchCounter,
+}
+
+impl Default for EvalStats {
+    fn default() -> Self {
+        EvalStats {
+            screen_rejected: gpsched_trace::BatchCounter::new("partition.screen_rejected"),
+            exec_rejected: gpsched_trace::BatchCounter::new("partition.exec_rejected"),
+        }
+    }
 }
 
 /// Per-cluster resource MII of `counts` on `machine` (mirrors
@@ -153,6 +208,29 @@ fn res_bound_of(machine: &MachineConfig, counts: &[[i64; 3]]) -> i64 {
         }
     }
     bound
+}
+
+/// One move batch for [`CostEvaluator::trial_moves`]: every op in `ops`
+/// hypothetically moves to `cluster`.
+///
+/// `boundary` lets callers that move *groups* of co-resident ops (the
+/// refinement loop's coarse macro-nodes) exempt the group's interior from
+/// the overlay's edge walks: it must contain every op of `ops` that has a
+/// dependence endpoint outside the batch's co-moving, co-resident group.
+/// An op all of whose dependence neighbors sit in the same batch, move to
+/// the same destination and share the op's resident cluster can change
+/// neither its communication contribution nor any incident dep's cut
+/// status — only its resource slot moves. Callers without that structure
+/// pass `boundary = ops`.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialBatch<'m> {
+    /// Every op of the batch.
+    pub ops: &'m [usize],
+    /// The subset of `ops` with a dependence leaving the co-moving group
+    /// (see above). Must not contain duplicates.
+    pub boundary: &'m [usize],
+    /// Destination cluster for the whole batch.
+    pub cluster: usize,
 }
 
 /// The common cross-cluster latency of `machine`, or −1 when pairs
@@ -212,9 +290,20 @@ impl<'a> CostEvaluator<'a> {
             .max()
             .unwrap_or(0);
         // Only flow deps ever carry an extra, so only they can sharpen.
-        let screen_deps: Vec<u32> = (0..p0.len())
+        // Sorted by `p0` descending: on uniform-latency machines every cut
+        // dep sharpens by the same constant, so the scan can stop at the
+        // first cut one — the maximum is decided there.
+        let mut screen_deps: Vec<u32> = (0..p0.len())
             .filter(|&e| is_flow[e] && p0[e] != i64::MIN && p0[e] + max_lat > base_max_path)
             .map(|e| e as u32)
+            .collect();
+        screen_deps.sort_by_key(|&e| std::cmp::Reverse(p0[e as usize]));
+        let screen_ends: Vec<(u32, u32)> = screen_deps
+            .iter()
+            .map(|&e| {
+                let (s, d) = ddg.dep_endpoints(gpsched_graph::EdgeId::from_index(e as usize));
+                (s.index() as u32, d.index() as u32)
+            })
             .collect();
         let chan = ChannelLoad::new(machine);
         let (net_occ, net_cap) = chan.uniform_single_channel().unwrap_or((0, 0));
@@ -225,10 +314,12 @@ impl<'a> CostEvaluator<'a> {
             net_occ,
             net_cap,
             ii_input: 1,
+            stats: EvalStats::default(),
             assign: Vec::new(),
             cut: Vec::new(),
+            cut_list: Vec::new(),
+            cut_pos: vec![u32::MAX; ddg.dep_count()],
             extra: Vec::new(),
-            cut_size: 0,
             comm_count: 0,
             chan,
             pair_lat: machine.transfer_latency_table(),
@@ -238,6 +329,7 @@ impl<'a> CostEvaluator<'a> {
             base_max_path,
             p0,
             screen_deps,
+            screen_ends,
             kind_of: ddg
                 .op_ids()
                 .map(|op| ddg.op(op).class.resource().index() as u8)
@@ -250,6 +342,11 @@ impl<'a> CostEvaluator<'a> {
             move_to: vec![0; ddg.op_count()],
             move_epoch: 0,
             counts_scratch: Vec::new(),
+            dep_mark: vec![0; ddg.dep_count()],
+            dep_extra: vec![0; ddg.dep_count()],
+            dep_cut: vec![false; ddg.dep_count()],
+            dep_epoch: 0,
+            deps_touched: Vec::new(),
             ws,
         };
         let zeros = vec![0usize; ddg.op_count()];
@@ -287,7 +384,8 @@ impl<'a> CostEvaluator<'a> {
             .resize(self.ddg.op_count() * self.nclusters, 0);
         self.cut.clear();
         self.extra.clear();
-        self.cut_size = 0;
+        self.cut_list.clear();
+        self.cut_pos.fill(u32::MAX);
         for e in self.ddg.dep_ids() {
             let (s, d) = self.ddg.dep_endpoints(e);
             let dep = self.ddg.dep(e);
@@ -303,7 +401,8 @@ impl<'a> CostEvaluator<'a> {
                 0
             });
             if cut {
-                self.cut_size += 1;
+                self.cut_pos[e.index()] = self.cut_list.len() as u32;
+                self.cut_list.push(e.index() as u32);
             }
             if dep.kind == DepKind::Flow {
                 self.consumers_in[s.index() * self.nclusters + assign[d.index()]] += 1;
@@ -342,18 +441,22 @@ impl<'a> CostEvaluator<'a> {
             .count()
     }
 
-    /// [`Self::comm_contrib`] under the [`Self::screen_moves`] overlay at
+    /// The cluster op `op` sits in under the [`Self::trial_moves`] overlay
+    /// at epoch `ep`.
+    #[inline]
+    fn overlay_cluster(&self, op: usize, ep: u64) -> usize {
+        if self.move_mark[op] == ep {
+            self.move_to[op] as usize
+        } else {
+            self.assign[op]
+        }
+    }
+
+    /// [`Self::comm_contrib`] under the [`Self::trial_moves`] overlay at
     /// epoch `ep`: `p`'s consumer clusters are recounted from its flow
     /// out-edges with pending moves applied. O(out-degree), read-only.
     fn comm_contrib_overlay(&self, p: usize, ep: u64) -> usize {
-        let at = |op: usize| -> usize {
-            if self.move_mark[op] == ep {
-                self.move_to[op] as usize
-            } else {
-                self.assign[op]
-            }
-        };
-        let home = at(p);
+        let home = self.overlay_cluster(p, ep);
         let mut mask: u64 = 0;
         for (e, d) in self
             .ddg
@@ -361,7 +464,7 @@ impl<'a> CostEvaluator<'a> {
             .out_edges(gpsched_graph::NodeId::from_index(p))
         {
             if self.is_flow[e.index()] {
-                let c = at(d.index());
+                let c = self.overlay_cluster(d.index(), ep);
                 if c != home {
                     mask |= 1 << c;
                 }
@@ -504,9 +607,15 @@ impl<'a> CostEvaluator<'a> {
         if was != now {
             self.cut[e] = now;
             if now {
-                self.cut_size += 1;
+                self.cut_pos[e] = self.cut_list.len() as u32;
+                self.cut_list.push(e as u32);
             } else {
-                self.cut_size -= 1;
+                let pos = self.cut_pos[e] as usize;
+                self.cut_list.swap_remove(pos);
+                if let Some(&moved) = self.cut_list.get(pos) {
+                    self.cut_pos[moved as usize] = pos as u32;
+                }
+                self.cut_pos[e] = u32::MAX;
             }
         }
         self.extra[e] = if now && self.is_flow[e] {
@@ -562,11 +671,9 @@ impl<'a> CostEvaluator<'a> {
         self.ws.complete_slack();
         let t = self.ws.last();
         let cut_slack: i64 = self
-            .cut
+            .cut_list
             .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c)
-            .map(|(i, _)| t.edge_slack[i])
+            .map(|&e| t.edge_slack[e as usize])
             .sum();
         PartitionCost {
             comm_count: self.comm_count,
@@ -575,7 +682,7 @@ impl<'a> CostEvaluator<'a> {
             max_path: t.max_path,
             exec_time: self.ddg.execution_time(ii, t.max_path),
             cut_slack,
-            cut_size: self.cut_size,
+            cut_size: self.cut_list.len(),
         }
     }
 
@@ -596,10 +703,15 @@ impl<'a> CostEvaluator<'a> {
             let x = self.extra[e as usize];
             if x > 0 {
                 max_path_lb = max_path_lb.max(self.p0[e as usize] + x);
+                if self.uniform_lat >= 0 {
+                    // Descending `p0` and a constant sharpening term: the
+                    // first cut dep decides the maximum.
+                    break;
+                }
             }
         }
         if self.ddg.execution_time(lower, max_path_lb) > than.exec_time {
-            gpsched_trace::counter!("partition.screen_rejected");
+            self.stats.screen_rejected.add(1);
             return None;
         }
         // Forward-only probe: when the exact execution time already loses,
@@ -607,92 +719,100 @@ impl<'a> CostEvaluator<'a> {
         // behind the slack tiebreak never runs.
         let ii = self.probe_ii(lower);
         if self.ddg.execution_time(ii, self.ws.last().max_path) > than.exec_time {
-            gpsched_trace::counter!("partition.exec_rejected");
+            self.stats.exec_rejected.add(1);
             return None;
         }
         let cost = self.assemble(ii_bus, ii);
         cost.better_than(than).then_some(cost)
     }
 
-    /// Pre-move screen: `true` when applying the given move batches
-    /// (each `(member ops, destination cluster)`) provably cannot beat
-    /// `than` — decided from a hypothetical-assignment overlay, without
-    /// touching the resident state. The bound is the
-    /// [`Self::cost_if_better`] screen minus its `IIbus` term (the
-    /// post-move communication count is exactly what applying computes),
-    /// so every rejection here would also be rejected there; callers can
-    /// skip the whole apply/evaluate/revert cycle for them.
-    pub fn screen_moves<'m>(
+    /// [`Self::cost_if_better`] of a *hypothetical* assignment: the current
+    /// one with the given move batches applied — evaluated entirely under
+    /// an epoch-stamped overlay, without mutating the resident state.
+    /// Bit-identical to apply → [`Self::cost_if_better`] → revert (the
+    /// cost is a pure function of the assignment), but a rejected
+    /// candidate costs one read-only pass instead of two full delta
+    /// applications:
+    ///
+    /// * the resource bound comes from scratch per-cluster counts, and
+    ///   rejects together with the path bound *before* any edge is
+    ///   walked;
+    /// * `NComm` swaps the boundary ops' (and their flow producers')
+    ///   contributions for an overlay recount;
+    /// * the timing probe and the cut-slack tiebreak read per-dep overlay
+    ///   cut/extra values stamped for the deps incident to a boundary
+    ///   op — every other dep resolves to the resident state.
+    ///
+    /// Callers that adopt the winning candidate still apply it (e.g. via
+    /// [`Self::apply_many`]); the replay lands on exactly the evaluated
+    /// cost. Machines with more than 64 clusters overflow the overlay
+    /// masks and take a resident apply/evaluate/revert fallback instead.
+    pub fn trial_moves<'m>(
         &mut self,
-        moves: impl IntoIterator<Item = (&'m [usize], usize)>,
+        moves: impl IntoIterator<Item = TrialBatch<'m>>,
         than: &PartitionCost,
-    ) -> bool {
+    ) -> Option<PartitionCost> {
+        if self.nclusters > 64 {
+            return self.trial_moves_fallback(moves, than);
+        }
         self.move_epoch += 1;
         let ep = self.move_epoch;
+        self.touch_epoch += 1;
+        let rows_ep = self.touch_epoch;
         self.counts_scratch.clone_from(&self.counts);
         self.touched.clear();
-        for (ops, cluster) in moves {
+        let mut any_change = false;
+        for TrialBatch {
+            ops,
+            boundary,
+            cluster,
+        } in moves
+        {
             debug_assert!(cluster < self.nclusters, "cluster out of range");
             for &op in ops {
                 self.move_mark[op] = ep;
                 self.move_to[op] = cluster as u32;
                 let old = self.assign[op];
                 if old != cluster {
+                    // Pre-marking each *moving* batch op exempts the
+                    // interior ones (their communication provably cannot
+                    // change) from the producer recount below and keeps
+                    // the boundary ones from being swapped twice. A no-op
+                    // member (`old == cluster`) must NOT be exempted: it
+                    // never enters `touched`, so the producer walk is the
+                    // only place its contribution gets re-counted when a
+                    // consumer in the batch moves away from it.
+                    self.touch_mark[op] = rows_ep;
                     let k = self.kind_of[op] as usize;
                     self.counts_scratch[old][k] -= 1;
                     self.counts_scratch[cluster][k] += 1;
+                    any_change = true;
+                }
+            }
+            for &op in boundary {
+                if self.assign[op] != cluster {
                     self.touched.push(op);
                 }
             }
         }
-        // Interconnect term: only the moving ops and their flow producers
-        // can change communication, so the post-move `NComm` is the
-        // resident count with their contributions swapped for a recount
-        // under the overlay. Exact on uniform single-channel machines —
-        // there the pre-screen is exactly as strong as the post-apply one.
-        let ii_bus_lb = if self.net_cap > 0 && self.nclusters <= 64 {
-            let mut comm = self.comm_count;
-            self.touch_epoch += 1;
-            let tep = self.touch_epoch;
-            for i in 0..self.touched.len() {
-                let op = self.touched[i];
-                if self.touch_mark[op] != tep {
-                    self.touch_mark[op] = tep;
-                    comm = comm - self.comm_contrib(op) + self.comm_contrib_overlay(op, ep);
-                }
-                for (e, p) in self
-                    .ddg
-                    .graph()
-                    .in_edges(gpsched_graph::NodeId::from_index(op))
-                {
-                    if self.is_flow[e.index()] && self.touch_mark[p.index()] != tep {
-                        self.touch_mark[p.index()] = tep;
-                        comm = comm - self.comm_contrib(p.index())
-                            + self.comm_contrib_overlay(p.index(), ep);
-                    }
-                }
-            }
-            ((comm as i64 * self.net_occ + self.net_cap - 1) / self.net_cap).max(1)
-        } else {
-            1
-        };
-        let lower = self
+        if !any_change {
+            // Every move was a no-op: the trial assignment is the current
+            // one, which is never *strictly* better than the threshold.
+            return None;
+        }
+
+        // Resource + critical-path screen, before any edge is walked: the
+        // execution-time bound only tightens once the interconnect term
+        // joins, so a candidate rejected here is rejected either way.
+        let lower0 = self
             .ii_input
-            .max(res_bound_of(self.machine, &self.counts_scratch))
-            .max(ii_bus_lb);
-        let cluster_of = |op: usize| -> usize {
-            if self.move_mark[op] == ep {
-                self.move_to[op] as usize
-            } else {
-                self.assign[op]
-            }
-        };
+            .max(res_bound_of(self.machine, &self.counts_scratch));
         let mut max_path_lb = self.base_max_path;
-        for &e in &self.screen_deps {
-            let (s, d) = self
-                .ddg
-                .dep_endpoints(gpsched_graph::EdgeId::from_index(e as usize));
-            let (cs, cd) = (cluster_of(s.index()), cluster_of(d.index()));
+        for (&e, &(s, d)) in self.screen_deps.iter().zip(&self.screen_ends) {
+            let (cs, cd) = (
+                self.overlay_cluster(s as usize, ep),
+                self.overlay_cluster(d as usize, ep),
+            );
             if cs != cd {
                 let x = if self.uniform_lat >= 0 {
                     self.uniform_lat
@@ -701,10 +821,225 @@ impl<'a> CostEvaluator<'a> {
                 };
                 if x > 0 {
                     max_path_lb = max_path_lb.max(self.p0[e as usize] + x);
+                    if self.uniform_lat >= 0 {
+                        // Descending `p0`, constant term: decided here.
+                        break;
+                    }
                 }
             }
         }
-        self.ddg.execution_time(lower, max_path_lb) > than.exec_time
+        if self.ddg.execution_time(lower0, max_path_lb) > than.exec_time {
+            self.stats.screen_rejected.add(1);
+            return None;
+        }
+
+        // Interconnect term: only the boundary ops and their flow
+        // producers can change communication, so the trial `NComm` is the
+        // resident count with their contributions swapped for an overlay
+        // recount. `touch_mark` afterwards stamps exactly the ops whose
+        // consumer table rows are stale under the overlay.
+        let mut comm = self.comm_count;
+        for i in 0..self.touched.len() {
+            let op = self.touched[i];
+            comm = comm - self.comm_contrib(op) + self.comm_contrib_overlay(op, ep);
+            for (e, p) in self
+                .ddg
+                .graph()
+                .in_edges(gpsched_graph::NodeId::from_index(op))
+            {
+                if self.is_flow[e.index()] && self.touch_mark[p.index()] != rows_ep {
+                    self.touch_mark[p.index()] = rows_ep;
+                    comm = comm - self.comm_contrib(p.index())
+                        + self.comm_contrib_overlay(p.index(), ep);
+                }
+            }
+        }
+        let ii_bus = if self.net_cap > 0 {
+            ((comm as i64 * self.net_occ + self.net_cap - 1) / self.net_cap).max(1)
+        } else {
+            self.channel_bound_overlay(ep, rows_ep)
+        };
+        if self.ddg.execution_time(lower0.max(ii_bus), max_path_lb) > than.exec_time {
+            self.stats.screen_rejected.add(1);
+            return None;
+        }
+        let lower = lower0.max(ii_bus);
+
+        // Per-dep overlay for the timing probe: only deps incident to a
+        // boundary op can change cut status or transfer delay (interior
+        // deps keep both endpoints co-resident).
+        self.dep_epoch += 1;
+        let dep_ep = self.dep_epoch;
+        self.deps_touched.clear();
+        for i in 0..self.touched.len() {
+            let op = self.touched[i];
+            let id = gpsched_graph::NodeId::from_index(op);
+            for (e, p) in self.ddg.graph().in_edges(id) {
+                self.stamp_dep(e.index(), p.index(), op, ep, dep_ep);
+            }
+            for (e, d) in self.ddg.graph().out_edges(id) {
+                if d.index() != op {
+                    self.stamp_dep(e.index(), op, d.index(), ep, dep_ep);
+                }
+            }
+        }
+
+        let ii = {
+            let (ws, extra, ddg) = (&mut self.ws, &self.extra, self.ddg);
+            let (dep_mark, dep_extra) = (&self.dep_mark, &self.dep_extra);
+            let mut ii = lower;
+            loop {
+                let overlaid = |e: gpsched_graph::EdgeId| {
+                    let i = e.index();
+                    if dep_mark[i] == dep_ep {
+                        dep_extra[i]
+                    } else {
+                        extra[i]
+                    }
+                };
+                if ws.analyze_exec(ddg, ii, overlaid).is_some() {
+                    break ii;
+                }
+                ii += 1;
+            }
+        };
+        if self.ddg.execution_time(ii, self.ws.last().max_path) > than.exec_time {
+            self.stats.exec_rejected.add(1);
+            return None;
+        }
+        let cost = self.assemble_overlay(ii_bus, ii, comm, dep_ep);
+        cost.better_than(than).then_some(cost)
+    }
+
+    /// Stamps dep `e` (endpoints `s → d`) into the trial overlay with its
+    /// cut status and transfer delay under move epoch `ep`, once per trial
+    /// (`dep_mark` deduplicates deps seen from both endpoints).
+    fn stamp_dep(&mut self, e: usize, s: usize, d: usize, ep: u64, dep_ep: u64) {
+        if self.dep_mark[e] == dep_ep {
+            return;
+        }
+        self.dep_mark[e] = dep_ep;
+        let (cs, cd) = (self.overlay_cluster(s, ep), self.overlay_cluster(d, ep));
+        let now = cs != cd;
+        self.dep_cut[e] = now;
+        self.dep_extra[e] = if now && self.is_flow[e] {
+            if self.uniform_lat >= 0 {
+                self.uniform_lat
+            } else {
+                self.pair_lat[cs * self.nclusters + cd]
+            }
+        } else {
+            0
+        };
+        self.deps_touched.push(e as u32);
+    }
+
+    /// [`Self::channel_bound_general`] under the trial overlay: producers
+    /// whose consumer rows are stale (`touch_mark == rows_ep`) are
+    /// recounted from their flow out-edges; everyone else books straight
+    /// from the resident consumer table.
+    #[cold]
+    fn channel_bound_overlay(&mut self, ep: u64, rows_ep: u64) -> i64 {
+        gpsched_trace::counter!("partition.evaluator_rebuilds");
+        self.chan.clear();
+        for p in 0..self.ddg.op_count() {
+            if self.touch_mark[p] == rows_ep {
+                let home = self.overlay_cluster(p, ep);
+                let mut mask: u64 = 0;
+                for (e, d) in self
+                    .ddg
+                    .graph()
+                    .out_edges(gpsched_graph::NodeId::from_index(p))
+                {
+                    if self.is_flow[e.index()] {
+                        let c = self.overlay_cluster(d.index(), ep);
+                        if c != home {
+                            mask |= 1 << c;
+                        }
+                    }
+                }
+                while mask != 0 {
+                    let c = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    self.chan.add_pair(home, c);
+                }
+            } else {
+                let home = self.assign[p];
+                for c in 0..self.nclusters {
+                    if c != home && self.consumers_in[p * self.nclusters + c] > 0 {
+                        self.chan.add_pair(home, c);
+                    }
+                }
+            }
+        }
+        self.chan.bound()
+    }
+
+    /// [`Self::assemble`] for a trial: the resident cut flags drive the
+    /// slack sum, then the stamped deps whose overlay cut status differs
+    /// fix up the slack and the cut size.
+    fn assemble_overlay(
+        &mut self,
+        ii_bus: i64,
+        ii: i64,
+        comm: usize,
+        dep_ep: u64,
+    ) -> PartitionCost {
+        self.ws.complete_slack();
+        let t = self.ws.last();
+        let mut cut_slack: i64 = self
+            .cut_list
+            .iter()
+            .map(|&e| t.edge_slack[e as usize])
+            .sum();
+        let mut cut_size = self.cut_list.len();
+        for &e in &self.deps_touched {
+            let e = e as usize;
+            debug_assert_eq!(self.dep_mark[e], dep_ep);
+            let (was, now) = (self.cut[e], self.dep_cut[e]);
+            if was != now {
+                if now {
+                    cut_slack += t.edge_slack[e];
+                    cut_size += 1;
+                } else {
+                    cut_slack -= t.edge_slack[e];
+                    cut_size -= 1;
+                }
+            }
+        }
+        PartitionCost {
+            comm_count: comm,
+            ii_bus,
+            ii_effective: ii,
+            max_path: t.max_path,
+            exec_time: self.ddg.execution_time(ii, t.max_path),
+            cut_slack,
+            cut_size,
+        }
+    }
+
+    /// Resident-state fallback for [`Self::trial_moves`] on machines whose
+    /// cluster count overflows the u64 overlay masks: apply the batches,
+    /// evaluate, revert. Same result, not overlay-cheap.
+    #[cold]
+    fn trial_moves_fallback<'m>(
+        &mut self,
+        moves: impl IntoIterator<Item = TrialBatch<'m>>,
+        than: &PartitionCost,
+    ) -> Option<PartitionCost> {
+        let mut saved: Vec<(usize, usize)> = Vec::new();
+        for TrialBatch { ops, cluster, .. } in moves {
+            for &op in ops {
+                saved.push((op, self.assign[op]));
+            }
+            self.apply_many(ops, cluster);
+        }
+        let cost = self.cost_if_better(than);
+        // Reverse order restores ops moved by multiple batches exactly.
+        for &(op, old) in saved.iter().rev() {
+            self.apply(op, old);
+        }
+        cost
     }
 }
 

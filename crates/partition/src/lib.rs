@@ -54,7 +54,7 @@ pub mod weights;
 
 pub use comm::{comm_cost, ChannelLoad};
 pub use estimate::{estimate, estimate_with, PartitionCost};
-pub use evaluator::CostEvaluator;
+pub use evaluator::{CostEvaluator, TrialBatch};
 pub use multilevel::{
     partition_ddg, partition_ddg_with, MatchStrategy, PartitionOptions, PartitionResult,
 };

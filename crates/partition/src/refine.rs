@@ -5,14 +5,16 @@
 //! paper's objective: *estimated execution time*, not cut size).
 //!
 //! The cut pass evaluates candidate moves through the incremental
-//! [`CostEvaluator`]: each candidate is applied as O(degree) deltas,
-//! screened against a cheap execution-time lower bound, and only the
-//! survivors pay for a timing re-analysis (through the evaluator's reusable
-//! workspace) — no per-candidate `expand`/`Partition` allocations remain.
+//! [`CostEvaluator`]'s overlay trials ([`CostEvaluator::trial_moves`]):
+//! each candidate is screened against a cheap execution-time lower bound
+//! and costed entirely under a hypothetical-assignment overlay — the
+//! resident state is only mutated for the one move per round that
+//! actually wins. No per-candidate apply/revert cycles, `expand` calls or
+//! `Partition` allocations remain.
 
 use crate::coarsen::Level;
 use crate::estimate::PartitionCost;
-use crate::evaluator::CostEvaluator;
+use crate::evaluator::{CostEvaluator, TrialBatch};
 use gpsched_ddg::Ddg;
 use gpsched_machine::{MachineConfig, ResourceKind};
 
@@ -54,6 +56,37 @@ pub fn expand(level: &Level, assign: &[usize]) -> Vec<usize> {
         }
     }
     out
+}
+
+/// Per-node boundary members: the member ops with a dependence whose
+/// other endpoint belongs to a different node. Only they can change
+/// communication or cut state when the node moves — the evaluator's
+/// overlay trials skip the interior entirely ([`TrialBatch::boundary`]).
+fn boundary_members(ddg: &Ddg, level: &Level) -> Vec<Vec<usize>> {
+    let mut node_of = vec![0u32; ddg.op_count()];
+    for (node, ops) in level.members.iter().enumerate() {
+        for &op in ops {
+            node_of[op] = node as u32;
+        }
+    }
+    level
+        .members
+        .iter()
+        .map(|ops| {
+            ops.iter()
+                .copied()
+                .filter(|&op| {
+                    let id = gpsched_graph::NodeId::from_index(op);
+                    let here = node_of[op];
+                    ddg.graph()
+                        .in_edges(id)
+                        .map(|(_, p)| p)
+                        .chain(ddg.graph().out_edges(id).map(|(_, d)| d))
+                        .any(|n| node_of[n.index()] != here)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Per-node functional-unit usage: `usage[node][kind]` = ops of that kind.
@@ -101,21 +134,22 @@ fn capacities(machine: &MachineConfig, ii: i64) -> Vec<[i64; 3]> {
 /// (cluster, resource) is loaded beyond 100% of its `ii` slots, move a node
 /// that uses the resource to a cluster where it fits without overloading
 /// that resource or any more-saturated one. Returns the number of moves.
+/// `usage` must be `node_usage` for this level (the caller shares one
+/// table between both refinement passes).
 pub fn balance_pass(
-    ddg: &Ddg,
     machine: &MachineConfig,
     ii: i64,
     level: &Level,
+    usage: &[[i64; 3]],
     assign: &mut [usize],
     max_moves: usize,
 ) -> usize {
-    let usage = node_usage(ddg, level);
     let caps = capacities(machine, ii);
     let nclusters = machine.cluster_count();
     let mut moves = 0usize;
 
     // Maintained incrementally across moves (it was recomputed per round).
-    let mut totals = cluster_usage(&usage, assign, nclusters);
+    let mut totals = cluster_usage(usage, assign, nclusters);
     let mut overloaded: Vec<(usize, usize, f64)> = Vec::new();
     let mut nodes: Vec<usize> = Vec::new();
 
@@ -192,12 +226,14 @@ pub fn balance_pass(
 /// this evaluator computed it — the multilevel driver's projection leaves
 /// the op-level assignment unchanged between levels, so the entry
 /// reload-and-recost is skipped whenever the evaluator still holds it.
+/// `usage` must be `node_usage` for this level.
 #[allow(clippy::too_many_arguments)]
 pub fn cut_pass(
     ddg: &Ddg,
     machine: &MachineConfig,
     ii_input: i64,
     level: &Level,
+    usage: &[[i64; 3]],
     assign: &mut [usize],
     opts: &RefineOptions,
     ev: &mut CostEvaluator<'_>,
@@ -207,7 +243,9 @@ pub fn cut_pass(
         ev.is_for(ddg, machine),
         "evaluator was built for a different DDG/machine"
     );
-    let usage = node_usage(ddg, level);
+    // At the finest level every node is a single op and the conservative
+    // "everything is boundary" answer is exact — skip the edge walk.
+    let boundary = (level.node_count() < ddg.op_count()).then(|| boundary_members(ddg, level));
     let nclusters = machine.cluster_count();
     let expanded = expand(level, assign);
     let mut current = match prev {
@@ -221,6 +259,11 @@ pub fn cut_pass(
         }
     };
     let mut moves = 0usize;
+    // Candidate-evaluation tally, batched per pass (a `Cell` because the
+    // `consider` closure and the adoption loop both touch it): one
+    // increment per overlay trial was a measurable share of
+    // enabled-tracing overhead.
+    let evaluated = std::cell::Cell::new(0u64);
 
     // Buffers hoisted out of the move loop.
     let mut candidates: Vec<(i64, usize, usize)> = Vec::new();
@@ -228,50 +271,44 @@ pub fn cut_pass(
     let mut gain_clusters: Vec<usize> = Vec::new();
     let mut partners: Vec<usize> = Vec::new();
     let mut changes: Vec<(usize, usize)> = Vec::new();
-    let mut saved: Vec<usize> = Vec::new();
+
+    // "Enough resources" is judged at the II the current partition
+    // actually achieves, not the (possibly smaller) input II. Capacities
+    // follow that II across rounds; totals follow the applied moves.
+    let mut caps_ii = current.ii_effective.max(1);
+    let mut caps = capacities(machine, caps_ii);
+    let mut totals = cluster_usage(usage, assign, nclusters);
 
     while moves < opts.max_moves {
-        // "Enough resources" is judged at the II the current partition
-        // actually achieves, not the (possibly smaller) input II.
-        let caps = capacities(machine, current.ii_effective.max(1));
-        let totals = cluster_usage(&usage, assign, nclusters);
+        if current.ii_effective.max(1) != caps_ii {
+            caps_ii = current.ii_effective.max(1);
+            caps = capacities(machine, caps_ii);
+        }
+        let caps = &caps;
         let fits_move = |totals: &[[i64; 3]], v: usize, c2: usize| -> bool {
             (0..3).all(|k| totals[c2][k] + usage[v][k] <= caps[c2][k])
         };
 
         let mut best: Option<(Vec<(usize, usize)>, PartitionCost)> = None;
 
-        // Evaluates `changes` through the incremental evaluator: apply the
-        // member-op deltas, screen + estimate against the best so far,
-        // revert. No allocation beyond the (reused) changes buffers.
+        // Evaluates `changes` as an overlay trial: screen + estimate
+        // against the best so far, without touching the evaluator's
+        // resident state. No allocation beyond the (reused) buffers.
+        let boundary = &boundary;
         let consider =
             |changes: &[(usize, usize)],
-             saved: &mut Vec<usize>,
              ev: &mut CostEvaluator<'_>,
              best: &mut Option<(Vec<(usize, usize)>, PartitionCost)>| {
-                gpsched_trace::counter!("partition.moves_evaluated");
+                evaluated.set(evaluated.get() + 1);
                 let threshold = best.as_ref().map_or(&current, |(_, b)| b);
-                // Pre-move screen: candidates that provably cannot win are
-                // rejected before the member deltas are even applied.
-                if ev.screen_moves(
-                    changes
-                        .iter()
-                        .map(|&(v, c)| (level.members[v].as_slice(), c)),
+                let cost = ev.trial_moves(
+                    changes.iter().map(|&(v, c)| TrialBatch {
+                        ops: &level.members[v],
+                        boundary: boundary.as_ref().map_or(&level.members[v], |b| &b[v]),
+                        cluster: c,
+                    }),
                     threshold,
-                ) {
-                    gpsched_trace::counter!("partition.screen_rejected");
-                    gpsched_trace::counter!("partition.prescreen_hit");
-                    return;
-                }
-                saved.clear();
-                saved.extend(changes.iter().map(|&(v, _)| assign[v]));
-                for &(v, c) in changes {
-                    ev.apply_many(&level.members[v], c);
-                }
-                let cost = ev.cost_if_better(threshold);
-                for (&(v, _), &old) in changes.iter().zip(saved.iter()) {
-                    ev.apply_many(&level.members[v], old);
-                }
+                );
                 if let Some(cost) = cost {
                     *best = Some((changes.to_vec(), cost));
                 }
@@ -304,14 +341,25 @@ pub fn cut_pass(
                 gain_to[c2] = 0;
             }
         }
-        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-        candidates.truncate(opts.eval_candidates);
+        // (gain, v, c2) is a total order, so selecting the top
+        // `eval_candidates` before sorting yields the same prefix the full
+        // sort would.
+        let by_gain = |a: &(i64, usize, usize), b: &(i64, usize, usize)| {
+            b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+        };
+        if opts.eval_candidates == 0 {
+            candidates.clear();
+        } else if candidates.len() > opts.eval_candidates {
+            candidates.select_nth_unstable_by(opts.eval_candidates - 1, by_gain);
+            candidates.truncate(opts.eval_candidates);
+        }
+        candidates.sort_by(by_gain);
         for &(_, v, c2) in &candidates {
             let cl = assign[v];
             if fits_move(&totals, v, c2) {
                 changes.clear();
                 changes.push((v, c2));
-                consider(&changes, &mut saved, ev, &mut best);
+                consider(&changes, ev, &mut best);
             } else {
                 // Try interchanges that make room (§3.2.2).
                 partners.clear();
@@ -329,7 +377,7 @@ pub fn cut_pass(
                         changes.clear();
                         changes.push((v, c2));
                         changes.push((u, cl));
-                        consider(&changes, &mut saved, ev, &mut best);
+                        consider(&changes, ev, &mut best);
                     }
                 }
             }
@@ -338,16 +386,22 @@ pub fn cut_pass(
         match best {
             Some((chosen, cost)) => {
                 for (v, c) in chosen {
+                    for k in 0..3 {
+                        totals[assign[v]][k] -= usage[v][k];
+                        totals[c][k] += usage[v][k];
+                    }
                     assign[v] = c;
                     ev.apply_many(&level.members[v], c);
                 }
+                debug_assert_eq!(cost, ev.cost(), "overlay trial diverged from apply");
                 current = cost;
                 moves += 1;
-                gpsched_trace::counter!("partition.moves_applied");
             }
             None => break,
         }
     }
+    gpsched_trace::counter!("partition.moves_evaluated", evaluated.get());
+    gpsched_trace::counter!("partition.moves_applied", moves as u64);
     current
 }
 
@@ -367,12 +421,16 @@ pub fn refine_level(
     prev: Option<PartitionCost>,
 ) -> PartitionCost {
     let _span = gpsched_trace::span!("partition.refine", "nodes={}", level.node_count());
+    // Both passes consume the same per-node usage table; compute it once.
+    let usage = node_usage(ddg, level);
     let mut prev = prev;
-    if opts.balance && balance_pass(ddg, machine, ii_input, level, assign, opts.max_moves) > 0 {
+    if opts.balance && balance_pass(machine, ii_input, level, &usage, assign, opts.max_moves) > 0 {
         prev = None; // the assignment changed under the carried cost
     }
     if opts.cut {
-        cut_pass(ddg, machine, ii_input, level, assign, opts, ev, prev)
+        cut_pass(
+            ddg, machine, ii_input, level, &usage, assign, opts, ev, prev,
+        )
     } else {
         ev.reset(ii_input, &expand(level, assign));
         ev.cost()
@@ -406,7 +464,8 @@ mod tests {
         let m = MachineConfig::two_cluster(32, 1, 1);
         let level = level_of(&ddg, &m);
         let mut assign = vec![0usize; 8];
-        let moves = balance_pass(&ddg, &m, 2, &level, &mut assign, 100);
+        let usage = node_usage(&ddg, &level);
+        let moves = balance_pass(&m, 2, &level, &usage, &mut assign, 100);
         assert!(moves >= 4);
         let in_c1 = assign.iter().filter(|&&c| c == 1).count();
         assert_eq!(in_c1, 4);
@@ -425,7 +484,8 @@ mod tests {
         let mut assign = vec![0usize; 10];
         // Must terminate (no infinite loop) even though both clusters stay
         // overloaded.
-        balance_pass(&ddg, &m, 1, &level, &mut assign, 100);
+        let usage = node_usage(&ddg, &level);
+        balance_pass(&m, 1, &level, &usage, &mut assign, 100);
     }
 
     #[test]
@@ -454,6 +514,7 @@ mod tests {
             &m,
             1,
             &level,
+            &node_usage(&ddg, &level),
             &mut assign,
             &RefineOptions::default(),
             &mut ev,
@@ -518,6 +579,7 @@ mod tests {
             &m,
             2,
             &level,
+            &node_usage(&ddg, &level),
             &mut assign,
             &RefineOptions::default(),
             &mut ev,

@@ -4,11 +4,14 @@
 //!
 //! This is the behavioral contract the refinement hot path relies on: any
 //! divergence between the delta-maintained cut state and a full recount
-//! would silently change which moves refinement picks.
+//! would silently change which moves refinement picks. The `trial_moves`
+//! tests extend the same contract to the PR 8 overlay path: a speculative
+//! batch evaluation must be bit-identical to apply → evaluate → revert,
+//! including the interior exemption for co-resident groups.
 
 use gpsched_ddg::mii;
 use gpsched_machine::MachineConfig;
-use gpsched_partition::{estimate, CostEvaluator, Partition};
+use gpsched_partition::{estimate, CostEvaluator, Partition, TrialBatch};
 use gpsched_workloads::rng::Prng;
 use gpsched_workloads::synth::{synthesize, SynthProfile};
 
@@ -237,5 +240,233 @@ fn evaluator_screen_never_lies() {
                 None => assert!(!full.better_than(&reference)),
             }
         }
+    }
+}
+
+/// One step of the `trial_moves` contract: the overlay evaluation of a
+/// set of move batches must be bit-identical to applying the batches,
+/// recomputing, and reverting — including the `than` threshold gate.
+fn check_trial_sequence(seed: u64, machine: &MachineConfig) {
+    let profile = SynthProfile {
+        ops: 20 + (seed as usize % 3) * 9,
+        recurrences: 1 + (seed as usize % 3),
+        ..SynthProfile::default()
+    };
+    let ddg = synthesize(format!("trial-{seed}"), &profile, seed);
+    let nclusters = machine.cluster_count();
+    let mut rng = Prng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F));
+    let ii_input = mii::mii(&ddg, machine);
+    let mut assign: Vec<usize> = (0..ddg.op_count())
+        .map(|_| rng.gen_range(0..nclusters))
+        .collect();
+    let mut ev = CostEvaluator::new(&ddg, machine);
+    ev.reset(ii_input, &assign);
+
+    for step in 0..60 {
+        // 1–2 disjoint batches (the refinement loop evaluates single moves
+        // and pair swaps), each 1–3 ops to one destination.
+        let nbatches = 1 + rng.gen_range(0u32..2) as usize;
+        let mut used = vec![false; ddg.op_count()];
+        let mut batches: Vec<(Vec<usize>, usize)> = Vec::new();
+        for _ in 0..nbatches {
+            let mut ops = Vec::new();
+            for _ in 0..1 + rng.gen_range(0u32..3) {
+                let op = rng.gen_range(0..ddg.op_count());
+                if !used[op] {
+                    used[op] = true;
+                    ops.push(op);
+                }
+            }
+            if !ops.is_empty() {
+                batches.push((ops, rng.gen_range(0..nclusters)));
+            }
+        }
+        let than = ev.cost();
+        let trial = ev.trial_moves(
+            batches.iter().map(|(ops, c)| TrialBatch {
+                ops,
+                boundary: ops,
+                cluster: *c,
+            }),
+            &than,
+        );
+
+        // Ground truth: apply, recompute, gate on `than`, revert.
+        let saved: Vec<(usize, usize)> = batches
+            .iter()
+            .flat_map(|(ops, _)| ops.iter().map(|&op| (op, assign[op])))
+            .collect();
+        for (ops, c) in &batches {
+            for &op in ops {
+                ev.apply(op, *c);
+                assign[op] = *c;
+            }
+        }
+        let full = ev.cost();
+        let expected = full.better_than(&than).then_some(full);
+        assert_eq!(
+            trial,
+            expected,
+            "seed {seed} on {}, step {step}: trial_moves diverged from apply/evaluate/revert",
+            machine.short_name()
+        );
+
+        // Sometimes adopt the move (wandering keeps the sequences from
+        // orbiting one assignment); otherwise revert.
+        if expected.is_none() || rng.gen_range(0u32..100) < 60 {
+            for &(op, old) in saved.iter().rev() {
+                ev.apply(op, old);
+                assign[op] = old;
+            }
+        }
+        assert_eq!(ev.assignment(), assign.as_slice());
+    }
+}
+
+/// The interior-exemption contract: a batch of *co-resident* ops moving
+/// together may pass only its group boundary in `boundary`; interior ops
+/// (every dependence endpoint inside the batch) must not change the
+/// verdict.
+fn check_boundary_batches(seed: u64, machine: &MachineConfig) {
+    let profile = SynthProfile {
+        ops: 30,
+        recurrences: 2,
+        ..SynthProfile::default()
+    };
+    let ddg = synthesize(format!("boundary-{seed}"), &profile, seed);
+    let nclusters = machine.cluster_count();
+    let mut rng = Prng::seed_from_u64(seed.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    let ii_input = mii::mii(&ddg, machine);
+    // Few clusters + BFS blobs → real interiors, not all-boundary batches.
+    let mut assign: Vec<usize> = (0..ddg.op_count())
+        .map(|_| rng.gen_range(0..nclusters))
+        .collect();
+    let mut ev = CostEvaluator::new(&ddg, machine);
+    ev.reset(ii_input, &assign);
+
+    let neighbors = |op: usize| -> Vec<usize> {
+        let id = gpsched_graph::NodeId::from_index(op);
+        ddg.graph()
+            .out_edges(id)
+            .map(|(_, d)| d.index())
+            .chain(ddg.graph().in_edges(id).map(|(_, p)| p.index()))
+            .collect()
+    };
+
+    for step in 0..40 {
+        // Grow a connected co-resident blob from a random seed op.
+        let root = rng.gen_range(0..ddg.op_count());
+        let home = assign[root];
+        let mut blob = vec![root];
+        let mut i = 0;
+        while i < blob.len() && blob.len() < 6 {
+            for n in neighbors(blob[i]) {
+                if assign[n] == home && !blob.contains(&n) && blob.len() < 6 {
+                    blob.push(n);
+                }
+            }
+            i += 1;
+        }
+        let dest = rng.gen_range(0..nclusters);
+        let boundary: Vec<usize> = blob
+            .iter()
+            .copied()
+            .filter(|&op| neighbors(op).iter().any(|n| !blob.contains(n)))
+            .collect();
+
+        let than = ev.cost();
+        let trial = ev.trial_moves(
+            [TrialBatch {
+                ops: &blob,
+                boundary: &boundary,
+                cluster: dest,
+            }],
+            &than,
+        );
+        let saved: Vec<usize> = blob.iter().map(|&op| assign[op]).collect();
+        for &op in &blob {
+            ev.apply(op, dest);
+            assign[op] = dest;
+        }
+        let full = ev.cost();
+        let expected = full.better_than(&than).then_some(full);
+        assert_eq!(
+            trial,
+            expected,
+            "seed {seed} on {}, step {step}: boundary-exempt trial diverged \
+             (blob {blob:?}, boundary {boundary:?})",
+            machine.short_name()
+        );
+        if expected.is_none() || rng.gen_range(0u32..100) < 50 {
+            for (&op, &old) in blob.iter().zip(&saved) {
+                ev.apply(op, old);
+                assign[op] = old;
+            }
+        }
+    }
+}
+
+#[test]
+fn trial_moves_matches_apply_on_uniform_machines() {
+    for seed in 50..58 {
+        check_trial_sequence(seed, &MachineConfig::two_cluster(32, 1, 1));
+        check_trial_sequence(seed, &MachineConfig::four_cluster(64, 1, 2));
+    }
+}
+
+#[test]
+fn trial_moves_matches_apply_on_ring() {
+    let m = gpsched_machine::MachineConfig::homogeneous_with(
+        4,
+        (1, 1, 1),
+        64,
+        gpsched_machine::Interconnect::Ring {
+            hop_latency: 2,
+            links_per_hop: 1,
+        },
+    );
+    for seed in 60..66 {
+        check_trial_sequence(seed, &m);
+    }
+}
+
+#[test]
+fn trial_moves_matches_apply_on_point_to_point() {
+    let m = gpsched_machine::MachineConfig::homogeneous_with(
+        3,
+        (2, 1, 1),
+        48,
+        gpsched_machine::Interconnect::PointToPoint {
+            channels: 1,
+            latency: vec![0, 1, 4, 2, 0, 1, 1, 3, 0],
+        },
+    );
+    for seed in 70..76 {
+        check_trial_sequence(seed, &m);
+    }
+}
+
+#[test]
+fn trial_moves_matches_apply_on_pipelined_bus() {
+    let m = gpsched_machine::MachineConfig::homogeneous_with(
+        2,
+        (2, 2, 2),
+        32,
+        gpsched_machine::Interconnect::SharedBus {
+            count: 1,
+            latency: 2,
+            pipelined: true,
+        },
+    );
+    for seed in 80..86 {
+        check_trial_sequence(seed, &m);
+    }
+}
+
+#[test]
+fn boundary_exempt_batches_match_apply() {
+    for seed in 90..96 {
+        check_boundary_batches(seed, &MachineConfig::two_cluster(32, 1, 1));
+        check_boundary_batches(seed, &MachineConfig::four_cluster(64, 1, 2));
     }
 }

@@ -435,6 +435,10 @@ fn spill_pass(
             .fold(l.keep, i64::max)
     };
 
+    // Rollback tallies, batched per pass: the victim loop can unwind
+    // hundreds of times, and per-unwind atomic counters were a measurable
+    // share of enabled-tracing overhead.
+    let (mut rollbacks, mut undo_entries) = (0u64, 0u64);
     let mut pressure = crate::lifetime::PressureTable::new(caps.to_vec(), ii);
     for l in lives {
         pressure.add(l.cluster, l.def, full_last(l));
@@ -473,6 +477,8 @@ fn spill_pass(
         let candidate = victim.filter(|_| mem_units[c] > 0);
         let Some(victim) = candidate else {
             if strict {
+                gpsched_trace::counter!("sched.trial_rollbacks", rollbacks);
+                gpsched_trace::counter!("sched.undo_entries", undo_entries);
                 return Err(PassFail::NoCandidate);
             }
             given_up[c] = true;
@@ -516,10 +522,17 @@ fn spill_pass(
             }
         }
         if !feasible {
+            // The list scheduler's hand-rolled rollback: same discipline
+            // as the modulo scheduler's undo log, counted under the same
+            // name so traces show every trial unwind.
+            rollbacks += 1;
+            undo_entries += booked.len() as u64;
             for t in booked {
                 mem[c][(t % ii) as usize] -= 1;
             }
             if strict {
+                gpsched_trace::counter!("sched.trial_rollbacks", rollbacks);
+                gpsched_trace::counter!("sched.undo_entries", undo_entries);
                 return Err(PassFail::NoSlot);
             }
             given_up[c] = true;
@@ -543,6 +556,8 @@ fn spill_pass(
         gpsched_trace::counter!("sched.spills_inserted");
         spilled[victim] = true;
     }
+    gpsched_trace::counter!("sched.trial_rollbacks", rollbacks);
+    gpsched_trace::counter!("sched.undo_entries", undo_entries);
     let max_live = (0..nclusters).map(|c| pressure.max_live(c)).collect();
     Ok((ii, spills, max_live, length))
 }

@@ -13,7 +13,7 @@ pub fn slot(t: i64, ii: i64) -> usize {
 }
 
 /// Reservation table of one cluster's functional units at a fixed II.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct ClusterMrt {
     ii: i64,
     caps: [u32; 3],
@@ -138,7 +138,7 @@ impl ClusterMrt {
 /// [`gpsched_machine::Interconnect`] variant (bus count, p2p channels,
 /// ring links per hop) — is a single scalar: cloning costs one
 /// allocation, exactly like the single-bus table it replaced.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct ChannelTable {
     ii: i64,
     nch: u32,

@@ -44,16 +44,28 @@ pub fn sms_order_with(ddg: &Ddg, ii: i64, ws: &mut TimingWorkspace) -> Vec<OpId>
 /// (the drivers analyze once per attempt and share the result between the
 /// ordering and the placement windows).
 pub fn sms_order_from(ddg: &Ddg, t: &Timing) -> Vec<OpId> {
+    sms_order_precomputed(ddg, t, &sms_precompute(ddg))
+}
+
+/// The II-independent half of the SMS ordering: recurrence detection,
+/// criticality ranking and Llosa's set formation. None of it reads the
+/// timing analysis, so the II-raising retry loops compute it once per
+/// loop and reorder with [`sms_order_precomputed`] at each II.
+#[derive(Clone, Debug)]
+pub struct SmsPrecomp {
+    /// The node sets to sweep, in processing order (recurrences by
+    /// decreasing criticality — each augmented with its connecting
+    /// paths — then the remaining nodes).
+    sets: Vec<Vec<usize>>,
+}
+
+/// Computes the [`SmsPrecomp`] of `ddg` (steps 1 and the set formation of
+/// step 2 of the module-level algorithm).
+pub fn sms_precompute(ddg: &Ddg) -> SmsPrecomp {
     let n = ddg.op_count();
     if n == 0 {
-        return Vec::new();
+        return SmsPrecomp { sets: Vec::new() };
     }
-    // depth = earliest start (longest path in), height = longest path out.
-    let depth: &[i64] = &t.asap;
-    let span = t.asap.iter().copied().max().unwrap_or(0);
-    let height: Vec<i64> = t.alap.iter().map(|&a| span - a).collect();
-    let mobility: Vec<i64> = (0..n).map(|v| t.alap[v] - t.asap[v]).collect();
-
     // Sets: recurrences by decreasing RecMII, then everything else.
     let comps = tarjan_scc(ddg.graph());
     let mut rec_sets: Vec<(i64, Vec<usize>)> = Vec::new();
@@ -149,6 +161,22 @@ pub fn sms_order_from(ddg: &Ddg, t: &Timing) -> Vec<OpId> {
     if !rest.is_empty() {
         sets.push(rest);
     }
+    SmsPrecomp { sets }
+}
+
+/// [`sms_order_from`] with the set formation already done — the
+/// II-dependent sweeps only. `pre` must come from [`sms_precompute`] on
+/// the same DDG.
+pub fn sms_order_precomputed(ddg: &Ddg, t: &Timing, pre: &SmsPrecomp) -> Vec<OpId> {
+    let n = ddg.op_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    // depth = earliest start (longest path in), height = longest path out.
+    let depth: &[i64] = &t.asap;
+    let span = t.asap.iter().copied().max().unwrap_or(0);
+    let height: Vec<i64> = t.alap.iter().map(|&a| span - a).collect();
+    let mobility: Vec<i64> = (0..n).map(|v| t.alap[v] - t.asap[v]).collect();
 
     // Neighbour queries on the whole graph (all distances).
     let preds = |v: usize| -> Vec<usize> {
@@ -168,9 +196,9 @@ pub fn sms_order_from(ddg: &Ddg, t: &Timing) -> Vec<OpId> {
     let mut placed = vec![false; n];
 
     let mut sset = NodeBitSet::new(n);
-    for set in sets {
+    for set in &pre.sets {
         sset.clear();
-        for &v in &set {
+        for &v in set {
             sset.insert(v);
         }
         // Work list seeding: prefer connecting to already-ordered nodes.

@@ -11,16 +11,23 @@
 //!
 //! Everything else (SMS order, window scan, transactional placement,
 //! spill-on-overflow) is shared engine.
+//!
+//! Policies mutate the schedule in place through the undo-log trial API
+//! ([`PartialSchedule::begin_trial`] and friends): a failed candidate is
+//! rolled back in O(its mutations) instead of discarding a clone. Merit
+//! arbitration snapshots the handful of aggregate statistics the figure
+//! of merit reads *before* trialling, rolls every trial back, and replays
+//! the winner — deterministic replay on bit-identical state reproduces
+//! the winning trial exactly.
 
 use crate::merit::Merit;
 use crate::state::{PartialSchedule, Placement};
 use gpsched_ddg::OpId;
 use gpsched_partition::{Partition, PartitionResult};
 
-/// Everything a cluster policy may consult when placing one op.
-pub struct PlaceCtx<'c, 'a> {
-    /// The partial schedule to extend (policies clone it per trial).
-    pub ps: &'c PartialSchedule<'a>,
+/// Everything a cluster policy may consult when placing one op (the
+/// schedule itself is passed separately, mutably).
+pub struct PlaceCtx<'c> {
     /// The op to place.
     pub op: OpId,
     /// Candidate issue cycles, in scan order (the SMS window).
@@ -33,25 +40,6 @@ pub struct PlaceCtx<'c, 'a> {
     pub merit_threshold: f64,
 }
 
-/// Recycled trial states. Rejected candidate clones are parked here and
-/// refreshed with `clone_from` (which reuses their allocations) instead of
-/// being dropped and re-cloned from scratch — the placement path tries
-/// several (cluster, cycle) candidates per op, so after warm-up an attempt
-/// allocates nothing per trial.
-pub type StatePool<'a> = Vec<PartialSchedule<'a>>;
-
-/// A trial copy of `ps`: a recycled pool state refreshed in place, or a
-/// fresh clone while the pool warms up.
-fn acquire<'a>(pool: &mut StatePool<'a>, ps: &PartialSchedule<'a>) -> PartialSchedule<'a> {
-    match pool.pop() {
-        Some(mut s) => {
-            s.clone_from(ps);
-            s
-        }
-        None => ps.clone(),
-    }
-}
-
 /// Chooses the cluster of every placement and governs the partition's
 /// lifecycle across II growth.
 pub trait ClusterPolicy: std::fmt::Debug + Send + Sync {
@@ -60,15 +48,11 @@ pub trait ClusterPolicy: std::fmt::Debug + Send + Sync {
     /// `Some` on clustered machines.
     fn needs_partition(&self) -> bool;
 
-    /// Places `ctx.op` at one of `ctx.times` in some cluster, returning
-    /// the committed clone of the schedule, or `None` if no cluster
-    /// admits the op (the driver then grows the II). Rejected trial
-    /// states go back into `pool` for reuse.
-    fn place<'a>(
-        &self,
-        ctx: &PlaceCtx<'_, 'a>,
-        pool: &mut StatePool<'a>,
-    ) -> Option<PartialSchedule<'a>>;
+    /// Places `ctx.op` at one of `ctx.times` in some cluster, committing
+    /// the placement into `ps` and returning it, or `None` if no cluster
+    /// admits the op (the driver then grows the II; `ps` is left exactly
+    /// as it was).
+    fn place(&self, ps: &mut PartialSchedule<'_>, ctx: &PlaceCtx<'_>) -> Option<Placement>;
 
     /// Whether the partition should be recomputed after the II grew to
     /// `ii`. Only consulted for partition-carrying policies. The default
@@ -78,85 +62,140 @@ pub trait ClusterPolicy: std::fmt::Debug + Send + Sync {
     }
 }
 
-/// First feasible placement of `op` in `cluster` along `times`, returning
-/// the committed clone.
-pub(crate) fn try_cluster<'a>(
-    ps: &PartialSchedule<'a>,
+/// First feasible placement of `op` in `cluster` along `times`, committed
+/// into `ps`. Failed candidates are rolled back before the next is tried.
+pub(crate) fn try_cluster(
+    ps: &mut PartialSchedule<'_>,
     op: OpId,
     cluster: usize,
     times: &[i64],
-    pool: &mut StatePool<'a>,
-) -> Option<(PartialSchedule<'a>, Placement)> {
+) -> Option<Placement> {
     for &t in times {
         if ps.quick_reject(op, cluster, t) {
             continue;
         }
-        gpsched_trace::counter!("sched.place_trials");
-        let mut clone = acquire(pool, ps);
-        if clone.place(op, cluster, t).is_ok() {
-            return Some((clone, Placement { cluster, time: t }));
+        ps.stats.place_trials.add(1);
+        let g = ps.begin_trial();
+        if ps.place(op, cluster, t).is_ok() {
+            ps.commit_trial(g);
+            return Some(Placement { cluster, time: t });
         }
-        pool.push(clone);
+        ps.rollback_trial(g);
     }
     None
 }
 
-/// Figure of merit of going from `before` to `after` (§3.3.1): consumed
-/// fraction of remaining interconnect channel slots, plus per-cluster
-/// memory slots and register lifetimes.
-pub(crate) fn merit_of(
-    before: &PartialSchedule<'_>,
-    after: &PartialSchedule<'_>,
-    nclusters: usize,
-) -> Merit {
+/// The aggregate statistics the figure of merit compares against,
+/// captured once before a round of merit trials (they describe the
+/// schedule *without* the candidate op).
+struct MeritBase {
+    net_used: i64,
+    net_free: i64,
+    /// Per cluster: memory slots used, memory slots free, `MaxLive`,
+    /// register headroom.
+    mem_used: Vec<i64>,
+    mem_free: Vec<i64>,
+    max_live: Vec<i64>,
+    reg_headroom: Vec<i64>,
+}
+
+impl MeritBase {
+    fn capture(ps: &PartialSchedule<'_>, nclusters: usize) -> Self {
+        MeritBase {
+            net_used: ps.net_used(),
+            net_free: ps.net_free(),
+            mem_used: (0..nclusters).map(|c| ps.mem_used(c)).collect(),
+            mem_free: (0..nclusters).map(|c| ps.mem_free(c)).collect(),
+            max_live: (0..nclusters).map(|c| ps.max_live(c)).collect(),
+            reg_headroom: (0..nclusters).map(|c| ps.reg_headroom(c)).collect(),
+        }
+    }
+}
+
+/// Figure of merit of going from `base` to the trial state `after`
+/// (§3.3.1): consumed fraction of remaining interconnect channel slots,
+/// plus per-cluster memory slots and register lifetimes.
+fn merit_of(base: &MeritBase, after: &PartialSchedule<'_>, nclusters: usize) -> Merit {
     let mut parts = Vec::with_capacity(2 * nclusters + 1);
     parts.push(Merit::fraction(
-        after.net_used() - before.net_used(),
-        before.net_free(),
+        after.net_used() - base.net_used,
+        base.net_free,
     ));
     for c in 0..nclusters {
         parts.push(Merit::fraction(
-            after.mem_used(c) - before.mem_used(c),
-            before.mem_free(c),
+            after.mem_used(c) - base.mem_used[c],
+            base.mem_free[c],
         ));
     }
     for c in 0..nclusters {
         parts.push(Merit::fraction(
-            after.max_live(c) - before.max_live(c),
-            before.reg_headroom(c),
+            after.max_live(c) - base.max_live[c],
+            base.reg_headroom[c],
         ));
     }
     Merit::new(parts)
 }
 
-/// Evaluates the candidate clusters and keeps the merit-best feasible one.
-pub(crate) fn pick_by_merit<'a>(
-    ps: &PartialSchedule<'a>,
+/// First feasible placement of `op` in `cluster` along `times`, evaluated
+/// for merit and rolled back — the schedule is left untouched; only the
+/// merit and the winning slot escape.
+fn trial_merit(
+    ps: &mut PartialSchedule<'_>,
+    op: OpId,
+    cluster: usize,
+    times: &[i64],
+    base: &MeritBase,
+    nclusters: usize,
+) -> Option<(Merit, Placement)> {
+    for &t in times {
+        if ps.quick_reject(op, cluster, t) {
+            continue;
+        }
+        ps.stats.place_trials.add(1);
+        let g = ps.begin_trial();
+        if ps.place(op, cluster, t).is_ok() {
+            let m = merit_of(base, ps, nclusters);
+            ps.rollback_trial(g);
+            return Some((m, Placement { cluster, time: t }));
+        }
+        ps.rollback_trial(g);
+    }
+    None
+}
+
+/// Evaluates the candidate clusters and commits the merit-best feasible
+/// one (trial → rollback per candidate, then a deterministic replay of
+/// the winner).
+pub(crate) fn pick_by_merit(
+    ps: &mut PartialSchedule<'_>,
     op: OpId,
     times: &[i64],
     clusters: impl Iterator<Item = usize>,
     nclusters: usize,
     threshold: f64,
-    pool: &mut StatePool<'a>,
-) -> Option<PartialSchedule<'a>> {
-    let mut best: Option<(Merit, PartialSchedule<'a>)> = None;
+) -> Option<Placement> {
+    let base = MeritBase::capture(ps, nclusters);
+    let mut best: Option<(Merit, Placement)> = None;
     for c in clusters {
-        if let Some((cand, _)) = try_cluster(ps, op, c, times, pool) {
-            let m = merit_of(ps, &cand, nclusters);
+        if let Some((m, pl)) = trial_merit(ps, op, c, times, &base, nclusters) {
             let better = match &best {
                 None => true,
                 Some((bm, _)) => m.better_than(bm, threshold),
             };
             if better {
-                if let Some((_, old)) = best.replace((m, cand)) {
-                    pool.push(old);
-                }
-            } else {
-                pool.push(cand);
+                best = Some((m, pl));
             }
         }
     }
-    best.map(|(_, s)| s)
+    let (_, pl) = best?;
+    // Replay the winning trial: every rollback restored the state
+    // bit-identically, so the same (cluster, cycle) must place the same
+    // way it did during arbitration.
+    let g = ps.begin_trial();
+    ps.place(op, pl.cluster, pl.time)
+        .expect("winning merit trial must replay");
+    ps.commit_trial(g);
+    Some(pl)
 }
 
 /// URACAM's rule: try every cluster, the figure of merit decides.
@@ -168,19 +207,14 @@ impl ClusterPolicy for MeritAllClusters {
         false
     }
 
-    fn place<'a>(
-        &self,
-        ctx: &PlaceCtx<'_, 'a>,
-        pool: &mut StatePool<'a>,
-    ) -> Option<PartialSchedule<'a>> {
+    fn place(&self, ps: &mut PartialSchedule<'_>, ctx: &PlaceCtx<'_>) -> Option<Placement> {
         pick_by_merit(
-            ctx.ps,
+            ps,
             ctx.op,
             ctx.times,
             0..ctx.nclusters,
             ctx.nclusters,
             ctx.merit_threshold,
-            pool,
         )
     }
 }
@@ -197,13 +231,8 @@ impl ClusterPolicy for GreedyFirstFit {
         false
     }
 
-    fn place<'a>(
-        &self,
-        ctx: &PlaceCtx<'_, 'a>,
-        pool: &mut StatePool<'a>,
-    ) -> Option<PartialSchedule<'a>> {
-        (0..ctx.nclusters)
-            .find_map(|c| try_cluster(ctx.ps, ctx.op, c, ctx.times, pool).map(|(s, _)| s))
+    fn place(&self, ps: &mut PartialSchedule<'_>, ctx: &PlaceCtx<'_>) -> Option<Placement> {
+        (0..ctx.nclusters).find_map(|c| try_cluster(ps, ctx.op, c, ctx.times))
     }
 }
 
@@ -216,20 +245,9 @@ impl ClusterPolicy for PartitionOnly {
         true
     }
 
-    fn place<'a>(
-        &self,
-        ctx: &PlaceCtx<'_, 'a>,
-        pool: &mut StatePool<'a>,
-    ) -> Option<PartialSchedule<'a>> {
+    fn place(&self, ps: &mut PartialSchedule<'_>, ctx: &PlaceCtx<'_>) -> Option<Placement> {
         let part = ctx.partition.expect("partition-driven policy");
-        try_cluster(
-            ctx.ps,
-            ctx.op,
-            part.cluster_of(ctx.op.index()),
-            ctx.times,
-            pool,
-        )
-        .map(|(s, _)| s)
+        try_cluster(ps, ctx.op, part.cluster_of(ctx.op.index()), ctx.times)
     }
 }
 
@@ -270,27 +288,22 @@ impl ClusterPolicy for PartitionFirst {
         true
     }
 
-    fn place<'a>(
-        &self,
-        ctx: &PlaceCtx<'_, 'a>,
-        pool: &mut StatePool<'a>,
-    ) -> Option<PartialSchedule<'a>> {
+    fn place(&self, ps: &mut PartialSchedule<'_>, ctx: &PlaceCtx<'_>) -> Option<Placement> {
         let part = ctx.partition.expect("partition-driven policy");
         let home = part.cluster_of(ctx.op.index());
-        match try_cluster(ctx.ps, ctx.op, home, ctx.times, pool) {
-            Some((s, _)) => Some(s),
+        match try_cluster(ps, ctx.op, home, ctx.times) {
+            Some(pl) => Some(pl),
             None if self.merit_escape => pick_by_merit(
-                ctx.ps,
+                ps,
                 ctx.op,
                 ctx.times,
                 (0..ctx.nclusters).filter(|&c| c != home),
                 ctx.nclusters,
                 ctx.merit_threshold,
-                pool,
             ),
             None => (0..ctx.nclusters)
                 .filter(|&c| c != home)
-                .find_map(|c| try_cluster(ctx.ps, ctx.op, c, ctx.times, pool).map(|(s, _)| s)),
+                .find_map(|c| try_cluster(ps, ctx.op, c, ctx.times)),
         }
     }
 

@@ -22,7 +22,9 @@
 //! Policies are dispatched through `dyn` references. The dispatch sits
 //! outside the hot placement loops (one virtual call per op placement and
 //! per II retry, not per candidate cycle), so its cost is unmeasurable
-//! against the clone-and-try placement work — see DESIGN.md §6.2.
+//! against the trial placement work — see DESIGN.md §6.2. Trials mutate
+//! one schedule in place and roll failures back through the undo log
+//! (DESIGN.md §6.5); nothing is cloned per candidate.
 
 pub mod cluster;
 pub mod growth;
@@ -33,7 +35,7 @@ use crate::drivers::DriverConfig;
 use crate::error::SchedError;
 use crate::schedule::Schedule;
 use crate::state::PartialSchedule;
-use cluster::{ClusterPolicy, PlaceCtx, StatePool};
+use cluster::{ClusterPolicy, PlaceCtx};
 use gpsched_ddg::timing::{Timing, TimingWorkspace};
 use gpsched_ddg::{Ddg, OpId};
 use gpsched_machine::MachineConfig;
@@ -165,6 +167,7 @@ fn window_into(
 /// II). Tries the tight scan first, the ASAP-first scan as a second
 /// chance at the same II. Timing and node order depend only on the II
 /// (extras are zero here), so both scans share one analysis and one order.
+#[allow(clippy::too_many_arguments)]
 fn attempt<'a>(
     ddg: &'a Ddg,
     machine: &'a MachineConfig,
@@ -173,6 +176,7 @@ fn attempt<'a>(
     cfg: &DriverConfig,
     policies: &'a PolicySet,
     ws: &mut TimingWorkspace,
+    ocache: &mut order::OrderCache,
 ) -> Option<PartialSchedule<'a>> {
     // One workspace-backed analysis per II: an infeasible II yields None
     // here, and the same result feeds both the node ordering and the
@@ -180,12 +184,9 @@ fn attempt<'a>(
     let t = ws.analyze(ddg, ii, |_| 0)?;
     let order = {
         let _span = gpsched_trace::span!("sched.order");
-        policies.order.order(ddg, t)
+        policies.order.order(ddg, t, ocache)
     };
     debug_assert_eq!(order.len(), ddg.op_count(), "order must cover the loop");
-    // Rejected trial states from the tight scan seed the ASAP-first
-    // scan's pool: both run at the same II, so the buffers fit as-is.
-    let mut pool = StatePool::new();
     attempt_with(
         ddg,
         machine,
@@ -196,7 +197,6 @@ fn attempt<'a>(
         ScanMode::Tight,
         t,
         &order,
-        &mut pool,
     )
     .or_else(|| {
         attempt_with(
@@ -209,7 +209,6 @@ fn attempt<'a>(
             ScanMode::AsapFirst,
             t,
             &order,
-            &mut pool,
         )
     })
 }
@@ -225,7 +224,6 @@ fn attempt_with<'a>(
     mode: ScanMode,
     t: &Timing,
     order: &[OpId],
-    pool: &mut StatePool<'a>,
 ) -> Option<PartialSchedule<'a>> {
     let _span = gpsched_trace::span!("sched.ii_attempt", "ii={ii}");
     let mut ps = PartialSchedule::with_spill_policy(ddg, machine, ii, policies.spill.as_ref());
@@ -238,19 +236,13 @@ fn attempt_with<'a>(
             return None;
         }
         let ctx = PlaceCtx {
-            ps: &ps,
             op,
             times: &times,
             partition: partition.map(|p| &p.partition),
             nclusters,
             merit_threshold: cfg.merit_threshold,
         };
-        match policies.cluster.place(&ctx, pool) {
-            // The superseded schedule joins the pool: its buffers serve
-            // the next op's trials.
-            Some(next) => pool.push(std::mem::replace(&mut ps, next)),
-            None => return None,
-        }
+        policies.cluster.place(&mut ps, &ctx)?;
     }
     Some(ps)
 }
@@ -295,10 +287,11 @@ fn attempt_batch<'a>(
     cfg: &DriverConfig,
     policies: &'a PolicySet,
     ws: &mut TimingWorkspace,
+    ocache: &mut order::OrderCache,
 ) -> Vec<Option<PartialSchedule<'a>>> {
     if batch.len() == 1 {
         return vec![attempt(
-            ddg, machine, batch[0], partition, cfg, policies, ws,
+            ddg, machine, batch[0], partition, cfg, policies, ws, ocache,
         )];
     }
     let width = batch.len();
@@ -310,7 +303,17 @@ fn attempt_batch<'a>(
             .map(|&ii| {
                 scope.spawn(move || {
                     let mut ws = TimingWorkspace::new();
-                    attempt(ddg, machine, ii, partition, cfg, policies, &mut ws)
+                    let mut ocache = order::OrderCache::default();
+                    attempt(
+                        ddg,
+                        machine,
+                        ii,
+                        partition,
+                        cfg,
+                        policies,
+                        &mut ws,
+                        &mut ocache,
+                    )
                 })
             })
             .collect();
@@ -318,7 +321,7 @@ fn attempt_batch<'a>(
         // workspace.
         let mut out = Vec::with_capacity(width);
         out.push(attempt(
-            ddg, machine, batch[0], partition, cfg, policies, ws,
+            ddg, machine, batch[0], partition, cfg, policies, ws, ocache,
         ));
         out.extend(
             handles
@@ -351,6 +354,7 @@ pub fn run(
 ) -> Result<PipelineOutcome, SchedError> {
     let cap = crate::drivers::cap_for(start_ii, cfg);
     let mut ws = TimingWorkspace::new();
+    let mut ocache = order::OrderCache::default();
     // One incremental evaluator serves every re-partitioning call of this
     // loop: the cut-state buffers and timing workspace persist across the
     // II-raising retries instead of being rebuilt per call.
@@ -377,7 +381,16 @@ pub fn run(
             cfg.race_width.max(1)
         };
         let batch = segment(ii, failures, width, cap, part.as_ref(), policies);
-        let results = attempt_batch(ddg, machine, &batch, part.as_ref(), cfg, policies, &mut ws);
+        let results = attempt_batch(
+            ddg,
+            machine,
+            &batch,
+            part.as_ref(),
+            cfg,
+            policies,
+            &mut ws,
+            &mut ocache,
+        );
         for (k, r) in results.into_iter().enumerate() {
             if let Some(ps) = r {
                 return Ok(PipelineOutcome {

@@ -4,12 +4,23 @@
 use gpsched_ddg::timing::Timing;
 use gpsched_ddg::{Ddg, OpId};
 
+/// Per-loop cache for the II-independent half of an ordering policy's
+/// work (recurrence detection and set formation for SMS). The driver owns
+/// one per II ladder; the first attempt fills it, later retries at higher
+/// IIs reuse it. Always keyed to a single DDG — never shared across
+/// loops.
+#[derive(Debug, Default)]
+pub struct OrderCache {
+    sms: Option<crate::order::SmsPrecomp>,
+}
+
 /// Produces the placement order of one scheduling attempt from the
 /// attempt's timing analysis (ASAP/ALAP at the attempt's II).
 pub trait OrderPolicy: std::fmt::Debug + Send + Sync {
     /// The op order to schedule in. Must be a permutation of the DDG's
-    /// ops.
-    fn order(&self, ddg: &Ddg, t: &Timing) -> Vec<OpId>;
+    /// ops. `cache` persists across the II retries of one loop; policies
+    /// with II-independent precomputation keep it there.
+    fn order(&self, ddg: &Ddg, t: &Timing, cache: &mut OrderCache) -> Vec<OpId>;
 }
 
 /// Swing Modulo Scheduling order (Llosa et al.; §3.3.3 of the paper):
@@ -19,8 +30,11 @@ pub trait OrderPolicy: std::fmt::Debug + Send + Sync {
 pub struct SmsOrder;
 
 impl OrderPolicy for SmsOrder {
-    fn order(&self, ddg: &Ddg, t: &Timing) -> Vec<OpId> {
-        crate::order::sms_order_from(ddg, t)
+    fn order(&self, ddg: &Ddg, t: &Timing, cache: &mut OrderCache) -> Vec<OpId> {
+        let pre = cache
+            .sms
+            .get_or_insert_with(|| crate::order::sms_precompute(ddg));
+        crate::order::sms_order_precomputed(ddg, t, pre)
     }
 }
 
@@ -36,8 +50,14 @@ mod tests {
         let mut ws = TimingWorkspace::new();
         let ii = gpsched_ddg::mii::rec_mii(&ddg);
         let t = ws.analyze(&ddg, ii, |_| 0).expect("feasible");
+        let mut cache = OrderCache::default();
         assert_eq!(
-            SmsOrder.order(&ddg, t),
+            SmsOrder.order(&ddg, t, &mut cache),
+            crate::order::sms_order_from(&ddg, t)
+        );
+        // Second call hits the cache; the order must not change.
+        assert_eq!(
+            SmsOrder.order(&ddg, t, &mut cache),
             crate::order::sms_order_from(&ddg, t)
         );
     }

@@ -2,18 +2,28 @@
 //!
 //! [`PartialSchedule`] owns the reservation tables, the register-pressure
 //! table, the inter-cluster transfers and the spills of one scheduling
-//! attempt at a fixed II. Placement is transactional by cloning: the driver
-//! clones the state, tries [`PartialSchedule::place`], and keeps the clone
-//! only on success — unscheduling machinery is unnecessary, matching the
-//! paper's "no backtracking" design (§3.3.2; only spill code and
-//! communications-through-memory are ever revisited, which the clone model
-//! subsumes).
+//! attempt at a fixed II. Placement is transactional through an **undo
+//! log**: every mutation on the placement path records its inverse, so a
+//! trial is bracketed by [`PartialSchedule::begin_trial`] and either
+//! [`PartialSchedule::commit_trial`] (keep, drop the log suffix) or
+//! [`PartialSchedule::rollback_trial`] (apply the inverses in reverse,
+//! O(mutations of that trial)). This replaces the clone-per-trial model —
+//! re-cloning ~10 KB of tables per candidate — while still matching the
+//! paper's "no backtracking" design (§3.3.2): committed placements are
+//! never unwound, only failed trials are.
+//!
+//! Every booking table has an exact inverse ([`ClusterMrt::remove`],
+//! [`ChannelTable::release`], the signed [`PressureTable`] application),
+//! so a rollback restores the state bit-identically; the
+//! `GPSCHED_SHADOW_UNDO` environment mode cross-checks each rollback
+//! against a shadow clone taken at `begin_trial` (see DESIGN.md §6.5).
 
 use crate::lifetime::PressureTable;
 use crate::mrt::{ChannelTable, ClusterMrt};
 use crate::pipeline::spill::{SpillPolicy, DEFAULT_SPILL};
 use gpsched_ddg::{Ddg, DepKind, OpId};
 use gpsched_machine::{MachineConfig, OpClass, ResourceKind};
+use std::sync::OnceLock;
 
 /// Where and when an op was placed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +59,7 @@ pub enum CommKind {
 }
 
 /// One inter-cluster value transfer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Transfer {
     /// Producing op (index).
     pub producer: usize,
@@ -75,7 +85,7 @@ pub struct SpillLoad {
 }
 
 /// A spilled value: store after definition, loads before late uses.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Spill {
     /// Producing op (index).
     pub producer: usize,
@@ -121,6 +131,55 @@ pub enum PlaceError {
     Registers,
 }
 
+/// One inverse entry of the trial undo log. Each mutation on the
+/// placement path pushes exactly one entry; [`PartialSchedule::rollback_trial`]
+/// pops and applies them in reverse.
+#[derive(Clone, Copy, Debug)]
+enum Undo {
+    /// Release one functional-unit slot.
+    Mrt {
+        cluster: u32,
+        kind: ResourceKind,
+        t: i64,
+    },
+    /// Release one interconnect hop window.
+    Net { channel: u32, t: i64, occ: i64 },
+    /// Clear a recorded placement.
+    Place { op: u32 },
+    /// Remove a register interval that was added.
+    PressureAdd { cluster: u32, first: i64, last: i64 },
+    /// Re-add a register interval that was removed.
+    PressureRemove { cluster: u32, first: i64, last: i64 },
+    /// Restore a `reg_last` watermark.
+    RegLast { op: u32, old: i64 },
+    /// Pop the transfer pushed last (and its `transfer_last` entry).
+    Transfer,
+    /// Restore a `transfer_last` watermark.
+    TransferLast { ti: u32, old: i64 },
+    /// Pop the spill pushed last.
+    Spill,
+    /// Pop the reload pushed last onto spill `si`.
+    SpillLoad { si: u32 },
+}
+
+/// A mark into the undo log bracketing one speculative trial. Obtained
+/// from [`PartialSchedule::begin_trial`]; must be resolved by exactly one
+/// of [`PartialSchedule::commit_trial`] or
+/// [`PartialSchedule::rollback_trial`].
+#[derive(Clone, Copy, Debug)]
+#[must_use = "a trial must be committed or rolled back"]
+pub struct TrialGuard {
+    mark: usize,
+}
+
+/// Whether `GPSCHED_SHADOW_UNDO` is set (and not `0`): every rollback is
+/// then cross-checked against a shadow clone taken at `begin_trial`. Used
+/// by the conformance lane; far too slow for production runs.
+fn shadow_undo_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("GPSCHED_SHADOW_UNDO").is_some_and(|v| v != "0"))
+}
+
 /// A partial modulo schedule at a fixed II.
 #[derive(Debug)]
 pub struct PartialSchedule<'a> {
@@ -149,6 +208,41 @@ pub struct PartialSchedule<'a> {
     spills: Vec<Spill>,
     /// Overflow policy: whether/what to spill when a register file fills.
     spill_policy: &'a dyn SpillPolicy,
+    /// The trial undo log: one inverse entry per mutation since the last
+    /// commit. [`Self::commit_trial`] truncates it, [`Self::rollback_trial`]
+    /// drains it. Never cloned — a clone starts with a clean slate.
+    undo: Vec<Undo>,
+    /// Shadow clone taken at [`Self::begin_trial`] when
+    /// `GPSCHED_SHADOW_UNDO` is set; every rollback asserts full-state
+    /// equality against it.
+    shadow: Option<Box<PartialSchedule<'a>>>,
+    /// Batched `sched.*` trial tallies, flushed when the schedule drops.
+    /// Trials run tens of thousands of times per attempt; per-trial atomic
+    /// increments were a measurable share of enabled-tracing overhead.
+    /// Excluded from [`Self::state_eq`] like the undo log (observability,
+    /// not booking state); clones start at zero.
+    pub(crate) stats: SchedStats,
+}
+
+/// Batched `sched.*` tallies (see [`gpsched_trace::BatchCounter`]: clones
+/// start at zero, drop flushes).
+#[derive(Clone, Debug)]
+pub(crate) struct SchedStats {
+    pub(crate) place_trials: gpsched_trace::BatchCounter,
+    pub(crate) trial_rollbacks: gpsched_trace::BatchCounter,
+    pub(crate) undo_entries: gpsched_trace::BatchCounter,
+    pub(crate) transfers_booked: gpsched_trace::BatchCounter,
+}
+
+impl Default for SchedStats {
+    fn default() -> Self {
+        SchedStats {
+            place_trials: gpsched_trace::BatchCounter::new("sched.place_trials"),
+            trial_rollbacks: gpsched_trace::BatchCounter::new("sched.trial_rollbacks"),
+            undo_entries: gpsched_trace::BatchCounter::new("sched.undo_entries"),
+            transfers_booked: gpsched_trace::BatchCounter::new("sched.transfers_booked"),
+        }
+    }
 }
 
 impl<'a> Clone for PartialSchedule<'a> {
@@ -167,14 +261,16 @@ impl<'a> Clone for PartialSchedule<'a> {
             transfers: self.transfers.clone(),
             spills: self.spills.clone(),
             spill_policy: self.spill_policy,
+            undo: Vec::new(),
+            shadow: None,
+            stats: SchedStats::default(),
         }
     }
 
     /// Field-wise `clone_from`: every vector (including the nested spill
-    /// reload lists) reuses its existing allocation. The transactional
-    /// placement path recycles rejected trial states through a pool and
-    /// refreshes them with this, so one attempt allocates only while the
-    /// pool warms up instead of once per candidate slot.
+    /// reload lists) reuses its existing allocation, so refreshing a
+    /// recycled state allocates nothing. The undo log and any shadow are
+    /// reset — a clone starts outside any trial.
     fn clone_from(&mut self, source: &Self) {
         self.ddg = source.ddg;
         self.machine = source.machine;
@@ -189,6 +285,8 @@ impl<'a> Clone for PartialSchedule<'a> {
         self.transfers.clone_from(&source.transfers);
         self.spills.clone_from(&source.spills);
         self.spill_policy = source.spill_policy;
+        self.undo.clear();
+        self.shadow = None;
     }
 }
 
@@ -233,7 +331,95 @@ impl<'a> PartialSchedule<'a> {
             transfers: Vec::new(),
             spills: Vec::new(),
             spill_policy,
+            undo: Vec::new(),
+            shadow: None,
+            stats: SchedStats::default(),
         }
+    }
+
+    /// Opens a speculative trial: mutations from here on can be unwound by
+    /// [`Self::rollback_trial`] with the returned guard, or kept with
+    /// [`Self::commit_trial`]. Trials nest (inner guards must resolve
+    /// before outer ones), though the placement path never needs to.
+    pub fn begin_trial(&mut self) -> TrialGuard {
+        if shadow_undo_enabled() {
+            let snap = Box::new(self.clone());
+            self.shadow = Some(snap);
+        }
+        TrialGuard {
+            mark: self.undo.len(),
+        }
+    }
+
+    /// Keeps everything the trial did and drops its undo entries.
+    pub fn commit_trial(&mut self, g: TrialGuard) {
+        self.stats
+            .undo_entries
+            .add((self.undo.len() - g.mark) as u64);
+        self.undo.truncate(g.mark);
+        self.shadow = None;
+    }
+
+    /// Unwinds every mutation since [`Self::begin_trial`], restoring the
+    /// state bit-identically (asserted against a shadow clone when
+    /// `GPSCHED_SHADOW_UNDO` is set).
+    pub fn rollback_trial(&mut self, g: TrialGuard) {
+        self.stats.trial_rollbacks.add(1);
+        self.stats
+            .undo_entries
+            .add((self.undo.len() - g.mark) as u64);
+        while self.undo.len() > g.mark {
+            let entry = self.undo.pop().expect("entries above the trial mark");
+            match entry {
+                Undo::Mrt { cluster, kind, t } => self.mrts[cluster as usize].remove(kind, t),
+                Undo::Net { channel, t, occ } => self.net.release(channel as usize, t, occ),
+                Undo::Place { op } => self.placements[op as usize] = None,
+                Undo::PressureAdd {
+                    cluster,
+                    first,
+                    last,
+                } => self.pressure.remove(cluster as usize, first, last),
+                Undo::PressureRemove {
+                    cluster,
+                    first,
+                    last,
+                } => self.pressure.add(cluster as usize, first, last),
+                Undo::RegLast { op, old } => self.reg_last[op as usize] = old,
+                Undo::Transfer => {
+                    self.transfers.pop();
+                    self.transfer_last.pop();
+                }
+                Undo::TransferLast { ti, old } => self.transfer_last[ti as usize] = old,
+                Undo::Spill => {
+                    self.spills.pop();
+                }
+                Undo::SpillLoad { si } => {
+                    self.spills[si as usize].loads.pop();
+                }
+            }
+        }
+        if let Some(shadow) = self.shadow.take() {
+            assert!(
+                self.state_eq(&shadow),
+                "undo rollback diverged from the shadow clone"
+            );
+        }
+    }
+
+    /// Full booking-state equality — everything a rollback must restore.
+    /// Backs the `GPSCHED_SHADOW_UNDO` assert and the undo property tests;
+    /// the undo log itself is deliberately excluded (a committed trial and
+    /// a plain mutation leave different logs but identical bookings).
+    pub fn state_eq(&self, other: &Self) -> bool {
+        self.ii == other.ii
+            && self.placements == other.placements
+            && self.mrts == other.mrts
+            && self.net == other.net
+            && self.pressure == other.pressure
+            && self.reg_last == other.reg_last
+            && self.transfer_last == other.transfer_last
+            && self.transfers == other.transfers
+            && self.spills == other.spills
     }
 
     /// The initiation interval of this attempt.
@@ -289,6 +475,45 @@ impl<'a> PartialSchedule<'a> {
     /// `MaxLive` of `cluster`.
     pub fn max_live(&self, cluster: usize) -> i64 {
         self.pressure.max_live(cluster)
+    }
+
+    /// [`ClusterMrt::place`] with the inverse recorded.
+    fn mrt_place(&mut self, cluster: usize, kind: ResourceKind, t: i64) {
+        self.mrts[cluster].place(kind, t);
+        self.undo.push(Undo::Mrt {
+            cluster: cluster as u32,
+            kind,
+            t,
+        });
+    }
+
+    /// [`PressureTable::add`] with the inverse recorded.
+    fn pressure_add(&mut self, cluster: usize, first: i64, last: i64) {
+        self.pressure.add(cluster, first, last);
+        self.undo.push(Undo::PressureAdd {
+            cluster: cluster as u32,
+            first,
+            last,
+        });
+    }
+
+    /// [`PressureTable::remove`] with the inverse recorded.
+    fn pressure_remove(&mut self, cluster: usize, first: i64, last: i64) {
+        self.pressure.remove(cluster, first, last);
+        self.undo.push(Undo::PressureRemove {
+            cluster: cluster as u32,
+            first,
+            last,
+        });
+    }
+
+    /// Overwrites a `reg_last` watermark with the old value recorded.
+    fn set_reg_last(&mut self, op: usize, v: i64) {
+        self.undo.push(Undo::RegLast {
+            op: op as u32,
+            old: self.reg_last[op],
+        });
+        self.reg_last[op] = v;
     }
 
     fn op_latency(&self, op: usize) -> i64 {
@@ -368,12 +593,18 @@ impl<'a> PartialSchedule<'a> {
             if free {
                 for h in self.machine.route(from, to_cluster) {
                     self.net.reserve(h.channel, x + h.offset, h.occupancy);
+                    self.undo.push(Undo::Net {
+                        channel: h.channel as u32,
+                        t: x + h.offset,
+                        occ: h.occupancy,
+                    });
                 }
                 self.extend_reg_last(producer, x);
                 let arrival = x + net_lat;
                 let last = self.transfer_dest_last(producer, to_cluster, arrival);
-                self.pressure.add(to_cluster, arrival, last);
+                self.pressure_add(to_cluster, arrival, last);
                 self.transfer_last.push(last);
+                self.undo.push(Undo::Transfer);
                 self.transfers.push(Transfer {
                     producer,
                     from,
@@ -382,7 +613,7 @@ impl<'a> PartialSchedule<'a> {
                     read_time: x,
                     arrival,
                 });
-                gpsched_trace::counter!("sched.transfers_booked");
+                self.stats.transfers_booked.add(1);
                 return Ok(arrival);
             }
             x += 1;
@@ -402,16 +633,17 @@ impl<'a> PartialSchedule<'a> {
             let hi = deadline - self.load_latency();
             if let Some(load) = self.find_mem_slot(to_cluster, lo, hi, false) {
                 if !store_is_spill {
-                    self.mrts[from].place(ResourceKind::MemPort, store);
+                    self.mrt_place(from, ResourceKind::MemPort, store);
                 }
-                self.mrts[to_cluster].place(ResourceKind::MemPort, load);
+                self.mrt_place(to_cluster, ResourceKind::MemPort, load);
                 let arrival = load + self.load_latency();
                 if !store_is_spill {
                     self.extend_reg_last(producer, store);
                 }
                 let last = self.transfer_dest_last(producer, to_cluster, arrival);
-                self.pressure.add(to_cluster, arrival, last);
+                self.pressure_add(to_cluster, arrival, last);
                 self.transfer_last.push(last);
+                self.undo.push(Undo::Transfer);
                 self.transfers.push(Transfer {
                     producer,
                     from,
@@ -424,7 +656,7 @@ impl<'a> PartialSchedule<'a> {
                     read_time: store,
                     arrival,
                 });
-                gpsched_trace::counter!("sched.transfers_booked");
+                self.stats.transfers_booked.add(1);
                 return Ok(arrival);
             }
             // No load slot; roll nothing back (store not yet reserved).
@@ -487,8 +719,9 @@ impl<'a> PartialSchedule<'a> {
     ///
     /// On success the op is committed (functional unit, communications for
     /// every placed neighbour, spills if the register file overflowed).
-    /// On failure the state is inconsistent — callers must work on a clone
-    /// and discard it (see the type-level docs).
+    /// On failure the state is inconsistent — callers must bracket the call
+    /// with [`Self::begin_trial`] and unwind it with
+    /// [`Self::rollback_trial`] (see the type-level docs).
     ///
     /// # Errors
     ///
@@ -501,8 +734,9 @@ impl<'a> PartialSchedule<'a> {
         if !self.mrts[cluster].can_place(kind, time) {
             return Err(PlaceError::FunctionalUnit);
         }
-        self.mrts[cluster].place(kind, time);
+        self.mrt_place(cluster, kind, time);
         self.placements[idx] = Some(Placement { cluster, time });
+        self.undo.push(Undo::Place { op: idx as u32 });
 
         // The op's own register interval: [def, latest same-cluster read].
         // Consumers placed earlier (including a self-loop, visible now that
@@ -522,8 +756,8 @@ impl<'a> PartialSchedule<'a> {
                     }
                 }
             }
-            self.pressure.add(cluster, def, last);
-            self.reg_last[idx] = last;
+            self.pressure_add(cluster, def, last);
+            self.set_reg_last(idx, last);
         }
 
         // Incoming dependences from placed producers. Copying the `&'a Ddg`
@@ -564,12 +798,13 @@ impl<'a> PartialSchedule<'a> {
                                 let Some(l) = self.find_mem_slot(cluster, lo, hi, false) else {
                                     return Err(PlaceError::Communication);
                                 };
-                                self.mrts[cluster].place(ResourceKind::MemPort, l);
-                                self.pressure.add(cluster, l + self.load_latency(), read);
+                                self.mrt_place(cluster, ResourceKind::MemPort, l);
+                                self.pressure_add(cluster, l + self.load_latency(), read);
                                 self.spills[si].loads.push(SpillLoad {
                                     time: l,
                                     use_time: read,
                                 });
+                                self.undo.push(Undo::SpillLoad { si: si as u32 });
                             }
                         } else {
                             self.extend_reg_last(p.index(), read);
@@ -650,9 +885,9 @@ impl<'a> PartialSchedule<'a> {
         }
         let pl = self.placements[producer].expect("producer with an interval is placed");
         let def = pl.time + self.op_latency(producer);
-        self.pressure.remove(pl.cluster, def, cur);
-        self.pressure.add(pl.cluster, def, read);
-        self.reg_last[producer] = read;
+        self.pressure_remove(pl.cluster, def, cur);
+        self.pressure_add(pl.cluster, def, read);
+        self.set_reg_last(producer, read);
     }
 
     /// Extends the destination-cluster intervals of every transfer of
@@ -666,9 +901,11 @@ impl<'a> PartialSchedule<'a> {
                 continue;
             }
             let (to, arrival) = (t.to, t.arrival);
-            self.pressure.remove(to, arrival, self.transfer_last[ti]);
-            self.pressure.add(to, arrival, read);
+            let old = self.transfer_last[ti];
+            self.pressure_remove(to, arrival, old);
+            self.pressure_add(to, arrival, read);
             self.transfer_last[ti] = read;
+            self.undo.push(Undo::TransferLast { ti: ti as u32, old });
         }
     }
 
@@ -843,16 +1080,16 @@ impl<'a> PartialSchedule<'a> {
             }
             // Commit: store + loads take memory slots; the value's register
             // interval shrinks to [def, store] plus one sliver per reload.
-            self.mrts[cluster].place(ResourceKind::MemPort, store);
+            self.mrt_place(cluster, ResourceKind::MemPort, store);
             for l in &loads {
-                self.mrts[cluster].place(ResourceKind::MemPort, l.time);
+                self.mrt_place(cluster, ResourceKind::MemPort, l.time);
             }
-            self.pressure.remove(cluster, def, self.reg_last[opi]);
-            self.pressure.add(cluster, def, store.max(def));
+            self.pressure_remove(cluster, def, self.reg_last[opi]);
+            self.pressure_add(cluster, def, store.max(def));
             for l in &loads {
-                self.pressure
-                    .add(cluster, l.time + self.load_latency(), l.use_time);
+                self.pressure_add(cluster, l.time + self.load_latency(), l.use_time);
             }
+            self.undo.push(Undo::Spill);
             self.spills.push(Spill {
                 producer: opi,
                 cluster,

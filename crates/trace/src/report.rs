@@ -138,6 +138,17 @@ impl TraceSummary {
                 100.0 * p.self_ns as f64 / wall,
             ));
         }
+        // The undo-log scoreboard: how much speculative placement work was
+        // unwound in place instead of being cloned away (PR 8). Entries
+        // count every logged inverse op, committed trials included.
+        let rollbacks = self.counter("sched.trial_rollbacks");
+        if rollbacks > 0 {
+            let entries = self.counter("sched.undo_entries");
+            out.push_str(&format!(
+                "undo: {rollbacks} trial rollbacks, {entries} undo entries logged ({:.1} entries/rollback)\n",
+                entries as f64 / rollbacks as f64,
+            ));
+        }
         if !self.counters.is_empty() {
             out.push_str("counters:\n");
             let cw = self
@@ -249,5 +260,16 @@ mod tests {
         let text = s.render(10);
         assert!(text.contains("hot"));
         assert!(text.contains("c.x"));
+    }
+
+    #[test]
+    fn undo_row_appears_exactly_when_rollbacks_happened() {
+        let mut t = trace(vec![span("work", 0, 0, 50)]);
+        assert!(!t.summary().render(5).contains("undo:"));
+        t.counters.push(("sched.trial_rollbacks".to_string(), 4));
+        t.counters.push(("sched.undo_entries".to_string(), 42));
+        let text = t.summary().render(5);
+        assert!(text
+            .contains("undo: 4 trial rollbacks, 42 undo entries logged (10.5 entries/rollback)"));
     }
 }
