@@ -1,0 +1,153 @@
+//! Sustained daemon throughput: jobs served per second through
+//! `gpsched-serve` under a stream of distinct scheduling jobs, the
+//! deployment-shaped counterpart to `engine_throughput`'s in-process
+//! rates. The daemon runs in-process on an ephemeral port; every job
+//! travels the full wire path (HTTP submit → queue → executor → JSONL
+//! stream back to the client).
+//!
+//! Three phases are reported:
+//!
+//! * `serve/jobs` *(cold)* — a fresh daemon and a fresh disk cache;
+//!   every unit pays its own MII/partitioning. One pass by construction:
+//!   a second pass over the same bodies would be warm.
+//! * `serve/jobs` *(warm)* — the same jobs resubmitted to the same
+//!   daemon; every seed comes from the in-memory memo cache.
+//! * `serve/jobs` *(warm-restart)* — the daemon is dropped and a new one
+//!   opened on the same cache file; the same jobs are served from the
+//!   on-disk seed cache, the restart path the persistence exists for.
+//!
+//! Each phase appends its own `BENCH_engine.json` entry —
+//! `<label>-serve-cold`, `<label>-serve-warm`, `<label>-serve-restart` —
+//! all carrying the single config `serve/jobs`, so `bench-gate` can
+//! require warm ≥ cold across the committed pair.
+//!
+//! Env: `GPSCHED_BENCH_JSON`, `GPSCHED_BENCH_LABEL`,
+//! `GPSCHED_BENCH_QUICK` (6 jobs instead of 16).
+
+use gpsched_bench::trajectory::{append_entry, BenchEntry};
+use gpsched_engine::serialize_ddg;
+use gpsched_engine::serve::{client, serve, ServeOptions};
+use gpsched_workloads::{synth::synthesize, SynthProfile};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Distinct job bodies (different synth seeds, same machines/algorithms)
+/// so the cold phase gets zero accidental memo hits across jobs.
+fn job_bodies(count: usize) -> (Vec<String>, usize) {
+    let profile = SynthProfile::default();
+    let mut bodies = Vec::with_capacity(count);
+    let mut units_per_job = 0;
+    for j in 0..count {
+        let mut ddg_text = String::new();
+        let mut loops = 0;
+        for i in 0..3u64 {
+            let seed = (j as u64) * 100 + i;
+            let ddg = synthesize(format!("l{j}_{i}"), &profile, seed);
+            ddg_text.push_str(&serialize_ddg(&ddg));
+            loops += 1;
+        }
+        let body = format!("group load\nmachines c2r32b1l1,c4r64b1l2\nalgos gp,list\n{ddg_text}");
+        // loops × 2 machines × 2 algorithms
+        units_per_job = loops * 4;
+        bodies.push(body);
+    }
+    (bodies, units_per_job)
+}
+
+/// Submits every body, then drains every result stream; returns
+/// (jobs/sec, total result lines).
+fn run_phase(addr: &str, bodies: &[String]) -> (f64, usize) {
+    let t0 = Instant::now();
+    let ids: Vec<u64> = bodies
+        .iter()
+        .map(|b| client::submit(addr, b).expect("submit"))
+        .collect();
+    let mut lines = 0;
+    for id in ids {
+        lines += client::results(addr, id).expect("results").len();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    (bodies.len() as f64 / dt, lines)
+}
+
+fn record(path: &Path, label: String, units: usize, rate: f64) {
+    let entry = BenchEntry {
+        label,
+        units,
+        loops_per_sec: vec![("serve/jobs".to_string(), rate)],
+        trace_overhead_pct: None,
+    };
+    match append_entry(path, entry) {
+        Ok(()) => {}
+        Err(e) => eprintln!("could not update {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let jobs = if std::env::var_os("GPSCHED_BENCH_QUICK").is_some() {
+        6
+    } else {
+        16
+    };
+    let (bodies, units_per_job) = job_bodies(jobs);
+    eprintln!("\n--- serve load ({jobs} jobs × {units_per_job} units) ---");
+
+    let cache_dir = std::env::temp_dir().join(format!("gpsched-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    std::fs::create_dir_all(&cache_dir).expect("cache dir");
+    let cache_path = cache_dir.join("seeds.cache");
+
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        cache_path: Some(cache_path.clone()),
+        ..ServeOptions::default()
+    };
+
+    // Cold + warm on one daemon.
+    let server = serve(&opts).expect("daemon");
+    let addr = server.addr().to_string();
+    let (cold_rate, cold_lines) = run_phase(&addr, &bodies);
+    println!("serve_load/cold: {cold_rate:.1} jobs/sec ({cold_lines} result lines)");
+    let (warm_rate, _) = run_phase(&addr, &bodies);
+    println!("serve_load/warm: {warm_rate:.1} jobs/sec (memo cache)");
+    drop(server);
+
+    // Warm restart: a new daemon on the persisted cache.
+    let server = serve(&opts).expect("daemon restart");
+    let addr = server.addr().to_string();
+    let (restart_rate, _) = run_phase(&addr, &bodies);
+    println!("serve_load/warm-restart: {restart_rate:.1} jobs/sec (disk cache)");
+    let health = client::health(&addr).expect("health");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    eprintln!("final daemon health: {}", health.trim());
+
+    let path = std::env::var("GPSCHED_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            let mut p = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").unwrap_or_default());
+            p.pop();
+            p.pop();
+            p.join("BENCH_engine.json")
+        });
+    let label = std::env::var("GPSCHED_BENCH_LABEL").unwrap_or_else(|_| "local".into());
+    record(
+        &path,
+        format!("{label}-serve-cold"),
+        units_per_job,
+        cold_rate,
+    );
+    record(
+        &path,
+        format!("{label}-serve-warm"),
+        units_per_job,
+        warm_rate,
+    );
+    record(
+        &path,
+        format!("{label}-serve-restart"),
+        units_per_job,
+        restart_rate,
+    );
+    eprintln!("appended serve trajectory entries to {}", path.display());
+}

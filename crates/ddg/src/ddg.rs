@@ -130,8 +130,14 @@ impl Ddg {
     /// The paper's execution-time model for a software-pipelined loop:
     /// `(trip_count − 1) · II + max_path` (§3.2.1), where `max_path` is the
     /// schedule-length estimate of one iteration.
+    ///
+    /// Saturates at `i64::MAX` instead of overflowing: `.ddg` files may
+    /// carry extreme trip counts, and the partitioner probes infeasible
+    /// assignments at sentinel IIs — both must yield a finite worst cost,
+    /// not wraparound.
     pub fn execution_time(&self, ii: i64, max_path: i64) -> i64 {
-        (self.trip_count as i64 - 1) * ii + max_path
+        let trips = i64::try_from(self.trip_count.saturating_sub(1)).unwrap_or(i64::MAX);
+        trips.saturating_mul(ii).saturating_add(max_path)
     }
 
     /// Flow dependences entering `op` (its operands).

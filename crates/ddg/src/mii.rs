@@ -38,17 +38,29 @@ pub fn res_mii(ddg: &Ddg, machine: &MachineConfig) -> i64 {
     bound
 }
 
+/// Sentinel resource bound of an infeasible assignment: a cluster with
+/// zero units of some kind holds operations of that kind, so no II is
+/// achievable there. Large enough to dominate every honest bound (which
+/// is at most the op count of a loop), small enough that downstream
+/// `II · distance` products in the timing analysis stay far from `i64`
+/// overflow.
+pub const INFEASIBLE_RES_BOUND: i64 = 1 << 40;
+
 /// Per-cluster resource MII given a cluster assignment: the largest
 /// `⌈ops in cluster using r / units of r per cluster⌉` over all clusters
 /// and resource kinds. Used by the partitioner's workload-balance check.
+///
+/// A cluster holding ops of a kind it has zero units of yields
+/// [`INFEASIBLE_RES_BOUND`] — the bound is effectively infinite, and
+/// refinement uses the huge cost to steer ops out of such clusters
+/// (heterogeneous `.machine` files make this state reachable from input,
+/// so it must not panic).
 ///
 /// `assignment[op] = cluster index`.
 ///
 /// # Panics
 ///
-/// Panics if an assignment index is out of range, or if a cluster with zero
-/// units of some kind is assigned an operation of that kind (the bound would
-/// be infinite).
+/// Panics if an assignment index is out of range.
 pub fn res_mii_clustered(ddg: &Ddg, machine: &MachineConfig, assignment: &[usize]) -> i64 {
     let nclusters = machine.cluster_count();
     let mut counts = vec![[0i64; 3]; nclusters];
@@ -65,10 +77,9 @@ pub fn res_mii_clustered(ddg: &Ddg, machine: &MachineConfig, assignment: &[usize
                 continue;
             }
             let units = machine.cluster(c).units(kind) as i64;
-            assert!(
-                units > 0,
-                "cluster {c} has no {kind} units but is assigned {ops} such ops"
-            );
+            if units == 0 {
+                return INFEASIBLE_RES_BOUND;
+            }
             bound = bound.max((ops + units - 1) / units);
         }
     }

@@ -28,8 +28,8 @@
 
 use gpsched_engine::{
     aggregate_by_group, generate_corpus_text, machine_from_short_name, parse_corpus,
-    parse_machine_corpus, run_sweep, serialize_corpus, serialize_machine_corpus, JobSpec,
-    SweepOptions,
+    parse_machine_corpus, run_sweep, serialize_corpus, serialize_machine_corpus, serve, JobSpec,
+    ServeOptions, SweepOptions,
 };
 use gpsched_machine::{table1_configs, topology_presets, MachineConfig};
 use gpsched_sched::{Algorithm, AlgorithmSpec};
@@ -47,6 +47,8 @@ fn main() {
         Some("export") => cmd_export(&args[1..]),
         Some("machines") => cmd_machines(&args[1..]),
         Some("speedup") => cmd_speedup(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprint!("{USAGE}");
         }
@@ -76,6 +78,12 @@ USAGE:
   gpsched-engine machines [--machines table1|clustered|topologies|NAME,NAME,…]
                           [--out FILE]
   gpsched-engine speedup  [--workers-list 1,2,4] [sweep selection flags]
+  gpsched-engine serve    [--addr HOST:PORT] [--workers N] [--queue N]
+                          [--cache-file FILE] [--max-body-kb N]
+  gpsched-engine client   submit|status|results|health|shutdown
+                          [--addr HOST:PORT] [--job ID] [--corpus FILE]
+                          [--gen SPECS] [--machines NAMES|FILE.machine]
+                          [--algos SPECS] [--group NAME] [--out FILE] [--wait]
 
 With no source flags, `sweep` runs the full SPECfp95 suite across all
 Table 1 machines with all four algorithms (URACAM, Fixed, GP, List).
@@ -96,6 +104,12 @@ stderr; `--trace-out` additionally writes Chrome Trace Event JSON for
 chrome://tracing / Perfetto). `profile` runs a traced sweep and prints
 the top phases by self-time to stdout. `trace-check` validates a trace
 JSON file and optionally asserts that named spans are present (CI).
+`serve` starts the long-lived scheduling daemon (HTTP/1.1, bounded FIFO
+job queue, streaming JSONL results; `--cache-file` persists seeds so a
+restart starts warm). `client` talks to it: `submit` builds a job body
+from the sweep selection flags (`--wait` blocks and prints the results),
+`status`/`results` poll a job by `--job ID`, `health` probes liveness,
+`shutdown` stops the daemon gracefully.
 ";
 
 fn fail(msg: &str) -> ! {
@@ -136,7 +150,13 @@ fn check_flags(args: &[String], known: &[&str]) {
             // Every known flag except the booleans consumes a value.
             skip = !matches!(
                 a.as_str(),
-                "--spec" | "--kernels" | "--no-cache" | "--quiet" | "--trace" | "--progress"
+                "--spec"
+                    | "--kernels"
+                    | "--no-cache"
+                    | "--quiet"
+                    | "--trace"
+                    | "--progress"
+                    | "--wait"
             );
         } else {
             fail(&format!("unexpected argument `{a}`"));
@@ -561,7 +581,7 @@ fn cmd_export(args: &[String]) {
             loops.push(synth::synthesize(
                 format!("synth-{seed}-{i}"),
                 &profile,
-                seed.wrapping_add(i as u64),
+                synth::derive_seed(seed, i as u64),
             ));
         }
     }
@@ -623,5 +643,180 @@ fn cmd_speedup(args: &[String]) {
             r.stats.throughput(),
             b / wall
         );
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    check_flags(
+        args,
+        &[
+            "--addr",
+            "--workers",
+            "--queue",
+            "--cache-file",
+            "--max-body-kb",
+        ],
+    );
+    let mut opts = ServeOptions::default();
+    if let Some(addr) = opt_value(args, "--addr") {
+        opts.addr = addr.to_string();
+    }
+    if let Some(w) = opt_value(args, "--workers") {
+        opts.workers = w
+            .parse()
+            .unwrap_or_else(|_| fail("--workers needs a number"));
+    }
+    if let Some(q) = opt_value(args, "--queue") {
+        opts.queue_capacity = q.parse().unwrap_or_else(|_| fail("--queue needs a number"));
+    }
+    if let Some(path) = opt_value(args, "--cache-file") {
+        opts.cache_path = Some(path.into());
+    }
+    if let Some(kb) = opt_value(args, "--max-body-kb") {
+        let kb: usize = kb
+            .parse()
+            .unwrap_or_else(|_| fail("--max-body-kb needs a number"));
+        opts.max_body_bytes = kb * 1024;
+    }
+    let mut server = serve(&opts)
+        .unwrap_or_else(|e| fail(&format!("cannot start daemon on {}: {e}", opts.addr)));
+    eprintln!(
+        "gpsched-serve: listening on {} (queue {}, POST /shutdown to stop)",
+        server.addr(),
+        opts.queue_capacity
+    );
+    server.join();
+    eprintln!("gpsched-serve: stopped");
+}
+
+/// Builds a `POST /jobs` body from the client's selection flags.
+fn job_body_from_args(args: &[String]) -> String {
+    let mut body = String::new();
+    let machines_spec = opt_value(args, "--machines").unwrap_or("table1");
+    match machines_spec {
+        // Named sets expand client-side to short names the daemon resolves.
+        "table1" => {
+            let names: Vec<String> = gpsched_machine::table1_configs()
+                .iter()
+                .map(|(_, m)| m.short_name())
+                .collect();
+            body.push_str(&format!("machines {}\n", names.join(",")));
+        }
+        path if path.ends_with(".machine") => {
+            // Embed the file's machine blocks verbatim.
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            body.push_str(&text);
+            if !text.ends_with('\n') {
+                body.push('\n');
+            }
+        }
+        list => body.push_str(&format!("machines {list}\n")),
+    }
+    if let Some(algos) = opt_value(args, "--algos") {
+        body.push_str(&format!("algos {algos}\n"));
+    }
+    let mut any_source = false;
+    if let Some(path) = opt_value(args, "--corpus") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        // Group like `sweep --corpus` does (the file's basename), so the
+        // daemon's records are byte-identical to the batch CLI's.
+        let group =
+            opt_value(args, "--group").unwrap_or_else(|| path.rsplit('/').next().unwrap_or(path));
+        body.push_str(&format!("group {group}\n"));
+        body.push_str(&text);
+        if !text.ends_with('\n') {
+            body.push('\n');
+        }
+        any_source = true;
+    }
+    if let Some(list) = opt_value(args, "--gen") {
+        for spec in list.split(',') {
+            let (preset_name, count, seed) = parse_gen_spec(spec.trim());
+            let profile = resolve_preset(preset_name);
+            body.push_str(&format!("group {preset_name}\n"));
+            body.push_str(&generate_corpus_text(preset_name, &profile, seed, count, 0));
+        }
+        any_source = true;
+    }
+    if !any_source {
+        fail("client submit needs a source: --corpus FILE and/or --gen SPECS");
+    }
+    body
+}
+
+fn cmd_client(args: &[String]) {
+    let Some(action) = args.first().map(String::as_str) else {
+        fail("client needs an action: submit|status|results|health|shutdown");
+    };
+    let rest = &args[1..];
+    check_flags(
+        rest,
+        &[
+            "--addr",
+            "--job",
+            "--corpus",
+            "--gen",
+            "--machines",
+            "--algos",
+            "--group",
+            "--out",
+            "--wait",
+        ],
+    );
+    let default_addr = ServeOptions::default().addr;
+    let addr = opt_value(rest, "--addr").unwrap_or(&default_addr);
+    let job_id = || -> u64 {
+        opt_value(rest, "--job")
+            .unwrap_or_else(|| fail("--job ID is required for this action"))
+            .parse()
+            .unwrap_or_else(|_| fail("--job needs a number"))
+    };
+    let write_lines = |lines: &[String]| match opt_value(rest, "--out") {
+        Some(path) => {
+            let mut text = lines.join("\n");
+            text.push('\n');
+            std::fs::write(path, text)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {} lines to {path}", lines.len());
+        }
+        None => {
+            for l in lines {
+                println!("{l}");
+            }
+        }
+    };
+    match action {
+        "submit" => {
+            let body = job_body_from_args(rest);
+            let id = serve::client::submit(addr, &body).unwrap_or_else(|e| fail(&e));
+            if has_flag(rest, "--wait") {
+                // The results stream blocks until the job completes.
+                let lines = serve::client::results(addr, id).unwrap_or_else(|e| fail(&e));
+                write_lines(&lines);
+            } else {
+                println!("{id}");
+            }
+        }
+        "status" => println!(
+            "{}",
+            serve::client::status(addr, job_id()).unwrap_or_else(|e| fail(&e))
+        ),
+        "results" => {
+            let lines = serve::client::results(addr, job_id()).unwrap_or_else(|e| fail(&e));
+            write_lines(&lines);
+        }
+        "health" => println!(
+            "{}",
+            serve::client::health(addr).unwrap_or_else(|e| fail(&e))
+        ),
+        "shutdown" => {
+            serve::client::shutdown(addr).unwrap_or_else(|e| fail(&e));
+            eprintln!("daemon at {addr} is shutting down");
+        }
+        other => fail(&format!(
+            "unknown client action `{other}` (expected submit|status|results|health|shutdown)"
+        )),
     }
 }

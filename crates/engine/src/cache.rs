@@ -4,17 +4,30 @@
 //! by every algorithm and by every re-occurrence of the same loop body:
 //! the MII and the initial partition. The cache keys them by a content
 //! hash of the DDG (FNV-1a over structure — the loop *name* is excluded,
-//! so corpora with duplicated bodies hit the cache) plus the machine's
-//! short name, and serves them to all workers through per-key
+//! so corpora with duplicated bodies hit the cache), a structural hash of
+//! the machine, and a hash of the [`PartitionOptions`] in force (two sweeps
+//! with different refinement knobs compute different partitions — they must
+//! not share entries). Seeds are served to all workers through per-key
 //! [`OnceLock`]s so a miss never serializes unrelated work.
+//!
+//! A cache may additionally be backed by a [`DiskCache`]: on a memory miss
+//! the persistent store is consulted before computing, and freshly computed
+//! seeds are appended to it. This is what lets `gpsched-serve` restart warm.
+//!
+//! [`DiskCache`]: crate::diskcache::DiskCache
 
+use crate::diskcache::DiskCache;
 use gpsched_ddg::Ddg;
 use gpsched_machine::MachineConfig;
-use gpsched_partition::{partition_ddg, PartitionOptions, PartitionResult};
+use gpsched_partition::{partition_ddg, MatchStrategy, PartitionOptions, PartitionResult};
 use gpsched_sched::SchedSeed;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// The full memo-cache key:
+/// ([`ddg_content_hash`], [`machine_key`], [`popts_key`]).
+pub type CacheKey = (u64, u64, u64);
 
 /// FNV-1a content hash of a DDG's structure.
 ///
@@ -54,6 +67,46 @@ pub fn ddg_content_hash(ddg: &Ddg) -> u64 {
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice (the disk cache uses this as its line checksum).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a hash of every [`PartitionOptions`] field that changes the
+/// computed partition. Two sweeps over the same loop and machine but with
+/// different matching or refinement knobs produce different seeds, so the
+/// options must be part of the cache key — keying on (loop, machine) alone
+/// silently serves one configuration's partition to the other.
+pub fn popts_key(popts: &PartitionOptions) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    match popts.strategy {
+        MatchStrategy::Exact => mix(0),
+        MatchStrategy::Greedy => mix(1),
+        MatchStrategy::Auto(limit) => {
+            mix(2);
+            mix(limit as u64);
+        }
+    }
+    let r = &popts.refine;
+    mix(r.balance as u64);
+    mix(r.cut as u64);
+    mix(r.max_moves as u64);
+    mix(r.swap_candidates as u64);
+    mix(r.eval_candidates as u64);
+    h
+}
 
 /// FNV-1a hash of everything that distinguishes one machine from another
 /// for scheduling purposes: per-cluster unit mix and registers, the
@@ -114,28 +167,43 @@ pub fn machine_key(machine: &MachineConfig) -> u64 {
 /// A lazily computed cache slot, shared across workers.
 type SeedCell = Arc<OnceLock<SchedSeed>>;
 
-/// Shared memo cache for one sweep, keyed by
-/// ([`ddg_content_hash`], [`machine_key`]).
+/// Shared memo cache for one sweep (or one daemon lifetime), keyed by
+/// ([`ddg_content_hash`], [`machine_key`], [`popts_key`]).
 pub struct SweepCache {
-    entries: Mutex<HashMap<(u64, u64), SeedCell>>,
+    entries: Mutex<HashMap<CacheKey, SeedCell>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    disk_hits: AtomicUsize,
+    disk: Option<Arc<DiskCache>>,
 }
 
 impl SweepCache {
-    /// An empty cache.
+    /// An empty in-memory cache.
     pub fn new() -> Self {
         SweepCache {
             entries: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
+            disk: None,
         }
     }
 
+    /// An in-memory cache backed by a persistent store: memory misses
+    /// consult `disk` before computing, and freshly computed seeds are
+    /// appended to it (append failures degrade to a warning — the sweep
+    /// still completes with correct results).
+    pub fn with_disk(disk: Arc<DiskCache>) -> Self {
+        let mut cache = Self::new();
+        cache.disk = Some(disk);
+        cache
+    }
+
     /// The seed (MII + initial partition) for scheduling `ddg` on
-    /// `machine`, computing it on first request. `hash` must be
-    /// [`ddg_content_hash`]`(ddg)` (precomputed once per loop by the
-    /// executor). The boolean is `true` on a cache hit.
+    /// `machine` under `popts`, computing it on first request. `hash` must
+    /// be [`ddg_content_hash`]`(ddg)` (precomputed once per loop by the
+    /// executor). The boolean is `true` on a cache hit — from memory or
+    /// from the backing disk store.
     pub fn seed(
         &self,
         hash: u64,
@@ -143,35 +211,67 @@ impl SweepCache {
         machine: &MachineConfig,
         popts: &PartitionOptions,
     ) -> (SchedSeed, bool) {
+        let key = (hash, machine_key(machine), popts_key(popts));
         let cell = {
             let mut map = self.entries.lock().expect("cache poisoned");
-            Arc::clone(
-                map.entry((hash, machine_key(machine)))
-                    .or_insert_with(|| Arc::new(OnceLock::new())),
-            )
+            Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
         };
-        let mut computed = false;
-        let seed = cell.get_or_init(|| {
-            computed = true;
-            compute_seed(ddg, machine, popts)
-        });
-        if computed {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            gpsched_trace::counter!("cache.miss");
-            gpsched_trace::counter!("cache.insert");
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            gpsched_trace::counter!("cache.hit");
+        #[derive(PartialEq)]
+        enum Origin {
+            Memory,
+            Disk,
+            Computed,
         }
-        (seed.clone(), !computed)
+        let mut origin = Origin::Memory;
+        let seed = cell.get_or_init(|| {
+            if let Some(found) = self.disk.as_ref().and_then(|d| d.get(key)) {
+                origin = Origin::Disk;
+                return found;
+            }
+            origin = Origin::Computed;
+            let computed = compute_seed(ddg, machine, popts);
+            if let Some(disk) = &self.disk {
+                if let Err(e) = disk.append(key, &computed) {
+                    eprintln!(
+                        "warning: seed cache append to {} failed: {e}",
+                        disk.path().display()
+                    );
+                }
+            }
+            computed
+        });
+        match origin {
+            Origin::Computed => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                gpsched_trace::counter!("cache.miss");
+                gpsched_trace::counter!("cache.insert");
+            }
+            Origin::Disk => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                gpsched_trace::counter!("cache.hit");
+                gpsched_trace::counter!("cache.disk_hit");
+            }
+            Origin::Memory => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                gpsched_trace::counter!("cache.hit");
+            }
+        }
+        (seed.clone(), origin != Origin::Computed)
     }
 
-    /// `(hits, misses)` so far.
+    /// `(hits, misses)` so far. Disk hits count as hits.
     pub fn stats(&self) -> (usize, usize) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// How many hits were served from the backing disk store rather than
+    /// memory. Always 0 for a cache without one.
+    pub fn disk_hits(&self) -> usize {
+        self.disk_hits.load(Ordering::Relaxed)
     }
 
     /// Distinct (loop, machine) entries resident in the cache.
@@ -304,5 +404,86 @@ mod tests {
         let seed = compute_seed(&ddg, &m, &PartitionOptions::default());
         assert!(seed.partition.is_none());
         assert!(seed.start_ii >= 1);
+    }
+
+    #[test]
+    fn differing_partition_options_do_not_share_entries() {
+        // Regression: the key used to be (ddg, machine) only, so a sweep
+        // with refinement disabled could be served the refined partition
+        // computed by an earlier sweep (or vice versa) — a stale-cache bug.
+        let ddg = kernels::stencil5(120);
+        let m = MachineConfig::four_cluster(32, 1, 1);
+        let h = ddg_content_hash(&ddg);
+        let refined = PartitionOptions::default();
+        let raw = PartitionOptions {
+            refine: gpsched_partition::refine::RefineOptions {
+                balance: false,
+                cut: false,
+                ..refined.refine
+            },
+            ..refined
+        };
+        assert_ne!(popts_key(&refined), popts_key(&raw));
+
+        let cache = SweepCache::new();
+        let (s_refined, hit1) = cache.seed(h, &ddg, &m, &refined);
+        let (s_raw, hit2) = cache.seed(h, &ddg, &m, &raw);
+        assert!(!hit1 && !hit2, "distinct options must both miss");
+        assert_eq!(cache.stats(), (0, 2));
+        // Each entry matches its own direct computation, not the other's.
+        let direct_raw = compute_seed(&ddg, &m, &raw);
+        let direct_refined = compute_seed(&ddg, &m, &refined);
+        let asg = |s: &SchedSeed| {
+            s.partition
+                .as_ref()
+                .map(|p| p.partition.assignment().to_vec())
+        };
+        assert_eq!(asg(&s_raw), asg(&direct_raw));
+        assert_eq!(asg(&s_refined), asg(&direct_refined));
+    }
+
+    #[test]
+    fn popts_key_covers_every_knob() {
+        let base = PartitionOptions::default();
+        let mut variants = vec![
+            PartitionOptions {
+                strategy: MatchStrategy::Exact,
+                ..base
+            },
+            PartitionOptions {
+                strategy: MatchStrategy::Greedy,
+                ..base
+            },
+            PartitionOptions {
+                strategy: MatchStrategy::Auto(7),
+                ..base
+            },
+        ];
+        let r = base.refine;
+        for refine in [
+            gpsched_partition::refine::RefineOptions {
+                balance: !r.balance,
+                ..r
+            },
+            gpsched_partition::refine::RefineOptions { cut: !r.cut, ..r },
+            gpsched_partition::refine::RefineOptions {
+                max_moves: r.max_moves + 1,
+                ..r
+            },
+            gpsched_partition::refine::RefineOptions {
+                swap_candidates: r.swap_candidates + 1,
+                ..r
+            },
+            gpsched_partition::refine::RefineOptions {
+                eval_candidates: r.eval_candidates + 1,
+                ..r
+            },
+        ] {
+            variants.push(PartitionOptions { refine, ..base });
+        }
+        let base_key = popts_key(&base);
+        for v in &variants {
+            assert_ne!(popts_key(v), base_key, "{v:?} must change the key");
+        }
     }
 }

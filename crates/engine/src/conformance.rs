@@ -40,7 +40,8 @@ use gpsched_workloads::{preset, PRESET_NAMES};
 pub struct SynthCase {
     /// Generator preset the loop came from.
     pub preset: &'static str,
-    /// Base seed of the corpus; the loop itself used `base_seed + index`.
+    /// Base seed of the corpus; the loop itself used
+    /// [`derive_seed`](gpsched_workloads::synth::derive_seed)`(base_seed, index)`.
     pub base_seed: u64,
     /// Index within the preset's corpus.
     pub index: usize,
@@ -307,13 +308,13 @@ pub fn check_case(case: &SynthCase, machine: &MachineConfig, spec: AlgorithmSpec
                  synthesize(preset(\"{}\"), seed {})):{written}\n{text}",
                 case.ddg.name(),
                 case.preset,
-                case.base_seed.wrapping_add(case.index as u64),
+                gpsched_workloads::synth::derive_seed(case.base_seed, case.index as u64),
                 machine.short_name(),
                 spec.spec_string(),
                 minimized.op_count(),
                 minimized.dep_count(),
                 case.preset,
-                case.base_seed.wrapping_add(case.index as u64),
+                gpsched_workloads::synth::derive_seed(case.base_seed, case.index as u64),
             );
         }
     }
@@ -333,7 +334,7 @@ fn write_repro(
     let path = format!(
         "{dir}/{}-{}-{}-{}.ddg",
         case.preset,
-        case.base_seed.wrapping_add(case.index as u64),
+        gpsched_workloads::synth::derive_seed(case.base_seed, case.index as u64),
         machine.short_name(),
         spec.spec_string().replace(':', "-")
     );

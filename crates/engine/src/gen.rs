@@ -3,7 +3,9 @@
 //! ingestion via [`crate::JobSpec::synth_corpus`].
 //!
 //! Output is a pure function of `(prefix, profile, base_seed, count)` —
-//! loop `i` is always synthesized from seed `base_seed + i` and named
+//! loop `i` is always synthesized from seed
+//! [`derive_seed`]`(base_seed, i)`
+//! (`base_seed + i` whenever that doesn't overflow) and named
 //! `{prefix}-{base_seed}-{i}` — so however many workers generate the
 //! corpus, the assembled vector (and its serialized `.ddg` text) is
 //! byte-identical. The `gpsched-engine gen` subcommand and the
@@ -13,7 +15,7 @@
 
 use crate::text::serialize_corpus;
 use gpsched_ddg::Ddg;
-use gpsched_workloads::synth::{synthesize, SynthProfile};
+use gpsched_workloads::synth::{derive_seed, synthesize, SynthProfile};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -54,7 +56,7 @@ pub fn generate_corpus(
                 let ddg = synthesize(
                     format!("{prefix}-{base_seed}-{i}"),
                     profile,
-                    base_seed.wrapping_add(i as u64),
+                    derive_seed(base_seed, i as u64),
                 );
                 if tx.send((i, ddg)).is_err() {
                     break;

@@ -56,23 +56,27 @@
 
 pub mod cache;
 pub mod conformance;
+pub mod diskcache;
 pub mod gen;
 pub mod job;
 pub mod machine_text;
 pub mod record;
+pub mod serve;
 pub mod sweep;
 pub mod text;
 mod textutil;
 
-pub use cache::{ddg_content_hash, machine_key, SweepCache};
+pub use cache::{ddg_content_hash, machine_key, popts_key, CacheKey, SweepCache};
+pub use diskcache::DiskCache;
 pub use gen::{generate_corpus, generate_corpus_text};
 pub use job::{machine_from_short_name, JobSpec, LoopSpec};
 pub use machine_text::{
     parse_machine, parse_machine_corpus, serialize_machine, serialize_machine_corpus,
     MachineTextError,
 };
-pub use record::{aggregate_by_group, GroupAggregate, RunRecord, SweepStats};
-pub use sweep::{run_sweep, SweepOptions, SweepResult};
+pub use record::{aggregate_by_group, canonical_json_line, GroupAggregate, RunRecord, SweepStats};
+pub use serve::{serve, ServeOptions};
+pub use sweep::{run_sweep, run_sweep_cached, SweepOptions, SweepResult, UnitFailure};
 pub use text::{
     parse_corpus, parse_ddg, same_structure, serialize_corpus, serialize_ddg, TextError,
 };

@@ -162,6 +162,20 @@ enum TopoSpec {
     },
 }
 
+/// Sanity bounds on `.machine` numeric fields — same rationale as the
+/// `.ddg` caps: parsed values feed `i64` scheduling arithmetic and
+/// per-cluster table allocations, so wild values are parse errors, not
+/// downstream overflow or OOM.
+const MAX_CLUSTERS: usize = 256;
+/// Maximum functional units of one kind per cluster.
+const MAX_UNITS: u32 = 1024;
+/// Maximum registers per cluster.
+const MAX_REGISTERS: u32 = 1_000_000;
+/// Maximum latency (op classes, bus transfers, ring hops, p2p links).
+const MAX_LATENCY: u32 = 100_000;
+/// Maximum bus count / channels per link.
+const MAX_CHANNELS: u32 = 4096;
+
 struct Block {
     start_line: usize,
     name: String,
@@ -223,12 +237,52 @@ pub fn parse_machine_corpus(text: &str) -> Result<Vec<(String, MachineConfig)>, 
                 let (int_s, rest) = token(rest);
                 let (fp_s, rest) = token(rest);
                 let (mem_s, regs_s) = token(rest);
-                b.clusters.push(ClusterConfig {
+                let cluster = ClusterConfig {
                     int_units: parse_num(int_s, "an integer-unit count", line_no)?,
                     fp_units: parse_num(fp_s, "an fp-unit count", line_no)?,
                     mem_units: parse_num(mem_s, "a memory-port count", line_no)?,
                     registers: parse_num(regs_s.trim(), "a register count", line_no)?,
-                });
+                };
+                if b.clusters.len() >= MAX_CLUSTERS {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: format!("machine `{}` exceeds {MAX_CLUSTERS} clusters", b.name),
+                    });
+                }
+                for (units, what) in [
+                    (cluster.int_units, "integer-unit"),
+                    (cluster.fp_units, "fp-unit"),
+                    (cluster.mem_units, "memory-port"),
+                ] {
+                    if units > MAX_UNITS {
+                        return Err(MachineTextError {
+                            line: line_no,
+                            msg: format!("{what} count {units} out of range (max {MAX_UNITS})"),
+                        });
+                    }
+                }
+                if cluster.int_units == 0 && cluster.fp_units == 0 && cluster.mem_units == 0 {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: "cluster has no functional units at all".to_string(),
+                    });
+                }
+                if cluster.registers == 0 {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: "cluster needs at least one register".to_string(),
+                    });
+                }
+                if cluster.registers > MAX_REGISTERS {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: format!(
+                            "register count {} out of range (max {MAX_REGISTERS})",
+                            cluster.registers
+                        ),
+                    });
+                }
+                b.clusters.push(cluster);
             }
             "bus" => {
                 let b = block.as_mut().ok_or_else(|| outside(line_no, "bus"))?;
@@ -370,6 +424,12 @@ pub fn parse_machine_corpus(text: &str) -> Result<Vec<(String, MachineConfig)>, 
                     ),
                 })?;
                 let lat: u32 = parse_num(lat_s.trim(), "a latency", line_no)?;
+                if lat > MAX_LATENCY {
+                    return Err(MachineTextError {
+                        line: line_no,
+                        msg: format!("latency {lat} out of range (max {MAX_LATENCY})"),
+                    });
+                }
                 let slot = match class {
                     OpClass::IntAlu => &mut b.latencies.int_alu,
                     OpClass::FpAdd => &mut b.latencies.fp_add,
@@ -456,6 +516,16 @@ fn finish(b: Block, end_line: usize) -> Result<MachineConfig, MachineTextError> 
                     b.name
                 )));
             }
+            if count > MAX_CHANNELS {
+                return Err(err(format!(
+                    "bus count {count} out of range (max {MAX_CHANNELS})"
+                )));
+            }
+            if latency > MAX_LATENCY {
+                return Err(err(format!(
+                    "bus latency {latency} out of range (max {MAX_LATENCY})"
+                )));
+            }
             Interconnect::SharedBus {
                 count,
                 latency,
@@ -482,6 +552,16 @@ fn finish(b: Block, end_line: usize) -> Result<MachineConfig, MachineTextError> 
                     b.name
                 )));
             }
+            if hop_latency > MAX_LATENCY {
+                return Err(err(format!(
+                    "ring hop latency {hop_latency} out of range (max {MAX_LATENCY})"
+                )));
+            }
+            if links_per_hop > MAX_CHANNELS {
+                return Err(err(format!(
+                    "links per hop {links_per_hop} out of range (max {MAX_CHANNELS})"
+                )));
+            }
             Interconnect::Ring {
                 hop_latency,
                 links_per_hop,
@@ -500,6 +580,18 @@ fn finish(b: Block, end_line: usize) -> Result<MachineConfig, MachineTextError> 
                     "p2p topology of machine `{}` needs at least one channel",
                     b.name
                 )));
+            }
+            if channels > MAX_CHANNELS {
+                return Err(err(format!(
+                    "channel count {channels} out of range (max {MAX_CHANNELS})"
+                )));
+            }
+            if let Some(lat) = default_latency {
+                if lat > MAX_LATENCY {
+                    return Err(err(format!(
+                        "default link latency {lat} out of range (max {MAX_LATENCY})"
+                    )));
+                }
             }
             // 0 marks "unset" below; an explicit default fills everything.
             let mut matrix = vec![default_latency.unwrap_or(0); n * n];
@@ -525,6 +617,12 @@ fn finish(b: Block, end_line: usize) -> Result<MachineConfig, MachineTextError> 
                             "link {from} {to} of machine `{}` needs a positive latency",
                             b.name
                         ),
+                    });
+                }
+                if *lat > MAX_LATENCY {
+                    return Err(MachineTextError {
+                        line: *line,
+                        msg: format!("link latency {lat} out of range (max {MAX_LATENCY})"),
                     });
                 }
                 matrix[from * n + to] = *lat;

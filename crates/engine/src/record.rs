@@ -43,7 +43,7 @@ pub struct RunRecord {
 }
 
 /// Escapes a string for a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -98,6 +98,23 @@ impl RunRecord {
     }
 }
 
+/// Reduces one JSONL result line to its deterministic core.
+///
+/// Drops the volatile tail — `cache_hit` (depends on races between
+/// workers and on daemon cache warmth) and `sched_time_us` (depends on the
+/// host) — keeping `{"unit":…,<canonical fields>}`. Two runs of the same
+/// job produce byte-identical canonicalized lines whatever the worker
+/// count, cache state, or transport (batch CLI vs daemon), which is what
+/// the determinism tests and the CI serve-smoke lane compare. Lines
+/// without the volatile tail (e.g. failure records) pass through
+/// unchanged.
+pub fn canonical_json_line(line: &str) -> String {
+    match line.find(",\"cache_hit\":") {
+        Some(i) => format!("{}}}", &line[..i]),
+        None => line.to_string(),
+    }
+}
+
 /// Aggregate statistics of one sweep.
 #[derive(Clone, Debug)]
 pub struct SweepStats {
@@ -112,11 +129,15 @@ pub struct SweepStats {
     /// Fraction of modulo-algorithm units that fell back to list
     /// scheduling.
     pub fallback_rate: f64,
+    /// Units that could not be scheduled at all (reported as failure
+    /// records, not panics — see [`crate::sweep::UnitFailure`]).
+    pub failed: usize,
     /// Memo-cache hits.
     pub cache_hits: usize,
     /// Memo-cache misses.
     pub cache_misses: usize,
-    /// Distinct (loop, machine) entries resident in the cache at sweep end.
+    /// Distinct (loop, machine, options) entries resident in the cache at
+    /// sweep end.
     pub cache_entries: usize,
     /// Worker threads used.
     pub workers: usize,
@@ -169,6 +190,7 @@ impl SweepStats {
             } else {
                 fallbacks as f64 / modulo_units as f64
             },
+            failed: 0,
             cache_hits,
             cache_misses,
             cache_entries: 0,
@@ -300,6 +322,28 @@ mod tests {
         assert!(j.contains("\"group\":\"g\\\"x\""));
         assert!(j.contains("\"loop\":\"a\\\\b\\nc\""));
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn canonical_json_line_strips_only_the_volatile_tail() {
+        let mut a = rec(3, "g", "GP", 4, 10, 50);
+        let mut b = rec(3, "g", "GP", 4, 10, 50);
+        a.cache_hit = true;
+        b.sched_time_us = 123_456;
+        assert_ne!(a.to_json(), b.to_json());
+        assert_eq!(
+            canonical_json_line(&a.to_json()),
+            canonical_json_line(&b.to_json())
+        );
+        let canon = canonical_json_line(&a.to_json());
+        assert!(canon.starts_with("{\"unit\":3,"));
+        assert!(canon.ends_with("\"repartitions\":0}"));
+        assert!(!canon.contains("cache_hit"));
+        // A line without the tail is untouched.
+        assert_eq!(
+            canonical_json_line("{\"error\":\"x\"}"),
+            "{\"error\":\"x\"}"
+        );
     }
 
     #[test]

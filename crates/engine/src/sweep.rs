@@ -10,12 +10,53 @@
 
 use crate::cache::{compute_seed, ddg_content_hash, SweepCache};
 use crate::job::JobSpec;
-use crate::record::{RunRecord, SweepStats};
+use crate::record::{esc, RunRecord, SweepStats};
 use gpsched_sched::{schedule_loop_spec_seeded, ScheduledWith};
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
+
+/// A unit that could not be scheduled at all.
+///
+/// A sweep over external `.ddg`/`.machine` input can legitimately pair a
+/// loop with a machine that cannot run it (an FP loop on an integer-only
+/// cluster machine). That is a property of the *input*, not a bug in the
+/// engine, so it must not panic a worker (and with it the whole sweep, or
+/// the daemon): the unit becomes a failure record, the other units finish
+/// normally.
+#[derive(Clone, Debug)]
+pub struct UnitFailure {
+    /// Deterministic unit index within the job.
+    pub unit: usize,
+    /// Aggregation group (program name).
+    pub group: String,
+    /// Loop name.
+    pub loop_name: String,
+    /// Machine short name.
+    pub machine: String,
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Why the unit could not be scheduled.
+    pub error: String,
+}
+
+impl UnitFailure {
+    /// The JSONL line of this failure (no trailing newline). Distinguished
+    /// from success records by the `"error"` key.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"unit\":{},\"group\":\"{}\",\"loop\":\"{}\",\"machine\":\"{}\",\
+             \"algorithm\":\"{}\",\"error\":\"{}\"}}",
+            self.unit,
+            esc(&self.group),
+            esc(&self.loop_name),
+            esc(&self.machine),
+            esc(&self.algorithm),
+            esc(&self.error)
+        )
+    }
+}
 
 /// Executor options.
 #[derive(Clone, Debug)]
@@ -65,41 +106,53 @@ impl SweepOptions {
 /// Result of [`run_sweep`]: records in unit order plus aggregate stats.
 #[derive(Clone, Debug)]
 pub struct SweepResult {
-    /// One record per unit, sorted by unit index (deterministic).
+    /// One record per successfully scheduled unit, sorted by unit index
+    /// (deterministic).
     pub records: Vec<RunRecord>,
+    /// Units that could not be scheduled, sorted by unit index. Empty for
+    /// well-formed jobs.
+    pub failures: Vec<UnitFailure>,
     /// Aggregate statistics.
     pub stats: SweepStats,
 }
 
-/// Runs every unit of `job`, streaming JSONL lines to `sink` (if any) as
-/// units complete.
+/// Runs every unit of `job` against a fresh cache, streaming JSONL lines
+/// to `sink` (if any) as units complete.
 ///
-/// # Panics
-///
-/// Panics if some loop cannot be scheduled at all (a machine with zero
-/// units of a required kind) — job specs are expected to pair workloads
-/// with machines that can run them — or if a worker thread panics.
-pub fn run_sweep(
+/// A unit that cannot be scheduled (a machine with zero units of a kind
+/// the loop needs) becomes a [`UnitFailure`] record — it does not panic
+/// and does not abort the other units.
+pub fn run_sweep(job: &JobSpec, opts: &SweepOptions, sink: Option<&mut dyn Write>) -> SweepResult {
+    run_sweep_cached(job, opts, sink, &SweepCache::new())
+}
+
+/// [`run_sweep`] against a caller-owned cache, so consecutive jobs share
+/// memoized seeds. This is the daemon's entry point: `gpsched-serve` keeps
+/// one (optionally disk-backed) [`SweepCache`] for its whole lifetime and
+/// runs every accepted job through it. Reported cache stats are this
+/// call's delta, not the cache's lifetime totals.
+pub fn run_sweep_cached(
     job: &JobSpec,
     opts: &SweepOptions,
     mut sink: Option<&mut dyn Write>,
+    cache: &SweepCache,
 ) -> SweepResult {
     let t0 = Instant::now();
     let nunits = job.unit_count();
     let workers = opts.effective_workers().max(1).min(nunits.max(1));
-    let cache = SweepCache::new();
+    let (hits0, misses0) = cache.stats();
     // Hash every loop once, up front.
     let hashes: Vec<u64> = job.loops.iter().map(|l| ddg_content_hash(&l.ddg)).collect();
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<RunRecord>();
+    let (tx, rx) = mpsc::channel::<Result<RunRecord, Box<UnitFailure>>>();
 
     let mut records: Vec<RunRecord> = Vec::with_capacity(nunits);
+    let mut failures: Vec<UnitFailure> = Vec::new();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let tx = tx.clone();
             let next = &next;
-            let cache = &cache;
             let hashes = &hashes;
             scope.spawn(move || {
                 gpsched_trace::set_thread_label(format!("worker-{w}"));
@@ -108,8 +161,8 @@ pub fn run_sweep(
                     if k >= nunits {
                         break;
                     }
-                    let record = run_unit(job, k, hashes, cache, opts.use_cache, workers);
-                    if tx.send(record).is_err() {
+                    let outcome = run_unit(job, k, hashes, cache, opts.use_cache, workers);
+                    if tx.send(outcome).is_err() {
                         break;
                     }
                 }
@@ -119,30 +172,56 @@ pub fn run_sweep(
         // Drain in completion order, streaming to the sink; progress goes
         // to stderr only, so the JSONL stream stays clean.
         let mut last_progress = Instant::now();
-        for record in rx {
-            if let Some(w) = sink.as_deref_mut() {
-                let _ = writeln!(w, "{}", record.to_json());
+        for outcome in rx {
+            match outcome {
+                Ok(record) => {
+                    if let Some(w) = sink.as_deref_mut() {
+                        let _ = writeln!(w, "{}", record.to_json());
+                    }
+                    records.push(record);
+                }
+                Err(failure) => {
+                    if let Some(w) = sink.as_deref_mut() {
+                        let _ = writeln!(w, "{}", failure.to_json());
+                    }
+                    failures.push(*failure);
+                }
             }
-            records.push(record);
+            let done = records.len() + failures.len();
             if opts.progress && last_progress.elapsed().as_millis() >= 250 {
                 last_progress = Instant::now();
-                eprintln!("{}", progress_line(records.len(), nunits, t0));
+                eprintln!("{}", progress_line(done, nunits, t0));
             }
         }
     });
     if opts.progress && nunits > 0 {
-        eprintln!("{}", progress_line(records.len(), nunits, t0));
+        eprintln!(
+            "{}",
+            progress_line(records.len() + failures.len(), nunits, t0)
+        );
     }
 
     records.sort_by_key(|r| r.unit);
+    failures.sort_by_key(|f| f.unit);
     let (hits, misses) = cache.stats();
-    let mut stats = SweepStats::from_records(&records, t0.elapsed(), hits, misses, workers);
+    let mut stats = SweepStats::from_records(
+        &records,
+        t0.elapsed(),
+        hits - hits0,
+        misses - misses0,
+        workers,
+    );
+    stats.failed = failures.len();
     stats.cache_entries = cache.len();
     // When this sweep runs inside a trace session, embed the per-phase
     // profile collected so far (non-destructively — the session owner
     // still finishes and exports the full trace).
     stats.trace = gpsched_trace::summary_if_active();
-    SweepResult { records, stats }
+    SweepResult {
+        records,
+        failures,
+        stats,
+    }
 }
 
 /// Formats one stderr progress line: units done/total, current rate, ETA.
@@ -184,7 +263,9 @@ fn race_width_for(workers: usize, ops: usize) -> usize {
     }
 }
 
-/// Schedules unit `k` of `job`.
+/// Schedules unit `k` of `job`; unschedulable units come back as
+/// [`UnitFailure`]s rather than panics (boxed: the failure record is an
+/// order of magnitude larger than the worker channel's happy path needs).
 fn run_unit(
     job: &JobSpec,
     k: usize,
@@ -192,11 +273,29 @@ fn run_unit(
     cache: &SweepCache,
     use_cache: bool,
     workers: usize,
-) -> RunRecord {
+) -> Result<RunRecord, Box<UnitFailure>> {
     let (li, mi, ai) = job.unit(k);
     let spec = &job.loops[li];
     let machine = &job.machines[mi];
     let algorithm = job.algorithms[ai];
+    let fail = |error: String| {
+        Box::new(UnitFailure {
+            unit: k,
+            group: spec.group.clone(),
+            loop_name: spec.ddg.name().to_string(),
+            machine: machine.short_name(),
+            algorithm: algorithm.name(),
+            error,
+        })
+    };
+    // Feasibility gate BEFORE the seed: computing the MII of a loop on a
+    // machine lacking a required unit kind is undefined (and the seed would
+    // poison the shared cache). Mirrors the scheduler's own pre-check.
+    for kind in gpsched_machine::ResourceKind::ALL {
+        if spec.ddg.ops_using(kind) > 0 && machine.total_units(kind) == 0 {
+            return Err(fail(format!("machine has no {kind} units")));
+        }
+    }
     let mut cfg = job.cfg;
     cfg.race_width = cfg
         .race_width
@@ -222,14 +321,14 @@ fn run_unit(
     // same entry; that wait is the miss's cost, not this unit's.
     let t0 = if cache_hit { Instant::now() } else { t0 };
     let r = schedule_loop_spec_seeded(&spec.ddg, machine, algorithm, &job.popts, &cfg, &seed)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.ddg.name(), machine.short_name()));
+        .map_err(|e| fail(e.to_string()))?;
     let sched_time_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
 
     let repartitions = match r.method {
         ScheduledWith::Modulo { repartitions } => repartitions,
         _ => 0,
     };
-    RunRecord {
+    Ok(RunRecord {
         unit: k,
         group: spec.group.clone(),
         loop_name: r.name.clone(),
@@ -245,7 +344,7 @@ fn run_unit(
         repartitions,
         cache_hit,
         sched_time_us,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -368,6 +467,90 @@ mod tests {
         let job = JobSpec::new();
         let r = run_sweep(&job, &SweepOptions::default(), None);
         assert!(r.records.is_empty());
+        assert!(r.failures.is_empty());
         assert_eq!(r.stats.units, 0);
+    }
+
+    /// An integer-only machine: an FP loop on it is unschedulable.
+    fn int_only_machine() -> MachineConfig {
+        use gpsched_machine::{ClusterConfig, Interconnect, LatencyModel};
+        MachineConfig::custom(
+            vec![ClusterConfig {
+                int_units: 2,
+                fp_units: 0,
+                mem_units: 1,
+                registers: 32,
+            }],
+            Interconnect::None,
+            LatencyModel::default(),
+        )
+    }
+
+    #[test]
+    fn unschedulable_units_become_failures_not_panics() {
+        // daxpy uses FP units; pairing it with an int-only machine used to
+        // panic the worker (and the whole sweep). The unified machine in
+        // the same job must still produce its records.
+        let job = JobSpec::new()
+            .loop_in("k", kernels::daxpy(100))
+            .machines([int_only_machine(), MachineConfig::unified(32)])
+            .algorithms(Algorithm::ALL);
+        let mut buf: Vec<u8> = Vec::new();
+        let r = run_sweep(
+            &job,
+            &SweepOptions {
+                workers: 2,
+                ..SweepOptions::default()
+            },
+            Some(&mut buf),
+        );
+        let nalgos = Algorithm::ALL.len();
+        assert_eq!(r.failures.len(), nalgos, "every algo unit fails");
+        assert_eq!(r.records.len(), nalgos, "unified units still succeed");
+        assert_eq!(r.stats.failed, nalgos);
+        for f in &r.failures {
+            assert!(f.error.contains("no fp units"), "{}", f.error);
+            assert_eq!(f.loop_name, "daxpy");
+        }
+        // The sink saw one line per unit, failures included, each valid.
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), job.unit_count());
+        assert_eq!(
+            text.lines().filter(|l| l.contains("\"error\":")).count(),
+            nalgos
+        );
+    }
+
+    #[test]
+    fn failures_do_not_poison_the_cache() {
+        // The infeasible pairing must not insert a seed that a later
+        // feasible sweep could pick up; the shared-cache path is what the
+        // daemon runs.
+        let cache = SweepCache::new();
+        let bad = JobSpec::new()
+            .loop_in("k", kernels::daxpy(64))
+            .machine(int_only_machine())
+            .algorithms([Algorithm::Gp]);
+        let r = run_sweep_cached(&bad, &SweepOptions::serial(), None, &cache);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(cache.stats(), (0, 0), "gate fires before the cache");
+    }
+
+    #[test]
+    fn shared_cache_reports_per_call_deltas() {
+        let cache = SweepCache::new();
+        let job = small_job();
+        let first = run_sweep_cached(&job, &SweepOptions::serial(), None, &cache);
+        assert_eq!(first.stats.cache_misses, 6);
+        let second = run_sweep_cached(&job, &SweepOptions::serial(), None, &cache);
+        // Second run over the same job: everything hits the shared cache,
+        // and the reported stats are this call's delta.
+        assert_eq!(second.stats.cache_misses, 0);
+        assert_eq!(second.stats.cache_hits, job.unit_count());
+        assert!(second.records.iter().all(|r| r.cache_hit));
+        let canon = |r: &SweepResult| -> Vec<String> {
+            r.records.iter().map(RunRecord::canonical_fields).collect()
+        };
+        assert_eq!(canon(&first), canon(&second));
     }
 }

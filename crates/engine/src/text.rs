@@ -156,11 +156,28 @@ fn parse_num<T: std::str::FromStr>(field: &str, what: &str, line: usize) -> Resu
     })
 }
 
+/// Sanity bounds on numeric `.ddg` fields. Parsed values feed `i64`
+/// arithmetic throughout the timing and cost machinery ((trips−1)·II,
+/// latency − II·distance, Bellman–Ford path sums); these caps keep every
+/// such product orders of magnitude away from overflow while being far
+/// beyond anything a real loop corpus carries. Out-of-range values are
+/// line-numbered parse errors, not silent wraparound downstream.
+const MAX_TRIPS: u64 = 1_000_000_000_000;
+/// Maximum op or dep latency in cycles.
+const MAX_LATENCY: u32 = 100_000;
+/// Maximum iteration distance of a carried dependence.
+const MAX_DISTANCE: u32 = 10_000;
+/// Maximum operations per loop block.
+const MAX_OPS: usize = 100_000;
+/// Maximum dependences per loop block.
+const MAX_DEPS: usize = 1_000_000;
+
 struct Block {
     start_line: usize,
     name: String,
     builder: DdgBuilder,
     ops: Vec<OpId>,
+    deps: usize,
 }
 
 /// Parses a `.ddg` corpus: every `ddg … end` block in `text`, in order.
@@ -203,11 +220,18 @@ pub fn parse_corpus(text: &str) -> Result<Vec<Ddg>, TextError> {
                     name: rest.to_string(),
                     builder: DdgBuilder::new(rest),
                     ops: Vec::new(),
+                    deps: 0,
                 });
             }
             "trips" => {
                 let b = block.as_mut().ok_or_else(|| outside(line_no, "trips"))?;
                 let n: u64 = parse_num(rest, "a trip count", line_no)?;
+                if n > MAX_TRIPS {
+                    return Err(TextError::Syntax {
+                        line: line_no,
+                        msg: format!("trip count {n} out of range (max {MAX_TRIPS})"),
+                    });
+                }
                 b.builder.trip_count(n);
             }
             "op" => {
@@ -221,6 +245,18 @@ pub fn parse_corpus(text: &str) -> Result<Vec<Ddg>, TextError> {
                     ),
                 })?;
                 let latency: u32 = parse_num(lat_s, "a latency", line_no)?;
+                if latency > MAX_LATENCY {
+                    return Err(TextError::Syntax {
+                        line: line_no,
+                        msg: format!("latency {latency} out of range (max {MAX_LATENCY})"),
+                    });
+                }
+                if b.ops.len() >= MAX_OPS {
+                    return Err(TextError::Syntax {
+                        line: line_no,
+                        msg: format!("loop `{}` exceeds {MAX_OPS} operations", b.name),
+                    });
+                }
                 let id = b.builder.op_with_latency(class, name, latency);
                 b.ops.push(id);
             }
@@ -243,6 +279,25 @@ pub fn parse_corpus(text: &str) -> Result<Vec<Ddg>, TextError> {
                 }
                 let latency: u32 = parse_num(lat_s, "a latency", line_no)?;
                 let distance: u32 = parse_num(dist_s.trim(), "a distance", line_no)?;
+                if latency > MAX_LATENCY {
+                    return Err(TextError::Syntax {
+                        line: line_no,
+                        msg: format!("latency {latency} out of range (max {MAX_LATENCY})"),
+                    });
+                }
+                if distance > MAX_DISTANCE {
+                    return Err(TextError::Syntax {
+                        line: line_no,
+                        msg: format!("distance {distance} out of range (max {MAX_DISTANCE})"),
+                    });
+                }
+                if b.deps >= MAX_DEPS {
+                    return Err(TextError::Syntax {
+                        line: line_no,
+                        msg: format!("loop `{}` exceeds {MAX_DEPS} dependences", b.name),
+                    });
+                }
+                b.deps += 1;
                 let dep = match kind_s {
                     "flow" => gpsched_ddg::Dep::flow(latency, distance),
                     "mem" => gpsched_ddg::Dep::mem(latency, distance),

@@ -152,6 +152,93 @@ fn every_corrupted_p2p_machine_field_is_diagnosed_on_its_line() {
 }
 
 // ---------------------------------------------------------------------
+// Panic-freedom sweeps: corrupt / truncate EVERY byte of a valid file.
+// The parsers' error contract (`Result`, line-numbered) only matters if
+// no input can reach a panic instead — the daemon feeds them raw request
+// bodies. Each mutation parses under `catch_unwind`; any panic is a bug.
+// ---------------------------------------------------------------------
+
+/// Every byte value we substitute at each position: NUL and 0xFF (invalid
+/// UTF-8 → exercises the lossy replacement path), structural bytes that
+/// shift line/field boundaries, and a plain letter.
+const JUNK_BYTES: [u8; 6] = [0x00, 0xff, b'\n', b' ', b'-', b'z'];
+
+/// Parses every single-byte corruption and every truncation of `base`
+/// under `catch_unwind`, asserting `parse` never panics. The parse result
+/// is free to be Ok or Err — only a panic fails.
+fn assert_no_panic_on_any_corruption(base: &str, parse: fn(&str)) {
+    let bytes = base.as_bytes();
+    for pos in 0..bytes.len() {
+        for junk in JUNK_BYTES {
+            if bytes[pos] == junk {
+                continue;
+            }
+            let mut mutated = bytes.to_vec();
+            mutated[pos] = junk;
+            let text = String::from_utf8_lossy(&mutated).into_owned();
+            let r = std::panic::catch_unwind(move || parse(&text));
+            assert!(r.is_ok(), "byte {pos} -> {junk:#04x} panicked the parser");
+        }
+        // Torn input: everything up to (not including) this byte.
+        let text = String::from_utf8_lossy(&bytes[..pos]).into_owned();
+        let r = std::panic::catch_unwind(move || parse(&text));
+        assert!(r.is_ok(), "truncation at byte {pos} panicked the parser");
+    }
+}
+
+#[test]
+fn no_ddg_byte_corruption_panics() {
+    assert_no_panic_on_any_corruption(VALID_DDG, |t| {
+        let _ = parse_corpus(t);
+    });
+}
+
+#[test]
+fn no_machine_byte_corruption_panics() {
+    for base in [VALID_MACHINE, VALID_RING, VALID_P2P] {
+        assert_no_panic_on_any_corruption(base, |t| {
+            let _ = parse_machine_corpus(t);
+        });
+    }
+}
+
+#[test]
+fn no_job_body_byte_corruption_panics() {
+    // The daemon's composite body format wraps both parsers plus its own
+    // directive layer — sweep it too.
+    let body =
+        format!("group g\nmachines u-r32,c2r32b1l1\nalgos gp,list\n{VALID_DDG}{VALID_MACHINE}");
+    gpsched_engine::serve::parse_job_body(&body).expect("fixture body must parse");
+    assert_no_panic_on_any_corruption(&body, |t| {
+        let _ = gpsched_engine::serve::parse_job_body(t);
+    });
+}
+
+#[test]
+fn extreme_numeric_fields_are_rejected_not_overflowed() {
+    // Values the u64/u32 parsers accept but the engine must refuse: caps
+    // keep downstream II × distance / trips × II arithmetic in range.
+    ddg_err("ddg x\ntrips 999999999999999999\nend\n", 2, "out of range");
+    ddg_err("ddg x\nop int 4000000000 a\nend\n", 2, "out of range");
+    ddg_err(
+        "ddg x\nop int 1 a\ndep 0 0 flow 1 2000000000\nend\n",
+        3,
+        "out of range",
+    );
+    machine_err(
+        "machine m\ncluster 1 1 1 2000000000\nend\n",
+        2,
+        "out of range",
+    );
+    machine_err(
+        "machine m\ncluster 0 0 0 8\nend\n",
+        2,
+        "no functional units",
+    );
+    machine_err("machine m\ncluster 1 1 1 0\nend\n", 2, "register");
+}
+
+// ---------------------------------------------------------------------
 // `.ddg` parser: one test per distinct error message.
 // ---------------------------------------------------------------------
 

@@ -185,12 +185,9 @@ impl Default for EvalStats {
 }
 
 /// Per-cluster resource MII of `counts` on `machine` (mirrors
-/// [`gpsched_ddg::mii::res_mii_clustered`]).
-///
-/// # Panics
-///
-/// Panics if a cluster with zero units of some kind holds ops of that
-/// kind.
+/// [`gpsched_ddg::mii::res_mii_clustered`], including its
+/// [`INFEASIBLE_RES_BOUND`](gpsched_ddg::mii::INFEASIBLE_RES_BOUND)
+/// sentinel for clusters holding ops they have no units for).
 fn res_bound_of(machine: &MachineConfig, counts: &[[i64; 3]]) -> i64 {
     let mut bound = 1i64;
     for (c, per_kind) in counts.iter().enumerate() {
@@ -200,10 +197,13 @@ fn res_bound_of(machine: &MachineConfig, counts: &[[i64; 3]]) -> i64 {
                 continue;
             }
             let units = machine.cluster(c).units(kind) as i64;
-            assert!(
-                units > 0,
-                "cluster {c} has no {kind} units but is assigned {ops} such ops"
-            );
+            if units == 0 {
+                // Infeasible assignment: ops of a kind the cluster cannot
+                // execute. Report the sentinel bound so refinement sees a
+                // dominating cost and moves the ops out, instead of
+                // panicking (reachable via heterogeneous `.machine` input).
+                return gpsched_ddg::mii::INFEASIBLE_RES_BOUND;
+            }
             bound = bound.max((ops + units - 1) / units);
         }
     }
@@ -630,12 +630,8 @@ impl<'a> CostEvaluator<'a> {
     }
 
     /// Per-cluster resource MII of the current assignment (mirrors
-    /// [`gpsched_ddg::mii::res_mii_clustered`], from the resident counts).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a cluster with zero units of some kind holds ops of that
-    /// kind.
+    /// [`gpsched_ddg::mii::res_mii_clustered`], from the resident counts,
+    /// including the infeasible-cluster sentinel).
     fn res_bound(&self) -> i64 {
         res_bound_of(self.machine, &self.counts)
     }

@@ -106,7 +106,8 @@ impl LoopResult {
     /// Useful instructions per cycle (the paper's metric, prolog/epilog
     /// included).
     pub fn ipc(&self) -> f64 {
-        (self.ops as u64 * self.trips) as f64 / self.cycles() as f64
+        // Saturating: extreme trip counts from `.ddg` input must not wrap.
+        (self.ops as u64).saturating_mul(self.trips) as f64 / self.cycles() as f64
     }
 }
 

@@ -216,14 +216,18 @@ impl Schedule {
     }
 
     /// Total cycles to run `trips` iterations, prolog and epilog included:
-    /// `(trips − 1)·II + SL`.
+    /// `(trips − 1)·II + SL`. Saturates at `u64::MAX` — `.ddg` files may
+    /// carry extreme trip counts, and a wrapped cycle count would corrupt
+    /// every IPC figure downstream.
     ///
     /// # Panics
     ///
     /// Panics if `trips == 0`.
     pub fn cycles(&self, trips: u64) -> u64 {
         assert!(trips >= 1, "loops run at least once");
-        (trips - 1) * self.ii as u64 + self.length.max(1) as u64
+        (trips - 1)
+            .saturating_mul(self.ii as u64)
+            .saturating_add(self.length.max(1) as u64)
     }
 }
 

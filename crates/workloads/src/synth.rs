@@ -179,18 +179,42 @@ pub fn preset(name: &str) -> Option<SynthProfile> {
     })
 }
 
+/// The per-loop seed of corpus index `i` based at `base_seed`.
+///
+/// For every in-range pair this is exactly `base_seed + i` — the historic
+/// contract (loop `{prefix}-{base_seed}-{i}` reproduces from seed
+/// `base_seed + i`), which keeps every existing corpus byte-identical.
+/// When the sum would overflow `u64`, the old `wrapping_add` silently
+/// collided with small-seed corpora (`u64::MAX + 1` wrapped to seed 0);
+/// instead the wrapped sum is pushed through a SplitMix64-style finalizer
+/// so overflowing pairs still get distinct, well-mixed streams.
+pub fn derive_seed(base_seed: u64, i: u64) -> u64 {
+    match base_seed.checked_add(i) {
+        Some(seed) => seed,
+        None => {
+            let mut z = base_seed
+                .wrapping_add(i)
+                .wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
 /// Generates a deterministic corpus of `count` loops from one profile.
 ///
 /// Loop `i` is named `{prefix}-{base_seed}-{i}` and synthesized with seed
-/// `base_seed + i`, so any single loop reproduces from its name alone —
-/// the contract the conformance harness's reproducer messages rely on.
+/// [`derive_seed`]`(base_seed, i)` — `base_seed + i` for every in-range
+/// pair — so any single loop reproduces from its name alone — the
+/// contract the conformance harness's reproducer messages rely on.
 pub fn corpus(prefix: &str, profile: &SynthProfile, base_seed: u64, count: usize) -> Vec<Ddg> {
     (0..count)
         .map(|i| {
             synthesize(
                 format!("{prefix}-{base_seed}-{i}"),
                 profile,
-                base_seed.wrapping_add(i as u64),
+                derive_seed(base_seed, i as u64),
             )
         })
         .collect()
@@ -568,5 +592,53 @@ mod tests {
         };
         let (tc, tw) = (avg(&chainy), avg(&wide));
         assert!(tc > tw, "chained {tc} should exceed wide {tw}");
+    }
+
+    #[test]
+    fn derive_seed_is_identity_in_range() {
+        // The historic `base_seed + i` contract, byte-for-byte: every
+        // non-overflowing pair must keep its legacy stream.
+        for (base, i) in [(0u64, 0u64), (7, 3), (u64::MAX - 5, 5), (1 << 60, 1 << 50)] {
+            assert_eq!(derive_seed(base, i), base + i);
+        }
+    }
+
+    #[test]
+    fn derive_seed_handles_overflow_without_collision() {
+        // Overflowing pairs no longer alias the small-seed corpora: the
+        // old wrapping derivation mapped (u64::MAX, 1) to seed 0 — the
+        // first loop of every seed-0 corpus.
+        let wrapped = derive_seed(u64::MAX, 1);
+        assert_ne!(wrapped, 0, "must not collide with seed 0");
+        // Distinct overflowing pairs get distinct seeds.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            assert!(seen.insert(derive_seed(u64::MAX - 16, 17 + i)));
+        }
+    }
+
+    #[test]
+    fn corpus_survives_max_seed_boundary() {
+        // A corpus based at u64::MAX used to wrap every index past 0 onto
+        // the seed-0..n stream; now it synthesizes clean, distinct loops.
+        let profile = SynthProfile::default();
+        let boundary = corpus("b", &profile, u64::MAX, 4);
+        assert_eq!(boundary.len(), 4);
+        let zero = corpus("z", &profile, 0, 4);
+        // Loop 1 of the boundary corpus was seed 0 under wrapping — the
+        // same stream as loop 0 of the seed-0 corpus. They must differ now.
+        assert_ne!(
+            (
+                boundary[1].op_count(),
+                boundary[1].dep_count(),
+                boundary[1].trip_count()
+            ),
+            (
+                zero[0].op_count(),
+                zero[0].dep_count(),
+                zero[0].trip_count()
+            ),
+            "overflowed index must not replay the seed-0 stream"
+        );
     }
 }
