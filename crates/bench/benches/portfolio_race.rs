@@ -1,0 +1,134 @@
+//! Portfolio racing cost and quality vs the fixed catalog.
+//!
+//! The portfolio spec ranks the catalog per loop and races the top
+//! candidates, so it does strictly more scheduling work per unit than
+//! any single fixed spec — the early-II cutoff and failure budget exist
+//! to bound that overhead. This bench measures both sides of the
+//! bargain on the generator preset corpora:
+//!
+//! * **cost** — loops/sec of a one-worker, cache-off sweep under
+//!   `portfolio`, against the *geometric mean* of the same sweep under
+//!   each fixed catalog spec alone (the cost of not knowing which fixed
+//!   spec to pick). The CI gate requires portfolio ≥ half the geomean,
+//!   i.e. racing costs at most 2× a single algorithm;
+//! * **quality** — aggregate IPC (`Σ ops·trips / Σ cycles`, ×1000 so the
+//!   trajectory file's one-decimal rates keep three decimals of IPC)
+//!   under `portfolio`, against the *best* fixed spec's aggregate. The
+//!   CI gate requires no regression: the selector must match the best
+//!   fixed algorithm it could have been.
+//!
+//! Appends two entries to `BENCH_engine.json`: `<label>-fixed` (geomean
+//! cost, best-fixed IPC) and `<label>` (portfolio cost, portfolio IPC),
+//! with `<label>` from `GPSCHED_BENCH_LABEL` (default `local`).
+//! `GPSCHED_BENCH_QUICK` drops to 3 samples.
+
+use gpsched::machine::MachineConfig;
+use gpsched::sched::AlgorithmSpec;
+use gpsched_bench::trajectory::{append_entry, BenchEntry};
+use gpsched_bench::Group;
+use gpsched_engine::conformance::conformance_corpus;
+use gpsched_engine::{run_sweep, JobSpec, SweepOptions, SweepResult};
+use std::path::PathBuf;
+
+fn corpus_job(spec: AlgorithmSpec) -> JobSpec {
+    let mut job = JobSpec::new();
+    for case in conformance_corpus(36, 0xC0DE) {
+        job = job.loop_in(case.preset, case.ddg);
+    }
+    job.machines([
+        MachineConfig::two_cluster(32, 1, 1),
+        MachineConfig::four_cluster(64, 1, 2),
+    ])
+    .algorithms([spec])
+}
+
+/// Aggregate IPC over every record, ×1000 (milli-IPC), so the trajectory
+/// file's `%.1f` rate formatting preserves three decimals of IPC.
+fn milli_ipc(result: &SweepResult) -> f64 {
+    let (mut work, mut cycles) = (0u128, 0u128);
+    for r in &result.records {
+        work += r.ops as u128 * r.trips as u128;
+        cycles += r.cycles as u128;
+    }
+    1000.0 * work as f64 / cycles.max(1) as f64
+}
+
+fn main() {
+    let samples = if std::env::var_os("GPSCHED_BENCH_QUICK").is_some() {
+        3
+    } else {
+        10
+    };
+    let opts = SweepOptions {
+        workers: 1,
+        use_cache: false,
+        progress: false,
+    };
+    let group = Group::new("portfolio_race").sample_size(samples);
+
+    // Fixed catalog side: per-spec sweep rate and aggregate IPC.
+    let mut log_rate_sum = 0.0f64;
+    let mut best_fixed_ipc = 0.0f64;
+    let mut units = 0;
+    for spec in AlgorithmSpec::CATALOG {
+        let job = corpus_job(spec);
+        units = job.unit_count();
+        let t = group.bench(&format!("fixed/{spec}"), || {
+            std::hint::black_box(run_sweep(&job, &opts, None).stats.units)
+        });
+        log_rate_sum += t.per_second(units).ln();
+        let ipc = milli_ipc(&run_sweep(&job, &opts, None));
+        println!("portfolio_race/fixed/{spec}: aggregate milli-IPC {ipc:.1}");
+        best_fixed_ipc = best_fixed_ipc.max(ipc);
+    }
+    let geomean_rate = (log_rate_sum / AlgorithmSpec::CATALOG.len() as f64).exp();
+    println!("portfolio_race/fixed/geomean: {geomean_rate:.0} loops-scheduled/sec");
+    println!("portfolio_race/fixed/best: aggregate milli-IPC {best_fixed_ipc:.1}");
+
+    // Portfolio side: same corpus, same knobs, the selector pays for its
+    // feature pass and raced candidates out of its own rate.
+    let job = corpus_job(AlgorithmSpec::PORTFOLIO);
+    let t = group.bench("portfolio", || {
+        std::hint::black_box(run_sweep(&job, &opts, None).stats.units)
+    });
+    let portfolio_rate = t.per_second(units);
+    let portfolio_ipc = milli_ipc(&run_sweep(&job, &opts, None));
+    println!("portfolio_race/portfolio: {portfolio_rate:.0} loops-scheduled/sec");
+    println!("portfolio_race/portfolio: aggregate milli-IPC {portfolio_ipc:.1}");
+    println!(
+        "portfolio_race/cost-ratio: {:.2}x a single fixed spec (gate: <= 2x)",
+        geomean_rate / portfolio_rate
+    );
+
+    let path = std::env::var("GPSCHED_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            let mut p = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").unwrap_or_default());
+            p.pop();
+            p.pop();
+            p.join("BENCH_engine.json")
+        });
+    let label = std::env::var("GPSCHED_BENCH_LABEL").unwrap_or_else(|_| "local".into());
+    let fixed = BenchEntry {
+        label: format!("{label}-fixed"),
+        units,
+        loops_per_sec: vec![
+            ("portfolio/sweep".to_string(), geomean_rate),
+            ("portfolio/milli-ipc".to_string(), best_fixed_ipc),
+        ],
+        trace_overhead_pct: None,
+    };
+    let portfolio = BenchEntry {
+        label,
+        units,
+        loops_per_sec: vec![
+            ("portfolio/sweep".to_string(), portfolio_rate),
+            ("portfolio/milli-ipc".to_string(), portfolio_ipc),
+        ],
+        trace_overhead_pct: None,
+    };
+    match append_entry(&path, fixed).and_then(|()| append_entry(&path, portfolio)) {
+        Ok(()) => eprintln!("appended trajectory entries to {}", path.display()),
+        Err(e) => eprintln!("could not update {}: {e}", path.display()),
+    }
+}

@@ -79,7 +79,7 @@ USAGE:
                           [--out FILE]
   gpsched-engine speedup  [--workers-list 1,2,4] [sweep selection flags]
   gpsched-engine serve    [--addr HOST:PORT] [--workers N] [--queue N]
-                          [--cache-file FILE] [--max-body-kb N]
+                          [--cache-file FILE] [--max-body-kb N] [--trace]
   gpsched-engine client   submit|status|results|health|shutdown
                           [--addr HOST:PORT] [--job ID] [--corpus FILE]
                           [--gen SPECS] [--machines NAMES|FILE.machine]
@@ -94,7 +94,10 @@ also accepts a `.machine` interchange file (see `machines` to export
 one, including `topology` stanzas). Algorithm specs compose policy
 modifiers onto a base:
 gp, gp:norepart, uracam:greedy-merit, gp:linear-ii, gp:nospill, …;
-`extended` selects the paper's four plus every bundled variant.
+`extended` selects the paper's four plus every bundled variant, and
+`portfolio[:K[:BUDGET]]` ranks the catalog per loop by cheap DDG
+features and races the top K with a failure budget, keeping the best
+schedule found.
 Generator presets (for `gen --preset` and `sweep --gen`):
 recurrence-heavy, wide-ilp, mem-bound, chain-deep, fanout-hub,
 long-distance. `gen` output is byte-identical for a given preset, seed
@@ -106,7 +109,9 @@ the top phases by self-time to stdout. `trace-check` validates a trace
 JSON file and optionally asserts that named spans are present (CI).
 `serve` starts the long-lived scheduling daemon (HTTP/1.1, bounded FIFO
 job queue, streaming JSONL results; `--cache-file` persists seeds so a
-restart starts warm). `client` talks to it: `submit` builds a job body
+restart starts warm; `--trace` holds a daemon-lifetime trace session so
+`GET /metrics` returns live phase and counter totals as JSON). `client`
+talks to it: `submit` builds a job body
 from the sweep selection flags (`--wait` blocks and prints the results),
 `status`/`results` poll a job by `--job ID`, `health` probes liveness,
 `shutdown` stops the daemon gracefully.
@@ -655,6 +660,7 @@ fn cmd_serve(args: &[String]) {
             "--queue",
             "--cache-file",
             "--max-body-kb",
+            "--trace",
         ],
     );
     let mut opts = ServeOptions::default();
@@ -678,6 +684,7 @@ fn cmd_serve(args: &[String]) {
             .unwrap_or_else(|_| fail("--max-body-kb needs a number"));
         opts.max_body_bytes = kb * 1024;
     }
+    opts.trace = has_flag(args, "--trace");
     let mut server = serve(&opts)
         .unwrap_or_else(|e| fail(&format!("cannot start daemon on {}: {e}", opts.addr)));
     eprintln!(

@@ -20,7 +20,8 @@ use crate::diskcache::DiskCache;
 use gpsched_ddg::Ddg;
 use gpsched_machine::MachineConfig;
 use gpsched_partition::{partition_ddg, MatchStrategy, PartitionOptions, PartitionResult};
-use gpsched_sched::SchedSeed;
+use gpsched_sched::drivers::DriverConfig;
+use gpsched_sched::{AlgorithmSpec, SchedSeed};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -108,6 +109,26 @@ pub fn popts_key(popts: &PartitionOptions) -> u64 {
     h
 }
 
+/// FNV-1a hash of every [`DriverConfig`] knob that can change a schedule.
+/// The portfolio winner memo keys on it: a race run under a different
+/// merit threshold or II cap may crown a different winner, so the two
+/// configurations must not share memo entries. `race_width` is excluded —
+/// it never changes results, only how fast they arrive.
+pub fn cfg_key(cfg: &DriverConfig) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(cfg.merit_threshold.to_bits());
+    mix(cfg.ii_cap.map_or(u64::MAX, |c| c as u64));
+    mix(cfg.race_cutoff.map_or(u64::MAX, |c| c as u64));
+    mix(cfg.attempt_budget.map_or(u64::MAX, |b| b as u64));
+    h
+}
+
 /// FNV-1a hash of everything that distinguishes one machine from another
 /// for scheduling purposes: per-cluster unit mix and registers, the
 /// interconnect topology and the latency model. `short_name` is *not*
@@ -171,6 +192,9 @@ type SeedCell = Arc<OnceLock<SchedSeed>>;
 /// ([`ddg_content_hash`], [`machine_key`], [`popts_key`]).
 pub struct SweepCache {
     entries: Mutex<HashMap<CacheKey, SeedCell>>,
+    /// Memoized portfolio race winners, keyed by the seed key plus the
+    /// driver-config hash and the portfolio's `(k, budget)` knobs.
+    winners: Mutex<HashMap<(CacheKey, u64, usize, usize), AlgorithmSpec>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     disk_hits: AtomicUsize,
@@ -182,6 +206,7 @@ impl SweepCache {
     pub fn new() -> Self {
         SweepCache {
             entries: Mutex::new(HashMap::new()),
+            winners: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             disk_hits: AtomicUsize::new(0),
@@ -258,6 +283,51 @@ impl SweepCache {
             }
         }
         (seed.clone(), origin != Origin::Computed)
+    }
+
+    /// The memoized winner of a portfolio race over the same
+    /// (loop, machine, partition options, driver config, k, budget), if
+    /// this cache has seen it. Sound to replay because the race is a pure
+    /// function of exactly those inputs and re-running the winning spec
+    /// alone reproduces the raced winner's schedule byte for byte (a
+    /// cutoff only aborts runs that cannot win — see DESIGN.md §12) — so
+    /// a memo hit schedules one spec instead of racing `k`.
+    pub fn portfolio_winner(
+        &self,
+        key: CacheKey,
+        cfg: &DriverConfig,
+        spec: AlgorithmSpec,
+    ) -> Option<AlgorithmSpec> {
+        self.winners
+            .lock()
+            .expect("cache poisoned")
+            .get(&(
+                key,
+                cfg_key(cfg),
+                spec.portfolio_k(),
+                spec.portfolio_budget(),
+            ))
+            .copied()
+    }
+
+    /// Records the winner of a completed portfolio race for
+    /// [`Self::portfolio_winner`] to replay.
+    pub fn record_portfolio_winner(
+        &self,
+        key: CacheKey,
+        cfg: &DriverConfig,
+        spec: AlgorithmSpec,
+        winner: AlgorithmSpec,
+    ) {
+        self.winners.lock().expect("cache poisoned").insert(
+            (
+                key,
+                cfg_key(cfg),
+                spec.portfolio_k(),
+                spec.portfolio_budget(),
+            ),
+            winner,
+        );
     }
 
     /// `(hits, misses)` so far. Disk hits count as hits.

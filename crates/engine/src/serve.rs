@@ -83,6 +83,11 @@ pub struct ServeOptions {
     pub cache_path: Option<PathBuf>,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Hold a daemon-lifetime trace session so `GET /metrics` can export
+    /// live phase/counter totals. Off by default: tracing is a global
+    /// singleton, and a tracing daemon would starve other sessions in the
+    /// same process.
+    pub trace: bool,
 }
 
 impl Default for ServeOptions {
@@ -93,6 +98,7 @@ impl Default for ServeOptions {
             queue_capacity: 64,
             cache_path: None,
             max_body_bytes: 8 * 1024 * 1024,
+            trace: false,
         }
     }
 }
@@ -206,6 +212,9 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     executor: Option<std::thread::JoinHandle<()>>,
+    /// Keeps tracing enabled for the daemon's lifetime when
+    /// [`ServeOptions::trace`] is set; dropping it turns tracing off.
+    _trace: Option<gpsched_trace::TraceSession>,
 }
 
 impl Server {
@@ -246,6 +255,10 @@ impl Drop for Server {
 ///
 /// Propagates bind/open failures (address in use, unwritable cache file).
 pub fn serve(opts: &ServeOptions) -> std::io::Result<Server> {
+    // Start the session before binding: TraceSession::start blocks until
+    // any other session in the process ends, and a daemon that is already
+    // accepting connections must not stall on that.
+    let trace = opts.trace.then(gpsched_trace::TraceSession::start);
     let listener = TcpListener::bind(&opts.addr)?;
     let addr = listener.local_addr()?;
     let cache = match &opts.cache_path {
@@ -289,6 +302,7 @@ pub fn serve(opts: &ServeOptions) -> std::io::Result<Server> {
         shared,
         acceptor: Some(acceptor),
         executor: Some(executor),
+        _trace: trace,
     })
 }
 
@@ -535,6 +549,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, max_body: usize) {
                     shared.cache.disk_hits()
                 ),
             );
+        }
+        ("GET", "/metrics") => {
+            // Live profile of everything the daemon has run so far, as
+            // JSON: phase self-times plus counter totals (including the
+            // portfolio racing counters). Requires the daemon to own the
+            // trace session (`--trace`); otherwise report that plainly.
+            let body = match gpsched_trace::summary_if_active() {
+                Some(summary) => format!("{}\n", summary.to_json()),
+                None => "{\"tracing\":false}\n".to_string(),
+            };
+            write_response(&mut stream, 200, "OK", &body);
         }
         ("POST", "/shutdown") => {
             write_response(&mut stream, 200, "OK", "{\"ok\":true}\n");

@@ -251,16 +251,34 @@ const RACE_OP_THRESHOLD: usize = 64;
 /// attempts beyond it.
 const RACE_MAX_WIDTH: usize = 4;
 
+/// Floor for queue-drain widening: below this many ops a single II
+/// attempt costs about as much as spawning the threads to race it, so a
+/// drained queue widens only units at least this large.
+const RACE_QUEUE_OP_FLOOR: usize = RACE_OP_THRESHOLD / 4;
+
 /// The II-attempt race width for a unit of `ops` operations in a pool of
-/// `workers` workers. 1 (sequential) unless the pool is parallel and the
-/// unit is large; results are identical either way — racing reduces
-/// lowest-II-wins, which is exactly the sequential answer.
-fn race_width_for(workers: usize, ops: usize) -> usize {
-    if workers > 1 && ops >= RACE_OP_THRESHOLD {
+/// `workers` workers with `pending` units (this one included) still
+/// unclaimed. 1 (sequential) unless the pool is parallel and either the
+/// unit is large or the queue has drained below the worker count — at the
+/// tail of a sweep most workers sit parked, so their parallelism is spent
+/// *inside* the remaining units (down to [`RACE_QUEUE_OP_FLOOR`], below
+/// which an attempt is cheaper than the spawn). Results are identical
+/// either way — racing reduces lowest-II-wins, which is exactly the
+/// sequential answer — so the width can depend on anything, including
+/// racy queue-depth observations, without moving a byte of output.
+fn race_width_for(workers: usize, ops: usize, pending: usize) -> usize {
+    let by_size = if workers > 1 && ops >= RACE_OP_THRESHOLD {
         workers.min(RACE_MAX_WIDTH)
     } else {
         1
-    }
+    };
+    let by_queue = if workers > 1 && ops >= RACE_QUEUE_OP_FLOOR && pending > 0 && pending < workers
+    {
+        (workers / pending).min(RACE_MAX_WIDTH)
+    } else {
+        1
+    };
+    by_size.max(by_queue)
 }
 
 /// Schedules unit `k` of `job`; unschedulable units come back as
@@ -297,9 +315,10 @@ fn run_unit(
         }
     }
     let mut cfg = job.cfg;
+    let pending = job.unit_count().saturating_sub(k);
     cfg.race_width = cfg
         .race_width
-        .max(race_width_for(workers, spec.ddg.op_count()));
+        .max(race_width_for(workers, spec.ddg.op_count(), pending));
 
     let _span = gpsched_trace::span!(
         "engine.unit",
@@ -320,9 +339,28 @@ fn run_unit(
     // A hit can still have *blocked* on a concurrent miss computing the
     // same entry; that wait is the miss's cost, not this unit's.
     let t0 = if cache_hit { Instant::now() } else { t0 };
-    let r = schedule_loop_spec_seeded(&spec.ddg, machine, algorithm, &job.popts, &cfg, &seed)
+    // Portfolio units consult the winner memo: a repeat of the same race
+    // schedules only the memoized winning spec, which reproduces the
+    // raced result exactly (the race is pure and a completed winner is
+    // cutoff-independent). The record still reports the portfolio's name.
+    let memo_key = (use_cache && algorithm.is_portfolio()).then(|| {
+        (
+            hashes[li],
+            crate::cache::machine_key(machine),
+            crate::cache::popts_key(&job.popts),
+        )
+    });
+    let memo_winner = memo_key.and_then(|key| cache.portfolio_winner(key, &job.cfg, algorithm));
+    if memo_winner.is_some() {
+        gpsched_trace::counter!("portfolio.winner_memo_hits");
+    }
+    let effective = memo_winner.unwrap_or(algorithm);
+    let r = schedule_loop_spec_seeded(&spec.ddg, machine, effective, &job.popts, &cfg, &seed)
         .map_err(|e| fail(e.to_string()))?;
     let sched_time_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    if let (Some(key), Some(winner)) = (memo_key, r.selected) {
+        cache.record_portfolio_winner(key, &job.cfg, algorithm, winner);
+    }
 
     let repartitions = match r.method {
         ScheduledWith::Modulo { repartitions } => repartitions,
@@ -368,10 +406,34 @@ mod tests {
 
     #[test]
     fn race_width_only_for_large_units_in_parallel_pools() {
-        assert_eq!(race_width_for(1, 1000), 1);
-        assert_eq!(race_width_for(8, RACE_OP_THRESHOLD - 1), 1);
-        assert_eq!(race_width_for(2, RACE_OP_THRESHOLD), 2);
-        assert_eq!(race_width_for(16, RACE_OP_THRESHOLD), RACE_MAX_WIDTH);
+        // Deep queue: width is governed by op count alone.
+        assert_eq!(race_width_for(1, 1000, 100), 1);
+        assert_eq!(race_width_for(8, RACE_OP_THRESHOLD - 1, 100), 1);
+        assert_eq!(race_width_for(2, RACE_OP_THRESHOLD, 100), 2);
+        assert_eq!(race_width_for(16, RACE_OP_THRESHOLD, 100), RACE_MAX_WIDTH);
+    }
+
+    #[test]
+    fn race_width_widens_when_the_queue_drains() {
+        // Fewer pending units than workers: idle workers race inside the
+        // remaining mid-size units well below RACE_OP_THRESHOLD.
+        assert_eq!(race_width_for(8, RACE_QUEUE_OP_FLOOR, 2), RACE_MAX_WIDTH);
+        assert_eq!(race_width_for(8, RACE_QUEUE_OP_FLOOR, 4), 2);
+        assert_eq!(
+            race_width_for(8, RACE_QUEUE_OP_FLOOR, 8),
+            1,
+            "full queue: no widening"
+        );
+        assert_eq!(
+            race_width_for(1, RACE_QUEUE_OP_FLOOR, 1),
+            1,
+            "serial pool never races"
+        );
+        // Tiny units never race: a thread spawn costs about as much as
+        // the attempt it would speculate on.
+        assert_eq!(race_width_for(8, RACE_QUEUE_OP_FLOOR - 1, 1), 1);
+        // Large unit at the tail: both rules agree on the cap.
+        assert_eq!(race_width_for(16, RACE_OP_THRESHOLD, 1), RACE_MAX_WIDTH);
     }
 
     #[test]

@@ -138,6 +138,82 @@ fn racing_is_deterministic_across_worker_counts() {
 }
 
 #[test]
+fn portfolio_is_deterministic_across_worker_counts_and_cache_states() {
+    // The portfolio race ranks candidates from DDG features and runs them
+    // strictly in rank order, so its selection must not depend on the
+    // worker count, the winner memo, or cache warmth. Mixed fixed +
+    // portfolio specs in one job also exercise the memo keying.
+    let suite = spec_suite();
+    let mut job = JobSpec::new()
+        .machines([
+            MachineConfig::unified(32),
+            MachineConfig::two_cluster(32, 1, 1),
+            MachineConfig::four_cluster(64, 1, 2),
+        ])
+        .algorithms([Algorithm::Gp])
+        .algorithm(gpsched_sched::AlgorithmSpec::PORTFOLIO)
+        .algorithm(gpsched_sched::AlgorithmSpec::parse("portfolio:5:8").expect("parses"));
+    let program = suite.iter().find(|p| p.name == "hydro2d").expect("exists");
+    job = job.program(program);
+    for seed in 0..3 {
+        job = job.loop_in(
+            "synth",
+            synthesize(format!("p{seed}"), &SynthProfile::default(), seed),
+        );
+    }
+
+    let canonical = |r: &gpsched_engine::SweepResult| -> Vec<String> {
+        r.records
+            .iter()
+            .map(|rec| format!("{{\"unit\":{},{}}}", rec.unit, rec.canonical_fields()))
+            .collect()
+    };
+    let serial = run_sweep(&job, &SweepOptions::serial(), None);
+    let parallel = run_sweep(
+        &job,
+        &SweepOptions {
+            workers: test_workers(),
+            use_cache: true,
+            progress: false,
+        },
+        None,
+    );
+    let uncached = run_sweep(
+        &job,
+        &SweepOptions {
+            workers: 1,
+            use_cache: false,
+            progress: false,
+        },
+        None,
+    );
+    let reference = canonical(&serial);
+    assert_eq!(
+        reference,
+        canonical(&parallel),
+        "worker count changed portfolio results"
+    );
+    assert_eq!(
+        reference,
+        canonical(&uncached),
+        "winner memo changed portfolio results"
+    );
+    // Every portfolio unit scheduled (none dropped to a failure record),
+    // and the record keeps the portfolio display name — `Portfolio` and
+    // `Portfolio:5:8` — not the selected fixed spec's.
+    let portfolio_records: Vec<_> = serial
+        .records
+        .iter()
+        .filter(|r| r.algorithm.starts_with("Portfolio"))
+        .collect();
+    assert_eq!(portfolio_records.len(), 2 * 3 * job.loops.len());
+    assert!(portfolio_records.iter().all(|r| r.ipc > 0.0));
+    assert!(portfolio_records
+        .iter()
+        .any(|r| r.algorithm == "Portfolio:5:8"));
+}
+
+#[test]
 fn cache_does_not_change_results() {
     let job = job();
     let cached = run_sweep(&job, &SweepOptions::serial(), None);

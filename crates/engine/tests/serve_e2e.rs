@@ -279,6 +279,40 @@ end
 }
 
 #[test]
+fn metrics_endpoint_exports_the_live_trace_summary() {
+    // Without --trace the endpoint answers, but reports tracing is off.
+    {
+        let (_server, addr) = start_server(ephemeral(1));
+        let (code, body) = client::request(&addr, "GET", "/metrics", "").expect("request");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"tracing\":false"), "{body}");
+    }
+
+    // A traced daemon owns the process-wide trace session for its
+    // lifetime, so /metrics exports live phase and counter totals — note
+    // only one test in this binary may hold the (global) session.
+    let (_job, mut body) = reference_job_and_body();
+    body.push_str("algos gp,portfolio\n");
+    let (_server, addr) = start_server(ServeOptions {
+        trace: true,
+        ..ephemeral(test_workers())
+    });
+    let id = client::submit(&addr, &body).expect("submit");
+    let lines = client::results(&addr, id).expect("results");
+    assert!(lines.iter().all(|l| !l.contains("\"error\":")), "{lines:?}");
+
+    let (code, metrics) = client::request(&addr, "GET", "/metrics", "").expect("request");
+    assert_eq!(code, 200);
+    assert!(metrics.starts_with('{') && metrics.trim_end().ends_with('}'));
+    assert!(metrics.contains("\"phases\":["), "{metrics}");
+    assert!(metrics.contains("\"wall_ns\":"), "{metrics}");
+    // The request counter covers the submit + results calls above, and the
+    // portfolio algorithm leaves its ranking span in the live profile.
+    assert!(metrics.contains("\"serve.request\":"), "{metrics}");
+    assert!(metrics.contains("\"name\":\"portfolio.rank\""), "{metrics}");
+}
+
+#[test]
 fn shutdown_endpoint_stops_the_daemon_gracefully() {
     let (mut server, addr) = start_server(ephemeral(1));
     let (_, body) = reference_job_and_body();

@@ -7,13 +7,17 @@
 //! reproduce table2   # scheduling CPU time per algorithm/config
 //! reproduce variants   # IPC of the policy-variant specs (beyond the paper)
 //! reproduce stress     # catalog × synthetic preset corpora, sim-audited
+//! reproduce portfolio  # portfolio vs every fixed spec, sim-audited gate
 //! reproduce topologies # SPECfp95 IPC across interconnect topologies
 //! reproduce profile    # per-phase scheduling profile (gpsched-trace)
 //! reproduce all        # everything + rewrite EXPERIMENTS.md
 //! ```
 //!
-//! `stress` reads `GPSCHED_SYNTH_BUDGET` (total generated loops; default
-//! 90). Neither `stress` nor `topologies` is part of `all` — their
+//! `stress` and `portfolio` read `GPSCHED_SYNTH_BUDGET` (total generated
+//! loops; default 90). `portfolio` exits non-zero unless portfolio's
+//! aggregate IPC is at least every fixed catalog spec's (and every unit
+//! passes the conformance audit) — CI runs it as a gate. None of
+//! `stress`, `portfolio`, `topologies` is part of `all` — their
 //! corpora/machines are open-ended where EXPERIMENTS.md pins the paper's
 //! frozen evaluation.
 //!
@@ -92,6 +96,19 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "portfolio" => {
+            let budget = gpsched_engine::conformance::synth_budget(90);
+            let machines = [
+                MachineConfig::two_cluster(32, 1, 1),
+                MachineConfig::four_cluster(32, 1, 2),
+            ];
+            let report = gpsched_eval::portfolio_report(budget, 0xC0DE, &machines);
+            println!("Portfolio — feature-guided selection vs every fixed spec (sim-audited)\n");
+            print!("{}", report.render());
+            if !report.portfolio_dominates() {
+                std::process::exit(1);
+            }
+        }
         "topologies" => {
             let report = gpsched_eval::default_topology_report();
             println!(
@@ -134,7 +151,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command `{other}`; use \
-                 table1|fig2|fig3|table2|variants|stress|topologies|profile|all"
+                 table1|fig2|fig3|table2|variants|stress|portfolio|topologies|profile|all"
             );
             std::process::exit(2);
         }

@@ -14,6 +14,9 @@
 //! * [`stress`] — the workload axis opened the same way: the whole spec
 //!   catalog over generated synthetic corpora (one per `workloads::synth`
 //!   preset), every unit validated by the conformance audit;
+//! * [`portfolio`] — the selection axis: feature-guided `portfolio`
+//!   against every fixed catalog spec over the preset corpora *and*
+//!   SPECfp95, sim-audited, with an exact aggregate dominance check;
 //! * [`topologies`] — the machine axis opened too: the SPECfp95 set on
 //!   one reference machine per interconnect topology (shared bus,
 //!   pipelined bus, ring, point-to-point);
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod portfolio;
 pub mod profile;
 pub mod report;
 pub mod run;
@@ -44,6 +48,7 @@ pub mod topologies;
 pub mod variants;
 
 pub use figures::{figure2, figure3, FigureRow, FigureSeries};
+pub use portfolio::{portfolio_report, PortfolioReport, PortfolioRow};
 pub use profile::{profile_report, profile_report_on, ProfileReport};
 pub use run::{run_program, ProgramRun};
 pub use stress::{stress_report, StressReport, StressRow};

@@ -1,0 +1,220 @@
+//! Portfolio report: feature-guided spec selection vs every fixed spec.
+//!
+//! The portfolio algorithm claims it matches the best *fixed* catalog
+//! entry on whatever workload it meets, by ranking the catalog per loop
+//! from cheap DDG features and racing the top candidates under a budget.
+//! This report is the claim's evaluation: every fixed [`AlgorithmSpec`]
+//! in the catalog, plus `portfolio`, over the six generator preset
+//! corpora *and* the SPECfp95 suite, on clustered machines — each unit
+//! passing through the cycle-accurate conformance audit
+//! ([`gpsched_engine::conformance`]), so portfolio's selected schedules
+//! are replay-validated, not just self-reported.
+//!
+//! The headline check is [`PortfolioReport::portfolio_dominates`]:
+//! aggregate portfolio IPC is at least every fixed spec's aggregate IPC,
+//! compared exactly by cross-multiplying the integer work and cycle
+//! totals — no floating-point tolerance. An audit failure in the
+//! *portfolio* column fails the gate outright; a failure under a fixed
+//! spec (List over-pressures registers on two SPECfp95 loops, a known
+//! limitation predating portfolio) excludes that unit from that spec's
+//! aggregate and is reported, nothing more.
+
+use gpsched_engine::conformance::{audit_unit, conformance_corpus};
+use gpsched_machine::MachineConfig;
+use gpsched_sched::AlgorithmSpec;
+
+/// One (corpus, machine) row of the portfolio table.
+#[derive(Clone, Debug)]
+pub struct PortfolioRow {
+    /// Corpus name: a generator preset or `SPECfp95`.
+    pub corpus: String,
+    /// Machine short name.
+    pub machine: String,
+    /// Aggregate IPC per spec, aligned with [`PortfolioReport::specs`].
+    pub ipc: Vec<f64>,
+}
+
+/// The full portfolio-vs-catalog report.
+#[derive(Clone, Debug)]
+pub struct PortfolioReport {
+    /// Display name of every spec, in column order (`Portfolio` last).
+    pub specs: Vec<String>,
+    /// Per-(corpus, machine) rows.
+    pub rows: Vec<PortfolioRow>,
+    /// Per-spec `(Σ ops·trips, Σ cycles)` over all rows — the exact
+    /// integer aggregates the dominance check cross-multiplies.
+    pub totals: Vec<(u128, u128)>,
+    /// Units audited (units × machines × specs).
+    pub audited: usize,
+    /// Audit failures, as `loop / machine / spec: reason` lines. A
+    /// failing unit is excluded from that spec's aggregate; a failure in
+    /// the portfolio column additionally fails
+    /// [`PortfolioReport::portfolio_dominates`].
+    pub failures: Vec<String>,
+    /// How many of [`PortfolioReport::failures`] are portfolio's own.
+    pub portfolio_failures: usize,
+}
+
+/// Runs the portfolio evaluation: `budget` synthetic loops (spread over
+/// every preset, seeded from `base_seed`) plus the whole SPECfp95 suite,
+/// on each machine, under every fixed catalog spec and `portfolio`.
+pub fn portfolio_report(
+    budget: usize,
+    base_seed: u64,
+    machines: &[MachineConfig],
+) -> PortfolioReport {
+    let mut specs = AlgorithmSpec::CATALOG.to_vec();
+    specs.push(AlgorithmSpec::PORTFOLIO);
+    let spec_names: Vec<String> = specs.iter().map(|s| s.name()).collect();
+
+    // Corpora: one per generator preset, then SPECfp95 as one corpus
+    // (the paper aggregates whole benchmarks; so do we).
+    let synth = conformance_corpus(budget, base_seed);
+    let mut corpora: Vec<(String, Vec<gpsched_ddg::Ddg>)> = Vec::new();
+    for case in synth {
+        match corpora.iter_mut().find(|(name, _)| name == case.preset) {
+            Some((_, loops)) => loops.push(case.ddg),
+            None => corpora.push((case.preset.to_string(), vec![case.ddg])),
+        }
+    }
+    let spec_loops: Vec<gpsched_ddg::Ddg> = gpsched_workloads::spec_suite()
+        .into_iter()
+        .flat_map(|p| p.loops)
+        .collect();
+    corpora.push(("SPECfp95".to_string(), spec_loops));
+
+    let mut rows = Vec::new();
+    let mut totals = vec![(0u128, 0u128); specs.len()];
+    let mut audited = 0usize;
+    let mut failures = Vec::new();
+    let mut portfolio_failures = 0usize;
+
+    for (corpus, loops) in &corpora {
+        for machine in machines {
+            let mut ipc = Vec::with_capacity(specs.len());
+            for (si, spec) in specs.iter().enumerate() {
+                let (mut work, mut cycles) = (0u128, 0u128);
+                for ddg in loops {
+                    match audit_unit(ddg, machine, *spec) {
+                        Ok(a) => {
+                            work += a.ops as u128 * a.trips as u128;
+                            cycles += a.cycles as u128;
+                        }
+                        Err(e) => {
+                            portfolio_failures += usize::from(spec.is_portfolio());
+                            failures.push(format!(
+                                "{} / {} / {spec}: {e}",
+                                ddg.name(),
+                                machine.short_name()
+                            ));
+                        }
+                    }
+                    audited += 1;
+                }
+                totals[si].0 += work;
+                totals[si].1 += cycles;
+                ipc.push(if cycles == 0 {
+                    0.0
+                } else {
+                    work as f64 / cycles as f64
+                });
+            }
+            rows.push(PortfolioRow {
+                corpus: corpus.clone(),
+                machine: machine.short_name(),
+                ipc,
+            });
+        }
+    }
+
+    PortfolioReport {
+        specs: spec_names,
+        rows,
+        totals,
+        audited,
+        failures,
+        portfolio_failures,
+    }
+}
+
+impl PortfolioReport {
+    /// `true` when every portfolio unit audits clean and portfolio's
+    /// aggregate IPC is at least every fixed spec's. The IPC comparison
+    /// cross-multiplies the integer totals (`w_p/c_p >= w_s/c_s` ⟺
+    /// `w_p·c_s >= w_s·c_p`), so it is exact.
+    pub fn portfolio_dominates(&self) -> bool {
+        let (pw, pc) = *self.totals.last().expect("portfolio column");
+        self.portfolio_failures == 0 && pc > 0 && self.totals.iter().all(|&(w, c)| pw * c >= w * pc)
+    }
+
+    /// Aggregate IPC per spec over all rows.
+    pub fn aggregate_ipc(&self) -> Vec<f64> {
+        self.totals
+            .iter()
+            .map(|&(w, c)| if c == 0 { 0.0 } else { w as f64 / c as f64 })
+            .collect()
+    }
+
+    /// Plain-text rendering: the table, the aggregate row, the verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let widths: Vec<usize> = self.specs.iter().map(|s| s.len().max(7)).collect();
+        out.push_str(&format!("{:<18} {:<12}", "corpus", "machine"));
+        for (s, w) in self.specs.iter().zip(&widths) {
+            out.push_str(&format!(" {s:>w$}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<18} {:<12}", row.corpus, row.machine));
+            for (v, w) in row.ipc.iter().zip(&widths) {
+                out.push_str(&format!(" {v:>w$.3}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<18} {:<12}", "aggregate", "(all)"));
+        for (v, w) in self.aggregate_ipc().iter().zip(&widths) {
+            out.push_str(&format!(" {v:>w$.3}"));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "\n{} units audited — {} audit failures\n",
+            self.audited,
+            self.failures.len()
+        ));
+        for f in &self.failures {
+            out.push_str(&format!("  FAIL {f}\n"));
+        }
+        out.push_str(if self.portfolio_dominates() {
+            "portfolio >= every fixed catalog spec on aggregate IPC: PASS\n"
+        } else {
+            "portfolio >= every fixed catalog spec on aggregate IPC: FAIL\n"
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_portfolio_report_dominates_and_renders() {
+        let machines = [MachineConfig::two_cluster(32, 1, 1)];
+        let r = portfolio_report(12, 7, &machines);
+        // Fixed-spec audit failures (List on two SPECfp95 loops) are
+        // tolerated; portfolio's own schedules must all audit clean.
+        assert_eq!(r.portfolio_failures, 0, "{:?}", r.failures);
+        // 6 presets + SPECfp95, one machine each.
+        assert_eq!(r.rows.len(), 7);
+        assert_eq!(*r.specs.last().unwrap(), "Portfolio");
+        assert!(r.totals.iter().all(|&(w, c)| w > 0 && c > 0));
+        assert!(
+            r.portfolio_dominates(),
+            "portfolio must match the best fixed spec:\n{}",
+            r.render()
+        );
+        let text = r.render();
+        assert!(text.contains("SPECfp95"));
+        assert!(text.contains("PASS"));
+    }
+}

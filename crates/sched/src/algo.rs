@@ -95,6 +95,10 @@ pub struct LoopResult {
     pub ops: usize,
     /// Trip count used for the cycle accounting.
     pub trips: u64,
+    /// For portfolio runs, the fixed spec whose schedule won the race
+    /// (re-running it alone reproduces this result exactly — the engine's
+    /// winner memo relies on that). `None` for fixed-spec runs.
+    pub selected: Option<AlgorithmSpec>,
 }
 
 impl LoopResult {
@@ -247,7 +251,7 @@ pub fn schedule_loop_spec_seeded(
     schedule_impl(ddg, machine, spec, popts, cfg, Some(seed))
 }
 
-fn schedule_impl(
+pub(crate) fn schedule_impl(
     ddg: &Ddg,
     machine: &MachineConfig,
     spec: AlgorithmSpec,
@@ -270,6 +274,7 @@ fn schedule_impl(
             name: ddg.name().to_string(),
             ops: ddg.op_count(),
             trips: ddg.trip_count(),
+            selected: None,
         };
     if spec.is_list() {
         let s = list_schedule(ddg, machine);
@@ -286,6 +291,10 @@ fn schedule_impl(
     } else {
         None
     };
+
+    if spec.is_portfolio() {
+        return crate::portfolio::race(ddg, machine, spec, popts, cfg, start_ii, initial);
+    }
 
     let policies = spec.policies();
     match pipeline::run(ddg, machine, popts, cfg, start_ii, initial, &policies) {

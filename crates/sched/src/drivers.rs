@@ -43,6 +43,18 @@ pub struct DriverConfig {
     /// yields bit-identical schedules, wider just burns idle cores to
     /// finish hard loops sooner.
     pub race_width: usize,
+    /// Early-cutoff II for raced candidates: when set, the II ladder
+    /// aborts with [`SchedError::RaceCutoff`] as soon as the next II to
+    /// try exceeds `min(race_cutoff, ii_cap)`. The portfolio race sets
+    /// this to the largest II at which a challenger could still beat the
+    /// incumbent, so doomed ladders stop climbing. Never changes *which*
+    /// schedule a run that completes returns — it only turns runs that
+    /// could not win into cheap errors.
+    pub race_cutoff: Option<i64>,
+    /// Maximum number of failed II rungs before a raced candidate is
+    /// abandoned with [`SchedError::RaceCutoff`]. `None` = unlimited (the
+    /// normal drivers). The portfolio budget knob lands here.
+    pub attempt_budget: Option<usize>,
 }
 
 impl Default for DriverConfig {
@@ -51,6 +63,8 @@ impl Default for DriverConfig {
             merit_threshold: crate::merit::DEFAULT_THRESHOLD,
             ii_cap: None,
             race_width: 1,
+            race_cutoff: None,
+            attempt_budget: None,
         }
     }
 }

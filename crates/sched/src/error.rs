@@ -17,6 +17,16 @@ pub enum SchedError {
     /// The machine cannot execute the loop at all (e.g. a cluster mix with
     /// zero units of a required kind).
     Unschedulable(String),
+    /// A raced pipeline run was cut off early: the II ladder crossed the
+    /// caller-imposed cutoff ([`crate::drivers::DriverConfig::race_cutoff`]) or
+    /// exhausted its attempt budget before finding a schedule. Unlike
+    /// [`Self::IiLimitExceeded`] this is *not* a scheduling failure — the
+    /// caller (the portfolio race) asked to stop once the candidate could
+    /// no longer win — so it must not trigger the list fallback.
+    RaceCutoff {
+        /// The last II the run was allowed to try.
+        limit: i64,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -26,6 +36,9 @@ impl fmt::Display for SchedError {
                 write!(f, "no modulo schedule at or below ii limit {limit}")
             }
             SchedError::Unschedulable(why) => write!(f, "loop cannot be scheduled: {why}"),
+            SchedError::RaceCutoff { limit } => {
+                write!(f, "raced candidate cut off at ii limit {limit}")
+            }
         }
     }
 }

@@ -22,6 +22,9 @@
 //! * [`AlgorithmSpec`] — the open, string-parsable algorithm axis
 //!   (`gp`, `gp:norepart`, `uracam:greedy-merit`, …) that resolves any
 //!   variant to a pipeline [`pipeline::PolicySet`];
+//! * [`portfolio`] — feature-guided spec selection: rank the fixed
+//!   catalog by cheap loop/machine features and race the top `k` with a
+//!   budget (`portfolio[:k][:budget]`), keeping the best schedule;
 //! * [`schedule`] — the final [`Schedule`] with the paper's cycle/IPC
 //!   accounting (`cycles = (trips − 1)·II + SL`, prolog/epilog included).
 //!
@@ -51,6 +54,7 @@ pub mod merit;
 pub mod mrt;
 pub mod order;
 pub mod pipeline;
+pub mod portfolio;
 pub mod schedule;
 mod spec;
 pub mod state;

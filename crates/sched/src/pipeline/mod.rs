@@ -342,7 +342,10 @@ fn attempt_batch<'a>(
 ///
 /// # Errors
 ///
-/// [`SchedError::IiLimitExceeded`] when the II cap is reached.
+/// [`SchedError::IiLimitExceeded`] when the II cap is reached;
+/// [`SchedError::RaceCutoff`] when a caller-imposed early cutoff
+/// ([`DriverConfig::race_cutoff`] / [`DriverConfig::attempt_budget`])
+/// stops the ladder first.
 pub fn run(
     ddg: &Ddg,
     machine: &MachineConfig,
@@ -353,6 +356,11 @@ pub fn run(
     policies: &PolicySet,
 ) -> Result<PipelineOutcome, SchedError> {
     let cap = crate::drivers::cap_for(start_ii, cfg);
+    // The effective ladder top: the II cap, tightened by the portfolio
+    // race's early cutoff when one is set. Crossing `limit` before `cap`
+    // is a cutoff, not a scheduling failure — the distinction keeps the
+    // list fallback reserved for genuine failures.
+    let limit = cfg.race_cutoff.map_or(cap, |c| c.min(cap));
     let mut ws = TimingWorkspace::new();
     let mut ocache = order::OrderCache::default();
     // One incremental evaluator serves every re-partitioning call of this
@@ -370,7 +378,10 @@ pub fn run(
     let mut repartitions = 0usize;
     let mut ii = start_ii;
     let mut failures = 0usize;
-    while ii <= cap {
+    while ii <= limit {
+        if cfg.attempt_budget.is_some_and(|b| failures >= b) {
+            return Err(SchedError::RaceCutoff { limit: ii });
+        }
         // The first probe runs alone — it usually succeeds at the MII and
         // racing it would only burn speculative work. Once a failure
         // proves the ladder will be climbed, later rounds race
@@ -380,7 +391,7 @@ pub fn run(
         } else {
             cfg.race_width.max(1)
         };
-        let batch = segment(ii, failures, width, cap, part.as_ref(), policies);
+        let batch = segment(ii, failures, width, limit, part.as_ref(), policies);
         let results = attempt_batch(
             ddg,
             machine,
@@ -417,7 +428,11 @@ pub fn run(
             }
         }
     }
-    Err(SchedError::IiLimitExceeded { limit: cap })
+    if limit < cap {
+        Err(SchedError::RaceCutoff { limit })
+    } else {
+        Err(SchedError::IiLimitExceeded { limit: cap })
+    }
 }
 
 #[cfg(test)]

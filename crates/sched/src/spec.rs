@@ -7,9 +7,10 @@
 //! and records can name them:
 //!
 //! ```text
-//! spec     := base (":" modifier)*
-//! base     := "uracam" | "fixed" | "gp" | "list"
-//! modifier := "norepart" | "greedy-merit" | "linear-ii" | "nospill"
+//! spec      := base (":" modifier)* | portfolio
+//! base      := "uracam" | "fixed" | "gp" | "list"
+//! modifier  := "norepart" | "greedy-merit" | "linear-ii" | "nospill"
+//! portfolio := "portfolio" (":" k (":" budget)?)?
 //! ```
 //!
 //! Bare bases are exactly the paper's algorithms and keep their legacy
@@ -26,6 +27,13 @@
 //!
 //! A spec resolves to a [`PolicySet`] via [`AlgorithmSpec::policies`];
 //! `list` is the non-pipelined baseline and bypasses the pipeline.
+//!
+//! `portfolio[:k][:budget]` is a meta-spec: it does not name a pipeline
+//! composition but a *selection strategy* over the fixed [CATALOG]
+//! ([`AlgorithmSpec::CATALOG`]) — rank candidates by loop/machine
+//! features, race the top `k` (default 3) with at most `budget` failed II
+//! attempts per raced challenger (default 16), keep the best schedule.
+//! See [`crate::portfolio`].
 
 use crate::algo::Algorithm;
 use crate::pipeline::cluster::{
@@ -50,6 +58,10 @@ pub enum BaseAlgorithm {
     Gp,
     /// Non-pipelined list scheduling (bypasses the pipeline).
     List,
+    /// Feature-guided selection over the catalog: rank the fixed specs by
+    /// loop/machine features, race the top `k` under a budget, keep the
+    /// best schedule ([`crate::portfolio`]).
+    Portfolio,
 }
 
 impl BaseAlgorithm {
@@ -59,6 +71,7 @@ impl BaseAlgorithm {
             BaseAlgorithm::FixedPartition => "Fixed",
             BaseAlgorithm::Gp => "GP",
             BaseAlgorithm::List => "List",
+            BaseAlgorithm::Portfolio => "Portfolio",
         }
     }
 
@@ -68,6 +81,7 @@ impl BaseAlgorithm {
             BaseAlgorithm::FixedPartition => "fixed",
             BaseAlgorithm::Gp => "gp",
             BaseAlgorithm::List => "list",
+            BaseAlgorithm::Portfolio => "portfolio",
         }
     }
 }
@@ -101,9 +115,20 @@ pub struct AlgorithmSpec {
     norepart: bool,
     linear_ii: bool,
     nospill: bool,
+    /// Portfolio race width; 0 means "default" so fixed specs stay the
+    /// zero value and every existing const/struct-update site is valid.
+    k: u8,
+    /// Portfolio per-challenger attempt budget; 0 means "default".
+    budget: u8,
 }
 
 impl AlgorithmSpec {
+    /// Default portfolio race width (`portfolio` == `portfolio:3`).
+    pub const PORTFOLIO_DEFAULT_K: u8 = 3;
+    /// Default per-challenger attempt budget (`portfolio:k` ==
+    /// `portfolio:k:16`).
+    pub const PORTFOLIO_DEFAULT_BUDGET: u8 = 16;
+
     /// The bare spec of a base family (no modifiers).
     pub const fn bare(base: BaseAlgorithm) -> Self {
         AlgorithmSpec {
@@ -112,6 +137,8 @@ impl AlgorithmSpec {
             norepart: false,
             linear_ii: false,
             nospill: false,
+            k: 0,
+            budget: 0,
         }
     }
 
@@ -127,6 +154,10 @@ impl AlgorithmSpec {
         greedy_merit: true,
         ..AlgorithmSpec::bare(BaseAlgorithm::Uracam)
     };
+
+    /// The portfolio meta-spec with default width and budget
+    /// (`portfolio` == `portfolio:3:16`).
+    pub const PORTFOLIO: AlgorithmSpec = AlgorithmSpec::bare(BaseAlgorithm::Portfolio);
 
     /// The shipped catalog: the four paper algorithms followed by every
     /// bundled variant, in presentation order. Sweep shortcuts (`--algos
@@ -158,14 +189,44 @@ impl AlgorithmSpec {
         self.base == BaseAlgorithm::List
     }
 
+    /// Whether this is the portfolio meta-spec.
+    pub fn is_portfolio(&self) -> bool {
+        self.base == BaseAlgorithm::Portfolio
+    }
+
     /// Whether this spec schedules against a precomputed partition.
+    /// Portfolio counts: its candidates share one seed partition, and the
+    /// feature extractor reads the partition cost.
     pub fn needs_partition(&self) -> bool {
-        matches!(self.base, BaseAlgorithm::FixedPartition | BaseAlgorithm::Gp)
+        matches!(
+            self.base,
+            BaseAlgorithm::FixedPartition | BaseAlgorithm::Gp | BaseAlgorithm::Portfolio
+        )
     }
 
     /// Whether this spec is exactly a paper algorithm (no modifiers).
     pub fn is_legacy(&self) -> bool {
-        !(self.greedy_merit || self.norepart || self.linear_ii || self.nospill)
+        self.base != BaseAlgorithm::Portfolio
+            && !(self.greedy_merit || self.norepart || self.linear_ii || self.nospill)
+    }
+
+    /// Portfolio race width: how many ranked candidates race per unit.
+    pub fn portfolio_k(&self) -> usize {
+        if self.k == 0 {
+            Self::PORTFOLIO_DEFAULT_K as usize
+        } else {
+            self.k as usize
+        }
+    }
+
+    /// Portfolio budget: maximum failed II attempts per raced challenger
+    /// before it is abandoned.
+    pub fn portfolio_budget(&self) -> usize {
+        if self.budget == 0 {
+            Self::PORTFOLIO_DEFAULT_BUDGET as usize
+        } else {
+            self.budget as usize
+        }
     }
 
     /// Parses the `base(:modifier)*` syntax.
@@ -187,13 +248,38 @@ impl AlgorithmSpec {
             "fixed" | "fixedpartition" | "fixed-partition" => BaseAlgorithm::FixedPartition,
             "gp" => BaseAlgorithm::Gp,
             "list" => BaseAlgorithm::List,
+            "portfolio" => BaseAlgorithm::Portfolio,
             other => {
                 return Err(err(format!(
-                    "unknown base `{other}` (expected uracam|fixed|gp|list)"
+                    "unknown base `{other}` (expected uracam|fixed|gp|list|portfolio)"
                 )))
             }
         };
         let mut spec = AlgorithmSpec::bare(base);
+        if base == BaseAlgorithm::Portfolio {
+            // Portfolio takes positional numeric parameters, not modifiers:
+            // portfolio[:k][:budget].
+            let param = |name: &str, part: &str| -> Result<u8, SpecError> {
+                match part.parse::<u8>() {
+                    Ok(v) if v >= 1 => Ok(v),
+                    _ => Err(err(format!(
+                        "portfolio {name} must be an integer in 1..=255, got `{part}`"
+                    ))),
+                }
+            };
+            if let Some(p) = parts.next() {
+                spec.k = param("k", p)?;
+            }
+            if let Some(p) = parts.next() {
+                spec.budget = param("budget", p)?;
+            }
+            if let Some(extra) = parts.next() {
+                return Err(err(format!(
+                    "portfolio takes at most `:k:budget`, got extra part `{extra}`"
+                )));
+            }
+            return Ok(spec);
+        }
         for m in parts {
             let flag = match m {
                 "norepart" => {
@@ -243,10 +329,26 @@ impl AlgorithmSpec {
         Ok(spec)
     }
 
+    /// Portfolio parameter suffix (`:k[:budget]`), empty when both are
+    /// default. Positional, so a non-default budget forces `k` out too.
+    fn portfolio_suffix(&self) -> String {
+        if self.budget != 0 {
+            format!(":{}:{}", self.portfolio_k(), self.budget)
+        } else if self.k != 0 {
+            format!(":{}", self.k)
+        } else {
+            String::new()
+        }
+    }
+
     /// The canonical spec string (`gp:norepart`, …). Parsing it yields
     /// `self` back.
     pub fn spec_string(&self) -> String {
         let mut out = String::from(self.base.spec_token());
+        if self.is_portfolio() {
+            out.push_str(&self.portfolio_suffix());
+            return out;
+        }
         for (on, tok) in [
             (self.greedy_merit, "greedy-merit"),
             (self.norepart, "norepart"),
@@ -266,6 +368,10 @@ impl AlgorithmSpec {
     /// modifiers (`GP:norepart`).
     pub fn name(&self) -> String {
         let mut out = String::from(self.base.display());
+        if self.is_portfolio() {
+            out.push_str(&self.portfolio_suffix());
+            return out;
+        }
         for (on, tok) in [
             (self.greedy_merit, "greedy-merit"),
             (self.norepart, "norepart"),
@@ -285,11 +391,17 @@ impl AlgorithmSpec {
     /// # Panics
     ///
     /// Panics for `list` specs — the list baseline is not a pipeline
-    /// algorithm; callers check [`Self::is_list`] first.
+    /// algorithm; callers check [`Self::is_list`] first — and for
+    /// `portfolio`, which is a selection strategy over pipeline specs,
+    /// not a pipeline composition itself ([`Self::is_portfolio`]).
     pub fn policies(&self) -> PolicySet {
         assert!(
             !self.is_list(),
             "list scheduling does not run through the pipeline"
+        );
+        assert!(
+            !self.is_portfolio(),
+            "portfolio is a selection strategy, not a pipeline composition"
         );
         let cluster: Box<dyn crate::pipeline::cluster::ClusterPolicy> = match self.base {
             BaseAlgorithm::Uracam if self.greedy_merit => Box::new(GreedyFirstFit),
@@ -303,7 +415,7 @@ impl AlgorithmSpec {
                 },
                 merit_escape: !self.greedy_merit,
             }),
-            BaseAlgorithm::List => unreachable!("checked above"),
+            BaseAlgorithm::List | BaseAlgorithm::Portfolio => unreachable!("checked above"),
         };
         let growth: Box<dyn crate::pipeline::growth::IiGrowthPolicy> = if self.linear_ii {
             Box::new(LinearGrowth)
@@ -416,6 +528,47 @@ mod tests {
         assert!(AlgorithmSpec::bare(BaseAlgorithm::List).is_list());
         let r = std::panic::catch_unwind(|| {
             AlgorithmSpec::bare(BaseAlgorithm::List).policies();
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn portfolio_spec_syntax() {
+        let p = AlgorithmSpec::parse("portfolio").unwrap();
+        assert_eq!(p, AlgorithmSpec::PORTFOLIO);
+        assert!(p.is_portfolio() && !p.is_list() && !p.is_legacy());
+        assert!(p.needs_partition());
+        assert_eq!(p.portfolio_k(), 3);
+        assert_eq!(p.portfolio_budget(), 16);
+        assert_eq!(p.name(), "Portfolio");
+        assert_eq!(p.spec_string(), "portfolio");
+
+        let p = AlgorithmSpec::parse("portfolio:5").unwrap();
+        assert_eq!((p.portfolio_k(), p.portfolio_budget()), (5, 16));
+        assert_eq!(p.spec_string(), "portfolio:5");
+        assert_eq!(AlgorithmSpec::parse(&p.spec_string()).unwrap(), p);
+
+        let p = AlgorithmSpec::parse("portfolio:2:8").unwrap();
+        assert_eq!((p.portfolio_k(), p.portfolio_budget()), (2, 8));
+        assert_eq!(p.name(), "Portfolio:2:8");
+        assert_eq!(AlgorithmSpec::parse(&p.name()).unwrap(), p);
+
+        for bad in [
+            "portfolio:0",
+            "portfolio:3:0",
+            "portfolio:norepart",
+            "portfolio:3:16:9",
+            "portfolio:-1",
+            "portfolio:999",
+        ] {
+            assert!(AlgorithmSpec::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn portfolio_has_no_policies() {
+        let r = std::panic::catch_unwind(|| {
+            AlgorithmSpec::PORTFOLIO.policies();
         });
         assert!(r.is_err());
     }

@@ -97,6 +97,38 @@ impl TraceSummary {
             .map_or(0, |(_, v)| *v)
     }
 
+    /// Serializes the summary as one JSON object — the `gpsched-serve`
+    /// `GET /metrics` body. Hand-rolled like the rest of the workspace's
+    /// JSON: phases in the summary's (self-time) order, counters in name
+    /// order, so the export is byte-deterministic for a given summary.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
+                esc(&p.name),
+                p.count,
+                p.total_ns,
+                p.self_ns
+            ));
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", esc(name), value));
+        }
+        out.push_str(&format!(
+            "}},\"wall_ns\":{},\"dropped\":{}}}",
+            self.wall_ns, self.dropped
+        ));
+        out
+    }
+
     /// Renders the text profile report: the top `top_n` phases by self
     /// time, then every counter. `top_n == 0` means all phases.
     pub fn render(&self, top_n: usize) -> String {
@@ -163,6 +195,22 @@ impl TraceSummary {
         }
         out
     }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// span and counter names are internal identifiers, but the export must
+/// stay valid JSON whatever a detail string carries.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn record<'a>(agg: &mut HashMap<&'a str, PhaseStat>, ev: &'a SpanRecord, child_ns: u64) {
@@ -260,6 +308,21 @@ mod tests {
         let text = s.render(10);
         assert!(text.contains("hot"));
         assert!(text.contains("c.x"));
+    }
+
+    #[test]
+    fn json_export_is_valid_and_complete() {
+        let t = trace(vec![span("outer", 0, 0, 100), span("mid", 0, 10, 50)]);
+        let s = t.summary();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"phases\":["));
+        assert!(j.contains("\"name\":\"outer\",\"count\":1,\"total_ns\":100,\"self_ns\":50"));
+        assert!(j.contains("\"counters\":{\"c.x\":7}"));
+        assert!(j.contains(&format!("\"wall_ns\":{}", s.wall_ns)));
+        assert!(j.contains("\"dropped\":0"));
+        // Escaping: a hostile detail-bearing name must not break the JSON.
+        assert_eq!(esc("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
     }
 
     #[test]

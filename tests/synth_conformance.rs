@@ -104,6 +104,41 @@ fn conformance_catalog_over_generated_corpus() {
 }
 
 #[test]
+fn conformance_portfolio_schedules_audit_clean_and_never_lose_to_list() {
+    // The portfolio spec picks a different fixed candidate per loop, so
+    // its selected schedules must pass the same cycle-accurate audit as
+    // any fixed spec — on every machine shape of the rotation — and its
+    // final List comparator guarantees it never returns more cycles than
+    // list scheduling does.
+    let total = synth_budget(90);
+    let corpus = conformance_corpus(total, 0xBEEF);
+    let machines = machines();
+    let list = AlgorithmSpec::parse("list").expect("parses");
+    let mut modulo_wins = 0usize;
+    for (k, case) in corpus.iter().enumerate() {
+        let machine = &machines[k % machines.len()];
+        let p = check_case(case, machine, AlgorithmSpec::PORTFOLIO);
+        let l = check_case(case, machine, list);
+        assert!(
+            p.cycles <= l.cycles,
+            "{} on {}: portfolio took {} cycles, list {}",
+            case.ddg.name(),
+            machine.short_name(),
+            p.cycles,
+            l.cycles
+        );
+        modulo_wins += usize::from(!p.fallback);
+    }
+    // The race must actually select modulo schedules, not degenerate to
+    // the list comparator everywhere.
+    assert!(
+        modulo_wins * 3 >= corpus.len() * 2,
+        "only {modulo_wins}/{} portfolio units kept a modulo schedule",
+        corpus.len()
+    );
+}
+
+#[test]
 fn conformance_replay_is_byte_identical_across_worker_counts() {
     // The acceptance invariant: scheduling a generated corpus through the
     // engine's seeded batch path yields byte-identical canonical records
@@ -133,7 +168,10 @@ fn conformance_replay_is_byte_identical_across_worker_counts() {
                 Interconnect::uniform_point_to_point(4, 1, 1),
             ),
         ])
-        .algorithms(AlgorithmSpec::CATALOG);
+        .algorithms(AlgorithmSpec::CATALOG)
+        // The feature-guided selector must be exactly as replayable as
+        // the fixed catalog it chooses from.
+        .algorithm(AlgorithmSpec::PORTFOLIO);
     let serial = run_sweep(&job, &SweepOptions::serial(), None);
     let parallel = run_sweep(
         &job,
